@@ -1,0 +1,235 @@
+//! ACDD metadata completeness checking.
+//!
+//! Section 3.1: "Completeness of metadata can be checked globally at SDL
+//! level or at an individual dataset level" and "a tool was implemented that
+//! provides recommendations for metadata attributes that can be added to
+//! datasets exposed through the DAP to facilitate discovery of those using
+//! standard metadata searches." This module scores a dataset against the
+//! Attribute Convention for Data Discovery (ACDD 1.3) attribute lists and
+//! produces those recommendations.
+
+use crate::dataset::Dataset;
+
+/// ACDD 1.3 "highly recommended" global attributes.
+pub const HIGHLY_RECOMMENDED: &[&str] = &["title", "summary", "keywords", "Conventions"];
+
+/// ACDD 1.3 "recommended" global attributes (the subset relevant to
+/// discovery, which is what the paper's tool targets).
+pub const RECOMMENDED: &[&str] = &[
+    "id",
+    "naming_authority",
+    "history",
+    "source",
+    "processing_level",
+    "license",
+    "creator_name",
+    "creator_email",
+    "institution",
+    "project",
+    "publisher_name",
+    "geospatial_lat_min",
+    "geospatial_lat_max",
+    "geospatial_lon_min",
+    "geospatial_lon_max",
+    "time_coverage_start",
+    "time_coverage_end",
+];
+
+/// Per-variable attributes recommended by CF/ACDD.
+pub const VARIABLE_RECOMMENDED: &[&str] = &["units", "long_name", "standard_name"];
+
+/// The completeness report for one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletenessReport {
+    pub dataset: String,
+    /// Missing "highly recommended" global attributes.
+    pub missing_highly_recommended: Vec<String>,
+    /// Missing "recommended" global attributes.
+    pub missing_recommended: Vec<String>,
+    /// (variable, missing attribute) pairs.
+    pub missing_variable_attrs: Vec<(String, String)>,
+    /// 0.0–1.0 weighted completeness score.
+    pub score: f64,
+}
+
+impl CompletenessReport {
+    /// Is the dataset fully ACDD-compliant (for the checked subset)?
+    pub fn is_complete(&self) -> bool {
+        self.missing_highly_recommended.is_empty()
+            && self.missing_recommended.is_empty()
+            && self.missing_variable_attrs.is_empty()
+    }
+
+    /// Human-readable recommendations, most important first.
+    pub fn recommendations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for a in &self.missing_highly_recommended {
+            out.push(format!(
+                "add global attribute '{a}' (ACDD highly recommended)"
+            ));
+        }
+        for a in &self.missing_recommended {
+            out.push(format!("add global attribute '{a}' (ACDD recommended)"));
+        }
+        for (v, a) in &self.missing_variable_attrs {
+            out.push(format!("add attribute '{a}' to variable '{v}'"));
+        }
+        out
+    }
+}
+
+/// Score a dataset against the ACDD attribute lists.
+///
+/// Weights: highly recommended 3, recommended 1, variable attributes 1.
+pub fn check_completeness(ds: &Dataset) -> CompletenessReport {
+    let missing_highly_recommended: Vec<String> = HIGHLY_RECOMMENDED
+        .iter()
+        .filter(|a| !ds.attributes.contains_key(**a))
+        .map(|a| a.to_string())
+        .collect();
+    let missing_recommended: Vec<String> = RECOMMENDED
+        .iter()
+        .filter(|a| !ds.attributes.contains_key(**a))
+        .map(|a| a.to_string())
+        .collect();
+    let mut missing_variable_attrs = Vec::new();
+    let mut var_checks = 0usize;
+    for v in &ds.variables {
+        // Coordinate variables only need units.
+        let wanted: &[&str] = if ds.coordinate(&v.name).is_some() {
+            &["units"]
+        } else {
+            VARIABLE_RECOMMENDED
+        };
+        for a in wanted {
+            var_checks += 1;
+            if !v.attributes.contains_key(*a) {
+                missing_variable_attrs.push((v.name.clone(), a.to_string()));
+            }
+        }
+    }
+
+    let total_weight =
+        3.0 * HIGHLY_RECOMMENDED.len() as f64 + RECOMMENDED.len() as f64 + var_checks as f64;
+    let missing_weight = 3.0 * missing_highly_recommended.len() as f64
+        + missing_recommended.len() as f64
+        + missing_variable_attrs.len() as f64;
+    let score = if total_weight == 0.0 {
+        1.0
+    } else {
+        1.0 - missing_weight / total_weight
+    };
+
+    CompletenessReport {
+        dataset: ds.name.clone(),
+        missing_highly_recommended,
+        missing_recommended,
+        missing_variable_attrs,
+        score,
+    }
+}
+
+/// Post-hoc augmentation (the paper's CMS: "the CMS will allow for post-hoc
+/// augmentation using NcML blending metadata provided by the source and
+/// those required as-per the DRS validator"): fill the missing attributes
+/// from a defaults table without overwriting source-provided values.
+pub fn augment(ds: &mut Dataset, defaults: &[(&str, &str)]) -> usize {
+    let mut added = 0;
+    for (key, value) in defaults {
+        if !ds.attributes.contains_key(*key) {
+            ds.set_attr(key, *value);
+            added += 1;
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::NdArray;
+    use crate::dataset::Variable;
+
+    fn bare_dataset() -> Dataset {
+        let mut ds = Dataset::new("bare");
+        ds.add_dim("time", 1);
+        ds.add_variable(Variable::new(
+            "LAI",
+            vec!["time".into()],
+            NdArray::zeros(vec![1]),
+        ))
+        .unwrap();
+        ds
+    }
+
+    #[test]
+    fn bare_dataset_scores_low() {
+        let report = check_completeness(&bare_dataset());
+        assert!(!report.is_complete());
+        assert_eq!(report.missing_highly_recommended.len(), 4);
+        assert!(report.score < 0.2);
+        assert!(!report.recommendations().is_empty());
+        // Highly-recommended warnings come first.
+        assert!(report.recommendations()[0].contains("highly recommended"));
+    }
+
+    #[test]
+    fn complete_dataset_scores_one() {
+        let mut ds = bare_dataset();
+        for a in HIGHLY_RECOMMENDED.iter().chain(RECOMMENDED) {
+            ds.set_attr(a, "filled");
+        }
+        let v = ds.variable_mut("LAI").unwrap();
+        for a in VARIABLE_RECOMMENDED {
+            v.attributes.insert(a.to_string(), "filled".into());
+        }
+        let report = check_completeness(&ds);
+        assert!(report.is_complete(), "{:?}", report.recommendations());
+        assert_eq!(report.score, 1.0);
+    }
+
+    #[test]
+    fn augmentation_fills_without_overwriting() {
+        let mut ds = bare_dataset();
+        ds.set_attr("title", "Original Title");
+        let added = augment(
+            &mut ds,
+            &[
+                ("title", "Default Title"),
+                ("summary", "A dataset"),
+                ("keywords", "lai, copernicus"),
+            ],
+        );
+        assert_eq!(added, 2);
+        assert_eq!(
+            ds.attributes.get("title").unwrap().as_text(),
+            Some("Original Title")
+        );
+        let report = check_completeness(&ds);
+        assert!(!report
+            .missing_highly_recommended
+            .contains(&"summary".to_string()));
+    }
+
+    #[test]
+    fn augmentation_improves_score() {
+        let mut ds = bare_dataset();
+        let before = check_completeness(&ds).score;
+        augment(&mut ds, &[("title", "t"), ("summary", "s")]);
+        let after = check_completeness(&ds).score;
+        assert!(after > before);
+    }
+
+    #[test]
+    fn coordinate_variables_only_need_units() {
+        let mut ds = Dataset::new("coords");
+        ds.add_dim("lat", 2);
+        ds.add_variable(
+            Variable::new("lat", vec!["lat".into()], NdArray::vector(vec![0.0, 1.0]))
+                .with_attr("units", "degrees_north"),
+        )
+        .unwrap();
+        let report = check_completeness(&ds);
+        assert!(report.missing_variable_attrs.is_empty());
+    }
+}

@@ -1,0 +1,250 @@
+//! NcML-style aggregation.
+//!
+//! The paper (Section 3.1): "Each dataset also contains a netCDF NCML
+//! aggregation, which is automatically updated when new data (a new date)
+//! becomes available." And Section 5 describes the VITO deployment lesson:
+//! the Copernicus Global Land archive keeps *multiple reprocessed versions*
+//! of the same date, and only the most recent version must be exposed —
+//! VITO solved this with a symbolic-link directory structure. This module
+//! reproduces both behaviours:
+//!
+//! * [`aggregate_time`] joins granule datasets along their time dimension;
+//! * [`latest_versions`] deduplicates granules per date, keeping the
+//!   highest version (the "symbolic links to the most recent version").
+
+use crate::array::NdArray;
+use crate::dataset::{Dataset, Variable};
+use crate::time::TimeAxis;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A granule: one time step (or a few) of a product, with a version tag —
+/// the unit the Copernicus production centre (re)delivers.
+#[derive(Debug, Clone)]
+pub struct Granule {
+    /// Observation date, epoch seconds.
+    pub date: i64,
+    /// Reprocessing version (RT0, RT1, ... in the real archive).
+    pub version: u32,
+    pub dataset: Dataset,
+}
+
+/// Aggregation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggregationError(pub String);
+
+impl fmt::Display for AggregationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "aggregation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for AggregationError {}
+
+/// Keep only the newest version of each date (the VITO symbolic-link rule),
+/// returned in date order.
+pub fn latest_versions(granules: Vec<Granule>) -> Vec<Granule> {
+    let mut best: BTreeMap<i64, Granule> = BTreeMap::new();
+    for g in granules {
+        match best.get(&g.date) {
+            Some(existing) if existing.version >= g.version => {}
+            _ => {
+                best.insert(g.date, g);
+            }
+        }
+    }
+    best.into_values().collect()
+}
+
+/// Aggregate granule datasets along the `time` dimension (joinExisting in
+/// NcML terms). Granules must share the non-time dimensions and variables.
+/// The output time coordinate is in `seconds since 1970-01-01`.
+pub fn aggregate_time(granules: &[Granule]) -> Result<Dataset, AggregationError> {
+    let first = granules
+        .first()
+        .ok_or_else(|| AggregationError("no granules to aggregate".into()))?;
+    let template = &first.dataset;
+    let time_dim = "time";
+    template
+        .dim_len(time_dim)
+        .ok_or_else(|| AggregationError("granules have no time dimension".into()))?;
+
+    // Collect decoded time values from every granule.
+    let mut times: Vec<f64> = Vec::new();
+    let mut per_var: BTreeMap<String, Vec<NdArray>> = BTreeMap::new();
+
+    for g in granules {
+        let ds = &g.dataset;
+        for (name, len) in &template.dims {
+            if name != time_dim && ds.dim_len(name) != Some(*len) {
+                return Err(AggregationError(format!(
+                    "granule {} disagrees on dimension {name}",
+                    ds.name
+                )));
+            }
+        }
+        // Decode this granule's time axis to epoch seconds.
+        let tv = ds
+            .coordinate(time_dim)
+            .ok_or_else(|| AggregationError(format!("granule {} lacks a time coordinate", ds.name)))?;
+        let axis = match tv.units() {
+            Some(u) => TimeAxis::parse(u)
+                .map_err(|e| AggregationError(format!("granule {}: {e}", ds.name)))?,
+            None => TimeAxis {
+                unit: crate::time::TimeUnit::Seconds,
+                origin: 0,
+            },
+        };
+        times.extend(tv.data.data().iter().map(|&v| axis.decode(v) as f64));
+
+        for v in &ds.variables {
+            if v.name == time_dim {
+                continue;
+            }
+            if v.dims.first().map(String::as_str) == Some(time_dim) {
+                per_var.entry(v.name.clone()).or_default().push(v.data.clone());
+            }
+        }
+    }
+
+    let mut out = Dataset::new(format!("{}_aggregated", template.name));
+    out.attributes = template.attributes.clone();
+    out.add_dim(time_dim, times.len());
+    for (name, len) in &template.dims {
+        if name != time_dim {
+            out.add_dim(name.clone(), *len);
+        }
+    }
+    out.add_variable(
+        Variable::new(
+            time_dim,
+            vec![time_dim.to_string()],
+            NdArray::vector(times),
+        )
+        .with_attr("units", "seconds since 1970-01-01"),
+    )
+    .map_err(|e| AggregationError(e.to_string()))?;
+
+    // Non-time-varying variables (e.g. lat/lon coordinates) come from the
+    // template; time-varying ones are concatenated.
+    for v in &template.variables {
+        if v.name == time_dim {
+            continue;
+        }
+        if v.dims.first().map(String::as_str) == Some(time_dim) {
+            let parts = per_var
+                .get(&v.name)
+                .ok_or_else(|| AggregationError(format!("variable {} missing", v.name)))?;
+            let refs: Vec<&NdArray> = parts.iter().collect();
+            let data = NdArray::concat0(&refs).map_err(|e| AggregationError(e.to_string()))?;
+            let mut nv = Variable::new(v.name.clone(), v.dims.clone(), data);
+            nv.attributes = v.attributes.clone();
+            out.add_variable(nv)
+                .map_err(|e| AggregationError(e.to_string()))?;
+        } else {
+            out.add_variable(v.clone())
+                .map_err(|e| AggregationError(e.to_string()))?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn granule(date_days: i64, version: u32, value: f64) -> Granule {
+        let mut ds = Dataset::new(format!("g{date_days}v{version}"));
+        ds.add_dim("time", 1).add_dim("lat", 2).add_dim("lon", 2);
+        ds.add_variable(
+            Variable::new("time", vec!["time".into()], NdArray::vector(vec![date_days as f64]))
+                .with_attr("units", "days since 1970-01-01"),
+        )
+        .unwrap();
+        ds.add_variable(Variable::new(
+            "lat",
+            vec!["lat".into()],
+            NdArray::vector(vec![48.0, 48.5]),
+        ))
+        .unwrap();
+        ds.add_variable(Variable::new(
+            "lon",
+            vec!["lon".into()],
+            NdArray::vector(vec![2.0, 2.5]),
+        ))
+        .unwrap();
+        ds.add_variable(
+            Variable::new(
+                "LAI",
+                vec!["time".into(), "lat".into(), "lon".into()],
+                NdArray::from_vec(vec![1, 2, 2], vec![value; 4]).unwrap(),
+            )
+            .with_attr("units", "m2/m2"),
+        )
+        .unwrap();
+        Granule {
+            date: date_days * 86_400,
+            version,
+            dataset: ds,
+        }
+    }
+
+    #[test]
+    fn latest_versions_dedup() {
+        let granules = vec![
+            granule(0, 0, 1.0),
+            granule(0, 2, 3.0),
+            granule(0, 1, 2.0),
+            granule(10, 0, 4.0),
+        ];
+        let latest = latest_versions(granules);
+        assert_eq!(latest.len(), 2);
+        assert_eq!(latest[0].version, 2);
+        assert_eq!(latest[0].dataset.variable("LAI").unwrap().data.get(&[0, 0, 0]).unwrap(), 3.0);
+        assert_eq!(latest[1].date, 10 * 86_400);
+    }
+
+    #[test]
+    fn aggregation_concatenates_time() {
+        let granules = vec![granule(0, 0, 1.0), granule(10, 0, 2.0), granule(20, 0, 3.0)];
+        let agg = aggregate_time(&granules).unwrap();
+        assert_eq!(agg.dim_len("time"), Some(3));
+        let time = agg.coordinate("time").unwrap();
+        assert_eq!(time.units(), Some("seconds since 1970-01-01"));
+        assert_eq!(
+            time.data.data(),
+            &[0.0, 864_000.0, 1_728_000.0]
+        );
+        let lai = agg.variable("LAI").unwrap();
+        assert_eq!(lai.data.shape(), &[3, 2, 2]);
+        assert_eq!(lai.data.get(&[2, 1, 1]).unwrap(), 3.0);
+        // lat/lon copied through once.
+        assert_eq!(agg.coordinate("lat").unwrap().data.len(), 2);
+    }
+
+    #[test]
+    fn aggregation_validates_shapes() {
+        let mut bad = granule(10, 0, 2.0);
+        bad.dataset.dims[1] = ("lat".into(), 3); // lie about lat
+        let res = aggregate_time(&[granule(0, 0, 1.0), bad]);
+        assert!(res.is_err());
+        assert!(aggregate_time(&[]).is_err());
+    }
+
+    #[test]
+    fn update_on_new_date_matches_paper_workflow() {
+        // "automatically updated when new data (a new date) becomes
+        // available": aggregate, then re-aggregate with one more granule.
+        let mut granules = vec![granule(0, 0, 1.0)];
+        let agg1 = aggregate_time(&latest_versions(granules.clone())).unwrap();
+        assert_eq!(agg1.dim_len("time"), Some(1));
+        granules.push(granule(10, 0, 2.0));
+        granules.push(granule(10, 1, 2.5)); // reprocessed same date
+        let agg2 = aggregate_time(&latest_versions(granules)).unwrap();
+        assert_eq!(agg2.dim_len("time"), Some(2));
+        assert_eq!(
+            agg2.variable("LAI").unwrap().data.get(&[1, 0, 0]).unwrap(),
+            2.5
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Criterion bench for B4: the `opendap` virtual table with and without
+//! the time-window cache.
+
+use applab_dap::clock::ManualClock;
+use applab_dap::server::grid_dataset;
+use applab_dap::transport::Local;
+use applab_dap::{DapClient, DapServer};
+use applab_obda::vtable::{OpendapTable, VirtualTable};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_cache(c: &mut Criterion) {
+    let server = Arc::new(DapServer::new());
+    server.publish(grid_dataset(
+        "lai",
+        &[0.0, 864_000.0],
+        &(0..24).map(|i| 48.0 + i as f64 * 0.01).collect::<Vec<_>>(),
+        &(0..24).map(|i| 2.0 + i as f64 * 0.01).collect::<Vec<_>>(),
+        |t, la, lo| (t + la + lo) as f64,
+    ));
+    let client = Arc::new(DapClient::new(server, Arc::new(Local::new())));
+
+    let uncached = OpendapTable::new(
+        client.clone(),
+        "lai",
+        "LAI",
+        Duration::ZERO,
+        ManualClock::new(),
+    );
+    let cached = OpendapTable::new(
+        client,
+        "lai",
+        "LAI",
+        Duration::from_secs(600),
+        ManualClock::new(),
+    );
+
+    let mut group = c.benchmark_group("cache_window");
+    group.bench_function("w=0 (refetch every call)", |b| {
+        b.iter(|| uncached.open().unwrap().rows.len())
+    });
+    group.bench_function("w=600s (window cache)", |b| {
+        b.iter(|| cached.open().unwrap().rows.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for B2/B3: mini-Geographica across the three engines.
+
+use applab_bench::{geographica_queries, geographica_setup, run_query};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_geographica(c: &mut Criterion) {
+    let setup = geographica_setup(2019, 16);
+    let mut group = c.benchmark_group("geographica");
+    group.sample_size(10);
+    for (name, query) in geographica_queries() {
+        group.bench_with_input(BenchmarkId::new("strabon", name), &query, |b, q| {
+            b.iter(|| run_query(&setup.strabon, q))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", name), &query, |b, q| {
+            b.iter(|| run_query(&setup.naive, q))
+        });
+        group.bench_with_input(BenchmarkId::new("ontop", name), &query, |b, q| {
+            b.iter(|| run_query(&setup.ontop, q))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_geographica);
+criterion_main!(benches);

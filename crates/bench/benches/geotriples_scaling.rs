@@ -1,0 +1,26 @@
+//! Criterion bench for B5: GeoTriples mapping-processor scaling.
+
+use applab_data::World;
+use applab_geo::Envelope;
+use applab_geotriples::{parse_mappings, process_parallel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_geotriples(c: &mut Criterion) {
+    let world = World::generate(2019, Envelope::new(2.0, 48.0, 3.0, 49.0), 60);
+    let table = world.corine_table();
+    let mapping = &parse_mappings(applab_data::mappings::CORINE_MAPPING).unwrap()[0];
+
+    let mut group = c.benchmark_group("geotriples_scaling");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| b.iter(|| process_parallel(mapping, &table, workers).len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_geotriples);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for B6: multi-core link discovery.
+
+use applab_data::er::workload;
+use applab_link::{discover_links_parallel, Comparison, Entity, LinkRule};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_metablocking(c: &mut Criterion) {
+    let w = workload(2019, 400);
+    let left: Vec<Entity> = Entity::all_from_graph(&w.left)
+        .into_iter()
+        .filter(|e| e.name.is_some())
+        .collect();
+    let right: Vec<Entity> = Entity::all_from_graph(&w.right)
+        .into_iter()
+        .filter(|e| e.name.is_some())
+        .collect();
+    let rule = LinkRule::same_as(
+        vec![
+            (Comparison::NameLevenshtein, 0.6),
+            (Comparison::SpatialProximity { max_distance: 0.05 }, 0.4),
+        ],
+        0.8,
+    );
+
+    let mut group = c.benchmark_group("metablocking");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| discover_links_parallel(&left, &right, &rule, workers).links.len())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_metablocking);
+criterion_main!(benches);

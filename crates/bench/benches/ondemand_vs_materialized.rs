@@ -1,0 +1,69 @@
+//! Criterion bench for B1: on-the-fly OPeNDAP vs materialized store.
+//!
+//! The WAN here actually sleeps (scaled down to keep the bench short:
+//! 2 ms RTT instead of 40 ms — the *ratio* is what matters).
+
+use applab_data::{grids, mappings, ParisFixture};
+use applab_dap::clock::ManualClock;
+use applab_dap::transport::SimulatedWan;
+use applab_dap::{DapClient, DapServer};
+use applab_obda::{DataSource, OpendapTable, VirtualGraph};
+use applab_store::SpatioTemporalStore;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+const QUERY: &str = r#"SELECT ?s ?lai WHERE {
+  ?s lai:hasLai ?lai . ?s geo:hasGeometry ?g . ?g geo:asWKT ?w .
+  FILTER(geof:sfWithin(?w, "POLYGON ((2.21 48.85, 2.27 48.85, 2.27 48.88, 2.21 48.88, 2.21 48.85))"^^geo:wktLiteral))
+}"#;
+
+fn bench_ondemand(c: &mut Criterion) {
+    let fixture = ParisFixture::generate(7, 10, 8);
+    let mut lai = grids::lai_dataset(
+        &fixture.world,
+        &grids::GridSpec {
+            resolution: 12,
+            times: vec![0, 86_400],
+            noise: 0.0,
+            seed: 7,
+        },
+    );
+    lai.name = "lai_300m".into();
+    let server = Arc::new(DapServer::new());
+    server.publish(lai);
+    let wan = Arc::new(SimulatedWan::new(Duration::from_millis(2), 50e6, true));
+    let client = Arc::new(DapClient::new(server, wan));
+
+    let mut ds = DataSource::new();
+    ds.add_opendap(
+        "lai_300m",
+        "LAI",
+        Arc::new(OpendapTable::new(
+            client,
+            "lai_300m",
+            "LAI",
+            Duration::ZERO,
+            ManualClock::new(),
+        )),
+    );
+    let vg = VirtualGraph::new(
+        ds,
+        applab_geotriples::parse_mappings(&mappings::opendap_lai_mapping("lai_300m", 0)).unwrap(),
+    )
+    .unwrap();
+    let store = SpatioTemporalStore::from_graph(&vg.materialize().unwrap());
+
+    let mut group = c.benchmark_group("ondemand_vs_materialized");
+    group.sample_size(10);
+    group.bench_function("on_the_fly_opendap", |b| {
+        b.iter(|| applab_sparql::query(&vg, QUERY).unwrap().len())
+    });
+    group.bench_function("materialized_store", |b| {
+        b.iter(|| applab_sparql::query(&store, QUERY).unwrap().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ondemand);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench for B7: DAP tile caching vs WCS bbox caching under a
+//! panning viewport trace.
+
+use applab_bench::viewport_trace;
+use applab_dap::clock::ManualClock;
+use applab_dap::server::grid_dataset;
+use applab_dap::transport::Local;
+use applab_dap::{DapClient, DapServer};
+use applab_sdl::{BboxFetcher, TiledFetcher};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn bench_viewport(c: &mut Criterion) {
+    let server = Arc::new(DapServer::new());
+    let lats: Vec<f64> = (0..120).map(|i| 48.6 + i as f64 * 0.003).collect();
+    let lons: Vec<f64> = (0..120).map(|i| 2.0 + i as f64 * 0.005).collect();
+    server.publish(grid_dataset("lai", &[0.0], &lats, &lons, |t, la, lo| {
+        (t + la + lo) as f64
+    }));
+    let trace = viewport_trace(2019, 40);
+
+    let mut group = c.benchmark_group("viewport_cache");
+    group.sample_size(10);
+    group.bench_function("dap_tiles", |b| {
+        b.iter(|| {
+            let client = Arc::new(DapClient::new(server.clone(), Arc::new(Local::new())));
+            let f = TiledFetcher::open(client, "lai", "LAI", 5, ManualClock::new()).unwrap();
+            let mut hits = 0;
+            for v in &trace {
+                hits += f.fetch_viewport(v, 0).unwrap().cache_hits;
+            }
+            hits
+        })
+    });
+    group.bench_function("wcs_bbox", |b| {
+        b.iter(|| {
+            let client = Arc::new(DapClient::new(server.clone(), Arc::new(Local::new())));
+            let f = BboxFetcher::open(client, "lai", "LAI", ManualClock::new()).unwrap();
+            let mut hits = 0;
+            for v in &trace {
+                hits += f.fetch_viewport(v, 0).unwrap().cache_hits;
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_viewport);
+criterion_main!(benches);

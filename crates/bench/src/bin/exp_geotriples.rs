@@ -1,0 +1,67 @@
+//! Experiment B5: GeoTriples mapping-processor scaling.
+//!
+//! Paper claim C5: "GeoTriples is very efficient especially when its
+//! mapping processor is implemented using Apache Hadoop" [22] — i.e. the
+//! transformation parallelizes. Expected shape: near-linear speedup up to
+//! the physical core count.
+
+use applab_bench::print_table;
+use applab_data::{ParisFixture, World};
+use applab_geo::Envelope;
+use applab_geotriples::{parse_mappings, process_parallel};
+use std::time::Instant;
+
+fn main() {
+    let cells = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(120usize);
+    // A large CORINE-like source.
+    let world = World::generate(2019, Envelope::new(2.0, 48.0, 4.0, 50.0), cells);
+    let table = world.corine_table();
+    let mapping = &parse_mappings(applab_data::mappings::CORINE_MAPPING).unwrap()[0];
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    println!(
+        "CORINE-like source: {} rows → {} triple templates each ({} cores available)",
+        table.rows.len(),
+        mapping.target.len(),
+        cores
+    );
+
+    // Warm up (allocator, page cache), then measure.
+    let g1 = process_parallel(mapping, &table, 1);
+
+    let mut rows = Vec::new();
+    let mut t1 = 0.0;
+    for workers in [1usize, 2, 4, 8, 16] {
+        // Best of 3 per configuration.
+        let mut t = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let g = process_parallel(mapping, &table, workers);
+            t = t.min(start.elapsed().as_secs_f64());
+            assert_eq!(g.len(), g1.len());
+        }
+        let g = process_parallel(mapping, &table, workers);
+        if workers == 1 {
+            t1 = t;
+        }
+        rows.push(vec![
+            format!("{workers}"),
+            format!("{:.1}", t * 1000.0),
+            format!("{:.0}k", g.len() as f64 / t / 1000.0),
+            format!("{:.2}x", t1 / t),
+        ]);
+    }
+    print_table(
+        &format!("B5: GeoTriples parallel mapping processor ({} triples)", g1.len()),
+        &["workers", "time (ms)", "triples/s", "speedup"],
+        &rows,
+    );
+    // The Paris fixture as a smoke check that realistic inputs behave.
+    let f = ParisFixture::generate(1, 24, 8);
+    let small = process_parallel(mapping, &f.world.corine_table(), 4);
+    println!("\n(Paris fixture sanity: {} triples)", small.len());
+}

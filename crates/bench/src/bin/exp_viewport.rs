@@ -1,0 +1,76 @@
+//! Experiment B7: DAP index-aligned tile caching vs WCS bounding boxes.
+//!
+//! Paper claim C7 (Section 5): "OPeNDAP allows for the caching of datasets
+//! by serialization based on internal array indices. This increases
+//! cache-hits for recurrent requests of a specific subpart of the dataset
+//! ... e.g., in a mobile application scenario, where the viewport ...
+//! [has] modest panning and zooming interaction. ... when using the Web
+//! Coverage Service, there is limited possibility to obtain
+//! client-specific parts of the datasets (one is limited to, for example,
+//! a bounding-box)."
+//!
+//! Expected shape: the tiled (DAP) fetcher converges to a high hit rate
+//! under panning; the bbox (WCS) fetcher almost never hits.
+
+use applab_bench::{print_table, viewport_trace};
+use applab_dap::clock::ManualClock;
+use applab_dap::server::grid_dataset;
+use applab_dap::transport::Local;
+use applab_dap::{DapClient, DapServer};
+use applab_sdl::{BboxFetcher, TiledFetcher};
+use std::sync::Arc;
+
+fn main() {
+    let steps = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(300usize);
+    let server = Arc::new(DapServer::new());
+    let lats: Vec<f64> = (0..200).map(|i| 48.6 + i as f64 * 0.002).collect();
+    let lons: Vec<f64> = (0..200).map(|i| 2.0 + i as f64 * 0.003).collect();
+    server.publish(grid_dataset("lai_300m", &[0.0], &lats, &lons, |t, la, lo| {
+        (t + la + lo) as f64
+    }));
+
+    let trace = viewport_trace(2019, steps);
+    let mut rows = Vec::new();
+    for zoom in [4u8, 5, 6] {
+        let client = Arc::new(DapClient::new(server.clone(), Arc::new(Local::new())));
+        let tiled = TiledFetcher::open(client, "lai_300m", "LAI", zoom, ManualClock::new())
+            .expect("open tiled");
+        let (mut req, mut hit) = (0usize, 0usize);
+        for v in &trace {
+            let s = tiled.fetch_viewport(v, 0).expect("viewport");
+            req += s.requests;
+            hit += s.cache_hits;
+        }
+        rows.push(vec![
+            format!("DAP tiles (zoom {zoom})"),
+            format!("{req}"),
+            format!("{hit}"),
+            format!("{:.1}%", hit as f64 / req as f64 * 100.0),
+        ]);
+    }
+    {
+        let client = Arc::new(DapClient::new(server.clone(), Arc::new(Local::new())));
+        let bbox =
+            BboxFetcher::open(client, "lai_300m", "LAI", ManualClock::new()).expect("open bbox");
+        let (mut req, mut hit) = (0usize, 0usize);
+        for v in &trace {
+            let s = bbox.fetch_viewport(v, 0).expect("viewport");
+            req += s.requests;
+            hit += s.cache_hits;
+        }
+        rows.push(vec![
+            "WCS bounding boxes".into(),
+            format!("{req}"),
+            format!("{hit}"),
+            format!("{:.1}%", hit as f64 / req as f64 * 100.0),
+        ]);
+    }
+    print_table(
+        &format!("B7: viewport cache hit rates over a {steps}-step pan/zoom trace"),
+        &["strategy", "cache units requested", "hits", "hit rate"],
+        &rows,
+    );
+}

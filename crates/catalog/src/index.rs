@@ -1,0 +1,338 @@
+//! Dataset search.
+//!
+//! A small inverted-index + spatial-filter search engine over catalogued
+//! datasets — the local stand-in for Google Dataset Search consuming the
+//! schema.org annotations. It answers the paper's motivating question:
+//! "Is there a land cover dataset produced by the European Environmental
+//! Agency covering the area of Torino, Italy?"
+
+use crate::schema_org::EoDataset;
+use applab_geo::{Coord, Envelope};
+use std::collections::{HashMap, HashSet};
+
+/// A search request.
+#[derive(Debug, Clone, Default)]
+pub struct SearchQuery {
+    /// Free-text terms matched against name, description and keywords.
+    pub text: Vec<String>,
+    /// Substring match against the creator organization.
+    pub creator: Option<String>,
+    /// A location the dataset must cover.
+    pub covering: Option<Coord>,
+    /// An area the dataset must intersect.
+    pub intersecting: Option<Envelope>,
+    /// Product-type facet (EO extension).
+    pub product_type: Option<String>,
+    /// Maximum ground resolution in metres (finer or equal).
+    pub max_resolution_m: Option<f64>,
+}
+
+impl SearchQuery {
+    pub fn text(terms: &[&str]) -> Self {
+        SearchQuery {
+            text: terms.iter().map(|t| t.to_lowercase()).collect(),
+            ..SearchQuery::default()
+        }
+    }
+
+    pub fn creator(mut self, c: &str) -> Self {
+        self.creator = Some(c.to_lowercase());
+        self
+    }
+
+    pub fn covering(mut self, c: Coord) -> Self {
+        self.covering = Some(c);
+        self
+    }
+
+    pub fn intersecting(mut self, e: Envelope) -> Self {
+        self.intersecting = Some(e);
+        self
+    }
+
+    pub fn product_type(mut self, t: &str) -> Self {
+        self.product_type = Some(t.to_lowercase());
+        self
+    }
+}
+
+/// A scored hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    pub id: String,
+    pub score: f64,
+}
+
+/// The catalog index.
+#[derive(Debug, Default)]
+pub struct CatalogIndex {
+    datasets: Vec<EoDataset>,
+    by_id: HashMap<String, usize>,
+    /// token → dataset indexes.
+    inverted: HashMap<String, Vec<usize>>,
+}
+
+fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_lowercase)
+        .collect()
+}
+
+impl CatalogIndex {
+    pub fn new() -> Self {
+        CatalogIndex::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.datasets.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.datasets.is_empty()
+    }
+
+    /// Register (or replace) a dataset annotation.
+    pub fn add(&mut self, dataset: EoDataset) {
+        if let Some(&i) = self.by_id.get(&dataset.id) {
+            // Replace: rebuild is simplest and catalogs are small.
+            self.datasets[i] = dataset;
+            self.rebuild();
+            return;
+        }
+        let idx = self.datasets.len();
+        self.by_id.insert(dataset.id.clone(), idx);
+        self.index_tokens(&dataset, idx);
+        self.datasets.push(dataset);
+    }
+
+    fn rebuild(&mut self) {
+        self.inverted.clear();
+        self.by_id.clear();
+        for (i, d) in self.datasets.iter().enumerate() {
+            self.by_id.insert(d.id.clone(), i);
+        }
+        let datasets = std::mem::take(&mut self.datasets);
+        for (i, d) in datasets.iter().enumerate() {
+            self.index_tokens(d, i);
+        }
+        self.datasets = datasets;
+    }
+
+    fn index_tokens(&mut self, d: &EoDataset, idx: usize) {
+        let mut tokens: HashSet<String> = HashSet::new();
+        tokens.extend(tokenize(&d.name));
+        tokens.extend(tokenize(&d.description));
+        for k in &d.keywords {
+            tokens.extend(tokenize(k));
+        }
+        if let Some(t) = &d.eo.product_type {
+            tokens.extend(tokenize(t));
+        }
+        for t in tokens {
+            self.inverted.entry(t).or_default().push(idx);
+        }
+    }
+
+    pub fn get(&self, id: &str) -> Option<&EoDataset> {
+        self.by_id.get(id).map(|&i| &self.datasets[i])
+    }
+
+    /// Run a search; hits are sorted by descending score (fraction of text
+    /// terms matched; facet filters are hard constraints).
+    pub fn search(&self, query: &SearchQuery) -> Vec<Hit> {
+        let candidates: Vec<usize> = if query.text.is_empty() {
+            (0..self.datasets.len()).collect()
+        } else {
+            let mut counts: HashMap<usize, usize> = HashMap::new();
+            for term in &query.text {
+                if let Some(ids) = self.inverted.get(term) {
+                    for &i in ids {
+                        *counts.entry(i).or_insert(0) += 1;
+                    }
+                }
+            }
+            counts.keys().copied().collect()
+        };
+
+        let mut hits: Vec<Hit> = candidates
+            .into_iter()
+            .filter_map(|i| {
+                let d = &self.datasets[i];
+                // Facets.
+                if let Some(c) = &query.creator {
+                    if !d.creator.to_lowercase().contains(c) {
+                        return None;
+                    }
+                }
+                if let Some(p) = &query.covering {
+                    if !d
+                        .spatial_coverage
+                        .map_or(false, |e| e.contains_coord(*p))
+                    {
+                        return None;
+                    }
+                }
+                if let Some(env) = &query.intersecting {
+                    if !d.spatial_coverage.map_or(false, |e| e.intersects(env)) {
+                        return None;
+                    }
+                }
+                if let Some(t) = &query.product_type {
+                    if d.eo
+                        .product_type
+                        .as_ref()
+                        .map_or(true, |pt| !pt.to_lowercase().contains(t))
+                    {
+                        return None;
+                    }
+                }
+                if let Some(max) = query.max_resolution_m {
+                    if d.eo.resolution_m.map_or(true, |r| r > max) {
+                        return None;
+                    }
+                }
+                // Score: matched text fraction (1.0 for facet-only queries).
+                let score = if query.text.is_empty() {
+                    1.0
+                } else {
+                    let matched = query
+                        .text
+                        .iter()
+                        .filter(|t| {
+                            self.inverted
+                                .get(*t)
+                                .map_or(false, |ids| ids.contains(&i))
+                        })
+                        .count();
+                    if matched == 0 {
+                        return None;
+                    }
+                    matched as f64 / query.text.len() as f64
+                };
+                Some(Hit {
+                    id: d.id.clone(),
+                    score,
+                })
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema_org::{corine_annotation, EoExtension};
+
+    fn lai_annotation() -> EoDataset {
+        EoDataset {
+            id: "http://data.example.org/datasets/cgls-lai-300m".into(),
+            name: "Copernicus Global Land LAI 300m".into(),
+            description: "Leaf area index time series from PROBA-V".into(),
+            keywords: vec!["LAI".into(), "vegetation".into(), "global land".into()],
+            creator: "VITO".into(),
+            license: None,
+            url: None,
+            spatial_coverage: Some(Envelope::new(-180.0, -60.0, 180.0, 80.0)),
+            temporal_coverage: None,
+            eo: EoExtension {
+                platform: Some("PROBA-V".into()),
+                product_type: Some("LAI".into()),
+                resolution_m: Some(300.0),
+                ..EoExtension::default()
+            },
+        }
+    }
+
+    fn index() -> CatalogIndex {
+        let mut idx = CatalogIndex::new();
+        idx.add(corine_annotation());
+        idx.add(lai_annotation());
+        idx
+    }
+
+    /// The motivating query of the paper's introduction.
+    #[test]
+    fn torino_land_cover_question() {
+        let idx = index();
+        let torino = Coord::new(7.68, 45.07);
+        let q = SearchQuery::text(&["land", "cover"])
+            .creator("european environment")
+            .covering(torino);
+        let hits = idx.search(&q);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].id.contains("corine"));
+        assert_eq!(hits[0].score, 1.0);
+    }
+
+    #[test]
+    fn spatial_facet_excludes() {
+        let idx = index();
+        // Somewhere in the Pacific — outside CORINE's Europe coverage. The
+        // global LAI dataset still matches "land" (keyword "global land"),
+        // with a partial-text score.
+        let q = SearchQuery::text(&["land", "cover"]).covering(Coord::new(-150.0, 0.0));
+        let hits = idx.search(&q);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].id.contains("lai"));
+        assert!(hits[0].score < 1.0);
+        // Restricting by product type removes it.
+        let q = SearchQuery::text(&["land", "cover"])
+            .covering(Coord::new(-150.0, 0.0))
+            .product_type("land cover");
+        assert!(idx.search(&q).is_empty());
+        // The global LAI dataset covers it.
+        let q = SearchQuery::text(&["lai"]).covering(Coord::new(-150.0, 0.0));
+        assert_eq!(idx.search(&q).len(), 1);
+    }
+
+    #[test]
+    fn partial_text_scores_lower() {
+        let idx = index();
+        let q = SearchQuery::text(&["vegetation", "nonexistentterm"]);
+        let hits = idx.search(&q);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].score < 1.0);
+    }
+
+    #[test]
+    fn facet_only_search() {
+        let idx = index();
+        let q = SearchQuery::default().product_type("lai");
+        let hits = idx.search(&q);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].id.contains("lai"));
+        let q = SearchQuery {
+            max_resolution_m: Some(150.0),
+            ..SearchQuery::default()
+        };
+        let hits = idx.search(&q);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].id.contains("corine"));
+    }
+
+    #[test]
+    fn replace_reindexes() {
+        let mut idx = index();
+        let mut updated = lai_annotation();
+        updated.keywords.push("replaced".into());
+        idx.add(updated);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.search(&SearchQuery::text(&["replaced"])).len(), 1);
+    }
+
+    #[test]
+    fn empty_catalog() {
+        let idx = CatalogIndex::new();
+        assert!(idx.is_empty());
+        assert!(idx.search(&SearchQuery::text(&["anything"])).is_empty());
+        assert!(idx.get("http://nope").is_none());
+    }
+}

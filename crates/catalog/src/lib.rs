@@ -1,0 +1,20 @@
+//! Dataset cataloguing and discovery.
+//!
+//! Section 5 of the paper: "we designed an extension to the community
+//! vocabulary schema.org, appropriate for annotating EO data in general and
+//! Copernicus data in particular, by extending the class Dataset with
+//! subclasses and properties which cover the EO dataset metadata defined in
+//! the specification OGC 17-003". The goal (Section 1) is that a search
+//! engine can answer: *"Is there a land cover dataset produced by the
+//! European Environmental Agency covering the area of Torino, Italy?"*
+//!
+//! * [`schema_org`] — the `schema:Dataset` + EO-extension model, with
+//!   JSON-LD and RDF serializations;
+//! * [`index`] — a keyword + spatial + facet search index answering the
+//!   motivating query locally.
+
+pub mod index;
+pub mod schema_org;
+
+pub use index::{CatalogIndex, SearchQuery};
+pub use schema_org::{EoDataset, EoExtension};

@@ -1,0 +1,65 @@
+//! The unified error type of the facade.
+
+use std::fmt;
+
+/// Any error surfaced by the App Lab facade.
+#[derive(Debug)]
+pub enum CoreError {
+    Mapping(applab_geotriples::MappingError),
+    Source(String),
+    Sparql(String),
+    Obda(applab_obda::ObdaError),
+    Dap(applab_dap::DapError),
+    Sdl(applab_sdl::SdlError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Mapping(e) => write!(f, "{e}"),
+            CoreError::Source(m) => write!(f, "source error: {m}"),
+            CoreError::Sparql(m) => write!(f, "SPARQL error: {m}"),
+            CoreError::Obda(e) => write!(f, "{e}"),
+            CoreError::Dap(e) => write!(f, "{e}"),
+            CoreError::Sdl(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<applab_geotriples::MappingError> for CoreError {
+    fn from(e: applab_geotriples::MappingError) -> Self {
+        CoreError::Mapping(e)
+    }
+}
+
+impl From<applab_obda::ObdaError> for CoreError {
+    fn from(e: applab_obda::ObdaError) -> Self {
+        CoreError::Obda(e)
+    }
+}
+
+impl From<applab_dap::DapError> for CoreError {
+    fn from(e: applab_dap::DapError) -> Self {
+        CoreError::Dap(e)
+    }
+}
+
+impl From<applab_sdl::SdlError> for CoreError {
+    fn from(e: applab_sdl::SdlError) -> Self {
+        CoreError::Sdl(e)
+    }
+}
+
+impl From<applab_sparql::ParseError> for CoreError {
+    fn from(e: applab_sparql::ParseError) -> Self {
+        CoreError::Sparql(e.to_string())
+    }
+}
+
+impl From<applab_sparql::EvalError> for CoreError {
+    fn from(e: applab_sparql::EvalError) -> Self {
+        CoreError::Sparql(e.to_string())
+    }
+}

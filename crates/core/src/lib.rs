@@ -1,0 +1,32 @@
+//! The Copernicus App Lab facade.
+//!
+//! Ties the reproduction together along the two workflows of Figure 1:
+//!
+//! * [`MaterializedWorkflow`] (left path) — transform sources to RDF with
+//!   GeoTriples, store them in the Strabon-like spatiotemporal store,
+//!   interlink with Silk/JedAI, query with GeoSPARQL, visualize with
+//!   Sextant;
+//! * [`VirtualWorkflow`] (right path) — publish gridded products on the
+//!   OPeNDAP server, access them through the SDL and the Ontop-spatial
+//!   `opendap` virtual table, query the virtual RDF graphs with GeoSPARQL
+//!   *without materializing anything*;
+//! * [`greenness`] — the Section 4 case-study analysis (Figure 4).
+
+pub mod error;
+pub mod greenness;
+pub mod materialized;
+pub mod r#virtual;
+
+pub use error::CoreError;
+pub use materialized::MaterializedWorkflow;
+pub use r#virtual::VirtualWorkflow;
+
+/// Convenience prelude re-exporting the API surface downstream users need.
+pub mod prelude {
+    pub use crate::error::CoreError;
+    pub use crate::materialized::MaterializedWorkflow;
+    pub use crate::r#virtual::VirtualWorkflow;
+    pub use applab_geo::prelude::*;
+    pub use applab_rdf::prelude::*;
+    pub use applab_sparql::QueryResults;
+}

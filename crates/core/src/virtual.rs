@@ -1,0 +1,213 @@
+//! The virtual / on-the-fly (right) workflow of Figure 1.
+
+use crate::error::CoreError;
+use applab_array::Dataset;
+use applab_dap::clock::{Clock, SystemClock};
+use applab_dap::transport::{Local, Transport};
+use applab_dap::{DapClient, DapServer};
+use applab_geotriples::{parse_mappings, TabularSource};
+use applab_obda::{DataSource, OpendapTable, VirtualGraph};
+use applab_sdl::Sdl;
+use applab_sparql::QueryResults;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// OPeNDAP server → SDL → Ontop-spatial virtual graphs.
+pub struct VirtualWorkflow {
+    server: Arc<DapServer>,
+    client: Arc<DapClient>,
+    sdl: Sdl,
+    clock: Arc<dyn Clock>,
+    datasource: Option<DataSource>,
+    mapping_docs: Vec<String>,
+    graph: Option<VirtualGraph>,
+}
+
+impl VirtualWorkflow {
+    /// A workflow with an in-process server and free transport.
+    pub fn local() -> Self {
+        Self::with_transport(Arc::new(Local::new()))
+    }
+
+    /// A workflow whose client speaks through the given transport (e.g. a
+    /// [`applab_dap::SimulatedWan`] for benches).
+    pub fn with_transport(transport: Arc<dyn Transport>) -> Self {
+        let server = Arc::new(DapServer::new());
+        let client = Arc::new(DapClient::new(server.clone(), transport));
+        let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
+        let sdl = Sdl::new(client.clone(), Duration::from_secs(600), clock.clone());
+        VirtualWorkflow {
+            server,
+            client,
+            sdl,
+            clock,
+            datasource: Some(DataSource::new()),
+            mapping_docs: Vec::new(),
+            graph: None,
+        }
+    }
+
+    /// Publish a gridded product on the embedded OPeNDAP server.
+    pub fn publish(&self, dataset: Dataset) {
+        self.server.publish(dataset);
+    }
+
+    /// The embedded server (to publish from outside or inspect logs).
+    pub fn server(&self) -> &Arc<DapServer> {
+        &self.server
+    }
+
+    /// The SDL view over the published datasets.
+    pub fn sdl(&self) -> &Sdl {
+        &self.sdl
+    }
+
+    /// The DAP client (exposes transfer statistics).
+    pub fn client(&self) -> &Arc<DapClient> {
+        &self.client
+    }
+
+    /// Register a relational table for the OBDA engine.
+    pub fn add_table(&mut self, table: TabularSource) -> Result<(), CoreError> {
+        self.ensure_unsealed()?.add_table(table);
+        Ok(())
+    }
+
+    /// Register the `opendap` virtual table for a published dataset.
+    pub fn add_opendap(
+        &mut self,
+        dataset: &str,
+        variable: &str,
+        window: Duration,
+    ) -> Result<(), CoreError> {
+        let vt = Arc::new(OpendapTable::new(
+            self.client.clone(),
+            dataset,
+            variable,
+            window,
+            self.clock.clone(),
+        ));
+        self.ensure_unsealed()?.add_opendap(dataset, variable, vt);
+        Ok(())
+    }
+
+    /// Add a mapping document (GeoTriples/Ontop format).
+    pub fn add_mappings(&mut self, doc: &str) -> Result<(), CoreError> {
+        self.ensure_unsealed()?;
+        // Validate early.
+        parse_mappings(doc)?;
+        self.mapping_docs.push(doc.to_string());
+        Ok(())
+    }
+
+    fn ensure_unsealed(&mut self) -> Result<&mut DataSource, CoreError> {
+        self.datasource
+            .as_mut()
+            .ok_or_else(|| CoreError::Source("workflow already sealed by a query".into()))
+    }
+
+    /// Build (or reuse) the virtual graph.
+    fn graph(&mut self) -> Result<&VirtualGraph, CoreError> {
+        if self.graph.is_none() {
+            let ds = self
+                .datasource
+                .take()
+                .ok_or_else(|| CoreError::Source("virtual graph already built".into()))?;
+            let mut mappings = Vec::new();
+            for doc in &self.mapping_docs {
+                mappings.extend(parse_mappings(doc)?);
+            }
+            self.graph = Some(VirtualGraph::new(ds, mappings)?);
+        }
+        Ok(self.graph.as_ref().expect("just built"))
+    }
+
+    /// Run a GeoSPARQL query over the virtual graphs. The first query
+    /// seals the configuration.
+    pub fn query(&mut self, sparql: &str) -> Result<QueryResults, CoreError> {
+        let q = applab_sparql::parse_query(sparql)?;
+        let g = self.graph()?;
+        Ok(applab_sparql::evaluate(g, &q)?)
+    }
+
+    /// Materialize every mapping (the "for more costly operations it is
+    /// better to materialize the data" path of Section 5).
+    pub fn materialize(&mut self) -> Result<applab_rdf::Graph, CoreError> {
+        Ok(self.graph()?.materialize()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use applab_data::{grids, mappings, ParisFixture};
+    use applab_geo::Coord;
+
+    fn workflow() -> VirtualWorkflow {
+        let fixture = ParisFixture::generate(3, 12, 12);
+        let mut lai = grids::lai_dataset(
+            &fixture.world,
+            &grids::GridSpec {
+                resolution: 8,
+                times: vec![0, 86_400 * 30],
+                noise: 0.0,
+                seed: 3,
+            },
+        );
+        lai.name = "lai_300m".into();
+        let mut wf = VirtualWorkflow::local();
+        wf.publish(lai);
+        wf.add_opendap("lai_300m", "LAI", Duration::from_secs(600))
+            .unwrap();
+        wf.add_mappings(&mappings::opendap_lai_mapping("lai_300m", 10))
+            .unwrap();
+        wf
+    }
+
+    #[test]
+    fn listing3_over_virtual_graph() {
+        let mut wf = workflow();
+        let r = wf
+            .query(
+                "SELECT DISTINCT ?s ?wkt ?lai WHERE { ?s lai:hasLai ?lai . ?s geo:hasGeometry ?g . ?g geo:asWKT ?wkt }",
+            )
+            .unwrap();
+        assert!(r.len() > 0);
+        // Virtual ≡ materialized.
+        let mat = wf.materialize().unwrap();
+        let r2 = applab_sparql::query(
+            &mat,
+            "SELECT DISTINCT ?s ?wkt ?lai WHERE { ?s lai:hasLai ?lai . ?s geo:hasGeometry ?g . ?g geo:asWKT ?wkt }",
+        )
+        .unwrap();
+        assert_eq!(r.len(), r2.len());
+    }
+
+    #[test]
+    fn sdl_methods_work_over_published_data() {
+        let wf = workflow();
+        let meta = wf.sdl().get_metadata("lai_300m").unwrap();
+        assert!(meta.extent.is_some());
+        let v = wf
+            .sdl()
+            .get_point("lai_300m", "LAI", Coord::new(2.3, 48.85), 0)
+            .unwrap();
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn configuration_seals_after_query() {
+        let mut wf = workflow();
+        wf.query("ASK { ?s lai:hasLai ?v }").unwrap();
+        assert!(wf
+            .add_opendap("lai_300m", "LAI", Duration::ZERO)
+            .is_err());
+        assert!(wf.add_mappings("mappingId x\ntarget osm:a{i} a osm:PointOfInterest .\nsource SELECT * FROM t").is_err());
+    }
+
+    #[test]
+    fn bad_mappings_rejected_early() {
+        let mut wf = VirtualWorkflow::local();
+        assert!(wf.add_mappings("not a mapping").is_err());
+    }
+}

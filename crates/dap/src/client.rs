@@ -1,0 +1,159 @@
+//! The DAP client used by the SDL and by the OBDA `opendap` virtual table.
+//!
+//! Every call goes through the configured [`Transport`], which charges the
+//! simulated WAN cost — so downstream timings (bench B1) reflect the
+//! remote-access behaviour the paper describes.
+
+use crate::constraint::Constraint;
+use crate::server::DapServer;
+use crate::transport::Transport;
+use crate::{das, dds, dods, DapError};
+use applab_array::Variable;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A client bound to one server through a transport.
+pub struct DapClient {
+    server: Arc<DapServer>,
+    transport: Arc<dyn Transport>,
+    token: Option<String>,
+    bytes_received: AtomicU64,
+}
+
+impl DapClient {
+    pub fn new(server: Arc<DapServer>, transport: Arc<dyn Transport>) -> Self {
+        DapClient {
+            server,
+            transport,
+            token: None,
+            bytes_received: AtomicU64::new(0),
+        }
+    }
+
+    /// Use an access token for every request (RAMANI registration scheme).
+    pub fn with_token(mut self, token: impl Into<String>) -> Self {
+        self.token = Some(token.into());
+        self
+    }
+
+    /// Total payload bytes received so far.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// Round trips performed so far (from the transport).
+    pub fn round_trips(&self) -> u64 {
+        self.transport.round_trips()
+    }
+
+    fn account(&self, bytes: usize) {
+        self.bytes_received
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.transport.charge(bytes);
+    }
+
+    /// Fetch and parse the DDS.
+    pub fn get_dds(&self, dataset: &str) -> Result<dds::Dds, DapError> {
+        let text = self.server.dds(dataset, self.token.as_deref())?;
+        self.account(text.len());
+        dds::parse(&text)
+    }
+
+    /// Fetch and parse the DAS.
+    pub fn get_das(&self, dataset: &str) -> Result<das::Das, DapError> {
+        let text = self.server.das(dataset, self.token.as_deref())?;
+        self.account(text.len());
+        das::parse(&text)
+    }
+
+    /// Fetch a data subset.
+    pub fn get_data(
+        &self,
+        dataset: &str,
+        constraint: &Constraint,
+    ) -> Result<Vec<Variable>, DapError> {
+        let payload = self
+            .server
+            .dods(dataset, constraint, self.token.as_deref())?;
+        self.account(payload.len());
+        dods::decode(payload)
+    }
+
+    /// Fetch the NcML document (DAS + DDS in one response).
+    pub fn get_ncml(&self, dataset: &str) -> Result<String, DapError> {
+        let text = crate::ncml_service::render(&self.server, dataset, self.token.as_deref())?;
+        self.account(text.len());
+        Ok(text)
+    }
+
+    /// Dataset names visible on the server.
+    pub fn list_datasets(&self) -> Vec<String> {
+        let names = self.server.dataset_names();
+        self.account(names.iter().map(String::len).sum());
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::grid_dataset;
+    use crate::transport::{Local, SimulatedWan};
+    use applab_array::Range;
+    use std::time::Duration;
+
+    fn setup() -> Arc<DapServer> {
+        let s = DapServer::new();
+        s.publish(grid_dataset(
+            "lai",
+            &[0.0, 86_400.0],
+            &[48.0, 48.5],
+            &[2.0, 2.5],
+            |t, la, lo| (t + la + lo) as f64,
+        ));
+        Arc::new(s)
+    }
+
+    #[test]
+    fn fetch_metadata_and_data() {
+        let client = DapClient::new(setup(), Arc::new(Local::new()));
+        let dds = client.get_dds("lai").unwrap();
+        assert_eq!(dds.dataset, "lai");
+        let das = client.get_das("lai").unwrap();
+        assert!(das.contains_key("NC_GLOBAL"));
+        let vars = client
+            .get_data(
+                "lai",
+                &Constraint::variable("LAI", vec![Range::index(1), Range::all(2), Range::all(2)]),
+            )
+            .unwrap();
+        assert_eq!(vars[0].data.shape(), &[1, 2, 2]);
+        assert_eq!(vars[0].data.get(&[0, 1, 1]).unwrap(), 3.0);
+        assert!(client.bytes_received() > 0);
+        assert_eq!(client.round_trips(), 3);
+        assert_eq!(client.list_datasets(), vec!["lai".to_string()]);
+    }
+
+    #[test]
+    fn wan_transport_accounts_cost() {
+        let wan = Arc::new(SimulatedWan::new(Duration::from_millis(10), 1e6, false));
+        let client = DapClient::new(setup(), wan.clone());
+        client.get_dds("lai").unwrap();
+        client
+            .get_data("lai", &Constraint::all())
+            .unwrap();
+        assert_eq!(wan.round_trips(), 2);
+        assert!(wan.total_charged() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn token_flows_through() {
+        let server = setup();
+        server.register_token("t", "bob");
+        let denied = DapClient::new(server.clone(), Arc::new(Local::new()));
+        assert!(denied.get_dds("lai").is_err());
+        let ok = DapClient::new(server.clone(), Arc::new(Local::new())).with_token("t");
+        assert!(ok.get_dds("lai").is_ok());
+        assert_eq!(server.access_log()["bob"]["lai"], 1);
+    }
+}

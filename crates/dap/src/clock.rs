@@ -1,0 +1,91 @@
+//! Clock abstraction for the time-windowed caches.
+//!
+//! Both the SDL subset cache and the Ontop-spatial `opendap` adapter cache
+//! expire entries after a wall-clock window `w` (Section 3.2). Tests need
+//! to move time by hand; benches use the real clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic clock.
+pub trait Clock: Send + Sync {
+    /// Time since an arbitrary epoch.
+    fn now(&self) -> Duration;
+}
+
+/// The real monotonic clock.
+#[derive(Debug)]
+pub struct SystemClock {
+    start: Instant,
+}
+
+impl SystemClock {
+    pub fn new() -> Self {
+        SystemClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+/// A manually advanced clock for deterministic tests.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    millis: AtomicU64,
+}
+
+impl ManualClock {
+    pub fn new() -> Arc<Self> {
+        Arc::new(ManualClock::default())
+    }
+
+    pub fn advance(&self, by: Duration) {
+        self.millis
+            .fetch_add(by.as_millis() as u64, Ordering::SeqCst);
+    }
+
+    pub fn set(&self, to: Duration) {
+        self.millis.store(to.as_millis() as u64, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Duration {
+        Duration::from_millis(self.millis.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_advances() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+        c.advance(Duration::from_secs(5));
+        assert_eq!(c.now(), Duration::from_secs(5));
+        c.set(Duration::from_secs(2));
+        assert_eq!(c.now(), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,170 @@
+//! DAP constraint expressions.
+//!
+//! A constraint selects variables and hyperslabs:
+//! `LAI[0:9][2][3],time[0:9]` — per-variable bracketed ranges in
+//! `[start]`, `[start:stop]` or `[start:stride:stop]` form. An empty
+//! constraint selects everything. This "serialization based on internal
+//! array indices" is exactly what the paper credits for OPeNDAP's cache
+//! friendliness versus WCS bounding boxes (Section 5).
+
+use crate::DapError;
+use applab_array::Range;
+
+/// One projected variable with its (possibly empty = whole-array) slab.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Projection {
+    pub variable: String,
+    pub ranges: Vec<Range>,
+}
+
+/// A parsed constraint expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Constraint {
+    /// Empty means "all variables, whole arrays".
+    pub projections: Vec<Projection>,
+}
+
+impl Constraint {
+    /// The unconstrained expression.
+    pub fn all() -> Self {
+        Constraint::default()
+    }
+
+    /// Constrain a single variable.
+    pub fn variable(name: impl Into<String>, ranges: Vec<Range>) -> Self {
+        Constraint {
+            projections: vec![Projection {
+                variable: name.into(),
+                ranges,
+            }],
+        }
+    }
+
+    /// Parse a constraint expression.
+    pub fn parse(text: &str) -> Result<Self, DapError> {
+        let text = text.trim();
+        if text.is_empty() {
+            return Ok(Constraint::all());
+        }
+        let mut projections = Vec::new();
+        for part in text.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                return Err(DapError::Constraint("empty projection".into()));
+            }
+            let (name, mut rest) = match part.find('[') {
+                Some(i) => (&part[..i], &part[i..]),
+                None => (part, ""),
+            };
+            if name.is_empty() {
+                return Err(DapError::Constraint(format!("missing variable in {part:?}")));
+            }
+            let mut ranges = Vec::new();
+            while !rest.is_empty() {
+                if !rest.starts_with('[') {
+                    return Err(DapError::Constraint(format!("expected '[' in {part:?}")));
+                }
+                let close = rest
+                    .find(']')
+                    .ok_or_else(|| DapError::Constraint(format!("unclosed '[' in {part:?}")))?;
+                let body = &rest[1..close];
+                rest = &rest[close + 1..];
+                let nums: Result<Vec<usize>, _> =
+                    body.split(':').map(|p| p.trim().parse::<usize>()).collect();
+                let nums =
+                    nums.map_err(|_| DapError::Constraint(format!("bad range {body:?}")))?;
+                let range = match nums.as_slice() {
+                    [i] => Range::index(*i),
+                    [start, stop] => Range::new(*start, 1, *stop),
+                    [start, stride, stop] => Range::new(*start, *stride, *stop),
+                    _ => {
+                        return Err(DapError::Constraint(format!(
+                            "range {body:?} has {} parts",
+                            nums.len()
+                        )))
+                    }
+                };
+                if range.count() == 0 {
+                    return Err(DapError::Constraint(format!("empty range {body:?}")));
+                }
+                ranges.push(range);
+            }
+            projections.push(Projection {
+                variable: name.to_string(),
+                ranges,
+            });
+        }
+        Ok(Constraint { projections })
+    }
+
+    /// Canonical string form (used as cache key by the client and by the
+    /// OBDA `opendap` virtual table).
+    pub fn to_query_string(&self) -> String {
+        self.projections
+            .iter()
+            .map(|p| {
+                let mut s = p.variable.clone();
+                for r in &p.ranges {
+                    s.push_str(&r.to_string());
+                }
+                s
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+impl std::fmt::Display for Constraint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_query_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_variants() {
+        let c = Constraint::parse("LAI[0:9][2][3],time[0:2:9]").unwrap();
+        assert_eq!(c.projections.len(), 2);
+        let lai = &c.projections[0];
+        assert_eq!(lai.variable, "LAI");
+        assert_eq!(lai.ranges[0], Range::new(0, 1, 9));
+        assert_eq!(lai.ranges[1], Range::index(2));
+        assert_eq!(lai.ranges[2], Range::index(3));
+        assert_eq!(c.projections[1].ranges[0], Range::new(0, 2, 9));
+    }
+
+    #[test]
+    fn empty_means_all() {
+        assert_eq!(Constraint::parse("").unwrap(), Constraint::all());
+        assert_eq!(Constraint::parse("  ").unwrap(), Constraint::all());
+    }
+
+    #[test]
+    fn whole_variable_projection() {
+        let c = Constraint::parse("time").unwrap();
+        assert_eq!(c.projections[0].variable, "time");
+        assert!(c.projections[0].ranges.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_query_string() {
+        for text in ["LAI[0:9][2][3]", "time[0:2:9]", "LAI[0:9][0:359][0:719],time"] {
+            let c = Constraint::parse(text).unwrap();
+            let c2 = Constraint::parse(&c.to_query_string()).unwrap();
+            assert_eq!(c, c2);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Constraint::parse("LAI[").is_err());
+        assert!(Constraint::parse("LAI[a:b]").is_err());
+        assert!(Constraint::parse("LAI[1:2:3:4]").is_err());
+        assert!(Constraint::parse("[0:2]").is_err());
+        assert!(Constraint::parse("LAI[5:3]").is_err()); // empty range
+        assert!(Constraint::parse("a,,b").is_err());
+    }
+}

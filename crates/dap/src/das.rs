@@ -1,0 +1,172 @@
+//! The Dataset Attribute Structure.
+//!
+//! "The DAS provides information about the variables themselves"
+//! (Section 3.1). Classic DAP 2 text form; global attributes live in the
+//! `NC_GLOBAL` container, per the netCDF-over-DAP convention the paper's
+//! metadata machinery relies on ("we also use the netCDF variable
+//! attributes and global attributes to perform machine-to-machine
+//! communication of metadata").
+
+use applab_array::{AttrValue, Dataset};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// A parsed DAS: container name → attribute name → value.
+pub type Das = BTreeMap<String, BTreeMap<String, AttrValue>>;
+
+fn render_attr(out: &mut String, name: &str, value: &AttrValue) {
+    match value {
+        AttrValue::Text(t) => {
+            let _ = writeln!(out, "        String {name} \"{}\";", t.replace('"', "\\\""));
+        }
+        AttrValue::Number(n) => {
+            let _ = writeln!(out, "        Float64 {name} {n};");
+        }
+        AttrValue::Numbers(ns) => {
+            let list = ns
+                .iter()
+                .map(f64::to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(out, "        Float64 {name} {list};");
+        }
+    }
+}
+
+/// Render a dataset's DAS.
+pub fn render(ds: &Dataset) -> String {
+    let mut out = String::from("Attributes {\n");
+    out.push_str("    NC_GLOBAL {\n");
+    for (name, value) in &ds.attributes {
+        render_attr(&mut out, name, value);
+    }
+    out.push_str("    }\n");
+    for v in &ds.variables {
+        let _ = writeln!(out, "    {} {{", v.name);
+        for (name, value) in &v.attributes {
+            render_attr(&mut out, name, value);
+        }
+        out.push_str("    }\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parse a DAS document (the subset [`render`] produces).
+pub fn parse(text: &str) -> Result<Das, crate::DapError> {
+    let err = |m: &str| crate::DapError::Wire(format!("DAS: {m}"));
+    let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+    match lines.next() {
+        Some("Attributes {") => {}
+        other => return Err(err(&format!("expected 'Attributes {{', got {other:?}"))),
+    }
+    let mut das = Das::new();
+    let mut current: Option<String> = None;
+    for line in lines {
+        if line == "}" {
+            match current.take() {
+                Some(_) => continue,
+                None => return Ok(das), // final close
+            }
+        }
+        if let Some(container) = line.strip_suffix('{') {
+            let name = container.trim().to_string();
+            das.entry(name.clone()).or_default();
+            current = Some(name);
+            continue;
+        }
+        let container = current
+            .clone()
+            .ok_or_else(|| err(&format!("attribute outside container: {line:?}")))?;
+        let decl = line.trim_end_matches(';');
+        if let Some(rest) = decl.strip_prefix("String ") {
+            let (name, value) = rest
+                .split_once(' ')
+                .ok_or_else(|| err(&format!("bad String attribute {line:?}")))?;
+            // Strip exactly one pair of surrounding quotes, then unescape.
+            let value = value.trim();
+            let value = value.strip_prefix('"').unwrap_or(value);
+            let value = value.strip_suffix('"').unwrap_or(value);
+            let value = value.replace("\\\"", "\"");
+            das.get_mut(&container)
+                .unwrap()
+                .insert(name.to_string(), AttrValue::Text(value));
+        } else if let Some(rest) = decl.strip_prefix("Float64 ") {
+            let (name, value) = rest
+                .split_once(' ')
+                .ok_or_else(|| err(&format!("bad Float64 attribute {line:?}")))?;
+            let nums: Result<Vec<f64>, _> =
+                value.split(',').map(|p| p.trim().parse::<f64>()).collect();
+            let nums = nums.map_err(|_| err(&format!("bad number list {value:?}")))?;
+            let v = if nums.len() == 1 {
+                AttrValue::Number(nums[0])
+            } else {
+                AttrValue::Numbers(nums)
+            };
+            das.get_mut(&container).unwrap().insert(name.to_string(), v);
+        } else {
+            return Err(err(&format!("unsupported attribute type in {line:?}")));
+        }
+    }
+    Err(err("missing closing brace"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use applab_array::{NdArray, Variable};
+
+    fn sample() -> Dataset {
+        let mut ds = Dataset::new("lai");
+        ds.set_attr("title", "Leaf Area Index");
+        ds.set_attr("version", 2.0);
+        ds.add_dim("time", 1);
+        ds.add_variable(
+            Variable::new("LAI", vec!["time".into()], NdArray::zeros(vec![1]))
+                .with_attr("units", "m2/m2")
+                .with_attr("valid_range", AttrValue::Numbers(vec![0.0, 10.0])),
+        )
+        .unwrap();
+        ds
+    }
+
+    #[test]
+    fn roundtrip() {
+        let text = render(&sample());
+        let das = parse(&text).unwrap();
+        assert_eq!(
+            das["NC_GLOBAL"]["title"],
+            AttrValue::Text("Leaf Area Index".into())
+        );
+        assert_eq!(das["NC_GLOBAL"]["version"], AttrValue::Number(2.0));
+        assert_eq!(das["LAI"]["units"], AttrValue::Text("m2/m2".into()));
+        assert_eq!(
+            das["LAI"]["valid_range"],
+            AttrValue::Numbers(vec![0.0, 10.0])
+        );
+    }
+
+    #[test]
+    fn quotes_escaped() {
+        let mut ds = sample();
+        ds.set_attr("summary", "the \"best\" product");
+        let das = parse(&render(&ds)).unwrap();
+        assert_eq!(
+            das["NC_GLOBAL"]["summary"],
+            AttrValue::Text("the \"best\" product".into())
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("Attributes {\n    NC_GLOBAL {\n").is_err());
+        assert!(parse("Attributes {\n    Int16 x 3;\n}").is_err());
+    }
+
+    #[test]
+    fn empty_containers_ok() {
+        let das = parse("Attributes {\n    NC_GLOBAL {\n    }\n}\n").unwrap();
+        assert!(das["NC_GLOBAL"].is_empty());
+    }
+}

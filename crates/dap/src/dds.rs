@@ -1,0 +1,162 @@
+//! The Dataset Descriptor Structure.
+//!
+//! "The DDS describes the dataset's structure and the relationships between
+//! its variables" (Section 3.1). We render the classic DAP 2 text form with
+//! `Float64` arrays and parse it back (the client uses the parsed DDS to
+//! validate constraints before asking for data).
+
+use applab_array::Dataset;
+use std::fmt::Write;
+
+/// A variable declaration inside a DDS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DdsVariable {
+    pub name: String,
+    /// (dimension name, length) pairs, in axis order.
+    pub dims: Vec<(String, usize)>,
+}
+
+/// A parsed DDS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dds {
+    pub dataset: String,
+    pub variables: Vec<DdsVariable>,
+}
+
+impl Dds {
+    pub fn variable(&self, name: &str) -> Option<&DdsVariable> {
+        self.variables.iter().find(|v| v.name == name)
+    }
+}
+
+/// Render a dataset's DDS.
+pub fn render(ds: &Dataset) -> String {
+    let mut out = String::from("Dataset {\n");
+    for v in &ds.variables {
+        let mut decl = format!("    Float64 {}", v.name);
+        for (dim, len) in v.dims.iter().zip(v.data.shape()) {
+            let _ = write!(decl, "[{dim} = {len}]");
+        }
+        decl.push_str(";\n");
+        out.push_str(&decl);
+    }
+    let _ = write!(out, "}} {};\n", ds.name);
+    out
+}
+
+/// Parse a DDS document (the subset [`render`] produces).
+pub fn parse(text: &str) -> Result<Dds, crate::DapError> {
+    let err = |m: &str| crate::DapError::Wire(format!("DDS: {m}"));
+    let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+    match lines.next() {
+        Some("Dataset {") => {}
+        other => return Err(err(&format!("expected 'Dataset {{', got {other:?}"))),
+    }
+    let mut variables = Vec::new();
+    let mut dataset = None;
+    for line in lines {
+        if let Some(rest) = line.strip_prefix("}") {
+            let name = rest.trim().trim_end_matches(';').trim();
+            dataset = Some(name.to_string());
+            break;
+        }
+        let decl = line.trim_end_matches(';');
+        let decl = decl
+            .strip_prefix("Float64 ")
+            .or_else(|| decl.strip_prefix("Float32 "))
+            .or_else(|| decl.strip_prefix("Int32 "))
+            .ok_or_else(|| err(&format!("unsupported declaration {line:?}")))?;
+        // name[dim = len][dim = len]...
+        let (name, dims_part) = match decl.find('[') {
+            Some(i) => (&decl[..i], &decl[i..]),
+            None => (decl, ""),
+        };
+        let mut dims = Vec::new();
+        for piece in dims_part.split('[').skip(1) {
+            let piece = piece.trim_end_matches(']');
+            let (dim, len) = piece
+                .split_once('=')
+                .ok_or_else(|| err(&format!("bad dimension {piece:?}")))?;
+            dims.push((
+                dim.trim().to_string(),
+                len.trim()
+                    .parse::<usize>()
+                    .map_err(|_| err(&format!("bad length {piece:?}")))?,
+            ));
+        }
+        variables.push(DdsVariable {
+            name: name.trim().to_string(),
+            dims,
+        });
+    }
+    Ok(Dds {
+        dataset: dataset.ok_or_else(|| err("missing closing line"))?,
+        variables,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use applab_array::{NdArray, Variable};
+
+    fn sample() -> Dataset {
+        let mut ds = Dataset::new("lai_global");
+        ds.add_dim("time", 3).add_dim("lat", 4).add_dim("lon", 5);
+        ds.add_variable(Variable::new(
+            "time",
+            vec!["time".into()],
+            NdArray::vector(vec![0.0, 1.0, 2.0]),
+        ))
+        .unwrap();
+        ds.add_variable(Variable::new(
+            "LAI",
+            vec!["time".into(), "lat".into(), "lon".into()],
+            NdArray::zeros(vec![3, 4, 5]),
+        ))
+        .unwrap();
+        ds
+    }
+
+    #[test]
+    fn render_form() {
+        let text = render(&sample());
+        assert!(text.starts_with("Dataset {\n"));
+        assert!(text.contains("Float64 time[time = 3];"));
+        assert!(text.contains("Float64 LAI[time = 3][lat = 4][lon = 5];"));
+        assert!(text.trim_end().ends_with("} lai_global;"));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let text = render(&sample());
+        let dds = parse(&text).unwrap();
+        assert_eq!(dds.dataset, "lai_global");
+        assert_eq!(dds.variables.len(), 2);
+        let lai = dds.variable("LAI").unwrap();
+        assert_eq!(
+            lai.dims,
+            vec![
+                ("time".to_string(), 3),
+                ("lat".to_string(), 4),
+                ("lon".to_string(), 5)
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("NotADataset {\n} x;").is_err());
+        assert!(parse("Dataset {\n    String s;\n} x;").is_err());
+        assert!(parse("Dataset {\n    Float64 v[lat 4];\n} x;").is_err());
+        assert!(parse("Dataset {\n    Float64 v[lat = four];\n} x;").is_err());
+        assert!(parse("Dataset {\n    Float64 v;\n").is_err()); // no close
+    }
+
+    #[test]
+    fn scalar_variable() {
+        let dds = parse("Dataset {\n    Float64 x;\n} d;").unwrap();
+        assert!(dds.variable("x").unwrap().dims.is_empty());
+    }
+}

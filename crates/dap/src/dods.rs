@@ -1,0 +1,164 @@
+//! The binary data response (the `.dods` payload).
+//!
+//! Real DAP 2 uses XDR; we use an equivalent, self-describing big-endian
+//! framing (magic + per-variable name/dims/values). What matters for the
+//! reproduction is the *shape* of the protocol — a binary stream whose size
+//! is proportional to the requested subset, so the simulated WAN transport
+//! can charge realistic transfer times per byte.
+
+use crate::DapError;
+use applab_array::{NdArray, Variable};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 8] = b"ALDODS01";
+
+/// Encode a set of variables (already sliced to the requested subset).
+pub fn encode(variables: &[Variable]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        16 + variables
+            .iter()
+            .map(|v| v.data.len() * 8 + 64)
+            .sum::<usize>(),
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u32(variables.len() as u32);
+    for v in variables {
+        put_str(&mut buf, &v.name);
+        buf.put_u16(v.dims.len() as u16);
+        for (dim, &len) in v.dims.iter().zip(v.data.shape()) {
+            put_str(&mut buf, dim);
+            buf.put_u64(len as u64);
+        }
+        buf.put_u64(v.data.len() as u64);
+        for &x in v.data.data() {
+            buf.put_f64(x);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a `.dods` payload back into variables.
+pub fn decode(mut payload: Bytes) -> Result<Vec<Variable>, DapError> {
+    let err = |m: &str| DapError::Wire(format!("DODS: {m}"));
+    if payload.remaining() < 12 {
+        return Err(err("truncated header"));
+    }
+    let mut magic = [0u8; 8];
+    payload.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(err("bad magic"));
+    }
+    let count = payload.get_u32() as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name = get_str(&mut payload).ok_or_else(|| err("truncated name"))?;
+        if payload.remaining() < 2 {
+            return Err(err("truncated rank"));
+        }
+        let rank = payload.get_u16() as usize;
+        let mut dims = Vec::with_capacity(rank);
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            let dim = get_str(&mut payload).ok_or_else(|| err("truncated dim"))?;
+            if payload.remaining() < 8 {
+                return Err(err("truncated dim length"));
+            }
+            let len = payload.get_u64() as usize;
+            dims.push(dim);
+            shape.push(len);
+        }
+        if payload.remaining() < 8 {
+            return Err(err("truncated value count"));
+        }
+        let n = payload.get_u64() as usize;
+        if payload.remaining() < n * 8 {
+            return Err(err("truncated values"));
+        }
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(payload.get_f64());
+        }
+        let array = NdArray::from_vec(shape, data)
+            .map_err(|e| err(&format!("inconsistent shape: {e}")))?;
+        out.push(Variable::new(name, dims, array));
+    }
+    Ok(out)
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u16(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Option<String> {
+    if buf.remaining() < 2 {
+        return None;
+    }
+    let len = buf.get_u16() as usize;
+    if buf.remaining() < len {
+        return None;
+    }
+    let mut raw = vec![0u8; len];
+    buf.copy_to_slice(&mut raw);
+    String::from_utf8(raw).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Variable> {
+        vec![
+            Variable::new(
+                "LAI",
+                vec!["time".into(), "lat".into()],
+                NdArray::from_vec(vec![2, 3], vec![0.5, 1.0, f64::NAN, 2.0, 2.5, 3.0]).unwrap(),
+            ),
+            Variable::new("time", vec!["time".into()], NdArray::vector(vec![0.0, 10.0])),
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let vars = sample();
+        let payload = encode(&vars);
+        let decoded = decode(payload).unwrap();
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0].name, "LAI");
+        assert_eq!(decoded[0].dims, vec!["time".to_string(), "lat".to_string()]);
+        assert_eq!(decoded[0].data.shape(), &[2, 3]);
+        assert!(decoded[0].data.get(&[0, 2]).unwrap().is_nan());
+        assert_eq!(decoded[0].data.get(&[1, 2]).unwrap(), 3.0);
+        assert_eq!(decoded[1].data.data(), &[0.0, 10.0]);
+    }
+
+    #[test]
+    fn size_is_proportional_to_subset() {
+        let small = encode(&[Variable::new(
+            "x",
+            vec!["t".into()],
+            NdArray::zeros(vec![10]),
+        )]);
+        let large = encode(&[Variable::new(
+            "x",
+            vec!["t".into()],
+            NdArray::zeros(vec![10_000]),
+        )]);
+        assert!(large.len() > small.len() * 500);
+    }
+
+    #[test]
+    fn rejects_corrupt_payloads() {
+        assert!(decode(Bytes::from_static(b"short")).is_err());
+        assert!(decode(Bytes::from_static(b"WRONGMAG\0\0\0\0")).is_err());
+        let good = encode(&sample());
+        let truncated = good.slice(..good.len() - 5);
+        assert!(decode(truncated).is_err());
+    }
+
+    #[test]
+    fn empty_variable_list() {
+        let payload = encode(&[]);
+        assert_eq!(decode(payload).unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! The DRS validator.
+//!
+//! Section 3.1: "A command-line tool was built and published, entitled
+//! 'DRS-validator', that validates a CSP's datasets exposed through the
+//! OPeNDAP interface by checking for compliance with the Data Reference
+//! Syntax (DRS) metadata."
+//!
+//! The Data Reference Syntax names a dataset with a fixed sequence of
+//! facets. We use the CMIP/Copernicus-style facet chain
+//! `<activity>.<product>.<variable>.<resolution>.<version>.<YYYY-MM-DD>`
+//! (e.g. `cgls.land.lai.300m.v2.2017-06-15`) and additionally require the
+//! dataset's attributes to agree with its facets.
+
+use applab_array::{AttrValue, Dataset};
+
+/// The parsed facets of a DRS identifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrsId {
+    pub activity: String,
+    pub product: String,
+    pub variable: String,
+    pub resolution: String,
+    pub version: String,
+    /// `YYYY-MM-DD`
+    pub date: String,
+}
+
+impl DrsId {
+    pub fn to_id(&self) -> String {
+        format!(
+            "{}.{}.{}.{}.{}.{}",
+            self.activity, self.product, self.variable, self.resolution, self.version, self.date
+        )
+    }
+}
+
+/// One compliance violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// The identifier does not have exactly six facets.
+    BadFacetCount(usize),
+    /// A facet is empty or has invalid characters.
+    BadFacet { facet: &'static str, value: String },
+    /// The version facet is not `v<digits>`.
+    BadVersion(String),
+    /// The date facet is not `YYYY-MM-DD`.
+    BadDate(String),
+    /// The dataset lacks the variable its id names.
+    MissingVariable(String),
+    /// A required attribute is missing.
+    MissingAttribute(&'static str),
+    /// An attribute disagrees with a facet.
+    AttributeMismatch {
+        attribute: &'static str,
+        expected: String,
+        actual: String,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::BadFacetCount(n) => write!(f, "expected 6 facets, found {n}"),
+            Violation::BadFacet { facet, value } => write!(f, "bad {facet} facet {value:?}"),
+            Violation::BadVersion(v) => write!(f, "bad version facet {v:?} (want v<digits>)"),
+            Violation::BadDate(d) => write!(f, "bad date facet {d:?} (want YYYY-MM-DD)"),
+            Violation::MissingVariable(v) => write!(f, "dataset lacks variable {v:?}"),
+            Violation::MissingAttribute(a) => write!(f, "missing required attribute {a:?}"),
+            Violation::AttributeMismatch {
+                attribute,
+                expected,
+                actual,
+            } => write!(f, "attribute {attribute:?} is {actual:?}, id says {expected:?}"),
+        }
+    }
+}
+
+/// Parse a DRS identifier, collecting violations instead of failing fast.
+pub fn parse_id(id: &str) -> Result<DrsId, Vec<Violation>> {
+    let parts: Vec<&str> = id.split('.').collect();
+    if parts.len() != 6 {
+        return Err(vec![Violation::BadFacetCount(parts.len())]);
+    }
+    let mut violations = Vec::new();
+    let facet_ok = |v: &str| {
+        !v.is_empty()
+            && v.chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-')
+    };
+    for (name, value) in [
+        ("activity", parts[0]),
+        ("product", parts[1]),
+        ("variable", parts[2]),
+        ("resolution", parts[3]),
+    ] {
+        if !facet_ok(value) {
+            violations.push(Violation::BadFacet {
+                facet: match name {
+                    "activity" => "activity",
+                    "product" => "product",
+                    "variable" => "variable",
+                    _ => "resolution",
+                },
+                value: value.to_string(),
+            });
+        }
+    }
+    let version = parts[4];
+    if !(version.len() >= 2
+        && version.starts_with('v')
+        && version[1..].chars().all(|c| c.is_ascii_digit()))
+    {
+        violations.push(Violation::BadVersion(version.to_string()));
+    }
+    let date = parts[5];
+    let date_ok = date.len() == 10
+        && date.as_bytes()[4] == b'-'
+        && date.as_bytes()[7] == b'-'
+        && date
+            .chars()
+            .enumerate()
+            .all(|(i, c)| if i == 4 || i == 7 { c == '-' } else { c.is_ascii_digit() })
+        && date[5..7].parse::<u32>().map_or(false, |m| (1..=12).contains(&m))
+        && date[8..10].parse::<u32>().map_or(false, |d| (1..=31).contains(&d));
+    if !date_ok {
+        violations.push(Violation::BadDate(date.to_string()));
+    }
+    if !violations.is_empty() {
+        return Err(violations);
+    }
+    Ok(DrsId {
+        activity: parts[0].into(),
+        product: parts[1].into(),
+        variable: parts[2].into(),
+        resolution: parts[3].into(),
+        version: parts[4].into(),
+        date: parts[5].into(),
+    })
+}
+
+/// Attributes a DRS-compliant dataset must carry.
+pub const REQUIRED_ATTRIBUTES: &[&str] = &["title", "institution", "product_version"];
+
+/// Validate a dataset against its DRS identifier.
+pub fn validate(id: &str, ds: &Dataset) -> Vec<Violation> {
+    let drs = match parse_id(id) {
+        Ok(d) => d,
+        Err(v) => return v,
+    };
+    let mut violations = Vec::new();
+    // The named variable must exist (case-insensitively: LAI vs lai).
+    if !ds
+        .variables
+        .iter()
+        .any(|v| v.name.eq_ignore_ascii_case(&drs.variable))
+    {
+        violations.push(Violation::MissingVariable(drs.variable.clone()));
+    }
+    for attr in REQUIRED_ATTRIBUTES {
+        if !ds.attributes.contains_key(*attr) {
+            violations.push(Violation::MissingAttribute(attr));
+        }
+    }
+    // product_version must agree with the version facet.
+    if let Some(AttrValue::Text(actual)) = ds.attributes.get("product_version") {
+        if actual != &drs.version {
+            violations.push(Violation::AttributeMismatch {
+                attribute: "product_version",
+                expected: drs.version.clone(),
+                actual: actual.clone(),
+            });
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use applab_array::{NdArray, Variable};
+
+    fn compliant_dataset() -> Dataset {
+        let mut ds = Dataset::new("cgls.land.lai.300m.v2.2017-06-15");
+        ds.set_attr("title", "CGLS LAI 300m");
+        ds.set_attr("institution", "VITO");
+        ds.set_attr("product_version", "v2");
+        ds.add_dim("time", 1);
+        ds.add_variable(Variable::new(
+            "LAI",
+            vec!["time".into()],
+            NdArray::zeros(vec![1]),
+        ))
+        .unwrap();
+        ds
+    }
+
+    #[test]
+    fn valid_id_parses() {
+        let id = parse_id("cgls.land.lai.300m.v2.2017-06-15").unwrap();
+        assert_eq!(id.variable, "lai");
+        assert_eq!(id.to_id(), "cgls.land.lai.300m.v2.2017-06-15");
+    }
+
+    #[test]
+    fn facet_count_enforced() {
+        assert_eq!(
+            parse_id("cgls.land.lai").unwrap_err(),
+            vec![Violation::BadFacetCount(3)]
+        );
+    }
+
+    #[test]
+    fn bad_facets_reported_together() {
+        let violations = parse_id("CGLS.land.lai.300m.2.2017-6-15").unwrap_err();
+        assert!(violations.iter().any(|v| matches!(v, Violation::BadFacet { facet: "activity", .. })));
+        assert!(violations.iter().any(|v| matches!(v, Violation::BadVersion(_))));
+        assert!(violations.iter().any(|v| matches!(v, Violation::BadDate(_))));
+    }
+
+    #[test]
+    fn compliant_dataset_passes() {
+        let ds = compliant_dataset();
+        assert!(validate("cgls.land.lai.300m.v2.2017-06-15", &ds).is_empty());
+    }
+
+    #[test]
+    fn missing_variable_and_attrs_flagged() {
+        let mut ds = compliant_dataset();
+        ds.variables.clear();
+        ds.attributes.remove("institution");
+        let violations = validate("cgls.land.lai.300m.v2.2017-06-15", &ds);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::MissingVariable(_))));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::MissingAttribute("institution"))));
+    }
+
+    #[test]
+    fn version_mismatch_flagged() {
+        let mut ds = compliant_dataset();
+        ds.set_attr("product_version", "v1");
+        let violations = validate("cgls.land.lai.300m.v2.2017-06-15", &ds);
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            Violation::AttributeMismatch {
+                attribute: "product_version",
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn violations_display() {
+        for v in validate("x.y", &compliant_dataset()) {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

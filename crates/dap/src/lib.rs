@@ -1,0 +1,57 @@
+//! An OPeNDAP-like data access protocol.
+//!
+//! Reproduces the DAP machinery the App Lab architecture depends on
+//! (Section 3.1 and Figure 1, right workflow):
+//!
+//! * [`dds`] — the Dataset Descriptor Structure (structure metadata);
+//! * [`das`] — the Dataset Attribute Structure (attribute metadata);
+//! * [`constraint`] — DAP constraint expressions (`LAI[0:10][5][5],time`);
+//! * [`dods`] — the binary data response encoding;
+//! * [`server`]/[`client`] — an in-process server and its client,
+//!   connected through a [`transport`] that simulates WAN latency and
+//!   bandwidth (this is what lets bench B1 reproduce the
+//!   "two orders of magnitude" on-the-fly vs materialized gap);
+//! * [`drs`] — the "DRS-validator" command-line tool of Section 3.1;
+//! * [`ncml_service`] — the NcML service joining DAS + DDS in one document.
+
+pub mod client;
+pub mod clock;
+pub mod constraint;
+pub mod das;
+pub mod dds;
+pub mod dods;
+pub mod drs;
+pub mod ncml_service;
+pub mod server;
+pub mod transport;
+
+pub use client::DapClient;
+pub use constraint::Constraint;
+pub use server::DapServer;
+pub use transport::{SimulatedWan, Transport};
+
+/// Errors across the DAP stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DapError {
+    /// The requested dataset is not in the server catalog.
+    NoSuchDataset(String),
+    /// The requested variable does not exist.
+    NoSuchVariable(String),
+    /// Bad constraint expression.
+    Constraint(String),
+    /// Malformed wire payload.
+    Wire(String),
+}
+
+impl std::fmt::Display for DapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DapError::NoSuchDataset(d) => write!(f, "no such dataset: {d}"),
+            DapError::NoSuchVariable(v) => write!(f, "no such variable: {v}"),
+            DapError::Constraint(m) => write!(f, "bad constraint: {m}"),
+            DapError::Wire(m) => write!(f, "wire format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DapError {}

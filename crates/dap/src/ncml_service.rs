@@ -1,0 +1,148 @@
+//! The NcML interface service.
+//!
+//! Section 3.1: "For communicating metadata, we use the NetCDF Markup
+//! Language (NcML) interface service. This extends a dataset's OPeNDAP
+//! Dataset Attribute Structure (DAS) and Dataset Descriptor Structure (DDS)
+//! into a single XML-formatted document. ... The returned document may
+//! include information about both the data server itself (such as server
+//! functions implemented), and the metadata and dataset referenced in the
+//! URL."
+
+use crate::server::DapServer;
+use crate::{das, dds, DapError};
+use applab_array::AttrValue;
+use std::fmt::Write;
+
+/// Server capabilities advertised in every NcML response.
+pub const SERVER_FUNCTIONS: &[&str] = &["dds", "das", "dods", "subset", "ncml"];
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Render the joined NcML document for a dataset.
+pub fn render(server: &DapServer, dataset: &str, token: Option<&str>) -> Result<String, DapError> {
+    let dds_doc = dds::parse(&server.dds(dataset, token)?)?;
+    let das_doc = das::parse(&server.das(dataset, token)?)?;
+
+    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    let _ = writeln!(
+        out,
+        "<netcdf xmlns=\"http://www.unidata.ucar.edu/namespaces/netcdf/ncml-2.2\" location=\"{}\">",
+        xml_escape(dataset)
+    );
+    let _ = writeln!(
+        out,
+        "  <serverFunctions>{}</serverFunctions>",
+        SERVER_FUNCTIONS.join(",")
+    );
+
+    // Global attributes.
+    if let Some(globals) = das_doc.get("NC_GLOBAL") {
+        for (name, value) in globals {
+            write_attr(&mut out, 1, name, value);
+        }
+    }
+
+    // Dimensions (collected from the DDS declarations).
+    let mut dims: Vec<(String, usize)> = Vec::new();
+    for v in &dds_doc.variables {
+        for (dim, len) in &v.dims {
+            if !dims.iter().any(|(d, _)| d == dim) {
+                dims.push((dim.clone(), *len));
+            }
+        }
+    }
+    for (dim, len) in &dims {
+        let _ = writeln!(
+            out,
+            "  <dimension name=\"{}\" length=\"{len}\"/>",
+            xml_escape(dim)
+        );
+    }
+
+    // Variables with their shapes and attributes.
+    for v in &dds_doc.variables {
+        let shape = v
+            .dims
+            .iter()
+            .map(|(d, _)| d.as_str())
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(
+            out,
+            "  <variable name=\"{}\" shape=\"{}\" type=\"double\">",
+            xml_escape(&v.name),
+            xml_escape(&shape)
+        );
+        if let Some(attrs) = das_doc.get(&v.name) {
+            for (name, value) in attrs {
+                write_attr(&mut out, 2, name, value);
+            }
+        }
+        out.push_str("  </variable>\n");
+    }
+    out.push_str("</netcdf>\n");
+    Ok(out)
+}
+
+fn write_attr(out: &mut String, indent: usize, name: &str, value: &AttrValue) {
+    let pad = "  ".repeat(indent);
+    let (ty, val) = match value {
+        AttrValue::Text(t) => ("String", xml_escape(t)),
+        AttrValue::Number(n) => ("double", n.to_string()),
+        AttrValue::Numbers(ns) => (
+            "double",
+            ns.iter().map(f64::to_string).collect::<Vec<_>>().join(" "),
+        ),
+    };
+    let _ = writeln!(
+        out,
+        "{pad}<attribute name=\"{}\" type=\"{ty}\" value=\"{val}\"/>",
+        xml_escape(name)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::grid_dataset;
+
+    #[test]
+    fn document_contains_everything() {
+        let server = DapServer::new();
+        server.publish(grid_dataset(
+            "lai",
+            &[0.0],
+            &[48.0],
+            &[2.0],
+            |_, _, _| 1.0,
+        ));
+        let doc = render(&server, "lai", None).unwrap();
+        assert!(doc.starts_with("<?xml"));
+        assert!(doc.contains("<serverFunctions>dds,das,dods,subset,ncml</serverFunctions>"));
+        assert!(doc.contains("<dimension name=\"time\" length=\"1\"/>"));
+        assert!(doc.contains("<variable name=\"LAI\" shape=\"time lat lon\""));
+        assert!(doc.contains("attribute name=\"units\""));
+        assert!(doc.contains("</netcdf>"));
+    }
+
+    #[test]
+    fn escaping() {
+        let server = DapServer::new();
+        let mut ds = grid_dataset("weird", &[0.0], &[48.0], &[2.0], |_, _, _| 1.0);
+        ds.set_attr("summary", "a < b & \"c\"");
+        server.publish(ds);
+        let doc = render(&server, "weird", None).unwrap();
+        assert!(doc.contains("a &lt; b &amp; &quot;c&quot;"));
+    }
+
+    #[test]
+    fn missing_dataset_errors() {
+        let server = DapServer::new();
+        assert!(render(&server, "nope", None).is_err());
+    }
+}

@@ -1,0 +1,181 @@
+//! Entity-resolution workloads for the interlinking benches.
+//!
+//! Produces two RDF graphs describing the same places with perturbed names
+//! and positions (as when interlinking CORINE areas with OpenStreetMap),
+//! plus the ground-truth match set for recall measurements.
+
+use applab_rdf::{vocab, Graph, Literal, NamedNode, Resource, Term};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated workload: two graphs plus ground truth (left IRI, right IRI).
+#[derive(Debug, Clone)]
+pub struct ErWorkload {
+    pub left: Graph,
+    pub right: Graph,
+    pub truth: Vec<(String, String)>,
+}
+
+const PLACE_WORDS: &[&str] = &[
+    "parc", "jardin", "bois", "square", "place", "promenade", "esplanade", "butte",
+];
+const NAME_WORDS: &[&str] = &[
+    "saint", "martin", "victor", "hugo", "royal", "nord", "sud", "grand", "petit", "vert",
+    "fleur", "roi", "reine", "pont", "mont",
+];
+
+fn place_name(rng: &mut StdRng, i: usize) -> String {
+    format!(
+        "{} {} {} {}",
+        PLACE_WORDS[rng.gen_range(0..PLACE_WORDS.len())],
+        NAME_WORDS[rng.gen_range(0..NAME_WORDS.len())],
+        NAME_WORDS[rng.gen_range(0..NAME_WORDS.len())],
+        i
+    )
+}
+
+/// Introduce a typo: swap two adjacent characters.
+fn perturb_name(rng: &mut StdRng, name: &str) -> String {
+    let mut chars: Vec<char> = name.chars().collect();
+    if chars.len() >= 4 {
+        let i = rng.gen_range(0..chars.len() - 1);
+        chars.swap(i, i + 1);
+    }
+    chars.into_iter().collect()
+}
+
+fn add_place(graph: &mut Graph, iri: &str, name: &str, x: f64, y: f64) {
+    let s = Resource::named(iri);
+    let g = Resource::named(format!("{iri}/geom"));
+    graph.add(
+        s.clone(),
+        NamedNode::new(vocab::rdf::TYPE),
+        Term::named(vocab::osm::POI),
+    );
+    graph.add(
+        s.clone(),
+        NamedNode::new(vocab::osm::HAS_NAME),
+        Literal::string(name),
+    );
+    graph.add(
+        s,
+        NamedNode::new(vocab::geo::HAS_GEOMETRY),
+        Term::named(format!("{iri}/geom")),
+    );
+    graph.add(
+        g,
+        NamedNode::new(vocab::geo::AS_WKT),
+        Literal::wkt(format!("POINT ({x} {y})")),
+    );
+}
+
+/// Generate a workload of `n` true matches plus `n/2` distractors per side.
+pub fn workload(seed: u64, n: usize) -> ErWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut left = Graph::new();
+    let mut right = Graph::new();
+    let mut truth = Vec::with_capacity(n);
+    for i in 0..n {
+        let name = place_name(&mut rng, i);
+        let x = rng.gen_range(2.0..2.6);
+        let y = rng.gen_range(48.7..49.0);
+        let li = format!("http://left.example.org/place/{i}");
+        let ri = format!("http://right.example.org/place/{i}");
+        add_place(&mut left, &li, &name, x, y);
+        let typo = perturb_name(&mut rng, &name);
+        add_place(
+            &mut right,
+            &ri,
+            &typo,
+            x + rng.gen_range(-0.002..0.002),
+            y + rng.gen_range(-0.002..0.002),
+        );
+        truth.push((li, ri));
+    }
+    // Distractors: unmatched entities on both sides.
+    for i in 0..n / 2 {
+        let name = place_name(&mut rng, n + i);
+        add_place(
+            &mut left,
+            &format!("http://left.example.org/only/{i}"),
+            &name,
+            rng.gen_range(2.0..2.6),
+            rng.gen_range(48.7..49.0),
+        );
+        let name = place_name(&mut rng, 2 * n + i);
+        add_place(
+            &mut right,
+            &format!("http://right.example.org/only/{i}"),
+            &name,
+            rng.gen_range(2.0..2.6),
+            rng.gen_range(48.7..49.0),
+        );
+    }
+    ErWorkload { left, right, truth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_determinism() {
+        let w = workload(5, 20);
+        assert_eq!(w.truth.len(), 20);
+        // 30 entities per side, 4 triples each.
+        assert_eq!(w.left.len(), 30 * 4);
+        assert_eq!(w.right.len(), 30 * 4);
+        let w2 = workload(5, 20);
+        assert_eq!(w.truth, w2.truth);
+        assert_eq!(w.left.len(), w2.left.len());
+    }
+
+    #[test]
+    fn perturbation_is_small() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let name = "parc saint martin 4";
+        let typo = perturb_name(&mut rng, name);
+        assert_eq!(name.len(), typo.len());
+        // Levenshtein distance ≤ 2 (one adjacent swap).
+        let d = applab_link::similarity::levenshtein(name, &typo);
+        assert!(d <= 2);
+    }
+
+    #[test]
+    fn workload_is_linkable() {
+        use applab_link::{discover_links, Comparison, Entity, LinkRule};
+        let w = workload(9, 30);
+        let left = Entity::all_from_graph(&w.left);
+        let right = Entity::all_from_graph(&w.right);
+        // Entities include the geometry nodes as subjects; filter to POIs
+        // (those with names).
+        let left: Vec<Entity> = left.into_iter().filter(|e| e.name.is_some()).collect();
+        let right: Vec<Entity> = right.into_iter().filter(|e| e.name.is_some()).collect();
+        let rule = LinkRule::same_as(
+            vec![
+                (Comparison::NameLevenshtein, 0.6),
+                (Comparison::SpatialProximity { max_distance: 0.05 }, 0.4),
+            ],
+            0.8,
+        );
+        let result = discover_links(&left, &right, &rule);
+        // Recall over ground truth should be high.
+        let found: std::collections::HashSet<(String, String)> = result
+            .links
+            .iter()
+            .map(|l| {
+                (
+                    l.left.as_named().unwrap().as_str().to_string(),
+                    l.right.as_named().unwrap().as_str().to_string(),
+                )
+            })
+            .collect();
+        let recall = w
+            .truth
+            .iter()
+            .filter(|(a, b)| found.contains(&(a.clone(), b.clone())))
+            .count() as f64
+            / w.truth.len() as f64;
+        assert!(recall >= 0.8, "recall {recall}");
+    }
+}

@@ -1,0 +1,30 @@
+//! Synthetic Copernicus / OSM / GADM / CORINE / Urban Atlas data.
+//!
+//! The paper's datasets (Section 4) are real Copernicus products and open
+//! geodata. This crate generates deterministic synthetic equivalents with
+//! the same schemas and realistic statistical structure (DESIGN.md §2):
+//!
+//! * [`world`] — a synthetic city region: administrative units (GADM),
+//!   CORINE land-cover areas, Urban Atlas areas, and OSM points of
+//!   interest, all spatially consistent (parks sit on green land cover);
+//! * [`grids`] — LAI/NDVI/Burnt-Area gridded products whose values depend
+//!   on the underlying land cover plus seasonality and noise — so the
+//!   paper's Figure 4 observation ("areas belonging to
+//!   `clc:greenUrbanAreas` ... show higher LAI values over time than
+//!   industrial areas") holds by construction *of the mechanism* (green
+//!   pixels grow more leaf area), not by construction of the answer;
+//! * [`paris`] — the fixed-seed "greenness of Paris" case-study fixture,
+//!   including the Bois de Boulogne;
+//! * [`er`] — dirty entity-resolution workloads for the interlinking
+//!   benches;
+//! * [`mappings`] — the GeoTriples mapping documents for all four vector
+//!   datasets.
+
+pub mod er;
+pub mod grids;
+pub mod mappings;
+pub mod paris;
+pub mod world;
+
+pub use paris::ParisFixture;
+pub use world::World;

@@ -1,0 +1,87 @@
+//! GeoTriples mapping documents for the synthetic vector datasets.
+//!
+//! These encode the ontologies of Section 4 (Figures 2 and 3 plus the
+//! CORINE, Urban Atlas and OSM ontologies) as transformation targets.
+
+/// OSM POIs → `osm:` (the `osm:poiType osm:park` shape Listing 1 queries).
+pub const OSM_MAPPING: &str = r#"
+mappingId osm_pois
+target osm:poi_{id} a osm:PointOfInterest ;
+       osm:poiType osm:{kind} ;
+       osm:hasName {name}^^xsd:string ;
+       geo:hasGeometry osm:geom_{id} .
+       osm:geom_{id} geo:asWKT {geometry}^^geo:wktLiteral .
+source SELECT * FROM osm
+"#;
+
+/// GADM units → `gadm:` (Figure 3).
+pub const GADM_MAPPING: &str = r#"
+mappingId gadm_units
+target gadm:unit_{id} a gadm:AdministrativeUnit ;
+       gadm:hasName {name}^^xsd:string ;
+       gadm:hasLevel {level}^^xsd:integer ;
+       gadm:hasCountry {country}^^xsd:string ;
+       geo:hasGeometry gadm:geom_{id} .
+       gadm:geom_{id} geo:asWKT {geometry}^^geo:wktLiteral .
+source SELECT * FROM gadm
+"#;
+
+/// CORINE areas → `clc:` (the CorineArea/hasCorineValue shape of
+/// Section 4).
+pub const CORINE_MAPPING: &str = r#"
+mappingId corine_areas
+target clc:area_{id} a clc:CorineArea ;
+       clc:hasCorineValue <{class}> ;
+       clc:hasCode {code}^^xsd:integer ;
+       geo:hasGeometry clc:geom_{id} .
+       clc:geom_{id} geo:asWKT {geometry}^^geo:wktLiteral .
+source SELECT * FROM corine
+"#;
+
+/// Urban Atlas areas → `ua:`.
+pub const URBAN_ATLAS_MAPPING: &str = r#"
+mappingId ua_areas
+target ua:area_{id} a ua:UrbanAtlasArea ;
+       ua:hasClass <{class}> ;
+       ua:hasPopulation {population}^^xsd:integer ;
+       geo:hasGeometry ua:geom_{id} .
+       ua:geom_{id} geo:asWKT {geometry}^^geo:wktLiteral .
+source SELECT * FROM urban_atlas
+"#;
+
+/// Listing 2 of the paper, for a server-published dataset name.
+pub fn opendap_lai_mapping(dataset: &str, window_minutes: u64) -> String {
+    format!(
+        r#"
+mappingId opendap_mapping
+target lai:{{id}} rdf:type lai:Observation .
+       lai:{{id}} lai:hasLai {{LAI}}^^xsd:float ;
+       time:hasTime {{ts}}^^xsd:dateTime .
+       lai:{{id}} geo:hasGeometry _:g_{{id}} .
+       _:g_{{id}} geo:asWKT {{loc}}^^geo:wktLiteral .
+source SELECT id, LAI, ts, loc FROM (ordered opendap url:https://analytics.ramani.ujuizi.com/thredds/dodsC/{dataset}/readdods/LAI/, {window_minutes}) WHERE LAI > 0
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use applab_geotriples::parse_mappings;
+
+    #[test]
+    fn all_mappings_parse() {
+        for doc in [
+            super::OSM_MAPPING,
+            super::GADM_MAPPING,
+            super::CORINE_MAPPING,
+            super::URBAN_ATLAS_MAPPING,
+        ] {
+            let ms = parse_mappings(doc).expect(doc);
+            assert_eq!(ms.len(), 1);
+            assert!(ms[0].target.len() >= 4);
+        }
+        let lai = super::opendap_lai_mapping("lai_300m", 10);
+        let ms = parse_mappings(&lai).unwrap();
+        assert!(ms[0].source.contains("opendap"));
+    }
+}

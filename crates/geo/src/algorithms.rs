@@ -1,0 +1,538 @@
+//! Measurement and construction algorithms over geometries.
+
+use crate::coord::Coord;
+use crate::geometry::{Geometry, LineString, Polygon};
+
+/// Twice the signed area of the triangle (a, b, c). Positive when the turn
+/// a→b→c is counter-clockwise. This is the orientation kernel every predicate
+/// in this crate is built on.
+#[inline]
+pub fn cross(a: Coord, b: Coord, c: Coord) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// Signed area of a ring by the shoelace formula (positive when
+/// counter-clockwise). The ring may be open or closed.
+pub fn signed_ring_area(ring: &[Coord]) -> f64 {
+    if ring.len() < 3 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    let n = ring.len();
+    for i in 0..n {
+        let a = ring[i];
+        let b = ring[(i + 1) % n];
+        sum += a.x * b.y - b.x * a.y;
+    }
+    sum / 2.0
+}
+
+/// Unsigned area of a polygon (exterior minus holes).
+pub fn polygon_area(p: &Polygon) -> f64 {
+    let mut a = signed_ring_area(p.exterior.coords()).abs();
+    for hole in &p.interiors {
+        a -= signed_ring_area(hole.coords()).abs();
+    }
+    a.max(0.0)
+}
+
+/// Unsigned area of any geometry (0 for points and lines).
+pub fn area(g: &Geometry) -> f64 {
+    match g {
+        Geometry::Polygon(p) => polygon_area(p),
+        Geometry::MultiPolygon(ps) => ps.iter().map(polygon_area).sum(),
+        Geometry::GeometryCollection(gs) => gs.iter().map(area).sum(),
+        _ => 0.0,
+    }
+}
+
+/// Total length of the linear components of a geometry (perimeters are *not*
+/// counted for polygons, matching the OGC `geof:length` behaviour on lines).
+pub fn length(g: &Geometry) -> f64 {
+    match g {
+        Geometry::LineString(ls) => line_length(ls),
+        Geometry::MultiLineString(ls) => ls.iter().map(line_length).sum(),
+        Geometry::GeometryCollection(gs) => gs.iter().map(length).sum(),
+        _ => 0.0,
+    }
+}
+
+fn line_length(ls: &LineString) -> f64 {
+    ls.segments().map(|(a, b)| a.distance(&b)).sum()
+}
+
+/// Centroid of a geometry. Polygons use the area-weighted centroid; lines use
+/// the length-weighted midpoint; points average. Mixed collections use the
+/// highest-dimension members (matching JTS semantics closely enough for the
+/// visualization layer). Returns `None` for empty geometries.
+pub fn centroid(g: &Geometry) -> Option<Coord> {
+    let dim = g.dimension();
+    let mut acc_x = 0.0;
+    let mut acc_y = 0.0;
+    let mut weight = 0.0;
+    let mut count = 0usize;
+    for part in g.parts() {
+        if part.dimension() != dim || part.is_empty() {
+            continue;
+        }
+        match &part {
+            Geometry::Point(p) => {
+                acc_x += p.x();
+                acc_y += p.y();
+                weight += 1.0;
+                count += 1;
+            }
+            Geometry::LineString(ls) => {
+                for (a, b) in ls.segments() {
+                    let len = a.distance(&b);
+                    acc_x += (a.x + b.x) / 2.0 * len;
+                    acc_y += (a.y + b.y) / 2.0 * len;
+                    weight += len;
+                    count += 1;
+                }
+            }
+            Geometry::Polygon(p) => {
+                let (cx, cy, a) = ring_centroid(p.exterior.coords());
+                acc_x += cx * a.abs();
+                acc_y += cy * a.abs();
+                let mut w = a.abs();
+                for hole in &p.interiors {
+                    let (hx, hy, ha) = ring_centroid(hole.coords());
+                    acc_x -= hx * ha.abs();
+                    acc_y -= hy * ha.abs();
+                    w -= ha.abs();
+                }
+                weight += w;
+                count += 1;
+            }
+            _ => unreachable!("parts() yields primitives only"),
+        }
+    }
+    if count == 0 {
+        return None;
+    }
+    if weight.abs() < f64::EPSILON {
+        // Degenerate (zero-area polygon / zero-length line): average coords.
+        let coords = g.coords();
+        if coords.is_empty() {
+            return None;
+        }
+        let n = coords.len() as f64;
+        return Some(Coord::new(
+            coords.iter().map(|c| c.x).sum::<f64>() / n,
+            coords.iter().map(|c| c.y).sum::<f64>() / n,
+        ));
+    }
+    Some(Coord::new(acc_x / weight, acc_y / weight))
+}
+
+/// Centroid and signed area of a ring.
+fn ring_centroid(ring: &[Coord]) -> (f64, f64, f64) {
+    let a = signed_ring_area(ring);
+    if ring.len() < 3 || a.abs() < f64::EPSILON {
+        return (0.0, 0.0, 0.0);
+    }
+    let mut cx = 0.0;
+    let mut cy = 0.0;
+    let n = ring.len();
+    for i in 0..n {
+        let p = ring[i];
+        let q = ring[(i + 1) % n];
+        let f = p.x * q.y - q.x * p.y;
+        cx += (p.x + q.x) * f;
+        cy += (p.y + q.y) * f;
+    }
+    (cx / (6.0 * a), cy / (6.0 * a), a)
+}
+
+/// Distance from a point to a segment.
+pub fn point_segment_distance(p: Coord, a: Coord, b: Coord) -> f64 {
+    let len_sq = a.distance_sq(&b);
+    if len_sq == 0.0 {
+        return p.distance(&a);
+    }
+    let t = (((p.x - a.x) * (b.x - a.x) + (p.y - a.y) * (b.y - a.y)) / len_sq).clamp(0.0, 1.0);
+    let proj = Coord::new(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y));
+    p.distance(&proj)
+}
+
+/// Do segments (p1,p2) and (q1,q2) intersect (including endpoints and
+/// collinear overlap)?
+pub fn segments_intersect(p1: Coord, p2: Coord, q1: Coord, q2: Coord) -> bool {
+    let d1 = cross(q1, q2, p1);
+    let d2 = cross(q1, q2, p2);
+    let d3 = cross(p1, p2, q1);
+    let d4 = cross(p1, p2, q2);
+    if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+    {
+        return true;
+    }
+    (d1 == 0.0 && on_segment(q1, q2, p1))
+        || (d2 == 0.0 && on_segment(q1, q2, p2))
+        || (d3 == 0.0 && on_segment(p1, p2, q1))
+        || (d4 == 0.0 && on_segment(p1, p2, q2))
+}
+
+/// Is `p` (already known collinear with a–b) within the segment's bbox?
+fn on_segment(a: Coord, b: Coord, p: Coord) -> bool {
+    p.x >= a.x.min(b.x) && p.x <= a.x.max(b.x) && p.y >= a.y.min(b.y) && p.y <= a.y.max(b.y)
+}
+
+/// Minimum distance between two segments.
+pub fn segment_segment_distance(p1: Coord, p2: Coord, q1: Coord, q2: Coord) -> f64 {
+    if segments_intersect(p1, p2, q1, q2) {
+        return 0.0;
+    }
+    point_segment_distance(p1, q1, q2)
+        .min(point_segment_distance(p2, q1, q2))
+        .min(point_segment_distance(q1, p1, p2))
+        .min(point_segment_distance(q2, p1, p2))
+}
+
+/// Where is `p` relative to `ring`? Ray-casting with boundary detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingPosition {
+    Inside,
+    Boundary,
+    Outside,
+}
+
+/// Locate a point relative to a ring (the ring may be open or closed; the
+/// closing segment is implied).
+pub fn locate_in_ring(p: Coord, ring: &[Coord]) -> RingPosition {
+    if ring.len() < 3 {
+        return RingPosition::Outside;
+    }
+    let n = ring.len();
+    let mut inside = false;
+    for i in 0..n {
+        let a = ring[i];
+        let b = ring[(i + 1) % n];
+        if a.coincides(&b) {
+            continue;
+        }
+        // Boundary check.
+        if cross(a, b, p) == 0.0 && on_segment(a, b, p) {
+            return RingPosition::Boundary;
+        }
+        // Ray casting to the right of p.
+        if (a.y > p.y) != (b.y > p.y) {
+            let x_at = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+            if x_at > p.x {
+                inside = !inside;
+            }
+        }
+    }
+    if inside {
+        RingPosition::Inside
+    } else {
+        RingPosition::Outside
+    }
+}
+
+/// Locate a point relative to a polygon (holes excluded from the interior).
+pub fn locate_in_polygon(p: Coord, poly: &Polygon) -> RingPosition {
+    match locate_in_ring(p, poly.exterior.coords()) {
+        RingPosition::Outside => RingPosition::Outside,
+        RingPosition::Boundary => RingPosition::Boundary,
+        RingPosition::Inside => {
+            for hole in &poly.interiors {
+                match locate_in_ring(p, hole.coords()) {
+                    RingPosition::Inside => return RingPosition::Outside,
+                    RingPosition::Boundary => return RingPosition::Boundary,
+                    RingPosition::Outside => {}
+                }
+            }
+            RingPosition::Inside
+        }
+    }
+}
+
+/// Is the point strictly inside or on the boundary of the polygon?
+pub fn polygon_covers_point(poly: &Polygon, p: Coord) -> bool {
+    locate_in_polygon(p, poly) != RingPosition::Outside
+}
+
+/// Minimum distance between two geometries (0 when they intersect).
+pub fn distance(a: &Geometry, b: &Geometry) -> f64 {
+    if crate::relate::intersects(a, b) {
+        return 0.0;
+    }
+    let mut best = f64::INFINITY;
+    for pa in a.parts() {
+        for pb in b.parts() {
+            best = best.min(primitive_distance(&pa, &pb));
+            if best == 0.0 {
+                return 0.0;
+            }
+        }
+    }
+    best
+}
+
+fn boundary_segments(g: &Geometry) -> Vec<(Coord, Coord)> {
+    match g {
+        Geometry::LineString(ls) => ls.segments().collect(),
+        Geometry::Polygon(p) => p.rings().flat_map(LineString::segments).collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn primitive_distance(a: &Geometry, b: &Geometry) -> f64 {
+    match (a, b) {
+        (Geometry::Point(p), Geometry::Point(q)) => p.coord().distance(&q.coord()),
+        (Geometry::Point(p), other) | (other, Geometry::Point(p)) => {
+            point_to_boundary(p.coord(), other)
+        }
+        _ => {
+            let sa = boundary_segments(a);
+            let sb = boundary_segments(b);
+            let mut best = f64::INFINITY;
+            for &(a1, a2) in &sa {
+                for &(b1, b2) in &sb {
+                    best = best.min(segment_segment_distance(a1, a2, b1, b2));
+                }
+            }
+            best
+        }
+    }
+}
+
+fn point_to_boundary(p: Coord, g: &Geometry) -> f64 {
+    match g {
+        Geometry::Polygon(poly) if polygon_covers_point(poly, p) => 0.0,
+        _ => boundary_segments(g)
+            .iter()
+            .map(|&(a, b)| point_segment_distance(p, a, b))
+            .fold(f64::INFINITY, f64::min),
+    }
+}
+
+/// Convex hull (Andrew's monotone chain). Returns a closed polygon, or `None`
+/// when fewer than 3 distinct non-collinear points exist.
+pub fn convex_hull(g: &Geometry) -> Option<Polygon> {
+    let mut pts = g.coords();
+    pts.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap().then(a.y.partial_cmp(&b.y).unwrap()));
+    pts.dedup_by(|a, b| a.coincides(b));
+    if pts.len() < 3 {
+        return None;
+    }
+    let chain = |iter: &mut dyn Iterator<Item = Coord>| -> Vec<Coord> {
+        let mut out: Vec<Coord> = Vec::new();
+        for p in iter {
+            while out.len() >= 2 && cross(out[out.len() - 2], out[out.len() - 1], p) <= 0.0 {
+                out.pop();
+            }
+            out.push(p);
+        }
+        out
+    };
+    let lower = chain(&mut pts.iter().copied());
+    let upper = chain(&mut pts.iter().rev().copied());
+    // Drop each chain's last point (it is the other chain's first).
+    let mut ring: Vec<Coord> = Vec::with_capacity(lower.len() + upper.len());
+    ring.extend_from_slice(&lower[..lower.len() - 1]);
+    ring.extend_from_slice(&upper[..upper.len() - 1]);
+    if ring.len() < 3 {
+        return None;
+    }
+    let first = ring[0];
+    ring.push(first);
+    Some(Polygon::from_exterior(ring))
+}
+
+/// Douglas–Peucker line simplification with tolerance `eps`.
+pub fn simplify_line(coords: &[Coord], eps: f64) -> Vec<Coord> {
+    if coords.len() <= 2 {
+        return coords.to_vec();
+    }
+    let mut keep = vec![false; coords.len()];
+    keep[0] = true;
+    keep[coords.len() - 1] = true;
+    let mut stack = vec![(0usize, coords.len() - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let (mut max_d, mut max_i) = (0.0f64, lo + 1);
+        for i in (lo + 1)..hi {
+            let d = point_segment_distance(coords[i], coords[lo], coords[hi]);
+            if d > max_d {
+                max_d = d;
+                max_i = i;
+            }
+        }
+        if max_d > eps {
+            keep[max_i] = true;
+            stack.push((lo, max_i));
+            stack.push((max_i, hi));
+        }
+    }
+    coords
+        .iter()
+        .zip(keep)
+        .filter_map(|(c, k)| k.then_some(*c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+
+    #[test]
+    fn shoelace_square() {
+        let square = Polygon::rect(0.0, 0.0, 4.0, 4.0);
+        assert_eq!(polygon_area(&square), 16.0);
+        assert_eq!(area(&Geometry::Polygon(square)), 16.0);
+    }
+
+    #[test]
+    fn polygon_area_subtracts_holes() {
+        let mut p = Polygon::rect(0.0, 0.0, 10.0, 10.0);
+        p.interiors
+            .push(Polygon::rect(1.0, 1.0, 3.0, 3.0).exterior);
+        assert_eq!(polygon_area(&p), 100.0 - 4.0);
+    }
+
+    #[test]
+    fn line_length_works() {
+        let g = Geometry::LineString(LineString::new(vec![
+            Coord::new(0.0, 0.0),
+            Coord::new(3.0, 0.0),
+            Coord::new(3.0, 4.0),
+        ]));
+        assert_eq!(length(&g), 7.0);
+    }
+
+    #[test]
+    fn centroid_of_rect_is_center() {
+        let g = Geometry::rect(0.0, 0.0, 4.0, 2.0);
+        let c = centroid(&g).unwrap();
+        assert!((c.x - 2.0).abs() < 1e-12);
+        assert!((c.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid_of_points_is_mean() {
+        let g = Geometry::MultiPoint(vec![Point::new(0.0, 0.0), Point::new(2.0, 4.0)]);
+        let c = centroid(&g).unwrap();
+        assert_eq!((c.x, c.y), (1.0, 2.0));
+    }
+
+    #[test]
+    fn centroid_of_empty_is_none() {
+        assert!(centroid(&Geometry::MultiPoint(vec![])).is_none());
+    }
+
+    #[test]
+    fn point_in_ring() {
+        let ring = [
+            Coord::new(0.0, 0.0),
+            Coord::new(10.0, 0.0),
+            Coord::new(10.0, 10.0),
+            Coord::new(0.0, 10.0),
+            Coord::new(0.0, 0.0),
+        ];
+        assert_eq!(locate_in_ring(Coord::new(5.0, 5.0), &ring), RingPosition::Inside);
+        assert_eq!(locate_in_ring(Coord::new(15.0, 5.0), &ring), RingPosition::Outside);
+        assert_eq!(locate_in_ring(Coord::new(10.0, 5.0), &ring), RingPosition::Boundary);
+        assert_eq!(locate_in_ring(Coord::new(0.0, 0.0), &ring), RingPosition::Boundary);
+    }
+
+    #[test]
+    fn point_in_polygon_with_hole() {
+        let mut p = Polygon::rect(0.0, 0.0, 10.0, 10.0);
+        p.interiors
+            .push(Polygon::rect(4.0, 4.0, 6.0, 6.0).exterior);
+        assert_eq!(locate_in_polygon(Coord::new(5.0, 5.0), &p), RingPosition::Outside);
+        assert_eq!(locate_in_polygon(Coord::new(1.0, 1.0), &p), RingPosition::Inside);
+        assert_eq!(locate_in_polygon(Coord::new(4.0, 5.0), &p), RingPosition::Boundary);
+    }
+
+    #[test]
+    fn segment_intersection_cases() {
+        let o = Coord::new(0.0, 0.0);
+        assert!(segments_intersect(
+            o,
+            Coord::new(2.0, 2.0),
+            Coord::new(0.0, 2.0),
+            Coord::new(2.0, 0.0)
+        ));
+        // Shared endpoint.
+        assert!(segments_intersect(
+            o,
+            Coord::new(1.0, 1.0),
+            Coord::new(1.0, 1.0),
+            Coord::new(2.0, 0.0)
+        ));
+        // Collinear overlap.
+        assert!(segments_intersect(
+            o,
+            Coord::new(4.0, 0.0),
+            Coord::new(2.0, 0.0),
+            Coord::new(6.0, 0.0)
+        ));
+        // Parallel, disjoint.
+        assert!(!segments_intersect(
+            o,
+            Coord::new(4.0, 0.0),
+            Coord::new(0.0, 1.0),
+            Coord::new(4.0, 1.0)
+        ));
+    }
+
+    #[test]
+    fn distances() {
+        let a = Geometry::rect(0.0, 0.0, 1.0, 1.0);
+        let b = Geometry::rect(3.0, 0.0, 4.0, 1.0);
+        assert_eq!(distance(&a, &b), 2.0);
+        let p = Geometry::point(0.5, 0.5);
+        assert_eq!(distance(&a, &p), 0.0); // point inside polygon
+        let q = Geometry::point(1.0, 2.0);
+        assert_eq!(distance(&a, &q), 1.0);
+    }
+
+    #[test]
+    fn hull_of_square_plus_inner_point() {
+        let g = Geometry::MultiPoint(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+            Point::new(2.0, 2.0),
+        ]);
+        let hull = convex_hull(&g).unwrap();
+        assert_eq!(polygon_area(&hull), 16.0);
+        assert_eq!(hull.exterior.len(), 5); // 4 corners + closing coord
+    }
+
+    #[test]
+    fn hull_of_collinear_is_none() {
+        let g = Geometry::MultiPoint(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+        ]);
+        assert!(convex_hull(&g).is_none());
+    }
+
+    #[test]
+    fn simplify_collinear_run() {
+        let line: Vec<Coord> = (0..10).map(|i| Coord::new(i as f64, 0.0)).collect();
+        let simplified = simplify_line(&line, 0.01);
+        assert_eq!(simplified.len(), 2);
+    }
+
+    #[test]
+    fn simplify_keeps_spikes() {
+        let line = vec![
+            Coord::new(0.0, 0.0),
+            Coord::new(5.0, 5.0),
+            Coord::new(10.0, 0.0),
+        ];
+        let simplified = simplify_line(&line, 1.0);
+        assert_eq!(simplified.len(), 3);
+    }
+}

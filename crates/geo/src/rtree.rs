@@ -1,0 +1,510 @@
+//! An R-tree spatial index.
+//!
+//! Supports incremental insertion (quadratic-ish split with a linear seed
+//! pick) and STR bulk loading. This is the index behind both the Strabon-like
+//! store's geometry column and the OBDA engine's relational access path —
+//! the asymmetry the Geographica reproduction (bench B2/B3) measures is
+//! exactly "R-tree probe vs full scan".
+
+use crate::coord::{Coord, Envelope};
+
+const MAX_ENTRIES: usize = 16;
+const MIN_ENTRIES: usize = 4;
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    envelope: Envelope,
+    item: T,
+}
+
+#[derive(Debug, Clone)]
+enum Node<T> {
+    Leaf {
+        entries: Vec<Entry<T>>,
+    },
+    Inner {
+        children: Vec<(Envelope, Box<Node<T>>)>,
+    },
+}
+
+impl<T> Node<T> {
+    fn envelope(&self) -> Envelope {
+        match self {
+            Node::Leaf { entries } => {
+                let mut e = Envelope::EMPTY;
+                for en in entries {
+                    e.expand(&en.envelope);
+                }
+                e
+            }
+            Node::Inner { children } => {
+                let mut e = Envelope::EMPTY;
+                for (ce, _) in children {
+                    e.expand(ce);
+                }
+                e
+            }
+        }
+    }
+}
+
+/// An R-tree mapping envelopes to items of type `T`.
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+impl<T> Default for RTree<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> RTree<T> {
+    pub fn new() -> Self {
+        RTree {
+            root: Node::Leaf {
+                entries: Vec::new(),
+            },
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bulk load with Sort-Tile-Recursive packing. Much better tree quality
+    /// than repeated insertion for static datasets (all App Lab datasets are
+    /// bulk-loaded once).
+    pub fn bulk_load(mut items: Vec<(Envelope, T)>) -> Self {
+        let len = items.len();
+        if len == 0 {
+            return RTree::new();
+        }
+        // Sort by center-x, slice into vertical strips, sort each by center-y.
+        items.sort_by(|a, b| {
+            a.0.center()
+                .x
+                .partial_cmp(&b.0.center().x)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let leaf_count = len.div_ceil(MAX_ENTRIES);
+        let strip_count = (leaf_count as f64).sqrt().ceil() as usize;
+        let per_strip = len.div_ceil(strip_count);
+        let mut leaves: Vec<Node<T>> = Vec::with_capacity(leaf_count);
+        let mut items = items.into_iter().peekable();
+        while items.peek().is_some() {
+            let mut strip: Vec<(Envelope, T)> = Vec::with_capacity(per_strip);
+            for _ in 0..per_strip {
+                match items.next() {
+                    Some(it) => strip.push(it),
+                    None => break,
+                }
+            }
+            strip.sort_by(|a, b| {
+                a.0.center()
+                    .y
+                    .partial_cmp(&b.0.center().y)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut strip = strip.into_iter().peekable();
+            while strip.peek().is_some() {
+                let mut entries = Vec::with_capacity(MAX_ENTRIES);
+                for _ in 0..MAX_ENTRIES {
+                    match strip.next() {
+                        Some((envelope, item)) => entries.push(Entry { envelope, item }),
+                        None => break,
+                    }
+                }
+                leaves.push(Node::Leaf { entries });
+            }
+        }
+        // Pack upward.
+        let mut level = leaves;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(MAX_ENTRIES));
+            let mut children = Vec::with_capacity(MAX_ENTRIES);
+            for node in level {
+                children.push((node.envelope(), Box::new(node)));
+                if children.len() == MAX_ENTRIES {
+                    next.push(Node::Inner {
+                        children: std::mem::take(&mut children),
+                    });
+                }
+            }
+            if !children.is_empty() {
+                next.push(Node::Inner { children });
+            }
+            level = next;
+        }
+        RTree {
+            root: level.into_iter().next().unwrap(),
+            len,
+        }
+    }
+
+    /// Insert one item.
+    pub fn insert(&mut self, envelope: Envelope, item: T) {
+        self.len += 1;
+        if let Some((e1, n1, e2, n2)) = insert_rec(&mut self.root, envelope, item) {
+            // Root split: grow the tree.
+            let old = std::mem::replace(
+                &mut self.root,
+                Node::Inner {
+                    children: Vec::new(),
+                },
+            );
+            drop(old); // old root content already moved into n1/n2 by insert_rec
+            self.root = Node::Inner {
+                children: vec![(e1, n1), (e2, n2)],
+            };
+        }
+    }
+
+    /// All items whose envelope intersects `query`.
+    pub fn query<'a>(&'a self, query: &Envelope) -> Vec<&'a T> {
+        let mut out = Vec::new();
+        self.visit(query, &mut |item| out.push(item));
+        out
+    }
+
+    /// Visit every item whose envelope intersects `query`.
+    pub fn visit<'a>(&'a self, query: &Envelope, f: &mut dyn FnMut(&'a T)) {
+        visit_rec(&self.root, query, f);
+    }
+
+    /// All items whose envelope contains the coordinate.
+    pub fn query_point(&self, c: Coord) -> Vec<&T> {
+        self.query(&Envelope::of_coord(c))
+    }
+
+    /// Nearest item to `c` by envelope distance (branch-and-bound).
+    pub fn nearest(&self, c: Coord) -> Option<&T> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut best: Option<(f64, &T)> = None;
+        nearest_rec(&self.root, c, &mut best);
+        best.map(|(_, t)| t)
+    }
+}
+
+fn visit_rec<'a, T>(node: &'a Node<T>, query: &Envelope, f: &mut dyn FnMut(&'a T)) {
+    match node {
+        Node::Leaf { entries } => {
+            for e in entries {
+                if e.envelope.intersects(query) {
+                    f(&e.item);
+                }
+            }
+        }
+        Node::Inner { children } => {
+            for (ce, child) in children {
+                if ce.intersects(query) {
+                    visit_rec(child, query, f);
+                }
+            }
+        }
+    }
+}
+
+fn nearest_rec<'a, T>(node: &'a Node<T>, c: Coord, best: &mut Option<(f64, &'a T)>) {
+    let probe = Envelope::of_coord(c);
+    match node {
+        Node::Leaf { entries } => {
+            for e in entries {
+                let d = e.envelope.distance(&probe);
+                if best.map_or(true, |(bd, _)| d < bd) {
+                    *best = Some((d, &e.item));
+                }
+            }
+        }
+        Node::Inner { children } => {
+            let mut order: Vec<(f64, &Box<Node<T>>)> = children
+                .iter()
+                .map(|(ce, ch)| (ce.distance(&probe), ch))
+                .collect();
+            order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            for (d, child) in order {
+                if best.map_or(true, |(bd, _)| d < bd) {
+                    nearest_rec(child, c, best);
+                }
+            }
+        }
+    }
+}
+
+type Split<T> = (Envelope, Box<Node<T>>, Envelope, Box<Node<T>>);
+
+/// Recursive insert; returns Some(split) when the node had to split.
+fn insert_rec<T>(node: &mut Node<T>, envelope: Envelope, item: T) -> Option<Split<T>> {
+    match node {
+        Node::Leaf { entries } => {
+            entries.push(Entry { envelope, item });
+            if entries.len() <= MAX_ENTRIES {
+                return None;
+            }
+            let split_entries = std::mem::take(entries);
+            let (g1, g2) = split_entries_by_envelope(split_entries, |e| e.envelope);
+            let e1 = group_env(&g1, |e| e.envelope);
+            let e2 = group_env(&g2, |e| e.envelope);
+            *node = Node::Leaf { entries: g1 };
+            Some((
+                e1,
+                Box::new(std::mem::replace(node, Node::Leaf { entries: Vec::new() })),
+                e2,
+                Box::new(Node::Leaf { entries: g2 }),
+            ))
+        }
+        Node::Inner { children } => {
+            // Choose the child whose envelope needs the least enlargement.
+            let mut best_i = 0;
+            let mut best_delta = f64::INFINITY;
+            let mut best_area = f64::INFINITY;
+            for (i, (ce, _)) in children.iter().enumerate() {
+                let enlarged = ce.union(&envelope);
+                let delta = enlarged.area() - ce.area();
+                if delta < best_delta || (delta == best_delta && ce.area() < best_area) {
+                    best_delta = delta;
+                    best_area = ce.area();
+                    best_i = i;
+                }
+            }
+            let (ce, child) = &mut children[best_i];
+            if let Some((se1, sn1, se2, sn2)) = insert_rec(child, envelope, item) {
+                // Child split: replace it with the two halves.
+                children.remove(best_i);
+                children.push((se1, sn1));
+                children.push((se2, sn2));
+            } else {
+                *ce = ce.union(&envelope);
+            }
+            if children.len() <= MAX_ENTRIES {
+                return None;
+            }
+            let split_children = std::mem::take(children);
+            let (g1, g2) = split_entries_by_envelope(split_children, |c| c.0);
+            let e1 = group_env(&g1, |c| c.0);
+            let e2 = group_env(&g2, |c| c.0);
+            *node = Node::Inner { children: g1 };
+            Some((
+                e1,
+                Box::new(std::mem::replace(
+                    node,
+                    Node::Inner {
+                        children: Vec::new(),
+                    },
+                )),
+                e2,
+                Box::new(Node::Inner { children: g2 }),
+            ))
+        }
+    }
+}
+
+fn group_env<I>(group: &[I], env: impl Fn(&I) -> Envelope) -> Envelope {
+    let mut e = Envelope::EMPTY;
+    for i in group {
+        e.expand(&env(i));
+    }
+    e
+}
+
+/// Split entries into two groups using the classic linear seed pick: take the
+/// two entries farthest apart on the dominant axis as seeds, then assign each
+/// remaining entry to the group whose envelope grows least.
+fn split_entries_by_envelope<I>(items: Vec<I>, env: impl Fn(&I) -> Envelope) -> (Vec<I>, Vec<I>) {
+    debug_assert!(items.len() >= 2);
+    // Seed pick.
+    let mut lo_x = 0;
+    let mut hi_x = 0;
+    let mut lo_y = 0;
+    let mut hi_y = 0;
+    for (i, it) in items.iter().enumerate() {
+        let e = env(it);
+        if e.min_x < env(&items[lo_x]).min_x {
+            lo_x = i;
+        }
+        if e.max_x > env(&items[hi_x]).max_x {
+            hi_x = i;
+        }
+        if e.min_y < env(&items[lo_y]).min_y {
+            lo_y = i;
+        }
+        if e.max_y > env(&items[hi_y]).max_y {
+            hi_y = i;
+        }
+    }
+    let total = group_env(&items, &env);
+    let sep_x = if total.width() > 0.0 {
+        (env(&items[hi_x]).min_x - env(&items[lo_x]).max_x) / total.width()
+    } else {
+        0.0
+    };
+    let sep_y = if total.height() > 0.0 {
+        (env(&items[hi_y]).min_y - env(&items[lo_y]).max_y) / total.height()
+    } else {
+        0.0
+    };
+    let (mut s1, mut s2) = if sep_x >= sep_y {
+        (lo_x, hi_x)
+    } else {
+        (lo_y, hi_y)
+    };
+    if s1 == s2 {
+        s2 = if s1 == 0 { 1 } else { 0 };
+    }
+    if s1 > s2 {
+        std::mem::swap(&mut s1, &mut s2);
+    }
+
+    let mut g1: Vec<I> = Vec::with_capacity(items.len() / 2 + 1);
+    let mut g2: Vec<I> = Vec::with_capacity(items.len() / 2 + 1);
+    let mut e1 = Envelope::EMPTY;
+    let mut e2 = Envelope::EMPTY;
+    let n = items.len();
+    for (i, it) in items.into_iter().enumerate() {
+        let e = env(&it);
+        if i == s1 {
+            e1.expand(&e);
+            g1.push(it);
+        } else if i == s2 {
+            e2.expand(&e);
+            g2.push(it);
+        } else if g1.len() + (n - i) <= MIN_ENTRIES {
+            // Must fill g1 to satisfy the minimum.
+            e1.expand(&e);
+            g1.push(it);
+        } else if g2.len() + (n - i) <= MIN_ENTRIES {
+            e2.expand(&e);
+            g2.push(it);
+        } else {
+            let d1 = e1.union(&e).area() - e1.area();
+            let d2 = e2.union(&e).area() - e2.area();
+            if d1 <= d2 {
+                e1.expand(&e);
+                g1.push(it);
+            } else {
+                e2.expand(&e);
+                g2.push(it);
+            }
+        }
+    }
+    (g1, g2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(x: f64, y: f64) -> Envelope {
+        Envelope::new(x, y, x + 1.0, y + 1.0)
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut t = RTree::new();
+        for i in 0..100 {
+            let x = (i % 10) as f64 * 2.0;
+            let y = (i / 10) as f64 * 2.0;
+            t.insert(env(x, y), i);
+        }
+        assert_eq!(t.len(), 100);
+        let hits = t.query(&Envelope::new(0.0, 0.0, 3.0, 3.0));
+        // Cells at (0,0), (2,0), (0,2), (2,2) → items 0, 1, 10, 11.
+        let mut ids: Vec<i32> = hits.into_iter().copied().collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 10, 11]);
+    }
+
+    #[test]
+    fn bulk_load_matches_linear_scan() {
+        let items: Vec<(Envelope, usize)> = (0..500)
+            .map(|i| {
+                let x = (i * 37 % 100) as f64;
+                let y = (i * 61 % 100) as f64;
+                (Envelope::new(x, y, x + 2.0, y + 2.0), i)
+            })
+            .collect();
+        let tree = RTree::bulk_load(items.clone());
+        assert_eq!(tree.len(), 500);
+        let query = Envelope::new(20.0, 20.0, 40.0, 40.0);
+        let mut expected: Vec<usize> = items
+            .iter()
+            .filter(|(e, _)| e.intersects(&query))
+            .map(|(_, i)| *i)
+            .collect();
+        expected.sort_unstable();
+        let mut got: Vec<usize> = tree.query(&query).into_iter().copied().collect();
+        got.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn incremental_matches_linear_scan() {
+        let items: Vec<(Envelope, usize)> = (0..300)
+            .map(|i| {
+                let x = (i * 17 % 50) as f64;
+                let y = (i * 29 % 50) as f64;
+                (Envelope::new(x, y, x + 1.5, y + 1.5), i)
+            })
+            .collect();
+        let mut tree = RTree::new();
+        for (e, i) in items.clone() {
+            tree.insert(e, i);
+        }
+        for (qx, qy) in [(0.0, 0.0), (10.0, 25.0), (45.0, 45.0)] {
+            let query = Envelope::new(qx, qy, qx + 8.0, qy + 8.0);
+            let mut expected: Vec<usize> = items
+                .iter()
+                .filter(|(e, _)| e.intersects(&query))
+                .map(|(_, i)| *i)
+                .collect();
+            expected.sort_unstable();
+            let mut got: Vec<usize> = tree.query(&query).into_iter().copied().collect();
+            got.sort_unstable();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t: RTree<u32> = RTree::new();
+        assert!(t.is_empty());
+        assert!(t.query(&Envelope::new(0.0, 0.0, 1.0, 1.0)).is_empty());
+        assert!(t.nearest(Coord::new(0.0, 0.0)).is_none());
+        let t2: RTree<u32> = RTree::bulk_load(vec![]);
+        assert!(t2.is_empty());
+    }
+
+    #[test]
+    fn nearest_finds_closest() {
+        let items: Vec<(Envelope, usize)> = (0..20)
+            .map(|i| {
+                let x = i as f64 * 10.0;
+                (Envelope::new(x, 0.0, x + 1.0, 1.0), i)
+            })
+            .collect();
+        let tree = RTree::bulk_load(items);
+        assert_eq!(*tree.nearest(Coord::new(52.0, 0.5)).unwrap(), 5);
+        assert_eq!(*tree.nearest(Coord::new(-100.0, 0.0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn point_query() {
+        let tree = RTree::bulk_load(vec![
+            (Envelope::new(0.0, 0.0, 10.0, 10.0), "a"),
+            (Envelope::new(5.0, 5.0, 15.0, 15.0), "b"),
+        ]);
+        let hits = tree.query_point(Coord::new(7.0, 7.0));
+        assert_eq!(hits.len(), 2);
+        let hits = tree.query_point(Coord::new(1.0, 1.0));
+        assert_eq!(hits, vec![&"a"]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests for the geometry substrate.
+
+use applab_geo::algorithms::{
+    area, centroid, convex_hull, distance, locate_in_polygon, polygon_area, RingPosition,
+};
+use applab_geo::coord::{Coord, Envelope};
+use applab_geo::geometry::{Geometry, LineString, Point, Polygon};
+use applab_geo::relate;
+use applab_geo::rtree::RTree;
+use applab_geo::tile::TileGrid;
+use applab_geo::wkt::{parse_wkt, write_wkt};
+use proptest::prelude::*;
+
+fn coord_strategy() -> impl Strategy<Value = Coord> {
+    // Finite, moderate-magnitude coordinates: lon/lat-like.
+    (-180.0f64..180.0, -90.0f64..90.0).prop_map(|(x, y)| Coord::new(x, y))
+}
+
+fn rect_strategy() -> impl Strategy<Value = Polygon> {
+    (coord_strategy(), 0.1f64..40.0, 0.1f64..40.0)
+        .prop_map(|(c, w, h)| Polygon::rect(c.x, c.y, c.x + w, c.y + h))
+}
+
+fn geometry_strategy() -> impl Strategy<Value = Geometry> {
+    prop_oneof![
+        coord_strategy().prop_map(|c| Geometry::Point(Point(c))),
+        proptest::collection::vec(coord_strategy(), 2..8)
+            .prop_map(|cs| Geometry::LineString(LineString::new(cs))),
+        rect_strategy().prop_map(Geometry::Polygon),
+        proptest::collection::vec(coord_strategy(), 1..6).prop_map(|cs| {
+            Geometry::MultiPoint(cs.into_iter().map(Point).collect())
+        }),
+        proptest::collection::vec(rect_strategy(), 1..4).prop_map(Geometry::MultiPolygon),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn wkt_roundtrip(g in geometry_strategy()) {
+        let text = write_wkt(&g);
+        let parsed = parse_wkt(&text).expect("serialized WKT must parse");
+        prop_assert_eq!(g, parsed);
+    }
+
+    #[test]
+    fn disjoint_is_not_intersects(a in geometry_strategy(), b in geometry_strategy()) {
+        prop_assert_eq!(relate::disjoint(&a, &b), !relate::intersects(&a, &b));
+    }
+
+    #[test]
+    fn intersects_is_symmetric(a in geometry_strategy(), b in geometry_strategy()) {
+        prop_assert_eq!(relate::intersects(&a, &b), relate::intersects(&b, &a));
+    }
+
+    #[test]
+    fn touches_is_symmetric(a in rect_strategy(), b in rect_strategy()) {
+        let (a, b) = (Geometry::Polygon(a), Geometry::Polygon(b));
+        prop_assert_eq!(relate::touches(&a, &b), relate::touches(&b, &a));
+    }
+
+    #[test]
+    fn within_implies_intersects(a in geometry_strategy(), b in geometry_strategy()) {
+        if relate::within(&a, &b) {
+            prop_assert!(relate::intersects(&a, &b));
+        }
+    }
+
+    #[test]
+    fn within_contains_dual(a in geometry_strategy(), b in geometry_strategy()) {
+        prop_assert_eq!(relate::within(&a, &b), relate::contains(&b, &a));
+    }
+
+    #[test]
+    fn geometry_equals_itself(g in geometry_strategy()) {
+        if !g.is_empty() {
+            prop_assert!(relate::equals(&g, &g));
+            prop_assert!(relate::intersects(&g, &g));
+        }
+    }
+
+    #[test]
+    fn distance_zero_iff_intersects(a in rect_strategy(), b in rect_strategy()) {
+        let (a, b) = (Geometry::Polygon(a), Geometry::Polygon(b));
+        let d = distance(&a, &b);
+        if relate::intersects(&a, &b) {
+            prop_assert_eq!(d, 0.0);
+        } else {
+            prop_assert!(d > 0.0);
+        }
+    }
+
+    #[test]
+    fn distance_symmetric(a in geometry_strategy(), b in geometry_strategy()) {
+        let d1 = distance(&a, &b);
+        let d2 = distance(&b, &a);
+        prop_assert!((d1 - d2).abs() < 1e-9, "{} vs {}", d1, d2);
+    }
+
+    #[test]
+    fn centroid_inside_envelope(g in geometry_strategy()) {
+        if let Some(c) = centroid(&g) {
+            let env = g.envelope().buffered(1e-9);
+            prop_assert!(env.contains_coord(c), "{:?} outside {:?}", c, env);
+        }
+    }
+
+    #[test]
+    fn area_nonnegative(g in geometry_strategy()) {
+        prop_assert!(area(&g) >= 0.0);
+    }
+
+    #[test]
+    fn hull_contains_all_points(pts in proptest::collection::vec(coord_strategy(), 3..20)) {
+        let g = Geometry::MultiPoint(pts.iter().copied().map(Point).collect());
+        if let Some(hull) = convex_hull(&g) {
+            for &p in &pts {
+                prop_assert_ne!(
+                    locate_in_polygon(p, &hull),
+                    RingPosition::Outside,
+                    "{:?} escapes its hull", p
+                );
+            }
+            prop_assert!(polygon_area(&hull) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn rtree_query_equals_linear_scan(
+        boxes in proptest::collection::vec((coord_strategy(), 0.1f64..20.0, 0.1f64..20.0), 0..60),
+        query in (coord_strategy(), 1.0f64..50.0, 1.0f64..50.0),
+    ) {
+        let items: Vec<(Envelope, usize)> = boxes
+            .iter()
+            .enumerate()
+            .map(|(i, (c, w, h))| (Envelope::new(c.x, c.y, c.x + w, c.y + h), i))
+            .collect();
+        let q = Envelope::new(query.0.x, query.0.y, query.0.x + query.1, query.0.y + query.2);
+
+        let bulk = RTree::bulk_load(items.clone());
+        let mut incr = RTree::new();
+        for (e, i) in items.clone() {
+            incr.insert(e, i);
+        }
+        let mut expected: Vec<usize> = items
+            .iter()
+            .filter(|(e, _)| e.intersects(&q))
+            .map(|(_, i)| *i)
+            .collect();
+        expected.sort_unstable();
+        let mut from_bulk: Vec<usize> = bulk.query(&q).into_iter().copied().collect();
+        from_bulk.sort_unstable();
+        let mut from_incr: Vec<usize> = incr.query(&q).into_iter().copied().collect();
+        from_incr.sort_unstable();
+        prop_assert_eq!(&from_bulk, &expected);
+        prop_assert_eq!(&from_incr, &expected);
+    }
+
+    #[test]
+    fn tiles_cover_their_queries(c in coord_strategy(), w in 0.5f64..30.0, h in 0.5f64..30.0, zoom in 0u8..10) {
+        let grid = TileGrid::global();
+        let q = Envelope::new(c.x, c.y, (c.x + w).min(180.0), (c.y + h).min(90.0));
+        let clipped = q.intersection(&grid.domain);
+        let tiles = grid.covering(&q, zoom);
+        if !clipped.is_empty() {
+            prop_assert!(!tiles.is_empty());
+            let mut union = Envelope::EMPTY;
+            for t in &tiles {
+                union.expand(&grid.tile_envelope(*t));
+            }
+            prop_assert!(union.buffered(1e-9).contains_envelope(&clipped));
+        }
+    }
+
+    #[test]
+    fn envelope_union_is_commutative_and_covers(
+        a in (coord_strategy(), 0.1f64..20.0, 0.1f64..20.0),
+        b in (coord_strategy(), 0.1f64..20.0, 0.1f64..20.0),
+    ) {
+        let ea = Envelope::new(a.0.x, a.0.y, a.0.x + a.1, a.0.y + a.2);
+        let eb = Envelope::new(b.0.x, b.0.y, b.0.x + b.1, b.0.y + b.2);
+        let u1 = ea.union(&eb);
+        let u2 = eb.union(&ea);
+        prop_assert_eq!(u1, u2);
+        prop_assert!(u1.contains_envelope(&ea));
+        prop_assert!(u1.contains_envelope(&eb));
+    }
+}

@@ -1,0 +1,172 @@
+//! Token blocking and meta-blocking (the JedAI pipeline).
+//!
+//! Token blocking puts every entity in one block per token; meta-blocking
+//! then prunes the implied comparison graph by edge weight. We implement
+//! CBS weighting (common blocks scheme) with Weighted Edge Pruning: keep
+//! the pairs whose weight exceeds the mean edge weight — the standard
+//! JedAI configuration whose multi-core scaling [25] bench B6 reproduces.
+
+use crate::entity::Entity;
+use std::collections::HashMap;
+
+/// A candidate pair: indexes into the two entity collections (for dirty ER
+/// both indexes point into the same collection, with `a < b`).
+pub type Pair = (usize, usize);
+
+/// Build token blocks over two collections ("clean-clean" ER). Block key →
+/// (left members, right members). Oversized blocks (more than
+/// `max_block_size` members per side) are purged, as in JedAI's block
+/// purging step.
+pub fn token_blocks(
+    left: &[Entity],
+    right: &[Entity],
+    max_block_size: usize,
+) -> HashMap<String, (Vec<usize>, Vec<usize>)> {
+    let mut blocks: HashMap<String, (Vec<usize>, Vec<usize>)> = HashMap::new();
+    for (i, e) in left.iter().enumerate() {
+        for t in &e.tokens {
+            blocks.entry(t.clone()).or_default().0.push(i);
+        }
+    }
+    for (j, e) in right.iter().enumerate() {
+        for t in &e.tokens {
+            blocks.entry(t.clone()).or_default().1.push(j);
+        }
+    }
+    blocks.retain(|_, (l, r)| {
+        !l.is_empty() && !r.is_empty() && l.len() <= max_block_size && r.len() <= max_block_size
+    });
+    blocks
+}
+
+/// All comparisons implied by the blocks, deduplicated (no weighting).
+pub fn block_pairs(blocks: &HashMap<String, (Vec<usize>, Vec<usize>)>) -> Vec<Pair> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for (l, r) in blocks.values() {
+        for &i in l {
+            for &j in r {
+                if seen.insert((i, j)) {
+                    out.push((i, j));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Meta-blocking with CBS weights and Weighted Edge Pruning: keep pairs
+/// sharing more blocks than the average pair.
+pub fn meta_blocking(blocks: &HashMap<String, (Vec<usize>, Vec<usize>)>) -> Vec<Pair> {
+    let mut weights: HashMap<Pair, u32> = HashMap::new();
+    for (l, r) in blocks.values() {
+        for &i in l {
+            for &j in r {
+                *weights.entry((i, j)).or_insert(0) += 1;
+            }
+        }
+    }
+    if weights.is_empty() {
+        return Vec::new();
+    }
+    let mean = weights.values().map(|&w| w as f64).sum::<f64>() / weights.len() as f64;
+    let mut out: Vec<Pair> = weights
+        .into_iter()
+        .filter(|(_, w)| *w as f64 >= mean)
+        .map(|(p, _)| p)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Statistics of a blocking configuration, for the scalability bench.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockingStats {
+    pub blocks: usize,
+    pub raw_pairs: usize,
+    pub pruned_pairs: usize,
+}
+
+/// Run the whole candidate-generation pipeline and report sizes.
+pub fn candidates(
+    left: &[Entity],
+    right: &[Entity],
+    max_block_size: usize,
+) -> (Vec<Pair>, BlockingStats) {
+    let blocks = token_blocks(left, right, max_block_size);
+    let raw = block_pairs(&blocks).len();
+    let pruned = meta_blocking(&blocks);
+    let stats = BlockingStats {
+        blocks: blocks.len(),
+        raw_pairs: raw,
+        pruned_pairs: pruned.len(),
+    };
+    (pruned, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use applab_rdf::Resource;
+
+    fn entity(id: usize, name: &str) -> Entity {
+        Entity {
+            id: Resource::named(format!("http://ex.org/e{id}")),
+            name: Some(name.to_string()),
+            geometry: None,
+            time: None,
+            tokens: crate::entity::tokenize(name),
+        }
+    }
+
+    #[test]
+    fn token_blocking_groups_shared_tokens() {
+        let left = vec![entity(0, "Bois de Boulogne"), entity(1, "Parc Monceau")];
+        let right = vec![entity(0, "bois boulogne paris"), entity(1, "jardin luxembourg")];
+        let blocks = token_blocks(&left, &right, 100);
+        assert!(blocks.contains_key("boulogne"));
+        assert!(blocks.contains_key("bois"));
+        // Tokens present on only one side are purged.
+        assert!(!blocks.contains_key("monceau"));
+        let pairs = block_pairs(&blocks);
+        assert_eq!(pairs, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn meta_blocking_prunes_weak_pairs() {
+        // e0/e0' share two tokens; e1/e0' share one → WEP keeps the strong
+        // pair, drops the weak one (mean weight = 1.5).
+        let left = vec![entity(0, "grand parc boulogne"), entity(1, "parc monceau")];
+        let right = vec![entity(0, "parc boulogne")];
+        let blocks = token_blocks(&left, &right, 100);
+        let raw = block_pairs(&blocks);
+        assert_eq!(raw.len(), 2);
+        let pruned = meta_blocking(&blocks);
+        assert_eq!(pruned, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn oversized_blocks_purged() {
+        let left: Vec<Entity> = (0..50).map(|i| entity(i, "common park")).collect();
+        let right: Vec<Entity> = (0..50).map(|i| entity(i, "common park")).collect();
+        let blocks = token_blocks(&left, &right, 10);
+        assert!(blocks.is_empty());
+    }
+
+    #[test]
+    fn stats_reported() {
+        let left = vec![entity(0, "alpha beta"), entity(1, "gamma delta")];
+        let right = vec![entity(0, "alpha beta"), entity(1, "epsilon zeta")];
+        let (pairs, stats) = candidates(&left, &right, 100);
+        assert_eq!(stats.blocks, 2); // alpha, beta
+        assert!(stats.pruned_pairs <= stats.raw_pairs);
+        assert!(pairs.contains(&(0, 0)));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (pairs, stats) = candidates(&[], &[], 100);
+        assert!(pairs.is_empty());
+        assert_eq!(stats.blocks, 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! The entity view used for matching.
+
+use applab_geo::Geometry;
+use applab_rdf::{vocab, Graph, Literal, NamedNode, Resource, Term};
+
+/// A flattened view of one resource, extracted from an RDF graph.
+#[derive(Debug, Clone)]
+pub struct Entity {
+    pub id: Resource,
+    /// The best available name (rdfs:label, osm:hasName, gadm:hasName,
+    /// schema:name — first hit wins).
+    pub name: Option<String>,
+    pub geometry: Option<Geometry>,
+    /// Valid time instant or interval (epoch seconds).
+    pub time: Option<(i64, i64)>,
+    /// All literal attribute values, tokenized for blocking.
+    pub tokens: Vec<String>,
+}
+
+/// Predicates tried, in order, for the entity name.
+const NAME_PREDICATES: &[&str] = &[
+    vocab::rdfs::LABEL,
+    vocab::osm::HAS_NAME,
+    vocab::gadm::HAS_NAME,
+    vocab::schema::NAME,
+];
+
+impl Entity {
+    /// Extract an entity from a graph. Geometry is resolved through
+    /// `geo:hasGeometry`/`geo:asWKT` (or a direct `geo:asWKT`).
+    pub fn from_graph(graph: &Graph, id: &Resource) -> Entity {
+        let mut name = None;
+        for p in NAME_PREDICATES {
+            if let Some(Term::Literal(l)) = graph.object_of(id, &NamedNode::new(*p)) {
+                name = Some(l.value().to_string());
+                break;
+            }
+        }
+        // Geometry: direct or via hasGeometry.
+        let as_wkt = NamedNode::new(vocab::geo::AS_WKT);
+        let mut geometry = graph
+            .object_of(id, &as_wkt)
+            .and_then(|t| t.as_literal())
+            .and_then(Literal::as_geometry);
+        if geometry.is_none() {
+            if let Some(geom_node) = graph
+                .object_of(id, &NamedNode::new(vocab::geo::HAS_GEOMETRY))
+                .and_then(Term::as_resource)
+            {
+                geometry = graph
+                    .object_of(&geom_node, &as_wkt)
+                    .and_then(|t| t.as_literal())
+                    .and_then(Literal::as_geometry);
+            }
+        }
+        // Time: time:hasTime instant (or interval via hasBeginning/hasEnd).
+        let time = graph
+            .object_of(id, &NamedNode::new(vocab::time::HAS_TIME))
+            .and_then(|t| t.as_literal())
+            .and_then(Literal::as_datetime)
+            .map(|t| (t, t));
+
+        let mut tokens = Vec::new();
+        for t in graph.about(id) {
+            if let Term::Literal(l) = &t.object {
+                if !l.is_wkt() {
+                    tokens.extend(tokenize(l.value()));
+                }
+            }
+        }
+        tokens.sort();
+        tokens.dedup();
+        Entity {
+            id: id.clone(),
+            name,
+            geometry,
+            time,
+            tokens,
+        }
+    }
+
+    /// All entities of a graph (one per distinct subject).
+    pub fn all_from_graph(graph: &Graph) -> Vec<Entity> {
+        graph
+            .subjects()
+            .into_iter()
+            .map(|s| Entity::from_graph(graph, s))
+            .collect()
+    }
+}
+
+/// Lowercased alphanumeric tokens of length ≥ 2.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| t.len() >= 2)
+        .map(str::to_lowercase)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extraction() {
+        let mut g = Graph::new();
+        let park = Resource::named("http://ex.org/park1");
+        g.add(
+            park.clone(),
+            NamedNode::new(vocab::osm::HAS_NAME),
+            Literal::string("Bois de Boulogne"),
+        );
+        g.add(
+            park.clone(),
+            NamedNode::new(vocab::geo::HAS_GEOMETRY),
+            Term::named("http://ex.org/park1/geom"),
+        );
+        g.add(
+            Resource::named("http://ex.org/park1/geom"),
+            NamedNode::new(vocab::geo::AS_WKT),
+            Literal::wkt("POINT (2.25 48.86)"),
+        );
+        g.add(
+            park.clone(),
+            NamedNode::new(vocab::time::HAS_TIME),
+            Literal::datetime(1000),
+        );
+        let e = Entity::from_graph(&g, &park);
+        assert_eq!(e.name.as_deref(), Some("Bois de Boulogne"));
+        assert!(e.geometry.is_some());
+        assert_eq!(e.time, Some((1000, 1000)));
+        assert!(e.tokens.contains(&"bois".to_string()));
+        assert!(e.tokens.contains(&"boulogne".to_string()));
+        // Two-character tokens are kept ("de"); single characters are not.
+        assert!(e.tokens.contains(&"de".to_string()));
+    }
+
+    #[test]
+    fn direct_wkt() {
+        let mut g = Graph::new();
+        let a = Resource::named("http://ex.org/a");
+        g.add(
+            a.clone(),
+            NamedNode::new(vocab::geo::AS_WKT),
+            Literal::wkt("POINT (1 1)"),
+        );
+        let e = Entity::from_graph(&g, &a);
+        assert!(e.geometry.is_some());
+        assert!(e.name.is_none());
+    }
+
+    #[test]
+    fn all_entities() {
+        let mut g = Graph::new();
+        for i in 0..5 {
+            g.add(
+                Resource::named(format!("http://ex.org/e{i}")),
+                NamedNode::new(vocab::rdfs::LABEL),
+                Literal::string(format!("entity {i}")),
+            );
+        }
+        assert_eq!(Entity::all_from_graph(&g).len(), 5);
+    }
+
+    #[test]
+    fn tokenizer() {
+        assert_eq!(
+            tokenize("Bois-de-Boulogne, Paris 16e"),
+            vec!["bois", "de", "boulogne", "paris", "16e"]
+                .into_iter()
+                .filter(|t| t.len() >= 2)
+                .map(String::from)
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Interlinking: the Silk / JedAI of the reproduction.
+//!
+//! Section 3: "Copernicus data stored in Strabon may also be interlinked
+//! with other relevant data (e.g., a dataset that gives the land cover of
+//! certain areas might be interlinked with OpenStreetMap data for the same
+//! areas). To do this in Copernicus App Lab, we use the interlinking tools
+//! JedAI and Silk. JedAI is a toolkit for entity resolution and its
+//! multi-core version has been shown to be scalable to very large datasets.
+//! Silk is a well-known framework for interlinking RDF datasets which we
+//! have extended to deal with geospatial and temporal relations."
+//!
+//! * [`entity`] — the comparison view over RDF resources;
+//! * [`similarity`] — string, spatial and temporal similarity measures;
+//! * [`blocking`] — token blocking and meta-blocking (JedAI-style
+//!   candidate generation with edge-weight pruning);
+//! * [`rules`] — Silk-style link specifications (weighted comparisons,
+//!   threshold, output predicate), including the geospatial/temporal
+//!   extensions of [28];
+//! * [`runner`] — single- and multi-core link discovery.
+
+pub mod blocking;
+pub mod entity;
+pub mod rules;
+pub mod runner;
+pub mod similarity;
+
+pub use entity::Entity;
+pub use rules::{Comparison, LinkRule};
+pub use runner::{discover_links, discover_links_parallel, Link};

@@ -1,0 +1,194 @@
+//! Silk-style link specifications.
+//!
+//! A [`LinkRule`] aggregates weighted comparisons into a score and emits a
+//! link when the score clears the threshold. The spatial and temporal
+//! comparisons are the extension of [28] ("Silk ... which we have extended
+//! to deal with geospatial and temporal relations").
+
+use crate::entity::Entity;
+use crate::similarity;
+use applab_geo::SpatialRelation;
+use applab_rdf::{vocab, NamedNode};
+
+/// One comparison inside a link rule.
+#[derive(Debug, Clone)]
+pub enum Comparison {
+    /// Normalized Levenshtein similarity of the names.
+    NameLevenshtein,
+    /// Trigram similarity of the names.
+    NameTrigram,
+    /// Jaccard similarity of the token sets.
+    TokenJaccard,
+    /// Spatial proximity: 1 at intersection, 0 at `max_distance`.
+    SpatialProximity { max_distance: f64 },
+    /// Hard spatial predicate: 1 when the relation holds, else 0.
+    Spatial(SpatialRelation),
+    /// Temporal interval overlap.
+    TemporalOverlap,
+}
+
+impl Comparison {
+    /// Score in [0, 1]; `None` when the inputs lack the compared feature
+    /// (missing name/geometry/time).
+    pub fn score(&self, a: &Entity, b: &Entity) -> Option<f64> {
+        match self {
+            Comparison::NameLevenshtein => Some(similarity::levenshtein_similarity(
+                a.name.as_deref()?,
+                b.name.as_deref()?,
+            )),
+            Comparison::NameTrigram => Some(similarity::trigram_similarity(
+                a.name.as_deref()?,
+                b.name.as_deref()?,
+            )),
+            Comparison::TokenJaccard => Some(similarity::jaccard(&a.tokens, &b.tokens)),
+            Comparison::SpatialProximity { max_distance } => Some(similarity::spatial_proximity(
+                a.geometry.as_ref()?,
+                b.geometry.as_ref()?,
+                *max_distance,
+            )),
+            Comparison::Spatial(rel) => Some(f64::from(
+                rel.evaluate(a.geometry.as_ref()?, b.geometry.as_ref()?),
+            )),
+            Comparison::TemporalOverlap => Some(similarity::temporal_overlap(a.time?, b.time?)),
+        }
+    }
+}
+
+/// A complete link specification.
+#[derive(Debug, Clone)]
+pub struct LinkRule {
+    /// (comparison, weight) pairs; weights need not sum to 1.
+    pub comparisons: Vec<(Comparison, f64)>,
+    /// Minimum weighted-average score for a link.
+    pub threshold: f64,
+    /// The predicate of emitted links (default `owl:sameAs`).
+    pub predicate: NamedNode,
+    /// When true, a comparison whose feature is missing fails the pair
+    /// outright; when false it is skipped and the weights renormalize.
+    pub strict: bool,
+}
+
+impl LinkRule {
+    /// An `owl:sameAs` rule.
+    pub fn same_as(comparisons: Vec<(Comparison, f64)>, threshold: f64) -> Self {
+        LinkRule {
+            comparisons,
+            threshold,
+            predicate: NamedNode::new(vocab::owl::SAME_AS),
+            strict: false,
+        }
+    }
+
+    pub fn with_predicate(mut self, predicate: NamedNode) -> Self {
+        self.predicate = predicate;
+        self
+    }
+
+    pub fn strict(mut self) -> Self {
+        self.strict = true;
+        self
+    }
+
+    /// Weighted-average score, or `None` when the pair cannot be compared.
+    pub fn score(&self, a: &Entity, b: &Entity) -> Option<f64> {
+        let mut total = 0.0;
+        let mut weight = 0.0;
+        for (cmp, w) in &self.comparisons {
+            match cmp.score(a, b) {
+                Some(s) => {
+                    total += s * w;
+                    weight += w;
+                }
+                None if self.strict => return None,
+                None => {}
+            }
+        }
+        if weight == 0.0 {
+            None
+        } else {
+            Some(total / weight)
+        }
+    }
+
+    /// Does the rule link the pair?
+    pub fn matches(&self, a: &Entity, b: &Entity) -> bool {
+        self.score(a, b).map_or(false, |s| s >= self.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use applab_geo::Geometry;
+    use applab_rdf::Resource;
+
+    fn entity(name: Option<&str>, geometry: Option<Geometry>) -> Entity {
+        Entity {
+            id: Resource::named("http://ex.org/e"),
+            tokens: name.map(crate::entity::tokenize).unwrap_or_default(),
+            name: name.map(String::from),
+            geometry,
+            time: None,
+        }
+    }
+
+    #[test]
+    fn name_and_space_agree() {
+        let rule = LinkRule::same_as(
+            vec![
+                (Comparison::NameLevenshtein, 0.5),
+                (Comparison::SpatialProximity { max_distance: 1.0 }, 0.5),
+            ],
+            0.8,
+        );
+        let a = entity(Some("Bois de Boulogne"), Some(Geometry::point(2.25, 48.86)));
+        let b = entity(
+            Some("Bois de Boulogne"),
+            Some(Geometry::rect(2.2, 48.8, 2.3, 48.9)),
+        );
+        assert!(rule.matches(&a, &b));
+        let far = entity(Some("Bois de Boulogne"), Some(Geometry::point(10.0, 50.0)));
+        assert!(!rule.matches(&a, &far));
+    }
+
+    #[test]
+    fn missing_features_renormalize_or_fail() {
+        let rule = LinkRule::same_as(
+            vec![
+                (Comparison::NameLevenshtein, 0.5),
+                (Comparison::TemporalOverlap, 0.5),
+            ],
+            0.9,
+        );
+        let a = entity(Some("Parc Monceau"), None);
+        let b = entity(Some("Parc Monceau"), None);
+        // No time on either side: renormalizes to names only → match.
+        assert!(rule.matches(&a, &b));
+        // Strict mode fails the pair instead.
+        let strict = rule.clone().strict();
+        assert!(!strict.matches(&a, &b));
+    }
+
+    #[test]
+    fn hard_spatial_predicate() {
+        let rule = LinkRule::same_as(
+            vec![(Comparison::Spatial(SpatialRelation::Within), 1.0)],
+            1.0,
+        )
+        .with_predicate(NamedNode::new("http://ex.org/locatedIn"));
+        let point = entity(None, Some(Geometry::point(0.5, 0.5)));
+        let area = entity(None, Some(Geometry::rect(0.0, 0.0, 1.0, 1.0)));
+        assert!(rule.matches(&point, &area));
+        assert!(!rule.matches(&area, &point));
+        assert_eq!(rule.predicate.as_str(), "http://ex.org/locatedIn");
+    }
+
+    #[test]
+    fn incomparable_pair_scores_none() {
+        let rule = LinkRule::same_as(vec![(Comparison::NameLevenshtein, 1.0)], 0.5);
+        let a = entity(None, None);
+        let b = entity(Some("x"), None);
+        assert!(rule.score(&a, &b).is_none());
+        assert!(!rule.matches(&a, &b));
+    }
+}

@@ -1,0 +1,213 @@
+//! Link discovery: blocking → meta-blocking → rule evaluation.
+
+use crate::blocking::{candidates, BlockingStats, Pair};
+use crate::entity::Entity;
+use crate::rules::LinkRule;
+use applab_rdf::{Graph, Resource, Triple};
+
+/// A discovered link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    pub left: Resource,
+    pub right: Resource,
+    pub score: f64,
+}
+
+/// Result of a discovery run.
+#[derive(Debug, Clone)]
+pub struct LinkResult {
+    pub links: Vec<Link>,
+    pub stats: BlockingStats,
+    /// Rule evaluations actually performed (after pruning).
+    pub comparisons: usize,
+}
+
+impl LinkResult {
+    /// Materialize the links as RDF triples with the rule's predicate.
+    pub fn to_graph(&self, rule: &LinkRule) -> Graph {
+        let mut g = Graph::new();
+        for l in &self.links {
+            g.insert(Triple::new(
+                l.left.clone(),
+                rule.predicate.clone(),
+                applab_rdf::Term::from(Resource::from(l.right.clone())),
+            ));
+        }
+        g
+    }
+}
+
+const MAX_BLOCK: usize = 200;
+
+fn evaluate_pairs(
+    pairs: &[Pair],
+    left: &[Entity],
+    right: &[Entity],
+    rule: &LinkRule,
+) -> Vec<Link> {
+    pairs
+        .iter()
+        .filter_map(|&(i, j)| {
+            let score = rule.score(&left[i], &right[j])?;
+            (score >= rule.threshold).then(|| Link {
+                left: left[i].id.clone(),
+                right: right[j].id.clone(),
+                score,
+            })
+        })
+        .collect()
+}
+
+/// Sequential link discovery between two collections.
+pub fn discover_links(left: &[Entity], right: &[Entity], rule: &LinkRule) -> LinkResult {
+    let (pairs, stats) = candidates(left, right, MAX_BLOCK);
+    let links = evaluate_pairs(&pairs, left, right, rule);
+    LinkResult {
+        links,
+        stats,
+        comparisons: pairs.len(),
+    }
+}
+
+/// Multi-core link discovery: the candidate list is sharded across
+/// `workers` threads (the JedAI multi-core meta-blocking execution of
+/// [25]; bench B6 measures the speedup).
+pub fn discover_links_parallel(
+    left: &[Entity],
+    right: &[Entity],
+    rule: &LinkRule,
+    workers: usize,
+) -> LinkResult {
+    let workers = workers.max(1);
+    let (pairs, stats) = candidates(left, right, MAX_BLOCK);
+    if workers == 1 || pairs.len() < 2 {
+        let links = evaluate_pairs(&pairs, left, right, rule);
+        return LinkResult {
+            links,
+            stats,
+            comparisons: pairs.len(),
+        };
+    }
+    let chunk = pairs.len().div_ceil(workers);
+    let links: Vec<Link> = std::thread::scope(|scope| {
+        let handles: Vec<_> = pairs
+            .chunks(chunk)
+            .map(|shard| scope.spawn(move || evaluate_pairs(shard, left, right, rule)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    LinkResult {
+        links,
+        stats,
+        comparisons: pairs.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Comparison;
+    use applab_geo::Geometry;
+
+    fn collection(prefix: &str, names: &[&str], offset: f64) -> Vec<Entity> {
+        names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| Entity {
+                id: Resource::named(format!("http://{prefix}.org/{i}")),
+                name: Some(name.to_string()),
+                geometry: Some(Geometry::point(i as f64 + offset, 0.0)),
+                time: None,
+                tokens: crate::entity::tokenize(name),
+            })
+            .collect()
+    }
+
+    fn rule() -> LinkRule {
+        LinkRule::same_as(
+            vec![
+                (Comparison::NameLevenshtein, 0.7),
+                (Comparison::SpatialProximity { max_distance: 0.5 }, 0.3),
+            ],
+            0.85,
+        )
+    }
+
+    #[test]
+    fn finds_true_matches() {
+        let names = ["Bois de Boulogne", "Parc de Monceau", "Jardin du Luxembourg"];
+        let left = collection("osm", &names, 0.0);
+        // The same parks with slightly perturbed positions. (Names must
+        // keep comparable token weights: Weighted Edge Pruning drops pairs
+        // whose shared-token count falls below the mean.)
+        let right = collection("clc", &names, 0.05);
+        let result = discover_links(&left, &right, &rule());
+        assert_eq!(result.links.len(), 3, "{:?}", result.links);
+        // Left i should match right i.
+        for l in &result.links {
+            let li = l.left.as_named().unwrap().as_str();
+            let ri = l.right.as_named().unwrap().as_str();
+            assert_eq!(
+                li.rsplit('/').next().unwrap(),
+                ri.rsplit('/').next().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_comparisons() {
+        let names: Vec<String> = (0..40)
+            .map(|i| format!("park number {i} in paris"))
+            .collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let left = collection("a", &refs, 0.0);
+        let right = collection("b", &refs, 0.01);
+        let result = discover_links(&left, &right, &rule());
+        // Shared tokens ("park", "number", "in", "paris") create a dense raw
+        // graph; meta-blocking must prune it.
+        assert!(result.stats.pruned_pairs < result.stats.raw_pairs);
+        assert!(result.comparisons > 0);
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let names: Vec<String> = (0..60).map(|i| format!("entity alpha {i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let left = collection("a", &refs, 0.0);
+        let right = collection("b", &refs, 0.02);
+        let seq = discover_links(&left, &right, &rule());
+        for workers in [2, 4, 8] {
+            let par = discover_links_parallel(&left, &right, &rule(), workers);
+            assert_eq!(par.comparisons, seq.comparisons);
+            let mut a: Vec<String> = seq.links.iter().map(|l| format!("{:?}", l)).collect();
+            let mut b: Vec<String> = par.links.iter().map(|l| format!("{:?}", l)).collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn links_as_graph() {
+        let left = collection("a", &["Tour Eiffel"], 0.0);
+        let right = collection("b", &["Tour Eiffel"], 0.0);
+        let r = rule();
+        let result = discover_links(&left, &right, &r);
+        let g = result.to_graph(&r);
+        assert_eq!(g.len(), 1);
+        let t = g.iter().next().unwrap();
+        assert_eq!(t.predicate.as_str(), applab_rdf::vocab::owl::SAME_AS);
+    }
+
+    #[test]
+    fn empty_collections() {
+        let r = rule();
+        let result = discover_links(&[], &[], &r);
+        assert!(result.links.is_empty());
+        let result = discover_links_parallel(&[], &[], &r, 4);
+        assert!(result.links.is_empty());
+    }
+}

@@ -1,0 +1,150 @@
+//! Similarity measures over strings, geometries and time.
+
+use applab_geo::{algorithms, relate, Geometry};
+
+/// Levenshtein edit distance.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein similarity in [0, 1].
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max = a.chars().count().max(b.chars().count());
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max as f64
+}
+
+/// Jaccard similarity of two token multisets (as sets).
+pub fn jaccard(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let sa: std::collections::HashSet<&String> = a.iter().collect();
+    let sb: std::collections::HashSet<&String> = b.iter().collect();
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Character trigram similarity (Jaccard over trigrams), robust for short
+/// place names.
+pub fn trigram_similarity(a: &str, b: &str) -> f64 {
+    let grams = |s: &str| -> Vec<String> {
+        let padded = format!("  {}  ", s.to_lowercase());
+        let chars: Vec<char> = padded.chars().collect();
+        chars.windows(3).map(|w| w.iter().collect()).collect()
+    };
+    jaccard(&grams(a), &grams(b))
+}
+
+/// Geometry proximity in [0, 1]: 1 when the geometries intersect, decaying
+/// linearly to 0 at `max_distance`.
+pub fn spatial_proximity(a: &Geometry, b: &Geometry, max_distance: f64) -> f64 {
+    if relate::intersects(a, b) {
+        return 1.0;
+    }
+    if max_distance <= 0.0 {
+        return 0.0;
+    }
+    let d = algorithms::distance(a, b);
+    (1.0 - d / max_distance).max(0.0)
+}
+
+/// Overlap ratio of two time intervals in [0, 1] (intersection / smaller
+/// interval; instants match when equal).
+pub fn temporal_overlap(a: (i64, i64), b: (i64, i64)) -> f64 {
+    let start = a.0.max(b.0);
+    let end = a.1.min(b.1);
+    if end < start {
+        return 0.0;
+    }
+    let inter = (end - start) as f64;
+    let smaller = ((a.1 - a.0).min(b.1 - b.0)) as f64;
+    if smaller == 0.0 {
+        1.0 // instants (or instant-inside-interval)
+    } else {
+        inter / smaller
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+    }
+
+    #[test]
+    fn levenshtein_sim_bounds() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert!(levenshtein_similarity("Bois de Boulogne", "Bois de Boulognes") > 0.9);
+        assert!(levenshtein_similarity("abc", "xyz") < 0.01);
+    }
+
+    #[test]
+    fn jaccard_cases() {
+        let a = vec!["bois".to_string(), "boulogne".to_string()];
+        let b = vec!["boulogne".to_string(), "bois".to_string()];
+        assert_eq!(jaccard(&a, &b), 1.0);
+        let c = vec!["parc".to_string(), "monceau".to_string()];
+        assert_eq!(jaccard(&a, &c), 0.0);
+        assert_eq!(jaccard(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn trigram_tolerates_typos() {
+        assert!(trigram_similarity("Boulogne", "Boulonge") > 0.4);
+        assert!(trigram_similarity("Boulogne", "Vincennes") < 0.2);
+    }
+
+    #[test]
+    fn spatial_proximity_behaviour() {
+        let a = Geometry::rect(0.0, 0.0, 1.0, 1.0);
+        let b = Geometry::rect(0.5, 0.5, 1.5, 1.5);
+        assert_eq!(spatial_proximity(&a, &b, 1.0), 1.0);
+        let c = Geometry::point(3.0, 0.5);
+        // Distance 2 from a with max 4 → 0.5.
+        assert!((spatial_proximity(&a, &c, 4.0) - 0.5).abs() < 1e-9);
+        assert_eq!(spatial_proximity(&a, &c, 1.0), 0.0);
+    }
+
+    #[test]
+    fn temporal_overlap_cases() {
+        assert_eq!(temporal_overlap((0, 10), (5, 15)), 0.5);
+        assert_eq!(temporal_overlap((0, 10), (10, 20)), 0.0); // endpoint touch only
+        assert_eq!(temporal_overlap((0, 10), (11, 20)), 0.0);
+        assert_eq!(temporal_overlap((5, 5), (0, 10)), 1.0); // instant inside
+        assert_eq!(temporal_overlap((5, 5), (5, 5)), 1.0);
+        assert_eq!(temporal_overlap((5, 5), (6, 6)), 0.0);
+    }
+}

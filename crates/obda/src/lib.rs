@@ -1,0 +1,55 @@
+//! Ontop-spatial: geospatial ontology-based data access.
+//!
+//! Reproduces Section 3.2 of the paper: an OBDA system that "creates
+//! virtual semantic RDF graphs on top of geospatial relational data sources
+//! using ontologies and mappings", extended so that it can "query data
+//! sources that are available remotely, without accessing or storing the
+//! data locally" through an `opendap` virtual-table UDF with a
+//! time-windowed result cache.
+//!
+//! * [`sql`] — the source-clause query language (the `SELECT ... FROM ...
+//!   WHERE ...` subset of Listing 2), standing in for MadIS/SQLite;
+//! * [`engine`] — the relational backend: named in-memory tables, virtual
+//!   tables (UDFs), selection/projection, and R-tree indexes over geometry
+//!   columns;
+//! * [`vtable`] — the `opendap` virtual table: "create and populate a
+//!   virtual table on-the-fly with data retrieved from an OPeNDAP server",
+//!   plus the windowed cache ("results of an OPeNDAP call get cached every
+//!   w minutes");
+//! * [`virtual_graph`] — the virtual RDF graphs: a
+//!   [`applab_sparql::GraphSource`] whose triples are defined by
+//!   GeoTriples-format mappings and materialized *per query*, never stored.
+//!   It implements the whole-BGP rewriting hook, mirroring how Ontop
+//!   rewrites a SPARQL BGP into a single SQL query.
+
+pub mod engine;
+pub mod sql;
+pub mod virtual_graph;
+pub mod vtable;
+
+pub use engine::DataSource;
+pub use sql::SourceQuery;
+pub use virtual_graph::VirtualGraph;
+pub use vtable::OpendapTable;
+
+/// OBDA errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObdaError {
+    Sql(String),
+    NoSuchTable(String),
+    VirtualTable(String),
+    Mapping(String),
+}
+
+impl std::fmt::Display for ObdaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObdaError::Sql(m) => write!(f, "source query error: {m}"),
+            ObdaError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            ObdaError::VirtualTable(m) => write!(f, "virtual table error: {m}"),
+            ObdaError::Mapping(m) => write!(f, "mapping error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ObdaError {}

@@ -1,0 +1,714 @@
+//! Virtual semantic geospatial graphs.
+//!
+//! A [`VirtualGraph`] binds GeoTriples-format mappings to a relational
+//! [`DataSource`] and exposes the result as a SPARQL
+//! [`GraphSource`] — "without materializing any triples or tables"
+//! (Section 3.2). Triples are produced on demand, per query:
+//!
+//! * pattern-at-a-time access runs each mapping's source query and expands
+//!   its templates, filtering against the requested pattern;
+//! * the whole-BGP hook ([`GraphSource::evaluate_bgp`]) reproduces Ontop's
+//!   SPARQL→SQL rewriting: when every triple pattern of a BGP unifies with
+//!   a template of *one* mapping, the BGP is answered with a single scan of
+//!   that mapping's source — no self-joins, with the R-tree access path
+//!   when a spatial constraint applies to a geometry column.
+
+use crate::engine::DataSource;
+use crate::sql::SourceQuery;
+use crate::ObdaError;
+use applab_geo::Envelope;
+use applab_geotriples::mapping::{Mapping, TermTemplate, TripleTemplate};
+use applab_geotriples::Row;
+use applab_rdf::{vocab, NamedNode, Resource, Term, Triple};
+use applab_sparql::algebra::{TermPattern, TriplePattern};
+use applab_sparql::expr::Binding;
+use applab_sparql::GraphSource;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct CompiledMapping {
+    mapping: Mapping,
+    query: SourceQuery,
+    /// Constant predicate IRI of each target template (`None` when the
+    /// predicate itself is templated — unusual but legal).
+    predicate_of: Vec<Option<String>>,
+}
+
+/// A virtual RDF graph over mappings + a relational source.
+pub struct VirtualGraph {
+    source: DataSource,
+    mappings: Vec<CompiledMapping>,
+    /// Per-mapping row cache for **base-table** sources (the "DBMS
+    /// optimizations" of the local path). Remote `opendap` sources are
+    /// never cached here — their own window cache governs freshness.
+    row_cache: Mutex<HashMap<usize, Arc<Vec<Row>>>>,
+}
+
+impl VirtualGraph {
+    /// Compile mappings against a data source. Every mapping's `source`
+    /// clause must parse as a [`SourceQuery`].
+    pub fn new(source: DataSource, mappings: Vec<Mapping>) -> Result<Self, ObdaError> {
+        let compiled = mappings
+            .into_iter()
+            .map(|m| {
+                let query = SourceQuery::parse(&m.source)
+                    .map_err(|e| ObdaError::Mapping(format!("mapping {}: {e}", m.id)))?;
+                let predicate_of = m
+                    .target
+                    .iter()
+                    .map(|t| constant_expansion(&t.predicate))
+                    .collect();
+                Ok(CompiledMapping {
+                    mapping: m,
+                    query,
+                    predicate_of,
+                })
+            })
+            .collect::<Result<Vec<_>, ObdaError>>()?;
+        Ok(VirtualGraph {
+            source,
+            mappings: compiled,
+            row_cache: Mutex::new(HashMap::new()),
+        })
+    }
+
+    pub fn mapping_count(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// Fetch a mapping's source rows, through the base-table cache when
+    /// there is no access-path hint.
+    fn rows_for(
+        &self,
+        idx: usize,
+        cm: &CompiledMapping,
+        hint: Option<(&str, &Envelope)>,
+    ) -> Result<Arc<Vec<Row>>, ObdaError> {
+        use crate::sql::FromClause;
+        let cacheable = hint.is_none() && matches!(cm.query.from, FromClause::Table(_));
+        if cacheable {
+            if let Some(rows) = self.row_cache.lock().get(&idx) {
+                return Ok(rows.clone());
+            }
+        }
+        let rows = Arc::new(self.source.execute(&cm.query, hint)?);
+        if cacheable {
+            self.row_cache.lock().insert(idx, rows.clone());
+        }
+        Ok(rows)
+    }
+
+    /// Expand every mapping into a fully materialized graph (the
+    /// "materialize the data" alternative of Section 5; used by tests to
+    /// check virtual ≡ materialized, and by benches as the baseline).
+    pub fn materialize(&self) -> Result<applab_rdf::Graph, ObdaError> {
+        let mut g = applab_rdf::Graph::new();
+        for (idx, cm) in self.mappings.iter().enumerate() {
+            let rows = self.rows_for(idx, cm, None)?;
+            for row in rows.iter() {
+                for template in &cm.mapping.target {
+                    if let Some(t) = template.expand(row) {
+                        g.insert(t);
+                    }
+                }
+            }
+        }
+        Ok(g)
+    }
+
+    /// All triples of one mapping matching a (s?, p?, o?) pattern.
+    fn mapping_triples(
+        &self,
+        idx: usize,
+        cm: &CompiledMapping,
+        subject: Option<&Resource>,
+        predicate: Option<&NamedNode>,
+        object: Option<&Term>,
+        spatial: Option<&Envelope>,
+        out: &mut Vec<Triple>,
+    ) {
+        // Skip mappings that cannot produce the requested predicate.
+        let relevant: Vec<usize> = cm
+            .mapping
+            .target
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| match (predicate, &cm.predicate_of[*i]) {
+                (Some(p), Some(constant)) => p.as_str() == constant,
+                _ => true,
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if relevant.is_empty() {
+            return;
+        }
+        // Spatial access path: only when the constrained templates' object
+        // is a single geometry column.
+        let hint_col = spatial.and_then(|_| {
+            let mut col: Option<&str> = None;
+            for &i in &relevant {
+                match geometry_column(&cm.mapping.target[i].object) {
+                    Some(c) if col.is_none() || col == Some(c) => col = Some(c),
+                    _ => return None,
+                }
+            }
+            col
+        });
+        // IRI-template inversion: a bound subject becomes a column filter
+        // (or rules a template out entirely when its fixed parts mismatch),
+        // skipping template expansion for non-matching rows.
+        enum SubjectFilter {
+            NoConstraint,
+            Column(String, String),
+            Impossible,
+        }
+        let subject_filters: Vec<SubjectFilter> = relevant
+            .iter()
+            .map(|&i| {
+                let Some(s) = subject else {
+                    return SubjectFilter::NoConstraint;
+                };
+                let st = match &cm.mapping.target[i].subject {
+                    TermTemplate::Iri(st) => st,
+                    // A named subject never matches a blank-node template;
+                    // a blank subject is compared post-expansion.
+                    TermTemplate::Blank(_) => {
+                        return match s {
+                            Resource::Blank(_) => SubjectFilter::NoConstraint,
+                            Resource::Named(_) => SubjectFilter::Impossible,
+                        }
+                    }
+                    TermTemplate::Literal { .. } => return SubjectFilter::Impossible,
+                };
+                let iri = match s {
+                    Resource::Named(n) => n.as_str(),
+                    Resource::Blank(_) => return SubjectFilter::Impossible,
+                };
+                match st.invert_single(iri) {
+                    Some((c, v)) => SubjectFilter::Column(c.to_string(), v),
+                    None if st.columns().is_empty() => {
+                        // Constant template: direct comparison decides.
+                        if st.expand(&Row::new()).as_deref() == Some(iri) {
+                            SubjectFilter::NoConstraint
+                        } else {
+                            SubjectFilter::Impossible
+                        }
+                    }
+                    None if st.is_invertible() => SubjectFilter::Impossible,
+                    None => SubjectFilter::NoConstraint,
+                }
+            })
+            .collect();
+        if subject_filters
+            .iter()
+            .all(|f| matches!(f, SubjectFilter::Impossible))
+        {
+            return;
+        }
+        let rows = match self.rows_for(idx, cm, hint_col.zip(spatial).map(|(c, e)| (c, e))) {
+            Ok(rows) => rows,
+            Err(_) => return, // remote failure → no virtual triples
+        };
+        for row in rows.iter() {
+            for (k, &i) in relevant.iter().enumerate() {
+                match &subject_filters[k] {
+                    SubjectFilter::Impossible => continue,
+                    SubjectFilter::Column(col, value) => {
+                        let matches = row
+                            .get(col)
+                            .and_then(applab_geotriples::Value::lexical)
+                            .map_or(false, |lex| &lex == value);
+                        if !matches {
+                            continue;
+                        }
+                    }
+                    SubjectFilter::NoConstraint => {}
+                }
+                if let Some(t) = cm.mapping.target[i].expand(row) {
+                    if subject.map_or(true, |s| &t.subject == s)
+                        && predicate.map_or(true, |p| &t.predicate == p)
+                        && object.map_or(true, |o| &t.object == o)
+                    {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A template's constant expansion, when it has no placeholders.
+fn constant_expansion(t: &TermTemplate) -> Option<String> {
+    match t {
+        TermTemplate::Iri(st) if st.columns().is_empty() => {
+            // Expand against an empty row: no placeholders → always Some.
+            st.expand(&Row::new())
+        }
+        _ => None,
+    }
+}
+
+/// The geometry column of a bare `{col}^^geo:wktLiteral` object template.
+fn geometry_column(t: &TermTemplate) -> Option<&str> {
+    match t {
+        TermTemplate::Literal {
+            template,
+            datatype: Some(dt),
+            ..
+        } if dt.as_str() == vocab::geo::WKT_LITERAL => match template.columns().as_slice() {
+            [one] => Some(one),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+impl GraphSource for VirtualGraph {
+    fn triples_matching(
+        &self,
+        subject: Option<&Resource>,
+        predicate: Option<&NamedNode>,
+        object: Option<&Term>,
+    ) -> Vec<Triple> {
+        let mut out = Vec::new();
+        for (idx, cm) in self.mappings.iter().enumerate() {
+            self.mapping_triples(idx, cm, subject, predicate, object, None, &mut out);
+        }
+        out
+    }
+
+    fn triples_matching_spatial(
+        &self,
+        subject: Option<&Resource>,
+        predicate: Option<&NamedNode>,
+        envelope: &Envelope,
+    ) -> Option<Vec<Triple>> {
+        let mut out = Vec::new();
+        for (idx, cm) in self.mappings.iter().enumerate() {
+            self.mapping_triples(idx, cm, subject, predicate, None, Some(envelope), &mut out);
+        }
+        // Post-filter to the envelope (the access path may be a fallback
+        // scan for virtual tables).
+        out.retain(|t| match &t.object {
+            Term::Literal(l) => match l.as_geometry() {
+                Some(g) => g.envelope().intersects(envelope),
+                None => true,
+            },
+            _ => true,
+        });
+        Some(out)
+    }
+
+    fn evaluate_bgp(
+        &self,
+        patterns: &[TriplePattern],
+        spatial: &HashMap<String, Envelope>,
+    ) -> Option<Vec<Binding>> {
+        if patterns.is_empty() {
+            return None;
+        }
+        // The rewriting applies only when the whole BGP unifies with the
+        // templates of exactly ONE mapping: otherwise different mappings
+        // could each contribute solutions and the fast path would lose
+        // answers — fall back to pattern-at-a-time evaluation instead.
+        let mut viable: Option<(usize, &CompiledMapping)> = None;
+        'mappings: for (idx, cm) in self.mappings.iter().enumerate() {
+            for pattern in patterns {
+                let mut candidates = cm
+                    .mapping
+                    .target
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, t)| statically_unifiable(pattern, t, &cm.predicate_of[*i]));
+                let first = candidates.next();
+                let second = candidates.next();
+                if first.is_none() || second.is_some() {
+                    continue 'mappings; // none or ambiguous within the mapping
+                }
+            }
+            if viable.is_some() {
+                return None; // more than one viable mapping → generic path
+            }
+            viable = Some((idx, cm));
+        }
+        {
+            let (idx, cm) = viable?;
+            let mut assignment: Vec<&TripleTemplate> = Vec::with_capacity(patterns.len());
+            for pattern in patterns {
+                let template = cm
+                    .mapping
+                    .target
+                    .iter()
+                    .enumerate()
+                    .find(|(i, t)| statically_unifiable(pattern, t, &cm.predicate_of[*i]))
+                    .map(|(_, t)| t)
+                    .expect("checked viable above");
+                assignment.push(template);
+            }
+            // Spatial access path: a constrained object variable whose
+            // assigned template is a geometry column.
+            let mut hint: Option<(&str, &Envelope)> = None;
+            for (pattern, template) in patterns.iter().zip(&assignment) {
+                if let TermPattern::Var(v) = &pattern.object {
+                    if let (Some(env), Some(col)) =
+                        (spatial.get(v), geometry_column(&template.object))
+                    {
+                        hint = Some((col, env));
+                        break;
+                    }
+                }
+            }
+            let rows = match self.rows_for(idx, cm, hint) {
+                Ok(rows) => rows,
+                Err(_) => return Some(Vec::new()),
+            };
+            // Per-position plans: expand only what the query observes.
+            // Constant positions whose template is placeholder-free were
+            // already verified statically; templated constants need a
+            // per-row check; variables need the expansion bound.
+            enum Step<'p> {
+                Bind(&'p str, &'p TermTemplate),
+                Verify(&'p Term, &'p TermTemplate),
+            }
+            let mut steps: Vec<Step> = Vec::new();
+            for (pattern, template) in patterns.iter().zip(&assignment) {
+                for (tp, tt) in [
+                    (&pattern.subject, &template.subject),
+                    (&pattern.predicate, &template.predicate),
+                    (&pattern.object, &template.object),
+                ] {
+                    match tp {
+                        TermPattern::Var(v) => steps.push(Step::Bind(v, tt)),
+                        TermPattern::Term(expected) => {
+                            let is_constant_template = match tt {
+                                TermTemplate::Iri(st) | TermTemplate::Blank(st) => {
+                                    st.columns().is_empty()
+                                }
+                                TermTemplate::Literal { template, .. } => {
+                                    template.columns().is_empty()
+                                }
+                            };
+                            if !is_constant_template {
+                                steps.push(Step::Verify(expected, tt));
+                            }
+                        }
+                    }
+                }
+            }
+            let mut bindings = Vec::new();
+            'rows: for row in rows.iter() {
+                let mut binding = Binding::new();
+                for step in &steps {
+                    match step {
+                        Step::Verify(expected, tt) => match tt.expand(row) {
+                            Some(actual) if &&actual == expected => {}
+                            _ => continue 'rows,
+                        },
+                        Step::Bind(v, tt) => {
+                            let Some(actual) = tt.expand(row) else {
+                                continue 'rows; // null column: no triple
+                            };
+                            match binding.get(*v) {
+                                Some(existing) if existing != &actual => continue 'rows,
+                                Some(_) => {}
+                                None => {
+                                    binding.insert(v.to_string(), actual);
+                                }
+                            }
+                        }
+                    }
+                }
+                bindings.push(binding);
+            }
+            return Some(bindings);
+        }
+    }
+}
+
+/// Cheap static compatibility check between a pattern and a template.
+fn statically_unifiable(
+    pattern: &TriplePattern,
+    template: &TripleTemplate,
+    constant_predicate: &Option<String>,
+) -> bool {
+    // Predicate: constant-vs-constant must match exactly.
+    if let (TermPattern::Term(Term::Named(p)), Some(c)) = (&pattern.predicate, constant_predicate)
+    {
+        if p.as_str() != c {
+            return false;
+        }
+    }
+    position_unifiable(&pattern.subject, &template.subject)
+        && position_unifiable(&pattern.object, &template.object)
+        && !matches!(&pattern.subject, TermPattern::Term(Term::Literal(_)))
+}
+
+/// One position: kind compatibility plus constant-vs-constant equality for
+/// placeholder-free templates.
+fn position_unifiable(pattern: &TermPattern, template: &TermTemplate) -> bool {
+    let constant = match pattern {
+        TermPattern::Var(_) => return true,
+        TermPattern::Term(t) => t,
+    };
+    match (constant, template) {
+        (Term::Literal(_), TermTemplate::Iri(_)) | (Term::Named(_), TermTemplate::Literal { .. }) => {
+            false
+        }
+        (Term::Named(n), TermTemplate::Iri(st)) => {
+            if st.columns().is_empty() {
+                st.expand(&Row::new()).as_deref() == Some(n.as_str())
+            } else {
+                true // row-level check decides
+            }
+        }
+        (Term::Literal(l), TermTemplate::Literal { template, datatype, .. }) => {
+            if let Some(dt) = datatype {
+                if l.datatype() != dt {
+                    return false;
+                }
+            }
+            if template.columns().is_empty() {
+                template.expand(&Row::new()).as_deref() == Some(l.value())
+            } else {
+                true
+            }
+        }
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use applab_dap::clock::ManualClock;
+    use applab_dap::server::grid_dataset;
+    use applab_dap::transport::Local;
+    use applab_dap::{DapClient, DapServer};
+    use applab_geotriples::parse_mappings;
+    use applab_geotriples::{TabularSource, Value};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const PARK_MAPPINGS: &str = r#"
+mappingId parks
+target osm:poi_{id} a osm:PointOfInterest ;
+       osm:poiType osm:park ;
+       osm:hasName {name}^^xsd:string ;
+       geo:hasGeometry osm:geom_{id} .
+       osm:geom_{id} geo:asWKT {geom}^^geo:wktLiteral .
+source SELECT * FROM parks WHERE kind = park
+"#;
+
+    fn parks_table(n: usize) -> TabularSource {
+        let mut rows = Vec::new();
+        for i in 0..n {
+            let mut r = Row::new();
+            r.insert("id".into(), Value::Number(i as f64));
+            r.insert("name".into(), Value::Text(format!("park {i}")));
+            r.insert(
+                "kind".into(),
+                Value::Text(if i % 3 == 0 { "industrial" } else { "park" }.into()),
+            );
+            r.insert(
+                "geom".into(),
+                Value::Geometry(applab_geo::Geometry::rect(
+                    i as f64,
+                    0.0,
+                    i as f64 + 0.5,
+                    0.5,
+                )),
+            );
+            rows.push(r);
+        }
+        TabularSource {
+            name: "parks".into(),
+            rows,
+        }
+    }
+
+    fn virtual_graph(n: usize) -> VirtualGraph {
+        let mut ds = DataSource::new();
+        ds.add_table(parks_table(n));
+        VirtualGraph::new(ds, parse_mappings(PARK_MAPPINGS).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn virtual_equals_materialized() {
+        let vg = virtual_graph(15);
+        let materialized = vg.materialize().unwrap();
+        // Same queries against both must agree.
+        for q in [
+            "SELECT ?s ?name WHERE { ?s osm:hasName ?name }",
+            "SELECT ?s WHERE { ?s a osm:PointOfInterest ; osm:poiType osm:park }",
+            r#"SELECT ?s ?wkt WHERE {
+                 ?s geo:hasGeometry ?g . ?g geo:asWKT ?wkt .
+                 FILTER(geof:sfIntersects(?wkt, "POLYGON ((3 0, 8 0, 8 1, 3 1, 3 0))"^^geo:wktLiteral))
+               }"#,
+        ] {
+            let virt = applab_sparql::query(&vg, q).unwrap();
+            let mat = applab_sparql::query(&materialized, q).unwrap();
+            let norm = |r: &applab_sparql::QueryResults| {
+                let mut rows: Vec<String> = r
+                    .rows()
+                    .iter()
+                    .map(|row| {
+                        row.values
+                            .iter()
+                            .map(|v| v.as_ref().map(|t| t.to_string()).unwrap_or_default())
+                            .collect::<Vec<_>>()
+                            .join("|")
+                    })
+                    .collect();
+                rows.sort();
+                rows
+            };
+            assert_eq!(norm(&virt), norm(&mat), "query: {q}");
+        }
+    }
+
+    #[test]
+    fn bgp_rewriting_answers_single_mapping_queries() {
+        let vg = virtual_graph(10);
+        // All three patterns unify with the parks mapping → fast path.
+        let patterns = vec![
+            TriplePattern::new(
+                TermPattern::var("s"),
+                Term::named(vocab::osm::HAS_NAME),
+                TermPattern::var("name"),
+            ),
+            TriplePattern::new(
+                TermPattern::var("s"),
+                Term::named(vocab::geo::HAS_GEOMETRY),
+                TermPattern::var("g"),
+            ),
+            TriplePattern::new(
+                TermPattern::var("g"),
+                Term::named(vocab::geo::AS_WKT),
+                TermPattern::var("wkt"),
+            ),
+        ];
+        let bindings = vg.evaluate_bgp(&patterns, &HashMap::new()).unwrap();
+        // Parks only (kind=park): ids not divisible by 3 → 1,2,4,5,7,8 of 0..10.
+        assert_eq!(bindings.len(), 6);
+        for b in &bindings {
+            assert!(b.contains_key("s") && b.contains_key("wkt"));
+        }
+    }
+
+    #[test]
+    fn bgp_rewriting_uses_spatial_hint() {
+        let vg = virtual_graph(50);
+        let patterns = vec![
+            TriplePattern::new(
+                TermPattern::var("g"),
+                Term::named(vocab::geo::AS_WKT),
+                TermPattern::var("wkt"),
+            ),
+        ];
+        let mut spatial = HashMap::new();
+        spatial.insert("wkt".to_string(), Envelope::new(10.0, 0.0, 12.0, 1.0));
+        let constrained = vg.evaluate_bgp(&patterns, &spatial).unwrap();
+        let unconstrained = vg.evaluate_bgp(&patterns, &HashMap::new()).unwrap();
+        assert!(constrained.len() < unconstrained.len());
+        assert!(!constrained.is_empty());
+    }
+
+    #[test]
+    fn listing2_and_listing3_end_to_end() {
+        // The on-the-fly workflow: OPeNDAP server → opendap vtable →
+        // virtual graph → Listing 3 query.
+        let server = DapServer::new();
+        server.publish(grid_dataset(
+            "Copernicus-Land-timeseries-global-LAI",
+            &[0.0, 864_000.0],
+            &[48.0, 48.5],
+            &[2.0, 2.5],
+            |t, la, lo| {
+                if la == 0 && lo == 0 {
+                    -1.0 // noisy negative value: filtered by WHERE LAI > 0
+                } else {
+                    (t + 1) as f64 + la as f64 / 10.0 + lo as f64 / 100.0
+                }
+            },
+        ));
+        let client = Arc::new(DapClient::new(Arc::new(server), Arc::new(Local::new())));
+        let clock = ManualClock::new();
+        let mut ds = DataSource::new();
+        ds.add_opendap(
+            "Copernicus-Land-timeseries-global-LAI",
+            "LAI",
+            Arc::new(crate::vtable::OpendapTable::new(
+                client,
+                "Copernicus-Land-timeseries-global-LAI",
+                "LAI",
+                Duration::from_secs(600),
+                clock,
+            )),
+        );
+        // Listing 2, near verbatim.
+        let mappings = parse_mappings(
+            r#"
+mappingId opendap_mapping
+target lai:{id} rdf:type lai:Observation .
+       lai:{id} lai:hasLai {LAI}^^xsd:float ;
+       time:hasTime {ts}^^xsd:dateTime .
+       lai:{id} geo:hasGeometry _:g_{id} .
+       _:g_{id} geo:asWKT {loc}^^geo:wktLiteral .
+source SELECT id, LAI, ts, loc FROM (ordered opendap url:https://analytics.ramani.ujuizi.com/thredds/dodsC/Copernicus-Land-timeseries-global-LAI/readdods/LAI/, 10) WHERE LAI > 0
+"#,
+        )
+        .unwrap();
+        let vg = VirtualGraph::new(ds, mappings).unwrap();
+
+        // Listing 3, verbatim.
+        let r = applab_sparql::query(
+            &vg,
+            r#"SELECT DISTINCT ?s ?wkt ?lai
+WHERE { ?s lai:hasLai ?lai .
+        ?s geo:hasGeometry ?g .
+        ?g geo:asWKT ?wkt }"#,
+        )
+        .unwrap();
+        // 2 times × (4 cells − 1 negative cell) = 6 observations.
+        assert_eq!(r.len(), 6);
+        // All LAI values positive (the WHERE filter of the mapping).
+        for i in 0..r.len() {
+            let lai = r.value(i, "lai").unwrap().as_literal().unwrap();
+            assert!(lai.as_f64().unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn pattern_at_a_time_fallback_is_correct() {
+        // Two mappings: the BGP spans both → evaluate_bgp returns None and
+        // the generic path must still answer correctly.
+        let two = format!(
+            "{PARK_MAPPINGS}\nmappingId labels\ntarget osm:poi_{{id}} rdfs:label {{name}}^^xsd:string .\nsource SELECT id, name FROM parks\n"
+        );
+        let mut ds = DataSource::new();
+        ds.add_table(parks_table(6));
+        let vg = VirtualGraph::new(ds, parse_mappings(&two).unwrap()).unwrap();
+        let r = applab_sparql::query(
+            &vg,
+            "SELECT ?s ?n ?l WHERE { ?s osm:hasName ?n . ?s rdfs:label ?l }",
+        )
+        .unwrap();
+        // Parks (ids 1,2,4,5) have both hasName (mapping 1, kind=park only)
+        // and label (mapping 2, all rows).
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn bad_mapping_source_rejected() {
+        let ds = DataSource::new();
+        let mappings = parse_mappings(
+            "mappingId m\ntarget osm:poi_{id} a osm:PointOfInterest .\nsource NOT A QUERY\n",
+        )
+        .unwrap();
+        assert!(matches!(
+            VirtualGraph::new(ds, mappings),
+            Err(ObdaError::Mapping(_))
+        ));
+    }
+}

@@ -1,0 +1,322 @@
+//! Virtual tables (the MadIS UDF mechanism).
+//!
+//! "We used MadIS to create a new UDF, named Opendap, that is able to
+//! create and populate a virtual table on-the-fly with data retrieved from
+//! an OPeNDAP server." The rows produced follow Listing 2: a constructed
+//! `id` ("the column id was not originally in the dataset but it is
+//! constructed from the location and the time of observation"), the value
+//! column named after the variable, a `ts` timestamp ("the Opendap virtual
+//! table operator converts these values to a standard format"), and a
+//! `loc` point geometry.
+//!
+//! Results are cached for the window `w` of the mapping ("if a query
+//! arrives ... within this time window, the cached results can be used
+//! directly, eliminating the cost of performing another call").
+
+use crate::ObdaError;
+use applab_dap::clock::Clock;
+use applab_dap::{Constraint, DapClient, DapError};
+use applab_geotriples::{Row, TabularSource, Value};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A virtual table: materializes rows on demand.
+pub trait VirtualTable: Send + Sync {
+    /// Produce the current rows.
+    fn open(&self) -> Result<TabularSource, ObdaError>;
+}
+
+/// The `opendap` virtual table over one dataset variable.
+pub struct OpendapTable {
+    client: Arc<DapClient>,
+    dataset: String,
+    variable: String,
+    window: Duration,
+    clock: Arc<dyn Clock>,
+    cache: Mutex<Option<(Duration, Arc<TabularSource>)>>,
+}
+
+impl OpendapTable {
+    pub fn new(
+        client: Arc<DapClient>,
+        dataset: impl Into<String>,
+        variable: impl Into<String>,
+        window: Duration,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        OpendapTable {
+            client,
+            dataset: dataset.into(),
+            variable: variable.into(),
+            window,
+            clock,
+            cache: Mutex::new(None),
+        }
+    }
+
+    fn fetch(&self) -> Result<TabularSource, ObdaError> {
+        let wrap = |e: DapError| ObdaError::VirtualTable(e.to_string());
+        // One DODS call for the whole variable plus its coordinates, then
+        // unroll the grid into (id, VAR, ts, loc) rows.
+        let vars = self
+            .client
+            .get_data(&self.dataset, &Constraint::all())
+            .map_err(wrap)?;
+        let find = |name: &str| vars.iter().find(|v| v.name == name);
+        let main = find(&self.variable).ok_or_else(|| {
+            ObdaError::VirtualTable(format!(
+                "dataset {} has no variable {}",
+                self.dataset, self.variable
+            ))
+        })?;
+        if main.dims.len() != 3 || main.dims[0] != "time" {
+            return Err(ObdaError::VirtualTable(format!(
+                "opendap vtable expects a (time, lat, lon) grid, got {:?}",
+                main.dims
+            )));
+        }
+        let times = find("time")
+            .ok_or_else(|| ObdaError::VirtualTable("missing time coordinate".into()))?;
+        let lats = find("lat")
+            .ok_or_else(|| ObdaError::VirtualTable("missing lat coordinate".into()))?;
+        let lons = find("lon")
+            .ok_or_else(|| ObdaError::VirtualTable("missing lon coordinate".into()))?;
+
+        // Decode the time axis to epoch seconds through the DAS metadata.
+        let das = self.client.get_das(&self.dataset).map_err(wrap)?;
+        let units = das
+            .get("time")
+            .and_then(|a| a.get("units"))
+            .and_then(|v| match v {
+                applab_array::AttrValue::Text(t) => Some(t.clone()),
+                _ => None,
+            })
+            .unwrap_or_else(|| "seconds since 1970-01-01".to_string());
+        let axis = applab_array::time::TimeAxis::parse(&units)
+            .map_err(|e| ObdaError::VirtualTable(e.to_string()))?;
+
+        let (nt, nla, nlo) = (
+            main.data.shape()[0],
+            main.data.shape()[1],
+            main.data.shape()[2],
+        );
+        let mut rows = Vec::with_capacity(nt * nla * nlo);
+        for t in 0..nt {
+            let epoch = axis.decode(times.data.data()[t]);
+            let ts = format_datetime(epoch);
+            for la in 0..nla {
+                for lo in 0..nlo {
+                    let value = main.data.get(&[t, la, lo]).expect("in bounds");
+                    if value.is_nan() {
+                        continue; // fill values never become observations
+                    }
+                    let lat = lats.data.data()[la];
+                    let lon = lons.data.data()[lo];
+                    let mut row = Row::new();
+                    row.insert(
+                        "id".into(),
+                        Value::Text(format!("obs_{lon}_{lat}_{epoch}").replace(['.', '-'], "m")),
+                    );
+                    row.insert(self.variable.clone(), Value::Number(value));
+                    row.insert("ts".into(), Value::Text(ts.clone()));
+                    row.insert(
+                        "loc".into(),
+                        Value::Geometry(applab_geo::Geometry::point(lon, lat)),
+                    );
+                    rows.push(row);
+                }
+            }
+        }
+        Ok(TabularSource {
+            name: format!("opendap:{}:{}", self.dataset, self.variable),
+            rows,
+        })
+    }
+
+    /// Cache statistics are on the client (round trips) — expose the window
+    /// for introspection.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+}
+
+impl VirtualTable for OpendapTable {
+    fn open(&self) -> Result<TabularSource, ObdaError> {
+        let now = self.clock.now();
+        if self.window > Duration::ZERO {
+            let cache = self.cache.lock();
+            if let Some((at, rows)) = cache.as_ref() {
+                if now.saturating_sub(*at) < self.window {
+                    return Ok(rows.as_ref().clone());
+                }
+            }
+        }
+        let rows = Arc::new(self.fetch()?);
+        if self.window > Duration::ZERO {
+            *self.cache.lock() = Some((now, rows.clone()));
+        }
+        Ok(rows.as_ref().clone())
+    }
+}
+
+/// `xsd:dateTime` formatting (same algorithm as `applab-rdf::datetime`).
+fn format_datetime(t: i64) -> String {
+    let days = t.div_euclid(86_400);
+    let secs = t.rem_euclid(86_400);
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!(
+        "{:04}-{:02}-{:02}T{:02}:{:02}:{:02}Z",
+        y,
+        m,
+        d,
+        secs / 3600,
+        (secs % 3600) / 60,
+        secs % 60
+    )
+}
+
+/// A registry of named virtual tables.
+#[derive(Default)]
+pub struct VTableRegistry {
+    tables: HashMap<String, Arc<dyn VirtualTable>>,
+}
+
+impl VTableRegistry {
+    pub fn new() -> Self {
+        VTableRegistry::default()
+    }
+
+    pub fn register(&mut self, key: impl Into<String>, table: Arc<dyn VirtualTable>) {
+        self.tables.insert(key.into(), table);
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Arc<dyn VirtualTable>> {
+        self.tables.get(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use applab_dap::clock::ManualClock;
+    use applab_dap::server::grid_dataset;
+    use applab_dap::transport::Local;
+    use applab_dap::DapServer;
+
+    fn client() -> Arc<DapClient> {
+        let server = DapServer::new();
+        server.publish(grid_dataset(
+            "lai_300m",
+            &[0.0, 864_000.0],
+            &[48.0, 48.5],
+            &[2.0, 2.5],
+            |t, la, lo| {
+                if t == 0 && la == 0 && lo == 0 {
+                    f64::NAN // one fill value
+                } else {
+                    (t * 100 + la * 10 + lo) as f64
+                }
+            },
+        ));
+        Arc::new(DapClient::new(Arc::new(server), Arc::new(Local::new())))
+    }
+
+    #[test]
+    fn rows_follow_listing2_schema() {
+        let clock = ManualClock::new();
+        let vt = OpendapTable::new(client(), "lai_300m", "LAI", Duration::ZERO, clock);
+        let rows = vt.open().unwrap();
+        // 2 times × 2 lats × 2 lons − 1 NaN = 7 observations.
+        assert_eq!(rows.rows.len(), 7);
+        let r = &rows.rows[0];
+        assert!(matches!(r["loc"], Value::Geometry(_)));
+        assert!(matches!(r["LAI"], Value::Number(_)));
+        match &r["ts"] {
+            Value::Text(ts) => assert!(ts.ends_with('Z') && ts.contains('T')),
+            other => panic!("{other:?}"),
+        }
+        match &r["id"] {
+            Value::Text(id) => assert!(id.starts_with("obs_")),
+            other => panic!("{other:?}"),
+        }
+        // ids are unique.
+        let ids: std::collections::HashSet<String> = rows
+            .rows
+            .iter()
+            .map(|r| match &r["id"] {
+                Value::Text(t) => t.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids.len(), 7);
+    }
+
+    #[test]
+    fn window_cache_avoids_refetch() {
+        let clock = ManualClock::new();
+        let c = client();
+        let vt = OpendapTable::new(
+            c.clone(),
+            "lai_300m",
+            "LAI",
+            Duration::from_secs(600),
+            clock.clone(),
+        );
+        vt.open().unwrap();
+        let trips_after_first = c.round_trips();
+        vt.open().unwrap();
+        vt.open().unwrap();
+        assert_eq!(c.round_trips(), trips_after_first, "cache hits refetched");
+        // Window expiry forces a refetch.
+        clock.advance(Duration::from_secs(601));
+        vt.open().unwrap();
+        assert!(c.round_trips() > trips_after_first);
+    }
+
+    #[test]
+    fn zero_window_always_fetches() {
+        let clock = ManualClock::new();
+        let c = client();
+        let vt = OpendapTable::new(c.clone(), "lai_300m", "LAI", Duration::ZERO, clock);
+        vt.open().unwrap();
+        let first = c.round_trips();
+        vt.open().unwrap();
+        assert!(c.round_trips() > first);
+    }
+
+    #[test]
+    fn missing_variable_errors() {
+        let clock = ManualClock::new();
+        let vt = OpendapTable::new(client(), "lai_300m", "NDVI", Duration::ZERO, clock);
+        assert!(matches!(vt.open(), Err(ObdaError::VirtualTable(_))));
+    }
+
+    #[test]
+    fn registry() {
+        let clock = ManualClock::new();
+        let mut reg = VTableRegistry::new();
+        reg.register(
+            "opendap:lai_300m:LAI",
+            Arc::new(OpendapTable::new(
+                client(),
+                "lai_300m",
+                "LAI",
+                Duration::ZERO,
+                clock,
+            )),
+        );
+        assert!(reg.get("opendap:lai_300m:LAI").is_some());
+        assert!(reg.get("nope").is_none());
+    }
+}

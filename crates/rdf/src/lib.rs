@@ -1,0 +1,26 @@
+//! RDF data model and I/O for the Copernicus App Lab reproduction.
+//!
+//! Provides the term/triple/graph model shared by the whole stack, N-Triples
+//! and Turtle (subset) reading and writing, the vocabularies the paper uses
+//! (GeoSPARQL `geo:`/`geof:`, W3C Time, the RDF Data Cube vocabulary `qb:`,
+//! and the App Lab namespaces `lai:`, `gadm:`, `clc:`, `ua:`, `osm:`), plus
+//! the INSPIRE-compliant ontologies of Figures 2 and 3 of the paper expressed
+//! as code.
+
+pub mod datetime;
+pub mod graph;
+pub mod ntriples;
+pub mod ontology;
+pub mod term;
+pub mod turtle;
+pub mod vocab;
+
+pub use graph::Graph;
+pub use term::{BlankNode, Literal, NamedNode, Resource, Term, Triple};
+
+/// Convenience prelude for downstream crates.
+pub mod prelude {
+    pub use crate::graph::Graph;
+    pub use crate::term::{BlankNode, Literal, NamedNode, Resource, Term, Triple};
+    pub use crate::vocab;
+}

@@ -1,0 +1,624 @@
+//! The INSPIRE-compliant App Lab ontologies, expressed as code.
+//!
+//! Section 4 of the paper: "The first task of any case study using the
+//! Copernicus App Lab software is to develop INSPIRE-compliant ontologies for
+//! the selected Copernicus data." This module regenerates:
+//!
+//! * **Figure 2** — the LAI ontology ([`lai_ontology`]): `lai:Observation`
+//!   specializes `qb:Observation`, carries `lai:hasLai` (an `xsd:float`
+//!   measure), a `geo:hasGeometry`/`geo:asWKT` location, and a
+//!   `time:hasTime` instant.
+//! * **Figure 3** — the GADM ontology ([`gadm_ontology`]): administrative
+//!   units extending the GeoSPARQL ontology.
+//! * The CORINE land cover ontology with the full 44-class, 3-level CLC
+//!   nomenclature ([`corine_ontology`], [`CLC_CLASSES`]).
+//! * The Urban Atlas ontology with the 17 urban + 10 rural classes
+//!   ([`urban_atlas_ontology`], [`UA_CLASSES`]).
+//! * The OpenStreetMap ontology ([`osm_ontology`]).
+//! * The Sextant map ontology ([`map_ontology`], Section 3.3).
+
+use crate::graph::Graph;
+use crate::term::{Literal, NamedNode, Resource, Term};
+use crate::vocab::{self, iri};
+
+fn class(g: &mut Graph, class_iri: &str, label: &str, parent: Option<&str>) {
+    let c = Resource::named(class_iri);
+    g.add(
+        c.clone(),
+        NamedNode::new(vocab::rdf::TYPE),
+        Term::named(vocab::owl::CLASS),
+    );
+    g.add(
+        c.clone(),
+        NamedNode::new(vocab::rdfs::LABEL),
+        Literal::lang(label, "en"),
+    );
+    if let Some(p) = parent {
+        g.add(
+            c,
+            NamedNode::new(vocab::rdfs::SUB_CLASS_OF),
+            Term::named(p),
+        );
+    }
+}
+
+fn property(g: &mut Graph, prop_iri: &str, kind: &str, domain: &str, range: &str, label: &str) {
+    let p = Resource::named(prop_iri);
+    g.add(p.clone(), NamedNode::new(vocab::rdf::TYPE), Term::named(kind));
+    g.add(
+        p.clone(),
+        NamedNode::new(vocab::rdfs::DOMAIN),
+        Term::named(domain),
+    );
+    g.add(
+        p.clone(),
+        NamedNode::new(vocab::rdfs::RANGE),
+        Term::named(range),
+    );
+    g.add(
+        p,
+        NamedNode::new(vocab::rdfs::LABEL),
+        Literal::lang(label, "en"),
+    );
+}
+
+/// The LAI ontology of Figure 2.
+pub fn lai_ontology() -> Graph {
+    let mut g = Graph::new();
+    class(
+        &mut g,
+        vocab::lai::OBSERVATION,
+        "LAI observation",
+        Some(vocab::qb::OBSERVATION),
+    );
+    // Figure 2 reuses geo:Feature for the spatial aspect.
+    g.add(
+        Resource::named(vocab::lai::OBSERVATION),
+        NamedNode::new(vocab::rdfs::SUB_CLASS_OF),
+        Term::named(vocab::geo::FEATURE),
+    );
+    property(
+        &mut g,
+        vocab::lai::HAS_LAI,
+        vocab::qb::MEASURE_PROPERTY,
+        vocab::lai::OBSERVATION,
+        vocab::xsd::FLOAT,
+        "leaf area index value",
+    );
+    // The dataset-level node: observations belong to a qb:DataSet.
+    class(
+        &mut g,
+        &format!("{}Dataset", vocab::lai::NS),
+        "LAI dataset",
+        Some(vocab::qb::DATA_SET),
+    );
+    property(
+        &mut g,
+        vocab::qb::DATA_SET_PROP,
+        vocab::qb::DIMENSION_PROPERTY,
+        vocab::lai::OBSERVATION,
+        &format!("{}Dataset", vocab::lai::NS),
+        "data set",
+    );
+    // Spatio-temporal wiring reused from geo: and time:.
+    property(
+        &mut g,
+        vocab::geo::HAS_GEOMETRY,
+        vocab::owl::OBJECT_PROPERTY,
+        vocab::geo::FEATURE,
+        vocab::geo::GEOMETRY,
+        "has geometry",
+    );
+    property(
+        &mut g,
+        vocab::geo::AS_WKT,
+        vocab::owl::DATATYPE_PROPERTY,
+        vocab::geo::GEOMETRY,
+        vocab::geo::WKT_LITERAL,
+        "as WKT",
+    );
+    property(
+        &mut g,
+        vocab::time::HAS_TIME,
+        vocab::owl::DATATYPE_PROPERTY,
+        vocab::lai::OBSERVATION,
+        vocab::xsd::DATE_TIME,
+        "has time",
+    );
+    g
+}
+
+/// The GADM ontology of Figure 3.
+pub fn gadm_ontology() -> Graph {
+    let mut g = Graph::new();
+    class(
+        &mut g,
+        vocab::gadm::ADMINISTRATIVE_UNIT,
+        "administrative unit",
+        Some(vocab::geo::FEATURE),
+    );
+    property(
+        &mut g,
+        vocab::gadm::HAS_NAME,
+        vocab::owl::DATATYPE_PROPERTY,
+        vocab::gadm::ADMINISTRATIVE_UNIT,
+        vocab::xsd::STRING,
+        "has name",
+    );
+    property(
+        &mut g,
+        vocab::gadm::HAS_LEVEL,
+        vocab::owl::DATATYPE_PROPERTY,
+        vocab::gadm::ADMINISTRATIVE_UNIT,
+        vocab::xsd::INTEGER,
+        "administrative level",
+    );
+    property(
+        &mut g,
+        vocab::gadm::HAS_COUNTRY,
+        vocab::owl::DATATYPE_PROPERTY,
+        vocab::gadm::ADMINISTRATIVE_UNIT,
+        vocab::xsd::STRING,
+        "country ISO code",
+    );
+    property(
+        &mut g,
+        vocab::gadm::PART_OF,
+        vocab::owl::OBJECT_PROPERTY,
+        vocab::gadm::ADMINISTRATIVE_UNIT,
+        vocab::gadm::ADMINISTRATIVE_UNIT,
+        "part of",
+    );
+    g
+}
+
+/// One CORINE land cover class: `(code, label)`. Level is the number of
+/// digits in the code (1, 2 or 3); the parent is the code with the last
+/// digit removed.
+pub type ClcClass = (u16, &'static str);
+
+/// The full CORINE Land Cover nomenclature: 5 level-1, 15 level-2 and 44
+/// level-3 classes (Section 4: "Land cover is characterized using a 3-level
+/// hierarchy of classes ... with 44 classes in total at the 3rd level").
+pub const CLC_CLASSES: &[ClcClass] = &[
+    (1, "Artificial surfaces"),
+    (11, "Urban fabric"),
+    (111, "Continuous urban fabric"),
+    (112, "Discontinuous urban fabric"),
+    (12, "Industrial, commercial and transport units"),
+    (121, "Industrial or commercial units"),
+    (122, "Road and rail networks and associated land"),
+    (123, "Port areas"),
+    (124, "Airports"),
+    (13, "Mine, dump and construction sites"),
+    (131, "Mineral extraction sites"),
+    (132, "Dump sites"),
+    (133, "Construction sites"),
+    (14, "Artificial, non-agricultural vegetated areas"),
+    (141, "Green urban areas"),
+    (142, "Sport and leisure facilities"),
+    (2, "Agricultural areas"),
+    (21, "Arable land"),
+    (211, "Non-irrigated arable land"),
+    (212, "Permanently irrigated land"),
+    (213, "Rice fields"),
+    (22, "Permanent crops"),
+    (221, "Vineyards"),
+    (222, "Fruit trees and berry plantations"),
+    (223, "Olive groves"),
+    (23, "Pastures"),
+    (231, "Pastures"),
+    (24, "Heterogeneous agricultural areas"),
+    (241, "Annual crops associated with permanent crops"),
+    (242, "Complex cultivation patterns"),
+    (243, "Land principally occupied by agriculture"),
+    (244, "Agro-forestry areas"),
+    (3, "Forest and semi natural areas"),
+    (31, "Forests"),
+    (311, "Broad-leaved forest"),
+    (312, "Coniferous forest"),
+    (313, "Mixed forest"),
+    (32, "Scrub and herbaceous vegetation associations"),
+    (321, "Natural grasslands"),
+    (322, "Moors and heathland"),
+    (323, "Sclerophyllous vegetation"),
+    (324, "Transitional woodland shrub"),
+    (33, "Open spaces with little or no vegetation"),
+    (331, "Beaches, dunes, sands"),
+    (332, "Bare rocks"),
+    (333, "Sparsely vegetated areas"),
+    (334, "Burnt areas"),
+    (335, "Glaciers and perpetual snow"),
+    (4, "Wetlands"),
+    (41, "Inland wetlands"),
+    (411, "Inland marshes"),
+    (412, "Peat bogs"),
+    (42, "Maritime wetlands"),
+    (421, "Salt marshes"),
+    (422, "Salines"),
+    (423, "Intertidal flats"),
+    (5, "Water bodies"),
+    (51, "Inland waters"),
+    (511, "Water courses"),
+    (512, "Water bodies"),
+    (52, "Marine waters"),
+    (521, "Coastal lagoons"),
+    (522, "Estuaries"),
+    (523, "Sea and ocean"),
+];
+
+/// Convert a class label to the UpperCamelCase local name used in the CLC
+/// and UA ontologies (the paper shows `clc:greenUrbanAreas` and
+/// `clc:Forests`; we normalize to UpperCamelCase consistently).
+pub fn camel_case(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for word in label.split(|c: char| !c.is_ascii_alphanumeric()) {
+        let mut chars = word.chars();
+        if let Some(first) = chars.next() {
+            out.push(first.to_ascii_uppercase());
+            out.extend(chars);
+        }
+    }
+    out
+}
+
+/// IRI of a CORINE class given its numeric code.
+pub fn clc_class_iri(code: u16) -> Option<NamedNode> {
+    CLC_CLASSES
+        .iter()
+        .find(|(c, _)| *c == code)
+        .map(|(_, label)| iri(vocab::clc::NS, &camel_case(label)))
+}
+
+/// Parent code of a CORINE class (`141` → `14` → `1`).
+pub fn clc_parent(code: u16) -> Option<u16> {
+    if code >= 10 {
+        Some(code / 10)
+    } else {
+        None
+    }
+}
+
+/// The CORINE land cover ontology of Section 4: `clc:CorineArea` (a subclass
+/// of the INSPIRE `LandCoverUnit`), `clc:hasCorineValue`, and the class
+/// hierarchy under `clc:CorineValue`.
+pub fn corine_ontology() -> Graph {
+    let mut g = Graph::new();
+    class(
+        &mut g,
+        vocab::clc::CORINE_AREA,
+        "CORINE land cover area",
+        Some(vocab::clc::INSPIRE_LAND_COVER_UNIT),
+    );
+    g.add(
+        Resource::named(vocab::clc::CORINE_AREA),
+        NamedNode::new(vocab::rdfs::SUB_CLASS_OF),
+        Term::named(vocab::geo::FEATURE),
+    );
+    class(&mut g, vocab::clc::CORINE_VALUE, "CORINE value", None);
+    property(
+        &mut g,
+        vocab::clc::HAS_CORINE_VALUE,
+        vocab::owl::OBJECT_PROPERTY,
+        vocab::clc::CORINE_AREA,
+        vocab::clc::CORINE_VALUE,
+        "has CORINE value",
+    );
+    property(
+        &mut g,
+        vocab::clc::HAS_CODE,
+        vocab::owl::DATATYPE_PROPERTY,
+        vocab::clc::CORINE_VALUE,
+        vocab::xsd::INTEGER,
+        "CLC code",
+    );
+    for (code, label) in CLC_CLASSES {
+        let c = iri(vocab::clc::NS, &camel_case(label));
+        let parent = clc_parent(*code)
+            .and_then(clc_class_iri)
+            .map(|n| n.as_str().to_string())
+            .unwrap_or_else(|| vocab::clc::CORINE_VALUE.to_string());
+        class(&mut g, c.as_str(), label, Some(&parent));
+        g.add(
+            Resource::Named(c),
+            NamedNode::new(vocab::clc::HAS_CODE),
+            Literal::integer(*code as i64),
+        );
+    }
+    g
+}
+
+/// One Urban Atlas class: `(code, urban?, label)`.
+pub type UaClass = (u32, bool, &'static str);
+
+/// The Urban Atlas 2012 nomenclature: 17 urban and 10 rural classes
+/// (Section 4: "Land cover/land use is characterized by 17 urban classes ...
+/// and 10 rural classes").
+pub const UA_CLASSES: &[UaClass] = &[
+    (11100, true, "Continuous urban fabric"),
+    (11210, true, "Discontinuous dense urban fabric"),
+    (11220, true, "Discontinuous medium density urban fabric"),
+    (11230, true, "Discontinuous low density urban fabric"),
+    (11240, true, "Discontinuous very low density urban fabric"),
+    (11300, true, "Isolated structures"),
+    (12100, true, "Industrial, commercial, public, military and private units"),
+    (12210, true, "Fast transit roads and associated land"),
+    (12220, true, "Other roads and associated land"),
+    (12230, true, "Railways and associated land"),
+    (12300, true, "Port areas"),
+    (12400, true, "Airports"),
+    (13100, true, "Mineral extraction and dump sites"),
+    (13300, true, "Construction sites"),
+    (13400, true, "Land without current use"),
+    (14100, true, "Green urban areas"),
+    (14200, true, "Sports and leisure facilities"),
+    (21000, false, "Arable land"),
+    (22000, false, "Permanent crops"),
+    (23000, false, "Pastures"),
+    (24000, false, "Complex and mixed cultivation patterns"),
+    (25000, false, "Orchards"),
+    (31000, false, "Forests"),
+    (32000, false, "Herbaceous vegetation associations"),
+    (33000, false, "Open spaces with little or no vegetation"),
+    (40000, false, "Wetlands"),
+    (50000, false, "Water"),
+];
+
+/// IRI of an Urban Atlas class given its numeric code.
+pub fn ua_class_iri(code: u32) -> Option<NamedNode> {
+    UA_CLASSES
+        .iter()
+        .find(|(c, _, _)| *c == code)
+        .map(|(_, _, label)| iri(vocab::ua::NS, &camel_case(label)))
+}
+
+/// The Urban Atlas ontology of Section 4.
+pub fn urban_atlas_ontology() -> Graph {
+    let mut g = Graph::new();
+    class(
+        &mut g,
+        vocab::ua::URBAN_AREA,
+        "Urban Atlas area",
+        Some(vocab::geo::FEATURE),
+    );
+    let urban_root = iri(vocab::ua::NS, "UrbanClass");
+    let rural_root = iri(vocab::ua::NS, "RuralClass");
+    class(&mut g, urban_root.as_str(), "Urban Atlas urban class", None);
+    class(&mut g, rural_root.as_str(), "Urban Atlas rural class", None);
+    property(
+        &mut g,
+        vocab::ua::HAS_CLASS,
+        vocab::owl::OBJECT_PROPERTY,
+        vocab::ua::URBAN_AREA,
+        urban_root.as_str(),
+        "has class",
+    );
+    property(
+        &mut g,
+        vocab::ua::HAS_POPULATION,
+        vocab::owl::DATATYPE_PROPERTY,
+        vocab::ua::URBAN_AREA,
+        vocab::xsd::INTEGER,
+        "estimated population",
+    );
+    for (code, urban, label) in UA_CLASSES {
+        let c = iri(vocab::ua::NS, &camel_case(label));
+        let parent = if *urban { &urban_root } else { &rural_root };
+        class(&mut g, c.as_str(), label, Some(parent.as_str()));
+        g.add(
+            Resource::Named(c),
+            NamedNode::new(&*format!("{}hasCode", vocab::ua::NS)),
+            Literal::integer(*code as i64),
+        );
+    }
+    g
+}
+
+/// The OpenStreetMap ontology of Section 4 (built "following closely the
+/// description of OpenStreetMap data provided by Geofabrik").
+pub fn osm_ontology() -> Graph {
+    let mut g = Graph::new();
+    class(
+        &mut g,
+        vocab::osm::POI,
+        "point of interest",
+        Some(vocab::geo::FEATURE),
+    );
+    property(
+        &mut g,
+        vocab::osm::POI_TYPE,
+        vocab::owl::OBJECT_PROPERTY,
+        vocab::osm::POI,
+        vocab::rdfs::CLASS,
+        "POI type",
+    );
+    property(
+        &mut g,
+        vocab::osm::HAS_NAME,
+        vocab::owl::DATATYPE_PROPERTY,
+        vocab::osm::POI,
+        vocab::xsd::STRING,
+        "has name",
+    );
+    for (t, label) in [
+        (vocab::osm::PARK, "park"),
+        (vocab::osm::FOREST, "forest"),
+        (vocab::osm::INDUSTRIAL, "industrial area"),
+    ] {
+        class(&mut g, t, label, None);
+    }
+    g
+}
+
+/// The Sextant map ontology of Section 3.3 ("each thematic map is
+/// represented using a map ontology that assists on modelling these maps in
+/// RDF").
+pub fn map_ontology() -> Graph {
+    let mut g = Graph::new();
+    class(&mut g, vocab::map::MAP, "thematic map", None);
+    class(&mut g, vocab::map::LAYER, "map layer", None);
+    property(
+        &mut g,
+        vocab::map::HAS_LAYER,
+        vocab::owl::OBJECT_PROPERTY,
+        vocab::map::MAP,
+        vocab::map::LAYER,
+        "has layer",
+    );
+    property(
+        &mut g,
+        vocab::map::HAS_TITLE,
+        vocab::owl::DATATYPE_PROPERTY,
+        vocab::map::MAP,
+        vocab::xsd::STRING,
+        "has title",
+    );
+    property(
+        &mut g,
+        vocab::map::HAS_SOURCE,
+        vocab::owl::DATATYPE_PROPERTY,
+        vocab::map::LAYER,
+        vocab::xsd::ANY_URI,
+        "layer data source",
+    );
+    property(
+        &mut g,
+        vocab::map::HAS_STYLE,
+        vocab::owl::DATATYPE_PROPERTY,
+        vocab::map::LAYER,
+        vocab::xsd::STRING,
+        "layer style",
+    );
+    property(
+        &mut g,
+        vocab::map::HAS_ORDER,
+        vocab::owl::DATATYPE_PROPERTY,
+        vocab::map::LAYER,
+        vocab::xsd::INTEGER,
+        "stacking order",
+    );
+    property(
+        &mut g,
+        vocab::map::HAS_TIMESTAMP,
+        vocab::owl::DATATYPE_PROPERTY,
+        vocab::map::LAYER,
+        vocab::xsd::DATE_TIME,
+        "layer timestamp",
+    );
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clc_has_44_level3_classes() {
+        let level3 = CLC_CLASSES.iter().filter(|(c, _)| *c >= 100).count();
+        assert_eq!(level3, 44);
+        let level1 = CLC_CLASSES.iter().filter(|(c, _)| *c < 10).count();
+        assert_eq!(level1, 5);
+    }
+
+    #[test]
+    fn ua_has_17_urban_10_rural() {
+        assert_eq!(UA_CLASSES.iter().filter(|(_, u, _)| *u).count(), 17);
+        assert_eq!(UA_CLASSES.iter().filter(|(_, u, _)| !*u).count(), 10);
+    }
+
+    #[test]
+    fn camel_case_examples() {
+        assert_eq!(camel_case("Green urban areas"), "GreenUrbanAreas");
+        assert_eq!(camel_case("Beaches, dunes, sands"), "BeachesDunesSands");
+        assert_eq!(camel_case("Forests"), "Forests");
+    }
+
+    #[test]
+    fn clc_hierarchy_is_connected() {
+        let g = corine_ontology();
+        // Every level-3 class transitively reaches clc:CorineValue.
+        let sub = NamedNode::new(vocab::rdfs::SUB_CLASS_OF);
+        for (code, label) in CLC_CLASSES {
+            if *code < 100 {
+                continue;
+            }
+            let mut current = iri(vocab::clc::NS, &camel_case(label));
+            let mut steps = 0;
+            loop {
+                let parent = g
+                    .object_of(&Resource::Named(current.clone()), &sub)
+                    .and_then(|t| t.as_named().cloned())
+                    .unwrap_or_else(|| panic!("class {current:?} has no parent"));
+                if parent.as_str() == vocab::clc::CORINE_VALUE {
+                    break;
+                }
+                current = parent;
+                steps += 1;
+                assert!(steps <= 3, "hierarchy too deep for {label}");
+            }
+        }
+    }
+
+    #[test]
+    fn lai_ontology_matches_figure2() {
+        let g = lai_ontology();
+        let obs = Resource::named(vocab::lai::OBSERVATION);
+        let sub = NamedNode::new(vocab::rdfs::SUB_CLASS_OF);
+        let parents: Vec<_> = g
+            .matching(Some(&obs), Some(&sub), None)
+            .map(|t| t.object.clone())
+            .collect();
+        assert!(parents.contains(&Term::named(vocab::qb::OBSERVATION)));
+        assert!(parents.contains(&Term::named(vocab::geo::FEATURE)));
+        let has_lai = Resource::named(vocab::lai::HAS_LAI);
+        let range = g
+            .object_of(&has_lai, &NamedNode::new(vocab::rdfs::RANGE))
+            .unwrap();
+        assert_eq!(range, &Term::named(vocab::xsd::FLOAT));
+    }
+
+    #[test]
+    fn gadm_ontology_matches_figure3() {
+        let g = gadm_ontology();
+        let unit = Resource::named(vocab::gadm::ADMINISTRATIVE_UNIT);
+        let sub = NamedNode::new(vocab::rdfs::SUB_CLASS_OF);
+        assert_eq!(
+            g.object_of(&unit, &sub),
+            Some(&Term::named(vocab::geo::FEATURE))
+        );
+        // partOf is reflexive on the class level: domain == range == unit.
+        let part_of = Resource::named(vocab::gadm::PART_OF);
+        assert_eq!(
+            g.object_of(&part_of, &NamedNode::new(vocab::rdfs::RANGE)),
+            Some(&Term::named(vocab::gadm::ADMINISTRATIVE_UNIT))
+        );
+    }
+
+    #[test]
+    fn ontologies_serialize_as_turtle() {
+        for g in [
+            lai_ontology(),
+            gadm_ontology(),
+            corine_ontology(),
+            urban_atlas_ontology(),
+            osm_ontology(),
+            map_ontology(),
+        ] {
+            let text = crate::turtle::write_turtle(&g);
+            let parsed = crate::turtle::parse_turtle(&text).unwrap();
+            assert_eq!(parsed.len(), g.len());
+        }
+    }
+
+    #[test]
+    fn clc_class_iri_lookup() {
+        assert_eq!(
+            clc_class_iri(141).unwrap().as_str(),
+            "http://www.app-lab.eu/clc/GreenUrbanAreas"
+        );
+        assert!(clc_class_iri(999).is_none());
+        assert_eq!(clc_parent(141), Some(14));
+        assert_eq!(clc_parent(14), Some(1));
+        assert_eq!(clc_parent(1), None);
+    }
+}

@@ -1,0 +1,447 @@
+//! RDF terms and triples.
+//!
+//! Terms use `Arc<str>` internally so cloning a term (which the query engine
+//! does constantly when producing bindings) is a reference-count bump, not a
+//! string copy.
+
+use crate::datetime::{format_datetime, parse_datetime, EpochSeconds};
+use crate::vocab;
+use std::fmt;
+use std::sync::Arc;
+
+/// An IRI.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NamedNode(Arc<str>);
+
+impl NamedNode {
+    pub fn new(iri: impl Into<String>) -> Self {
+        NamedNode(Arc::from(iri.into()))
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The part after the last `#` or `/` — the "local name" used when
+    /// pretty-printing with prefixes.
+    pub fn local_name(&self) -> &str {
+        let s = self.as_str();
+        match s.rfind(['#', '/']) {
+            Some(i) => &s[i + 1..],
+            None => s,
+        }
+    }
+}
+
+impl fmt::Display for NamedNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.0)
+    }
+}
+
+impl From<&str> for NamedNode {
+    fn from(s: &str) -> Self {
+        NamedNode::new(s)
+    }
+}
+
+/// A blank node with a local label.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlankNode(Arc<str>);
+
+impl BlankNode {
+    pub fn new(label: impl Into<String>) -> Self {
+        BlankNode(Arc::from(label.into()))
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for BlankNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "_:{}", self.0)
+    }
+}
+
+/// An RDF literal: lexical form plus either a datatype IRI or a language tag.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    value: Arc<str>,
+    datatype: NamedNode,
+    language: Option<Arc<str>>,
+}
+
+impl Literal {
+    /// A plain `xsd:string` literal.
+    pub fn string(value: impl Into<String>) -> Self {
+        Literal {
+            value: Arc::from(value.into()),
+            datatype: NamedNode::new(vocab::xsd::STRING),
+            language: None,
+        }
+    }
+
+    /// A literal with an explicit datatype.
+    pub fn typed(value: impl Into<String>, datatype: NamedNode) -> Self {
+        Literal {
+            value: Arc::from(value.into()),
+            datatype,
+            language: None,
+        }
+    }
+
+    /// A language-tagged string.
+    pub fn lang(value: impl Into<String>, language: impl Into<String>) -> Self {
+        Literal {
+            value: Arc::from(value.into()),
+            datatype: NamedNode::new(vocab::rdf::LANG_STRING),
+            language: Some(Arc::from(language.into())),
+        }
+    }
+
+    pub fn integer(v: i64) -> Self {
+        Literal::typed(v.to_string(), NamedNode::new(vocab::xsd::INTEGER))
+    }
+
+    pub fn double(v: f64) -> Self {
+        Literal::typed(v.to_string(), NamedNode::new(vocab::xsd::DOUBLE))
+    }
+
+    pub fn float(v: f64) -> Self {
+        Literal::typed(v.to_string(), NamedNode::new(vocab::xsd::FLOAT))
+    }
+
+    pub fn boolean(v: bool) -> Self {
+        Literal::typed(v.to_string(), NamedNode::new(vocab::xsd::BOOLEAN))
+    }
+
+    pub fn datetime(t: EpochSeconds) -> Self {
+        Literal::typed(format_datetime(t), NamedNode::new(vocab::xsd::DATE_TIME))
+    }
+
+    /// A GeoSPARQL `geo:wktLiteral`.
+    pub fn wkt(wkt: impl Into<String>) -> Self {
+        Literal::typed(wkt, NamedNode::new(vocab::geo::WKT_LITERAL))
+    }
+
+    pub fn value(&self) -> &str {
+        &self.value
+    }
+
+    pub fn datatype(&self) -> &NamedNode {
+        &self.datatype
+    }
+
+    pub fn language(&self) -> Option<&str> {
+        self.language.as_deref()
+    }
+
+    pub fn is_wkt(&self) -> bool {
+        self.datatype.as_str() == vocab::geo::WKT_LITERAL
+    }
+
+    /// Numeric interpretation, if the datatype is numeric (or the lexical
+    /// form parses as a number for untyped comparisons).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.datatype.as_str() {
+            vocab::xsd::INTEGER
+            | vocab::xsd::DOUBLE
+            | vocab::xsd::FLOAT
+            | vocab::xsd::DECIMAL
+            | vocab::xsd::LONG
+            | vocab::xsd::INT => self.value.parse().ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        self.as_f64().map(|f| f as i64)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        if self.datatype.as_str() == vocab::xsd::BOOLEAN {
+            match self.value() {
+                "true" | "1" => Some(true),
+                "false" | "0" => Some(false),
+                _ => None,
+            }
+        } else {
+            None
+        }
+    }
+
+    /// Epoch seconds, when the literal is an `xsd:dateTime`/`xsd:date`.
+    pub fn as_datetime(&self) -> Option<EpochSeconds> {
+        match self.datatype.as_str() {
+            vocab::xsd::DATE_TIME | vocab::xsd::DATE => parse_datetime(&self.value).ok(),
+            _ => None,
+        }
+    }
+
+    /// Parse the literal as a geometry when it is a `geo:wktLiteral`.
+    pub fn as_geometry(&self) -> Option<applab_geo::Geometry> {
+        if self.is_wkt() {
+            applab_geo::parse_wkt(&self.value).ok()
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\"{}\"", escape_literal(&self.value))?;
+        if let Some(lang) = &self.language {
+            write!(f, "@{lang}")
+        } else if self.datatype.as_str() != vocab::xsd::STRING {
+            write!(f, "^^{}", self.datatype)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Escape a literal's lexical form for N-Triples/Turtle output.
+pub fn escape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// A subject: IRI or blank node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Resource {
+    Named(NamedNode),
+    Blank(BlankNode),
+}
+
+impl Resource {
+    pub fn named(iri: impl Into<String>) -> Self {
+        Resource::Named(NamedNode::new(iri))
+    }
+
+    pub fn blank(label: impl Into<String>) -> Self {
+        Resource::Blank(BlankNode::new(label))
+    }
+
+    pub fn as_named(&self) -> Option<&NamedNode> {
+        match self {
+            Resource::Named(n) => Some(n),
+            Resource::Blank(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Named(n) => n.fmt(f),
+            Resource::Blank(b) => b.fmt(f),
+        }
+    }
+}
+
+impl From<NamedNode> for Resource {
+    fn from(n: NamedNode) -> Self {
+        Resource::Named(n)
+    }
+}
+
+impl From<BlankNode> for Resource {
+    fn from(b: BlankNode) -> Self {
+        Resource::Blank(b)
+    }
+}
+
+/// Any RDF term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    Named(NamedNode),
+    Blank(BlankNode),
+    Literal(Literal),
+}
+
+impl Term {
+    pub fn named(iri: impl Into<String>) -> Self {
+        Term::Named(NamedNode::new(iri))
+    }
+
+    pub fn as_named(&self) -> Option<&NamedNode> {
+        match self {
+            Term::Named(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Term::Literal(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    pub fn as_resource(&self) -> Option<Resource> {
+        match self {
+            Term::Named(n) => Some(Resource::Named(n.clone())),
+            Term::Blank(b) => Some(Resource::Blank(b.clone())),
+            Term::Literal(_) => None,
+        }
+    }
+
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal(_))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Named(n) => n.fmt(f),
+            Term::Blank(b) => b.fmt(f),
+            Term::Literal(l) => l.fmt(f),
+        }
+    }
+}
+
+impl From<NamedNode> for Term {
+    fn from(n: NamedNode) -> Self {
+        Term::Named(n)
+    }
+}
+
+impl From<BlankNode> for Term {
+    fn from(b: BlankNode) -> Self {
+        Term::Blank(b)
+    }
+}
+
+impl From<Literal> for Term {
+    fn from(l: Literal) -> Self {
+        Term::Literal(l)
+    }
+}
+
+impl From<Resource> for Term {
+    fn from(r: Resource) -> Self {
+        match r {
+            Resource::Named(n) => Term::Named(n),
+            Resource::Blank(b) => Term::Blank(b),
+        }
+    }
+}
+
+/// An RDF triple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    pub subject: Resource,
+    pub predicate: NamedNode,
+    pub object: Term,
+}
+
+impl Triple {
+    pub fn new(
+        subject: impl Into<Resource>,
+        predicate: impl Into<NamedNode>,
+        object: impl Into<Term>,
+    ) -> Self {
+        Triple {
+            subject: subject.into(),
+            predicate: predicate.into(),
+            object: object.into(),
+        }
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_constructors() {
+        assert_eq!(Literal::integer(42).as_f64(), Some(42.0));
+        assert_eq!(Literal::double(2.5).as_f64(), Some(2.5));
+        assert_eq!(Literal::boolean(true).as_bool(), Some(true));
+        assert_eq!(Literal::string("hi").as_f64(), None);
+        assert!(Literal::wkt("POINT (1 2)").is_wkt());
+    }
+
+    #[test]
+    fn wkt_literal_parses_geometry() {
+        let l = Literal::wkt("POINT (2.35 48.85)");
+        let g = l.as_geometry().unwrap();
+        assert_eq!(g, applab_geo::Geometry::point(2.35, 48.85));
+        assert!(Literal::string("POINT (1 2)").as_geometry().is_none());
+        assert!(Literal::wkt("NOT WKT").as_geometry().is_none());
+    }
+
+    #[test]
+    fn datetime_literal_roundtrip() {
+        let l = Literal::datetime(1_497_484_800);
+        assert_eq!(l.value(), "2017-06-15T00:00:00Z");
+        assert_eq!(l.as_datetime(), Some(1_497_484_800));
+    }
+
+    #[test]
+    fn display_forms() {
+        let t = Triple::new(
+            Resource::named("http://ex.org/a"),
+            NamedNode::new("http://ex.org/p"),
+            Literal::lang("chat", "fr"),
+        );
+        assert_eq!(
+            t.to_string(),
+            "<http://ex.org/a> <http://ex.org/p> \"chat\"@fr ."
+        );
+        let t2 = Triple::new(
+            Resource::blank("b0"),
+            NamedNode::new("http://ex.org/p"),
+            Literal::integer(7),
+        );
+        assert!(t2.to_string().starts_with("_:b0 "));
+        assert!(t2
+            .to_string()
+            .contains("\"7\"^^<http://www.w3.org/2001/XMLSchema#integer>"));
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape_literal("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let l = Literal::string("say \"hi\"");
+        assert_eq!(l.to_string(), "\"say \\\"hi\\\"\"");
+    }
+
+    #[test]
+    fn local_names() {
+        assert_eq!(NamedNode::new("http://ex.org/ns#Thing").local_name(), "Thing");
+        assert_eq!(NamedNode::new("http://ex.org/ns/Thing").local_name(), "Thing");
+        assert_eq!(NamedNode::new("urn:x").local_name(), "urn:x");
+    }
+
+    #[test]
+    fn term_conversions() {
+        let n = NamedNode::new("http://ex.org/a");
+        let t: Term = n.clone().into();
+        assert_eq!(t.as_named(), Some(&n));
+        assert_eq!(t.as_resource(), Some(Resource::Named(n)));
+        let lit: Term = Literal::string("x").into();
+        assert!(lit.as_resource().is_none());
+        assert!(lit.is_literal());
+    }
+}

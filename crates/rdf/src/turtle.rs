@@ -1,0 +1,736 @@
+//! Turtle (subset) reading and writing.
+//!
+//! The writer emits prefixed, subject-grouped Turtle using the default
+//! prefix table. The parser supports the subset the stack produces and the
+//! paper's listings use: `@prefix`/`PREFIX` declarations, IRIs, prefixed
+//! names, blank node labels, `a`, predicate lists (`;`), object lists (`,`),
+//! string literals with `^^datatype` or `@lang`, and bare numeric/boolean
+//! shorthand. Collections `( ... )` and anonymous blank nodes `[ ... ]` are
+//! not supported.
+
+use crate::graph::Graph;
+use crate::term::{escape_literal, BlankNode, Literal, NamedNode, Resource, Term, Triple};
+use crate::vocab;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced while parsing Turtle / N-Triples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TurtleError {
+    pub message: String,
+    pub line: usize,
+}
+
+impl fmt::Display for TurtleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Turtle parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TurtleError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Iri(String),
+    PrefixedName(String, String),
+    BlankNode(String),
+    Literal {
+        value: String,
+        datatype: Option<Box<Token>>,
+        lang: Option<String>,
+    },
+    Number(String),
+    Boolean(bool),
+    A,
+    Dot,
+    Semicolon,
+    Comma,
+    PrefixDecl,
+    BaseDecl,
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Lexer {
+            bytes: input.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, TurtleError> {
+        Err(TurtleError {
+            message: message.into(),
+            line: self.line,
+        })
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b if b.is_ascii_whitespace() => self.pos += 1,
+                b'#' => {
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn peek_byte(&mut self) -> Option<u8> {
+        self.skip_ws_and_comments();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn read_iri(&mut self) -> Result<String, TurtleError> {
+        debug_assert_eq!(self.bytes[self.pos], b'<');
+        self.pos += 1;
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'>' {
+            if self.bytes[self.pos] == b'\n' {
+                return self.err("newline inside IRI");
+            }
+            self.pos += 1;
+        }
+        if self.pos >= self.bytes.len() {
+            return self.err("unterminated IRI");
+        }
+        let iri = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| TurtleError {
+                message: "invalid UTF-8 in IRI".into(),
+                line: self.line,
+            })?
+            .to_string();
+        self.pos += 1;
+        Ok(iri)
+    }
+
+    fn read_string(&mut self) -> Result<String, TurtleError> {
+        debug_assert_eq!(self.bytes[self.pos], b'"');
+        // Long string form `"""..."""`.
+        let long = self.bytes[self.pos..].starts_with(b"\"\"\"");
+        self.pos += if long { 3 } else { 1 };
+        let mut out = String::new();
+        loop {
+            if self.pos >= self.bytes.len() {
+                return self.err("unterminated string literal");
+            }
+            let b = self.bytes[self.pos];
+            if b == b'"' {
+                if long {
+                    if self.bytes[self.pos..].starts_with(b"\"\"\"") {
+                        self.pos += 3;
+                        return Ok(out);
+                    }
+                    out.push('"');
+                    self.pos += 1;
+                } else {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+            } else if b == b'\\' {
+                self.pos += 1;
+                let esc = self
+                    .bytes
+                    .get(self.pos)
+                    .copied()
+                    .ok_or_else(|| TurtleError {
+                        message: "dangling escape".into(),
+                        line: self.line,
+                    })?;
+                match esc {
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'u' | b'U' => {
+                        let width = if esc == b'u' { 4 } else { 8 };
+                        let hex_start = self.pos + 1;
+                        let hex_end = hex_start + width;
+                        if hex_end > self.bytes.len() {
+                            return self.err("truncated unicode escape");
+                        }
+                        let hex = std::str::from_utf8(&self.bytes[hex_start..hex_end]).unwrap();
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| TurtleError {
+                                message: format!("invalid unicode escape \\{}{hex}", esc as char),
+                                line: self.line,
+                            })?;
+                        out.push(char::from_u32(code).ok_or_else(|| TurtleError {
+                            message: format!("invalid code point U+{code:X}"),
+                            line: self.line,
+                        })?);
+                        self.pos += width;
+                    }
+                    other => return self.err(format!("unknown escape \\{}", other as char)),
+                }
+                self.pos += 1;
+            } else {
+                if b == b'\n' {
+                    if !long {
+                        return self.err("newline in short string");
+                    }
+                    self.line += 1;
+                }
+                // Copy a full UTF-8 sequence.
+                let ch_len = utf8_len(b);
+                let end = (self.pos + ch_len).min(self.bytes.len());
+                out.push_str(std::str::from_utf8(&self.bytes[self.pos..end]).map_err(|_| {
+                    TurtleError {
+                        message: "invalid UTF-8 in string".into(),
+                        line: self.line,
+                    }
+                })?);
+                self.pos = end;
+            }
+        }
+    }
+
+    fn read_word(&mut self) -> String {
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.' || b == b':' || b >= 0x80
+            {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        // A trailing '.' is the statement terminator, not part of the word.
+        let mut end = self.pos;
+        while end > start && self.bytes[end - 1] == b'.' {
+            end -= 1;
+        }
+        self.pos = end;
+        String::from_utf8_lossy(&self.bytes[start..end]).into_owned()
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token>, TurtleError> {
+        let b = match self.peek_byte() {
+            Some(b) => b,
+            None => return Ok(None),
+        };
+        match b {
+            b'<' => Ok(Some(Token::Iri(self.read_iri()?))),
+            b'"' => {
+                let value = self.read_string()?;
+                // Optional suffix.
+                if self.bytes.get(self.pos) == Some(&b'^')
+                    && self.bytes.get(self.pos + 1) == Some(&b'^')
+                {
+                    self.pos += 2;
+                    let dt = match self.peek_byte() {
+                        Some(b'<') => Token::Iri(self.read_iri()?),
+                        Some(_) => {
+                            let w = self.read_word();
+                            self.prefixed(&w)?
+                        }
+                        None => return self.err("expected datatype after ^^"),
+                    };
+                    Ok(Some(Token::Literal {
+                        value,
+                        datatype: Some(Box::new(dt)),
+                        lang: None,
+                    }))
+                } else if self.bytes.get(self.pos) == Some(&b'@') {
+                    self.pos += 1;
+                    let lang = self.read_word();
+                    Ok(Some(Token::Literal {
+                        value,
+                        datatype: None,
+                        lang: Some(lang),
+                    }))
+                } else {
+                    Ok(Some(Token::Literal {
+                        value,
+                        datatype: None,
+                        lang: None,
+                    }))
+                }
+            }
+            b'_' => {
+                if self.bytes.get(self.pos + 1) != Some(&b':') {
+                    return self.err("expected ':' after '_'");
+                }
+                self.pos += 2;
+                Ok(Some(Token::BlankNode(self.read_word())))
+            }
+            b'.' => {
+                self.pos += 1;
+                Ok(Some(Token::Dot))
+            }
+            b';' => {
+                self.pos += 1;
+                Ok(Some(Token::Semicolon))
+            }
+            b',' => {
+                self.pos += 1;
+                Ok(Some(Token::Comma))
+            }
+            b'@' => {
+                self.pos += 1;
+                let w = self.read_word();
+                match w.as_str() {
+                    "prefix" => Ok(Some(Token::PrefixDecl)),
+                    "base" => Ok(Some(Token::BaseDecl)),
+                    other => self.err(format!("unknown directive @{other}")),
+                }
+            }
+            b'-' | b'+' | b'0'..=b'9' => {
+                let start = self.pos;
+                self.pos += 1;
+                while self.pos < self.bytes.len() {
+                    let c = self.bytes[self.pos];
+                    if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'-' || c == b'+'
+                    {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let mut end = self.pos;
+                // A trailing '.' terminates the statement instead.
+                if end > start && self.bytes[end - 1] == b'.' {
+                    let body = &self.bytes[start..end - 1];
+                    if !body.contains(&b'.') || body.last() == Some(&b'.') {
+                        end -= 1;
+                        self.pos = end;
+                    }
+                }
+                Ok(Some(Token::Number(
+                    String::from_utf8_lossy(&self.bytes[start..end]).into_owned(),
+                )))
+            }
+            _ => {
+                let w = self.read_word();
+                if w.is_empty() {
+                    return self.err(format!("unexpected character {:?}", b as char));
+                }
+                match w.as_str() {
+                    "a" => Ok(Some(Token::A)),
+                    "true" => Ok(Some(Token::Boolean(true))),
+                    "false" => Ok(Some(Token::Boolean(false))),
+                    "PREFIX" | "prefix" => Ok(Some(Token::PrefixDecl)),
+                    "BASE" | "base" => Ok(Some(Token::BaseDecl)),
+                    _ => self.prefixed(&w).map(Some),
+                }
+            }
+        }
+    }
+
+    fn prefixed(&self, word: &str) -> Result<Token, TurtleError> {
+        match word.split_once(':') {
+            Some((p, l)) => Ok(Token::PrefixedName(p.to_string(), l.to_string())),
+            None => self.err(format!("expected prefixed name, found {word:?}")),
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+struct TurtleParser<'a> {
+    lexer: Lexer<'a>,
+    prefixes: HashMap<String, String>,
+    peeked: Option<Token>,
+}
+
+impl<'a> TurtleParser<'a> {
+    fn new(input: &'a str) -> Self {
+        TurtleParser {
+            lexer: Lexer::new(input),
+            prefixes: HashMap::new(),
+            peeked: None,
+        }
+    }
+
+    fn next(&mut self) -> Result<Option<Token>, TurtleError> {
+        if let Some(t) = self.peeked.take() {
+            return Ok(Some(t));
+        }
+        self.lexer.next_token()
+    }
+
+    fn expect(&mut self, what: &str) -> Result<Token, TurtleError> {
+        self.next()?.ok_or_else(|| TurtleError {
+            message: format!("unexpected end of input, expected {what}"),
+            line: self.lexer.line,
+        })
+    }
+
+    fn resolve(&self, token: Token) -> Result<NamedNode, TurtleError> {
+        match token {
+            Token::Iri(iri) => Ok(NamedNode::new(iri)),
+            Token::PrefixedName(p, l) => {
+                let ns = self.prefixes.get(&p).ok_or_else(|| TurtleError {
+                    message: format!("undeclared prefix {p:?}"),
+                    line: self.lexer.line,
+                })?;
+                Ok(NamedNode::new(format!("{ns}{l}")))
+            }
+            other => Err(TurtleError {
+                message: format!("expected IRI, found {other:?}"),
+                line: self.lexer.line,
+            }),
+        }
+    }
+
+    fn term(&mut self, token: Token) -> Result<Term, TurtleError> {
+        match token {
+            Token::Iri(_) | Token::PrefixedName(..) => Ok(Term::Named(self.resolve(token)?)),
+            Token::BlankNode(label) => Ok(Term::Blank(BlankNode::new(label))),
+            Token::Literal {
+                value,
+                datatype,
+                lang,
+            } => {
+                if let Some(lang) = lang {
+                    Ok(Term::Literal(Literal::lang(value, lang)))
+                } else if let Some(dt) = datatype {
+                    let dt = self.resolve(*dt)?;
+                    Ok(Term::Literal(Literal::typed(value, dt)))
+                } else {
+                    Ok(Term::Literal(Literal::string(value)))
+                }
+            }
+            Token::Number(n) => {
+                let dt = if n.contains(['.', 'e', 'E']) {
+                    vocab::xsd::DOUBLE
+                } else {
+                    vocab::xsd::INTEGER
+                };
+                Ok(Term::Literal(Literal::typed(n, NamedNode::new(dt))))
+            }
+            Token::Boolean(b) => Ok(Term::Literal(Literal::boolean(b))),
+            other => Err(TurtleError {
+                message: format!("expected term, found {other:?}"),
+                line: self.lexer.line,
+            }),
+        }
+    }
+
+    fn parse(&mut self) -> Result<Graph, TurtleError> {
+        let mut graph = Graph::new();
+        while let Some(token) = self.next()? {
+            match token {
+                Token::PrefixDecl => {
+                    let name = self.expect("prefix name")?;
+                    let (prefix, rest) = match name {
+                        Token::PrefixedName(p, l) if l.is_empty() => (p, None),
+                        Token::PrefixedName(p, l) => (p, Some(l)),
+                        other => {
+                            return Err(TurtleError {
+                                message: format!("expected prefix name, found {other:?}"),
+                                line: self.lexer.line,
+                            })
+                        }
+                    };
+                    if rest.is_some() {
+                        return Err(TurtleError {
+                            message: "prefix declarations must end with ':'".into(),
+                            line: self.lexer.line,
+                        });
+                    }
+                    let iri = match self.expect("prefix IRI")? {
+                        Token::Iri(iri) => iri,
+                        other => {
+                            return Err(TurtleError {
+                                message: format!("expected IRI, found {other:?}"),
+                                line: self.lexer.line,
+                            })
+                        }
+                    };
+                    self.prefixes.insert(prefix, iri);
+                    // Optional trailing dot (required by @prefix, absent for
+                    // SPARQL-style PREFIX).
+                    if let Some(t) = self.next()? {
+                        if t != Token::Dot {
+                            self.peeked = Some(t);
+                        }
+                    }
+                }
+                Token::BaseDecl => {
+                    // Accept and ignore: all our IRIs are absolute.
+                    let _ = self.expect("base IRI")?;
+                    if let Some(t) = self.next()? {
+                        if t != Token::Dot {
+                            self.peeked = Some(t);
+                        }
+                    }
+                }
+                subject_token => {
+                    let subject = match &subject_token {
+                        Token::BlankNode(label) => Resource::Blank(BlankNode::new(label.clone())),
+                        _ => Resource::Named(self.resolve(subject_token)?),
+                    };
+                    self.predicate_object_list(&mut graph, &subject)?;
+                }
+            }
+        }
+        Ok(graph)
+    }
+
+    fn predicate_object_list(
+        &mut self,
+        graph: &mut Graph,
+        subject: &Resource,
+    ) -> Result<(), TurtleError> {
+        loop {
+            let pred_token = self.expect("predicate")?;
+            let predicate = match pred_token {
+                Token::A => NamedNode::new(vocab::rdf::TYPE),
+                other => self.resolve(other)?,
+            };
+            loop {
+                let obj_token = self.expect("object")?;
+                let object = self.term(obj_token)?;
+                graph.insert(Triple::new(subject.clone(), predicate.clone(), object));
+                match self.expect("',', ';' or '.'")? {
+                    Token::Comma => continue,
+                    Token::Semicolon => break,
+                    Token::Dot => return Ok(()),
+                    other => {
+                        return Err(TurtleError {
+                            message: format!("expected ',', ';' or '.', found {other:?}"),
+                            line: self.lexer.line,
+                        })
+                    }
+                }
+            }
+            // After ';' there may be a '.' directly (trailing semicolon).
+            if let Some(t) = self.next()? {
+                if t == Token::Dot {
+                    return Ok(());
+                }
+                self.peeked = Some(t);
+            } else {
+                return Err(TurtleError {
+                    message: "unexpected end of input in predicate list".into(),
+                    line: self.lexer.line,
+                });
+            }
+        }
+    }
+}
+
+/// Parse a Turtle document into a [`Graph`].
+pub fn parse_turtle(input: &str) -> Result<Graph, TurtleError> {
+    TurtleParser::new(input).parse()
+}
+
+/// Serialize a graph as Turtle using the default prefix table, grouped by
+/// subject.
+pub fn write_turtle(graph: &Graph) -> String {
+    let prefixes = vocab::default_prefixes();
+    let mut out = String::new();
+    // Emit only the prefixes actually used.
+    let mut used: Vec<(&str, &str)> = Vec::new();
+    let uses = |ns: &str, graph: &Graph| {
+        graph.iter().any(|t| {
+            let s = match &t.subject {
+                Resource::Named(n) => n.as_str().starts_with(ns),
+                Resource::Blank(_) => false,
+            };
+            s || t.predicate.as_str().starts_with(ns)
+                || match &t.object {
+                    Term::Named(n) => n.as_str().starts_with(ns),
+                    Term::Literal(l) => l.datatype().as_str().starts_with(ns),
+                    Term::Blank(_) => false,
+                }
+        })
+    };
+    for (p, ns) in &prefixes {
+        if uses(ns, graph) {
+            used.push((p, ns));
+        }
+    }
+    for (p, ns) in &used {
+        out.push_str(&format!("@prefix {p}: <{ns}> .\n"));
+    }
+    if !used.is_empty() {
+        out.push('\n');
+    }
+
+    let shorten = |n: &NamedNode| -> String {
+        for (p, ns) in &used {
+            if let Some(local) = n.as_str().strip_prefix(ns) {
+                // Only shorten when the local part is a simple name.
+                if !local.is_empty()
+                    && local
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+                {
+                    return format!("{p}:{local}");
+                }
+            }
+        }
+        format!("<{}>", n.as_str())
+    };
+    let term_str = |t: &Term| -> String {
+        match t {
+            Term::Named(n) => shorten(n),
+            Term::Blank(b) => format!("_:{}", b.as_str()),
+            Term::Literal(l) => {
+                let body = format!("\"{}\"", escape_literal(l.value()));
+                if let Some(lang) = l.language() {
+                    format!("{body}@{lang}")
+                } else if l.datatype().as_str() == vocab::xsd::STRING {
+                    body
+                } else {
+                    format!("{body}^^{}", shorten(l.datatype()))
+                }
+            }
+        }
+    };
+
+    for subject in graph.subjects() {
+        let s_str = match subject {
+            Resource::Named(n) => shorten(n),
+            Resource::Blank(b) => format!("_:{}", b.as_str()),
+        };
+        let triples: Vec<&Triple> = graph.about(subject).collect();
+        out.push_str(&s_str);
+        for (i, t) in triples.iter().enumerate() {
+            let p_str = if t.predicate.as_str() == vocab::rdf::TYPE {
+                "a".to_string()
+            } else {
+                shorten(&t.predicate)
+            };
+            if i == 0 {
+                out.push(' ');
+            } else {
+                out.push_str(" ;\n    ");
+            }
+            out.push_str(&format!("{p_str} {}", term_str(&t.object)));
+        }
+        out.push_str(" .\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_document() {
+        let doc = r#"
+@prefix ex: <http://ex.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+
+ex:a a ex:Thing ;
+    ex:name "Alpha" ;
+    ex:value "3.5"^^xsd:double ;
+    ex:count 7 ;
+    ex:tags "x", "y" .
+_:b0 ex:ref ex:a .
+"#;
+        let g = parse_turtle(doc).unwrap();
+        assert_eq!(g.len(), 7);
+        let a = Resource::named("http://ex.org/a");
+        assert_eq!(g.about(&a).count(), 6);
+        let count = g
+            .object_of(&a, &NamedNode::new("http://ex.org/count"))
+            .unwrap();
+        assert_eq!(count.as_literal().unwrap().as_f64(), Some(7.0));
+    }
+
+    #[test]
+    fn parse_language_tags_and_booleans() {
+        let doc = r#"
+@prefix ex: <http://ex.org/> .
+ex:a ex:label "chat"@fr ; ex:flag true .
+"#;
+        let g = parse_turtle(doc).unwrap();
+        let a = Resource::named("http://ex.org/a");
+        let label = g
+            .object_of(&a, &NamedNode::new("http://ex.org/label"))
+            .unwrap();
+        assert_eq!(label.as_literal().unwrap().language(), Some("fr"));
+        let flag = g
+            .object_of(&a, &NamedNode::new("http://ex.org/flag"))
+            .unwrap();
+        assert_eq!(flag.as_literal().unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn parse_escapes_and_unicode() {
+        let doc = r#"
+@prefix ex: <http://ex.org/> .
+ex:a ex:s "line\nbreak \"quoted\" é" .
+"#;
+        let g = parse_turtle(doc).unwrap();
+        let a = Resource::named("http://ex.org/a");
+        let s = g.object_of(&a, &NamedNode::new("http://ex.org/s")).unwrap();
+        assert_eq!(s.as_literal().unwrap().value(), "line\nbreak \"quoted\" é");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_turtle("ex:a ex:b ex:c .").is_err()); // undeclared prefix
+        assert!(parse_turtle("<http://a> <http://b> \"unterminated .").is_err());
+        assert!(parse_turtle("@prefix ex <http://e/> .").is_err());
+        assert!(parse_turtle("<http://a> <http://b> <http://c>").is_err()); // no dot
+    }
+
+    #[test]
+    fn writer_roundtrip() {
+        let mut g = Graph::new();
+        let s = Resource::named(format!("{}obs1", vocab::lai::NS));
+        g.add(
+            s.clone(),
+            NamedNode::new(vocab::rdf::TYPE),
+            Term::named(vocab::lai::OBSERVATION),
+        );
+        g.add(
+            s.clone(),
+            NamedNode::new(vocab::lai::HAS_LAI),
+            Literal::float(3.25),
+        );
+        g.add(
+            s.clone(),
+            NamedNode::new(vocab::geo::HAS_GEOMETRY),
+            Term::Blank(BlankNode::new("g1")),
+        );
+        g.add(
+            Resource::Blank(BlankNode::new("g1")),
+            NamedNode::new(vocab::geo::AS_WKT),
+            Literal::wkt("POINT (2.35 48.85)"),
+        );
+        let text = write_turtle(&g);
+        assert!(text.contains("@prefix lai:"));
+        assert!(text.contains("a lai:Observation"));
+        let parsed = parse_turtle(&text).unwrap();
+        assert_eq!(parsed.len(), g.len());
+        for t in g.iter() {
+            assert!(parsed.contains(t), "missing after roundtrip: {t}");
+        }
+    }
+
+    #[test]
+    fn sparql_style_prefix() {
+        let doc = "PREFIX ex: <http://ex.org/>\nex:a ex:b ex:c .";
+        let g = parse_turtle(doc).unwrap();
+        assert_eq!(g.len(), 1);
+    }
+}

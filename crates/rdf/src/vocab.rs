@@ -1,0 +1,247 @@
+//! Vocabulary constants: the namespaces and terms the paper's stack uses.
+//!
+//! Namespaces follow the paper: the W3C core vocabularies, OGC GeoSPARQL
+//! (`geo:` ontology, `geof:` functions, `sf:` simple-features classes), the
+//! W3C Time ontology, the RDF Data Cube vocabulary (`qb:`), schema.org, and
+//! the App-Lab-specific namespaces introduced in Section 4 (`lai:`, `gadm:`,
+//! `clc:`, `ua:`, `osm:`).
+
+use crate::term::NamedNode;
+
+/// Build a [`NamedNode`] by concatenating a namespace and a local name.
+pub fn iri(namespace: &str, local: &str) -> NamedNode {
+    let mut s = String::with_capacity(namespace.len() + local.len());
+    s.push_str(namespace);
+    s.push_str(local);
+    NamedNode::new(s)
+}
+
+pub mod rdf {
+    pub const NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+    pub const TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+    pub const LANG_STRING: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString";
+}
+
+pub mod rdfs {
+    pub const NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+    pub const LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+    pub const COMMENT: &str = "http://www.w3.org/2000/01/rdf-schema#comment";
+    pub const SUB_CLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+    pub const SUB_PROPERTY_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+    pub const DOMAIN: &str = "http://www.w3.org/2000/01/rdf-schema#domain";
+    pub const RANGE: &str = "http://www.w3.org/2000/01/rdf-schema#range";
+    pub const CLASS: &str = "http://www.w3.org/2000/01/rdf-schema#Class";
+}
+
+pub mod owl {
+    pub const NS: &str = "http://www.w3.org/2002/07/owl#";
+    pub const CLASS: &str = "http://www.w3.org/2002/07/owl#Class";
+    pub const OBJECT_PROPERTY: &str = "http://www.w3.org/2002/07/owl#ObjectProperty";
+    pub const DATATYPE_PROPERTY: &str = "http://www.w3.org/2002/07/owl#DatatypeProperty";
+    pub const ONTOLOGY: &str = "http://www.w3.org/2002/07/owl#Ontology";
+    pub const SAME_AS: &str = "http://www.w3.org/2002/07/owl#sameAs";
+}
+
+pub mod xsd {
+    pub const NS: &str = "http://www.w3.org/2001/XMLSchema#";
+    pub const STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+    pub const INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+    pub const INT: &str = "http://www.w3.org/2001/XMLSchema#int";
+    pub const LONG: &str = "http://www.w3.org/2001/XMLSchema#long";
+    pub const DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+    pub const DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+    pub const FLOAT: &str = "http://www.w3.org/2001/XMLSchema#float";
+    pub const BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+    pub const DATE_TIME: &str = "http://www.w3.org/2001/XMLSchema#dateTime";
+    pub const DATE: &str = "http://www.w3.org/2001/XMLSchema#date";
+    pub const ANY_URI: &str = "http://www.w3.org/2001/XMLSchema#anyURI";
+}
+
+/// The GeoSPARQL ontology namespace (`geo:`).
+pub mod geo {
+    pub const NS: &str = "http://www.opengis.net/ont/geosparql#";
+    pub const FEATURE: &str = "http://www.opengis.net/ont/geosparql#Feature";
+    pub const GEOMETRY: &str = "http://www.opengis.net/ont/geosparql#Geometry";
+    pub const SPATIAL_OBJECT: &str = "http://www.opengis.net/ont/geosparql#SpatialObject";
+    pub const HAS_GEOMETRY: &str = "http://www.opengis.net/ont/geosparql#hasGeometry";
+    pub const AS_WKT: &str = "http://www.opengis.net/ont/geosparql#asWKT";
+    pub const WKT_LITERAL: &str = "http://www.opengis.net/ont/geosparql#wktLiteral";
+}
+
+/// The GeoSPARQL function namespace (`geof:`).
+pub mod geof {
+    pub const NS: &str = "http://www.opengis.net/def/function/geosparql/";
+    pub const SF_INTERSECTS: &str = "http://www.opengis.net/def/function/geosparql/sfIntersects";
+    pub const SF_WITHIN: &str = "http://www.opengis.net/def/function/geosparql/sfWithin";
+    pub const SF_CONTAINS: &str = "http://www.opengis.net/def/function/geosparql/sfContains";
+    pub const SF_TOUCHES: &str = "http://www.opengis.net/def/function/geosparql/sfTouches";
+    pub const SF_EQUALS: &str = "http://www.opengis.net/def/function/geosparql/sfEquals";
+    pub const SF_DISJOINT: &str = "http://www.opengis.net/def/function/geosparql/sfDisjoint";
+    pub const SF_OVERLAPS: &str = "http://www.opengis.net/def/function/geosparql/sfOverlaps";
+    pub const SF_CROSSES: &str = "http://www.opengis.net/def/function/geosparql/sfCrosses";
+    pub const DISTANCE: &str = "http://www.opengis.net/def/function/geosparql/distance";
+    pub const BUFFER: &str = "http://www.opengis.net/def/function/geosparql/buffer";
+    pub const ENVELOPE: &str = "http://www.opengis.net/def/function/geosparql/envelope";
+    pub const AREA: &str = "http://www.opengis.net/def/function/geosparql/area";
+}
+
+/// The OGC simple-features class namespace (`sf:`).
+pub mod sf {
+    pub const NS: &str = "http://www.opengis.net/ont/sf#";
+    pub const POINT: &str = "http://www.opengis.net/ont/sf#Point";
+    pub const POLYGON: &str = "http://www.opengis.net/ont/sf#Polygon";
+    pub const MULTI_POLYGON: &str = "http://www.opengis.net/ont/sf#MultiPolygon";
+    pub const LINE_STRING: &str = "http://www.opengis.net/ont/sf#LineString";
+}
+
+/// The W3C Time ontology (`time:`).
+pub mod time {
+    pub const NS: &str = "http://www.w3.org/2006/time#";
+    pub const INSTANT: &str = "http://www.w3.org/2006/time#Instant";
+    pub const INTERVAL: &str = "http://www.w3.org/2006/time#Interval";
+    pub const HAS_TIME: &str = "http://www.w3.org/2006/time#hasTime";
+    pub const IN_XSD_DATE_TIME: &str = "http://www.w3.org/2006/time#inXSDDateTime";
+    pub const HAS_BEGINNING: &str = "http://www.w3.org/2006/time#hasBeginning";
+    pub const HAS_END: &str = "http://www.w3.org/2006/time#hasEnd";
+}
+
+/// The RDF Data Cube vocabulary (`qb:`), reused by the LAI ontology (Fig. 2).
+pub mod qb {
+    pub const NS: &str = "http://purl.org/linked-data/cube#";
+    pub const DATA_SET: &str = "http://purl.org/linked-data/cube#DataSet";
+    pub const OBSERVATION: &str = "http://purl.org/linked-data/cube#Observation";
+    pub const DATA_SET_PROP: &str = "http://purl.org/linked-data/cube#dataSet";
+    pub const MEASURE_PROPERTY: &str = "http://purl.org/linked-data/cube#MeasureProperty";
+    pub const DIMENSION_PROPERTY: &str = "http://purl.org/linked-data/cube#DimensionProperty";
+}
+
+/// schema.org, used by the dataset catalog (Section 5).
+pub mod schema {
+    pub const NS: &str = "https://schema.org/";
+    pub const DATASET: &str = "https://schema.org/Dataset";
+    pub const NAME: &str = "https://schema.org/name";
+    pub const DESCRIPTION: &str = "https://schema.org/description";
+    pub const KEYWORDS: &str = "https://schema.org/keywords";
+    pub const CREATOR: &str = "https://schema.org/creator";
+    pub const SPATIAL_COVERAGE: &str = "https://schema.org/spatialCoverage";
+    pub const TEMPORAL_COVERAGE: &str = "https://schema.org/temporalCoverage";
+    pub const DISTRIBUTION: &str = "https://schema.org/distribution";
+    pub const LICENSE: &str = "https://schema.org/license";
+    pub const URL: &str = "https://schema.org/url";
+}
+
+/// The App Lab LAI ontology namespace (Figure 2).
+pub mod lai {
+    pub const NS: &str = "http://www.app-lab.eu/lai/";
+    pub const OBSERVATION: &str = "http://www.app-lab.eu/lai/Observation";
+    pub const LAI: &str = "http://www.app-lab.eu/lai/lai";
+    pub const HAS_LAI: &str = "http://www.app-lab.eu/lai/hasLai";
+}
+
+/// The App Lab GADM ontology namespace (Figure 3).
+pub mod gadm {
+    pub const NS: &str = "http://www.app-lab.eu/gadm/";
+    pub const ADMINISTRATIVE_UNIT: &str = "http://www.app-lab.eu/gadm/AdministrativeUnit";
+    pub const HAS_NAME: &str = "http://www.app-lab.eu/gadm/hasName";
+    pub const HAS_LEVEL: &str = "http://www.app-lab.eu/gadm/hasLevel";
+    pub const HAS_COUNTRY: &str = "http://www.app-lab.eu/gadm/hasCountry";
+    pub const PART_OF: &str = "http://www.app-lab.eu/gadm/partOf";
+}
+
+/// The App Lab CORINE land cover ontology namespace (Section 4).
+pub mod clc {
+    pub const NS: &str = "http://www.app-lab.eu/clc/";
+    pub const CORINE_AREA: &str = "http://www.app-lab.eu/clc/CorineArea";
+    pub const CORINE_VALUE: &str = "http://www.app-lab.eu/clc/CorineValue";
+    pub const HAS_CORINE_VALUE: &str = "http://www.app-lab.eu/clc/hasCorineValue";
+    pub const HAS_CODE: &str = "http://www.app-lab.eu/clc/hasCode";
+    /// INSPIRE theme superclass referenced by the paper.
+    pub const INSPIRE_LAND_COVER_UNIT: &str =
+        "http://inspire.ec.europa.eu/ont/lcv#LandCoverUnit";
+}
+
+/// The App Lab Urban Atlas ontology namespace (Section 4).
+pub mod ua {
+    pub const NS: &str = "http://www.app-lab.eu/ua/";
+    pub const URBAN_AREA: &str = "http://www.app-lab.eu/ua/UrbanAtlasArea";
+    pub const HAS_CLASS: &str = "http://www.app-lab.eu/ua/hasClass";
+    pub const HAS_POPULATION: &str = "http://www.app-lab.eu/ua/hasPopulation";
+}
+
+/// The App Lab OpenStreetMap ontology namespace (Section 4).
+pub mod osm {
+    pub const NS: &str = "http://www.app-lab.eu/osm/";
+    pub const POI: &str = "http://www.app-lab.eu/osm/PointOfInterest";
+    pub const POI_TYPE: &str = "http://www.app-lab.eu/osm/poiType";
+    pub const HAS_NAME: &str = "http://www.app-lab.eu/osm/hasName";
+    pub const PARK: &str = "http://www.app-lab.eu/osm/park";
+    pub const FOREST: &str = "http://www.app-lab.eu/osm/forest";
+    pub const INDUSTRIAL: &str = "http://www.app-lab.eu/osm/industrial";
+}
+
+/// The Sextant map ontology namespace (Section 3.3).
+pub mod map {
+    pub const NS: &str = "http://www.app-lab.eu/map/";
+    pub const MAP: &str = "http://www.app-lab.eu/map/Map";
+    pub const LAYER: &str = "http://www.app-lab.eu/map/Layer";
+    pub const HAS_LAYER: &str = "http://www.app-lab.eu/map/hasLayer";
+    pub const HAS_TITLE: &str = "http://www.app-lab.eu/map/hasTitle";
+    pub const HAS_SOURCE: &str = "http://www.app-lab.eu/map/hasSource";
+    pub const HAS_STYLE: &str = "http://www.app-lab.eu/map/hasStyle";
+    pub const HAS_ORDER: &str = "http://www.app-lab.eu/map/hasOrder";
+    pub const HAS_TIMESTAMP: &str = "http://www.app-lab.eu/map/hasTimestamp";
+}
+
+/// The default prefix table used by the Turtle writer and the SPARQL parser.
+pub fn default_prefixes() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("rdf", rdf::NS),
+        ("rdfs", rdfs::NS),
+        ("owl", owl::NS),
+        ("xsd", xsd::NS),
+        ("geo", geo::NS),
+        ("geof", geof::NS),
+        ("sf", sf::NS),
+        ("time", time::NS),
+        ("qb", qb::NS),
+        ("schema", schema::NS),
+        ("lai", lai::NS),
+        ("gadm", gadm::NS),
+        ("clc", clc::NS),
+        ("ua", ua::NS),
+        ("osm", osm::NS),
+        ("map", map::NS),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_concatenation() {
+        let n = iri(lai::NS, "Observation");
+        assert_eq!(n.as_str(), lai::OBSERVATION);
+    }
+
+    #[test]
+    fn prefixes_resolve_their_terms() {
+        let prefixes = default_prefixes();
+        for (_, ns) in &prefixes {
+            assert!(ns.starts_with("http"));
+        }
+        // Every constant in geof lives in the geof namespace.
+        assert!(geof::SF_INTERSECTS.starts_with(geof::NS));
+        assert!(geo::AS_WKT.starts_with(geo::NS));
+        assert!(lai::HAS_LAI.starts_with(lai::NS));
+    }
+
+    #[test]
+    fn no_duplicate_prefixes() {
+        let prefixes = default_prefixes();
+        let mut names: Vec<&str> = prefixes.iter().map(|(p, _)| *p).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), prefixes.len());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the RDF model and serializations.
+
+use applab_rdf::datetime::{format_datetime, parse_datetime};
+use applab_rdf::ntriples::{parse_ntriples, write_ntriples};
+use applab_rdf::turtle::{parse_turtle, write_turtle};
+use applab_rdf::{Graph, Literal, NamedNode, Resource, Term, Triple};
+use proptest::prelude::*;
+
+fn iri_strategy() -> impl Strategy<Value = String> {
+    // IRIs from a small safe alphabet (angle-bracket-free).
+    "[a-z][a-z0-9]{0,8}".prop_map(|local| format!("http://ex.org/{local}"))
+}
+
+fn literal_strategy() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        // Strings with quotes, newlines, unicode.
+        "[ -~éλ\\n\"\\\\]{0,20}".prop_map(Literal::string),
+        any::<i64>().prop_map(Literal::integer),
+        (-1e15f64..1e15).prop_map(Literal::double),
+        any::<bool>().prop_map(Literal::boolean),
+        (-4_000_000_000i64..4_000_000_000).prop_map(Literal::datetime),
+        ("[a-z]{1,8}", "[a-z]{2}").prop_map(|(v, l)| Literal::lang(v, l)),
+        (-180.0f64..180.0, -90.0f64..90.0)
+            .prop_map(|(x, y)| Literal::wkt(format!("POINT ({x} {y})"))),
+    ]
+}
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        iri_strategy().prop_map(Term::named),
+        "[a-z][a-z0-9]{0,6}".prop_map(|l| Term::Blank(applab_rdf::BlankNode::new(l))),
+        literal_strategy().prop_map(Term::from),
+    ]
+}
+
+fn triple_strategy() -> impl Strategy<Value = Triple> {
+    (
+        prop_oneof![
+            iri_strategy().prop_map(Resource::named),
+            "[a-z][a-z0-9]{0,6}".prop_map(Resource::blank),
+        ],
+        iri_strategy(),
+        term_strategy(),
+    )
+        .prop_map(|(s, p, o)| Triple::new(s, NamedNode::new(p), o))
+}
+
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    proptest::collection::vec(triple_strategy(), 0..40)
+        .prop_map(|ts| ts.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn ntriples_roundtrip(g in graph_strategy()) {
+        let text = write_ntriples(&g);
+        let back = parse_ntriples(&text).expect("serialized N-Triples must parse");
+        prop_assert_eq!(&back, &g);
+    }
+
+    #[test]
+    fn turtle_roundtrip(g in graph_strategy()) {
+        let text = write_turtle(&g);
+        let back = parse_turtle(&text).expect("serialized Turtle must parse");
+        prop_assert_eq!(&back, &g);
+    }
+
+    #[test]
+    fn datetime_roundtrip(t in -5_000_000_000i64..5_000_000_000) {
+        prop_assert_eq!(parse_datetime(&format_datetime(t)).unwrap(), t);
+    }
+
+    #[test]
+    fn graph_dedup_and_pattern_consistency(g in graph_strategy()) {
+        // Inserting everything again changes nothing.
+        let mut g2 = g.clone();
+        prop_assert_eq!(g2.extend_from(&g), 0);
+        // Every triple is findable through each index path.
+        for t in g.iter() {
+            prop_assert!(g.contains(t));
+            prop_assert!(g
+                .matching(Some(&t.subject), Some(&t.predicate), Some(&t.object))
+                .next()
+                .is_some());
+        }
+        // Pattern matching with all wildcards returns everything.
+        prop_assert_eq!(g.matching(None, None, None).count(), g.len());
+    }
+
+    #[test]
+    fn wkt_literals_parse_as_geometry(x in -180.0f64..180.0, y in -90.0f64..90.0) {
+        let l = Literal::wkt(format!("POINT ({x} {y})"));
+        let g = l.as_geometry().expect("valid WKT literal");
+        prop_assert_eq!(g, applab_geo::Geometry::point(x, y));
+    }
+}

@@ -1,0 +1,416 @@
+//! Subset caching.
+//!
+//! Two lessons from the paper are reproduced here:
+//!
+//! * Section 3.2's time-windowed cache: "results of an OPeNDAP call get
+//!   cached ... if another, identical OPeNDAP call needs to be performed
+//!   within this time window, the cached results can be used directly"
+//!   ([`SubsetCache`]).
+//! * Section 5's cache-friendliness argument: "OPeNDAP allows for the
+//!   caching of datasets by serialization based on internal array indices.
+//!   This increases cache-hits for recurrent requests of a specific subpart
+//!   of the dataset ... e.g., in a mobile application scenario, where the
+//!   viewport ... [has] modest panning and zooming interaction", versus a
+//!   WCS that only takes bounding boxes. [`TiledFetcher`] snaps viewports
+//!   to index-aligned tiles; [`BboxFetcher`] is the WCS-style baseline that
+//!   caches raw bounding boxes. Bench B7 compares their hit rates.
+
+use applab_array::{Range, Variable};
+use applab_dap::clock::Clock;
+use applab_dap::{Constraint, DapClient, DapError};
+use applab_geo::tile::TileGrid;
+use applab_geo::Envelope;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A keyed cache whose entries expire `window` after insertion.
+pub struct SubsetCache {
+    window: Duration,
+    clock: Arc<dyn Clock>,
+    entries: RwLock<HashMap<String, (Duration, Arc<Vec<Variable>>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SubsetCache {
+    pub fn new(window: Duration, clock: Arc<dyn Clock>) -> Self {
+        SubsetCache {
+            window,
+            clock,
+            entries: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Look up `key`; on miss (or expiry) call `fetch` and cache the result.
+    pub fn get_or_fetch(
+        &self,
+        key: &str,
+        fetch: impl FnOnce() -> Result<Vec<Variable>, DapError>,
+    ) -> Result<Arc<Vec<Variable>>, DapError> {
+        let now = self.clock.now();
+        if self.window > Duration::ZERO {
+            let entries = self.entries.read();
+            if let Some((at, value)) = entries.get(key) {
+                if now.saturating_sub(*at) < self.window {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(value.clone());
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(fetch()?);
+        if self.window > Duration::ZERO {
+            self.entries
+                .write()
+                .insert(key.to_string(), (now, value.clone()));
+        }
+        Ok(value)
+    }
+
+    /// Drop expired entries (housekeeping; correctness never depends on it).
+    pub fn evict_expired(&self) {
+        let now = self.clock.now();
+        self.entries
+            .write()
+            .retain(|_, (at, _)| now.saturating_sub(*at) < self.window);
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Inclusive index range of sorted `values` within `[lo, hi]`.
+fn index_range(values: &[f64], lo: f64, hi: f64) -> Option<Range> {
+    let start = values.iter().position(|&v| v >= lo)?;
+    let stop = values.iter().rposition(|&v| v <= hi)?;
+    if stop < start {
+        return None;
+    }
+    Some(Range::new(start, 1, stop))
+}
+
+/// Shared base for the two viewport fetchers: knows the dataset's lat/lon
+/// coordinate arrays so envelopes can be translated to index ranges.
+struct GridInfo {
+    client: Arc<DapClient>,
+    dataset: String,
+    variable: String,
+    lats: Vec<f64>,
+    lons: Vec<f64>,
+}
+
+impl GridInfo {
+    fn open(client: Arc<DapClient>, dataset: &str, variable: &str) -> Result<Self, DapError> {
+        let coords = client.get_data(dataset, &Constraint::parse("lat,lon").expect("static"))?;
+        let lats = coords
+            .iter()
+            .find(|v| v.name == "lat")
+            .ok_or_else(|| DapError::NoSuchVariable("lat".into()))?
+            .data
+            .data()
+            .to_vec();
+        let lons = coords
+            .iter()
+            .find(|v| v.name == "lon")
+            .ok_or_else(|| DapError::NoSuchVariable("lon".into()))?
+            .data
+            .data()
+            .to_vec();
+        Ok(GridInfo {
+            client,
+            dataset: dataset.to_string(),
+            variable: variable.to_string(),
+            lats,
+            lons,
+        })
+    }
+
+    /// Fetch the (time_idx, lat-range, lon-range) subset for an envelope.
+    fn fetch_envelope(
+        &self,
+        env: &Envelope,
+        time_idx: usize,
+    ) -> Result<Vec<Variable>, DapError> {
+        let lat_range = index_range(&self.lats, env.min_y, env.max_y)
+            .ok_or_else(|| DapError::Constraint("viewport selects no latitudes".into()))?;
+        let lon_range = index_range(&self.lons, env.min_x, env.max_x)
+            .ok_or_else(|| DapError::Constraint("viewport selects no longitudes".into()))?;
+        let constraint = Constraint::variable(
+            self.variable.clone(),
+            vec![Range::index(time_idx), lat_range, lon_range],
+        );
+        self.client.get_data(&self.dataset, &constraint)
+    }
+
+    fn domain(&self) -> Envelope {
+        Envelope::new(
+            self.lons.first().copied().unwrap_or(-180.0),
+            self.lats.first().copied().unwrap_or(-90.0),
+            self.lons.last().copied().unwrap_or(180.0),
+            self.lats.last().copied().unwrap_or(90.0),
+        )
+    }
+}
+
+/// Statistics from serving one viewport request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FetchStats {
+    /// Cache units (tiles or bboxes) the request decomposed into.
+    pub requests: usize,
+    /// How many were answered from cache.
+    pub cache_hits: usize,
+}
+
+/// DAP-style fetcher: viewports snap to index-aligned tiles of a fixed
+/// grid, so recurring and overlapping viewports share cache entries.
+pub struct TiledFetcher {
+    info: GridInfo,
+    grid: TileGrid,
+    zoom: u8,
+    cache: SubsetCache,
+}
+
+impl TiledFetcher {
+    pub fn open(
+        client: Arc<DapClient>,
+        dataset: &str,
+        variable: &str,
+        zoom: u8,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self, DapError> {
+        let info = GridInfo::open(client, dataset, variable)?;
+        let grid = TileGrid::new(info.domain());
+        Ok(TiledFetcher {
+            info,
+            grid,
+            zoom,
+            // Session-length cache: the viewport workload is interactive.
+            cache: SubsetCache::new(Duration::from_secs(3600), clock),
+        })
+    }
+
+    /// Serve a viewport: fetch every covering tile (from cache when
+    /// possible).
+    pub fn fetch_viewport(
+        &self,
+        viewport: &Envelope,
+        time_idx: usize,
+    ) -> Result<FetchStats, DapError> {
+        let tiles = self.grid.covering(viewport, self.zoom);
+        let mut stats = FetchStats {
+            requests: tiles.len(),
+            cache_hits: 0,
+        };
+        for tile in tiles {
+            let key = format!(
+                "{}:{}:{}/{}/{}@{}",
+                self.info.dataset, self.info.variable, tile.zoom, tile.col, tile.row, time_idx
+            );
+            let before = self.cache.hits();
+            let env = self.grid.tile_envelope(tile);
+            self.cache.get_or_fetch(&key, || {
+                match self.info.fetch_envelope(&env, time_idx) {
+                    Ok(vars) => Ok(vars),
+                    // A tile fully outside the data extent caches empty.
+                    Err(DapError::Constraint(_)) => Ok(Vec::new()),
+                    Err(e) => Err(e),
+                }
+            })?;
+            if self.cache.hits() > before {
+                stats.cache_hits += 1;
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// WCS-style fetcher: each distinct bounding box is its own cache entry
+/// ("when using the Web Coverage Service, there is limited possibility to
+/// obtain client-specific parts of the datasets (one is limited to, for
+/// example, a bounding-box)").
+pub struct BboxFetcher {
+    info: GridInfo,
+    cache: SubsetCache,
+}
+
+impl BboxFetcher {
+    pub fn open(
+        client: Arc<DapClient>,
+        dataset: &str,
+        variable: &str,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self, DapError> {
+        let info = GridInfo::open(client, dataset, variable)?;
+        Ok(BboxFetcher {
+            info,
+            cache: SubsetCache::new(Duration::from_secs(3600), clock),
+        })
+    }
+
+    pub fn fetch_viewport(
+        &self,
+        viewport: &Envelope,
+        time_idx: usize,
+    ) -> Result<FetchStats, DapError> {
+        let key = format!(
+            "{}:{}:{:.6}/{:.6}/{:.6}/{:.6}@{}",
+            self.info.dataset,
+            self.info.variable,
+            viewport.min_x,
+            viewport.min_y,
+            viewport.max_x,
+            viewport.max_y,
+            time_idx
+        );
+        let before = self.cache.hits();
+        self.cache.get_or_fetch(&key, || {
+            match self.info.fetch_envelope(viewport, time_idx) {
+                Ok(vars) => Ok(vars),
+                Err(DapError::Constraint(_)) => Ok(Vec::new()),
+                Err(e) => Err(e),
+            }
+        })?;
+        Ok(FetchStats {
+            requests: 1,
+            cache_hits: (self.cache.hits() - before) as usize,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use applab_dap::clock::ManualClock;
+    use applab_dap::server::grid_dataset;
+    use applab_dap::transport::Local;
+    use applab_dap::DapServer;
+
+    fn client() -> Arc<DapClient> {
+        let server = DapServer::new();
+        let lats: Vec<f64> = (0..100).map(|i| 40.0 + i as f64 * 0.1).collect();
+        let lons: Vec<f64> = (0..100).map(|i| i as f64 * 0.1).collect();
+        server.publish(grid_dataset("lai", &[0.0, 1.0], &lats, &lons, |t, la, lo| {
+            (t + la + lo) as f64
+        }));
+        Arc::new(DapClient::new(Arc::new(server), Arc::new(Local::new())))
+    }
+
+    #[test]
+    fn window_expiry() {
+        let clock = ManualClock::new();
+        let cache = SubsetCache::new(Duration::from_secs(600), clock.clone());
+        let mut calls = 0;
+        for _ in 0..3 {
+            cache
+                .get_or_fetch("k", || {
+                    calls += 1;
+                    Ok(vec![])
+                })
+                .unwrap();
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(cache.hits(), 2);
+        clock.advance(Duration::from_secs(601));
+        cache
+            .get_or_fetch("k", || {
+                calls += 1;
+                Ok(vec![])
+            })
+            .unwrap();
+        assert_eq!(calls, 2);
+        cache.evict_expired();
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn zero_window_disables_caching() {
+        let clock = ManualClock::new();
+        let cache = SubsetCache::new(Duration::ZERO, clock);
+        let mut calls = 0;
+        for _ in 0..3 {
+            cache
+                .get_or_fetch("k", || {
+                    calls += 1;
+                    Ok(vec![])
+                })
+                .unwrap();
+        }
+        assert_eq!(calls, 3);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let clock = ManualClock::new();
+        let cache = SubsetCache::new(Duration::from_secs(600), clock);
+        let r = cache.get_or_fetch("k", || Err(DapError::NoSuchDataset("x".into())));
+        assert!(r.is_err());
+        let mut called = false;
+        cache
+            .get_or_fetch("k", || {
+                called = true;
+                Ok(vec![])
+            })
+            .unwrap();
+        assert!(called);
+    }
+
+    #[test]
+    fn tiled_fetcher_reuses_tiles_under_panning() {
+        let clock = ManualClock::new();
+        let f = TiledFetcher::open(client(), "lai", "LAI", 4, clock).unwrap();
+        // First viewport: all misses.
+        let v1 = Envelope::new(2.0, 44.0, 4.0, 46.0);
+        let s1 = f.fetch_viewport(&v1, 0).unwrap();
+        assert!(s1.requests > 0);
+        assert_eq!(s1.cache_hits, 0);
+        // Pan slightly: most tiles recur.
+        let v2 = Envelope::new(2.3, 44.2, 4.3, 46.2);
+        let s2 = f.fetch_viewport(&v2, 0).unwrap();
+        assert!(s2.cache_hits > 0, "panning should hit cached tiles: {s2:?}");
+        // Identical viewport: all hits.
+        let s3 = f.fetch_viewport(&v2, 0).unwrap();
+        assert_eq!(s3.cache_hits, s3.requests);
+    }
+
+    #[test]
+    fn bbox_fetcher_misses_under_panning() {
+        let clock = ManualClock::new();
+        let f = BboxFetcher::open(client(), "lai", "LAI", clock).unwrap();
+        let v1 = Envelope::new(2.0, 44.0, 4.0, 46.0);
+        assert_eq!(f.fetch_viewport(&v1, 0).unwrap().cache_hits, 0);
+        // Slightly different box: miss.
+        let v2 = Envelope::new(2.01, 44.0, 4.01, 46.0);
+        assert_eq!(f.fetch_viewport(&v2, 0).unwrap().cache_hits, 0);
+        // Exact repeat: hit.
+        assert_eq!(f.fetch_viewport(&v2, 0).unwrap().cache_hits, 1);
+    }
+
+    #[test]
+    fn different_time_indexes_do_not_share() {
+        let clock = ManualClock::new();
+        let f = TiledFetcher::open(client(), "lai", "LAI", 3, clock).unwrap();
+        let v = Envelope::new(2.0, 44.0, 4.0, 46.0);
+        f.fetch_viewport(&v, 0).unwrap();
+        let s = f.fetch_viewport(&v, 1).unwrap();
+        assert_eq!(s.cache_hits, 0);
+    }
+}

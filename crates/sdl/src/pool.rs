@@ -1,0 +1,158 @@
+//! A crossbeam worker pool.
+//!
+//! The paper runs the RAMANI Cloud Analytics containers under Kubernetes
+//! ("we used Kubernetes for managing the containerized applications across
+//! multiple hosts"); at laptop scale the equivalent is a fixed pool of
+//! worker threads draining a job queue. The pool is also reused by the
+//! GeoTriples parallel mapping processor's consumers.
+
+use crossbeam::channel;
+use std::thread::JoinHandle;
+
+/// Run `jobs` on `workers` threads, preserving input order in the output.
+pub fn run_parallel<T, R, F>(workers: usize, jobs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = workers.max(1);
+    if workers == 1 || jobs.len() <= 1 {
+        return jobs.into_iter().map(f).collect();
+    }
+    let n = jobs.len();
+    let (job_tx, job_rx) = channel::unbounded::<(usize, T)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
+    for (i, job) in jobs.into_iter().enumerate() {
+        job_tx.send((i, job)).expect("queue open");
+    }
+    drop(job_tx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            let f = &f;
+            scope.spawn(move || {
+                while let Ok((i, job)) = job_rx.recv() {
+                    let _ = res_tx.send((i, f(job)));
+                }
+            });
+        }
+        drop(res_tx);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        while let Ok((i, r)) = res_rx.recv() {
+            out[i] = Some(r);
+        }
+        out.into_iter().map(|r| r.expect("every job ran")).collect()
+    })
+}
+
+/// A long-lived pool for fire-and-forget jobs (the "deployment,
+/// maintenance, and scaling" part: jobs submitted while the pool runs).
+pub struct WorkerPool {
+    job_tx: Option<channel::Sender<Box<dyn FnOnce() + Send>>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    pub fn new(workers: usize) -> Self {
+        let (job_tx, job_rx) = channel::unbounded::<Box<dyn FnOnce() + Send>>();
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let rx = job_rx.clone();
+                std::thread::spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+            })
+            .collect();
+        WorkerPool {
+            job_tx: Some(job_tx),
+            handles,
+        }
+    }
+
+    /// Submit a job. Panics if the pool is already shut down.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.job_tx
+            .as_ref()
+            .expect("pool alive")
+            .send(Box::new(job))
+            .expect("workers alive");
+    }
+
+    /// Wait for all submitted jobs to finish and stop the workers.
+    pub fn shutdown(mut self) {
+        self.job_tx.take(); // close the queue
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.job_tx.take();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn run_parallel_preserves_order() {
+        let jobs: Vec<u64> = (0..100).collect();
+        let out = run_parallel(4, jobs.clone(), |x| x * 2);
+        assert_eq!(out, jobs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_parallel_single_worker() {
+        let out = run_parallel(1, vec![1, 2, 3], |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn run_parallel_empty() {
+        let out: Vec<u64> = run_parallel(4, Vec::<u64>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pool_runs_submitted_jobs() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let pool = WorkerPool::new(4);
+        for _ in 0..50 {
+            let c = counter.clone();
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn pool_drop_is_graceful() {
+        let counter = Arc::new(AtomicU64::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..10 {
+                let c = counter.clone();
+                pool.submit(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Dropped without explicit shutdown.
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+}

@@ -1,0 +1,24 @@
+//! Sextant: visualizing time-evolving linked geospatial data.
+//!
+//! Section 3.3: "a web-based and mobile ready application for exploring,
+//! interacting and visualizing time-evolving linked geospatial data ...
+//! The core feature of Sextant is the ability to create thematic maps by
+//! combining geospatial and temporal information that exists in a number of
+//! heterogeneous data sources ... Each thematic map is represented using a
+//! map ontology that assists on modelling these maps in RDF."
+//!
+//! * [`map`] — the thematic-map model: layers of (geometry, value, label,
+//!   timestamp) features, built from GeoSPARQL query results or graphs;
+//! * [`style`] — layer styling, including value ramps for choropleths;
+//! * [`svg`] — the renderer (Figure 4 is regenerated as an SVG);
+//! * [`ontology`] — maps ↔ RDF via the map ontology, "allowing for easy
+//!   sharing, editing and search mechanisms over existing maps".
+
+pub mod map;
+pub mod ontology;
+pub mod style;
+pub mod svg;
+
+pub use map::{Feature, Layer, Map};
+pub use style::Style;
+pub use svg::render_svg;

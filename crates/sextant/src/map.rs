@@ -1,0 +1,319 @@
+//! The thematic map model.
+
+use crate::style::{Color, Style};
+use applab_geo::{Envelope, Geometry};
+use applab_rdf::Literal;
+use applab_sparql::QueryResults;
+
+/// One feature of a layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Feature {
+    pub geometry: Geometry,
+    /// Thematic value (drives value-ramp styles).
+    pub value: Option<f64>,
+    pub label: Option<String>,
+    /// Timestamp for time-evolving layers (epoch seconds).
+    pub time: Option<i64>,
+}
+
+/// A map layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    pub title: String,
+    /// Where the layer's data came from (endpoint URL, file, query) — kept
+    /// for the map ontology's `map:hasSource`.
+    pub source: String,
+    pub style: Style,
+    pub features: Vec<Feature>,
+}
+
+impl Layer {
+    pub fn new(title: impl Into<String>, style: Style) -> Self {
+        Layer {
+            title: title.into(),
+            source: String::new(),
+            style,
+            features: Vec::new(),
+        }
+    }
+
+    pub fn with_source(mut self, source: impl Into<String>) -> Self {
+        self.source = source.into();
+        self
+    }
+
+    /// Build a layer from SPARQL query results: `geom_var` must bind WKT
+    /// literals; `value_var`, `label_var` and `time_var` are optional
+    /// bindings. Rows with unparsable/missing geometry are skipped.
+    pub fn from_results(
+        title: &str,
+        style: Style,
+        results: &QueryResults,
+        geom_var: &str,
+        value_var: Option<&str>,
+        label_var: Option<&str>,
+        time_var: Option<&str>,
+    ) -> Layer {
+        let mut layer = Layer::new(title, style);
+        for i in 0..results.len() {
+            let Some(geometry) = results
+                .value(i, geom_var)
+                .and_then(|t| t.as_literal())
+                .and_then(Literal::as_geometry)
+            else {
+                continue;
+            };
+            let value = value_var
+                .and_then(|v| results.value(i, v))
+                .and_then(|t| t.as_literal())
+                .and_then(Literal::as_f64);
+            let label = label_var
+                .and_then(|v| results.value(i, v))
+                .and_then(|t| t.as_literal())
+                .map(|l| l.value().to_string());
+            let time = time_var
+                .and_then(|v| results.value(i, v))
+                .and_then(|t| t.as_literal())
+                .and_then(Literal::as_datetime);
+            layer.features.push(Feature {
+                geometry,
+                value,
+                label,
+                time,
+            });
+        }
+        layer
+    }
+
+    /// The layer's bounding envelope.
+    pub fn envelope(&self) -> Envelope {
+        let mut e = Envelope::EMPTY;
+        for f in &self.features {
+            e.expand(&f.geometry.envelope());
+        }
+        e
+    }
+
+    /// Distinct timestamps of the layer's features, ascending.
+    pub fn timestamps(&self) -> Vec<i64> {
+        let mut ts: Vec<i64> = self.features.iter().filter_map(|f| f.time).collect();
+        ts.sort_unstable();
+        ts.dedup();
+        ts
+    }
+}
+
+/// A thematic map: ordered layers (later = on top).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Map {
+    pub title: String,
+    pub layers: Vec<Layer>,
+}
+
+impl Map {
+    pub fn new(title: impl Into<String>) -> Self {
+        Map {
+            title: title.into(),
+            layers: Vec::new(),
+        }
+    }
+
+    pub fn add_layer(&mut self, layer: Layer) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    pub fn envelope(&self) -> Envelope {
+        let mut e = Envelope::EMPTY;
+        for l in &self.layers {
+            e.expand(&l.envelope());
+        }
+        e
+    }
+
+    /// All distinct timestamps across layers — the map's timeline.
+    pub fn timeline(&self) -> Vec<i64> {
+        let mut ts: Vec<i64> = self
+            .layers
+            .iter()
+            .flat_map(|l| l.timestamps())
+            .collect();
+        ts.sort_unstable();
+        ts.dedup();
+        ts
+    }
+}
+
+/// The default layer styles of the Figure 4 reproduction.
+pub fn figure4_styles() -> Vec<(&'static str, Style)> {
+    vec![
+        (
+            "CORINE land cover",
+            Style::Fill {
+                color: Color::GREEN,
+                opacity: 0.25,
+            },
+        ),
+        (
+            "Urban Atlas",
+            Style::Fill {
+                color: Color::BROWN,
+                opacity: 0.25,
+            },
+        ),
+        (
+            "OpenStreetMap parks",
+            Style::Fill {
+                color: Color::GREEN,
+                opacity: 0.5,
+            },
+        ),
+        (
+            "GADM administrative areas",
+            Style::Stroke {
+                color: Color::MAGENTA,
+                width: 1.2,
+            },
+        ),
+        (
+            "LAI observations",
+            Style::ValueRamp {
+                min: 0.0,
+                max: 6.0,
+                low: Color::YELLOW,
+                high: Color::GREEN,
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use applab_rdf::{vocab, Graph, NamedNode, Resource};
+
+    fn results() -> QueryResults {
+        let mut g = Graph::new();
+        for (i, (wkt, lai, t)) in [
+            ("POINT (2.2 48.8)", 3.5, 0i64),
+            ("POINT (2.3 48.9)", 1.0, 86_400),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let s = Resource::named(format!("http://ex.org/o{i}"));
+            g.add(
+                s.clone(),
+                NamedNode::new(vocab::geo::AS_WKT),
+                Literal::wkt(*wkt),
+            );
+            g.add(
+                s.clone(),
+                NamedNode::new(vocab::lai::HAS_LAI),
+                Literal::float(*lai),
+            );
+            g.add(
+                s,
+                NamedNode::new(vocab::time::HAS_TIME),
+                Literal::datetime(*t),
+            );
+        }
+        applab_sparql::query(
+            &g,
+            "SELECT ?wkt ?lai ?t WHERE { ?s geo:asWKT ?wkt . ?s lai:hasLai ?lai . ?s time:hasTime ?t }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn layer_from_results() {
+        let layer = Layer::from_results(
+            "LAI",
+            Style::ValueRamp {
+                min: 0.0,
+                max: 6.0,
+                low: Color::YELLOW,
+                high: Color::GREEN,
+            },
+            &results(),
+            "wkt",
+            Some("lai"),
+            None,
+            Some("t"),
+        );
+        assert_eq!(layer.features.len(), 2);
+        assert_eq!(layer.features[0].value, Some(3.5));
+        assert_eq!(layer.timestamps(), vec![0, 86_400]);
+        let env = layer.envelope();
+        assert!(env.contains_coord(applab_geo::Coord::new(2.2, 48.8)));
+    }
+
+    #[test]
+    fn skips_rows_without_geometry() {
+        let r = QueryResults::Solutions {
+            variables: vec!["wkt".into()],
+            rows: vec![
+                applab_sparql::Row {
+                    values: vec![Some(Literal::string("not wkt").into())],
+                },
+                applab_sparql::Row {
+                    values: vec![Some(Literal::wkt("POINT (0 0)").into())],
+                },
+                applab_sparql::Row { values: vec![None] },
+            ],
+        };
+        let layer = Layer::from_results(
+            "x",
+            Style::Point {
+                color: Color::BLUE,
+                radius: 2.0,
+            },
+            &r,
+            "wkt",
+            None,
+            None,
+            None,
+        );
+        assert_eq!(layer.features.len(), 1);
+    }
+
+    #[test]
+    fn map_timeline_merges_layers() {
+        let mut m = Map::new("greenness of Paris");
+        let layer = Layer::from_results(
+            "LAI",
+            Style::Point {
+                color: Color::GREEN,
+                radius: 2.0,
+            },
+            &results(),
+            "wkt",
+            None,
+            None,
+            Some("t"),
+        );
+        m.add_layer(layer);
+        let mut boundaries = Layer::new(
+            "admin",
+            Style::Stroke {
+                color: Color::MAGENTA,
+                width: 1.0,
+            },
+        );
+        boundaries.features.push(Feature {
+            geometry: Geometry::rect(2.0, 48.0, 3.0, 49.0),
+            value: None,
+            label: Some("Paris".into()),
+            time: None,
+        });
+        m.add_layer(boundaries);
+        assert_eq!(m.timeline(), vec![0, 86_400]);
+        assert_eq!(m.layers.len(), 2);
+        assert!(m.envelope().contains_coord(applab_geo::Coord::new(2.5, 48.5)));
+    }
+
+    #[test]
+    fn figure4_has_five_layers() {
+        assert_eq!(figure4_styles().len(), 5);
+    }
+}

@@ -1,0 +1,233 @@
+//! Maps as RDF, via the map ontology.
+//!
+//! "Each thematic map is represented using a map ontology that assists on
+//! modelling these maps in RDF and allow for easy sharing, editing and
+//! search mechanisms over existing maps" (Section 3.3).
+
+use crate::map::{Layer, Map};
+use crate::style::{Color, Style};
+use applab_rdf::{vocab, Graph, Literal, NamedNode, Resource, Term};
+
+/// Serialize a map (its structure, not its feature data) to RDF.
+pub fn map_to_rdf(map: &Map, map_iri: &str) -> Graph {
+    let mut g = Graph::new();
+    let m = Resource::named(map_iri);
+    g.add(
+        m.clone(),
+        NamedNode::new(vocab::rdf::TYPE),
+        Term::named(vocab::map::MAP),
+    );
+    g.add(
+        m.clone(),
+        NamedNode::new(vocab::map::HAS_TITLE),
+        Literal::string(&*map.title),
+    );
+    for (i, layer) in map.layers.iter().enumerate() {
+        let l = Resource::named(format!("{map_iri}/layer/{i}"));
+        g.add(
+            m.clone(),
+            NamedNode::new(vocab::map::HAS_LAYER),
+            Term::named(format!("{map_iri}/layer/{i}")),
+        );
+        g.add(
+            l.clone(),
+            NamedNode::new(vocab::rdf::TYPE),
+            Term::named(vocab::map::LAYER),
+        );
+        g.add(
+            l.clone(),
+            NamedNode::new(vocab::map::HAS_TITLE),
+            Literal::string(&*layer.title),
+        );
+        g.add(
+            l.clone(),
+            NamedNode::new(vocab::map::HAS_ORDER),
+            Literal::integer(i as i64),
+        );
+        g.add(
+            l.clone(),
+            NamedNode::new(vocab::map::HAS_STYLE),
+            Literal::string(layer.style.descriptor()),
+        );
+        if !layer.source.is_empty() {
+            g.add(
+                l.clone(),
+                NamedNode::new(vocab::map::HAS_SOURCE),
+                Literal::string(&*layer.source),
+            );
+        }
+        for t in layer.timestamps() {
+            g.add(
+                l.clone(),
+                NamedNode::new(vocab::map::HAS_TIMESTAMP),
+                Literal::datetime(t),
+            );
+        }
+    }
+    g
+}
+
+/// Rebuild a map skeleton (titles, order, styles, sources — not features)
+/// from its RDF representation.
+pub fn map_from_rdf(graph: &Graph, map_iri: &str) -> Option<Map> {
+    let m = Resource::named(map_iri);
+    let title = graph
+        .object_of(&m, &NamedNode::new(vocab::map::HAS_TITLE))?
+        .as_literal()?
+        .value()
+        .to_string();
+    let mut map = Map::new(title);
+    let mut layers: Vec<(i64, Layer)> = Vec::new();
+    for t in graph.matching(Some(&m), Some(&NamedNode::new(vocab::map::HAS_LAYER)), None) {
+        let l = t.object.as_resource()?;
+        let ltitle = graph
+            .object_of(&l, &NamedNode::new(vocab::map::HAS_TITLE))?
+            .as_literal()?
+            .value()
+            .to_string();
+        let order = graph
+            .object_of(&l, &NamedNode::new(vocab::map::HAS_ORDER))
+            .and_then(|t| t.as_literal())
+            .and_then(Literal::as_i64)
+            .unwrap_or(0);
+        let style = graph
+            .object_of(&l, &NamedNode::new(vocab::map::HAS_STYLE))
+            .and_then(|t| t.as_literal())
+            .map(|l| parse_style(l.value()))
+            .unwrap_or(Style::Stroke {
+                color: Color::GRAY,
+                width: 1.0,
+            });
+        let mut layer = Layer::new(ltitle, style);
+        if let Some(src) = graph
+            .object_of(&l, &NamedNode::new(vocab::map::HAS_SOURCE))
+            .and_then(|t| t.as_literal())
+        {
+            layer.source = src.value().to_string();
+        }
+        layers.push((order, layer));
+    }
+    layers.sort_by_key(|(o, _)| *o);
+    for (_, l) in layers {
+        map.add_layer(l);
+    }
+    Some(map)
+}
+
+fn parse_color(hex: &str) -> Color {
+    let h = hex.trim_start_matches('#');
+    if h.len() != 6 {
+        return Color::GRAY;
+    }
+    let p = |i: usize| u8::from_str_radix(&h[i..i + 2], 16).unwrap_or(0x88);
+    Color(p(0), p(2), p(4))
+}
+
+fn parse_style(descriptor: &str) -> Style {
+    let parts: Vec<&str> = descriptor.split(':').collect();
+    match parts.as_slice() {
+        ["stroke", color, width] => Style::Stroke {
+            color: parse_color(color),
+            width: width.parse().unwrap_or(1.0),
+        },
+        ["fill", color, opacity] => Style::Fill {
+            color: parse_color(color),
+            opacity: opacity.parse().unwrap_or(1.0),
+        },
+        ["point", color, radius] => Style::Point {
+            color: parse_color(color),
+            radius: radius.parse().unwrap_or(3.0),
+        },
+        ["ramp", low, high, min, max] => Style::ValueRamp {
+            min: min.parse().unwrap_or(0.0),
+            max: max.parse().unwrap_or(1.0),
+            low: parse_color(low),
+            high: parse_color(high),
+        },
+        _ => Style::Stroke {
+            color: Color::GRAY,
+            width: 1.0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::Feature;
+
+    fn sample_map() -> Map {
+        let mut m = Map::new("greenness of Paris");
+        let mut layer = Layer::new(
+            "LAI",
+            Style::ValueRamp {
+                min: 0.0,
+                max: 6.0,
+                low: Color::YELLOW,
+                high: Color::GREEN,
+            },
+        )
+        .with_source("http://test.strabon.di.uoa.gr/endpoint?query=...");
+        layer.features.push(Feature {
+            geometry: applab_geo::Geometry::point(2.2, 48.8),
+            value: Some(3.0),
+            label: None,
+            time: Some(86_400),
+        });
+        m.add_layer(layer);
+        m.add_layer(Layer::new(
+            "admin",
+            Style::Stroke {
+                color: Color::MAGENTA,
+                width: 1.2,
+            },
+        ));
+        m
+    }
+
+    #[test]
+    fn rdf_roundtrip() {
+        let m = sample_map();
+        let g = map_to_rdf(&m, "http://ex.org/maps/m1");
+        // Structure checks.
+        assert_eq!(
+            g.instances_of(&NamedNode::new(vocab::map::LAYER)).count(),
+            2
+        );
+        let back = map_from_rdf(&g, "http://ex.org/maps/m1").unwrap();
+        assert_eq!(back.title, m.title);
+        assert_eq!(back.layers.len(), 2);
+        assert_eq!(back.layers[0].title, "LAI");
+        assert_eq!(back.layers[0].style, m.layers[0].style);
+        assert_eq!(back.layers[0].source, m.layers[0].source);
+        assert_eq!(back.layers[1].style, m.layers[1].style);
+    }
+
+    #[test]
+    fn rdf_serializes_as_turtle() {
+        let g = map_to_rdf(&sample_map(), "http://ex.org/maps/m1");
+        let text = applab_rdf::turtle::write_turtle(&g);
+        assert!(text.contains("map:hasLayer"));
+        let parsed = applab_rdf::turtle::parse_turtle(&text).unwrap();
+        assert_eq!(parsed.len(), g.len());
+    }
+
+    #[test]
+    fn missing_map_is_none() {
+        let g = Graph::new();
+        assert!(map_from_rdf(&g, "http://ex.org/maps/none").is_none());
+    }
+
+    #[test]
+    fn style_parsing_tolerates_garbage() {
+        assert_eq!(
+            parse_style("nonsense"),
+            Style::Stroke {
+                color: Color::GRAY,
+                width: 1.0
+            }
+        );
+        assert_eq!(parse_color("#zzzzzz"), Color(0x88, 0x88, 0x88));
+        assert_eq!(parse_color("bad"), Color::GRAY);
+    }
+}

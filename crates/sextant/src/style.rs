@@ -1,0 +1,130 @@
+//! Layer styling.
+
+/// An RGB color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Color(pub u8, pub u8, pub u8);
+
+impl Color {
+    pub const GREEN: Color = Color(0x2e, 0x8b, 0x57);
+    pub const MAGENTA: Color = Color(0xd0, 0x2e, 0xd0);
+    pub const GRAY: Color = Color(0x88, 0x88, 0x88);
+    pub const BROWN: Color = Color(0x8b, 0x5a, 0x2b);
+    pub const BLUE: Color = Color(0x1f, 0x77, 0xb4);
+    pub const YELLOW: Color = Color(0xff, 0xdd, 0x30);
+
+    pub fn hex(&self) -> String {
+        format!("#{:02x}{:02x}{:02x}", self.0, self.1, self.2)
+    }
+
+    /// Linear interpolation toward `other`.
+    pub fn lerp(&self, other: Color, f: f64) -> Color {
+        let f = f.clamp(0.0, 1.0);
+        let mix = |a: u8, b: u8| (a as f64 + (b as f64 - a as f64) * f).round() as u8;
+        Color(
+            mix(self.0, other.0),
+            mix(self.1, other.1),
+            mix(self.2, other.2),
+        )
+    }
+}
+
+/// How a layer is drawn.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Style {
+    /// Outlines only (e.g. administrative boundaries in magenta, as in
+    /// Figure 4).
+    Stroke { color: Color, width: f64 },
+    /// Filled areas with fixed color.
+    Fill { color: Color, opacity: f64 },
+    /// Point circles with fixed color.
+    Point { color: Color, radius: f64 },
+    /// Value-driven choropleth/proportional points: colors interpolate
+    /// between `low` and `high` over [min, max] (the LAI circles of
+    /// Figure 4).
+    ValueRamp {
+        min: f64,
+        max: f64,
+        low: Color,
+        high: Color,
+    },
+}
+
+impl Style {
+    /// The color for a feature value under this style.
+    pub fn color_for(&self, value: Option<f64>) -> Color {
+        match self {
+            Style::Stroke { color, .. } | Style::Fill { color, .. } | Style::Point { color, .. } => {
+                *color
+            }
+            Style::ValueRamp { min, max, low, high } => {
+                let v = value.unwrap_or(*min);
+                let span = (max - min).max(f64::EPSILON);
+                low.lerp(*high, (v - min) / span)
+            }
+        }
+    }
+
+    /// A short lexical form for the map ontology (`map:hasStyle`).
+    pub fn descriptor(&self) -> String {
+        match self {
+            Style::Stroke { color, width } => format!("stroke:{}:{width}", color.hex()),
+            Style::Fill { color, opacity } => format!("fill:{}:{opacity}", color.hex()),
+            Style::Point { color, radius } => format!("point:{}:{radius}", color.hex()),
+            Style::ValueRamp { min, max, low, high } => {
+                format!("ramp:{}:{}:{min}:{max}", low.hex(), high.hex())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_format() {
+        assert_eq!(Color(0, 128, 255).hex(), "#0080ff");
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Color(0, 0, 0);
+        let b = Color(200, 100, 50);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Color(100, 50, 25));
+        assert_eq!(a.lerp(b, 5.0), b); // clamped
+    }
+
+    #[test]
+    fn ramp_colors() {
+        let s = Style::ValueRamp {
+            min: 0.0,
+            max: 10.0,
+            low: Color(0, 0, 0),
+            high: Color(0, 200, 0),
+        };
+        assert_eq!(s.color_for(Some(0.0)), Color(0, 0, 0));
+        assert_eq!(s.color_for(Some(10.0)), Color(0, 200, 0));
+        assert_eq!(s.color_for(Some(5.0)), Color(0, 100, 0));
+        assert_eq!(s.color_for(None), Color(0, 0, 0)); // missing → min
+    }
+
+    #[test]
+    fn descriptors() {
+        assert!(Style::Stroke {
+            color: Color::MAGENTA,
+            width: 1.5
+        }
+        .descriptor()
+        .starts_with("stroke:#"));
+        assert!(Style::ValueRamp {
+            min: 0.0,
+            max: 6.0,
+            low: Color::YELLOW,
+            high: Color::GREEN
+        }
+        .descriptor()
+        .starts_with("ramp:#"));
+    }
+}

@@ -1,0 +1,319 @@
+//! SVG rendering of thematic maps.
+
+use crate::map::{Feature, Map};
+use crate::style::Style;
+use applab_geo::{Coord, Envelope, Geometry, LineString, Polygon};
+use std::fmt::Write;
+
+/// Rendering options.
+#[derive(Debug, Clone, Copy)]
+pub struct RenderOptions {
+    pub width: u32,
+    pub height: u32,
+    /// Only draw time-stamped features with this timestamp (features
+    /// without a timestamp are always drawn). `None` draws everything.
+    pub at_time: Option<i64>,
+    /// Extra margin around the data envelope, as a fraction.
+    pub margin: f64,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            width: 800,
+            height: 600,
+            at_time: None,
+            margin: 0.05,
+        }
+    }
+}
+
+struct Projection {
+    env: Envelope,
+    width: f64,
+    height: f64,
+}
+
+impl Projection {
+    fn project(&self, c: Coord) -> (f64, f64) {
+        let x = (c.x - self.env.min_x) / self.env.width() * self.width;
+        // SVG y grows downward.
+        let y = (1.0 - (c.y - self.env.min_y) / self.env.height()) * self.height;
+        (x, y)
+    }
+}
+
+/// Render a map to an SVG document.
+pub fn render_svg(map: &Map, options: &RenderOptions) -> String {
+    let mut env = map.envelope();
+    if env.is_empty() {
+        env = Envelope::new(0.0, 0.0, 1.0, 1.0);
+    }
+    let margin_x = env.width().max(1e-9) * options.margin;
+    let margin_y = env.height().max(1e-9) * options.margin;
+    let env = Envelope::new(
+        env.min_x - margin_x,
+        env.min_y - margin_y,
+        env.max_x + margin_x,
+        env.max_y + margin_y,
+    );
+    let proj = Projection {
+        env,
+        width: options.width as f64,
+        height: options.height as f64,
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">",
+        options.width, options.height, options.width, options.height
+    );
+    let _ = writeln!(out, "  <title>{}</title>", xml_escape(&map.title));
+    for layer in &map.layers {
+        let _ = writeln!(out, "  <g id=\"{}\">", xml_escape(&slug(&layer.title)));
+        for feature in &layer.features {
+            if let (Some(t), Some(at)) = (feature.time, options.at_time) {
+                if t != at {
+                    continue;
+                }
+            }
+            render_feature(&mut out, feature, &layer.style, &proj);
+        }
+        out.push_str("  </g>\n");
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn render_feature(out: &mut String, feature: &Feature, style: &Style, proj: &Projection) {
+    let color = style.color_for(feature.value).hex();
+    let title = feature
+        .label
+        .as_ref()
+        .map(|l| format!("<title>{}</title>", xml_escape(l)))
+        .unwrap_or_default();
+    match &feature.geometry {
+        Geometry::Point(p) => {
+            let (x, y) = proj.project(p.coord());
+            let radius = match style {
+                Style::Point { radius, .. } => *radius,
+                Style::ValueRamp { .. } => 4.0,
+                _ => 3.0,
+            };
+            let _ = writeln!(
+                out,
+                "    <circle cx=\"{x:.2}\" cy=\"{y:.2}\" r=\"{radius}\" fill=\"{color}\">{title}</circle>"
+            );
+        }
+        Geometry::MultiPoint(ps) => {
+            for p in ps {
+                let (x, y) = proj.project(p.coord());
+                let _ = writeln!(
+                    out,
+                    "    <circle cx=\"{x:.2}\" cy=\"{y:.2}\" r=\"3\" fill=\"{color}\"/>"
+                );
+            }
+        }
+        Geometry::LineString(ls) => render_line(out, ls, style, &color, proj),
+        Geometry::MultiLineString(lines) => {
+            for ls in lines {
+                render_line(out, ls, style, &color, proj);
+            }
+        }
+        Geometry::Polygon(p) => render_polygon(out, p, style, &color, &title, proj),
+        Geometry::MultiPolygon(ps) => {
+            for p in ps {
+                render_polygon(out, p, style, &color, &title, proj);
+            }
+        }
+        Geometry::GeometryCollection(gs) => {
+            for g in gs {
+                let f = Feature {
+                    geometry: g.clone(),
+                    ..feature.clone()
+                };
+                render_feature(out, &f, style, proj);
+            }
+        }
+    }
+}
+
+fn path_of(ls: &LineString, proj: &Projection, close: bool) -> String {
+    let mut d = String::new();
+    for (i, &c) in ls.coords().iter().enumerate() {
+        let (x, y) = proj.project(c);
+        let _ = write!(d, "{}{x:.2} {y:.2} ", if i == 0 { "M" } else { "L" });
+    }
+    if close {
+        d.push('Z');
+    }
+    d.trim_end().to_string()
+}
+
+fn render_line(out: &mut String, ls: &LineString, style: &Style, color: &str, proj: &Projection) {
+    let width = match style {
+        Style::Stroke { width, .. } => *width,
+        _ => 1.0,
+    };
+    let _ = writeln!(
+        out,
+        "    <path d=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"{width}\"/>",
+        path_of(ls, proj, false)
+    );
+}
+
+fn render_polygon(
+    out: &mut String,
+    p: &Polygon,
+    style: &Style,
+    color: &str,
+    title: &str,
+    proj: &Projection,
+) {
+    let mut d = String::new();
+    for ring in p.rings() {
+        d.push_str(&path_of(ring, proj, true));
+        d.push(' ');
+    }
+    let d = d.trim_end();
+    match style {
+        Style::Stroke { width, .. } => {
+            let _ = writeln!(
+                out,
+                "    <path d=\"{d}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"{width}\" fill-rule=\"evenodd\">{title}</path>"
+            );
+        }
+        Style::Fill { opacity, .. } => {
+            let _ = writeln!(
+                out,
+                "    <path d=\"{d}\" fill=\"{color}\" fill-opacity=\"{opacity}\" stroke=\"{color}\" fill-rule=\"evenodd\">{title}</path>"
+            );
+        }
+        _ => {
+            let _ = writeln!(
+                out,
+                "    <path d=\"{d}\" fill=\"{color}\" fill-opacity=\"0.8\" fill-rule=\"evenodd\">{title}</path>"
+            );
+        }
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+fn slug(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::Layer;
+    use crate::style::Color;
+
+    fn test_map() -> Map {
+        let mut m = Map::new("greenness of Paris");
+        let mut admin = Layer::new(
+            "GADM",
+            Style::Stroke {
+                color: Color::MAGENTA,
+                width: 1.0,
+            },
+        );
+        admin.features.push(Feature {
+            geometry: Geometry::rect(2.0, 48.0, 3.0, 49.0),
+            value: None,
+            label: Some("Paris".into()),
+            time: None,
+        });
+        m.add_layer(admin);
+        let mut lai = Layer::new(
+            "LAI",
+            Style::ValueRamp {
+                min: 0.0,
+                max: 6.0,
+                low: Color::YELLOW,
+                high: Color::GREEN,
+            },
+        );
+        for (i, t) in [(0, 0i64), (1, 86_400)] {
+            lai.features.push(Feature {
+                geometry: Geometry::point(2.2 + i as f64 / 10.0, 48.5),
+                value: Some(3.0 * (i + 1) as f64),
+                label: None,
+                time: Some(t),
+            });
+        }
+        m.add_layer(lai);
+        m
+    }
+
+    #[test]
+    fn svg_structure() {
+        let svg = render_svg(&test_map(), &RenderOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("<title>greenness of Paris</title>"));
+        assert!(svg.contains("<g id=\"gadm\">"));
+        assert!(svg.contains("<g id=\"lai\">"));
+        assert!(svg.contains("<path"));
+        assert_eq!(svg.matches("<circle").count(), 2);
+        assert!(svg.contains("<title>Paris</title>"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn time_filter_restricts_features() {
+        let m = test_map();
+        let at0 = render_svg(
+            &m,
+            &RenderOptions {
+                at_time: Some(0),
+                ..RenderOptions::default()
+            },
+        );
+        // One LAI point at t=0, the untimed boundary always drawn.
+        assert_eq!(at0.matches("<circle").count(), 1);
+        assert!(at0.contains("<path"));
+    }
+
+    #[test]
+    fn value_ramp_colors_differ() {
+        let svg = render_svg(&test_map(), &RenderOptions::default());
+        // Two different LAI values → two different fill colors.
+        let colors: Vec<&str> = svg
+            .match_indices("<circle")
+            .map(|(i, _)| {
+                let rest = &svg[i..];
+                let f = rest.find("fill=\"").unwrap() + 6;
+                &rest[f..f + 7]
+            })
+            .collect();
+        assert_eq!(colors.len(), 2);
+        assert_ne!(colors[0], colors[1]);
+    }
+
+    #[test]
+    fn empty_map_renders() {
+        let svg = render_svg(&Map::new("empty"), &RenderOptions::default());
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn projection_flips_y() {
+        let proj = Projection {
+            env: Envelope::new(0.0, 0.0, 10.0, 10.0),
+            width: 100.0,
+            height: 100.0,
+        };
+        let (x, y) = proj.project(Coord::new(0.0, 0.0));
+        assert_eq!((x, y), (0.0, 100.0)); // bottom-left → bottom of the SVG
+        let (x, y) = proj.project(Coord::new(10.0, 10.0));
+        assert_eq!((x, y), (100.0, 0.0));
+    }
+}

@@ -1,0 +1,1040 @@
+//! The query evaluator.
+//!
+//! Evaluation is bottom-up over [`GraphPattern`] with one important
+//! optimization, mirroring Strabon/Ontop-spatial: **spatial pushdown**.
+//! When a `FILTER` contains a `geof:` predicate between a variable and a
+//! constant geometry, the evaluator derives an envelope constraint for that
+//! variable and, while matching triple patterns that bind it, offers the
+//! constraint to the source via
+//! [`GraphSource::triples_matching_spatial`]. Index-backed sources answer
+//! from their R-tree; others decline and the filter is applied afterwards
+//! (the envelope is an over-approximation, so the filter always remains).
+
+use crate::algebra::{
+    Aggregate, Expression, GraphPattern, OrderKey, Projection, Query, QueryForm, TermPattern,
+    TriplePattern,
+};
+use crate::expr::{compare_terms, eval_expr, eval_filter, Binding};
+use crate::results::{QueryResults, Row};
+use crate::source::GraphSource;
+use applab_geo::Envelope;
+use applab_rdf::{vocab, Graph, Literal, NamedNode, Resource, Term, Triple};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Evaluation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError(pub String);
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "evaluation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluate a query against a source.
+pub fn evaluate(source: &dyn GraphSource, query: &Query) -> Result<QueryResults, EvalError> {
+    let ev = Evaluator { source };
+    let bindings = ev.eval_pattern(
+        &query.pattern,
+        vec![Binding::new()],
+        &Constraints::default(),
+    );
+
+    match &query.form {
+        QueryForm::Ask => Ok(QueryResults::Boolean(!bindings.is_empty())),
+        QueryForm::Construct { template } => {
+            let mut g = Graph::new();
+            for (i, b) in bindings.iter().enumerate() {
+                for (j, t) in template.iter().enumerate() {
+                    if let Some(triple) = instantiate(t, b, i, j) {
+                        g.insert(triple);
+                    }
+                }
+            }
+            Ok(QueryResults::Graph(g))
+        }
+        QueryForm::Select {
+            distinct,
+            projection,
+            group_by,
+        } => {
+            let has_aggregates = projection
+                .iter()
+                .any(|p| matches!(p, Projection::Aggregate(..)));
+            let mut variables: Vec<String>;
+            let mut rows: Vec<Row>;
+
+            if has_aggregates || !group_by.is_empty() {
+                (variables, rows) = aggregate_rows(&bindings, projection, group_by)?;
+            } else if projection.is_empty() {
+                // SELECT *: every variable in the pattern, in pattern order.
+                variables = query.pattern.variables();
+                rows = bindings
+                    .iter()
+                    .map(|b| Row {
+                        values: variables.iter().map(|v| b.get(v).cloned()).collect(),
+                    })
+                    .collect();
+            } else {
+                variables = projection.iter().map(|p| p.name().to_string()).collect();
+                rows = bindings
+                    .iter()
+                    .map(|b| Row {
+                        values: projection
+                            .iter()
+                            .map(|p| match p {
+                                Projection::Var(v) => b.get(v).cloned(),
+                                Projection::Expr(e, _) => eval_expr(e, b).ok(),
+                                Projection::Aggregate(..) => unreachable!(),
+                            })
+                            .collect(),
+                    })
+                    .collect();
+            }
+
+            // ORDER BY over the original bindings when possible (pre-slice).
+            if !query.order_by.is_empty() {
+                sort_rows(&mut rows, &variables, &bindings, &query.order_by, has_aggregates || !group_by.is_empty());
+            }
+
+            if *distinct {
+                let mut seen = HashSet::new();
+                rows.retain(|r| {
+                    let key: Vec<Option<String>> = r
+                        .values
+                        .iter()
+                        .map(|v| v.as_ref().map(|t| t.to_string()))
+                        .collect();
+                    seen.insert(key)
+                });
+            }
+
+            // OFFSET / LIMIT.
+            let start = query.offset.min(rows.len());
+            rows.drain(..start);
+            if let Some(limit) = query.limit {
+                rows.truncate(limit);
+            }
+
+            // Deduplicate variable list defensively.
+            let mut seen = HashSet::new();
+            variables.retain(|v| seen.insert(v.clone()));
+
+            Ok(QueryResults::Solutions { variables, rows })
+        }
+    }
+}
+
+fn sort_rows(
+    rows: &mut [Row],
+    variables: &[String],
+    _bindings: &[Binding],
+    keys: &[OrderKey],
+    _grouped: bool,
+) {
+    rows.sort_by(|a, b| {
+        for key in keys {
+            let ba = row_binding(a, variables);
+            let bb = row_binding(b, variables);
+            let va = eval_expr(&key.expr, &ba).ok();
+            let vb = eval_expr(&key.expr, &bb).ok();
+            let ord = match (va, vb) {
+                (Some(x), Some(y)) => {
+                    compare_terms(&x, &y).unwrap_or_else(|| x.to_string().cmp(&y.to_string()))
+                }
+                (None, Some(_)) => std::cmp::Ordering::Less,
+                (Some(_), None) => std::cmp::Ordering::Greater,
+                (None, None) => std::cmp::Ordering::Equal,
+            };
+            let ord = if key.descending { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+fn row_binding(row: &Row, variables: &[String]) -> Binding {
+    variables
+        .iter()
+        .zip(&row.values)
+        .filter_map(|(v, t)| t.clone().map(|t| (v.clone(), t)))
+        .collect()
+}
+
+fn aggregate_rows(
+    bindings: &[Binding],
+    projection: &[Projection],
+    group_by: &[String],
+) -> Result<(Vec<String>, Vec<Row>), EvalError> {
+    // Group bindings by the group-by key.
+    let mut groups: Vec<(Vec<Option<Term>>, Vec<&Binding>)> = Vec::new();
+    let mut index: HashMap<Vec<Option<String>>, usize> = HashMap::new();
+    for b in bindings {
+        let key_terms: Vec<Option<Term>> = group_by.iter().map(|v| b.get(v).cloned()).collect();
+        let key_strs: Vec<Option<String>> = key_terms
+            .iter()
+            .map(|t| t.as_ref().map(|t| t.to_string()))
+            .collect();
+        let idx = *index.entry(key_strs).or_insert_with(|| {
+            groups.push((key_terms.clone(), Vec::new()));
+            groups.len() - 1
+        });
+        groups[idx].1.push(b);
+    }
+    // With no GROUP BY but aggregates present, there is one global group
+    // (even if empty).
+    if group_by.is_empty() && groups.is_empty() {
+        groups.push((Vec::new(), Vec::new()));
+    }
+
+    let variables: Vec<String> = projection.iter().map(|p| p.name().to_string()).collect();
+    let mut rows = Vec::with_capacity(groups.len());
+    for (key_terms, members) in &groups {
+        let mut values = Vec::with_capacity(projection.len());
+        for p in projection {
+            let v = match p {
+                Projection::Var(v) => {
+                    // Must be a grouped variable.
+                    match group_by.iter().position(|g| g == v) {
+                        Some(i) => key_terms.get(i).cloned().flatten(),
+                        None => {
+                            return Err(EvalError(format!(
+                                "variable ?{v} is projected but neither grouped nor aggregated"
+                            )))
+                        }
+                    }
+                }
+                Projection::Expr(e, _) => {
+                    // Evaluated against the group key binding.
+                    let b: Binding = group_by
+                        .iter()
+                        .zip(key_terms)
+                        .filter_map(|(v, t)| t.clone().map(|t| (v.clone(), t)))
+                        .collect();
+                    eval_expr(e, &b).ok()
+                }
+                Projection::Aggregate(agg, expr, _) => compute_aggregate(*agg, expr, members),
+            };
+            values.push(v);
+        }
+        rows.push(Row { values });
+    }
+    Ok((variables, rows))
+}
+
+fn compute_aggregate(
+    agg: Aggregate,
+    expr: &Option<Expression>,
+    members: &[&Binding],
+) -> Option<Term> {
+    let values: Vec<Term> = match expr {
+        None => return Some(Literal::integer(members.len() as i64).into()),
+        Some(e) => members.iter().filter_map(|b| eval_expr(e, b).ok()).collect(),
+    };
+    match agg {
+        Aggregate::CountAll => Some(Literal::integer(members.len() as i64).into()),
+        Aggregate::Count => Some(Literal::integer(values.len() as i64).into()),
+        Aggregate::Sample => values.first().cloned(),
+        Aggregate::Sum | Aggregate::Avg => {
+            let nums: Vec<f64> = values
+                .iter()
+                .filter_map(|t| t.as_literal().and_then(Literal::as_f64))
+                .collect();
+            if nums.is_empty() {
+                return if agg == Aggregate::Sum {
+                    Some(Literal::double(0.0).into())
+                } else {
+                    None
+                };
+            }
+            let sum: f64 = nums.iter().sum();
+            let out = if agg == Aggregate::Sum {
+                sum
+            } else {
+                sum / nums.len() as f64
+            };
+            Some(Literal::double(out).into())
+        }
+        Aggregate::Min | Aggregate::Max => {
+            let mut best: Option<Term> = None;
+            for v in values {
+                best = match best {
+                    None => Some(v),
+                    Some(b) => {
+                        let ord = compare_terms(&v, &b)
+                            .unwrap_or_else(|| v.to_string().cmp(&b.to_string()));
+                        if (agg == Aggregate::Min && ord == std::cmp::Ordering::Less)
+                            || (agg == Aggregate::Max && ord == std::cmp::Ordering::Greater)
+                        {
+                            Some(v)
+                        } else {
+                            Some(b)
+                        }
+                    }
+                };
+            }
+            best
+        }
+    }
+}
+
+fn instantiate(pattern: &TriplePattern, binding: &Binding, row: usize, idx: usize) -> Option<Triple> {
+    let resolve = |tp: &TermPattern| -> Option<Term> {
+        match tp {
+            TermPattern::Var(v) => binding.get(v).cloned(),
+            TermPattern::Term(t) => Some(t.clone()),
+        }
+    };
+    let s = match resolve(&pattern.subject)? {
+        Term::Named(n) => Resource::Named(n),
+        Term::Blank(b) => Resource::Blank(b),
+        Term::Literal(_) => return None,
+    };
+    let p = match resolve(&pattern.predicate)? {
+        Term::Named(n) => n,
+        _ => return None,
+    };
+    let o = resolve(&pattern.object).or_else(|| {
+        // Unbound object in a CONSTRUCT template becomes a fresh blank node.
+        Some(Term::Blank(applab_rdf::BlankNode::new(format!(
+            "c{row}_{idx}"
+        ))))
+    })?;
+    Some(Triple::new(s, p, o))
+}
+
+/// Per-variable index-pushdown constraints extracted from filters.
+#[derive(Debug, Clone, Default)]
+struct Constraints {
+    spatial: HashMap<String, Envelope>,
+    temporal: HashMap<String, (i64, i64)>,
+}
+
+struct Evaluator<'a> {
+    source: &'a dyn GraphSource,
+}
+
+impl<'a> Evaluator<'a> {
+    fn eval_pattern(
+        &self,
+        pattern: &GraphPattern,
+        input: Vec<Binding>,
+        constraints: &Constraints,
+    ) -> Vec<Binding> {
+        match pattern {
+            GraphPattern::Bgp(patterns) => self.eval_bgp(patterns, input, constraints),
+            GraphPattern::Filter(expr, inner) => {
+                // Derive envelope and time-range constraints from the filter
+                // and push them into the inner pattern.
+                let mut merged = constraints.clone();
+                for (var, env) in spatial_constraints(expr) {
+                    merged
+                        .spatial
+                        .entry(var)
+                        .and_modify(|e| *e = e.intersection(&env))
+                        .or_insert(env);
+                }
+                for (var, (s, e)) in temporal_constraints(expr) {
+                    merged
+                        .temporal
+                        .entry(var)
+                        .and_modify(|r| *r = (r.0.max(s), r.1.min(e)))
+                        .or_insert((s, e));
+                }
+                let inner_bindings = self.eval_pattern(inner, input, &merged);
+                inner_bindings
+                    .into_iter()
+                    .filter(|b| eval_filter(expr, b))
+                    .collect()
+            }
+            GraphPattern::Join(left, right) => {
+                let lhs = self.eval_pattern(left, input, constraints);
+                self.eval_pattern(right, lhs, constraints)
+            }
+            GraphPattern::LeftJoin(left, right) => {
+                let lhs = self.eval_pattern(left, input, constraints);
+                let mut out = Vec::with_capacity(lhs.len());
+                for b in lhs {
+                    let extended = self.eval_pattern(right, vec![b.clone()], constraints);
+                    if extended.is_empty() {
+                        out.push(b);
+                    } else {
+                        out.extend(extended);
+                    }
+                }
+                out
+            }
+            GraphPattern::Union(left, right) => {
+                let mut out = self.eval_pattern(left, input.clone(), constraints);
+                out.extend(self.eval_pattern(right, input, constraints));
+                out
+            }
+            GraphPattern::Extend(inner, var, expr) => {
+                let bindings = self.eval_pattern(inner, input, constraints);
+                bindings
+                    .into_iter()
+                    .map(|mut b| {
+                        if let Ok(v) = eval_expr(expr, &b) {
+                            b.insert(var.clone(), v);
+                        }
+                        b
+                    })
+                    .collect()
+            }
+            GraphPattern::Values(vars, rows) => {
+                let mut out = Vec::new();
+                for b in &input {
+                    for row in rows {
+                        let mut nb = b.clone();
+                        let mut compatible = true;
+                        for (var, val) in vars.iter().zip(row) {
+                            if let Some(val) = val {
+                                match nb.get(var) {
+                                    Some(existing) if existing != val => {
+                                        compatible = false;
+                                        break;
+                                    }
+                                    _ => {
+                                        nb.insert(var.clone(), val.clone());
+                                    }
+                                }
+                            }
+                        }
+                        if compatible {
+                            out.push(nb);
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    fn eval_bgp(
+        &self,
+        patterns: &[TriplePattern],
+        input: Vec<Binding>,
+        constraints: &Constraints,
+    ) -> Vec<Binding> {
+        if patterns.is_empty() {
+            return input;
+        }
+        // OBDA fast path: let the source answer the whole BGP at once.
+        if let Some(answers) = self.source.evaluate_bgp(patterns, &constraints.spatial) {
+            let mut out = Vec::new();
+            for left in &input {
+                'answer: for right in &answers {
+                    let mut merged = left.clone();
+                    for (k, v) in right {
+                        match merged.get(k) {
+                            Some(existing) if existing != v => continue 'answer,
+                            Some(_) => {}
+                            None => {
+                                merged.insert(k.clone(), v.clone());
+                            }
+                        }
+                    }
+                    out.push(merged);
+                }
+            }
+            return out;
+        }
+        // Greedy join ordering: repeatedly pick the most selective pattern
+        // given the variables bound so far.
+        let mut bound: HashSet<String> = input
+            .first()
+            .map(|b| b.keys().cloned().collect())
+            .unwrap_or_default();
+        let mut remaining: Vec<&TriplePattern> = patterns.iter().collect();
+        let mut ordered: Vec<&TriplePattern> = Vec::with_capacity(remaining.len());
+        while !remaining.is_empty() {
+            let (idx, _) = remaining
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, p)| pattern_selectivity(p, &bound, constraints))
+                .unwrap();
+            let p = remaining.swap_remove(idx);
+            for v in p.variables() {
+                bound.insert(v.to_string());
+            }
+            ordered.push(p);
+        }
+
+        let mut bindings = input;
+        for pattern in ordered {
+            let mut next = Vec::new();
+            for b in &bindings {
+                self.match_pattern(pattern, b, constraints, &mut next);
+            }
+            bindings = next;
+            if bindings.is_empty() {
+                break;
+            }
+        }
+        bindings
+    }
+
+    fn match_pattern(
+        &self,
+        pattern: &TriplePattern,
+        binding: &Binding,
+        constraints: &Constraints,
+        out: &mut Vec<Binding>,
+    ) {
+        let subst = |tp: &TermPattern| -> Option<Term> {
+            match tp {
+                TermPattern::Term(t) => Some(t.clone()),
+                TermPattern::Var(v) => binding.get(v).cloned(),
+            }
+        };
+        let s_term = subst(&pattern.subject);
+        let p_term = subst(&pattern.predicate);
+        let o_term = subst(&pattern.object);
+
+        // A literal in subject position can never match.
+        let s_res: Option<Resource> = match &s_term {
+            Some(Term::Literal(_)) => return,
+            Some(t) => t.as_resource(),
+            None => None,
+        };
+        let p_named: Option<NamedNode> = match &p_term {
+            Some(Term::Named(n)) => Some(n.clone()),
+            Some(_) => return,
+            None => None,
+        };
+
+        // Index pushdown: the object is an unbound variable carrying an
+        // envelope or time-range constraint.
+        let triples = match (&o_term, pattern.object.as_var()) {
+            (None, Some(var)) => {
+                let spatial_hit = constraints.spatial.get(var).and_then(|env| {
+                    self.source
+                        .triples_matching_spatial(s_res.as_ref(), p_named.as_ref(), env)
+                });
+                let temporal_hit = if spatial_hit.is_none() {
+                    constraints.temporal.get(var).and_then(|(start, end)| {
+                        self.source.triples_matching_temporal(
+                            s_res.as_ref(),
+                            p_named.as_ref(),
+                            *start,
+                            *end,
+                        )
+                    })
+                } else {
+                    None
+                };
+                spatial_hit.or(temporal_hit).unwrap_or_else(|| {
+                    self.source
+                        .triples_matching(s_res.as_ref(), p_named.as_ref(), None)
+                })
+            }
+            _ => self
+                .source
+                .triples_matching(s_res.as_ref(), p_named.as_ref(), o_term.as_ref()),
+        };
+
+        'next_triple: for t in triples {
+            let mut nb = binding.clone();
+            for (tp, actual) in [
+                (&pattern.subject, Term::from(t.subject.clone())),
+                (&pattern.predicate, Term::Named(t.predicate.clone())),
+                (&pattern.object, t.object.clone()),
+            ] {
+                if let TermPattern::Var(v) = tp {
+                    match nb.get(v) {
+                        Some(existing) if *existing != actual => continue 'next_triple,
+                        Some(_) => {}
+                        None => {
+                            nb.insert(v.clone(), actual);
+                        }
+                    }
+                }
+            }
+            out.push(nb);
+        }
+    }
+}
+
+/// Selectivity score for greedy BGP ordering: more ground/bound positions is
+/// better; a spatially constrained object is almost as good as bound.
+fn pattern_selectivity(
+    p: &TriplePattern,
+    bound: &HashSet<String>,
+    constraints: &Constraints,
+) -> i32 {
+    let score = |tp: &TermPattern, weight: i32| -> i32 {
+        match tp {
+            TermPattern::Term(_) => weight,
+            TermPattern::Var(v) if bound.contains(v) => weight,
+            TermPattern::Var(v)
+                if constraints.spatial.contains_key(v)
+                    || constraints.temporal.contains_key(v) =>
+            {
+                weight - 1
+            }
+            TermPattern::Var(_) => 0,
+        }
+    };
+    // Subject matches are usually most selective, then object, then
+    // predicate (predicates repeat across the dataset).
+    score(&p.subject, 4) + score(&p.object, 3) + score(&p.predicate, 2)
+}
+
+/// Extract envelope constraints from a filter expression.
+///
+/// Recognized forms (and their mirror images):
+/// * `geof:sfIntersects(?v, CONST)`, and the other non-negative `sf*`
+///   predicates — envelope of the constant;
+/// * `geof:distance(?v, CONST) < d` / `<= d` — envelope buffered by `d`.
+pub fn spatial_constraints(expr: &Expression) -> HashMap<String, Envelope> {
+    let mut out = HashMap::new();
+    for conjunct in expr.conjuncts() {
+        match conjunct {
+            Expression::Call(f, args) => {
+                if let Some(local) = f.as_str().strip_prefix(vocab::geof::NS) {
+                    if local == "sfDisjoint" {
+                        continue; // negative constraint: no pushdown
+                    }
+                    if applab_geo::SpatialRelation::from_geof_name(local).is_some()
+                        && args.len() == 2
+                    {
+                        if let Some((var, env)) = var_const_envelope(&args[0], &args[1]) {
+                            merge(&mut out, var, env);
+                        }
+                    }
+                }
+            }
+            Expression::Less(a, b) | Expression::LessOrEqual(a, b) => {
+                // geof:distance(?v, CONST) < d
+                if let (Expression::Call(f, args), Expression::Constant(Term::Literal(l))) =
+                    (a.as_ref(), b.as_ref())
+                {
+                    if f.as_str() == vocab::geof::DISTANCE && args.len() >= 2 {
+                        if let (Some((var, env)), Some(d)) =
+                            (var_const_envelope(&args[0], &args[1]), l.as_f64())
+                        {
+                            merge(&mut out, var, env.buffered(d));
+                        }
+                    }
+                }
+            }
+            Expression::Greater(a, b) | Expression::GreaterOrEqual(a, b) => {
+                // d > geof:distance(?v, CONST)
+                if let (Expression::Constant(Term::Literal(l)), Expression::Call(f, args)) =
+                    (a.as_ref(), b.as_ref())
+                {
+                    if f.as_str() == vocab::geof::DISTANCE && args.len() >= 2 {
+                        if let (Some((var, env)), Some(d)) =
+                            (var_const_envelope(&args[0], &args[1]), l.as_f64())
+                        {
+                            merge(&mut out, var, env.buffered(d));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn merge(out: &mut HashMap<String, Envelope>, var: String, env: Envelope) {
+    out.entry(var)
+        .and_modify(|e| *e = e.intersection(&env))
+        .or_insert(env);
+}
+
+/// Extract time-range constraints (epoch seconds) from a filter expression.
+///
+/// Recognized conjunct forms: `?v OP const` and `const OP ?v` where `const`
+/// is an `xsd:dateTime`/`xsd:date` literal and OP is a comparison.
+pub fn temporal_constraints(expr: &Expression) -> HashMap<String, (i64, i64)> {
+    let mut out: HashMap<String, (i64, i64)> = HashMap::new();
+    let mut narrow = |var: &str, lo: i64, hi: i64| {
+        out.entry(var.to_string())
+            .and_modify(|r| *r = (r.0.max(lo), r.1.min(hi)))
+            .or_insert((lo, hi));
+    };
+    let dt = |e: &Expression| -> Option<i64> {
+        match e {
+            Expression::Constant(Term::Literal(l)) => l.as_datetime(),
+            _ => None,
+        }
+    };
+    for conjunct in expr.conjuncts() {
+        let (a, b, flip) = match conjunct {
+            Expression::Less(a, b) | Expression::LessOrEqual(a, b) => (a, b, false),
+            Expression::Greater(a, b) | Expression::GreaterOrEqual(a, b) => (a, b, true),
+            Expression::Equal(a, b) => {
+                if let (Expression::Var(v), Some(t)) = (a.as_ref(), dt(b)) {
+                    narrow(v, t, t);
+                } else if let (Some(t), Expression::Var(v)) = (dt(a), b.as_ref()) {
+                    narrow(v, t, t);
+                }
+                continue;
+            }
+            _ => continue,
+        };
+        // Normalize to `?v <= const` / `?v >= const`.
+        match (a.as_ref(), b.as_ref()) {
+            (Expression::Var(v), other) => {
+                if let Some(t) = dt(other) {
+                    if flip {
+                        narrow(v, t, i64::MAX); // ?v > const
+                    } else {
+                        narrow(v, i64::MIN, t); // ?v < const
+                    }
+                }
+            }
+            (other, Expression::Var(v)) => {
+                if let Some(t) = dt(other) {
+                    if flip {
+                        narrow(v, i64::MIN, t); // const > ?v
+                    } else {
+                        narrow(v, t, i64::MAX); // const < ?v
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Match (Var, Const-geometry) in either order.
+fn var_const_envelope(a: &Expression, b: &Expression) -> Option<(String, Envelope)> {
+    let extract = |e: &Expression| -> Option<Envelope> {
+        match e {
+            Expression::Constant(Term::Literal(l)) => l.as_geometry().map(|g| g.envelope()),
+            _ => None,
+        }
+    };
+    match (a, b) {
+        (Expression::Var(v), other) => extract(other).map(|env| (v.clone(), env)),
+        (other, Expression::Var(v)) => extract(other).map(|env| (v.clone(), env)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::TermPattern as TP;
+
+    fn test_graph() -> Graph {
+        let mut g = Graph::new();
+        for (id, name, wkt) in [
+            ("p1", "Bois de Boulogne", "POLYGON ((2.21 48.85, 2.27 48.85, 2.27 48.88, 2.21 48.88, 2.21 48.85))"),
+            ("p2", "Parc Monceau", "POLYGON ((2.30 48.87, 2.31 48.87, 2.31 48.88, 2.30 48.88, 2.30 48.87))"),
+        ] {
+            let park = Resource::named(format!("http://ex.org/{id}"));
+            let geom = Resource::named(format!("http://ex.org/{id}/geom"));
+            g.add(park.clone(), NamedNode::new(vocab::rdf::TYPE), Term::named(vocab::osm::POI));
+            g.add(park.clone(), NamedNode::new(vocab::osm::HAS_NAME), Literal::string(name));
+            g.add(park.clone(), NamedNode::new(vocab::geo::HAS_GEOMETRY), Term::Named(geom.as_named().unwrap().clone()));
+            g.add(geom, NamedNode::new(vocab::geo::AS_WKT), Literal::wkt(wkt));
+        }
+        g
+    }
+
+    fn var(v: &str) -> TP {
+        TP::var(v)
+    }
+
+    fn select_all(pattern: GraphPattern) -> Query {
+        Query {
+            form: QueryForm::Select {
+                distinct: false,
+                projection: vec![],
+                group_by: vec![],
+            },
+            pattern,
+            order_by: vec![],
+            limit: None,
+            offset: 0,
+        }
+    }
+
+    #[test]
+    fn bgp_join() {
+        let g = test_graph();
+        let q = select_all(GraphPattern::Bgp(vec![
+            TriplePattern::new(var("s"), Term::named(vocab::rdf::TYPE), Term::named(vocab::osm::POI)),
+            TriplePattern::new(var("s"), Term::named(vocab::osm::HAS_NAME), var("name")),
+        ]));
+        let r = evaluate(&g, &q).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn filter_with_geof() {
+        let g = test_graph();
+        // Find parks whose geometry intersects a probe box around Bois de
+        // Boulogne only.
+        let probe = Literal::wkt("POLYGON ((2.2 48.84, 2.28 48.84, 2.28 48.89, 2.2 48.89, 2.2 48.84))");
+        let q = select_all(GraphPattern::Filter(
+            Expression::Call(
+                NamedNode::new(vocab::geof::SF_INTERSECTS),
+                vec![
+                    Expression::Var("wkt".into()),
+                    Expression::Constant(probe.into()),
+                ],
+            ),
+            Box::new(GraphPattern::Bgp(vec![
+                TriplePattern::new(var("s"), Term::named(vocab::geo::HAS_GEOMETRY), var("g")),
+                TriplePattern::new(var("g"), Term::named(vocab::geo::AS_WKT), var("wkt")),
+            ])),
+        ));
+        let r = evaluate(&g, &q).unwrap();
+        assert_eq!(r.len(), 1);
+        let s = r.value(0, "s").unwrap();
+        assert_eq!(s.as_named().unwrap().as_str(), "http://ex.org/p1");
+    }
+
+    #[test]
+    fn optional_keeps_unmatched() {
+        let mut g = test_graph();
+        // A POI without a name.
+        g.add(
+            Resource::named("http://ex.org/p3"),
+            NamedNode::new(vocab::rdf::TYPE),
+            Term::named(vocab::osm::POI),
+        );
+        let q = select_all(GraphPattern::LeftJoin(
+            Box::new(GraphPattern::Bgp(vec![TriplePattern::new(
+                var("s"),
+                Term::named(vocab::rdf::TYPE),
+                Term::named(vocab::osm::POI),
+            )])),
+            Box::new(GraphPattern::Bgp(vec![TriplePattern::new(
+                var("s"),
+                Term::named(vocab::osm::HAS_NAME),
+                var("name"),
+            )])),
+        ));
+        let r = evaluate(&g, &q).unwrap();
+        assert_eq!(r.len(), 3);
+        let unnamed = r
+            .rows()
+            .iter()
+            .filter(|row| row.get(r.variables(), "name").is_none())
+            .count();
+        assert_eq!(unnamed, 1);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let g = test_graph();
+        let left = GraphPattern::Bgp(vec![TriplePattern::new(
+            var("s"),
+            Term::named(vocab::osm::HAS_NAME),
+            Term::from(Literal::string("Bois de Boulogne")),
+        )]);
+        let right = GraphPattern::Bgp(vec![TriplePattern::new(
+            var("s"),
+            Term::named(vocab::osm::HAS_NAME),
+            Term::from(Literal::string("Parc Monceau")),
+        )]);
+        let q = select_all(GraphPattern::Union(Box::new(left), Box::new(right)));
+        let r = evaluate(&g, &q).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn ask_and_construct() {
+        let g = test_graph();
+        let bgp = GraphPattern::Bgp(vec![TriplePattern::new(
+            var("s"),
+            Term::named(vocab::rdf::TYPE),
+            Term::named(vocab::osm::POI),
+        )]);
+        let ask = Query {
+            form: QueryForm::Ask,
+            pattern: bgp.clone(),
+            order_by: vec![],
+            limit: None,
+            offset: 0,
+        };
+        assert_eq!(evaluate(&g, &ask).unwrap().as_bool(), Some(true));
+
+        let construct = Query {
+            form: QueryForm::Construct {
+                template: vec![TriplePattern::new(
+                    var("s"),
+                    Term::named(vocab::rdfs::LABEL),
+                    Term::from(Literal::string("poi")),
+                )],
+            },
+            pattern: bgp,
+            order_by: vec![],
+            limit: None,
+            offset: 0,
+        };
+        let out = evaluate(&g, &construct).unwrap();
+        assert_eq!(out.as_graph().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn aggregation_avg_per_group() {
+        let mut g = Graph::new();
+        for (cls, v) in [("a", 1.0), ("a", 3.0), ("b", 10.0)] {
+            let obs = Resource::named(format!("http://ex.org/o{cls}{v}"));
+            g.add(obs.clone(), NamedNode::new("http://ex.org/class"), Term::named(format!("http://ex.org/{cls}")));
+            g.add(obs, NamedNode::new(vocab::lai::HAS_LAI), Literal::float(v));
+        }
+        let q = Query {
+            form: QueryForm::Select {
+                distinct: false,
+                projection: vec![
+                    Projection::Var("cls".into()),
+                    Projection::Aggregate(
+                        Aggregate::Avg,
+                        Some(Expression::Var("lai".into())),
+                        "avg".into(),
+                    ),
+                    Projection::Aggregate(Aggregate::Count, None, "n".into()),
+                ],
+                group_by: vec!["cls".into()],
+            },
+            pattern: GraphPattern::Bgp(vec![
+                TriplePattern::new(var("o"), Term::named("http://ex.org/class"), var("cls")),
+                TriplePattern::new(var("o"), Term::named(vocab::lai::HAS_LAI), var("lai")),
+            ]),
+            order_by: vec![OrderKey {
+                expr: Expression::Var("avg".into()),
+                descending: false,
+            }],
+            limit: None,
+            offset: 0,
+        };
+        let r = evaluate(&g, &q).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(
+            r.value(0, "avg").unwrap().as_literal().unwrap().as_f64(),
+            Some(2.0)
+        );
+        assert_eq!(
+            r.value(1, "avg").unwrap().as_literal().unwrap().as_f64(),
+            Some(10.0)
+        );
+        assert_eq!(
+            r.value(0, "n").unwrap().as_literal().unwrap().as_f64(),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn distinct_limit_offset() {
+        let g = test_graph();
+        let q = Query {
+            form: QueryForm::Select {
+                distinct: true,
+                projection: vec![Projection::Var("t".into())],
+                group_by: vec![],
+            },
+            pattern: GraphPattern::Bgp(vec![TriplePattern::new(
+                var("s"),
+                Term::named(vocab::rdf::TYPE),
+                var("t"),
+            )]),
+            order_by: vec![],
+            limit: Some(10),
+            offset: 0,
+        };
+        let r = evaluate(&g, &q).unwrap();
+        assert_eq!(r.len(), 1); // both POIs have the same type
+    }
+
+    #[test]
+    fn extend_binds_expression() {
+        let g = test_graph();
+        let q = select_all(GraphPattern::Extend(
+            Box::new(GraphPattern::Bgp(vec![TriplePattern::new(
+                var("s"),
+                Term::named(vocab::osm::HAS_NAME),
+                var("name"),
+            )])),
+            "upper".into(),
+            Expression::Call(
+                NamedNode::new("builtin:ucase"),
+                vec![Expression::Var("name".into())],
+            ),
+        ));
+        let r = evaluate(&g, &q).unwrap();
+        let u = r.value(0, "upper").unwrap().as_literal().unwrap();
+        assert_eq!(u.value(), u.value().to_uppercase());
+    }
+
+    #[test]
+    fn values_restricts() {
+        let g = test_graph();
+        let q = select_all(GraphPattern::Join(
+            Box::new(GraphPattern::Values(
+                vec!["name".into()],
+                vec![vec![Some(Literal::string("Parc Monceau").into())]],
+            )),
+            Box::new(GraphPattern::Bgp(vec![TriplePattern::new(
+                var("s"),
+                Term::named(vocab::osm::HAS_NAME),
+                var("name"),
+            )])),
+        ));
+        let r = evaluate(&g, &q).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn spatial_constraint_extraction() {
+        let expr = Expression::And(
+            Box::new(Expression::Call(
+                NamedNode::new(vocab::geof::SF_INTERSECTS),
+                vec![
+                    Expression::Var("g".into()),
+                    Expression::Constant(Literal::wkt("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))").into()),
+                ],
+            )),
+            Box::new(Expression::Less(
+                Box::new(Expression::Call(
+                    NamedNode::new(vocab::geof::DISTANCE),
+                    vec![
+                        Expression::Var("h".into()),
+                        Expression::Constant(Literal::wkt("POINT (10 10)").into()),
+                    ],
+                )),
+                Box::new(Expression::Constant(Literal::double(1.5).into())),
+            )),
+        );
+        let cons = spatial_constraints(&expr);
+        assert_eq!(cons.len(), 2);
+        assert_eq!(cons["g"], Envelope::new(0.0, 0.0, 2.0, 2.0));
+        assert_eq!(cons["h"], Envelope::new(8.5, 8.5, 11.5, 11.5));
+    }
+
+    #[test]
+    fn same_var_twice_in_pattern() {
+        let mut g = Graph::new();
+        g.add(
+            Resource::named("http://ex.org/n"),
+            NamedNode::new("http://ex.org/linksTo"),
+            Term::named("http://ex.org/n"),
+        );
+        g.add(
+            Resource::named("http://ex.org/m"),
+            NamedNode::new("http://ex.org/linksTo"),
+            Term::named("http://ex.org/n"),
+        );
+        // ?x linksTo ?x matches only the self-loop.
+        let q = select_all(GraphPattern::Bgp(vec![TriplePattern::new(
+            var("x"),
+            Term::named("http://ex.org/linksTo"),
+            var("x"),
+        )]));
+        let r = evaluate(&g, &q).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+}

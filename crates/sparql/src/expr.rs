@@ -1,0 +1,563 @@
+//! Expression evaluation, including the GeoSPARQL `geof:` functions.
+
+use crate::algebra::Expression;
+use applab_geo::algorithms as geoalg;
+use applab_geo::{Geometry, Polygon, SpatialRelation};
+use applab_rdf::{vocab, Literal, NamedNode, Term};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A solution mapping: variable name → bound term.
+pub type Binding = HashMap<String, Term>;
+
+/// Expression evaluation error. In filter context errors are treated as
+/// `false` (the SPARQL "error = unsatisfied" rule); in `BIND`/projection
+/// context they leave the variable unbound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    Unbound(String),
+    Type(String),
+    UnknownFunction(String),
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::Unbound(v) => write!(f, "unbound variable ?{v}"),
+            ExprError::Type(m) => write!(f, "type error: {m}"),
+            ExprError::UnknownFunction(n) => write!(f, "unknown function <{n}>"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+/// Evaluate an expression under a binding.
+pub fn eval_expr(expr: &Expression, binding: &Binding) -> Result<Term, ExprError> {
+    match expr {
+        Expression::Var(v) => binding
+            .get(v)
+            .cloned()
+            .ok_or_else(|| ExprError::Unbound(v.clone())),
+        Expression::Constant(t) => Ok(t.clone()),
+        Expression::And(a, b) => {
+            // SPARQL logical-and with error handling: false && error = false.
+            let lhs = eval_expr(a, binding).and_then(|t| ebv(&t));
+            let rhs = eval_expr(b, binding).and_then(|t| ebv(&t));
+            match (lhs, rhs) {
+                (Ok(false), _) | (_, Ok(false)) => Ok(Literal::boolean(false).into()),
+                (Ok(true), Ok(true)) => Ok(Literal::boolean(true).into()),
+                (Err(e), _) | (_, Err(e)) => Err(e),
+            }
+        }
+        Expression::Or(a, b) => {
+            let lhs = eval_expr(a, binding).and_then(|t| ebv(&t));
+            let rhs = eval_expr(b, binding).and_then(|t| ebv(&t));
+            match (lhs, rhs) {
+                (Ok(true), _) | (_, Ok(true)) => Ok(Literal::boolean(true).into()),
+                (Ok(false), Ok(false)) => Ok(Literal::boolean(false).into()),
+                (Err(e), _) | (_, Err(e)) => Err(e),
+            }
+        }
+        Expression::Not(e) => {
+            let v = ebv(&eval_expr(e, binding)?)?;
+            Ok(Literal::boolean(!v).into())
+        }
+        Expression::Equal(a, b) => {
+            let (a, b) = (eval_expr(a, binding)?, eval_expr(b, binding)?);
+            Ok(Literal::boolean(terms_equal(&a, &b)).into())
+        }
+        Expression::NotEqual(a, b) => {
+            let (a, b) = (eval_expr(a, binding)?, eval_expr(b, binding)?);
+            Ok(Literal::boolean(!terms_equal(&a, &b)).into())
+        }
+        Expression::Less(a, b) => compare(a, b, binding, |o| o == Ordering::Less),
+        Expression::LessOrEqual(a, b) => compare(a, b, binding, |o| o != Ordering::Greater),
+        Expression::Greater(a, b) => compare(a, b, binding, |o| o == Ordering::Greater),
+        Expression::GreaterOrEqual(a, b) => compare(a, b, binding, |o| o != Ordering::Less),
+        Expression::Add(a, b) => arith(a, b, binding, |x, y| x + y),
+        Expression::Subtract(a, b) => arith(a, b, binding, |x, y| x - y),
+        Expression::Multiply(a, b) => arith(a, b, binding, |x, y| x * y),
+        Expression::Divide(a, b) => {
+            let x = numeric(&eval_expr(a, binding)?)?;
+            let y = numeric(&eval_expr(b, binding)?)?;
+            if y == 0.0 {
+                return Err(ExprError::Type("division by zero".into()));
+            }
+            Ok(Literal::double(x / y).into())
+        }
+        Expression::UnaryMinus(e) => {
+            let x = numeric(&eval_expr(e, binding)?)?;
+            Ok(Literal::double(-x).into())
+        }
+        Expression::Bound(v) => Ok(Literal::boolean(binding.contains_key(v)).into()),
+        Expression::If(c, t, e) => {
+            if ebv(&eval_expr(c, binding)?)? {
+                eval_expr(t, binding)
+            } else {
+                eval_expr(e, binding)
+            }
+        }
+        Expression::Call(func, args) => call(func, args, binding),
+    }
+}
+
+/// Evaluate an expression as a filter condition: errors become `false`.
+pub fn eval_filter(expr: &Expression, binding: &Binding) -> bool {
+    eval_expr(expr, binding)
+        .and_then(|t| ebv(&t))
+        .unwrap_or(false)
+}
+
+/// Effective boolean value.
+pub fn ebv(term: &Term) -> Result<bool, ExprError> {
+    match term {
+        Term::Literal(l) => {
+            if let Some(b) = l.as_bool() {
+                Ok(b)
+            } else if let Some(n) = l.as_f64() {
+                Ok(n != 0.0 && !n.is_nan())
+            } else if l.datatype().as_str() == vocab::xsd::STRING {
+                Ok(!l.value().is_empty())
+            } else {
+                Err(ExprError::Type(format!("no boolean value for {l}")))
+            }
+        }
+        other => Err(ExprError::Type(format!("no boolean value for {other}"))),
+    }
+}
+
+fn terms_equal(a: &Term, b: &Term) -> bool {
+    if a == b {
+        return true;
+    }
+    // Numeric value equality across datatypes (`"3"^^int = "3.0"^^double`).
+    if let (Term::Literal(la), Term::Literal(lb)) = (a, b) {
+        if let (Some(x), Some(y)) = (la.as_f64(), lb.as_f64()) {
+            return x == y;
+        }
+        if let (Some(x), Some(y)) = (la.as_datetime(), lb.as_datetime()) {
+            return x == y;
+        }
+        // Same lexical form, string-ish types.
+        return la.value() == lb.value()
+            && la.datatype() == lb.datatype()
+            && la.language() == lb.language();
+    }
+    false
+}
+
+/// SPARQL operator `<`/`>` ordering over literals.
+pub fn compare_terms(a: &Term, b: &Term) -> Option<Ordering> {
+    match (a, b) {
+        (Term::Literal(la), Term::Literal(lb)) => {
+            if let (Some(x), Some(y)) = (la.as_f64(), lb.as_f64()) {
+                return x.partial_cmp(&y);
+            }
+            if let (Some(x), Some(y)) = (la.as_datetime(), lb.as_datetime()) {
+                return Some(x.cmp(&y));
+            }
+            if la.datatype() == lb.datatype() {
+                return Some(la.value().cmp(lb.value()));
+            }
+            None
+        }
+        (Term::Named(x), Term::Named(y)) => Some(x.as_str().cmp(y.as_str())),
+        _ => None,
+    }
+}
+
+fn compare(
+    a: &Expression,
+    b: &Expression,
+    binding: &Binding,
+    pred: impl Fn(Ordering) -> bool,
+) -> Result<Term, ExprError> {
+    let (a, b) = (eval_expr(a, binding)?, eval_expr(b, binding)?);
+    let ord = compare_terms(&a, &b)
+        .ok_or_else(|| ExprError::Type(format!("cannot compare {a} and {b}")))?;
+    Ok(Literal::boolean(pred(ord)).into())
+}
+
+fn numeric(t: &Term) -> Result<f64, ExprError> {
+    t.as_literal()
+        .and_then(Literal::as_f64)
+        .ok_or_else(|| ExprError::Type(format!("not a number: {t}")))
+}
+
+fn arith(
+    a: &Expression,
+    b: &Expression,
+    binding: &Binding,
+    op: impl Fn(f64, f64) -> f64,
+) -> Result<Term, ExprError> {
+    let x = numeric(&eval_expr(a, binding)?)?;
+    let y = numeric(&eval_expr(b, binding)?)?;
+    Ok(Literal::double(op(x, y)).into())
+}
+
+fn geometry_arg(t: &Term) -> Result<Geometry, ExprError> {
+    t.as_literal()
+        .and_then(Literal::as_geometry)
+        .ok_or_else(|| ExprError::Type(format!("not a geometry literal: {t}")))
+}
+
+fn string_arg(t: &Term) -> Result<String, ExprError> {
+    match t {
+        Term::Literal(l) => Ok(l.value().to_string()),
+        Term::Named(n) => Ok(n.as_str().to_string()),
+        Term::Blank(_) => Err(ExprError::Type("blank node has no string value".into())),
+    }
+}
+
+/// Dispatch a function call: `geof:` spatial functions (by full IRI) and the
+/// SPARQL builtins (by `builtin:` pseudo-IRI assigned by the parser).
+fn call(func: &NamedNode, args: &[Expression], binding: &Binding) -> Result<Term, ExprError> {
+    let evaluated: Result<Vec<Term>, ExprError> =
+        args.iter().map(|a| eval_expr(a, binding)).collect();
+    let argv = evaluated?;
+    let iri = func.as_str();
+
+    // GeoSPARQL simple-features predicates.
+    if let Some(local) = iri.strip_prefix(vocab::geof::NS) {
+        if let Some(rel) = SpatialRelation::from_geof_name(local) {
+            if argv.len() != 2 {
+                return Err(ExprError::Type(format!("{local} expects 2 arguments")));
+            }
+            let a = geometry_arg(&argv[0])?;
+            let b = geometry_arg(&argv[1])?;
+            return Ok(Literal::boolean(rel.evaluate(&a, &b)).into());
+        }
+        return match local {
+            "distance" => {
+                // Accept the optional units argument and ignore it: all our
+                // data is in one planar CRS.
+                if argv.len() < 2 {
+                    return Err(ExprError::Type("distance expects 2 arguments".into()));
+                }
+                let a = geometry_arg(&argv[0])?;
+                let b = geometry_arg(&argv[1])?;
+                Ok(Literal::double(geoalg::distance(&a, &b)).into())
+            }
+            "buffer" => {
+                if argv.len() < 2 {
+                    return Err(ExprError::Type("buffer expects 2 arguments".into()));
+                }
+                let g = geometry_arg(&argv[0])?;
+                let d = numeric(&argv[1])?;
+                // Envelope-based buffer: exact for envelope queries, an
+                // over-approximation otherwise (documented in DESIGN.md).
+                let e = g.envelope().buffered(d);
+                let poly = Polygon::rect(e.min_x, e.min_y, e.max_x, e.max_y);
+                Ok(Literal::wkt(applab_geo::write_wkt(&Geometry::Polygon(poly))).into())
+            }
+            "envelope" => {
+                let g = geometry_arg(&argv[0])?;
+                let e = g.envelope();
+                let poly = Polygon::rect(e.min_x, e.min_y, e.max_x, e.max_y);
+                Ok(Literal::wkt(applab_geo::write_wkt(&Geometry::Polygon(poly))).into())
+            }
+            "area" => {
+                let g = geometry_arg(&argv[0])?;
+                Ok(Literal::double(geoalg::area(&g)).into())
+            }
+            "convexHull" => {
+                let g = geometry_arg(&argv[0])?;
+                let hull = geoalg::convex_hull(&g)
+                    .map(Geometry::Polygon)
+                    .unwrap_or(g);
+                Ok(Literal::wkt(applab_geo::write_wkt(&hull)).into())
+            }
+            other => Err(ExprError::UnknownFunction(format!("geof:{other}"))),
+        };
+    }
+
+    // SPARQL builtins (parser encodes them as `builtin:<lowercase-name>`).
+    if let Some(name) = iri.strip_prefix("builtin:") {
+        return builtin(name, &argv);
+    }
+
+    Err(ExprError::UnknownFunction(iri.to_string()))
+}
+
+fn builtin(name: &str, argv: &[Term]) -> Result<Term, ExprError> {
+    let one = || -> Result<&Term, ExprError> {
+        argv.first()
+            .ok_or_else(|| ExprError::Type(format!("{name} expects an argument")))
+    };
+    match name {
+        "str" => Ok(Literal::string(string_arg(one()?)?).into()),
+        "strlen" => Ok(Literal::integer(string_arg(one()?)?.chars().count() as i64).into()),
+        "ucase" => Ok(Literal::string(string_arg(one()?)?.to_uppercase()).into()),
+        "lcase" => Ok(Literal::string(string_arg(one()?)?.to_lowercase()).into()),
+        "contains" => {
+            let h = string_arg(one()?)?;
+            let n = string_arg(argv.get(1).ok_or_else(|| {
+                ExprError::Type("contains expects 2 arguments".into())
+            })?)?;
+            Ok(Literal::boolean(h.contains(&n)).into())
+        }
+        "strstarts" => {
+            let h = string_arg(one()?)?;
+            let n = string_arg(argv.get(1).ok_or_else(|| {
+                ExprError::Type("strstarts expects 2 arguments".into())
+            })?)?;
+            Ok(Literal::boolean(h.starts_with(&n)).into())
+        }
+        "strends" => {
+            let h = string_arg(one()?)?;
+            let n = string_arg(argv.get(1).ok_or_else(|| {
+                ExprError::Type("strends expects 2 arguments".into())
+            })?)?;
+            Ok(Literal::boolean(h.ends_with(&n)).into())
+        }
+        "concat" => {
+            let mut out = String::new();
+            for a in argv {
+                out.push_str(&string_arg(a)?);
+            }
+            Ok(Literal::string(out).into())
+        }
+        "abs" => Ok(Literal::double(numeric(one()?)?.abs()).into()),
+        "ceil" => Ok(Literal::double(numeric(one()?)?.ceil()).into()),
+        "floor" => Ok(Literal::double(numeric(one()?)?.floor()).into()),
+        "round" => Ok(Literal::double(numeric(one()?)?.round()).into()),
+        "lang" => match one()? {
+            Term::Literal(l) => Ok(Literal::string(l.language().unwrap_or("")).into()),
+            other => Err(ExprError::Type(format!("LANG of non-literal {other}"))),
+        },
+        "datatype" => match one()? {
+            Term::Literal(l) => Ok(Term::Named(l.datatype().clone())),
+            other => Err(ExprError::Type(format!("DATATYPE of non-literal {other}"))),
+        },
+        "isiri" | "isuri" => Ok(Literal::boolean(matches!(one()?, Term::Named(_))).into()),
+        "isliteral" => Ok(Literal::boolean(matches!(one()?, Term::Literal(_))).into()),
+        "isblank" => Ok(Literal::boolean(matches!(one()?, Term::Blank(_))).into()),
+        "isnumeric" => Ok(Literal::boolean(
+            one()?.as_literal().and_then(Literal::as_f64).is_some(),
+        )
+        .into()),
+        "year" => temporal_part(one()?, |_, y, _, _| y),
+        "month" => temporal_part(one()?, |_, _, m, _| m as i64),
+        "day" => temporal_part(one()?, |_, _, _, d| d as i64),
+        other => Err(ExprError::UnknownFunction(format!("builtin:{other}"))),
+    }
+}
+
+fn temporal_part(t: &Term, pick: impl Fn(i64, i64, u32, u32) -> i64) -> Result<Term, ExprError> {
+    let secs = t
+        .as_literal()
+        .and_then(Literal::as_datetime)
+        .ok_or_else(|| ExprError::Type(format!("not a dateTime: {t}")))?;
+    let (y, m, d) = applab_rdf::datetime::civil_from_days(secs.div_euclid(86_400));
+    Ok(Literal::integer(pick(secs, y, m, d)).into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(pairs: &[(&str, Term)]) -> Binding {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    fn num(e: f64) -> Expression {
+        Expression::Constant(Literal::double(e).into())
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let binding = Binding::new();
+        let e = Expression::Less(
+            Box::new(Expression::Add(Box::new(num(1.0)), Box::new(num(2.0)))),
+            Box::new(num(4.0)),
+        );
+        assert!(eval_filter(&e, &binding));
+        let e = Expression::Divide(Box::new(num(1.0)), Box::new(num(0.0)));
+        assert!(eval_expr(&e, &binding).is_err());
+    }
+
+    #[test]
+    fn cross_datatype_numeric_equality() {
+        let binding = Binding::new();
+        let e = Expression::Equal(
+            Box::new(Expression::Constant(Literal::integer(3).into())),
+            Box::new(Expression::Constant(Literal::double(3.0).into())),
+        );
+        assert!(eval_filter(&e, &binding));
+    }
+
+    #[test]
+    fn unbound_var_fails_filter() {
+        let e = Expression::Greater(
+            Box::new(Expression::Var("lai".into())),
+            Box::new(num(0.0)),
+        );
+        assert!(!eval_filter(&e, &Binding::new()));
+        assert!(eval_filter(
+            &e,
+            &b(&[("lai", Literal::float(3.0).into())])
+        ));
+    }
+
+    #[test]
+    fn bound_builtin() {
+        let e = Expression::Bound("x".into());
+        assert!(!eval_filter(&e, &Binding::new()));
+        assert!(eval_filter(&e, &b(&[("x", Literal::string("v").into())])));
+    }
+
+    #[test]
+    fn sf_intersects_call() {
+        let call = Expression::Call(
+            NamedNode::new(vocab::geof::SF_INTERSECTS),
+            vec![
+                Expression::Constant(Literal::wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))").into()),
+                Expression::Constant(Literal::wkt("POINT (2 2)").into()),
+            ],
+        );
+        assert!(eval_filter(&call, &Binding::new()));
+        let call = Expression::Call(
+            NamedNode::new(vocab::geof::SF_DISJOINT),
+            vec![
+                Expression::Constant(Literal::wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))").into()),
+                Expression::Constant(Literal::wkt("POINT (9 9)").into()),
+            ],
+        );
+        assert!(eval_filter(&call, &Binding::new()));
+    }
+
+    #[test]
+    fn geof_distance_and_area() {
+        let d = Expression::Call(
+            NamedNode::new(vocab::geof::DISTANCE),
+            vec![
+                Expression::Constant(Literal::wkt("POINT (0 0)").into()),
+                Expression::Constant(Literal::wkt("POINT (3 4)").into()),
+            ],
+        );
+        let t = eval_expr(&d, &Binding::new()).unwrap();
+        assert_eq!(t.as_literal().unwrap().as_f64(), Some(5.0));
+
+        let a = Expression::Call(
+            NamedNode::new(vocab::geof::AREA),
+            vec![Expression::Constant(
+                Literal::wkt("POLYGON ((0 0, 2 0, 2 3, 0 3, 0 0))").into(),
+            )],
+        );
+        let t = eval_expr(&a, &Binding::new()).unwrap();
+        assert_eq!(t.as_literal().unwrap().as_f64(), Some(6.0));
+    }
+
+    #[test]
+    fn geof_buffer_grows_envelope() {
+        let e = Expression::Call(
+            NamedNode::new(vocab::geof::BUFFER),
+            vec![
+                Expression::Constant(Literal::wkt("POINT (5 5)").into()),
+                num(1.0),
+            ],
+        );
+        let t = eval_expr(&e, &Binding::new()).unwrap();
+        let g = t.as_literal().unwrap().as_geometry().unwrap();
+        assert_eq!(g.envelope(), applab_geo::Envelope::new(4.0, 4.0, 6.0, 6.0));
+    }
+
+    #[test]
+    fn string_builtins() {
+        let binding = Binding::new();
+        let c = Expression::Call(
+            NamedNode::new("builtin:contains"),
+            vec![
+                Expression::Constant(Literal::string("Bois de Boulogne").into()),
+                Expression::Constant(Literal::string("Boulogne").into()),
+            ],
+        );
+        assert!(eval_filter(&c, &binding));
+        let u = Expression::Call(
+            NamedNode::new("builtin:ucase"),
+            vec![Expression::Constant(Literal::string("lai").into())],
+        );
+        assert_eq!(
+            eval_expr(&u, &binding).unwrap().as_literal().unwrap().value(),
+            "LAI"
+        );
+    }
+
+    #[test]
+    fn datetime_comparison_and_parts() {
+        let dt1 = Literal::datetime(applab_rdf::datetime::timestamp(2017, 6, 15, 0, 0, 0));
+        let dt2 = Literal::datetime(applab_rdf::datetime::timestamp(2018, 1, 1, 0, 0, 0));
+        let e = Expression::Less(
+            Box::new(Expression::Constant(dt1.clone().into())),
+            Box::new(Expression::Constant(dt2.into())),
+        );
+        assert!(eval_filter(&e, &Binding::new()));
+        let y = Expression::Call(
+            NamedNode::new("builtin:year"),
+            vec![Expression::Constant(dt1.into())],
+        );
+        assert_eq!(
+            eval_expr(&y, &Binding::new())
+                .unwrap()
+                .as_literal()
+                .unwrap()
+                .as_f64(),
+            Some(2017.0)
+        );
+    }
+
+    #[test]
+    fn if_and_logic() {
+        let binding = Binding::new();
+        let e = Expression::If(
+            Box::new(Expression::Constant(Literal::boolean(true).into())),
+            Box::new(num(1.0)),
+            Box::new(num(2.0)),
+        );
+        assert_eq!(
+            eval_expr(&e, &binding).unwrap().as_literal().unwrap().as_f64(),
+            Some(1.0)
+        );
+        // false && error = false (error does not propagate).
+        let e = Expression::And(
+            Box::new(Expression::Constant(Literal::boolean(false).into())),
+            Box::new(Expression::Var("missing".into())),
+        );
+        assert!(!eval_filter(&e, &binding));
+        // true || error = true.
+        let e = Expression::Or(
+            Box::new(Expression::Constant(Literal::boolean(true).into())),
+            Box::new(Expression::Var("missing".into())),
+        );
+        assert!(eval_filter(&e, &binding));
+    }
+
+    #[test]
+    fn type_check_builtins() {
+        let binding = Binding::new();
+        let e = Expression::Call(
+            NamedNode::new("builtin:isiri"),
+            vec![Expression::Constant(Term::named("http://x"))],
+        );
+        assert!(eval_filter(&e, &binding));
+        let e = Expression::Call(
+            NamedNode::new("builtin:isnumeric"),
+            vec![Expression::Constant(Literal::string("x").into())],
+        );
+        assert!(!eval_filter(&e, &binding));
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        let e = Expression::Call(NamedNode::new("http://nope/f"), vec![]);
+        assert!(matches!(
+            eval_expr(&e, &Binding::new()),
+            Err(ExprError::UnknownFunction(_))
+        ));
+    }
+}

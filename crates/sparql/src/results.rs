@@ -1,0 +1,206 @@
+//! Query results and their serializations.
+
+use applab_rdf::{Graph, Term};
+
+/// One solution row, aligned with the result's variable list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    pub values: Vec<Option<Term>>,
+}
+
+impl Row {
+    pub fn get<'a>(&'a self, variables: &[String], name: &str) -> Option<&'a Term> {
+        let idx = variables.iter().position(|v| v == name)?;
+        self.values.get(idx)?.as_ref()
+    }
+}
+
+/// The result of evaluating a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResults {
+    /// `SELECT` solutions.
+    Solutions {
+        variables: Vec<String>,
+        rows: Vec<Row>,
+    },
+    /// `ASK` result.
+    Boolean(bool),
+    /// `CONSTRUCT` result.
+    Graph(Graph),
+}
+
+impl QueryResults {
+    /// Number of solution rows (0 for ASK/CONSTRUCT).
+    pub fn len(&self) -> usize {
+        match self {
+            QueryResults::Solutions { rows, .. } => rows.len(),
+            _ => 0,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The variable list of a SELECT result.
+    pub fn variables(&self) -> &[String] {
+        match self {
+            QueryResults::Solutions { variables, .. } => variables,
+            _ => &[],
+        }
+    }
+
+    /// The rows of a SELECT result.
+    pub fn rows(&self) -> &[Row] {
+        match self {
+            QueryResults::Solutions { rows, .. } => rows,
+            _ => &[],
+        }
+    }
+
+    /// Look up a value in a row by variable name.
+    pub fn value(&self, row: usize, name: &str) -> Option<&Term> {
+        match self {
+            QueryResults::Solutions { variables, rows } => {
+                rows.get(row)?.get(variables, name)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean of an ASK result.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            QueryResults::Boolean(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The graph of a CONSTRUCT result.
+    pub fn as_graph(&self) -> Option<&Graph> {
+        match self {
+            QueryResults::Graph(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Serialize SELECT solutions as CSV (SPARQL 1.1 CSV results format:
+    /// header row of variable names, plain lexical forms).
+    pub fn to_csv(&self) -> String {
+        let (variables, rows) = match self {
+            QueryResults::Solutions { variables, rows } => (variables, rows),
+            QueryResults::Boolean(b) => return format!("boolean\n{b}\n"),
+            QueryResults::Graph(g) => return applab_rdf::ntriples::write_ntriples(g),
+        };
+        let mut out = String::new();
+        out.push_str(&variables.join(","));
+        out.push('\n');
+        for row in rows {
+            let cells: Vec<String> = row
+                .values
+                .iter()
+                .map(|v| match v {
+                    Some(Term::Literal(l)) => csv_escape(l.value()),
+                    Some(Term::Named(n)) => csv_escape(n.as_str()),
+                    Some(Term::Blank(b)) => format!("_:{}", b.as_str()),
+                    None => String::new(),
+                })
+                .collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialize SELECT solutions as TSV with full term syntax.
+    pub fn to_tsv(&self) -> String {
+        let (variables, rows) = match self {
+            QueryResults::Solutions { variables, rows } => (variables, rows),
+            QueryResults::Boolean(b) => return format!("?boolean\n{b}\n"),
+            QueryResults::Graph(g) => return applab_rdf::ntriples::write_ntriples(g),
+        };
+        let mut out = String::new();
+        out.push_str(
+            &variables
+                .iter()
+                .map(|v| format!("?{v}"))
+                .collect::<Vec<_>>()
+                .join("\t"),
+        );
+        out.push('\n');
+        for row in rows {
+            let cells: Vec<String> = row
+                .values
+                .iter()
+                .map(|v| v.as_ref().map(|t| t.to_string()).unwrap_or_default())
+                .collect();
+            out.push_str(&cells.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use applab_rdf::Literal;
+
+    fn sample() -> QueryResults {
+        QueryResults::Solutions {
+            variables: vec!["name".into(), "lai".into()],
+            rows: vec![
+                Row {
+                    values: vec![
+                        Some(Literal::string("Bois, de \"Boulogne\"").into()),
+                        Some(Literal::float(3.5).into()),
+                    ],
+                },
+                Row {
+                    values: vec![None, Some(Literal::float(1.0).into())],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_output() {
+        let csv = sample().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("name,lai"));
+        assert_eq!(lines.next(), Some("\"Bois, de \"\"Boulogne\"\"\",3.5"));
+        assert_eq!(lines.next(), Some(",1"));
+    }
+
+    #[test]
+    fn tsv_output_has_full_terms() {
+        let tsv = sample().to_tsv();
+        assert!(tsv.starts_with("?name\t?lai\n"));
+        assert!(tsv.contains("^^<http://www.w3.org/2001/XMLSchema#float>"));
+    }
+
+    #[test]
+    fn value_lookup() {
+        let r = sample();
+        assert_eq!(
+            r.value(0, "lai").unwrap().as_literal().unwrap().as_f64(),
+            Some(3.5)
+        );
+        assert!(r.value(1, "name").is_none());
+        assert!(r.value(5, "lai").is_none());
+    }
+
+    #[test]
+    fn ask_serialization() {
+        assert_eq!(QueryResults::Boolean(true).to_csv(), "boolean\ntrue\n");
+        assert_eq!(QueryResults::Boolean(true).as_bool(), Some(true));
+    }
+}

@@ -1,0 +1,121 @@
+//! The data-source abstraction the evaluator runs against.
+
+use crate::algebra::TriplePattern;
+use crate::expr::Binding;
+use applab_geo::Envelope;
+use applab_rdf::{Graph, NamedNode, Resource, Term, Triple};
+use std::collections::HashMap;
+
+/// A source of triples. Implemented by [`applab_rdf::Graph`] (linear scan),
+/// by the Strabon-like store (index lookups + R-tree spatial pushdown), and
+/// by the OBDA virtual graphs (mapping rewriting).
+pub trait GraphSource {
+    /// All triples matching the pattern; `None` components are wildcards.
+    fn triples_matching(
+        &self,
+        subject: Option<&Resource>,
+        predicate: Option<&NamedNode>,
+        object: Option<&Term>,
+    ) -> Vec<Triple>;
+
+    /// Spatially constrained variant: triples whose **object** is a
+    /// `geo:wktLiteral` with an envelope intersecting `envelope`. Sources
+    /// without a spatial index return `None` and the evaluator falls back to
+    /// [`GraphSource::triples_matching`] plus a post-filter.
+    ///
+    /// This hook is how the R-tree advantage that the paper attributes to
+    /// Strabon/Ontop-spatial reaches the shared evaluator.
+    fn triples_matching_spatial(
+        &self,
+        _subject: Option<&Resource>,
+        _predicate: Option<&NamedNode>,
+        _envelope: &Envelope,
+    ) -> Option<Vec<Triple>> {
+        None
+    }
+
+    /// Temporally constrained variant: triples whose **object** is an
+    /// `xsd:dateTime` literal within `[start, end]` (epoch seconds). Sources
+    /// without a temporal index return `None`; the evaluator falls back to a
+    /// scan plus post-filter. This mirrors Strabon's valid-time indexing.
+    fn triples_matching_temporal(
+        &self,
+        _subject: Option<&Resource>,
+        _predicate: Option<&NamedNode>,
+        _start: i64,
+        _end: i64,
+    ) -> Option<Vec<Triple>> {
+        None
+    }
+
+    /// Whole-BGP evaluation hook — the OBDA "query rewriting" fast path.
+    ///
+    /// Ontop-style sources can answer an entire basic graph pattern with a
+    /// single relational plan (one scan instead of an n-way self-join of
+    /// triple lookups). A source that can handle the given patterns returns
+    /// the bindings for an *empty* initial binding; the evaluator then
+    /// merge-joins them with its current solutions. Returning `None` (the
+    /// default) falls back to pattern-at-a-time evaluation.
+    ///
+    /// `spatial` carries per-variable envelope constraints extracted from
+    /// the surrounding filters (same contract as
+    /// [`GraphSource::triples_matching_spatial`]).
+    fn evaluate_bgp(
+        &self,
+        _patterns: &[TriplePattern],
+        _spatial: &HashMap<String, Envelope>,
+    ) -> Option<Vec<Binding>> {
+        None
+    }
+
+    /// An optional cardinality hint for (s?, p?, o?) used by the BGP
+    /// reorderer. The default estimates nothing.
+    fn estimate(
+        &self,
+        _subject: Option<&Resource>,
+        _predicate: Option<&NamedNode>,
+        _object: Option<&Term>,
+    ) -> Option<usize> {
+        None
+    }
+}
+
+impl GraphSource for Graph {
+    fn triples_matching(
+        &self,
+        subject: Option<&Resource>,
+        predicate: Option<&NamedNode>,
+        object: Option<&Term>,
+    ) -> Vec<Triple> {
+        self.matching(subject, predicate, object).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use applab_rdf::{vocab, Literal};
+
+    #[test]
+    fn graph_implements_source() {
+        let mut g = Graph::new();
+        g.add(
+            Resource::named("http://ex.org/a"),
+            NamedNode::new(vocab::rdfs::LABEL),
+            Literal::string("A"),
+        );
+        g.add(
+            Resource::named("http://ex.org/b"),
+            NamedNode::new(vocab::rdfs::LABEL),
+            Literal::string("B"),
+        );
+        let source: &dyn GraphSource = &g;
+        assert_eq!(source.triples_matching(None, None, None).len(), 2);
+        let a = Resource::named("http://ex.org/a");
+        assert_eq!(source.triples_matching(Some(&a), None, None).len(), 1);
+        // Spatial pushdown is absent by default.
+        assert!(source
+            .triples_matching_spatial(None, None, &Envelope::new(0.0, 0.0, 1.0, 1.0))
+            .is_none());
+    }
+}

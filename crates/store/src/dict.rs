@@ -1,0 +1,109 @@
+//! Dictionary encoding of RDF terms.
+//!
+//! Every distinct term gets a dense `u64` id; triples are stored as id
+//! tuples. This keeps the permutation indexes compact and makes join keys
+//! integer comparisons, as in Strabon's PostGIS schema.
+
+use applab_rdf::Term;
+use std::collections::HashMap;
+
+/// A bidirectional Term ↔ id map.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    by_term: HashMap<Term, u64>,
+    by_id: Vec<Term>,
+}
+
+impl Dictionary {
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Intern a term, returning its id (allocating one if new).
+    pub fn encode(&mut self, term: &Term) -> u64 {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        let id = self.by_id.len() as u64;
+        self.by_id.push(term.clone());
+        self.by_term.insert(term.clone(), id);
+        id
+    }
+
+    /// Id of an already interned term.
+    pub fn get(&self, term: &Term) -> Option<u64> {
+        self.by_term.get(term).copied()
+    }
+
+    /// Term for an id. Panics on an id this dictionary never produced.
+    pub fn decode(&self, id: u64) -> &Term {
+        &self.by_id[id as usize]
+    }
+
+    /// Non-panicking variant of [`Dictionary::decode`].
+    pub fn try_decode(&self, id: u64) -> Option<&Term> {
+        self.by_id.get(id as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use applab_rdf::Literal;
+
+    #[test]
+    fn encode_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = Term::named("http://ex.org/a");
+        let id1 = d.encode(&a);
+        let id2 = d.encode(&a);
+        assert_eq!(id1, id2);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn distinct_terms_distinct_ids() {
+        let mut d = Dictionary::new();
+        let ids: Vec<u64> = (0..100)
+            .map(|i| d.encode(&Literal::integer(i).into()))
+            .collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 100);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut d = Dictionary::new();
+        let terms = vec![
+            Term::named("http://ex.org/a"),
+            Literal::string("x").into(),
+            Literal::wkt("POINT (1 2)").into(),
+        ];
+        for t in &terms {
+            let id = d.encode(t);
+            assert_eq!(d.decode(id), t);
+            assert_eq!(d.get(t), Some(id));
+        }
+        assert_eq!(d.get(&Term::named("http://ex.org/missing")), None);
+        assert!(d.try_decode(999).is_none());
+    }
+
+    #[test]
+    fn literals_with_different_datatypes_are_distinct() {
+        let mut d = Dictionary::new();
+        let a = d.encode(&Literal::string("3").into());
+        let b = d.encode(&Literal::integer(3).into());
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,20 @@
+//! Spatiotemporal RDF storage: the "Strabon" of the reproduction.
+//!
+//! [`SpatioTemporalStore`] is a dictionary-encoded triple store with three
+//! B-tree permutation indexes (SPO/POS/OSP), an R-tree over `geo:wktLiteral`
+//! objects, and a sorted valid-time index over `xsd:dateTime` objects. It
+//! implements the `applab-sparql` [`GraphSource`] trait *including* the
+//! spatial and temporal pushdown hooks, which is what gives it the
+//! Geographica advantage the paper cites (claims C2/C3 in DESIGN.md).
+//!
+//! [`NaiveStore`] is the baseline: the same triples, no indexes at all —
+//! every pattern is a linear scan and every spatial filter is evaluated
+//! post-hoc. Bench B3 compares the two.
+
+pub mod dict;
+pub mod naive;
+pub mod store;
+
+pub use dict::Dictionary;
+pub use naive::NaiveStore;
+pub use store::SpatioTemporalStore;

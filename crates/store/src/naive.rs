@@ -1,0 +1,133 @@
+//! The baseline RDF store: no dictionary, no indexes.
+//!
+//! Every pattern lookup is a linear scan over a `Vec<Triple>` and spatial /
+//! temporal filters are always evaluated post-hoc (the pushdown hooks are
+//! left at their `None` defaults). This is the "plain RDF store without
+//! spatiotemporal support" baseline the Strabon papers compare against
+//! (claim C3); bench B3 reproduces that comparison.
+
+use applab_rdf::{Graph, NamedNode, Resource, Term, Triple};
+use applab_sparql::GraphSource;
+
+/// A linear-scan triple store.
+#[derive(Debug, Default, Clone)]
+pub struct NaiveStore {
+    triples: Vec<Triple>,
+}
+
+impl NaiveStore {
+    pub fn new() -> Self {
+        NaiveStore::default()
+    }
+
+    pub fn from_graph(graph: &Graph) -> Self {
+        NaiveStore {
+            triples: graph.iter().cloned().collect(),
+        }
+    }
+
+    pub fn insert(&mut self, triple: Triple) {
+        self.triples.push(triple);
+    }
+
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+}
+
+impl GraphSource for NaiveStore {
+    fn triples_matching(
+        &self,
+        subject: Option<&Resource>,
+        predicate: Option<&NamedNode>,
+        object: Option<&Term>,
+    ) -> Vec<Triple> {
+        self.triples
+            .iter()
+            .filter(|t| {
+                subject.map_or(true, |s| &t.subject == s)
+                    && predicate.map_or(true, |p| &t.predicate == p)
+                    && object.map_or(true, |o| &t.object == o)
+            })
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{lai_observation, SpatioTemporalStore};
+    use applab_rdf::vocab;
+
+    /// The key correctness property: the naive store and the indexed store
+    /// return identical answers for the same query — the indexes are a pure
+    /// optimization.
+    #[test]
+    fn answers_match_indexed_store() {
+        let mut g = Graph::new();
+        for i in 0..50 {
+            lai_observation(
+                &mut g,
+                &format!("o{i}"),
+                i as f64 / 10.0,
+                i as i64 * 86_400,
+                &format!("POINT ({} {})", i % 10, i / 10),
+            );
+        }
+        let naive = NaiveStore::from_graph(&g);
+        let indexed = SpatioTemporalStore::from_graph(&g);
+
+        for q in [
+            "SELECT ?s ?lai WHERE { ?s lai:hasLai ?lai . FILTER(?lai > 2.5) }",
+            r#"SELECT ?s ?wkt WHERE {
+                 ?s geo:hasGeometry ?g . ?g geo:asWKT ?wkt .
+                 FILTER(geof:sfWithin(?wkt, "POLYGON ((2 2, 6 2, 6 4, 2 4, 2 2))"^^geo:wktLiteral))
+               }"#,
+            r#"SELECT ?s WHERE {
+                 ?s time:hasTime ?t .
+                 FILTER(?t >= "1970-01-11T00:00:00Z"^^xsd:dateTime && ?t < "1970-01-21T00:00:00Z"^^xsd:dateTime)
+               }"#,
+            "SELECT (COUNT(*) AS ?n) WHERE { ?s a lai:Observation }",
+        ] {
+            let a = applab_sparql::query(&naive, q).unwrap();
+            let b = applab_sparql::query(&indexed, q).unwrap();
+            assert_eq!(a.len(), b.len(), "row count differs for {q}");
+            // Compare row multisets by string form.
+            let key = |r: &applab_sparql::QueryResults| -> Vec<String> {
+                let mut rows: Vec<String> = r
+                    .rows()
+                    .iter()
+                    .map(|row| {
+                        row.values
+                            .iter()
+                            .map(|v| v.as_ref().map(|t| t.to_string()).unwrap_or_default())
+                            .collect::<Vec<_>>()
+                            .join("|")
+                    })
+                    .collect();
+                rows.sort();
+                rows
+            };
+            assert_eq!(key(&a), key(&b), "rows differ for {q}");
+        }
+    }
+
+    #[test]
+    fn basic_matching() {
+        let mut s = NaiveStore::new();
+        s.insert(Triple::new(
+            Resource::named("http://ex.org/a"),
+            NamedNode::new(vocab::rdfs::LABEL),
+            applab_rdf::Literal::string("x"),
+        ));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.triples_matching(None, None, None).len(), 1);
+        let missing = Resource::named("http://ex.org/b");
+        assert!(s.triples_matching(Some(&missing), None, None).is_empty());
+    }
+}

@@ -1,0 +1,478 @@
+//! The Strabon-like spatiotemporal RDF store.
+
+use crate::dict::Dictionary;
+use applab_geo::{Envelope, RTree};
+use applab_rdf::{Graph, Literal, NamedNode, Resource, Term, Triple};
+use applab_sparql::GraphSource;
+use std::collections::BTreeSet;
+use std::ops::Bound;
+
+type Ids = (u64, u64, u64);
+
+/// A dictionary-encoded triple store with SPO/POS/OSP permutation indexes,
+/// an R-tree over geometry literals and a sorted valid-time index.
+#[derive(Debug, Default)]
+pub struct SpatioTemporalStore {
+    dict: Dictionary,
+    spo: BTreeSet<Ids>,
+    pos: BTreeSet<Ids>,
+    osp: BTreeSet<Ids>,
+    /// (envelope, (s, p, o)) for every triple whose object is a WKT literal.
+    spatial: RTree<Ids>,
+    /// (epoch seconds, (s, p, o)) for every triple whose object is a
+    /// dateTime literal, sorted by time.
+    temporal: Vec<(i64, Ids)>,
+    temporal_sorted: bool,
+    len: usize,
+}
+
+impl SpatioTemporalStore {
+    pub fn new() -> Self {
+        SpatioTemporalStore::default()
+    }
+
+    /// Bulk load a graph. Equivalent to repeated [`insert`](Self::insert)
+    /// but keeps the temporal index unsorted until the end.
+    pub fn from_graph(graph: &Graph) -> Self {
+        let mut store = SpatioTemporalStore::new();
+        for t in graph.iter() {
+            store.insert(t.clone());
+        }
+        store.finish_load();
+        store
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of entries in the spatial index.
+    pub fn spatial_len(&self) -> usize {
+        self.spatial.len()
+    }
+
+    /// Number of entries in the temporal index.
+    pub fn temporal_len(&self) -> usize {
+        self.temporal.len()
+    }
+
+    /// Insert one triple. Returns `false` if it was already present.
+    pub fn insert(&mut self, triple: Triple) -> bool {
+        let s = self.dict.encode(&Term::from(triple.subject.clone()));
+        let p = self.dict.encode(&Term::Named(triple.predicate.clone()));
+        let o = self.dict.encode(&triple.object);
+        if !self.spo.insert((s, p, o)) {
+            return false;
+        }
+        self.pos.insert((p, o, s));
+        self.osp.insert((o, s, p));
+        self.len += 1;
+        if let Term::Literal(lit) = &triple.object {
+            if let Some(g) = lit.as_geometry() {
+                self.spatial.insert(g.envelope(), (s, p, o));
+            } else if let Some(t) = lit.as_datetime() {
+                self.temporal.push((t, (s, p, o)));
+                self.temporal_sorted = false;
+            }
+        }
+        true
+    }
+
+    /// Sort the valid-time index after a bulk load.
+    pub fn finish_load(&mut self) {
+        self.temporal.sort_unstable_by_key(|(t, _)| *t);
+        self.temporal_sorted = true;
+    }
+
+    fn decode_triple(&self, (s, p, o): Ids) -> Triple {
+        let subject = match self.dict.decode(s) {
+            Term::Named(n) => Resource::Named(n.clone()),
+            Term::Blank(b) => Resource::Blank(b.clone()),
+            Term::Literal(_) => unreachable!("literal subject was never inserted"),
+        };
+        let predicate = match self.dict.decode(p) {
+            Term::Named(n) => n.clone(),
+            _ => unreachable!("non-IRI predicate was never inserted"),
+        };
+        Triple::new(subject, predicate, self.dict.decode(o).clone())
+    }
+
+    fn encode_lookup(
+        &self,
+        subject: Option<&Resource>,
+        predicate: Option<&NamedNode>,
+        object: Option<&Term>,
+    ) -> Option<(Option<u64>, Option<u64>, Option<u64>)> {
+        let s = match subject {
+            Some(r) => Some(self.dict.get(&Term::from(r.clone()))?),
+            None => None,
+        };
+        let p = match predicate {
+            Some(n) => Some(self.dict.get(&Term::Named(n.clone()))?),
+            None => None,
+        };
+        let o = match object {
+            Some(t) => Some(self.dict.get(t)?),
+            None => None,
+        };
+        Some((s, p, o))
+    }
+
+    /// Scan the best permutation index for an (s?, p?, o?) pattern.
+    fn scan(&self, s: Option<u64>, p: Option<u64>, o: Option<u64>) -> Vec<Ids> {
+        fn range2(
+            set: &BTreeSet<Ids>,
+            a: u64,
+            b: u64,
+        ) -> impl Iterator<Item = &Ids> + '_ {
+            set.range((a, b, 0)..=(a, b, u64::MAX))
+        }
+        fn range1(set: &BTreeSet<Ids>, a: u64) -> impl Iterator<Item = &Ids> + '_ {
+            set.range((
+                Bound::Included((a, 0, 0)),
+                Bound::Included((a, u64::MAX, u64::MAX)),
+            ))
+        }
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.spo.contains(&(s, p, o)) {
+                    vec![(s, p, o)]
+                } else {
+                    vec![]
+                }
+            }
+            (Some(s), Some(p), None) => range2(&self.spo, s, p).copied().collect(),
+            (Some(s), None, None) => range1(&self.spo, s).copied().collect(),
+            (Some(s), None, Some(o)) => range2(&self.osp, o, s)
+                .map(|&(o, s, p)| (s, p, o))
+                .collect(),
+            (None, Some(p), Some(o)) => range2(&self.pos, p, o)
+                .map(|&(p, o, s)| (s, p, o))
+                .collect(),
+            (None, Some(p), None) => range1(&self.pos, p)
+                .map(|&(p, o, s)| (s, p, o))
+                .collect(),
+            (None, None, Some(o)) => range1(&self.osp, o)
+                .map(|&(o, s, p)| (s, p, o))
+                .collect(),
+            (None, None, None) => self.spo.iter().copied().collect(),
+        }
+    }
+}
+
+impl GraphSource for SpatioTemporalStore {
+    fn triples_matching(
+        &self,
+        subject: Option<&Resource>,
+        predicate: Option<&NamedNode>,
+        object: Option<&Term>,
+    ) -> Vec<Triple> {
+        let Some((s, p, o)) = self.encode_lookup(subject, predicate, object) else {
+            return Vec::new(); // an explicit term is not in the dictionary
+        };
+        self.scan(s, p, o)
+            .into_iter()
+            .map(|ids| self.decode_triple(ids))
+            .collect()
+    }
+
+    fn triples_matching_spatial(
+        &self,
+        subject: Option<&Resource>,
+        predicate: Option<&NamedNode>,
+        envelope: &Envelope,
+    ) -> Option<Vec<Triple>> {
+        let (s, p, _) = self.encode_lookup(subject, predicate, None)?;
+        let mut out = Vec::new();
+        self.spatial.visit(envelope, &mut |&(ts, tp, to)| {
+            if s.map_or(true, |s| s == ts) && p.map_or(true, |p| p == tp) {
+                out.push((ts, tp, to));
+            }
+        });
+        Some(out.into_iter().map(|ids| self.decode_triple(ids)).collect())
+    }
+
+    fn triples_matching_temporal(
+        &self,
+        subject: Option<&Resource>,
+        predicate: Option<&NamedNode>,
+        start: i64,
+        end: i64,
+    ) -> Option<Vec<Triple>> {
+        if !self.temporal_sorted {
+            return None; // mid-bulk-load: decline rather than answer wrongly
+        }
+        let (s, p, _) = self.encode_lookup(subject, predicate, None)?;
+        let lo = self.temporal.partition_point(|(t, _)| *t < start);
+        let mut out = Vec::new();
+        for &(t, (ts, tp, to)) in &self.temporal[lo..] {
+            if t > end {
+                break;
+            }
+            if s.map_or(true, |s| s == ts) && p.map_or(true, |p| p == tp) {
+                out.push((ts, tp, to));
+            }
+        }
+        Some(out.into_iter().map(|ids| self.decode_triple(ids)).collect())
+    }
+
+    fn estimate(
+        &self,
+        subject: Option<&Resource>,
+        predicate: Option<&NamedNode>,
+        object: Option<&Term>,
+    ) -> Option<usize> {
+        let (s, p, o) = self.encode_lookup(subject, predicate, object)?;
+        Some(self.scan(s, p, o).len())
+    }
+}
+
+/// Helper: load N-Triples/Turtle text straight into a store.
+pub fn load_turtle(text: &str) -> Result<SpatioTemporalStore, applab_rdf::turtle::TurtleError> {
+    Ok(SpatioTemporalStore::from_graph(&applab_rdf::turtle::parse_turtle(text)?))
+}
+
+/// Convenience: build a LAI observation entity (the shape Listing 2's
+/// mapping produces) directly into a graph. Used by tests, benches and the
+/// synthetic data generators.
+pub fn lai_observation(
+    graph: &mut Graph,
+    id: &str,
+    lai: f64,
+    timestamp: i64,
+    wkt: &str,
+) {
+    use applab_rdf::vocab;
+    let obs = Resource::named(format!("{}{id}", vocab::lai::NS));
+    let geom = Resource::named(format!("{}{id}/geom", vocab::lai::NS));
+    graph.add(
+        obs.clone(),
+        NamedNode::new(vocab::rdf::TYPE),
+        Term::named(vocab::lai::OBSERVATION),
+    );
+    graph.add(
+        obs.clone(),
+        NamedNode::new(vocab::lai::HAS_LAI),
+        Literal::float(lai),
+    );
+    graph.add(
+        obs.clone(),
+        NamedNode::new(vocab::time::HAS_TIME),
+        Literal::datetime(timestamp),
+    );
+    graph.add(
+        obs,
+        NamedNode::new(vocab::geo::HAS_GEOMETRY),
+        Term::Named(match geom.clone() {
+            Resource::Named(n) => n,
+            _ => unreachable!(),
+        }),
+    );
+    graph.add(geom, NamedNode::new(vocab::geo::AS_WKT), Literal::wkt(wkt));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use applab_rdf::vocab;
+
+    fn grid_store(n: usize) -> SpatioTemporalStore {
+        // n×n LAI observations on a grid, one per day.
+        let mut g = Graph::new();
+        for i in 0..n {
+            for j in 0..n {
+                let id = format!("obs_{i}_{j}");
+                lai_observation(
+                    &mut g,
+                    &id,
+                    (i + j) as f64 / 10.0,
+                    (i * n + j) as i64 * 86_400,
+                    &format!("POINT ({} {})", i as f64 / 10.0, j as f64 / 10.0),
+                );
+            }
+        }
+        SpatioTemporalStore::from_graph(&g)
+    }
+
+    #[test]
+    fn insert_dedup_and_len() {
+        let mut store = SpatioTemporalStore::new();
+        let t = Triple::new(
+            Resource::named("http://ex.org/a"),
+            NamedNode::new(vocab::rdfs::LABEL),
+            Literal::string("x"),
+        );
+        assert!(store.insert(t.clone()));
+        assert!(!store.insert(t));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn matches_equal_graph_scan() {
+        let store = grid_store(5);
+        assert_eq!(store.len(), 5 * 5 * 5); // 5 triples per observation
+        // Predicate scan.
+        let lai_pred = NamedNode::new(vocab::lai::HAS_LAI);
+        let r = store.triples_matching(None, Some(&lai_pred), None);
+        assert_eq!(r.len(), 25);
+        // Subject scan.
+        // 4 triples have the observation itself as subject (the fifth's
+        // subject is its geometry node).
+        let s = Resource::named(format!("{}obs_0_0", vocab::lai::NS));
+        assert_eq!(store.triples_matching(Some(&s), None, None).len(), 4);
+        // Fully bound hit and miss.
+        let hit = store.triples_matching(
+            Some(&s),
+            Some(&lai_pred),
+            Some(&Literal::float(0.0).into()),
+        );
+        assert_eq!(hit.len(), 1);
+        let miss = store.triples_matching(
+            Some(&s),
+            Some(&lai_pred),
+            Some(&Literal::float(9.9).into()),
+        );
+        assert!(miss.is_empty());
+        // Unknown term short-circuits.
+        let unknown = Resource::named("http://ex.org/nope");
+        assert!(store.triples_matching(Some(&unknown), None, None).is_empty());
+    }
+
+    #[test]
+    fn spatial_pushdown_matches_post_filter() {
+        let store = grid_store(10);
+        let wkt_pred = NamedNode::new(vocab::geo::AS_WKT);
+        let env = Envelope::new(0.15, 0.15, 0.55, 0.55);
+        let fast = store
+            .triples_matching_spatial(None, Some(&wkt_pred), &env)
+            .unwrap();
+        let slow: Vec<Triple> = store
+            .triples_matching(None, Some(&wkt_pred), None)
+            .into_iter()
+            .filter(|t| {
+                t.object
+                    .as_literal()
+                    .and_then(Literal::as_geometry)
+                    .map(|g| g.envelope().intersects(&env))
+                    .unwrap_or(false)
+            })
+            .collect();
+        assert_eq!(fast.len(), slow.len());
+        assert!(!fast.is_empty());
+        for t in &fast {
+            assert!(slow.contains(t));
+        }
+    }
+
+    #[test]
+    fn temporal_pushdown_matches_post_filter() {
+        let store = grid_store(10);
+        let time_pred = NamedNode::new(vocab::time::HAS_TIME);
+        let (start, end) = (10 * 86_400, 20 * 86_400);
+        let fast = store
+            .triples_matching_temporal(None, Some(&time_pred), start, end)
+            .unwrap();
+        assert_eq!(fast.len(), 11); // days 10..=20
+        for t in &fast {
+            let ts = t.object.as_literal().unwrap().as_datetime().unwrap();
+            assert!((start..=end).contains(&ts));
+        }
+    }
+
+    #[test]
+    fn unsorted_temporal_index_declines() {
+        let mut store = SpatioTemporalStore::new();
+        let mut g = Graph::new();
+        lai_observation(&mut g, "o1", 1.0, 1000, "POINT (0 0)");
+        for t in g.iter() {
+            store.insert(t.clone());
+        }
+        // No finish_load(): the index must decline rather than lie.
+        let time_pred = NamedNode::new(vocab::time::HAS_TIME);
+        assert!(store
+            .triples_matching_temporal(None, Some(&time_pred), 0, 2000)
+            .is_none());
+        store.finish_load();
+        assert_eq!(
+            store
+                .triples_matching_temporal(None, Some(&time_pred), 0, 2000)
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn end_to_end_listing1_shape() {
+        // A park polygon + LAI points, queried with the Listing 1 pattern.
+        let mut g = Graph::new();
+        let park = Resource::named("http://ex.org/park");
+        let park_geom = Resource::named("http://ex.org/park/geom");
+        g.add(
+            park.clone(),
+            NamedNode::new(vocab::osm::POI_TYPE),
+            Term::named(vocab::osm::PARK),
+        );
+        g.add(
+            park.clone(),
+            NamedNode::new(vocab::osm::HAS_NAME),
+            Literal::string("Bois de Boulogne"),
+        );
+        g.add(
+            park.clone(),
+            NamedNode::new(vocab::geo::HAS_GEOMETRY),
+            Term::named("http://ex.org/park/geom"),
+        );
+        g.add(
+            park_geom,
+            NamedNode::new(vocab::geo::AS_WKT),
+            Literal::wkt("POLYGON ((2.21 48.85, 2.27 48.85, 2.27 48.88, 2.21 48.88, 2.21 48.85))"),
+        );
+        lai_observation(&mut g, "in", 4.2, 0, "POINT (2.24 48.86)");
+        lai_observation(&mut g, "out", 1.0, 0, "POINT (2.5 48.9)");
+        let store = SpatioTemporalStore::from_graph(&g);
+
+        let q = r#"
+SELECT DISTINCT ?geoA ?geoB ?lai WHERE
+{ ?areaA osm:poiType osm:park .
+  ?areaA geo:hasGeometry ?geomA .
+  ?geomA geo:asWKT ?geoA .
+  ?areaA osm:hasName "Bois de Boulogne" .
+  ?areaB lai:hasLai ?lai .
+  ?areaB geo:hasGeometry ?geomB .
+  ?geomB geo:asWKT ?geoB .
+  FILTER(geof:sfIntersects(?geoA, ?geoB))
+}
+"#;
+        let r = applab_sparql::query(&store, q).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(
+            r.value(0, "lai").unwrap().as_literal().unwrap().as_f64(),
+            Some(4.2)
+        );
+    }
+
+    #[test]
+    fn estimate_reflects_cardinality() {
+        let store = grid_store(4);
+        let lai_pred = NamedNode::new(vocab::lai::HAS_LAI);
+        assert_eq!(store.estimate(None, Some(&lai_pred), None), Some(16));
+        assert_eq!(store.estimate(None, None, None), Some(store.len()));
+    }
+
+    #[test]
+    fn load_turtle_roundtrip() {
+        let store = load_turtle(
+            r#"@prefix osm: <http://www.app-lab.eu/osm/> .
+               <http://ex.org/a> osm:hasName "X" ."#,
+        )
+        .unwrap();
+        assert_eq!(store.len(), 1);
+        assert!(load_turtle("garbage {{{").is_err());
+    }
+}

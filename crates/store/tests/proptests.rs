@@ -1,0 +1,143 @@
+//! Property-based tests: the indexed store is observationally equivalent
+//! to the plain graph (and to the naive store) — its indexes are a pure
+//! optimization.
+
+use applab_geo::Envelope;
+use applab_rdf::{Graph, Literal, NamedNode, Resource, Term, Triple};
+use applab_sparql::GraphSource;
+use applab_store::{NaiveStore, SpatioTemporalStore};
+use proptest::prelude::*;
+
+/// Triples over a small vocabulary so patterns actually hit.
+fn triple_strategy() -> impl Strategy<Value = Triple> {
+    let subject = (0u8..6).prop_map(|i| Resource::named(format!("http://ex.org/s{i}")));
+    let predicate = (0u8..4).prop_map(|i| NamedNode::new(format!("http://ex.org/p{i}")));
+    let object = prop_oneof![
+        (0u8..6).prop_map(|i| Term::named(format!("http://ex.org/s{i}"))),
+        (0i64..5).prop_map(|i| Literal::integer(i).into()),
+        (-50.0f64..50.0, -50.0f64..50.0)
+            .prop_map(|(x, y)| Literal::wkt(format!("POINT ({x} {y})")).into()),
+        (0i64..1_000_000).prop_map(|t| Literal::datetime(t).into()),
+    ];
+    (subject, predicate, object).prop_map(|(s, p, o)| Triple::new(s, p, o))
+}
+
+fn sort_triples(mut v: Vec<Triple>) -> Vec<String> {
+    let mut out: Vec<String> = v.drain(..).map(|t| t.to_string()).collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #[test]
+    fn store_matches_graph_on_all_patterns(
+        triples in proptest::collection::vec(triple_strategy(), 0..60),
+        si in 0u8..6,
+        pi in 0u8..4,
+    ) {
+        let graph: Graph = triples.into_iter().collect();
+        let store = SpatioTemporalStore::from_graph(&graph);
+        let naive = NaiveStore::from_graph(&graph);
+        prop_assert_eq!(store.len(), graph.len());
+
+        let s = Resource::named(format!("http://ex.org/s{si}"));
+        let p = NamedNode::new(format!("http://ex.org/p{pi}"));
+        let o: Term = Literal::integer(2).into();
+        for (subject, predicate, object) in [
+            (None, None, None),
+            (Some(&s), None, None),
+            (None, Some(&p), None),
+            (None, None, Some(&o)),
+            (Some(&s), Some(&p), None),
+            (Some(&s), None, Some(&o)),
+            (None, Some(&p), Some(&o)),
+            (Some(&s), Some(&p), Some(&o)),
+        ] {
+            let a = sort_triples(graph.triples_matching(subject, predicate, object));
+            let b = sort_triples(store.triples_matching(subject, predicate, object));
+            let c = sort_triples(naive.triples_matching(subject, predicate, object));
+            prop_assert_eq!(&a, &b, "store differs on ({:?},{:?},{:?})", subject, predicate, object);
+            prop_assert_eq!(&a, &c, "naive differs");
+        }
+    }
+
+    #[test]
+    fn spatial_pushdown_equals_post_filter(
+        triples in proptest::collection::vec(triple_strategy(), 0..60),
+        qx in -60.0f64..60.0,
+        qy in -60.0f64..60.0,
+        w in 1.0f64..40.0,
+    ) {
+        let graph: Graph = triples.into_iter().collect();
+        let store = SpatioTemporalStore::from_graph(&graph);
+        let env = Envelope::new(qx, qy, qx + w, qy + w);
+        let fast = store
+            .triples_matching_spatial(None, None, &env)
+            .expect("store implements the spatial hook");
+        let slow: Vec<Triple> = graph
+            .triples_matching(None, None, None)
+            .into_iter()
+            .filter(|t| {
+                t.object
+                    .as_literal()
+                    .and_then(Literal::as_geometry)
+                    .map(|g| g.envelope().intersects(&env))
+                    .unwrap_or(false)
+            })
+            .collect();
+        prop_assert_eq!(sort_triples(fast), sort_triples(slow));
+    }
+
+    #[test]
+    fn temporal_pushdown_equals_post_filter(
+        triples in proptest::collection::vec(triple_strategy(), 0..60),
+        start in 0i64..500_000,
+        len in 0i64..500_000,
+    ) {
+        let graph: Graph = triples.into_iter().collect();
+        let store = SpatioTemporalStore::from_graph(&graph);
+        let end = start + len;
+        let fast = store
+            .triples_matching_temporal(None, None, start, end)
+            .expect("sorted after from_graph");
+        let slow: Vec<Triple> = graph
+            .triples_matching(None, None, None)
+            .into_iter()
+            .filter(|t| {
+                t.object
+                    .as_literal()
+                    .and_then(Literal::as_datetime)
+                    .map(|ts| (start..=end).contains(&ts))
+                    .unwrap_or(false)
+            })
+            .collect();
+        prop_assert_eq!(sort_triples(fast), sort_triples(slow));
+    }
+
+    #[test]
+    fn sparql_answers_agree_across_engines(
+        triples in proptest::collection::vec(triple_strategy(), 0..50),
+    ) {
+        let graph: Graph = triples.into_iter().collect();
+        let store = SpatioTemporalStore::from_graph(&graph);
+        let q = "SELECT ?s ?o WHERE { ?s <http://ex.org/p0> ?o . ?o <http://ex.org/p1> ?x }";
+        let a = applab_sparql::query(&graph, q).unwrap();
+        let b = applab_sparql::query(&store, q).unwrap();
+        let norm = |r: &applab_sparql::QueryResults| {
+            let mut rows: Vec<String> = r
+                .rows()
+                .iter()
+                .map(|row| {
+                    row.values
+                        .iter()
+                        .map(|v| v.as_ref().map(|t| t.to_string()).unwrap_or_default())
+                        .collect::<Vec<_>>()
+                        .join("|")
+                })
+                .collect();
+            rows.sort();
+            rows
+        };
+        prop_assert_eq!(norm(&a), norm(&b));
+    }
+}

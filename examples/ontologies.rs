@@ -1,0 +1,50 @@
+//! Regenerate the App Lab ontologies (Figures 2 and 3 and Section 4).
+//!
+//! ```text
+//! cargo run --example ontologies
+//! ```
+//!
+//! Prints the LAI ontology (Figure 2) and the GADM ontology (Figure 3) as
+//! Turtle, plus summary statistics of the CORINE / Urban Atlas / OSM / map
+//! ontologies.
+
+use copernicus_app_lab::rdf::ontology;
+use copernicus_app_lab::rdf::turtle::write_turtle;
+
+fn main() {
+    println!("### Figure 2: the LAI ontology ###\n");
+    println!("{}", write_turtle(&ontology::lai_ontology()));
+
+    println!("### Figure 3: the GADM ontology ###\n");
+    println!("{}", write_turtle(&ontology::gadm_ontology()));
+
+    let corine = ontology::corine_ontology();
+    let level3 = ontology::CLC_CLASSES
+        .iter()
+        .filter(|(c, _)| *c >= 100)
+        .count();
+    println!(
+        "### CORINE land cover ontology: {} triples, {} level-3 classes (of 44) ###",
+        corine.len(),
+        level3
+    );
+    // A taste of the class hierarchy.
+    for code in [141u16, 311, 512] {
+        let iri = ontology::clc_class_iri(code).unwrap();
+        println!("  CLC {code} → {}", iri.as_str());
+    }
+
+    let ua = ontology::urban_atlas_ontology();
+    println!(
+        "\n### Urban Atlas ontology: {} triples, {} urban + {} rural classes ###",
+        ua.len(),
+        ontology::UA_CLASSES.iter().filter(|(_, u, _)| *u).count(),
+        ontology::UA_CLASSES.iter().filter(|(_, u, _)| !*u).count(),
+    );
+
+    println!(
+        "\n### OSM ontology: {} triples; Sextant map ontology: {} triples ###",
+        ontology::osm_ontology().len(),
+        ontology::map_ontology().len()
+    );
+}

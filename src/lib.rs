@@ -1,0 +1,20 @@
+//! Umbrella crate for the Copernicus App Lab reproduction.
+//!
+//! Re-exports every workspace crate so the examples and integration tests
+//! can use a single dependency. Library users should usually depend on
+//! `applab-core` (the facade) or on individual crates.
+
+pub use applab_array as array;
+pub use applab_catalog as catalog;
+pub use applab_core as core;
+pub use applab_dap as dap;
+pub use applab_data as data;
+pub use applab_geo as geo;
+pub use applab_geotriples as geotriples;
+pub use applab_link as link;
+pub use applab_obda as obda;
+pub use applab_rdf as rdf;
+pub use applab_sdl as sdl;
+pub use applab_sextant as sextant;
+pub use applab_sparql as sparql;
+pub use applab_store as store;

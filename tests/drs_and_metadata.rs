@@ -1,0 +1,109 @@
+//! B8: the metadata tooling of Section 3.1 over synthetic CSP holdings.
+//!
+//! Exercises the DRS validator, the ACDD completeness checker with its
+//! recommendation / post-hoc augmentation loop, the NcML service, and the
+//! VITO reprocessing-version behaviour.
+
+use copernicus_app_lab::array::acdd;
+use copernicus_app_lab::array::ncml::{aggregate_time, latest_versions, Granule};
+use copernicus_app_lab::dap::drs;
+use copernicus_app_lab::dap::server::grid_dataset;
+use copernicus_app_lab::dap::DapServer;
+use copernicus_app_lab::data::{grids, ParisFixture};
+
+#[test]
+fn drs_validator_flags_and_passes() {
+    let fixture = ParisFixture::generate(9, 10, 8);
+    let good = grids::lai_dataset(&fixture.world, &grids::GridSpec::monthly_2017(8, 9));
+    // The generator emits DRS-required attributes.
+    assert!(drs::validate("cgls.land.lai.300m.v1.2017-01-15", &good).is_empty());
+
+    // A defective CSP holding: bad id facets and missing attributes.
+    let mut bad = grid_dataset("mystery", &[0.0], &[48.0], &[2.0], |_, _, _| 1.0);
+    bad.attributes.clear();
+    let violations = drs::validate("MYSTERY.unknown", &bad);
+    assert!(!violations.is_empty());
+    let messages: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+    assert!(messages.iter().any(|m| m.contains("facets")));
+}
+
+#[test]
+fn acdd_recommendation_and_augmentation_loop() {
+    // A CSP publishes a dataset with thin metadata...
+    let mut ds = grid_dataset("thin", &[0.0], &[48.0], &[2.0], |_, _, _| 1.0);
+    ds.attributes.remove("title");
+    let before = acdd::check_completeness(&ds);
+    assert!(!before.is_complete());
+    assert!(!before.recommendations().is_empty());
+
+    // ...the CMS augments post-hoc with NcML-blended defaults...
+    let added = acdd::augment(
+        &mut ds,
+        &[
+            ("title", "Synthetic LAI"),
+            ("summary", "Synthetic leaf area index over Paris"),
+            ("keywords", "lai, vegetation, copernicus"),
+            ("license", "CC-BY-4.0"),
+            ("creator_name", "VITO (synthetic)"),
+        ],
+    );
+    assert!(added >= 4);
+    let after = acdd::check_completeness(&ds);
+    assert!(after.score > before.score);
+}
+
+#[test]
+fn ncml_service_joins_das_and_dds() {
+    let server = DapServer::new();
+    let fixture = ParisFixture::generate(10, 10, 8);
+    let mut lai = grids::lai_dataset(&fixture.world, &grids::GridSpec::monthly_2017(8, 10));
+    lai.name = "lai".into();
+    server.publish(lai);
+    let doc = copernicus_app_lab::dap::ncml_service::render(&server, "lai", None).unwrap();
+    // One XML document with structure (DDS) and attributes (DAS).
+    assert!(doc.contains("<dimension name=\"time\""));
+    assert!(doc.contains("<variable name=\"LAI\""));
+    assert!(doc.contains("attribute name=\"units\""));
+    assert!(doc.contains("serverFunctions"));
+}
+
+#[test]
+fn reprocessed_versions_expose_only_the_latest() {
+    // "the production centre reprocesses data at several days when more
+    // accurate meteorological data becomes available" — build granules
+    // with duplicate dates and differing versions.
+    let fixture = ParisFixture::generate(11, 8, 8);
+    let make = |day: i64, version: u32, seed: u64| {
+        let ds = grids::lai_dataset(
+            &fixture.world,
+            &grids::GridSpec {
+                resolution: 6,
+                times: vec![day * 86_400],
+                noise: 0.01,
+                seed,
+            },
+        );
+        Granule {
+            date: day * 86_400,
+            version,
+            dataset: ds,
+        }
+    };
+    let granules = vec![
+        make(0, 0, 1),
+        make(0, 1, 2), // reprocessed day 0
+        make(10, 0, 3),
+        make(20, 0, 4),
+        make(20, 2, 5), // reprocessed twice
+        make(20, 1, 6),
+    ];
+    let latest = latest_versions(granules);
+    assert_eq!(latest.len(), 3);
+    assert_eq!(latest.iter().map(|g| g.version).collect::<Vec<_>>(), vec![1, 0, 2]);
+    let agg = aggregate_time(&latest).unwrap();
+    assert_eq!(agg.dim_len("time"), Some(3));
+    // The aggregation is itself servable over DAP.
+    let server = DapServer::new();
+    server.publish(agg);
+    assert!(server.dds("lai_300m_aggregated", None).is_ok());
+}

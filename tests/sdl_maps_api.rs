@@ -1,0 +1,146 @@
+//! The eleven Maps-API request methods of Section 3.3, end to end.
+
+use copernicus_app_lab::core::VirtualWorkflow;
+use copernicus_app_lab::data::{grids, ParisFixture};
+use copernicus_app_lab::geo::{Coord, Envelope};
+use copernicus_app_lab::sdl::analytics::CentralTendency;
+use copernicus_app_lab::sdl::sdl::{Derivation, DerivedData};
+
+fn workflow() -> VirtualWorkflow {
+    let fixture = ParisFixture::generate(21, 12, 10);
+    let mut lai = grids::lai_dataset(&fixture.world, &grids::GridSpec::monthly_2017(20, 21));
+    lai.name = "lai".into();
+    let wf = VirtualWorkflow::local();
+    wf.publish(lai);
+    wf
+}
+
+const JULY: i64 = 1_500_076_800; // 2017-07-15
+
+#[test]
+fn all_request_methods() {
+    let wf = workflow();
+    let sdl = wf.sdl();
+    let at = Coord::new(2.3, 48.85);
+
+    // getMetadata
+    let meta = sdl.get_metadata("lai").unwrap();
+    assert!(meta.extent.is_some());
+    assert_eq!(meta.dds.dataset, "lai");
+
+    // getPoint
+    let v = sdl.get_point("lai", "LAI", at, JULY).unwrap();
+    assert!(v.is_finite() && v >= 0.0);
+
+    // getArea
+    let area = sdl
+        .get_area("lai", "LAI", &Envelope::new(2.1, 48.8, 2.5, 48.95), JULY)
+        .unwrap();
+    assert_eq!(area.ndim(), 2);
+    assert!(area.len() > 4);
+
+    // getTimeseriesProfile
+    let series = sdl.get_timeseries_profile("lai", "LAI", at).unwrap();
+    assert_eq!(series.len(), 12);
+
+    // getTransect
+    let transect = sdl
+        .get_transect("lai", "LAI", Coord::new(2.05, 48.75), Coord::new(2.55, 48.95), JULY, 10)
+        .unwrap();
+    assert_eq!(transect.len(), 10);
+
+    // getMap
+    let map = sdl
+        .get_map("lai", "LAI", &Envelope::new(2.1, 48.8, 2.5, 48.95), JULY, 16, 16)
+        .unwrap();
+    assert_eq!(map.shape(), &[16, 16]);
+
+    // getAnimation
+    let frames = sdl
+        .get_animation(
+            "lai",
+            "LAI",
+            &Envelope::new(2.1, 48.8, 2.5, 48.95),
+            &[0, JULY],
+            8,
+            8,
+        )
+        .unwrap();
+    assert_eq!(frames.len(), 2);
+    // Seasonal signal: July frame greener than January.
+    assert!(frames[1].mean() > frames[0].mean());
+
+    // getMapSwipe
+    let (left, right) = sdl
+        .get_map_swipe(
+            ("lai", "LAI"),
+            ("lai", "LAI"),
+            &Envelope::new(2.1, 48.8, 2.5, 48.95),
+            JULY,
+            8,
+            8,
+        )
+        .unwrap();
+    assert_eq!(left, right);
+
+    // getDerivedData: moving average + seasonal + anomaly + city-average.
+    match sdl
+        .get_derived_data("lai", "LAI", at, &Derivation::MovingAverage { k: 1 }, JULY)
+        .unwrap()
+    {
+        DerivedData::Series(s) => assert_eq!(s.len(), 12),
+        other => panic!("{other:?}"),
+    }
+    match sdl
+        .get_derived_data(
+            "lai",
+            "LAI",
+            at,
+            &Derivation::SeasonalMovingAverage {
+                k: 1,
+                months: vec![6, 7, 8],
+            },
+            JULY,
+        )
+        .unwrap()
+    {
+        DerivedData::Series(s) => assert_eq!(s.len(), 3),
+        other => panic!("{other:?}"),
+    }
+    match sdl
+        .get_derived_data(
+            "lai",
+            "LAI",
+            at,
+            &Derivation::SpatialAggregate {
+                envelope: Envelope::new(2.1, 48.8, 2.5, 48.95),
+                how: CentralTendency::Median,
+            },
+            JULY,
+        )
+        .unwrap()
+    {
+        DerivedData::Scalar(v) => assert!(v.is_finite()),
+        other => panic!("{other:?}"),
+    }
+
+    // getVerticalProfile / getSpectralProfile require level/band dims —
+    // this product has neither, and the SDL reports that cleanly.
+    assert!(sdl.get_vertical_profile("lai", "LAI", at, JULY).is_err());
+    assert!(sdl.get_spectral_profile("lai", "LAI", at, JULY).is_err());
+}
+
+#[test]
+fn token_protected_access() {
+    let fixture = ParisFixture::generate(22, 10, 8);
+    let mut lai = grids::lai_dataset(&fixture.world, &grids::GridSpec::monthly_2017(8, 22));
+    lai.name = "lai".into();
+    let wf = VirtualWorkflow::local();
+    wf.publish(lai);
+    // Register a token: unauthenticated clients lose access, and accesses
+    // are tracked per user ("this will allow the tracking of which users
+    // access which datasets").
+    wf.server().register_token("secret", "esa-app-camp");
+    assert!(wf.sdl().get_metadata("lai").is_err());
+    assert!(wf.server().access_log().is_empty());
+}
