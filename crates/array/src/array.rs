@@ -303,7 +303,11 @@ mod tests {
         let a = arr234();
         // [0:1][1:2][1:2:3] → shape (2,2,2)
         let s = a
-            .slice(&[Range::new(0, 1, 1), Range::new(1, 1, 2), Range::new(1, 2, 3)])
+            .slice(&[
+                Range::new(0, 1, 1),
+                Range::new(1, 1, 2),
+                Range::new(1, 2, 3),
+            ])
             .unwrap();
         assert_eq!(s.shape(), &[2, 2, 2]);
         assert_eq!(s.data(), &[5.0, 7.0, 9.0, 11.0, 17.0, 19.0, 21.0, 23.0]);

@@ -198,8 +198,12 @@ mod tests {
         ds.add_dim("time", 3).add_dim("lat", 4).add_dim("lon", 5);
         ds.set_attr("title", "Leaf Area Index");
         ds.add_variable(
-            Variable::new("time", vec!["time".into()], NdArray::vector(vec![0.0, 10.0, 20.0]))
-                .with_attr("units", "days since 2017-01-01"),
+            Variable::new(
+                "time",
+                vec!["time".into()],
+                NdArray::vector(vec![0.0, 10.0, 20.0]),
+            )
+            .with_attr("units", "days since 2017-01-01"),
         )
         .unwrap();
         ds.add_variable(Variable::new(

@@ -84,9 +84,9 @@ pub fn aggregate_time(granules: &[Granule]) -> Result<Dataset, AggregationError>
             }
         }
         // Decode this granule's time axis to epoch seconds.
-        let tv = ds
-            .coordinate(time_dim)
-            .ok_or_else(|| AggregationError(format!("granule {} lacks a time coordinate", ds.name)))?;
+        let tv = ds.coordinate(time_dim).ok_or_else(|| {
+            AggregationError(format!("granule {} lacks a time coordinate", ds.name))
+        })?;
         let axis = match tv.units() {
             Some(u) => TimeAxis::parse(u)
                 .map_err(|e| AggregationError(format!("granule {}: {e}", ds.name)))?,
@@ -102,7 +102,10 @@ pub fn aggregate_time(granules: &[Granule]) -> Result<Dataset, AggregationError>
                 continue;
             }
             if v.dims.first().map(String::as_str) == Some(time_dim) {
-                per_var.entry(v.name.clone()).or_default().push(v.data.clone());
+                per_var
+                    .entry(v.name.clone())
+                    .or_default()
+                    .push(v.data.clone());
             }
         }
     }
@@ -116,12 +119,8 @@ pub fn aggregate_time(granules: &[Granule]) -> Result<Dataset, AggregationError>
         }
     }
     out.add_variable(
-        Variable::new(
-            time_dim,
-            vec![time_dim.to_string()],
-            NdArray::vector(times),
-        )
-        .with_attr("units", "seconds since 1970-01-01"),
+        Variable::new(time_dim, vec![time_dim.to_string()], NdArray::vector(times))
+            .with_attr("units", "seconds since 1970-01-01"),
     )
     .map_err(|e| AggregationError(e.to_string()))?;
 
@@ -157,8 +156,12 @@ mod tests {
         let mut ds = Dataset::new(format!("g{date_days}v{version}"));
         ds.add_dim("time", 1).add_dim("lat", 2).add_dim("lon", 2);
         ds.add_variable(
-            Variable::new("time", vec!["time".into()], NdArray::vector(vec![date_days as f64]))
-                .with_attr("units", "days since 1970-01-01"),
+            Variable::new(
+                "time",
+                vec!["time".into()],
+                NdArray::vector(vec![date_days as f64]),
+            )
+            .with_attr("units", "days since 1970-01-01"),
         )
         .unwrap();
         ds.add_variable(Variable::new(
@@ -200,7 +203,16 @@ mod tests {
         let latest = latest_versions(granules);
         assert_eq!(latest.len(), 2);
         assert_eq!(latest[0].version, 2);
-        assert_eq!(latest[0].dataset.variable("LAI").unwrap().data.get(&[0, 0, 0]).unwrap(), 3.0);
+        assert_eq!(
+            latest[0]
+                .dataset
+                .variable("LAI")
+                .unwrap()
+                .data
+                .get(&[0, 0, 0])
+                .unwrap(),
+            3.0
+        );
         assert_eq!(latest[1].date, 10 * 86_400);
     }
 
@@ -211,10 +223,7 @@ mod tests {
         assert_eq!(agg.dim_len("time"), Some(3));
         let time = agg.coordinate("time").unwrap();
         assert_eq!(time.units(), Some("seconds since 1970-01-01"));
-        assert_eq!(
-            time.data.data(),
-            &[0.0, 864_000.0, 1_728_000.0]
-        );
+        assert_eq!(time.data.data(), &[0.0, 864_000.0, 1_728_000.0]);
         let lai = agg.variable("LAI").unwrap();
         assert_eq!(lai.data.shape(), &[3, 2, 2]);
         assert_eq!(lai.data.get(&[2, 1, 1]).unwrap(), 3.0);

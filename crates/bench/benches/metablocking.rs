@@ -29,7 +29,11 @@ fn bench_metablocking(c: &mut Criterion) {
             BenchmarkId::from_parameter(workers),
             &workers,
             |b, &workers| {
-                b.iter(|| discover_links_parallel(&left, &right, &rule, workers).links.len())
+                b.iter(|| {
+                    discover_links_parallel(&left, &right, &rule, workers)
+                        .links
+                        .len()
+                })
             },
         );
     }

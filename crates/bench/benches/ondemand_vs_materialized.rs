@@ -3,10 +3,10 @@
 //! The WAN here actually sleeps (scaled down to keep the bench short:
 //! 2 ms RTT instead of 40 ms — the *ratio* is what matters).
 
-use applab_data::{grids, mappings, ParisFixture};
 use applab_dap::clock::ManualClock;
 use applab_dap::transport::SimulatedWan;
 use applab_dap::{DapClient, DapServer};
+use applab_data::{grids, mappings, ParisFixture};
 use applab_obda::{DataSource, OpendapTable, VirtualGraph};
 use applab_store::SpatioTemporalStore;
 use criterion::{criterion_group, criterion_main, Criterion};

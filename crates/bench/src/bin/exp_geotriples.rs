@@ -56,7 +56,10 @@ fn main() {
         ]);
     }
     print_table(
-        &format!("B5: GeoTriples parallel mapping processor ({} triples)", g1.len()),
+        &format!(
+            "B5: GeoTriples parallel mapping processor ({} triples)",
+            g1.len()
+        ),
         &["workers", "time (ms)", "triples/s", "speedup"],
         &rows,
     );

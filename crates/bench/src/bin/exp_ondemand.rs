@@ -10,10 +10,10 @@
 //! have cost over a typical intra-Europe link (40 ms RTT, 4 MB/s).
 
 use applab_bench::print_table;
-use applab_data::{grids, mappings, ParisFixture};
 use applab_dap::clock::ManualClock;
 use applab_dap::transport::{SimulatedWan, Transport};
 use applab_dap::{DapClient, DapServer};
+use applab_data::{grids, mappings, ParisFixture};
 use applab_obda::{DataSource, OpendapTable, VirtualGraph};
 use applab_store::SpatioTemporalStore;
 use std::sync::Arc;

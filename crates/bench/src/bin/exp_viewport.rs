@@ -28,9 +28,13 @@ fn main() {
     let server = Arc::new(DapServer::new());
     let lats: Vec<f64> = (0..200).map(|i| 48.6 + i as f64 * 0.002).collect();
     let lons: Vec<f64> = (0..200).map(|i| 2.0 + i as f64 * 0.003).collect();
-    server.publish(grid_dataset("lai_300m", &[0.0], &lats, &lons, |t, la, lo| {
-        (t + la + lo) as f64
-    }));
+    server.publish(grid_dataset(
+        "lai_300m",
+        &[0.0],
+        &lats,
+        &lons,
+        |t, la, lo| (t + la + lo) as f64,
+    ));
 
     let trace = viewport_trace(2019, steps);
     let mut rows = Vec::new();

@@ -82,7 +82,10 @@ pub fn geographica_setup(seed: u64, cells: usize) -> GeographicaSetup {
         (fixture.world.osm_table(), mappings::OSM_MAPPING),
         (fixture.world.gadm_table(), mappings::GADM_MAPPING),
         (fixture.world.corine_table(), mappings::CORINE_MAPPING),
-        (fixture.world.urban_atlas_table(), mappings::URBAN_ATLAS_MAPPING),
+        (
+            fixture.world.urban_atlas_table(),
+            mappings::URBAN_ATLAS_MAPPING,
+        ),
     ] {
         let ms = parse_mappings(doc).expect("static mapping");
         for m in &ms {
@@ -173,7 +176,10 @@ pub fn poisson_arrivals(seed: u64, n: usize, mean_secs: f64) -> Vec<f64> {
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}\n");
     println!("| {} |", header.join(" | "));
-    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }

@@ -166,15 +166,12 @@ impl CatalogIndex {
                     }
                 }
                 if let Some(p) = &query.covering {
-                    if !d
-                        .spatial_coverage
-                        .map_or(false, |e| e.contains_coord(*p))
-                    {
+                    if !d.spatial_coverage.is_some_and(|e| e.contains_coord(*p)) {
                         return None;
                     }
                 }
                 if let Some(env) = &query.intersecting {
-                    if !d.spatial_coverage.map_or(false, |e| e.intersects(env)) {
+                    if !d.spatial_coverage.is_some_and(|e| e.intersects(env)) {
                         return None;
                     }
                 }
@@ -182,13 +179,13 @@ impl CatalogIndex {
                     if d.eo
                         .product_type
                         .as_ref()
-                        .map_or(true, |pt| !pt.to_lowercase().contains(t))
+                        .is_none_or(|pt| !pt.to_lowercase().contains(t))
                     {
                         return None;
                     }
                 }
                 if let Some(max) = query.max_resolution_m {
-                    if d.eo.resolution_m.map_or(true, |r| r > max) {
+                    if d.eo.resolution_m.is_none_or(|r| r > max) {
                         return None;
                     }
                 }
@@ -199,11 +196,7 @@ impl CatalogIndex {
                     let matched = query
                         .text
                         .iter()
-                        .filter(|t| {
-                            self.inverted
-                                .get(*t)
-                                .map_or(false, |ids| ids.contains(&i))
-                        })
+                        .filter(|t| self.inverted.get(*t).is_some_and(|ids| ids.contains(&i)))
                         .count();
                     if matched == 0 {
                         return None;

@@ -120,7 +120,11 @@ impl EoDataset {
             NamedNode::new(vocab::rdf::TYPE),
             Term::named(vocab::schema::DATASET),
         );
-        g.add(id.clone(), NamedNode::new(vocab::rdf::TYPE), Term::named(eo_class));
+        g.add(
+            id.clone(),
+            NamedNode::new(vocab::rdf::TYPE),
+            Term::named(eo_class),
+        );
         g.add(
             id.clone(),
             NamedNode::new(vocab::schema::NAME),
@@ -160,8 +164,16 @@ impl EoDataset {
         if let Some(e) = &self.spatial_coverage {
             let wkt = format!(
                 "POLYGON (({} {}, {} {}, {} {}, {} {}, {} {}))",
-                e.min_x, e.min_y, e.max_x, e.min_y, e.max_x, e.max_y, e.min_x, e.max_y,
-                e.min_x, e.min_y
+                e.min_x,
+                e.min_y,
+                e.max_x,
+                e.min_y,
+                e.max_x,
+                e.max_y,
+                e.min_x,
+                e.max_y,
+                e.min_x,
+                e.min_y
             );
             g.add(
                 id.clone(),
@@ -268,9 +280,7 @@ mod tests {
             Some("CORINE Land Cover 2012")
         );
         assert_eq!(
-            parsed
-                .get("eo:productType")
-                .and_then(|v| v.as_str()),
+            parsed.get("eo:productType").and_then(|v| v.as_str()),
             Some("land cover")
         );
         assert!(doc.contains("spatialCoverage"));
@@ -292,8 +302,12 @@ mod tests {
             .is_some());
         // 4 keywords.
         assert_eq!(
-            g.matching(Some(&id), Some(&NamedNode::new(vocab::schema::KEYWORDS)), None)
-                .count(),
+            g.matching(
+                Some(&id),
+                Some(&NamedNode::new(vocab::schema::KEYWORDS)),
+                None
+            )
+            .count(),
             4
         );
         // Spatial coverage is a parsable WKT literal.

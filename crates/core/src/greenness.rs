@@ -51,9 +51,27 @@ pub fn run(fixture: &ParisFixture, sample_stride: usize) -> Result<Greenness, Co
     // LAI observations from the gridded product (custom-script path).
     let mut g = Graph::new();
     let lai = fixture.lai.variable("LAI").expect("LAI variable");
-    let lats = fixture.lai.coordinate("lat").expect("lat").data.data().to_vec();
-    let lons = fixture.lai.coordinate("lon").expect("lon").data.data().to_vec();
-    let times = fixture.lai.coordinate("time").expect("time").data.data().to_vec();
+    let lats = fixture
+        .lai
+        .coordinate("lat")
+        .expect("lat")
+        .data
+        .data()
+        .to_vec();
+    let lons = fixture
+        .lai
+        .coordinate("lon")
+        .expect("lon")
+        .data
+        .data()
+        .to_vec();
+    let times = fixture
+        .lai
+        .coordinate("time")
+        .expect("time")
+        .data
+        .data()
+        .to_vec();
     let stride = sample_stride.max(1);
     for (ti, &t) in times.iter().enumerate() {
         for (la, &lat) in lats.iter().enumerate().step_by(stride) {
@@ -152,9 +170,8 @@ fn build_map(wf: &MaterializedWorkflow) -> Result<Map, CoreError> {
     let mut map = Map::new("The greenness of Paris");
     let styles = figure4_styles();
 
-    let layer_query = |wf: &MaterializedWorkflow, q: &str| -> Result<QueryResults, CoreError> {
-        wf.query(q)
-    };
+    let layer_query =
+        |wf: &MaterializedWorkflow, q: &str| -> Result<QueryResults, CoreError> { wf.query(q) };
 
     // CORINE green areas (fill).
     let r = layer_query(
@@ -162,8 +179,16 @@ fn build_map(wf: &MaterializedWorkflow) -> Result<Map, CoreError> {
         "SELECT ?wkt WHERE { ?a a clc:CorineArea ; clc:hasCorineValue clc:GreenUrbanAreas ; geo:hasGeometry ?g . ?g geo:asWKT ?wkt }",
     )?;
     map.add_layer(
-        Layer::from_results("CORINE green urban areas", styles[0].1.clone(), &r, "wkt", None, None, None)
-            .with_source("store:clc"),
+        Layer::from_results(
+            "CORINE green urban areas",
+            styles[0].1.clone(),
+            &r,
+            "wkt",
+            None,
+            None,
+            None,
+        )
+        .with_source("store:clc"),
     );
     // OSM parks.
     let r = layer_query(
@@ -171,8 +196,16 @@ fn build_map(wf: &MaterializedWorkflow) -> Result<Map, CoreError> {
         "SELECT ?wkt ?name WHERE { ?p osm:poiType osm:park ; osm:hasName ?name ; geo:hasGeometry ?g . ?g geo:asWKT ?wkt }",
     )?;
     map.add_layer(
-        Layer::from_results("OpenStreetMap parks", styles[2].1.clone(), &r, "wkt", None, Some("name"), None)
-            .with_source("store:osm"),
+        Layer::from_results(
+            "OpenStreetMap parks",
+            styles[2].1.clone(),
+            &r,
+            "wkt",
+            None,
+            Some("name"),
+            None,
+        )
+        .with_source("store:osm"),
     );
     // GADM boundaries (magenta outlines, as the paper describes).
     let r = layer_query(
@@ -180,8 +213,16 @@ fn build_map(wf: &MaterializedWorkflow) -> Result<Map, CoreError> {
         "SELECT ?wkt WHERE { ?u a gadm:AdministrativeUnit ; gadm:hasLevel 2 ; geo:hasGeometry ?g . ?g geo:asWKT ?wkt }",
     )?;
     map.add_layer(
-        Layer::from_results("GADM administrative areas", styles[3].1.clone(), &r, "wkt", None, None, None)
-            .with_source("store:gadm"),
+        Layer::from_results(
+            "GADM administrative areas",
+            styles[3].1.clone(),
+            &r,
+            "wkt",
+            None,
+            None,
+            None,
+        )
+        .with_source("store:gadm"),
     );
     // LAI observations (value ramp circles over time).
     let r = layer_query(
@@ -223,10 +264,8 @@ mod tests {
         assert_eq!(result.map.layers.len(), 4);
         assert_eq!(result.map.timeline().len(), 12);
         // It renders.
-        let svg = applab_sextant::render_svg(
-            &result.map,
-            &applab_sextant::svg::RenderOptions::default(),
-        );
+        let svg =
+            applab_sextant::render_svg(&result.map, &applab_sextant::svg::RenderOptions::default());
         assert!(svg.contains("</svg>"));
     }
 }

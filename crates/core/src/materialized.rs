@@ -67,8 +67,8 @@ impl MaterializedWorkflow {
 
     /// Load Turtle text.
     pub fn load_turtle(&mut self, text: &str) -> Result<usize, CoreError> {
-        let g = applab_rdf::turtle::parse_turtle(text)
-            .map_err(|e| CoreError::Source(e.to_string()))?;
+        let g =
+            applab_rdf::turtle::parse_turtle(text).map_err(|e| CoreError::Source(e.to_string()))?;
         Ok(self.load_graph(&g))
     }
 
@@ -185,9 +185,7 @@ mod tests {
         );
         let n = wf.interlink(&external, &rule);
         assert!(n > 0);
-        let r = wf
-            .query("SELECT ?a ?b WHERE { ?a owl:sameAs ?b }")
-            .unwrap();
+        let r = wf.query("SELECT ?a ?b WHERE { ?a owl:sameAs ?b }").unwrap();
         assert_eq!(r.len(), n);
     }
 

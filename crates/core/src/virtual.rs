@@ -172,7 +172,7 @@ mod tests {
                 "SELECT DISTINCT ?s ?wkt ?lai WHERE { ?s lai:hasLai ?lai . ?s geo:hasGeometry ?g . ?g geo:asWKT ?wkt }",
             )
             .unwrap();
-        assert!(r.len() > 0);
+        assert!(!r.is_empty());
         // Virtual ≡ materialized.
         let mat = wf.materialize().unwrap();
         let r2 = applab_sparql::query(
@@ -199,10 +199,12 @@ mod tests {
     fn configuration_seals_after_query() {
         let mut wf = workflow();
         wf.query("ASK { ?s lai:hasLai ?v }").unwrap();
+        assert!(wf.add_opendap("lai_300m", "LAI", Duration::ZERO).is_err());
         assert!(wf
-            .add_opendap("lai_300m", "LAI", Duration::ZERO)
+            .add_mappings(
+                "mappingId x\ntarget osm:a{i} a osm:PointOfInterest .\nsource SELECT * FROM t"
+            )
             .is_err());
-        assert!(wf.add_mappings("mappingId x\ntarget osm:a{i} a osm:PointOfInterest .\nsource SELECT * FROM t").is_err());
     }
 
     #[test]

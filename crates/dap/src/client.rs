@@ -139,9 +139,7 @@ mod tests {
         let wan = Arc::new(SimulatedWan::new(Duration::from_millis(10), 1e6, false));
         let client = DapClient::new(setup(), wan.clone());
         client.get_dds("lai").unwrap();
-        client
-            .get_data("lai", &Constraint::all())
-            .unwrap();
+        client.get_data("lai", &Constraint::all()).unwrap();
         assert_eq!(wan.round_trips(), 2);
         assert!(wan.total_charged() >= Duration::from_millis(20));
     }

@@ -57,7 +57,9 @@ impl Constraint {
                 None => (part, ""),
             };
             if name.is_empty() {
-                return Err(DapError::Constraint(format!("missing variable in {part:?}")));
+                return Err(DapError::Constraint(format!(
+                    "missing variable in {part:?}"
+                )));
             }
             let mut ranges = Vec::new();
             while !rest.is_empty() {
@@ -71,8 +73,7 @@ impl Constraint {
                 rest = &rest[close + 1..];
                 let nums: Result<Vec<usize>, _> =
                     body.split(':').map(|p| p.trim().parse::<usize>()).collect();
-                let nums =
-                    nums.map_err(|_| DapError::Constraint(format!("bad range {body:?}")))?;
+                let nums = nums.map_err(|_| DapError::Constraint(format!("bad range {body:?}")))?;
                 let range = match nums.as_slice() {
                     [i] => Range::index(*i),
                     [start, stop] => Range::new(*start, 1, *stop),
@@ -151,7 +152,11 @@ mod tests {
 
     #[test]
     fn roundtrip_query_string() {
-        for text in ["LAI[0:9][2][3]", "time[0:2:9]", "LAI[0:9][0:359][0:719],time"] {
+        for text in [
+            "LAI[0:9][2][3]",
+            "time[0:2:9]",
+            "LAI[0:9][0:359][0:719],time",
+        ] {
             let c = Constraint::parse(text).unwrap();
             let c2 = Constraint::parse(&c.to_query_string()).unwrap();
             assert_eq!(c, c2);

@@ -23,11 +23,7 @@ fn render_attr(out: &mut String, name: &str, value: &AttrValue) {
             let _ = writeln!(out, "        Float64 {name} {n};");
         }
         AttrValue::Numbers(ns) => {
-            let list = ns
-                .iter()
-                .map(f64::to_string)
-                .collect::<Vec<_>>()
-                .join(", ");
+            let list = ns.iter().map(f64::to_string).collect::<Vec<_>>().join(", ");
             let _ = writeln!(out, "        Float64 {name} {list};");
         }
     }

@@ -40,7 +40,7 @@ pub fn render(ds: &Dataset) -> String {
         decl.push_str(";\n");
         out.push_str(&decl);
     }
-    let _ = write!(out, "}} {};\n", ds.name);
+    let _ = writeln!(out, "}} {};", ds.name);
     out
 }
 

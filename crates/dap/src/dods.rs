@@ -78,8 +78,8 @@ pub fn decode(mut payload: Bytes) -> Result<Vec<Variable>, DapError> {
         for _ in 0..n {
             data.push(payload.get_f64());
         }
-        let array = NdArray::from_vec(shape, data)
-            .map_err(|e| err(&format!("inconsistent shape: {e}")))?;
+        let array =
+            NdArray::from_vec(shape, data).map_err(|e| err(&format!("inconsistent shape: {e}")))?;
         out.push(Variable::new(name, dims, array));
     }
     Ok(out)
@@ -114,7 +114,11 @@ mod tests {
                 vec!["time".into(), "lat".into()],
                 NdArray::from_vec(vec![2, 3], vec![0.5, 1.0, f64::NAN, 2.0, 2.5, 3.0]).unwrap(),
             ),
-            Variable::new("time", vec!["time".into()], NdArray::vector(vec![0.0, 10.0])),
+            Variable::new(
+                "time",
+                vec!["time".into()],
+                NdArray::vector(vec![0.0, 10.0]),
+            ),
         ]
     }
 

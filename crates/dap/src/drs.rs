@@ -70,7 +70,10 @@ impl std::fmt::Display for Violation {
                 attribute,
                 expected,
                 actual,
-            } => write!(f, "attribute {attribute:?} is {actual:?}, id says {expected:?}"),
+            } => write!(
+                f,
+                "attribute {attribute:?} is {actual:?}, id says {expected:?}"
+            ),
         }
     }
 }
@@ -116,12 +119,19 @@ pub fn parse_id(id: &str) -> Result<DrsId, Vec<Violation>> {
     let date_ok = date.len() == 10
         && date.as_bytes()[4] == b'-'
         && date.as_bytes()[7] == b'-'
-        && date
-            .chars()
-            .enumerate()
-            .all(|(i, c)| if i == 4 || i == 7 { c == '-' } else { c.is_ascii_digit() })
-        && date[5..7].parse::<u32>().map_or(false, |m| (1..=12).contains(&m))
-        && date[8..10].parse::<u32>().map_or(false, |d| (1..=31).contains(&d));
+        && date.chars().enumerate().all(|(i, c)| {
+            if i == 4 || i == 7 {
+                c == '-'
+            } else {
+                c.is_ascii_digit()
+            }
+        })
+        && date[5..7]
+            .parse::<u32>()
+            .is_ok_and(|m| (1..=12).contains(&m))
+        && date[8..10]
+            .parse::<u32>()
+            .is_ok_and(|d| (1..=31).contains(&d));
     if !date_ok {
         violations.push(Violation::BadDate(date.to_string()));
     }
@@ -212,9 +222,19 @@ mod tests {
     #[test]
     fn bad_facets_reported_together() {
         let violations = parse_id("CGLS.land.lai.300m.2.2017-6-15").unwrap_err();
-        assert!(violations.iter().any(|v| matches!(v, Violation::BadFacet { facet: "activity", .. })));
-        assert!(violations.iter().any(|v| matches!(v, Violation::BadVersion(_))));
-        assert!(violations.iter().any(|v| matches!(v, Violation::BadDate(_))));
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            Violation::BadFacet {
+                facet: "activity",
+                ..
+            }
+        )));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::BadVersion(_))));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::BadDate(_))));
     }
 
     #[test]

@@ -114,13 +114,7 @@ mod tests {
     #[test]
     fn document_contains_everything() {
         let server = DapServer::new();
-        server.publish(grid_dataset(
-            "lai",
-            &[0.0],
-            &[48.0],
-            &[2.0],
-            |_, _, _| 1.0,
-        ));
+        server.publish(grid_dataset("lai", &[0.0], &[48.0], &[2.0], |_, _, _| 1.0));
         let doc = render(&server, "lai", None).unwrap();
         assert!(doc.starts_with("<?xml"));
         assert!(doc.contains("<serverFunctions>dds,das,dods,subset,ncml</serverFunctions>"));

@@ -36,9 +36,7 @@ impl DapServer {
 
     /// Publish (or replace) a dataset under its name.
     pub fn publish(&self, dataset: Dataset) {
-        self.catalog
-            .write()
-            .insert(dataset.name.clone(), dataset);
+        self.catalog.write().insert(dataset.name.clone(), dataset);
     }
 
     /// Register an access token for a user (RAMANI-style registration).
@@ -156,9 +154,7 @@ impl DapServer {
                 let range = match bounds.iter().find(|(d, _, _)| d == dim) {
                     Some((_, lo, hi)) => ds
                         .index_range(dim, *lo, *hi)
-                        .ok_or_else(|| {
-                            DapError::Constraint(format!("empty selection on {dim}"))
-                        })?,
+                        .ok_or_else(|| DapError::Constraint(format!("empty selection on {dim}")))?,
                     None => Range::all(axis_len),
                 };
                 slab.push(range);
@@ -224,13 +220,9 @@ pub fn grid_dataset(
         }
     }
     ds.add_variable(
-        Variable::new(
-            "LAI",
-            vec!["time".into(), "lat".into(), "lon".into()],
-            data,
-        )
-        .with_attr("units", "m2/m2")
-        .with_attr("long_name", "leaf area index"),
+        Variable::new("LAI", vec!["time".into(), "lat".into(), "lon".into()], data)
+            .with_attr("units", "m2/m2")
+            .with_attr("long_name", "leaf area index"),
     )
     .expect("main variable");
     ds

@@ -17,11 +17,18 @@ pub struct ErWorkload {
 }
 
 const PLACE_WORDS: &[&str] = &[
-    "parc", "jardin", "bois", "square", "place", "promenade", "esplanade", "butte",
+    "parc",
+    "jardin",
+    "bois",
+    "square",
+    "place",
+    "promenade",
+    "esplanade",
+    "butte",
 ];
 const NAME_WORDS: &[&str] = &[
-    "saint", "martin", "victor", "hugo", "royal", "nord", "sud", "grand", "petit", "vert",
-    "fleur", "roi", "reine", "pont", "mont",
+    "saint", "martin", "victor", "hugo", "royal", "nord", "sud", "grand", "petit", "vert", "fleur",
+    "roi", "reine", "pont", "mont",
 ];
 
 fn place_name(rng: &mut StdRng, i: usize) -> String {

@@ -180,9 +180,13 @@ pub fn ndvi_dataset(world: &World, spec: &GridSpec) -> Dataset {
         }
     }
     ds.add_variable(
-        Variable::new("NDVI", vec!["time".into(), "lat".into(), "lon".into()], data)
-            .with_attr("units", "1")
-            .with_attr("long_name", "normalized difference vegetation index"),
+        Variable::new(
+            "NDVI",
+            vec!["time".into(), "lat".into(), "lon".into()],
+            data,
+        )
+        .with_attr("units", "1")
+        .with_attr("long_name", "normalized difference vegetation index"),
     )
     .expect("NDVI variable");
     ds
@@ -344,6 +348,9 @@ mod tests {
         let w = world();
         let a = lai_dataset(&w, &GridSpec::monthly_2017(8, 9));
         let b = lai_dataset(&w, &GridSpec::monthly_2017(8, 9));
-        assert_eq!(a.variable("LAI").unwrap().data, b.variable("LAI").unwrap().data);
+        assert_eq!(
+            a.variable("LAI").unwrap().data,
+            b.variable("LAI").unwrap().data
+        );
     }
 }

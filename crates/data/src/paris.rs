@@ -48,9 +48,9 @@ impl ParisFixture {
         }
         // Replace any generated park overlapping the footprint, then add
         // the real one.
-        world.pois.retain(|p| {
-            !(p.kind == PoiKind::Park && bois_env.intersects(&p.polygon.envelope()))
-        });
+        world
+            .pois
+            .retain(|p| !(p.kind == PoiKind::Park && bois_env.intersects(&p.polygon.envelope())));
         world.pois.push(Poi {
             id: world.pois.len(),
             name: "Bois de Boulogne".into(),
@@ -111,7 +111,12 @@ mod tests {
         }
         assert!(!inside.is_empty());
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-        assert!(mean(&inside) > mean(&outside), "{} vs {}", mean(&inside), mean(&outside));
+        assert!(
+            mean(&inside) > mean(&outside),
+            "{} vs {}",
+            mean(&inside),
+            mean(&outside)
+        );
     }
 
     #[test]

@@ -89,12 +89,12 @@ pub enum Zone {
 impl Zone {
     pub fn clc_code(&self) -> u16 {
         match self {
-            Zone::UrbanFabric => 112,  // discontinuous urban fabric
-            Zone::Industrial => 121,   // industrial or commercial units
-            Zone::GreenUrban => 141,   // green urban areas
-            Zone::Forest => 311,       // broad-leaved forest
-            Zone::Agriculture => 211,  // non-irrigated arable land
-            Zone::Water => 512,        // water bodies
+            Zone::UrbanFabric => 112, // discontinuous urban fabric
+            Zone::Industrial => 121,  // industrial or commercial units
+            Zone::GreenUrban => 141,  // green urban areas
+            Zone::Forest => 311,      // broad-leaved forest
+            Zone::Agriculture => 211, // non-irrigated arable land
+            Zone::Water => 512,       // water bodies
         }
     }
 
@@ -185,7 +185,8 @@ impl World {
                 let min_y = extent.min_y + gy as f64 * dy;
                 let cell = Polygon::rect(min_x, min_y, min_x + dx, min_y + dy);
                 let c = Coord::new(min_x + dx / 2.0, min_y + dy / 2.0);
-                let r = ((c.x - center.x) / extent.width()).hypot((c.y - center.y) / extent.height());
+                let r =
+                    ((c.x - center.x) / extent.width()).hypot((c.y - center.y) / extent.height());
 
                 let zone = if (c.y - center.y).abs() < extent.height() * 0.03
                     && c.x > center.x - extent.width() * 0.3
@@ -443,9 +444,14 @@ mod tests {
         let index = w.land_cover_index();
         assert!(!w.pois.is_empty());
         for p in w.pois.iter().filter(|p| p.kind == PoiKind::Park) {
-            let c = applab_geo::algorithms::centroid(&Geometry::Polygon(p.polygon.clone()))
-                .unwrap();
-            assert_eq!(w.zone_at(&index, c), Some(141), "park {} not on 141", p.name);
+            let c =
+                applab_geo::algorithms::centroid(&Geometry::Polygon(p.polygon.clone())).unwrap();
+            assert_eq!(
+                w.zone_at(&index, c),
+                Some(141),
+                "park {} not on 141",
+                p.name
+            );
         }
     }
 
@@ -464,7 +470,12 @@ mod tests {
         assert_eq!(w.urban_atlas_table().rows.len(), w.urban_atlas.len());
         assert_eq!(w.osm_table().rows.len(), w.pois.len());
         // Geometry columns present everywhere.
-        for t in [w.gadm_table(), w.corine_table(), w.urban_atlas_table(), w.osm_table()] {
+        for t in [
+            w.gadm_table(),
+            w.corine_table(),
+            w.urban_atlas_table(),
+            w.osm_table(),
+        ] {
             assert!(t
                 .rows
                 .iter()

@@ -313,7 +313,11 @@ fn point_to_boundary(p: Coord, g: &Geometry) -> f64 {
 /// when fewer than 3 distinct non-collinear points exist.
 pub fn convex_hull(g: &Geometry) -> Option<Polygon> {
     let mut pts = g.coords();
-    pts.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap().then(a.y.partial_cmp(&b.y).unwrap()));
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .unwrap()
+            .then(a.y.partial_cmp(&b.y).unwrap())
+    });
     pts.dedup_by(|a, b| a.coincides(b));
     if pts.len() < 3 {
         return None;
@@ -391,8 +395,7 @@ mod tests {
     #[test]
     fn polygon_area_subtracts_holes() {
         let mut p = Polygon::rect(0.0, 0.0, 10.0, 10.0);
-        p.interiors
-            .push(Polygon::rect(1.0, 1.0, 3.0, 3.0).exterior);
+        p.interiors.push(Polygon::rect(1.0, 1.0, 3.0, 3.0).exterior);
         assert_eq!(polygon_area(&p), 100.0 - 4.0);
     }
 
@@ -435,20 +438,40 @@ mod tests {
             Coord::new(0.0, 10.0),
             Coord::new(0.0, 0.0),
         ];
-        assert_eq!(locate_in_ring(Coord::new(5.0, 5.0), &ring), RingPosition::Inside);
-        assert_eq!(locate_in_ring(Coord::new(15.0, 5.0), &ring), RingPosition::Outside);
-        assert_eq!(locate_in_ring(Coord::new(10.0, 5.0), &ring), RingPosition::Boundary);
-        assert_eq!(locate_in_ring(Coord::new(0.0, 0.0), &ring), RingPosition::Boundary);
+        assert_eq!(
+            locate_in_ring(Coord::new(5.0, 5.0), &ring),
+            RingPosition::Inside
+        );
+        assert_eq!(
+            locate_in_ring(Coord::new(15.0, 5.0), &ring),
+            RingPosition::Outside
+        );
+        assert_eq!(
+            locate_in_ring(Coord::new(10.0, 5.0), &ring),
+            RingPosition::Boundary
+        );
+        assert_eq!(
+            locate_in_ring(Coord::new(0.0, 0.0), &ring),
+            RingPosition::Boundary
+        );
     }
 
     #[test]
     fn point_in_polygon_with_hole() {
         let mut p = Polygon::rect(0.0, 0.0, 10.0, 10.0);
-        p.interiors
-            .push(Polygon::rect(4.0, 4.0, 6.0, 6.0).exterior);
-        assert_eq!(locate_in_polygon(Coord::new(5.0, 5.0), &p), RingPosition::Outside);
-        assert_eq!(locate_in_polygon(Coord::new(1.0, 1.0), &p), RingPosition::Inside);
-        assert_eq!(locate_in_polygon(Coord::new(4.0, 5.0), &p), RingPosition::Boundary);
+        p.interiors.push(Polygon::rect(4.0, 4.0, 6.0, 6.0).exterior);
+        assert_eq!(
+            locate_in_polygon(Coord::new(5.0, 5.0), &p),
+            RingPosition::Outside
+        );
+        assert_eq!(
+            locate_in_polygon(Coord::new(1.0, 1.0), &p),
+            RingPosition::Inside
+        );
+        assert_eq!(
+            locate_in_polygon(Coord::new(4.0, 5.0), &p),
+            RingPosition::Boundary
+        );
     }
 
     #[test]

@@ -239,9 +239,7 @@ impl Geometry {
     pub fn parts(&self) -> Vec<Geometry> {
         match self {
             Geometry::MultiPoint(ps) => ps.iter().copied().map(Geometry::Point).collect(),
-            Geometry::MultiLineString(ls) => {
-                ls.iter().cloned().map(Geometry::LineString).collect()
-            }
+            Geometry::MultiLineString(ls) => ls.iter().cloned().map(Geometry::LineString).collect(),
             Geometry::MultiPolygon(ps) => ps.iter().cloned().map(Geometry::Polygon).collect(),
             Geometry::GeometryCollection(gs) => gs.iter().flat_map(Geometry::parts).collect(),
             other => vec![other.clone()],

@@ -233,10 +233,8 @@ fn point_line_meet(p: Coord, l: &LineString) -> Meet {
     }
     // Line boundary = its endpoints (for open lines).
     let closed = l.is_closed_ring() || (l.len() >= 2 && l.0.first() == l.0.last());
-    if !closed {
-        if p.coincides(l.0.first().unwrap()) || p.coincides(l.0.last().unwrap()) {
-            return Meet::BoundaryOnly;
-        }
+    if !closed && (p.coincides(l.0.first().unwrap()) || p.coincides(l.0.last().unwrap())) {
+        return Meet::BoundaryOnly;
     }
     for (a, b) in l.segments() {
         if crate::algorithms::point_segment_distance(p, a, b) == 0.0 {
@@ -394,9 +392,7 @@ fn covered(a: &Geometry, b: &Geometry) -> bool {
         return false;
     }
     let b_parts = b.parts();
-    a.parts()
-        .iter()
-        .all(|pa| primitive_covered(pa, &b_parts))
+    a.parts().iter().all(|pa| primitive_covered(pa, &b_parts))
 }
 
 fn primitive_covered(a: &Geometry, b_parts: &[Geometry]) -> bool {
@@ -417,9 +413,9 @@ fn primitive_covered(a: &Geometry, b_parts: &[Geometry]) -> bool {
             sample_line(l).iter().all(|&c| {
                 b_parts.iter().any(|pb| match pb {
                     Polygon(poly) => polygon_covers_point(poly, c),
-                    LineString(l2) => l2.segments().any(|(s, e)| {
-                        crate::algorithms::point_segment_distance(c, s, e) < 1e-12
-                    }),
+                    LineString(l2) => l2
+                        .segments()
+                        .any(|(s, e)| crate::algorithms::point_segment_distance(c, s, e) < 1e-12),
                     _ => false,
                 })
             })
@@ -536,8 +532,7 @@ mod tests {
     #[test]
     fn hole_excludes_containment() {
         let mut p = Polygon::rect(0.0, 0.0, 10.0, 10.0);
-        p.interiors
-            .push(Polygon::rect(3.0, 3.0, 7.0, 7.0).exterior);
+        p.interiors.push(Polygon::rect(3.0, 3.0, 7.0, 7.0).exterior);
         let donut = Geometry::Polygon(p);
         let in_hole = Geometry::point(5.0, 5.0);
         assert!(disjoint(&in_hole, &donut));

@@ -220,7 +220,7 @@ fn nearest_rec<'a, T>(node: &'a Node<T>, c: Coord, best: &mut Option<(f64, &'a T
         Node::Leaf { entries } => {
             for e in entries {
                 let d = e.envelope.distance(&probe);
-                if best.map_or(true, |(bd, _)| d < bd) {
+                if best.is_none_or(|(bd, _)| d < bd) {
                     *best = Some((d, &e.item));
                 }
             }
@@ -232,7 +232,7 @@ fn nearest_rec<'a, T>(node: &'a Node<T>, c: Coord, best: &mut Option<(f64, &'a T
                 .collect();
             order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
             for (d, child) in order {
-                if best.map_or(true, |(bd, _)| d < bd) {
+                if best.is_none_or(|(bd, _)| d < bd) {
                     nearest_rec(child, c, best);
                 }
             }
@@ -257,7 +257,12 @@ fn insert_rec<T>(node: &mut Node<T>, envelope: Envelope, item: T) -> Option<Spli
             *node = Node::Leaf { entries: g1 };
             Some((
                 e1,
-                Box::new(std::mem::replace(node, Node::Leaf { entries: Vec::new() })),
+                Box::new(std::mem::replace(
+                    node,
+                    Node::Leaf {
+                        entries: Vec::new(),
+                    },
+                )),
                 e2,
                 Box::new(Node::Leaf { entries: g2 }),
             ))

@@ -80,9 +80,7 @@ impl TileGrid {
             Coord::new(clipped.max_x - eps_x, clipped.max_y - eps_y),
             zoom,
         );
-        let mut out = Vec::with_capacity(
-            ((hi.row - lo.row + 1) * (hi.col - lo.col + 1)) as usize,
-        );
+        let mut out = Vec::with_capacity(((hi.row - lo.row + 1) * (hi.col - lo.col + 1)) as usize);
         for row in lo.row..=hi.row {
             for col in lo.col..=hi.col {
                 out.push(TileId { zoom, col, row });
@@ -123,7 +121,14 @@ mod tests {
     fn zoom_zero_single_tile() {
         let grid = TileGrid::global();
         let t = grid.tile_at(Coord::new(100.0, -45.0), 0);
-        assert_eq!(t, TileId { zoom: 0, col: 0, row: 0 });
+        assert_eq!(
+            t,
+            TileId {
+                zoom: 0,
+                col: 0,
+                row: 0
+            }
+        );
         assert_eq!(grid.tile_envelope(t), grid.domain);
     }
 

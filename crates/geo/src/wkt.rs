@@ -95,13 +95,7 @@ impl<'a> Parser<'a> {
         let start = self.pos;
         while self.pos < self.bytes.len() {
             let b = self.bytes[self.pos];
-            if b.is_ascii_digit()
-                || b == b'-'
-                || b == b'+'
-                || b == b'.'
-                || b == b'e'
-                || b == b'E'
-            {
+            if b.is_ascii_digit() || b == b'-' || b == b'+' || b == b'.' || b == b'e' || b == b'E' {
                 self.pos += 1;
             } else {
                 break;

@@ -27,9 +27,8 @@ fn geometry_strategy() -> impl Strategy<Value = Geometry> {
         proptest::collection::vec(coord_strategy(), 2..8)
             .prop_map(|cs| Geometry::LineString(LineString::new(cs))),
         rect_strategy().prop_map(Geometry::Polygon),
-        proptest::collection::vec(coord_strategy(), 1..6).prop_map(|cs| {
-            Geometry::MultiPoint(cs.into_iter().map(Point).collect())
-        }),
+        proptest::collection::vec(coord_strategy(), 1..6)
+            .prop_map(|cs| { Geometry::MultiPoint(cs.into_iter().map(Point).collect()) }),
         proptest::collection::vec(rect_strategy(), 1..4).prop_map(Geometry::MultiPolygon),
     ]
 }

@@ -164,14 +164,10 @@ impl<'a> Parser<'a> {
                 }
                 b'\\' => {
                     self.pos += 1;
-                    let esc = self
-                        .bytes
-                        .get(self.pos)
-                        .copied()
-                        .ok_or(JsonError {
-                            message: "dangling escape".into(),
-                            position: self.pos,
-                        })?;
+                    let esc = self.bytes.get(self.pos).copied().ok_or(JsonError {
+                        message: "dangling escape".into(),
+                        position: self.pos,
+                    })?;
                     match esc {
                         b'"' => out.push('"'),
                         b'\\' => out.push('\\'),
@@ -212,12 +208,12 @@ impl<'a> Parser<'a> {
                         _ => 4,
                     };
                     let end = (self.pos + len).min(self.bytes.len());
-                    out.push_str(
-                        std::str::from_utf8(&self.bytes[self.pos..end]).map_err(|_| JsonError {
+                    out.push_str(std::str::from_utf8(&self.bytes[self.pos..end]).map_err(
+                        |_| JsonError {
                             message: "invalid UTF-8".into(),
                             position: self.pos,
-                        })?,
-                    );
+                        },
+                    )?);
                     self.pos = end;
                 }
             }

@@ -414,9 +414,7 @@ fn tokenize_target(text: &str) -> Result<Vec<String>, MappingError> {
             '.' if !in_quotes && !in_braces && !in_angle => {
                 // A '.' is punctuation only when followed by whitespace or
                 // end (it may appear inside numbers/IRIs otherwise).
-                if buf.is_empty()
-                    || chars.peek().map_or(true, |n| n.is_whitespace())
-                {
+                if buf.is_empty() || chars.peek().is_none_or(|n| n.is_whitespace()) {
                     if !buf.is_empty() {
                         tokens.push(std::mem::take(&mut buf));
                     }
@@ -678,7 +676,10 @@ source s
         let two = StringTemplate::parse("a{x}b{y}").unwrap();
         assert_eq!(two.invert_single("a1b2"), None); // multi-placeholder: no inversion
         let mid = StringTemplate::parse("geo_{id}_node").unwrap();
-        assert_eq!(mid.invert_single("geo_9_node"), Some(("id", "9".to_string())));
+        assert_eq!(
+            mid.invert_single("geo_9_node"),
+            Some(("id", "9".to_string()))
+        );
     }
 
     #[test]

@@ -383,8 +383,7 @@ pub fn read_shapefile_sim(data: &[u8]) -> Result<TabularSource, SourceError> {
                     Value::Bool(b != 0)
                 }
                 4 => {
-                    let wkt =
-                        take_str(data, &mut pos).ok_or_else(|| err("truncated geometry"))?;
+                    let wkt = take_str(data, &mut pos).ok_or_else(|| err("truncated geometry"))?;
                     Value::Geometry(
                         parse_wkt(&wkt).map_err(|e| err(&format!("bad geometry: {e}")))?,
                     )
@@ -500,7 +499,8 @@ mod tests {
     fn geojson_errors() {
         assert!(read_geojson("x", "{}").is_err());
         assert!(read_geojson("x", "{\"type\":\"FeatureCollection\"}").is_err());
-        let nogeom = r#"{"type":"FeatureCollection","features":[{"type":"Feature","properties":{}}]}"#;
+        let nogeom =
+            r#"{"type":"FeatureCollection","features":[{"type":"Feature","properties":{}}]}"#;
         assert!(read_geojson("x", nogeom).is_err());
     }
 

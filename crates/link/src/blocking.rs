@@ -122,7 +122,10 @@ mod tests {
     #[test]
     fn token_blocking_groups_shared_tokens() {
         let left = vec![entity(0, "Bois de Boulogne"), entity(1, "Parc Monceau")];
-        let right = vec![entity(0, "bois boulogne paris"), entity(1, "jardin luxembourg")];
+        let right = vec![
+            entity(0, "bois boulogne paris"),
+            entity(1, "jardin luxembourg"),
+        ];
         let blocks = token_blocks(&left, &right, 100);
         assert!(blocks.contains_key("boulogne"));
         assert!(blocks.contains_key("bois"));

@@ -112,7 +112,7 @@ impl LinkRule {
 
     /// Does the rule link the pair?
     pub fn matches(&self, a: &Entity, b: &Entity) -> bool {
-        self.score(a, b).map_or(false, |s| s >= self.threshold)
+        self.score(a, b).is_some_and(|s| s >= self.threshold)
     }
 }
 

@@ -30,7 +30,7 @@ impl LinkResult {
             g.insert(Triple::new(
                 l.left.clone(),
                 rule.predicate.clone(),
-                applab_rdf::Term::from(Resource::from(l.right.clone())),
+                applab_rdf::Term::from(l.right.clone()),
             ));
         }
         g
@@ -39,12 +39,7 @@ impl LinkResult {
 
 const MAX_BLOCK: usize = 200;
 
-fn evaluate_pairs(
-    pairs: &[Pair],
-    left: &[Entity],
-    right: &[Entity],
-    rule: &LinkRule,
-) -> Vec<Link> {
+fn evaluate_pairs(pairs: &[Pair], left: &[Entity], right: &[Entity], rule: &LinkRule) -> Vec<Link> {
     pairs
         .iter()
         .filter_map(|&(i, j)| {
@@ -138,7 +133,11 @@ mod tests {
 
     #[test]
     fn finds_true_matches() {
-        let names = ["Bois de Boulogne", "Parc de Monceau", "Jardin du Luxembourg"];
+        let names = [
+            "Bois de Boulogne",
+            "Parc de Monceau",
+            "Jardin du Luxembourg",
+        ];
         let left = collection("osm", &names, 0.0);
         // The same parks with slightly perturbed positions. (Names must
         // keep comparable token weights: Weighted Edge Pruning drops pairs

@@ -62,12 +62,7 @@ impl DataSource {
     }
 
     /// Register a virtual table under `opendap:<dataset>:<variable>`.
-    pub fn add_opendap(
-        &mut self,
-        dataset: &str,
-        variable: &str,
-        table: Arc<dyn VirtualTable>,
-    ) {
+    pub fn add_opendap(&mut self, dataset: &str, variable: &str, table: Arc<dyn VirtualTable>) {
         self.vtables
             .register(format!("opendap:{dataset}:{variable}"), table);
     }
@@ -92,11 +87,8 @@ impl DataSource {
                     .ok_or_else(|| ObdaError::NoSuchTable(name.clone()))?;
                 let candidate_rows: Vec<&Row> = match spatial_hint {
                     Some((col, env)) if table.spatial.contains_key(col) => {
-                        let mut idx: Vec<usize> = table.spatial[col]
-                            .query(env)
-                            .into_iter()
-                            .copied()
-                            .collect();
+                        let mut idx: Vec<usize> =
+                            table.spatial[col].query(env).into_iter().copied().collect();
                         idx.sort_unstable();
                         idx.iter().map(|&i| &table.source.rows[i]).collect()
                     }
@@ -125,11 +117,9 @@ impl DataSource {
                     .iter()
                     .filter(|row| {
                         query.predicates.iter().all(|p| matches(row, p))
-                            && spatial_hint.map_or(true, |(col, env)| {
-                                match row.get(col) {
-                                    Some(Value::Geometry(g)) => g.envelope().intersects(env),
-                                    _ => true,
-                                }
+                            && spatial_hint.is_none_or(|(col, env)| match row.get(col) {
+                                Some(Value::Geometry(g)) => g.envelope().intersects(env),
+                                _ => true,
                             })
                     })
                     .map(|row| project(row, &query.columns))
@@ -145,9 +135,7 @@ fn matches(row: &Row, p: &Predicate) -> bool {
     };
     let ord = match (&p.value, value) {
         (Const::Number(n), Value::Number(v)) => v.partial_cmp(n),
-        (Const::Number(n), Value::Text(t)) => {
-            t.parse::<f64>().ok().and_then(|v| v.partial_cmp(n))
-        }
+        (Const::Number(n), Value::Text(t)) => t.parse::<f64>().ok().and_then(|v| v.partial_cmp(n)),
         (Const::Text(s), Value::Text(t)) => Some(t.as_str().cmp(s.as_str())),
         (Const::Text(s), Value::Bool(b)) => Some(b.to_string().as_str().cmp(s.as_str())),
         _ => None,
@@ -182,12 +170,7 @@ mod tests {
             r.insert("area".into(), Value::Number(i as f64 * 10.0));
             r.insert(
                 "geom".into(),
-                Value::Geometry(Geometry::rect(
-                    i as f64,
-                    0.0,
-                    i as f64 + 0.5,
-                    0.5,
-                )),
+                Value::Geometry(Geometry::rect(i as f64, 0.0, i as f64 + 0.5, 0.5)),
             );
             rows.push(r);
         }

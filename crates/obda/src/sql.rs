@@ -85,8 +85,8 @@ impl SourceQuery {
         if !lower.starts_with("select") {
             return Err(err(format!("expected SELECT, found {text:?}")));
         }
-        let from_pos = find_keyword(&lower, "from")
-            .ok_or_else(|| err("missing FROM clause".to_string()))?;
+        let from_pos =
+            find_keyword(&lower, "from").ok_or_else(|| err("missing FROM clause".to_string()))?;
         let select_part = text[6..from_pos].trim();
         let rest = &text[from_pos + 4..];
         let lower_rest = rest.to_ascii_lowercase();
@@ -126,11 +126,9 @@ fn find_keyword(lower: &str, kw: &str) -> Option<usize> {
     let mut start = 0;
     while let Some(i) = lower[start..].find(kw) {
         let at = start + i;
-        let before_ok = at == 0
-            || !lower.as_bytes()[at - 1].is_ascii_alphanumeric();
+        let before_ok = at == 0 || !lower.as_bytes()[at - 1].is_ascii_alphanumeric();
         let after = at + kw.len();
-        let after_ok =
-            after >= lower.len() || !lower.as_bytes()[after].is_ascii_alphanumeric();
+        let after_ok = after >= lower.len() || !lower.as_bytes()[after].is_ascii_alphanumeric();
         if before_ok && after_ok {
             return Some(at);
         }

@@ -118,6 +118,7 @@ impl VirtualGraph {
     }
 
     /// All triples of one mapping matching a (s?, p?, o?) pattern.
+    #[allow(clippy::too_many_arguments)]
     fn mapping_triples(
         &self,
         idx: usize,
@@ -206,7 +207,7 @@ impl VirtualGraph {
         {
             return;
         }
-        let rows = match self.rows_for(idx, cm, hint_col.zip(spatial).map(|(c, e)| (c, e))) {
+        let rows = match self.rows_for(idx, cm, hint_col.zip(spatial)) {
             Ok(rows) => rows,
             Err(_) => return, // remote failure → no virtual triples
         };
@@ -218,7 +219,7 @@ impl VirtualGraph {
                         let matches = row
                             .get(col)
                             .and_then(applab_geotriples::Value::lexical)
-                            .map_or(false, |lex| &lex == value);
+                            .is_some_and(|lex| &lex == value);
                         if !matches {
                             continue;
                         }
@@ -226,9 +227,9 @@ impl VirtualGraph {
                     SubjectFilter::NoConstraint => {}
                 }
                 if let Some(t) = cm.mapping.target[i].expand(row) {
-                    if subject.map_or(true, |s| &t.subject == s)
-                        && predicate.map_or(true, |p| &t.predicate == p)
-                        && object.map_or(true, |o| &t.object == o)
+                    if subject.is_none_or(|s| &t.subject == s)
+                        && predicate.is_none_or(|p| &t.predicate == p)
+                        && object.is_none_or(|o| &t.object == o)
                     {
                         out.push(t);
                     }
@@ -421,7 +422,7 @@ impl GraphSource for VirtualGraph {
                 }
                 bindings.push(binding);
             }
-            return Some(bindings);
+            Some(bindings)
         }
     }
 }
@@ -433,8 +434,7 @@ fn statically_unifiable(
     constant_predicate: &Option<String>,
 ) -> bool {
     // Predicate: constant-vs-constant must match exactly.
-    if let (TermPattern::Term(Term::Named(p)), Some(c)) = (&pattern.predicate, constant_predicate)
-    {
+    if let (TermPattern::Term(Term::Named(p)), Some(c)) = (&pattern.predicate, constant_predicate) {
         if p.as_str() != c {
             return false;
         }
@@ -452,17 +452,18 @@ fn position_unifiable(pattern: &TermPattern, template: &TermTemplate) -> bool {
         TermPattern::Term(t) => t,
     };
     match (constant, template) {
-        (Term::Literal(_), TermTemplate::Iri(_)) | (Term::Named(_), TermTemplate::Literal { .. }) => {
-            false
+        (Term::Literal(_), TermTemplate::Iri(_))
+        | (Term::Named(_), TermTemplate::Literal { .. }) => false,
+        (Term::Named(n), TermTemplate::Iri(st)) if st.columns().is_empty() => {
+            st.expand(&Row::new()).as_deref() == Some(n.as_str())
         }
-        (Term::Named(n), TermTemplate::Iri(st)) => {
-            if st.columns().is_empty() {
-                st.expand(&Row::new()).as_deref() == Some(n.as_str())
-            } else {
-                true // row-level check decides
-            }
-        }
-        (Term::Literal(l), TermTemplate::Literal { template, datatype, .. }) => {
+        (Term::Named(_), TermTemplate::Iri(_)) => true, // row-level check decides
+        (
+            Term::Literal(l),
+            TermTemplate::Literal {
+                template, datatype, ..
+            },
+        ) => {
             if let Some(dt) = datatype {
                 if l.datatype() != dt {
                     return false;
@@ -599,13 +600,11 @@ source SELECT * FROM parks WHERE kind = park
     #[test]
     fn bgp_rewriting_uses_spatial_hint() {
         let vg = virtual_graph(50);
-        let patterns = vec![
-            TriplePattern::new(
-                TermPattern::var("g"),
-                Term::named(vocab::geo::AS_WKT),
-                TermPattern::var("wkt"),
-            ),
-        ];
+        let patterns = vec![TriplePattern::new(
+            TermPattern::var("g"),
+            Term::named(vocab::geo::AS_WKT),
+            TermPattern::var("wkt"),
+        )];
         let mut spatial = HashMap::new();
         spatial.insert("wkt".to_string(), Envelope::new(10.0, 0.0, 12.0, 1.0));
         let constrained = vg.evaluate_bgp(&patterns, &spatial).unwrap();

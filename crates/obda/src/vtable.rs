@@ -79,10 +79,10 @@ impl OpendapTable {
         }
         let times = find("time")
             .ok_or_else(|| ObdaError::VirtualTable("missing time coordinate".into()))?;
-        let lats = find("lat")
-            .ok_or_else(|| ObdaError::VirtualTable("missing lat coordinate".into()))?;
-        let lons = find("lon")
-            .ok_or_else(|| ObdaError::VirtualTable("missing lon coordinate".into()))?;
+        let lats =
+            find("lat").ok_or_else(|| ObdaError::VirtualTable("missing lat coordinate".into()))?;
+        let lons =
+            find("lon").ok_or_else(|| ObdaError::VirtualTable("missing lon coordinate".into()))?;
 
         // Decode the time axis to epoch seconds through the DAS metadata.
         let das = self.client.get_das(&self.dataset).map_err(wrap)?;

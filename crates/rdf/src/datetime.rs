@@ -35,7 +35,14 @@ pub fn civil_from_days(z: i64) -> (i64, u32, u32) {
 }
 
 /// Build an epoch timestamp from calendar components (UTC).
-pub fn timestamp(year: i64, month: u32, day: u32, hour: u32, minute: u32, second: u32) -> EpochSeconds {
+pub fn timestamp(
+    year: i64,
+    month: u32,
+    day: u32,
+    hour: u32,
+    minute: u32,
+    second: u32,
+) -> EpochSeconds {
     days_from_civil(year, month, day) * 86_400
         + hour as i64 * 3_600
         + minute as i64 * 60
@@ -154,7 +161,10 @@ mod tests {
 
     #[test]
     fn parse_full_datetime() {
-        assert_eq!(parse_datetime("2017-06-15T12:30:45Z").unwrap(), 1_497_529_845);
+        assert_eq!(
+            parse_datetime("2017-06-15T12:30:45Z").unwrap(),
+            1_497_529_845
+        );
         assert_eq!(
             parse_datetime("2017-06-15T12:30:45.123Z").unwrap(),
             1_497_529_845

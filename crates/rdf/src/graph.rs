@@ -78,8 +78,7 @@ impl Graph {
         object: Option<&'a Term>,
     ) -> Box<dyn Iterator<Item = &'a Triple> + 'a> {
         let filter = move |t: &&Triple| {
-            predicate.map_or(true, |p| &t.predicate == p)
-                && object.map_or(true, |o| &t.object == o)
+            predicate.is_none_or(|p| &t.predicate == p) && object.is_none_or(|o| &t.object == o)
         };
         match subject {
             Some(s) => Box::new(self.about(s).filter(filter)),
@@ -107,7 +106,10 @@ impl Graph {
     }
 
     /// Subjects that have `rdf:type` equal to `class`.
-    pub fn instances_of<'a>(&'a self, class: &'a NamedNode) -> impl Iterator<Item = &'a Resource> + 'a {
+    pub fn instances_of<'a>(
+        &'a self,
+        class: &'a NamedNode,
+    ) -> impl Iterator<Item = &'a Resource> + 'a {
         let rdf_type = NamedNode::new(crate::vocab::rdf::TYPE);
         let class_term = Term::Named(class.clone());
         self.triples.iter().filter_map(move |t| {

@@ -34,17 +34,17 @@ fn class(g: &mut Graph, class_iri: &str, label: &str, parent: Option<&str>) {
         Literal::lang(label, "en"),
     );
     if let Some(p) = parent {
-        g.add(
-            c,
-            NamedNode::new(vocab::rdfs::SUB_CLASS_OF),
-            Term::named(p),
-        );
+        g.add(c, NamedNode::new(vocab::rdfs::SUB_CLASS_OF), Term::named(p));
     }
 }
 
 fn property(g: &mut Graph, prop_iri: &str, kind: &str, domain: &str, range: &str, label: &str) {
     let p = Resource::named(prop_iri);
-    g.add(p.clone(), NamedNode::new(vocab::rdf::TYPE), Term::named(kind));
+    g.add(
+        p.clone(),
+        NamedNode::new(vocab::rdf::TYPE),
+        Term::named(kind),
+    );
     g.add(
         p.clone(),
         NamedNode::new(vocab::rdfs::DOMAIN),
@@ -341,7 +341,11 @@ pub const UA_CLASSES: &[UaClass] = &[
     (11230, true, "Discontinuous low density urban fabric"),
     (11240, true, "Discontinuous very low density urban fabric"),
     (11300, true, "Isolated structures"),
-    (12100, true, "Industrial, commercial, public, military and private units"),
+    (
+        12100,
+        true,
+        "Industrial, commercial, public, military and private units",
+    ),
     (12210, true, "Fast transit roads and associated land"),
     (12220, true, "Other roads and associated land"),
     (12230, true, "Railways and associated land"),

@@ -429,8 +429,14 @@ mod tests {
 
     #[test]
     fn local_names() {
-        assert_eq!(NamedNode::new("http://ex.org/ns#Thing").local_name(), "Thing");
-        assert_eq!(NamedNode::new("http://ex.org/ns/Thing").local_name(), "Thing");
+        assert_eq!(
+            NamedNode::new("http://ex.org/ns#Thing").local_name(),
+            "Thing"
+        );
+        assert_eq!(
+            NamedNode::new("http://ex.org/ns/Thing").local_name(),
+            "Thing"
+        );
         assert_eq!(NamedNode::new("urn:x").local_name(), "urn:x");
     }
 

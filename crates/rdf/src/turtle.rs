@@ -23,7 +23,11 @@ pub struct TurtleError {
 
 impl fmt::Display for TurtleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Turtle parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "Turtle parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -164,11 +168,10 @@ impl<'a> Lexer<'a> {
                             return self.err("truncated unicode escape");
                         }
                         let hex = std::str::from_utf8(&self.bytes[hex_start..hex_end]).unwrap();
-                        let code =
-                            u32::from_str_radix(hex, 16).map_err(|_| TurtleError {
-                                message: format!("invalid unicode escape \\{}{hex}", esc as char),
-                                line: self.line,
-                            })?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| TurtleError {
+                            message: format!("invalid unicode escape \\{}{hex}", esc as char),
+                            line: self.line,
+                        })?;
                         out.push(char::from_u32(code).ok_or_else(|| TurtleError {
                             message: format!("invalid code point U+{code:X}"),
                             line: self.line,
@@ -188,12 +191,12 @@ impl<'a> Lexer<'a> {
                 // Copy a full UTF-8 sequence.
                 let ch_len = utf8_len(b);
                 let end = (self.pos + ch_len).min(self.bytes.len());
-                out.push_str(std::str::from_utf8(&self.bytes[self.pos..end]).map_err(|_| {
-                    TurtleError {
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[self.pos..end]).map_err(|_| TurtleError {
                         message: "invalid UTF-8 in string".into(),
                         line: self.line,
-                    }
-                })?);
+                    })?,
+                );
                 self.pos = end;
             }
         }
@@ -203,7 +206,12 @@ impl<'a> Lexer<'a> {
         let start = self.pos;
         while self.pos < self.bytes.len() {
             let b = self.bytes[self.pos];
-            if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.' || b == b':' || b >= 0x80
+            if b.is_ascii_alphanumeric()
+                || b == b'_'
+                || b == b'-'
+                || b == b'.'
+                || b == b':'
+                || b >= 0x80
             {
                 self.pos += 1;
             } else {
@@ -295,7 +303,12 @@ impl<'a> Lexer<'a> {
                 self.pos += 1;
                 while self.pos < self.bytes.len() {
                     let c = self.bytes[self.pos];
-                    if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'-' || c == b'+'
+                    if c.is_ascii_digit()
+                        || c == b'.'
+                        || c == b'e'
+                        || c == b'E'
+                        || c == b'-'
+                        || c == b'+'
                     {
                         self.pos += 1;
                     } else {

@@ -156,8 +156,7 @@ pub mod clc {
     pub const HAS_CORINE_VALUE: &str = "http://www.app-lab.eu/clc/hasCorineValue";
     pub const HAS_CODE: &str = "http://www.app-lab.eu/clc/hasCode";
     /// INSPIRE theme superclass referenced by the paper.
-    pub const INSPIRE_LAND_COVER_UNIT: &str =
-        "http://inspire.ec.europa.eu/ont/lcv#LandCoverUnit";
+    pub const INSPIRE_LAND_COVER_UNIT: &str = "http://inspire.ec.europa.eu/ont/lcv#LandCoverUnit";
 }
 
 /// The App Lab Urban Atlas ontology namespace (Section 4).

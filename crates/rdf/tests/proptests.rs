@@ -46,8 +46,7 @@ fn triple_strategy() -> impl Strategy<Value = Triple> {
 }
 
 fn graph_strategy() -> impl Strategy<Value = Graph> {
-    proptest::collection::vec(triple_strategy(), 0..40)
-        .prop_map(|ts| ts.into_iter().collect())
+    proptest::collection::vec(triple_strategy(), 0..40).prop_map(|ts| ts.into_iter().collect())
 }
 
 proptest! {

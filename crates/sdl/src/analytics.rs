@@ -22,7 +22,11 @@ pub fn moving_average(series: &TimeSeries, k: usize) -> TimeSeries {
             .iter()
             .filter(|(_, v)| !v.is_nan())
             .fold((0.0, 0usize), |(s, c), (_, v)| (s + v, c + 1));
-        let avg = if count == 0 { f64::NAN } else { sum / count as f64 };
+        let avg = if count == 0 {
+            f64::NAN
+        } else {
+            sum / count as f64
+        };
         out.push((series[i].0, avg));
     }
     out
@@ -163,9 +167,7 @@ mod tests {
     fn summer_filter() {
         // Daily samples over 2017.
         let start = 17_167i64 * 86_400; // 2017-01-01
-        let s: TimeSeries = (0..365)
-            .map(|d| (start + d * 86_400, d as f64))
-            .collect();
+        let s: TimeSeries = (0..365).map(|d| (start + d * 86_400, d as f64)).collect();
         let summer = filter_months(&s, &[6, 7, 8]);
         assert_eq!(summer.len(), 30 + 31 + 31);
     }

@@ -26,11 +26,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// An entry: insertion time plus the cached subset.
+type CacheEntry = (Duration, Arc<Vec<Variable>>);
+
 /// A keyed cache whose entries expire `window` after insertion.
 pub struct SubsetCache {
     window: Duration,
     clock: Arc<dyn Clock>,
-    entries: RwLock<HashMap<String, (Duration, Arc<Vec<Variable>>)>>,
+    entries: RwLock<HashMap<String, CacheEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -144,11 +147,7 @@ impl GridInfo {
     }
 
     /// Fetch the (time_idx, lat-range, lon-range) subset for an envelope.
-    fn fetch_envelope(
-        &self,
-        env: &Envelope,
-        time_idx: usize,
-    ) -> Result<Vec<Variable>, DapError> {
+    fn fetch_envelope(&self, env: &Envelope, time_idx: usize) -> Result<Vec<Variable>, DapError> {
         let lat_range = index_range(&self.lats, env.min_y, env.max_y)
             .ok_or_else(|| DapError::Constraint("viewport selects no latitudes".into()))?;
         let lon_range = index_range(&self.lons, env.min_x, env.max_x)
@@ -307,9 +306,13 @@ mod tests {
         let server = DapServer::new();
         let lats: Vec<f64> = (0..100).map(|i| 40.0 + i as f64 * 0.1).collect();
         let lons: Vec<f64> = (0..100).map(|i| i as f64 * 0.1).collect();
-        server.publish(grid_dataset("lai", &[0.0, 1.0], &lats, &lons, |t, la, lo| {
-            (t + la + lo) as f64
-        }));
+        server.publish(grid_dataset(
+            "lai",
+            &[0.0, 1.0],
+            &lats,
+            &lons,
+            |t, la, lo| (t + la + lo) as f64,
+        ));
         Arc::new(DapClient::new(Arc::new(server), Arc::new(Local::new())))
     }
 

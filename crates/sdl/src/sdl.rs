@@ -203,7 +203,11 @@ impl Sdl {
     }
 
     /// Fetch a constrained subset through the windowed cache.
-    fn fetch(&self, dataset: &str, constraint: &Constraint) -> Result<Arc<Vec<Variable>>, SdlError> {
+    fn fetch(
+        &self,
+        dataset: &str,
+        constraint: &Constraint,
+    ) -> Result<Arc<Vec<Variable>>, SdlError> {
         let key = format!("{dataset}?{}", constraint.to_query_string());
         self.data_cache
             .get_or_fetch(&key, || self.client.get_data(dataset, constraint))
@@ -304,10 +308,8 @@ impl Sdl {
             .ok_or_else(|| SdlError::BadRequest("area selects no latitudes".into()))?;
         let lon_range = index_range(Self::axis(&info, "lon")?, envelope.min_x, envelope.max_x)
             .ok_or_else(|| SdlError::BadRequest("area selects no longitudes".into()))?;
-        let constraint = Constraint::variable(
-            variable,
-            vec![Range::index(ti), lat_range, lon_range],
-        );
+        let constraint =
+            Constraint::variable(variable, vec![Range::index(ti), lat_range, lon_range]);
         let vars = self.fetch(dataset, &constraint)?;
         let data = &vars[0].data;
         // Drop the singleton time axis.
@@ -653,7 +655,14 @@ mod tests {
         // Values increase along the diagonal.
         assert!(t.windows(2).all(|w| w[1].1 >= w[0].1));
         assert!(s
-            .get_transect("lai", "LAI", Coord::new(2.0, 48.0), Coord::new(2.1, 48.1), 0, 1)
+            .get_transect(
+                "lai",
+                "LAI",
+                Coord::new(2.0, 48.0),
+                Coord::new(2.1, 48.1),
+                0,
+                1
+            )
             .is_err());
     }
 
@@ -662,9 +671,7 @@ mod tests {
         let s = sdl();
         let env = Envelope::new(2.0, 48.0, 2.5, 48.5);
         let times: Vec<i64> = (0..6).map(|m| m * 30 * 86_400).collect();
-        let frames = s
-            .get_animation("lai", "LAI", &env, &times, 4, 4)
-            .unwrap();
+        let frames = s.get_animation("lai", "LAI", &env, &times, 4, 4).unwrap();
         assert_eq!(frames.len(), 6);
         // Later frames have larger values (value = month + ...).
         assert!(frames[5].mean() > frames[0].mean());

@@ -133,11 +133,7 @@ impl Map {
 
     /// All distinct timestamps across layers — the map's timeline.
     pub fn timeline(&self) -> Vec<i64> {
-        let mut ts: Vec<i64> = self
-            .layers
-            .iter()
-            .flat_map(|l| l.timestamps())
-            .collect();
+        let mut ts: Vec<i64> = self.layers.iter().flat_map(|l| l.timestamps()).collect();
         ts.sort_unstable();
         ts.dedup();
         ts
@@ -309,7 +305,9 @@ mod tests {
         m.add_layer(boundaries);
         assert_eq!(m.timeline(), vec![0, 86_400]);
         assert_eq!(m.layers.len(), 2);
-        assert!(m.envelope().contains_coord(applab_geo::Coord::new(2.5, 48.5)));
+        assert!(m
+            .envelope()
+            .contains_coord(applab_geo::Coord::new(2.5, 48.5)));
     }
 
     #[test]

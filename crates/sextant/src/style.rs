@@ -53,10 +53,15 @@ impl Style {
     /// The color for a feature value under this style.
     pub fn color_for(&self, value: Option<f64>) -> Color {
         match self {
-            Style::Stroke { color, .. } | Style::Fill { color, .. } | Style::Point { color, .. } => {
-                *color
-            }
-            Style::ValueRamp { min, max, low, high } => {
+            Style::Stroke { color, .. }
+            | Style::Fill { color, .. }
+            | Style::Point { color, .. } => *color,
+            Style::ValueRamp {
+                min,
+                max,
+                low,
+                high,
+            } => {
                 let v = value.unwrap_or(*min);
                 let span = (max - min).max(f64::EPSILON);
                 low.lerp(*high, (v - min) / span)
@@ -70,7 +75,12 @@ impl Style {
             Style::Stroke { color, width } => format!("stroke:{}:{width}", color.hex()),
             Style::Fill { color, opacity } => format!("fill:{}:{opacity}", color.hex()),
             Style::Point { color, radius } => format!("point:{}:{radius}", color.hex()),
-            Style::ValueRamp { min, max, low, high } => {
+            Style::ValueRamp {
+                min,
+                max,
+                low,
+                high,
+            } => {
                 format!("ramp:{}:{}:{min}:{max}", low.hex(), high.hex())
             }
         }

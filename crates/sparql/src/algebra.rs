@@ -186,9 +186,7 @@ impl GraphPattern {
                 }
             }
             GraphPattern::Filter(_, inner) => inner.collect_vars(out),
-            GraphPattern::Join(a, b)
-            | GraphPattern::LeftJoin(a, b)
-            | GraphPattern::Union(a, b) => {
+            GraphPattern::Join(a, b) | GraphPattern::LeftJoin(a, b) | GraphPattern::Union(a, b) => {
                 a.collect_vars(out);
                 b.collect_vars(out);
             }

@@ -1,14 +1,37 @@
-//! The query evaluator.
+//! The query evaluator: a dictionary-encoded hash-join pipeline.
 //!
-//! Evaluation is bottom-up over [`GraphPattern`] with one important
-//! optimization, mirroring Strabon/Ontop-spatial: **spatial pushdown**.
-//! When a `FILTER` contains a `geof:` predicate between a variable and a
-//! constant geometry, the evaluator derives an envelope constraint for that
-//! variable and, while matching triple patterns that bind it, offers the
-//! constraint to the source via
-//! [`GraphSource::triples_matching_spatial`]. Index-backed sources answer
-//! from their R-tree; others decline and the filter is applied afterwards
-//! (the envelope is an over-approximation, so the filter always remains).
+//! Evaluation is bottom-up over [`GraphPattern`], but unlike a classic
+//! binding-at-a-time interpreter the intermediate solutions are compact
+//! **id rows**: one `Vec<Option<u64>>` per solution, indexed by a per-query
+//! variable table ([`Slots`]). Each triple pattern of a BGP is scanned
+//! exactly once into a match column; columns are then combined with hash
+//! joins on the shared variable slots, smallest (connected) column first.
+//! Terms are only decoded at FILTER / projection boundaries — late
+//! materialization in the Strabon style.
+//!
+//! Sources that store triples as dictionary ids (the spatiotemporal store)
+//! expose them through [`crate::source::IdAccess`]; scans then yield native
+//! id triples and join keys are integer comparisons end to end. All other
+//! sources keep the decoded-triple contract and the evaluator interns terms
+//! into a query-local overflow dictionary.
+//!
+//! Two further optimizations mirror Strabon/Ontop-spatial:
+//!
+//! * **spatial/temporal pushdown** — a `FILTER` with a `geof:` predicate
+//!   between a variable and a constant geometry (or a dateTime comparison)
+//!   yields an envelope/time-range constraint that is offered to the source
+//!   while scanning patterns binding that variable
+//!   ([`crate::source::GraphSource::triples_matching_spatial`] /
+//!   [`crate::source::IdAccess::scan_ids_spatial`]). The constraint is an
+//!   over-approximation, so the filter is always re-applied;
+//! * **compiled spatial filters** — `geof:sf*` conjuncts over variables are
+//!   evaluated against a per-id geometry cache with an envelope precheck,
+//!   so each distinct geometry is parsed once per query instead of once per
+//!   candidate row.
+//!
+//! Large hash joins probe in parallel with scoped threads; the chunked
+//! results are concatenated in order, so parallel and sequential evaluation
+//! produce identical row orders (see [`EvalOptions`]).
 
 use crate::algebra::{
     Aggregate, Expression, GraphPattern, OrderKey, Projection, Query, QueryForm, TermPattern,
@@ -16,11 +39,56 @@ use crate::algebra::{
 };
 use crate::expr::{compare_terms, eval_expr, eval_filter, Binding};
 use crate::results::{QueryResults, Row};
-use crate::source::GraphSource;
-use applab_geo::Envelope;
+use crate::source::{GraphSource, IdAccess};
+use applab_geo::{Envelope, Geometry, SpatialRelation};
 use applab_rdf::{vocab, Graph, Literal, NamedNode, Resource, Term, Triple};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative hasher (FxHash-style) for the maps keyed by dictionary
+/// ids on the join/aggregation hot path, where SipHash would dominate the
+/// per-row cost. Not DoS-resistant — fine for query-local tables keyed by
+/// dense ids.
+#[derive(Default)]
+struct IdHasher(u64);
+
+impl IdHasher {
+    #[inline]
+    fn add(&mut self, n: u64) {
+        self.0 = (self.0.rotate_left(5) ^ n).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl Hasher for IdHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_isize(&mut self, n: isize) {
+        self.add(n as u64);
+    }
+}
+
+type IdHashMap<K, V> = HashMap<K, V, BuildHasherDefault<IdHasher>>;
 
 /// Evaluation error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,22 +102,78 @@ impl fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
-/// Evaluate a query against a source.
+/// Tuning knobs for [`evaluate_with`].
+#[derive(Debug, Clone)]
+pub struct EvalOptions {
+    /// Probe-side row count at or above which a hash join probes in
+    /// parallel with scoped threads. Chunk results are concatenated in
+    /// order, so the output is identical to the sequential path.
+    pub parallel_probe_threshold: usize,
+    /// Number of probe threads to use once the threshold is reached.
+    /// `None` (the default) uses [`std::thread::available_parallelism`],
+    /// so single-core hosts stay sequential; setting `Some(n)` forces
+    /// `n` workers regardless of the host's core count.
+    pub parallel_workers: Option<usize>,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            parallel_probe_threshold: 4096,
+            parallel_workers: None,
+        }
+    }
+}
+
+/// Evaluate a query against a source with default options.
 pub fn evaluate(source: &dyn GraphSource, query: &Query) -> Result<QueryResults, EvalError> {
-    let ev = Evaluator { source };
-    let bindings = ev.eval_pattern(
+    evaluate_with(source, query, &EvalOptions::default())
+}
+
+/// Evaluate a query against a source with explicit [`EvalOptions`].
+pub fn evaluate_with(
+    source: &dyn GraphSource,
+    query: &Query,
+    options: &EvalOptions,
+) -> Result<QueryResults, EvalError> {
+    let slots = Slots::new(&query.pattern);
+    let width = slots.width;
+    let n_real = slots.names.len();
+    let mut ev = Evaluator {
+        source,
+        interner: Interner::new(source.id_access()),
+        slots,
+        options,
+        geometries: IdHashMap::default(),
+        next_prov: n_real,
+    };
+    let id_rows = ev.eval_pattern(
         &query.pattern,
-        vec![Binding::new()],
+        vec![vec![None; width]],
         &Constraints::default(),
     );
 
     match &query.form {
-        QueryForm::Ask => Ok(QueryResults::Boolean(!bindings.is_empty())),
+        QueryForm::Ask => Ok(QueryResults::Boolean(!id_rows.is_empty())),
         QueryForm::Construct { template } => {
+            // Variables the template mentions, with their slots. Template
+            // variables absent from the pattern stay unbound and become
+            // fresh blank nodes in `instantiate`.
+            let mut tvars: Vec<(String, usize)> = Vec::new();
+            for t in template {
+                for v in t.variables() {
+                    if let Some(s) = ev.slots.get(v) {
+                        if !tvars.iter().any(|(n, _)| n == v) {
+                            tvars.push((v.to_string(), s));
+                        }
+                    }
+                }
+            }
             let mut g = Graph::new();
-            for (i, b) in bindings.iter().enumerate() {
+            for (i, row) in id_rows.iter().enumerate() {
+                let b = ev.decode_binding(row, &tvars);
                 for (j, t) in template.iter().enumerate() {
-                    if let Some(triple) = instantiate(t, b, i, j) {
+                    if let Some(triple) = instantiate(t, &b, i, j) {
                         g.insert(triple);
                     }
                 }
@@ -68,36 +192,60 @@ pub fn evaluate(source: &dyn GraphSource, query: &Query) -> Result<QueryResults,
             let mut rows: Vec<Row>;
 
             if has_aggregates || !group_by.is_empty() {
-                (variables, rows) = aggregate_rows(&bindings, projection, group_by)?;
+                (variables, rows) = ev.aggregate_id_rows(&id_rows, projection, group_by)?;
             } else if projection.is_empty() {
                 // SELECT *: every variable in the pattern, in pattern order.
                 variables = query.pattern.variables();
-                rows = bindings
+                let var_slots: Vec<Option<usize>> =
+                    variables.iter().map(|v| ev.slots.get(v)).collect();
+                rows = id_rows
                     .iter()
-                    .map(|b| Row {
-                        values: variables.iter().map(|v| b.get(v).cloned()).collect(),
+                    .map(|row| Row {
+                        values: var_slots
+                            .iter()
+                            .map(|s| {
+                                s.and_then(|s| row[s])
+                                    .map(|id| ev.interner.decode(id).clone())
+                            })
+                            .collect(),
                     })
                     .collect();
             } else {
                 variables = projection.iter().map(|p| p.name().to_string()).collect();
-                rows = bindings
+                // Per-projection decode plan, computed once.
+                enum Plan<'p> {
+                    Slot(Option<usize>),
+                    Expr(&'p Expression, Vec<(String, usize)>),
+                }
+                let plans: Vec<Plan> = projection
                     .iter()
-                    .map(|b| Row {
-                        values: projection
+                    .map(|p| match p {
+                        Projection::Var(v) => Plan::Slot(ev.slots.get(v)),
+                        Projection::Expr(e, _) => Plan::Expr(e, ev.expr_slots(e)),
+                        Projection::Aggregate(..) => unreachable!(),
+                    })
+                    .collect();
+                rows = id_rows
+                    .iter()
+                    .map(|row| Row {
+                        values: plans
                             .iter()
-                            .map(|p| match p {
-                                Projection::Var(v) => b.get(v).cloned(),
-                                Projection::Expr(e, _) => eval_expr(e, b).ok(),
-                                Projection::Aggregate(..) => unreachable!(),
+                            .map(|plan| match plan {
+                                Plan::Slot(s) => s
+                                    .and_then(|s| row[s])
+                                    .map(|id| ev.interner.decode(id).clone()),
+                                Plan::Expr(e, vars) => {
+                                    eval_expr(e, &ev.decode_binding(row, vars)).ok()
+                                }
                             })
                             .collect(),
                     })
                     .collect();
             }
 
-            // ORDER BY over the original bindings when possible (pre-slice).
+            // ORDER BY over the projected rows (pre-slice).
             if !query.order_by.is_empty() {
-                sort_rows(&mut rows, &variables, &bindings, &query.order_by, has_aggregates || !group_by.is_empty());
+                sort_rows(&mut rows, &variables, &query.order_by);
             }
 
             if *distinct {
@@ -128,118 +276,1016 @@ pub fn evaluate(source: &dyn GraphSource, query: &Query) -> Result<QueryResults,
     }
 }
 
-fn sort_rows(
-    rows: &mut [Row],
-    variables: &[String],
-    _bindings: &[Binding],
-    keys: &[OrderKey],
-    _grouped: bool,
-) {
-    rows.sort_by(|a, b| {
-        for key in keys {
-            let ba = row_binding(a, variables);
-            let bb = row_binding(b, variables);
-            let va = eval_expr(&key.expr, &ba).ok();
-            let vb = eval_expr(&key.expr, &bb).ok();
-            let ord = match (va, vb) {
-                (Some(x), Some(y)) => {
-                    compare_terms(&x, &y).unwrap_or_else(|| x.to_string().cmp(&y.to_string()))
-                }
-                (None, Some(_)) => std::cmp::Ordering::Less,
-                (Some(_), None) => std::cmp::Ordering::Greater,
-                (None, None) => std::cmp::Ordering::Equal,
-            };
-            let ord = if key.descending { ord.reverse() } else { ord };
-            if ord != std::cmp::Ordering::Equal {
-                return ord;
+/// An intermediate solution: one optional id per variable slot.
+type IdRow = Vec<Option<u64>>;
+
+/// The per-query variable table. Real (named) slots come first, in
+/// [`GraphPattern::variables`] order; the remaining slots are anonymous
+/// provenance slots, one per `LeftJoin` node in the pattern.
+struct Slots {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+    width: usize,
+}
+
+impl Slots {
+    fn new(pattern: &GraphPattern) -> Slots {
+        let names = pattern.variables();
+        let index = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        let width = names.len() + count_left_joins(pattern);
+        Slots {
+            names,
+            index,
+            width,
+        }
+    }
+
+    fn get(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+}
+
+fn count_left_joins(pattern: &GraphPattern) -> usize {
+    match pattern {
+        GraphPattern::Bgp(_) | GraphPattern::Values(..) => 0,
+        GraphPattern::Filter(_, inner) => count_left_joins(inner),
+        GraphPattern::Extend(inner, _, _) => count_left_joins(inner),
+        GraphPattern::Join(l, r) | GraphPattern::Union(l, r) => {
+            count_left_joins(l) + count_left_joins(r)
+        }
+        GraphPattern::LeftJoin(l, r) => 1 + count_left_joins(l) + count_left_joins(r),
+    }
+}
+
+/// Term ↔ id mapping for one query. When the source exposes
+/// [`IdAccess`], its native ids (`0..base`) are used directly and only
+/// terms the source has never seen get query-local overflow ids
+/// (`base..`). Id equality is term equality in either range.
+struct Interner<'a> {
+    native: Option<&'a dyn IdAccess>,
+    base: u64,
+    local_ids: HashMap<Term, u64>,
+    local_terms: Vec<Term>,
+}
+
+impl<'a> Interner<'a> {
+    fn new(native: Option<&'a dyn IdAccess>) -> Self {
+        let base = native.map_or(0, |n| n.id_count());
+        Interner {
+            native,
+            base,
+            local_ids: HashMap::new(),
+            local_terms: Vec::new(),
+        }
+    }
+
+    fn intern(&mut self, term: &Term) -> u64 {
+        if let Some(native) = self.native {
+            if let Some(id) = native.term_to_id(term) {
+                return id;
             }
         }
-        std::cmp::Ordering::Equal
-    });
-}
-
-fn row_binding(row: &Row, variables: &[String]) -> Binding {
-    variables
-        .iter()
-        .zip(&row.values)
-        .filter_map(|(v, t)| t.clone().map(|t| (v.clone(), t)))
-        .collect()
-}
-
-fn aggregate_rows(
-    bindings: &[Binding],
-    projection: &[Projection],
-    group_by: &[String],
-) -> Result<(Vec<String>, Vec<Row>), EvalError> {
-    // Group bindings by the group-by key.
-    let mut groups: Vec<(Vec<Option<Term>>, Vec<&Binding>)> = Vec::new();
-    let mut index: HashMap<Vec<Option<String>>, usize> = HashMap::new();
-    for b in bindings {
-        let key_terms: Vec<Option<Term>> = group_by.iter().map(|v| b.get(v).cloned()).collect();
-        let key_strs: Vec<Option<String>> = key_terms
-            .iter()
-            .map(|t| t.as_ref().map(|t| t.to_string()))
-            .collect();
-        let idx = *index.entry(key_strs).or_insert_with(|| {
-            groups.push((key_terms.clone(), Vec::new()));
-            groups.len() - 1
-        });
-        groups[idx].1.push(b);
-    }
-    // With no GROUP BY but aggregates present, there is one global group
-    // (even if empty).
-    if group_by.is_empty() && groups.is_empty() {
-        groups.push((Vec::new(), Vec::new()));
+        if let Some(&id) = self.local_ids.get(term) {
+            return id;
+        }
+        let id = self.base + self.local_terms.len() as u64;
+        self.local_ids.insert(term.clone(), id);
+        self.local_terms.push(term.clone());
+        id
     }
 
-    let variables: Vec<String> = projection.iter().map(|p| p.name().to_string()).collect();
-    let mut rows = Vec::with_capacity(groups.len());
-    for (key_terms, members) in &groups {
-        let mut values = Vec::with_capacity(projection.len());
-        for p in projection {
-            let v = match p {
-                Projection::Var(v) => {
-                    // Must be a grouped variable.
-                    match group_by.iter().position(|g| g == v) {
-                        Some(i) => key_terms.get(i).cloned().flatten(),
-                        None => {
-                            return Err(EvalError(format!(
-                                "variable ?{v} is projected but neither grouped nor aggregated"
-                            )))
+    fn decode(&self, id: u64) -> &Term {
+        if id < self.base {
+            self.native
+                .expect("ids below base only exist with a native dictionary")
+                .id_to_term(id)
+                .expect("native id decodes")
+        } else {
+            &self.local_terms[(id - self.base) as usize]
+        }
+    }
+}
+
+/// Per-variable index-pushdown constraints extracted from filters.
+#[derive(Debug, Clone, Default)]
+struct Constraints {
+    spatial: HashMap<String, Envelope>,
+    temporal: HashMap<String, (i64, i64)>,
+}
+
+/// A pre-classified FILTER conjunct. Spatial `geof:sf*` conjuncts get a
+/// fast path through the per-id geometry cache; everything else decodes the
+/// variables it mentions and reuses the generic expression interpreter.
+enum Conjunct<'e> {
+    /// `geof:sfX(?a, ?b)` — both arguments variables (slots, if known).
+    SpatialVV(SpatialRelation, Option<usize>, Option<usize>),
+    /// `geof:sfX(?a, CONST)`.
+    SpatialVC(SpatialRelation, Option<usize>, Geometry, Envelope),
+    /// `geof:sfX(CONST, ?b)` — argument order matters for e.g. sfWithin.
+    SpatialCV(SpatialRelation, Geometry, Envelope, Option<usize>),
+    /// A spatial call with a constant non-geometry argument: the call
+    /// always errors, so the conjunct is false for every row.
+    AlwaysFalse,
+    Generic(&'e Expression, Vec<(String, usize)>),
+}
+
+/// Envelope precheck + exact test. Disjoint envelopes decide every
+/// relation: `false` for the intersecting family, `true` for sfDisjoint.
+fn spatial_check(
+    rel: SpatialRelation,
+    a: &Geometry,
+    a_env: &Envelope,
+    b: &Geometry,
+    b_env: &Envelope,
+) -> bool {
+    let boxes_meet = a_env.intersects(b_env);
+    if rel == SpatialRelation::Disjoint {
+        if !boxes_meet {
+            return true;
+        }
+    } else if !boxes_meet {
+        return false;
+    }
+    rel.evaluate(a, b)
+}
+
+struct Evaluator<'a> {
+    source: &'a dyn GraphSource,
+    interner: Interner<'a>,
+    slots: Slots,
+    options: &'a EvalOptions,
+    /// Per-id parsed geometry (with envelope); `None` caches a parse
+    /// failure or non-geometry term.
+    geometries: IdHashMap<u64, Option<(Geometry, Envelope)>>,
+    /// Next free provenance slot (see [`Slots`]).
+    next_prov: usize,
+}
+
+impl<'a> Evaluator<'a> {
+    fn eval_pattern(
+        &mut self,
+        pattern: &GraphPattern,
+        input: Vec<IdRow>,
+        constraints: &Constraints,
+    ) -> Vec<IdRow> {
+        match pattern {
+            GraphPattern::Bgp(patterns) => self.eval_bgp(patterns, input, constraints),
+            GraphPattern::Filter(expr, inner) => {
+                // Derive envelope and time-range constraints from the filter
+                // and push them into the inner pattern.
+                let mut merged = constraints.clone();
+                for (var, env) in spatial_constraints(expr) {
+                    merged
+                        .spatial
+                        .entry(var)
+                        .and_modify(|e| *e = e.intersection(&env))
+                        .or_insert(env);
+                }
+                for (var, (s, e)) in temporal_constraints(expr) {
+                    merged
+                        .temporal
+                        .entry(var)
+                        .and_modify(|r| *r = (r.0.max(s), r.1.min(e)))
+                        .or_insert((s, e));
+                }
+                let inner_rows = self.eval_pattern(inner, input, &merged);
+                let compiled = self.compile_conjuncts(expr);
+                let mut out = Vec::with_capacity(inner_rows.len());
+                'rows: for row in inner_rows {
+                    for c in &compiled {
+                        if !self.eval_conjunct(c, &row) {
+                            continue 'rows;
+                        }
+                    }
+                    out.push(row);
+                }
+                out
+            }
+            GraphPattern::Join(left, right) => {
+                let lhs = self.eval_pattern(left, input, constraints);
+                self.eval_pattern(right, lhs, constraints)
+            }
+            GraphPattern::LeftJoin(left, right) => {
+                // The right side is evaluated ONCE for all left rows; an
+                // anonymous provenance slot records which left row each
+                // extension came from, so unmatched left rows can be kept.
+                let lhs = self.eval_pattern(left, input, constraints);
+                if lhs.is_empty() {
+                    return lhs;
+                }
+                let prov = self.next_prov;
+                self.next_prov += 1;
+                let mut tagged = lhs;
+                for (i, row) in tagged.iter_mut().enumerate() {
+                    row[prov] = Some(i as u64);
+                }
+                let rhs = self.eval_pattern(right, tagged.clone(), constraints);
+                let mut matched = vec![false; tagged.len()];
+                let mut out = Vec::with_capacity(tagged.len().max(rhs.len()));
+                for mut row in rhs {
+                    if let Some(i) = row[prov] {
+                        matched[i as usize] = true;
+                    }
+                    row[prov] = None;
+                    out.push(row);
+                }
+                for (i, mut row) in tagged.into_iter().enumerate() {
+                    if !matched[i] {
+                        row[prov] = None;
+                        out.push(row);
+                    }
+                }
+                out
+            }
+            GraphPattern::Union(left, right) => {
+                let mut out = self.eval_pattern(left, input.clone(), constraints);
+                out.extend(self.eval_pattern(right, input, constraints));
+                out
+            }
+            GraphPattern::Extend(inner, var, expr) => {
+                let rows = self.eval_pattern(inner, input, constraints);
+                let slot = self.slots.get(var);
+                let evars = self.expr_slots(expr);
+                let mut out = Vec::with_capacity(rows.len());
+                for mut row in rows {
+                    let b = self.decode_binding(&row, &evars);
+                    if let (Ok(v), Some(s)) = (eval_expr(expr, &b), slot) {
+                        row[s] = Some(self.interner.intern(&v));
+                    }
+                    out.push(row);
+                }
+                out
+            }
+            GraphPattern::Values(vars, rows) => {
+                let var_slots: Vec<Option<usize>> =
+                    vars.iter().map(|v| self.slots.get(v)).collect();
+                let mut const_rows: Vec<Vec<Option<u64>>> = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let mut ids = Vec::with_capacity(row.len());
+                    for t in row {
+                        ids.push(t.as_ref().map(|t| self.interner.intern(t)));
+                    }
+                    const_rows.push(ids);
+                }
+                let mut out = Vec::new();
+                for b in &input {
+                    for vrow in &const_rows {
+                        let mut nb = b.clone();
+                        let mut compatible = true;
+                        for (slot, val) in var_slots.iter().zip(vrow) {
+                            if let (Some(s), Some(val)) = (slot, val) {
+                                match nb[*s] {
+                                    Some(existing) if existing != *val => {
+                                        compatible = false;
+                                        break;
+                                    }
+                                    _ => nb[*s] = Some(*val),
+                                }
+                            }
+                        }
+                        if compatible {
+                            out.push(nb);
                         }
                     }
                 }
-                Projection::Expr(e, _) => {
-                    // Evaluated against the group key binding.
-                    let b: Binding = group_by
-                        .iter()
-                        .zip(key_terms)
-                        .filter_map(|(v, t)| t.clone().map(|t| (v.clone(), t)))
-                        .collect();
-                    eval_expr(e, &b).ok()
-                }
-                Projection::Aggregate(agg, expr, _) => compute_aggregate(*agg, expr, members),
-            };
-            values.push(v);
+                out
+            }
         }
-        rows.push(Row { values });
     }
-    Ok((variables, rows))
+
+    // --- FILTER compilation ------------------------------------------------
+
+    fn compile_conjuncts<'e>(&self, expr: &'e Expression) -> Vec<Conjunct<'e>> {
+        expr.conjuncts()
+            .into_iter()
+            .map(|c| self.compile_conjunct(c))
+            .collect()
+    }
+
+    fn compile_conjunct<'e>(&self, conjunct: &'e Expression) -> Conjunct<'e> {
+        enum Arg {
+            Slot(Option<usize>),
+            Geom(Geometry, Envelope),
+            Bad,
+            Other,
+        }
+        if let Expression::Call(f, args) = conjunct {
+            if let Some(local) = f.as_str().strip_prefix(vocab::geof::NS) {
+                if let Some(rel) = SpatialRelation::from_geof_name(local) {
+                    if args.len() == 2 {
+                        let classify = |e: &Expression| -> Arg {
+                            match e {
+                                Expression::Var(v) => Arg::Slot(self.slots.get(v)),
+                                Expression::Constant(t) => {
+                                    match t.as_literal().and_then(Literal::as_geometry) {
+                                        Some(g) => {
+                                            let env = g.envelope();
+                                            Arg::Geom(g, env)
+                                        }
+                                        None => Arg::Bad,
+                                    }
+                                }
+                                _ => Arg::Other,
+                            }
+                        };
+                        match (classify(&args[0]), classify(&args[1])) {
+                            (Arg::Slot(a), Arg::Slot(b)) => return Conjunct::SpatialVV(rel, a, b),
+                            (Arg::Slot(a), Arg::Geom(g, env)) => {
+                                return Conjunct::SpatialVC(rel, a, g, env)
+                            }
+                            (Arg::Geom(g, env), Arg::Slot(b)) => {
+                                return Conjunct::SpatialCV(rel, g, env, b)
+                            }
+                            (Arg::Bad, _) | (_, Arg::Bad) => return Conjunct::AlwaysFalse,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        Conjunct::Generic(conjunct, self.expr_slots(conjunct))
+    }
+
+    fn eval_conjunct(&mut self, conjunct: &Conjunct<'_>, row: &IdRow) -> bool {
+        match conjunct {
+            Conjunct::AlwaysFalse => false,
+            Conjunct::Generic(e, vars) => {
+                let b = self.decode_binding(row, vars);
+                eval_filter(e, &b)
+            }
+            Conjunct::SpatialVC(rel, slot, g, env) => {
+                let Some(id) = slot.and_then(|s| row[s]) else {
+                    return false;
+                };
+                self.ensure_geometry(id);
+                match self.geometries.get(&id).and_then(|o| o.as_ref()) {
+                    Some((ga, ea)) => spatial_check(*rel, ga, ea, g, env),
+                    None => false,
+                }
+            }
+            Conjunct::SpatialCV(rel, g, env, slot) => {
+                let Some(id) = slot.and_then(|s| row[s]) else {
+                    return false;
+                };
+                self.ensure_geometry(id);
+                match self.geometries.get(&id).and_then(|o| o.as_ref()) {
+                    Some((gb, eb)) => spatial_check(*rel, g, env, gb, eb),
+                    None => false,
+                }
+            }
+            Conjunct::SpatialVV(rel, sa, sb) => {
+                let (Some(ia), Some(ib)) = (sa.and_then(|s| row[s]), sb.and_then(|s| row[s]))
+                else {
+                    return false;
+                };
+                self.ensure_geometry(ia);
+                self.ensure_geometry(ib);
+                let Some((ga, ea)) = self.geometries.get(&ia).and_then(|o| o.as_ref()) else {
+                    return false;
+                };
+                let Some((gb, eb)) = self.geometries.get(&ib).and_then(|o| o.as_ref()) else {
+                    return false;
+                };
+                spatial_check(*rel, ga, ea, gb, eb)
+            }
+        }
+    }
+
+    fn ensure_geometry(&mut self, id: u64) {
+        if self.geometries.contains_key(&id) {
+            return;
+        }
+        let parsed = self
+            .interner
+            .decode(id)
+            .as_literal()
+            .and_then(Literal::as_geometry)
+            .map(|g| {
+                let env = g.envelope();
+                (g, env)
+            });
+        self.geometries.insert(id, parsed);
+    }
+
+    // --- BGP evaluation ----------------------------------------------------
+
+    fn eval_bgp(
+        &mut self,
+        patterns: &[TriplePattern],
+        input: Vec<IdRow>,
+        constraints: &Constraints,
+    ) -> Vec<IdRow> {
+        if patterns.is_empty() || input.is_empty() {
+            return input;
+        }
+        // OBDA fast path: let the source answer the whole BGP at once, then
+        // hash-join the answers with the current solutions.
+        if let Some(answers) = self.source.evaluate_bgp(patterns, &constraints.spatial) {
+            let mut build = Vec::with_capacity(answers.len());
+            for b in &answers {
+                let mut row = vec![None; self.slots.width];
+                for (k, v) in b {
+                    if let Some(s) = self.slots.get(k) {
+                        row[s] = Some(self.interner.intern(v));
+                    }
+                }
+                build.push(row);
+            }
+            return self.join(input, build);
+        }
+
+        // When the input is a single row, its bindings substitute into the
+        // scans directly (the common top-of-query and Join-chain case).
+        let subst: Option<IdRow> = (input.len() == 1).then(|| input[0].clone());
+
+        // Scan every pattern exactly once into a match column.
+        let mut columns: Vec<(Vec<IdRow>, Vec<usize>)> = Vec::with_capacity(patterns.len());
+        for p in patterns {
+            let col = self.scan_column(p, subst.as_deref(), constraints);
+            if col.0.is_empty() {
+                return Vec::new();
+            }
+            columns.push(col);
+        }
+
+        // Greedy join order: smallest column among those sharing a bound
+        // slot (to keep joins selective), else smallest overall. Actual
+        // column sizes replace the old static selectivity heuristic.
+        let mut bound = vec![false; self.slots.width];
+        for row in &input {
+            for (i, v) in row.iter().enumerate() {
+                if v.is_some() {
+                    bound[i] = true;
+                }
+            }
+        }
+        let mut result = input;
+        while !columns.is_empty() {
+            let pick = columns
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, used))| used.iter().any(|&s| bound[s]))
+                .min_by_key(|(_, (rows, _))| rows.len())
+                .map(|(i, _)| i)
+                .or_else(|| {
+                    columns
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, (rows, _))| rows.len())
+                        .map(|(i, _)| i)
+                })
+                .expect("columns is non-empty");
+            let (col_rows, used) = columns.swap_remove(pick);
+            for s in used {
+                bound[s] = true;
+            }
+            result = self.join(result, col_rows);
+            if result.is_empty() {
+                return result;
+            }
+        }
+        result
+    }
+
+    /// Scan one triple pattern into a column of id rows, plus the variable
+    /// slots the column binds. An empty column means the pattern provably
+    /// matches nothing.
+    fn scan_column(
+        &mut self,
+        pattern: &TriplePattern,
+        subst: Option<&[Option<u64>]>,
+        constraints: &Constraints,
+    ) -> (Vec<IdRow>, Vec<usize>) {
+        if let Some(native) = self.interner.native {
+            return self.scan_column_native(native, pattern, subst, constraints);
+        }
+        self.scan_column_decoded(pattern, subst, constraints)
+    }
+
+    /// Id-level scan against an [`IdAccess`] source: no term decoding at all.
+    fn scan_column_native(
+        &mut self,
+        native: &dyn IdAccess,
+        pattern: &TriplePattern,
+        subst: Option<&[Option<u64>]>,
+        constraints: &Constraints,
+    ) -> (Vec<IdRow>, Vec<usize>) {
+        let base = self.interner.base;
+        // Each position resolves to a constant id, a variable slot, or a
+        // proof that the pattern cannot match (term/local id absent from
+        // the store dictionary).
+        let resolve = |tp: &TermPattern| -> Result<(Option<u64>, Option<usize>), ()> {
+            match tp {
+                TermPattern::Term(t) => match native.term_to_id(t) {
+                    Some(id) => Ok((Some(id), None)),
+                    None => Err(()),
+                },
+                TermPattern::Var(v) => {
+                    let slot = self.slots.get(v).expect("pattern var has a slot");
+                    if let Some(row) = subst {
+                        if let Some(id) = row[slot] {
+                            if id < base {
+                                return Ok((Some(id), None));
+                            }
+                            return Err(()); // query-local term: not in the store
+                        }
+                    }
+                    Ok((None, Some(slot)))
+                }
+            }
+        };
+        let Ok((s_c, s_slot)) = resolve(&pattern.subject) else {
+            return (Vec::new(), Vec::new());
+        };
+        let Ok((p_c, p_slot)) = resolve(&pattern.predicate) else {
+            return (Vec::new(), Vec::new());
+        };
+        let Ok((o_c, o_slot)) = resolve(&pattern.object) else {
+            return (Vec::new(), Vec::new());
+        };
+
+        // Index pushdown: the object is an unbound variable carrying an
+        // envelope or time-range constraint.
+        let triples = match (o_c, pattern.object.as_var()) {
+            (None, Some(var)) => {
+                let spatial_hit = constraints
+                    .spatial
+                    .get(var)
+                    .and_then(|env| native.scan_ids_spatial(s_c, p_c, env));
+                let temporal_hit = if spatial_hit.is_none() {
+                    constraints
+                        .temporal
+                        .get(var)
+                        .and_then(|&(lo, hi)| native.scan_ids_temporal(s_c, p_c, lo, hi))
+                } else {
+                    None
+                };
+                spatial_hit
+                    .or(temporal_hit)
+                    .unwrap_or_else(|| native.scan_ids(s_c, p_c, None))
+            }
+            _ => native.scan_ids(s_c, p_c, o_c),
+        };
+
+        let mut rows = Vec::with_capacity(triples.len());
+        'next: for (ts, tp, to) in triples {
+            let mut row = vec![None; self.slots.width];
+            for (slot, val) in [(s_slot, ts), (p_slot, tp), (o_slot, to)] {
+                if let Some(slot) = slot {
+                    match row[slot] {
+                        Some(existing) if existing != val => continue 'next,
+                        _ => row[slot] = Some(val),
+                    }
+                }
+            }
+            rows.push(row);
+        }
+        let mut used: Vec<usize> = [s_slot, p_slot, o_slot].into_iter().flatten().collect();
+        used.sort_unstable();
+        used.dedup();
+        (rows, used)
+    }
+
+    /// Decoded-triple scan for sources without [`IdAccess`]; results are
+    /// interned into the query-local dictionary.
+    fn scan_column_decoded(
+        &mut self,
+        pattern: &TriplePattern,
+        subst: Option<&[Option<u64>]>,
+        constraints: &Constraints,
+    ) -> (Vec<IdRow>, Vec<usize>) {
+        let resolve = |tp: &TermPattern| -> (Option<Term>, Option<usize>) {
+            match tp {
+                TermPattern::Term(t) => (Some(t.clone()), None),
+                TermPattern::Var(v) => {
+                    let slot = self.slots.get(v).expect("pattern var has a slot");
+                    if let Some(row) = subst {
+                        if let Some(id) = row[slot] {
+                            return (Some(self.interner.decode(id).clone()), Some(slot));
+                        }
+                    }
+                    (None, Some(slot))
+                }
+            }
+        };
+        let (s_t, s_slot) = resolve(&pattern.subject);
+        let (p_t, p_slot) = resolve(&pattern.predicate);
+        let (o_t, o_slot) = resolve(&pattern.object);
+
+        // A literal in subject position can never match.
+        let s_res: Option<Resource> = match &s_t {
+            Some(Term::Literal(_)) => return (Vec::new(), Vec::new()),
+            Some(t) => t.as_resource(),
+            None => None,
+        };
+        let p_named: Option<NamedNode> = match &p_t {
+            Some(Term::Named(n)) => Some(n.clone()),
+            Some(_) => return (Vec::new(), Vec::new()),
+            None => None,
+        };
+
+        let triples = match (&o_t, pattern.object.as_var()) {
+            (None, Some(var)) => {
+                let spatial_hit = constraints.spatial.get(var).and_then(|env| {
+                    self.source
+                        .triples_matching_spatial(s_res.as_ref(), p_named.as_ref(), env)
+                });
+                let temporal_hit = if spatial_hit.is_none() {
+                    constraints.temporal.get(var).and_then(|&(lo, hi)| {
+                        self.source.triples_matching_temporal(
+                            s_res.as_ref(),
+                            p_named.as_ref(),
+                            lo,
+                            hi,
+                        )
+                    })
+                } else {
+                    None
+                };
+                spatial_hit.or(temporal_hit).unwrap_or_else(|| {
+                    self.source
+                        .triples_matching(s_res.as_ref(), p_named.as_ref(), None)
+                })
+            }
+            _ => self
+                .source
+                .triples_matching(s_res.as_ref(), p_named.as_ref(), o_t.as_ref()),
+        };
+
+        let mut rows = Vec::with_capacity(triples.len());
+        'next: for t in triples {
+            let mut row = vec![None; self.slots.width];
+            for (slot, term) in [
+                (s_slot, Term::from(t.subject.clone())),
+                (p_slot, Term::Named(t.predicate.clone())),
+                (o_slot, t.object.clone()),
+            ] {
+                if let Some(slot) = slot {
+                    let id = self.interner.intern(&term);
+                    match row[slot] {
+                        Some(existing) if existing != id => continue 'next,
+                        _ => row[slot] = Some(id),
+                    }
+                }
+            }
+            rows.push(row);
+        }
+        let mut used: Vec<usize> = [s_slot, p_slot, o_slot].into_iter().flatten().collect();
+        used.sort_unstable();
+        used.dedup();
+        (rows, used)
+    }
+
+    // --- hash join ---------------------------------------------------------
+
+    /// Hash-join two row sets on their shared bound slots.
+    ///
+    /// Rows are grouped by the bitmask of which shared slots they actually
+    /// bind (SPARQL compatibility: a row that leaves a shared variable
+    /// unbound joins with everything on that variable), and each group pair
+    /// is joined on the slots bound in both. Probe rows keep their values;
+    /// unbound slots are filled from the build row. Large probe groups are
+    /// chunked across scoped threads; chunk outputs are concatenated in
+    /// order so the result is independent of the thread count.
+    fn join(&self, probe: Vec<IdRow>, build: Vec<IdRow>) -> Vec<IdRow> {
+        if probe.is_empty() || build.is_empty() {
+            return Vec::new();
+        }
+        // Joining the pristine all-unbound seed row (the BGP entry state)
+        // against a column yields the column itself — skip the row clones.
+        if probe.len() == 1 && probe[0].iter().all(Option::is_none) {
+            return build;
+        }
+        let width = self.slots.width;
+        let mut bound_probe = vec![false; width];
+        for row in &probe {
+            for (i, v) in row.iter().enumerate() {
+                if v.is_some() {
+                    bound_probe[i] = true;
+                }
+            }
+        }
+        let mut bound_build = vec![false; width];
+        for row in &build {
+            for (i, v) in row.iter().enumerate() {
+                if v.is_some() {
+                    bound_build[i] = true;
+                }
+            }
+        }
+        let shared: Vec<usize> = (0..width)
+            .filter(|&i| bound_probe[i] && bound_build[i])
+            .collect();
+        if shared.len() > 64 {
+            return nested_join(probe, build);
+        }
+        let mask_of = |row: &IdRow| -> u64 {
+            let mut m = 0u64;
+            for (bit, &slot) in shared.iter().enumerate() {
+                if row[slot].is_some() {
+                    m |= 1 << bit;
+                }
+            }
+            m
+        };
+        // Group row indices by mask, preserving first-occurrence order. BGP
+        // columns bind the same slots in every row, so the single-mask case
+        // is the common one and skips the map entirely.
+        let group = |rows: &[IdRow]| -> Vec<(u64, Vec<usize>)> {
+            let first = mask_of(&rows[0]);
+            if rows.iter().all(|r| mask_of(r) == first) {
+                return vec![(first, (0..rows.len()).collect())];
+            }
+            let mut order: Vec<(u64, Vec<usize>)> = Vec::new();
+            let mut index: IdHashMap<u64, usize> = IdHashMap::default();
+            for (i, row) in rows.iter().enumerate() {
+                let m = mask_of(row);
+                let e = *index.entry(m).or_insert_with(|| {
+                    order.push((m, Vec::new()));
+                    order.len() - 1
+                });
+                order[e].1.push(i);
+            }
+            order
+        };
+        let probe_groups = group(&probe);
+        let build_groups = group(&build);
+
+        let mut out = Vec::new();
+        for (pmask, prows) in &probe_groups {
+            for (bmask, brows) in &build_groups {
+                let common = pmask & bmask;
+                let key_slots: Vec<usize> = shared
+                    .iter()
+                    .enumerate()
+                    .filter(|(bit, _)| common >> bit & 1 == 1)
+                    .map(|(_, &s)| s)
+                    .collect();
+                // With no common key this degenerates to a cross product of
+                // the two groups (single empty key). Single-slot keys (the
+                // overwhelmingly common join shape) are kept as bare `u64`s
+                // to avoid a key allocation per row.
+                enum Table {
+                    One(usize, IdHashMap<u64, Vec<usize>>),
+                    Many(IdHashMap<Vec<u64>, Vec<usize>>),
+                }
+                let table = if let [slot] = key_slots[..] {
+                    let mut t: IdHashMap<u64, Vec<usize>> = IdHashMap::default();
+                    for &bi in brows {
+                        let key = build[bi][slot].expect("key slot bound in group");
+                        t.entry(key).or_default().push(bi);
+                    }
+                    Table::One(slot, t)
+                } else {
+                    let mut t: IdHashMap<Vec<u64>, Vec<usize>> = IdHashMap::default();
+                    for &bi in brows {
+                        let key: Vec<u64> = key_slots
+                            .iter()
+                            .map(|&s| build[bi][s].expect("key slot bound in group"))
+                            .collect();
+                        t.entry(key).or_default().push(bi);
+                    }
+                    Table::Many(t)
+                };
+                let probe_one = |pi: usize, out: &mut Vec<IdRow>| {
+                    let matches = match &table {
+                        Table::One(slot, t) => {
+                            t.get(&probe[pi][*slot].expect("key slot bound in group"))
+                        }
+                        Table::Many(t) => {
+                            let key: Vec<u64> = key_slots
+                                .iter()
+                                .map(|&s| probe[pi][s].expect("key slot bound in group"))
+                                .collect();
+                            t.get(&key)
+                        }
+                    };
+                    if let Some(matches) = matches {
+                        for &bi in matches {
+                            let mut row = probe[pi].clone();
+                            for (slot, v) in row.iter_mut().zip(&build[bi]) {
+                                if slot.is_none() {
+                                    *slot = *v;
+                                }
+                            }
+                            out.push(row);
+                        }
+                    }
+                };
+                if prows.len() >= self.options.parallel_probe_threshold {
+                    let workers = self
+                        .options
+                        .parallel_workers
+                        .unwrap_or_else(|| {
+                            std::thread::available_parallelism()
+                                .map(|n| n.get())
+                                .unwrap_or(1)
+                        })
+                        .min(prows.len());
+                    if workers > 1 {
+                        let chunk = prows.len().div_ceil(workers);
+                        let pr = &probe_one;
+                        let results: Vec<Vec<IdRow>> = std::thread::scope(|scope| {
+                            let handles: Vec<_> = prows
+                                .chunks(chunk)
+                                .map(|c| {
+                                    scope.spawn(move || {
+                                        let mut local = Vec::new();
+                                        for &pi in c {
+                                            pr(pi, &mut local);
+                                        }
+                                        local
+                                    })
+                                })
+                                .collect();
+                            handles
+                                .into_iter()
+                                .map(|h| h.join().expect("probe worker panicked"))
+                                .collect()
+                        });
+                        for mut r in results {
+                            out.append(&mut r);
+                        }
+                        continue;
+                    }
+                }
+                for &pi in prows {
+                    probe_one(pi, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    // --- decoding ----------------------------------------------------------
+
+    /// The (variable, slot) pairs an expression reads, deduplicated.
+    fn expr_slots(&self, expr: &Expression) -> Vec<(String, usize)> {
+        let mut out: Vec<(String, usize)> = Vec::new();
+        for v in expr.variables() {
+            if let Some(s) = self.slots.get(v) {
+                if !out.iter().any(|(n, _)| n == v) {
+                    out.push((v.to_string(), s));
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode the listed slots of a row into a term binding.
+    fn decode_binding(&self, row: &IdRow, vars: &[(String, usize)]) -> Binding {
+        vars.iter()
+            .filter_map(|(n, s)| row[*s].map(|id| (n.clone(), self.interner.decode(id).clone())))
+            .collect()
+    }
+
+    fn aggregate_id_rows(
+        &self,
+        rows: &[IdRow],
+        projection: &[Projection],
+        group_by: &[String],
+    ) -> Result<(Vec<String>, Vec<Row>), EvalError> {
+        let group_slots: Vec<Option<usize>> = group_by.iter().map(|v| self.slots.get(v)).collect();
+        // Group row indices by the group-by key — id comparisons only.
+        let mut groups: Vec<(Vec<Option<u64>>, Vec<usize>)> = Vec::new();
+        let mut index: IdHashMap<Vec<Option<u64>>, usize> = IdHashMap::default();
+        let mut key: Vec<Option<u64>> = Vec::with_capacity(group_slots.len());
+        for (ri, row) in rows.iter().enumerate() {
+            // The key buffer is reused across rows; it is only cloned when a
+            // new group is first seen.
+            key.clear();
+            key.extend(group_slots.iter().map(|s| s.and_then(|s| row[s])));
+            let gi = match index.get(&key) {
+                Some(&gi) => gi,
+                None => {
+                    groups.push((key.clone(), Vec::new()));
+                    index.insert(key.clone(), groups.len() - 1);
+                    groups.len() - 1
+                }
+            };
+            groups[gi].1.push(ri);
+        }
+        // With no GROUP BY but aggregates present, there is one global group
+        // (even if empty).
+        if group_by.is_empty() && groups.is_empty() {
+            groups.push((Vec::new(), Vec::new()));
+        }
+
+        let variables: Vec<String> = projection.iter().map(|p| p.name().to_string()).collect();
+        let mut out = Vec::with_capacity(groups.len());
+        for (key_ids, members) in &groups {
+            let mut values = Vec::with_capacity(projection.len());
+            for p in projection {
+                let v = match p {
+                    Projection::Var(v) => {
+                        // Must be a grouped variable.
+                        match group_by.iter().position(|g| g == v) {
+                            Some(i) => key_ids
+                                .get(i)
+                                .copied()
+                                .flatten()
+                                .map(|id| self.interner.decode(id).clone()),
+                            None => {
+                                return Err(EvalError(format!(
+                                    "variable ?{v} is projected but neither grouped nor aggregated"
+                                )))
+                            }
+                        }
+                    }
+                    Projection::Expr(e, _) => {
+                        // Evaluated against the group key binding.
+                        let b: Binding = group_by
+                            .iter()
+                            .zip(key_ids)
+                            .filter_map(|(v, id)| {
+                                id.map(|id| (v.clone(), self.interner.decode(id).clone()))
+                            })
+                            .collect();
+                        eval_expr(e, &b).ok()
+                    }
+                    Projection::Aggregate(agg, expr, _) => match expr {
+                        None => Some(Literal::integer(members.len() as i64).into()),
+                        // COUNT(?v) needs only how many members bind the
+                        // slot — no decoding.
+                        Some(Expression::Var(v)) if *agg == Aggregate::Count => {
+                            let n = match self.slots.get(v) {
+                                Some(s) => {
+                                    members.iter().filter(|&&ri| rows[ri][s].is_some()).count()
+                                }
+                                None => 0,
+                            };
+                            Some(Literal::integer(n as i64).into())
+                        }
+                        Some(e) => {
+                            // Plain-variable aggregates read the slot
+                            // directly; anything else decodes per member.
+                            let vals: Vec<Term> = if let Expression::Var(v) = e {
+                                let slot = self.slots.get(v);
+                                members
+                                    .iter()
+                                    .filter_map(|&ri| {
+                                        slot.and_then(|s| rows[ri][s])
+                                            .map(|id| self.interner.decode(id).clone())
+                                    })
+                                    .collect()
+                            } else {
+                                let evars = self.expr_slots(e);
+                                members
+                                    .iter()
+                                    .filter_map(|&ri| {
+                                        eval_expr(e, &self.decode_binding(&rows[ri], &evars)).ok()
+                                    })
+                                    .collect()
+                            };
+                            aggregate_values(*agg, vals, members.len())
+                        }
+                    },
+                };
+                values.push(v);
+            }
+            out.push(Row { values });
+        }
+        Ok((variables, out))
+    }
 }
 
-fn compute_aggregate(
+/// Plain nested-loop fallback for joins over more than 64 shared slots
+/// (out of `u64` mask range; practically unreachable).
+fn nested_join(probe: Vec<IdRow>, build: Vec<IdRow>) -> Vec<IdRow> {
+    let mut out = Vec::new();
+    for p in &probe {
+        'build: for b in &build {
+            let mut row = p.clone();
+            for (slot, v) in row.iter_mut().zip(b) {
+                if let Some(v) = v {
+                    match slot {
+                        Some(existing) if existing != v => continue 'build,
+                        _ => *slot = Some(*v),
+                    }
+                }
+            }
+            out.push(row);
+        }
+    }
+    out
+}
+
+/// Reduce the evaluated member values of one group to the aggregate's
+/// result term. `member_count` is the full group size (for `COUNT(*)`,
+/// which ignores evaluation errors in `values`).
+pub(crate) fn aggregate_values(
     agg: Aggregate,
-    expr: &Option<Expression>,
-    members: &[&Binding],
+    values: Vec<Term>,
+    member_count: usize,
 ) -> Option<Term> {
-    let values: Vec<Term> = match expr {
-        None => return Some(Literal::integer(members.len() as i64).into()),
-        Some(e) => members.iter().filter_map(|b| eval_expr(e, b).ok()).collect(),
-    };
     match agg {
-        Aggregate::CountAll => Some(Literal::integer(members.len() as i64).into()),
+        Aggregate::CountAll => Some(Literal::integer(member_count as i64).into()),
         Aggregate::Count => Some(Literal::integer(values.len() as i64).into()),
-        Aggregate::Sample => values.first().cloned(),
+        Aggregate::Sample => values.into_iter().next(),
         Aggregate::Sum | Aggregate::Avg => {
             let nums: Vec<f64> = values
                 .iter()
@@ -283,7 +1329,44 @@ fn compute_aggregate(
     }
 }
 
-fn instantiate(pattern: &TriplePattern, binding: &Binding, row: usize, idx: usize) -> Option<Triple> {
+fn sort_rows(rows: &mut [Row], variables: &[String], keys: &[OrderKey]) {
+    rows.sort_by(|a, b| {
+        for key in keys {
+            let ba = row_binding(a, variables);
+            let bb = row_binding(b, variables);
+            let va = eval_expr(&key.expr, &ba).ok();
+            let vb = eval_expr(&key.expr, &bb).ok();
+            let ord = match (va, vb) {
+                (Some(x), Some(y)) => {
+                    compare_terms(&x, &y).unwrap_or_else(|| x.to_string().cmp(&y.to_string()))
+                }
+                (None, Some(_)) => std::cmp::Ordering::Less,
+                (Some(_), None) => std::cmp::Ordering::Greater,
+                (None, None) => std::cmp::Ordering::Equal,
+            };
+            let ord = if key.descending { ord.reverse() } else { ord };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+fn row_binding(row: &Row, variables: &[String]) -> Binding {
+    variables
+        .iter()
+        .zip(&row.values)
+        .filter_map(|(v, t)| t.clone().map(|t| (v.clone(), t)))
+        .collect()
+}
+
+fn instantiate(
+    pattern: &TriplePattern,
+    binding: &Binding,
+    row: usize,
+    idx: usize,
+) -> Option<Triple> {
     let resolve = |tp: &TermPattern| -> Option<Term> {
         match tp {
             TermPattern::Var(v) => binding.get(v).cloned(),
@@ -306,283 +1389,6 @@ fn instantiate(pattern: &TriplePattern, binding: &Binding, row: usize, idx: usiz
         ))))
     })?;
     Some(Triple::new(s, p, o))
-}
-
-/// Per-variable index-pushdown constraints extracted from filters.
-#[derive(Debug, Clone, Default)]
-struct Constraints {
-    spatial: HashMap<String, Envelope>,
-    temporal: HashMap<String, (i64, i64)>,
-}
-
-struct Evaluator<'a> {
-    source: &'a dyn GraphSource,
-}
-
-impl<'a> Evaluator<'a> {
-    fn eval_pattern(
-        &self,
-        pattern: &GraphPattern,
-        input: Vec<Binding>,
-        constraints: &Constraints,
-    ) -> Vec<Binding> {
-        match pattern {
-            GraphPattern::Bgp(patterns) => self.eval_bgp(patterns, input, constraints),
-            GraphPattern::Filter(expr, inner) => {
-                // Derive envelope and time-range constraints from the filter
-                // and push them into the inner pattern.
-                let mut merged = constraints.clone();
-                for (var, env) in spatial_constraints(expr) {
-                    merged
-                        .spatial
-                        .entry(var)
-                        .and_modify(|e| *e = e.intersection(&env))
-                        .or_insert(env);
-                }
-                for (var, (s, e)) in temporal_constraints(expr) {
-                    merged
-                        .temporal
-                        .entry(var)
-                        .and_modify(|r| *r = (r.0.max(s), r.1.min(e)))
-                        .or_insert((s, e));
-                }
-                let inner_bindings = self.eval_pattern(inner, input, &merged);
-                inner_bindings
-                    .into_iter()
-                    .filter(|b| eval_filter(expr, b))
-                    .collect()
-            }
-            GraphPattern::Join(left, right) => {
-                let lhs = self.eval_pattern(left, input, constraints);
-                self.eval_pattern(right, lhs, constraints)
-            }
-            GraphPattern::LeftJoin(left, right) => {
-                let lhs = self.eval_pattern(left, input, constraints);
-                let mut out = Vec::with_capacity(lhs.len());
-                for b in lhs {
-                    let extended = self.eval_pattern(right, vec![b.clone()], constraints);
-                    if extended.is_empty() {
-                        out.push(b);
-                    } else {
-                        out.extend(extended);
-                    }
-                }
-                out
-            }
-            GraphPattern::Union(left, right) => {
-                let mut out = self.eval_pattern(left, input.clone(), constraints);
-                out.extend(self.eval_pattern(right, input, constraints));
-                out
-            }
-            GraphPattern::Extend(inner, var, expr) => {
-                let bindings = self.eval_pattern(inner, input, constraints);
-                bindings
-                    .into_iter()
-                    .map(|mut b| {
-                        if let Ok(v) = eval_expr(expr, &b) {
-                            b.insert(var.clone(), v);
-                        }
-                        b
-                    })
-                    .collect()
-            }
-            GraphPattern::Values(vars, rows) => {
-                let mut out = Vec::new();
-                for b in &input {
-                    for row in rows {
-                        let mut nb = b.clone();
-                        let mut compatible = true;
-                        for (var, val) in vars.iter().zip(row) {
-                            if let Some(val) = val {
-                                match nb.get(var) {
-                                    Some(existing) if existing != val => {
-                                        compatible = false;
-                                        break;
-                                    }
-                                    _ => {
-                                        nb.insert(var.clone(), val.clone());
-                                    }
-                                }
-                            }
-                        }
-                        if compatible {
-                            out.push(nb);
-                        }
-                    }
-                }
-                out
-            }
-        }
-    }
-
-    fn eval_bgp(
-        &self,
-        patterns: &[TriplePattern],
-        input: Vec<Binding>,
-        constraints: &Constraints,
-    ) -> Vec<Binding> {
-        if patterns.is_empty() {
-            return input;
-        }
-        // OBDA fast path: let the source answer the whole BGP at once.
-        if let Some(answers) = self.source.evaluate_bgp(patterns, &constraints.spatial) {
-            let mut out = Vec::new();
-            for left in &input {
-                'answer: for right in &answers {
-                    let mut merged = left.clone();
-                    for (k, v) in right {
-                        match merged.get(k) {
-                            Some(existing) if existing != v => continue 'answer,
-                            Some(_) => {}
-                            None => {
-                                merged.insert(k.clone(), v.clone());
-                            }
-                        }
-                    }
-                    out.push(merged);
-                }
-            }
-            return out;
-        }
-        // Greedy join ordering: repeatedly pick the most selective pattern
-        // given the variables bound so far.
-        let mut bound: HashSet<String> = input
-            .first()
-            .map(|b| b.keys().cloned().collect())
-            .unwrap_or_default();
-        let mut remaining: Vec<&TriplePattern> = patterns.iter().collect();
-        let mut ordered: Vec<&TriplePattern> = Vec::with_capacity(remaining.len());
-        while !remaining.is_empty() {
-            let (idx, _) = remaining
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, p)| pattern_selectivity(p, &bound, constraints))
-                .unwrap();
-            let p = remaining.swap_remove(idx);
-            for v in p.variables() {
-                bound.insert(v.to_string());
-            }
-            ordered.push(p);
-        }
-
-        let mut bindings = input;
-        for pattern in ordered {
-            let mut next = Vec::new();
-            for b in &bindings {
-                self.match_pattern(pattern, b, constraints, &mut next);
-            }
-            bindings = next;
-            if bindings.is_empty() {
-                break;
-            }
-        }
-        bindings
-    }
-
-    fn match_pattern(
-        &self,
-        pattern: &TriplePattern,
-        binding: &Binding,
-        constraints: &Constraints,
-        out: &mut Vec<Binding>,
-    ) {
-        let subst = |tp: &TermPattern| -> Option<Term> {
-            match tp {
-                TermPattern::Term(t) => Some(t.clone()),
-                TermPattern::Var(v) => binding.get(v).cloned(),
-            }
-        };
-        let s_term = subst(&pattern.subject);
-        let p_term = subst(&pattern.predicate);
-        let o_term = subst(&pattern.object);
-
-        // A literal in subject position can never match.
-        let s_res: Option<Resource> = match &s_term {
-            Some(Term::Literal(_)) => return,
-            Some(t) => t.as_resource(),
-            None => None,
-        };
-        let p_named: Option<NamedNode> = match &p_term {
-            Some(Term::Named(n)) => Some(n.clone()),
-            Some(_) => return,
-            None => None,
-        };
-
-        // Index pushdown: the object is an unbound variable carrying an
-        // envelope or time-range constraint.
-        let triples = match (&o_term, pattern.object.as_var()) {
-            (None, Some(var)) => {
-                let spatial_hit = constraints.spatial.get(var).and_then(|env| {
-                    self.source
-                        .triples_matching_spatial(s_res.as_ref(), p_named.as_ref(), env)
-                });
-                let temporal_hit = if spatial_hit.is_none() {
-                    constraints.temporal.get(var).and_then(|(start, end)| {
-                        self.source.triples_matching_temporal(
-                            s_res.as_ref(),
-                            p_named.as_ref(),
-                            *start,
-                            *end,
-                        )
-                    })
-                } else {
-                    None
-                };
-                spatial_hit.or(temporal_hit).unwrap_or_else(|| {
-                    self.source
-                        .triples_matching(s_res.as_ref(), p_named.as_ref(), None)
-                })
-            }
-            _ => self
-                .source
-                .triples_matching(s_res.as_ref(), p_named.as_ref(), o_term.as_ref()),
-        };
-
-        'next_triple: for t in triples {
-            let mut nb = binding.clone();
-            for (tp, actual) in [
-                (&pattern.subject, Term::from(t.subject.clone())),
-                (&pattern.predicate, Term::Named(t.predicate.clone())),
-                (&pattern.object, t.object.clone()),
-            ] {
-                if let TermPattern::Var(v) = tp {
-                    match nb.get(v) {
-                        Some(existing) if *existing != actual => continue 'next_triple,
-                        Some(_) => {}
-                        None => {
-                            nb.insert(v.clone(), actual);
-                        }
-                    }
-                }
-            }
-            out.push(nb);
-        }
-    }
-}
-
-/// Selectivity score for greedy BGP ordering: more ground/bound positions is
-/// better; a spatially constrained object is almost as good as bound.
-fn pattern_selectivity(
-    p: &TriplePattern,
-    bound: &HashSet<String>,
-    constraints: &Constraints,
-) -> i32 {
-    let score = |tp: &TermPattern, weight: i32| -> i32 {
-        match tp {
-            TermPattern::Term(_) => weight,
-            TermPattern::Var(v) if bound.contains(v) => weight,
-            TermPattern::Var(v)
-                if constraints.spatial.contains_key(v)
-                    || constraints.temporal.contains_key(v) =>
-            {
-                weight - 1
-            }
-            TermPattern::Var(_) => 0,
-        }
-    };
-    // Subject matches are usually most selective, then object, then
-    // predicate (predicates repeat across the dataset).
-    score(&p.subject, 4) + score(&p.object, 3) + score(&p.predicate, 2)
 }
 
 /// Extract envelope constraints from a filter expression.
@@ -729,14 +1535,34 @@ mod tests {
     fn test_graph() -> Graph {
         let mut g = Graph::new();
         for (id, name, wkt) in [
-            ("p1", "Bois de Boulogne", "POLYGON ((2.21 48.85, 2.27 48.85, 2.27 48.88, 2.21 48.88, 2.21 48.85))"),
-            ("p2", "Parc Monceau", "POLYGON ((2.30 48.87, 2.31 48.87, 2.31 48.88, 2.30 48.88, 2.30 48.87))"),
+            (
+                "p1",
+                "Bois de Boulogne",
+                "POLYGON ((2.21 48.85, 2.27 48.85, 2.27 48.88, 2.21 48.88, 2.21 48.85))",
+            ),
+            (
+                "p2",
+                "Parc Monceau",
+                "POLYGON ((2.30 48.87, 2.31 48.87, 2.31 48.88, 2.30 48.88, 2.30 48.87))",
+            ),
         ] {
             let park = Resource::named(format!("http://ex.org/{id}"));
             let geom = Resource::named(format!("http://ex.org/{id}/geom"));
-            g.add(park.clone(), NamedNode::new(vocab::rdf::TYPE), Term::named(vocab::osm::POI));
-            g.add(park.clone(), NamedNode::new(vocab::osm::HAS_NAME), Literal::string(name));
-            g.add(park.clone(), NamedNode::new(vocab::geo::HAS_GEOMETRY), Term::Named(geom.as_named().unwrap().clone()));
+            g.add(
+                park.clone(),
+                NamedNode::new(vocab::rdf::TYPE),
+                Term::named(vocab::osm::POI),
+            );
+            g.add(
+                park.clone(),
+                NamedNode::new(vocab::osm::HAS_NAME),
+                Literal::string(name),
+            );
+            g.add(
+                park.clone(),
+                NamedNode::new(vocab::geo::HAS_GEOMETRY),
+                Term::Named(geom.as_named().unwrap().clone()),
+            );
             g.add(geom, NamedNode::new(vocab::geo::AS_WKT), Literal::wkt(wkt));
         }
         g
@@ -764,7 +1590,11 @@ mod tests {
     fn bgp_join() {
         let g = test_graph();
         let q = select_all(GraphPattern::Bgp(vec![
-            TriplePattern::new(var("s"), Term::named(vocab::rdf::TYPE), Term::named(vocab::osm::POI)),
+            TriplePattern::new(
+                var("s"),
+                Term::named(vocab::rdf::TYPE),
+                Term::named(vocab::osm::POI),
+            ),
             TriplePattern::new(var("s"), Term::named(vocab::osm::HAS_NAME), var("name")),
         ]));
         let r = evaluate(&g, &q).unwrap();
@@ -776,7 +1606,8 @@ mod tests {
         let g = test_graph();
         // Find parks whose geometry intersects a probe box around Bois de
         // Boulogne only.
-        let probe = Literal::wkt("POLYGON ((2.2 48.84, 2.28 48.84, 2.28 48.89, 2.2 48.89, 2.2 48.84))");
+        let probe =
+            Literal::wkt("POLYGON ((2.2 48.84, 2.28 48.84, 2.28 48.89, 2.2 48.89, 2.2 48.84))");
         let q = select_all(GraphPattern::Filter(
             Expression::Call(
                 NamedNode::new(vocab::geof::SF_INTERSECTS),
@@ -884,7 +1715,11 @@ mod tests {
         let mut g = Graph::new();
         for (cls, v) in [("a", 1.0), ("a", 3.0), ("b", 10.0)] {
             let obs = Resource::named(format!("http://ex.org/o{cls}{v}"));
-            g.add(obs.clone(), NamedNode::new("http://ex.org/class"), Term::named(format!("http://ex.org/{cls}")));
+            g.add(
+                obs.clone(),
+                NamedNode::new("http://ex.org/class"),
+                Term::named(format!("http://ex.org/{cls}")),
+            );
             g.add(obs, NamedNode::new(vocab::lai::HAS_LAI), Literal::float(v));
         }
         let q = Query {
@@ -995,7 +1830,9 @@ mod tests {
                 NamedNode::new(vocab::geof::SF_INTERSECTS),
                 vec![
                     Expression::Var("g".into()),
-                    Expression::Constant(Literal::wkt("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))").into()),
+                    Expression::Constant(
+                        Literal::wkt("POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))").into(),
+                    ),
                 ],
             )),
             Box::new(Expression::Less(
@@ -1036,5 +1873,267 @@ mod tests {
         )]));
         let r = evaluate(&g, &q).unwrap();
         assert_eq!(r.len(), 1);
+    }
+
+    // --- new-pipeline tests ------------------------------------------------
+
+    /// A minimal dictionary-encoded source exercising the id-level scan
+    /// path without depending on the store crate.
+    struct IdGraph {
+        by_term: HashMap<Term, u64>,
+        terms: Vec<Term>,
+        triples: Vec<(u64, u64, u64)>,
+    }
+
+    impl IdGraph {
+        fn from_graph(g: &Graph) -> IdGraph {
+            let mut out = IdGraph {
+                by_term: HashMap::new(),
+                terms: Vec::new(),
+                triples: Vec::new(),
+            };
+            let encode = |t: Term, out: &mut IdGraph| -> u64 {
+                if let Some(&id) = out.by_term.get(&t) {
+                    return id;
+                }
+                let id = out.terms.len() as u64;
+                out.by_term.insert(t.clone(), id);
+                out.terms.push(t);
+                id
+            };
+            for t in g.triples_matching(None, None, None) {
+                let s = encode(Term::from(t.subject.clone()), &mut out);
+                let p = encode(Term::Named(t.predicate.clone()), &mut out);
+                let o = encode(t.object.clone(), &mut out);
+                out.triples.push((s, p, o));
+            }
+            out
+        }
+    }
+
+    impl GraphSource for IdGraph {
+        fn triples_matching(
+            &self,
+            subject: Option<&Resource>,
+            predicate: Option<&NamedNode>,
+            object: Option<&Term>,
+        ) -> Vec<Triple> {
+            let s = subject.map(|s| Term::from(s.clone()));
+            let p = predicate.map(|p| Term::Named(p.clone()));
+            self.triples
+                .iter()
+                .filter_map(|&(ts, tp, to)| {
+                    let st = &self.terms[ts as usize];
+                    let pt = &self.terms[tp as usize];
+                    let ot = &self.terms[to as usize];
+                    if s.as_ref().is_some_and(|s| s != st)
+                        || p.as_ref().is_some_and(|p| p != pt)
+                        || object.is_some_and(|o| o != ot)
+                    {
+                        return None;
+                    }
+                    Some(Triple::new(
+                        st.as_resource().unwrap(),
+                        pt.as_named().unwrap().clone(),
+                        ot.clone(),
+                    ))
+                })
+                .collect()
+        }
+
+        fn id_access(&self) -> Option<&dyn IdAccess> {
+            Some(self)
+        }
+    }
+
+    impl IdAccess for IdGraph {
+        fn term_to_id(&self, term: &Term) -> Option<u64> {
+            self.by_term.get(term).copied()
+        }
+
+        fn id_to_term(&self, id: u64) -> Option<&Term> {
+            self.terms.get(id as usize)
+        }
+
+        fn id_count(&self) -> u64 {
+            self.terms.len() as u64
+        }
+
+        fn scan_ids(&self, s: Option<u64>, p: Option<u64>, o: Option<u64>) -> Vec<(u64, u64, u64)> {
+            self.triples
+                .iter()
+                .filter(|&&(ts, tp, to)| {
+                    s.is_none_or(|s| s == ts)
+                        && p.is_none_or(|p| p == tp)
+                        && o.is_none_or(|o| o == to)
+                })
+                .copied()
+                .collect()
+        }
+    }
+
+    fn sorted_rows(r: &QueryResults) -> Vec<Vec<Option<String>>> {
+        let mut rows: Vec<Vec<Option<String>>> = r
+            .rows()
+            .iter()
+            .map(|row| {
+                row.values
+                    .iter()
+                    .map(|v| v.as_ref().map(|t| t.to_string()))
+                    .collect()
+            })
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn id_level_scan_matches_decoded_scan() {
+        let g = test_graph();
+        let idg = IdGraph::from_graph(&g);
+        let probe =
+            Literal::wkt("POLYGON ((2.2 48.84, 2.28 48.84, 2.28 48.89, 2.2 48.89, 2.2 48.84))");
+        let queries = vec![
+            select_all(GraphPattern::Bgp(vec![
+                TriplePattern::new(
+                    var("s"),
+                    Term::named(vocab::rdf::TYPE),
+                    Term::named(vocab::osm::POI),
+                ),
+                TriplePattern::new(var("s"), Term::named(vocab::osm::HAS_NAME), var("name")),
+            ])),
+            select_all(GraphPattern::Filter(
+                Expression::Call(
+                    NamedNode::new(vocab::geof::SF_INTERSECTS),
+                    vec![
+                        Expression::Var("wkt".into()),
+                        Expression::Constant(probe.into()),
+                    ],
+                ),
+                Box::new(GraphPattern::Bgp(vec![
+                    TriplePattern::new(var("s"), Term::named(vocab::geo::HAS_GEOMETRY), var("g")),
+                    TriplePattern::new(var("g"), Term::named(vocab::geo::AS_WKT), var("wkt")),
+                ])),
+            )),
+        ];
+        for q in &queries {
+            let a = evaluate(&g, q).unwrap();
+            let b = evaluate(&idg, q).unwrap();
+            assert_eq!(a.variables(), b.variables());
+            assert_eq!(sorted_rows(&a), sorted_rows(&b));
+        }
+        // A constant absent from the dictionary is provably empty.
+        let q = select_all(GraphPattern::Bgp(vec![TriplePattern::new(
+            var("s"),
+            Term::named("http://ex.org/noSuchPredicate"),
+            var("o"),
+        )]));
+        assert_eq!(evaluate(&idg, &q).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn parallel_probe_matches_sequential() {
+        let g = test_graph();
+        let q = select_all(GraphPattern::Bgp(vec![
+            TriplePattern::new(
+                var("s"),
+                Term::named(vocab::rdf::TYPE),
+                Term::named(vocab::osm::POI),
+            ),
+            TriplePattern::new(var("s"), Term::named(vocab::osm::HAS_NAME), var("name")),
+            TriplePattern::new(var("s"), Term::named(vocab::geo::HAS_GEOMETRY), var("g")),
+        ]));
+        let parallel = evaluate_with(
+            &g,
+            &q,
+            &EvalOptions {
+                parallel_probe_threshold: 1,
+                // Force real threads even on single-core hosts, where
+                // available_parallelism() would keep this sequential.
+                parallel_workers: Some(4),
+            },
+        )
+        .unwrap();
+        let sequential = evaluate_with(
+            &g,
+            &q,
+            &EvalOptions {
+                parallel_probe_threshold: usize::MAX,
+                parallel_workers: None,
+            },
+        )
+        .unwrap();
+        // Identical including row order: chunked results concatenate in order.
+        assert_eq!(
+            format!("{:?}", sorted_rows(&parallel)),
+            format!("{:?}", sorted_rows(&sequential))
+        );
+        assert_eq!(parallel.len(), sequential.len());
+        let p_rows: Vec<_> = parallel
+            .rows()
+            .iter()
+            .map(|r| format!("{:?}", r.values))
+            .collect();
+        let s_rows: Vec<_> = sequential
+            .rows()
+            .iter()
+            .map(|r| format!("{:?}", r.values))
+            .collect();
+        assert_eq!(p_rows, s_rows);
+    }
+
+    #[test]
+    fn disjoint_fast_path_keeps_far_geometries() {
+        let g = test_graph();
+        // A probe box far away from both parks: sfDisjoint holds for both,
+        // via the envelope precheck alone.
+        let probe = Literal::wkt("POLYGON ((50 50, 51 50, 51 51, 50 51, 50 50))");
+        let q = select_all(GraphPattern::Filter(
+            Expression::Call(
+                NamedNode::new(vocab::geof::SF_DISJOINT),
+                vec![
+                    Expression::Var("wkt".into()),
+                    Expression::Constant(probe.into()),
+                ],
+            ),
+            Box::new(GraphPattern::Bgp(vec![TriplePattern::new(
+                var("g"),
+                Term::named(vocab::geo::AS_WKT),
+                var("wkt"),
+            )])),
+        ));
+        let r = evaluate(&g, &q).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn optional_without_shared_variables() {
+        // OPTIONAL whose right side shares no variables with the left: each
+        // left row is extended by every right solution (cross product), and
+        // nothing is lost. Exercises the provenance-slot plumbing.
+        let mut g = test_graph();
+        g.add(
+            Resource::named("http://ex.org/x"),
+            NamedNode::new("http://ex.org/flag"),
+            Literal::string("on"),
+        );
+        let q = select_all(GraphPattern::LeftJoin(
+            Box::new(GraphPattern::Bgp(vec![TriplePattern::new(
+                var("s"),
+                Term::named(vocab::osm::HAS_NAME),
+                var("name"),
+            )])),
+            Box::new(GraphPattern::Bgp(vec![TriplePattern::new(
+                var("f"),
+                Term::named("http://ex.org/flag"),
+                var("v"),
+            )])),
+        ));
+        let r = evaluate(&g, &q).unwrap();
+        assert_eq!(r.len(), 2);
+        // Every row carries the optional flag bindings.
+        for row in r.rows() {
+            assert!(row.get(r.variables(), "v").is_some());
+        }
     }
 }

@@ -264,9 +264,7 @@ fn call(func: &NamedNode, args: &[Expression], binding: &Binding) -> Result<Term
             }
             "convexHull" => {
                 let g = geometry_arg(&argv[0])?;
-                let hull = geoalg::convex_hull(&g)
-                    .map(Geometry::Polygon)
-                    .unwrap_or(g);
+                let hull = geoalg::convex_hull(&g).map(Geometry::Polygon).unwrap_or(g);
                 Ok(Literal::wkt(applab_geo::write_wkt(&hull)).into())
             }
             other => Err(ExprError::UnknownFunction(format!("geof:{other}"))),
@@ -293,23 +291,26 @@ fn builtin(name: &str, argv: &[Term]) -> Result<Term, ExprError> {
         "lcase" => Ok(Literal::string(string_arg(one()?)?.to_lowercase()).into()),
         "contains" => {
             let h = string_arg(one()?)?;
-            let n = string_arg(argv.get(1).ok_or_else(|| {
-                ExprError::Type("contains expects 2 arguments".into())
-            })?)?;
+            let n = string_arg(
+                argv.get(1)
+                    .ok_or_else(|| ExprError::Type("contains expects 2 arguments".into()))?,
+            )?;
             Ok(Literal::boolean(h.contains(&n)).into())
         }
         "strstarts" => {
             let h = string_arg(one()?)?;
-            let n = string_arg(argv.get(1).ok_or_else(|| {
-                ExprError::Type("strstarts expects 2 arguments".into())
-            })?)?;
+            let n = string_arg(
+                argv.get(1)
+                    .ok_or_else(|| ExprError::Type("strstarts expects 2 arguments".into()))?,
+            )?;
             Ok(Literal::boolean(h.starts_with(&n)).into())
         }
         "strends" => {
             let h = string_arg(one()?)?;
-            let n = string_arg(argv.get(1).ok_or_else(|| {
-                ExprError::Type("strends expects 2 arguments".into())
-            })?)?;
+            let n = string_arg(
+                argv.get(1)
+                    .ok_or_else(|| ExprError::Type("strends expects 2 arguments".into()))?,
+            )?;
             Ok(Literal::boolean(h.ends_with(&n)).into())
         }
         "concat" => {
@@ -334,10 +335,9 @@ fn builtin(name: &str, argv: &[Term]) -> Result<Term, ExprError> {
         "isiri" | "isuri" => Ok(Literal::boolean(matches!(one()?, Term::Named(_))).into()),
         "isliteral" => Ok(Literal::boolean(matches!(one()?, Term::Literal(_))).into()),
         "isblank" => Ok(Literal::boolean(matches!(one()?, Term::Blank(_))).into()),
-        "isnumeric" => Ok(Literal::boolean(
-            one()?.as_literal().and_then(Literal::as_f64).is_some(),
-        )
-        .into()),
+        "isnumeric" => {
+            Ok(Literal::boolean(one()?.as_literal().and_then(Literal::as_f64).is_some()).into())
+        }
         "year" => temporal_part(one()?, |_, y, _, _| y),
         "month" => temporal_part(one()?, |_, _, m, _| m as i64),
         "day" => temporal_part(one()?, |_, _, _, d| d as i64),
@@ -393,15 +393,9 @@ mod tests {
 
     #[test]
     fn unbound_var_fails_filter() {
-        let e = Expression::Greater(
-            Box::new(Expression::Var("lai".into())),
-            Box::new(num(0.0)),
-        );
+        let e = Expression::Greater(Box::new(Expression::Var("lai".into())), Box::new(num(0.0)));
         assert!(!eval_filter(&e, &Binding::new()));
-        assert!(eval_filter(
-            &e,
-            &b(&[("lai", Literal::float(3.0).into())])
-        ));
+        assert!(eval_filter(&e, &b(&[("lai", Literal::float(3.0).into())])));
     }
 
     #[test]
@@ -483,7 +477,11 @@ mod tests {
             vec![Expression::Constant(Literal::string("lai").into())],
         );
         assert_eq!(
-            eval_expr(&u, &binding).unwrap().as_literal().unwrap().value(),
+            eval_expr(&u, &binding)
+                .unwrap()
+                .as_literal()
+                .unwrap()
+                .value(),
             "LAI"
         );
     }
@@ -520,7 +518,11 @@ mod tests {
             Box::new(num(2.0)),
         );
         assert_eq!(
-            eval_expr(&e, &binding).unwrap().as_literal().unwrap().as_f64(),
+            eval_expr(&e, &binding)
+                .unwrap()
+                .as_literal()
+                .unwrap()
+                .as_f64(),
             Some(1.0)
         );
         // false && error = false (error does not propagate).

@@ -20,14 +20,15 @@ pub mod algebra;
 pub mod eval;
 pub mod expr;
 pub mod parser;
+pub mod reference;
 pub mod results;
 pub mod source;
 
 pub use algebra::{Expression, GraphPattern, Query, QueryForm, TermPattern, TriplePattern};
-pub use eval::{evaluate, EvalError};
+pub use eval::{evaluate, evaluate_with, EvalError, EvalOptions};
 pub use parser::{parse_query, ParseError};
 pub use results::{QueryResults, Row};
-pub use source::GraphSource;
+pub use source::{GraphSource, IdAccess};
 
 /// Parse and evaluate a query against a source in one call.
 pub fn query(

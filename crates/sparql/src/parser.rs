@@ -224,9 +224,9 @@ impl<'a> Lexer<'a> {
                 // IRI or comparison: an IRI has a '>' before any whitespace.
                 let rest = &self.bytes[self.pos + 1..];
                 let mut is_iri = false;
-                for (i, &c) in rest.iter().enumerate() {
+                for &c in rest.iter() {
                     if c == b'>' {
-                        is_iri = i > 0 || true;
+                        is_iri = true;
                         break;
                     }
                     if c.is_ascii_whitespace() || c == b'<' || c == b'"' {
@@ -276,14 +276,10 @@ impl<'a> Lexer<'a> {
                     }
                     if c == b'\\' {
                         self.pos += 1;
-                        let esc = self
-                            .bytes
-                            .get(self.pos)
-                            .copied()
-                            .ok_or(ParseError {
-                                message: "dangling escape".into(),
-                                position: self.pos,
-                            })?;
+                        let esc = self.bytes.get(self.pos).copied().ok_or(ParseError {
+                            message: "dangling escape".into(),
+                            position: self.pos,
+                        })?;
                         value.push(match esc {
                             b'n' => '\n',
                             b't' => '\t',
@@ -721,16 +717,15 @@ impl<'a> Parser<'a> {
         let mut filters: Vec<Expression> = Vec::new();
         let mut triples: Vec<TriplePattern> = Vec::new();
 
-        let flush =
-            |current: &mut Option<GraphPattern>, triples: &mut Vec<TriplePattern>| {
-                if !triples.is_empty() {
-                    let bgp = GraphPattern::Bgp(std::mem::take(triples));
-                    *current = Some(match current.take() {
-                        None => bgp,
-                        Some(c) => GraphPattern::Join(Box::new(c), Box::new(bgp)),
-                    });
-                }
-            };
+        let flush = |current: &mut Option<GraphPattern>, triples: &mut Vec<TriplePattern>| {
+            if !triples.is_empty() {
+                let bgp = GraphPattern::Bgp(std::mem::take(triples));
+                *current = Some(match current.take() {
+                    None => bgp,
+                    Some(c) => GraphPattern::Join(Box::new(c), Box::new(bgp)),
+                });
+            }
+        };
 
         loop {
             match self.next()? {
@@ -885,9 +880,7 @@ impl<'a> Parser<'a> {
         let subject = self.parse_term_pattern()?;
         loop {
             let predicate = match self.next()? {
-                Some(Tok::Word(w)) if w == "a" => {
-                    TermPattern::Term(Term::named(vocab::rdf::TYPE))
-                }
+                Some(Tok::Word(w)) if w == "a" => TermPattern::Term(Term::named(vocab::rdf::TYPE)),
                 Some(tok) => {
                     self.unread(tok);
                     self.parse_term_pattern()?
@@ -924,12 +917,10 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_term_pattern(&mut self) -> Result<TermPattern, ParseError> {
-        let tok = self
-            .next()?
-            .ok_or_else(|| ParseError {
-                message: "expected term".into(),
-                position: self.lexer.pos,
-            })?;
+        let tok = self.next()?.ok_or_else(|| ParseError {
+            message: "expected term".into(),
+            position: self.lexer.pos,
+        })?;
         match tok {
             Tok::Var(v) => Ok(TermPattern::Var(v)),
             Tok::Word(w) if w == "_" => {
@@ -953,9 +944,7 @@ impl<'a> Parser<'a> {
     fn token_to_term(&mut self, tok: Tok) -> Result<Term, ParseError> {
         match tok {
             Tok::Iri(iri) => Ok(Term::named(iri)),
-            Tok::Prefixed(p, l) if p == "_" => {
-                Ok(Term::Blank(applab_rdf::BlankNode::new(l)))
-            }
+            Tok::Prefixed(p, l) if p == "_" => Ok(Term::Blank(applab_rdf::BlankNode::new(l))),
             Tok::Prefixed(p, l) => Ok(Term::Named(self.resolve(&p, &l)?)),
             Tok::Str {
                 value,
@@ -1118,9 +1107,7 @@ impl<'a> Parser<'a> {
                 Ok(e)
             }
             Tok::Var(v) => Ok(Expression::Var(v)),
-            Tok::Num(_) | Tok::Str { .. } => {
-                Ok(Expression::Constant(self.token_to_term(tok)?))
-            }
+            Tok::Num(_) | Tok::Str { .. } => Ok(Expression::Constant(self.token_to_term(tok)?)),
             Tok::Word(w) => {
                 let up = w.to_ascii_uppercase();
                 match up.as_str() {
@@ -1151,9 +1138,28 @@ impl<'a> Parser<'a> {
                 }
                 // Builtin function call?
                 const BUILTINS: &[&str] = &[
-                    "STR", "STRLEN", "UCASE", "LCASE", "CONTAINS", "STRSTARTS", "STRENDS",
-                    "CONCAT", "ABS", "CEIL", "FLOOR", "ROUND", "LANG", "DATATYPE", "ISIRI",
-                    "ISURI", "ISLITERAL", "ISBLANK", "ISNUMERIC", "YEAR", "MONTH", "DAY",
+                    "STR",
+                    "STRLEN",
+                    "UCASE",
+                    "LCASE",
+                    "CONTAINS",
+                    "STRSTARTS",
+                    "STRENDS",
+                    "CONCAT",
+                    "ABS",
+                    "CEIL",
+                    "FLOOR",
+                    "ROUND",
+                    "LANG",
+                    "DATATYPE",
+                    "ISIRI",
+                    "ISURI",
+                    "ISLITERAL",
+                    "ISBLANK",
+                    "ISNUMERIC",
+                    "YEAR",
+                    "MONTH",
+                    "DAY",
                 ];
                 if BUILTINS.contains(&up.as_str()) {
                     let args = self.parse_call_args()?;
@@ -1306,9 +1312,7 @@ SELECT * WHERE {
         fn count_nodes(p: &GraphPattern, pred: &dyn Fn(&GraphPattern) -> bool) -> usize {
             let here = usize::from(pred(p));
             here + match p {
-                GraphPattern::Filter(_, i) | GraphPattern::Extend(i, _, _) => {
-                    count_nodes(i, pred)
-                }
+                GraphPattern::Filter(_, i) | GraphPattern::Extend(i, _, _) => count_nodes(i, pred),
                 GraphPattern::Join(a, b)
                 | GraphPattern::LeftJoin(a, b)
                 | GraphPattern::Union(a, b) => count_nodes(a, pred) + count_nodes(b, pred),
@@ -1331,10 +1335,7 @@ SELECT * WHERE {
             1
         );
         assert_eq!(
-            count_nodes(&parsed.pattern, &|p| matches!(
-                p,
-                GraphPattern::Extend(..)
-            )),
+            count_nodes(&parsed.pattern, &|p| matches!(p, GraphPattern::Extend(..))),
             1
         );
     }
@@ -1377,10 +1378,8 @@ LIMIT 5 OFFSET 2
         let ask = parse_query("ASK { ?s a osm:PointOfInterest }").unwrap();
         assert_eq!(ask.form, QueryForm::Ask);
 
-        let c = parse_query(
-            "CONSTRUCT { ?s rdfs:label ?name } WHERE { ?s osm:hasName ?name }",
-        )
-        .unwrap();
+        let c = parse_query("CONSTRUCT { ?s rdfs:label ?name } WHERE { ?s osm:hasName ?name }")
+            .unwrap();
         match c.form {
             QueryForm::Construct { template } => assert_eq!(template.len(), 1),
             other => panic!("{other:?}"),
@@ -1389,10 +1388,8 @@ LIMIT 5 OFFSET 2
 
     #[test]
     fn parse_filter_comparisons() {
-        let q = parse_query(
-            "SELECT ?v WHERE { ?s lai:hasLai ?v . FILTER(?v > 0 && ?v <= 10.5) }",
-        )
-        .unwrap();
+        let q = parse_query("SELECT ?v WHERE { ?s lai:hasLai ?v . FILTER(?v > 0 && ?v <= 10.5) }")
+            .unwrap();
         match &q.pattern {
             GraphPattern::Filter(Expression::And(a, b), _) => {
                 assert!(matches!(a.as_ref(), Expression::Greater(..)));
@@ -1404,10 +1401,9 @@ LIMIT 5 OFFSET 2
 
     #[test]
     fn parse_object_lists_and_pred_lists() {
-        let q = parse_query(
-            "SELECT * WHERE { ?s a osm:PointOfInterest ; osm:hasName \"A\", \"B\" . }",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT * WHERE { ?s a osm:PointOfInterest ; osm:hasName \"A\", \"B\" . }")
+                .unwrap();
         match &q.pattern {
             GraphPattern::Bgp(ps) => assert_eq!(ps.len(), 3),
             other => panic!("{other:?}"),

@@ -61,9 +61,7 @@ impl QueryResults {
     /// Look up a value in a row by variable name.
     pub fn value(&self, row: usize, name: &str) -> Option<&Term> {
         match self {
-            QueryResults::Solutions { variables, rows } => {
-                rows.get(row)?.get(variables, name)
-            }
+            QueryResults::Solutions { variables, rows } => rows.get(row)?.get(variables, name),
             _ => None,
         }
     }

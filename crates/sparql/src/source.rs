@@ -78,6 +78,63 @@ pub trait GraphSource {
     ) -> Option<usize> {
         None
     }
+
+    /// Dictionary-level access for sources that store triples as id tuples.
+    ///
+    /// Returning `Some` lets the evaluator run its hash-join pipeline
+    /// directly on `u64` ids — scans yield id triples, join keys are integer
+    /// comparisons, and terms are only decoded at FILTER / projection
+    /// boundaries (late materialization). The default `None` keeps the
+    /// decoded-triple contract: [`applab_rdf::Graph`], the naive store and
+    /// the OBDA virtual graphs work unchanged.
+    fn id_access(&self) -> Option<&dyn IdAccess> {
+        None
+    }
+}
+
+/// Id-level view of a dictionary-encoded source (see
+/// [`GraphSource::id_access`]).
+///
+/// Ids must be stable for the lifetime of the borrow and densely cover
+/// `0..id_count()`; the evaluator allocates its own query-local overflow ids
+/// from `id_count()` upward for terms the source has never seen.
+pub trait IdAccess {
+    /// Id of a term, if the source has it interned.
+    fn term_to_id(&self, term: &Term) -> Option<u64>;
+
+    /// Term for an id this source produced.
+    fn id_to_term(&self, id: u64) -> Option<&Term>;
+
+    /// Number of interned terms (ids are `0..id_count()`).
+    fn id_count(&self) -> u64;
+
+    /// All id triples matching an (s?, p?, o?) id pattern.
+    fn scan_ids(&self, s: Option<u64>, p: Option<u64>, o: Option<u64>) -> Vec<(u64, u64, u64)>;
+
+    /// Spatial variant of [`IdAccess::scan_ids`]: id triples whose object is
+    /// a geometry literal with an envelope intersecting `envelope`. `None`
+    /// declines (no spatial index).
+    fn scan_ids_spatial(
+        &self,
+        _s: Option<u64>,
+        _p: Option<u64>,
+        _envelope: &Envelope,
+    ) -> Option<Vec<(u64, u64, u64)>> {
+        None
+    }
+
+    /// Temporal variant of [`IdAccess::scan_ids`]: id triples whose object
+    /// is a dateTime literal within `[start, end]` epoch seconds. `None`
+    /// declines.
+    fn scan_ids_temporal(
+        &self,
+        _s: Option<u64>,
+        _p: Option<u64>,
+        _start: i64,
+        _end: i64,
+    ) -> Option<Vec<(u64, u64, u64)>> {
+        None
+    }
 }
 
 impl GraphSource for Graph {

@@ -6,12 +6,16 @@
 
 use applab_rdf::Term;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A bidirectional Term ↔ id map.
+///
+/// Both directions share one `Arc<Term>` per distinct term, so interning a
+/// new term deep-clones it exactly once (and a hit clones nothing).
 #[derive(Debug, Default, Clone)]
 pub struct Dictionary {
-    by_term: HashMap<Term, u64>,
-    by_id: Vec<Term>,
+    by_term: HashMap<Arc<Term>, u64>,
+    by_id: Vec<Arc<Term>>,
 }
 
 impl Dictionary {
@@ -30,12 +34,15 @@ impl Dictionary {
 
     /// Intern a term, returning its id (allocating one if new).
     pub fn encode(&mut self, term: &Term) -> u64 {
+        // `Arc<Term>: Borrow<Term>`, so the hit path is a single lookup
+        // with no allocation.
         if let Some(&id) = self.by_term.get(term) {
             return id;
         }
         let id = self.by_id.len() as u64;
-        self.by_id.push(term.clone());
-        self.by_term.insert(term.clone(), id);
+        let shared = Arc::new(term.clone());
+        self.by_id.push(Arc::clone(&shared));
+        self.by_term.insert(shared, id);
         id
     }
 
@@ -51,7 +58,7 @@ impl Dictionary {
 
     /// Non-panicking variant of [`Dictionary::decode`].
     pub fn try_decode(&self, id: u64) -> Option<&Term> {
-        self.by_id.get(id as usize)
+        self.by_id.get(id as usize).map(Arc::as_ref)
     }
 }
 

@@ -49,9 +49,9 @@ impl GraphSource for NaiveStore {
         self.triples
             .iter()
             .filter(|t| {
-                subject.map_or(true, |s| &t.subject == s)
-                    && predicate.map_or(true, |p| &t.predicate == p)
-                    && object.map_or(true, |o| &t.object == o)
+                subject.is_none_or(|s| &t.subject == s)
+                    && predicate.is_none_or(|p| &t.predicate == p)
+                    && object.is_none_or(|o| &t.object == o)
             })
             .cloned()
             .collect()

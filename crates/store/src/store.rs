@@ -3,7 +3,7 @@
 use crate::dict::Dictionary;
 use applab_geo::{Envelope, RTree};
 use applab_rdf::{Graph, Literal, NamedNode, Resource, Term, Triple};
-use applab_sparql::GraphSource;
+use applab_sparql::{GraphSource, IdAccess};
 use std::collections::BTreeSet;
 use std::ops::Bound;
 
@@ -125,11 +125,7 @@ impl SpatioTemporalStore {
 
     /// Scan the best permutation index for an (s?, p?, o?) pattern.
     fn scan(&self, s: Option<u64>, p: Option<u64>, o: Option<u64>) -> Vec<Ids> {
-        fn range2(
-            set: &BTreeSet<Ids>,
-            a: u64,
-            b: u64,
-        ) -> impl Iterator<Item = &Ids> + '_ {
+        fn range2(set: &BTreeSet<Ids>, a: u64, b: u64) -> impl Iterator<Item = &Ids> + '_ {
             set.range((a, b, 0)..=(a, b, u64::MAX))
         }
         fn range1(set: &BTreeSet<Ids>, a: u64) -> impl Iterator<Item = &Ids> + '_ {
@@ -154,12 +150,8 @@ impl SpatioTemporalStore {
             (None, Some(p), Some(o)) => range2(&self.pos, p, o)
                 .map(|&(p, o, s)| (s, p, o))
                 .collect(),
-            (None, Some(p), None) => range1(&self.pos, p)
-                .map(|&(p, o, s)| (s, p, o))
-                .collect(),
-            (None, None, Some(o)) => range1(&self.osp, o)
-                .map(|&(o, s, p)| (s, p, o))
-                .collect(),
+            (None, Some(p), None) => range1(&self.pos, p).map(|&(p, o, s)| (s, p, o)).collect(),
+            (None, None, Some(o)) => range1(&self.osp, o).map(|&(o, s, p)| (s, p, o)).collect(),
             (None, None, None) => self.spo.iter().copied().collect(),
         }
     }
@@ -190,7 +182,7 @@ impl GraphSource for SpatioTemporalStore {
         let (s, p, _) = self.encode_lookup(subject, predicate, None)?;
         let mut out = Vec::new();
         self.spatial.visit(envelope, &mut |&(ts, tp, to)| {
-            if s.map_or(true, |s| s == ts) && p.map_or(true, |p| p == tp) {
+            if s.is_none_or(|s| s == ts) && p.is_none_or(|p| p == tp) {
                 out.push((ts, tp, to));
             }
         });
@@ -214,7 +206,7 @@ impl GraphSource for SpatioTemporalStore {
             if t > end {
                 break;
             }
-            if s.map_or(true, |s| s == ts) && p.map_or(true, |p| p == tp) {
+            if s.is_none_or(|s| s == ts) && p.is_none_or(|p| p == tp) {
                 out.push((ts, tp, to));
             }
         }
@@ -230,23 +222,79 @@ impl GraphSource for SpatioTemporalStore {
         let (s, p, o) = self.encode_lookup(subject, predicate, object)?;
         Some(self.scan(s, p, o).len())
     }
+
+    fn id_access(&self) -> Option<&dyn IdAccess> {
+        Some(self)
+    }
+}
+
+impl IdAccess for SpatioTemporalStore {
+    fn term_to_id(&self, term: &Term) -> Option<u64> {
+        self.dict.get(term)
+    }
+
+    fn id_to_term(&self, id: u64) -> Option<&Term> {
+        self.dict.try_decode(id)
+    }
+
+    fn id_count(&self) -> u64 {
+        self.dict.len() as u64
+    }
+
+    fn scan_ids(&self, s: Option<u64>, p: Option<u64>, o: Option<u64>) -> Vec<Ids> {
+        self.scan(s, p, o)
+    }
+
+    fn scan_ids_spatial(
+        &self,
+        s: Option<u64>,
+        p: Option<u64>,
+        envelope: &Envelope,
+    ) -> Option<Vec<Ids>> {
+        let mut out = Vec::new();
+        self.spatial.visit(envelope, &mut |&(ts, tp, to)| {
+            if s.is_none_or(|s| s == ts) && p.is_none_or(|p| p == tp) {
+                out.push((ts, tp, to));
+            }
+        });
+        Some(out)
+    }
+
+    fn scan_ids_temporal(
+        &self,
+        s: Option<u64>,
+        p: Option<u64>,
+        start: i64,
+        end: i64,
+    ) -> Option<Vec<Ids>> {
+        if !self.temporal_sorted {
+            return None; // mid-bulk-load: decline rather than answer wrongly
+        }
+        let lo = self.temporal.partition_point(|(t, _)| *t < start);
+        let mut out = Vec::new();
+        for &(t, (ts, tp, to)) in &self.temporal[lo..] {
+            if t > end {
+                break;
+            }
+            if s.is_none_or(|s| s == ts) && p.is_none_or(|p| p == tp) {
+                out.push((ts, tp, to));
+            }
+        }
+        Some(out)
+    }
 }
 
 /// Helper: load N-Triples/Turtle text straight into a store.
 pub fn load_turtle(text: &str) -> Result<SpatioTemporalStore, applab_rdf::turtle::TurtleError> {
-    Ok(SpatioTemporalStore::from_graph(&applab_rdf::turtle::parse_turtle(text)?))
+    Ok(SpatioTemporalStore::from_graph(
+        &applab_rdf::turtle::parse_turtle(text)?,
+    ))
 }
 
 /// Convenience: build a LAI observation entity (the shape Listing 2's
 /// mapping produces) directly into a graph. Used by tests, benches and the
 /// synthetic data generators.
-pub fn lai_observation(
-    graph: &mut Graph,
-    id: &str,
-    lai: f64,
-    timestamp: i64,
-    wkt: &str,
-) {
+pub fn lai_observation(graph: &mut Graph, id: &str, lai: f64, timestamp: i64, wkt: &str) {
     use applab_rdf::vocab;
     let obs = Resource::named(format!("{}{id}", vocab::lai::NS));
     let geom = Resource::named(format!("{}{id}/geom", vocab::lai::NS));
@@ -316,7 +364,7 @@ mod tests {
     fn matches_equal_graph_scan() {
         let store = grid_store(5);
         assert_eq!(store.len(), 5 * 5 * 5); // 5 triples per observation
-        // Predicate scan.
+                                            // Predicate scan.
         let lai_pred = NamedNode::new(vocab::lai::HAS_LAI);
         let r = store.triples_matching(None, Some(&lai_pred), None);
         assert_eq!(r.len(), 25);
@@ -326,21 +374,17 @@ mod tests {
         let s = Resource::named(format!("{}obs_0_0", vocab::lai::NS));
         assert_eq!(store.triples_matching(Some(&s), None, None).len(), 4);
         // Fully bound hit and miss.
-        let hit = store.triples_matching(
-            Some(&s),
-            Some(&lai_pred),
-            Some(&Literal::float(0.0).into()),
-        );
+        let hit =
+            store.triples_matching(Some(&s), Some(&lai_pred), Some(&Literal::float(0.0).into()));
         assert_eq!(hit.len(), 1);
-        let miss = store.triples_matching(
-            Some(&s),
-            Some(&lai_pred),
-            Some(&Literal::float(9.9).into()),
-        );
+        let miss =
+            store.triples_matching(Some(&s), Some(&lai_pred), Some(&Literal::float(9.9).into()));
         assert!(miss.is_empty());
         // Unknown term short-circuits.
         let unknown = Resource::named("http://ex.org/nope");
-        assert!(store.triples_matching(Some(&unknown), None, None).is_empty());
+        assert!(store
+            .triples_matching(Some(&unknown), None, None)
+            .is_empty());
     }
 
     #[test]

@@ -18,7 +18,10 @@ fn main() {
 
     // CORINE (EEA, pan-European) — the dataset the question targets.
     let corine = corine_annotation();
-    println!("JSON-LD annotation for dataset search engines:\n{}", corine.to_json_ld());
+    println!(
+        "JSON-LD annotation for dataset search engines:\n{}",
+        corine.to_json_ld()
+    );
     catalog.add(corine);
 
     // Urban Atlas (EEA, but urban areas only).

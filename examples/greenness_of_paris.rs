@@ -85,6 +85,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "greenness_of_paris.ttl",
         copernicus_app_lab::rdf::turtle::write_turtle(&map_rdf),
     )?;
-    println!("\nwrote greenness_of_paris.svg ({} bytes) and greenness_of_paris.ttl", svg.len());
+    println!(
+        "\nwrote greenness_of_paris.svg ({} bytes) and greenness_of_paris.ttl",
+        svg.len()
+    );
     Ok(())
 }

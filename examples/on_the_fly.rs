@@ -20,17 +20,16 @@ use std::time::Duration;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A data provider (VITO in the paper) publishes the product.
     let fixture = ParisFixture::generate(2019, 16, 12);
-    let mut lai = grids::lai_dataset(
-        &fixture.world,
-        &grids::GridSpec::monthly_2017(24, 2019),
-    );
+    let mut lai = grids::lai_dataset(&fixture.world, &grids::GridSpec::monthly_2017(24, 2019));
     lai.name = "Copernicus-Land-timeseries-global-LAI".into();
 
     let mut workflow = VirtualWorkflow::local();
     workflow.publish(lai);
 
     // --- The SDL path (RAMANI Maps-API request methods).
-    let meta = workflow.sdl().get_metadata("Copernicus-Land-timeseries-global-LAI")?;
+    let meta = workflow
+        .sdl()
+        .get_metadata("Copernicus-Land-timeseries-global-LAI")?;
     println!(
         "dataset extent: {:?}, time steps: {}",
         meta.extent.unwrap(),

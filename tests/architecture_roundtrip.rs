@@ -83,9 +83,29 @@ fn gridded_data_flows_through_opendap_to_queries() {
         .unwrap();
     assert!(r.len() > 50);
     for i in 0..r.len() {
-        assert!(r.value(i, "lai").unwrap().as_literal().unwrap().as_f64().unwrap() > 0.0);
-        assert!(r.value(i, "wkt").unwrap().as_literal().unwrap().as_geometry().is_some());
-        assert!(r.value(i, "t").unwrap().as_literal().unwrap().as_datetime().is_some());
+        assert!(
+            r.value(i, "lai")
+                .unwrap()
+                .as_literal()
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+        assert!(r
+            .value(i, "wkt")
+            .unwrap()
+            .as_literal()
+            .unwrap()
+            .as_geometry()
+            .is_some());
+        assert!(r
+            .value(i, "t")
+            .unwrap()
+            .as_literal()
+            .unwrap()
+            .as_datetime()
+            .is_some());
     }
 }
 
@@ -99,8 +119,14 @@ fn interlinking_connects_the_silos() {
     // interlinked with OpenStreetMap data for the same areas": here a
     // second publication of the parks under different IRIs.
     let external_mapping = mappings::OSM_MAPPING
-        .replace("osm:poi_{id}", "<http://linkedgeodata.example.org/poi_{id}>")
-        .replace("osm:geom_{id}", "<http://linkedgeodata.example.org/geom_{id}>");
+        .replace(
+            "osm:poi_{id}",
+            "<http://linkedgeodata.example.org/poi_{id}>",
+        )
+        .replace(
+            "osm:geom_{id}",
+            "<http://linkedgeodata.example.org/geom_{id}>",
+        );
     let ms = copernicus_app_lab::geotriples::parse_mappings(&external_mapping).unwrap();
     let external = copernicus_app_lab::geotriples::process(&ms[0], &fixture.world.osm_table());
 
@@ -125,9 +151,8 @@ fn catalog_and_visualization_close_the_loop() {
     // Catalog: the datasets used above are discoverable.
     let mut catalog = CatalogIndex::new();
     catalog.add(corine_annotation());
-    let hits = catalog.search(
-        &SearchQuery::text(&["land", "cover"]).covering(Coord::new(7.68, 45.07)),
-    );
+    let hits =
+        catalog.search(&SearchQuery::text(&["land", "cover"]).covering(Coord::new(7.68, 45.07)));
     assert_eq!(hits.len(), 1);
 
     // Visualization: a layer straight from a GeoSPARQL result.

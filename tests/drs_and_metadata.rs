@@ -99,7 +99,10 @@ fn reprocessed_versions_expose_only_the_latest() {
     ];
     let latest = latest_versions(granules);
     assert_eq!(latest.len(), 3);
-    assert_eq!(latest.iter().map(|g| g.version).collect::<Vec<_>>(), vec![1, 0, 2]);
+    assert_eq!(
+        latest.iter().map(|g| g.version).collect::<Vec<_>>(),
+        vec![1, 0, 2]
+    );
     let agg = aggregate_time(&latest).unwrap();
     assert_eq!(agg.dim_len("time"), Some(3));
     // The aggregation is itself servable over DAP.

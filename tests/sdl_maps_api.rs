@@ -45,13 +45,27 @@ fn all_request_methods() {
 
     // getTransect
     let transect = sdl
-        .get_transect("lai", "LAI", Coord::new(2.05, 48.75), Coord::new(2.55, 48.95), JULY, 10)
+        .get_transect(
+            "lai",
+            "LAI",
+            Coord::new(2.05, 48.75),
+            Coord::new(2.55, 48.95),
+            JULY,
+            10,
+        )
         .unwrap();
     assert_eq!(transect.len(), 10);
 
     // getMap
     let map = sdl
-        .get_map("lai", "LAI", &Envelope::new(2.1, 48.8, 2.5, 48.95), JULY, 16, 16)
+        .get_map(
+            "lai",
+            "LAI",
+            &Envelope::new(2.1, 48.8, 2.5, 48.95),
+            JULY,
+            16,
+            16,
+        )
         .unwrap();
     assert_eq!(map.shape(), &[16, 16]);
 

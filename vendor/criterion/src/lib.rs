@@ -1,0 +1,211 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, per-input
+//! benches, `Bencher::iter`) with a plain wall-clock harness: each
+//! benchmark runs `sample_size` samples and reports min/median to stdout.
+//! No statistics machinery, no plots — enough to compare engines locally.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for macro compatibility; there is no CLI to configure from.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: `function/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Passed to the benchmark closure; times the routine under measurement.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then time enough iterations to be measurable.
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= Duration::from_millis(10) || iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+fn run_benchmark(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 1,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed.as_secs_f64() / b.iters.max(1) as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let min = per_iter.first().copied().unwrap_or(0.0);
+    let median = per_iter[per_iter.len() / 2];
+    println!(
+        "bench {label:<60} min {:>12}  median {:>12}",
+        format_time(min),
+        format_time(median)
+    );
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Define a group runner function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut ran = 0u32;
+        group.bench_function("f", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran += 1;
+        });
+        group.bench_with_input(BenchmarkId::new("with", 3), &3u32, |b, &x| {
+            b.iter(|| std::hint::black_box(x * 2))
+        });
+        group.finish();
+        assert_eq!(ran, 2);
+    }
+}

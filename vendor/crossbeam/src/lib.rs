@@ -1,0 +1,107 @@
+//! Offline stand-in for the `crossbeam` facade. Only `crossbeam::channel`
+//! is used in this workspace (the sdl worker pool); it is provided here as
+//! a cloneable-receiver MPMC channel built from `std::sync::mpsc` plus a
+//! mutex on the receiving side.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// Error returned by [`Sender::send`] on a closed channel.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // Like the real crate: Debug regardless of whether T is Debug.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] on a closed, drained channel.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let guard = self.0.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv().map_err(|_| RecvError)
+        }
+
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            let guard = self.0.lock().unwrap_or_else(|e| e.into_inner());
+            guard.try_recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// An unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn multi_consumer_drains_everything() {
+            let (tx, rx) = unbounded::<u32>();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut seen = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| {
+                        let rx = rx.clone();
+                        scope.spawn(move || {
+                            let mut got = Vec::new();
+                            while let Ok(v) = rx.recv() {
+                                got.push(v);
+                            }
+                            got
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().unwrap())
+                    .collect::<Vec<_>>()
+            });
+            seen.sort_unstable();
+            assert_eq!(seen, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn recv_fails_after_close() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy combinators and macros this workspace's property
+//! tests use — range/regex-literal/tuple/oneof/vec strategies, `prop_map`,
+//! `any`, and the `proptest!`/`prop_assert*` macros — over a deterministic
+//! RNG. Failing cases report their inputs but are **not shrunk**; set
+//! `PROPTEST_CASES` to change the per-test case count (default 64).
+
+pub mod strategy;
+
+pub mod collection;
+
+pub use strategy::{Arbitrary, Strategy};
+
+/// A failed property case.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+/// Generate a value of `T` from its whole-domain strategy.
+pub fn any<T: Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+pub mod test_runner {
+    pub use super::TestCaseError;
+}
+
+pub mod prelude {
+    pub use super::strategy::{Arbitrary, Just, Strategy};
+    pub use super::{any, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[doc(hidden)]
+pub mod runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::TestCaseError;
+
+    pub type TestRng = StdRng;
+
+    fn case_count() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// Run `case` repeatedly with fresh inputs; panic with the inputs of the
+    /// first failing case.
+    pub fn run(
+        file: &str,
+        line: u32,
+        mut case: impl FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+    ) {
+        // A seed derived from the call site keeps distinct tests on distinct
+        // streams while staying reproducible run-to-run.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64 ^ u64::from(line);
+        for b in file.bytes() {
+            seed = seed.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64);
+        }
+        let mut rng = TestRng::seed_from_u64(seed);
+        let cases = case_count();
+        for i in 0..cases {
+            let (inputs, result) = case(&mut rng);
+            if let Err(TestCaseError(msg)) = result {
+                panic!(
+                    "property failed at {file}:{line} (case {i}/{cases}):\n{msg}\ninputs:\n{inputs}"
+                );
+            }
+        }
+    }
+
+    #[doc(hidden)]
+    pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "test body panicked".to_string()
+        }
+    }
+}
+
+/// Define property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::runner::run(file!(), line!(), |rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), rng);)+
+                    let inputs = {
+                        let mut s = String::new();
+                        $(s.push_str(&format!(
+                            "  {} = {:?}\n", stringify!($arg), &$arg
+                        ));)+
+                        s
+                    };
+                    let result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            || -> ::std::result::Result<(), $crate::TestCaseError> {
+                                $body
+                                Ok(())
+                            },
+                        ),
+                    )
+                    .unwrap_or_else(|p| {
+                        Err($crate::TestCaseError::fail($crate::runner::panic_message(p)))
+                    });
+                    (inputs, result)
+                });
+            }
+        )*
+    };
+}
+
+/// Assert inside a property body; failures abort only the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: {:?} == {:?}: {}", a, b, format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: {:?} != {:?}: {}", a, b, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,372 @@
+//! Strategy combinators: how test inputs are generated.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::{Rng, SampleRange};
+
+use crate::runner::TestRng;
+
+/// A recipe for generating random values of `Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// `strategy.prop_map(f)`.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: Clone,
+    Range<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: Clone,
+    RangeInclusive<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Whole-domain strategy for `T`, produced by [`crate::any`].
+pub struct Any<T>(pub(crate) PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values only: reinterpreted bit patterns would also produce
+        // NaN/inf, which none of the workspace properties are written for.
+        let v = f64::from_bits(rng.next_u64());
+        if v.is_finite() {
+            v
+        } else {
+            rng.gen_range(-1.0e12..1.0e12)
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+// --- regex-literal string strategies -------------------------------------
+
+/// `&str` patterns act as generators for the regex subset the workspace
+/// uses: sequences of literal chars and `[...]` classes (with `a-z` ranges
+/// and `\n`/`\t`/`\\`-style escapes), each optionally quantified by `{n}`
+/// or `{m,n}`.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (candidates, min, max) in &atoms {
+            let count = rng.gen_range(*min..=*max);
+            for _ in 0..count {
+                let i = rng.gen_range(0..candidates.len());
+                out.push(candidates[i]);
+            }
+        }
+        out
+    }
+}
+
+type Atom = (Vec<char>, usize, usize);
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms: Vec<Atom> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let candidates = if chars[i] == '[' {
+            let (set, next) = parse_class(&chars, i + 1, pattern);
+            i = next;
+            set
+        } else {
+            let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                i += 1;
+                unescape(chars[i])
+            } else {
+                chars[i]
+            };
+            i += 1;
+            vec![c]
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i, pattern);
+        atoms.push((candidates, min, max));
+    }
+    atoms
+}
+
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let lo = if chars[i] == '\\' {
+            i += 1;
+            unescape(chars[i])
+        } else {
+            chars[i]
+        };
+        // `a-z` range, unless the `-` is the final char of the class.
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let hi = if chars[i + 2] == '\\' {
+                i += 1;
+                unescape(chars[i + 2])
+            } else {
+                chars[i + 2]
+            };
+            set.extend(lo..=hi);
+            i += 3;
+        } else {
+            set.push(lo);
+            i += 1;
+        }
+    }
+    assert!(
+        i < chars.len(),
+        "unterminated char class in pattern {pattern:?}"
+    );
+    assert!(!set.is_empty(), "empty char class in pattern {pattern:?}");
+    (set, i + 1)
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    if *i >= chars.len() || chars[*i] != '{' {
+        return (1, 1);
+    }
+    let close = chars[*i..]
+        .iter()
+        .position(|&c| c == '}')
+        .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern:?}"));
+    let body: String = chars[*i + 1..*i + close].iter().collect();
+    *i += close + 1;
+    match body.split_once(',') {
+        Some((m, n)) => (
+            m.trim().parse().expect("bad quantifier min"),
+            n.trim().parse().expect("bad quantifier max"),
+        ),
+        None => {
+            let n = body.trim().parse().expect("bad quantifier count");
+            (n, n)
+        }
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+// --- type-erased strategies & unions -------------------------------------
+
+/// Object-safe view of a strategy, for [`Union`] / `prop_oneof!`.
+pub trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+pub fn boxed<S: Strategy + 'static>(strategy: S) -> Box<dyn DynStrategy<S::Value>> {
+    Box::new(strategy)
+}
+
+/// Uniform choice among strategies producing the same value type.
+pub struct Union<T> {
+    options: Vec<Box<dyn DynStrategy<T>>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<Box<dyn DynStrategy<T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate_dyn(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn ranges_and_maps_compose() {
+        let mut rng = rng();
+        let strat = (0i64..10, 1.0f64..2.0).prop_map(|(a, b)| a as f64 * b);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((0.0..20.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn regex_literals_match_their_own_shape() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9]{0,8}".generate(&mut rng);
+            assert!((1..=9).contains(&s.chars().count()), "{s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_lowercase(), "{s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn regex_escapes_and_wide_classes() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = "[ -~éλ\n\"\\\\]{0,20}".generate(&mut rng);
+            assert!(s.chars().count() <= 20);
+            for c in s.chars() {
+                assert!(
+                    (' '..='~').contains(&c) || c == 'é' || c == 'λ' || c == '\n',
+                    "{c:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn union_covers_all_options() {
+        let mut rng = rng();
+        let strat = Union::new(vec![boxed(Just(1u8)), boxed(Just(2u8))]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates model types with `#[derive(Serialize,
+//! Deserialize)]` but contains no serializer backend, so the traits here
+//! are markers satisfied by every type and the derives are no-ops. If a
+//! real serialization backend is ever added, replace this stand-in with the
+//! actual crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}

@@ -1,0 +1,18 @@
+//! No-op derive macros for the offline `serde` stand-in.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its model types but
+//! never runs a serializer (there is no serde_json in the tree), so the
+//! derives only need to typecheck. The stand-in `serde` crate provides
+//! blanket implementations; these derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
