@@ -14,6 +14,7 @@
 //!   behaviour (Section 5);
 //! * [`acdd`] — ACDD metadata-completeness scoring and recommendations
 //!   (Section 3.1's metadata tooling).
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 
 pub mod acdd;
 pub mod array;

@@ -71,4 +71,6 @@ fn main() {
         ],
         &rows,
     );
+
+    applab_bench::dump_metrics("cache");
 }

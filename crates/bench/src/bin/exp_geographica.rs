@@ -192,4 +192,6 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_geographica.json", &json).expect("write BENCH_geographica.json");
     println!("\nwrote BENCH_geographica.json");
+
+    applab_bench::dump_metrics("geographica");
 }

@@ -67,4 +67,6 @@ fn main() {
     let f = ParisFixture::generate(1, 24, 8);
     let small = process_parallel(mapping, &f.world.corine_table(), 4);
     println!("\n(Paris fixture sanity: {} triples)", small.len());
+
+    applab_bench::dump_metrics("geotriples");
 }

@@ -85,4 +85,6 @@ fn main() {
         ],
         &rows,
     );
+
+    applab_bench::dump_metrics("link");
 }

@@ -124,4 +124,6 @@ fn main() {
         "\non-the-fly / materialized ratio: {:.0}x (paper: 'two orders of magnitude')",
         fly_total / mat_total
     );
+
+    applab_bench::dump_metrics("ondemand");
 }

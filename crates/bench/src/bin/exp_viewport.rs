@@ -77,4 +77,6 @@ fn main() {
         &["strategy", "cache units requested", "hits", "hit rate"],
         &rows,
     );
+
+    applab_bench::dump_metrics("viewport");
 }

@@ -172,6 +172,18 @@ pub fn poisson_arrivals(seed: u64, n: usize, mean_secs: f64) -> Vec<f64> {
         .collect()
 }
 
+/// Dump the global `applab-obs` metrics registry as a JSON snapshot next
+/// to the experiment's own output file: `METRICS_<experiment>.json`. Every
+/// `exp_*` harness calls this last, so the counters accumulated during the
+/// run (scans, pushdowns, round trips, cache hits…) land on disk with the
+/// timing numbers.
+pub fn dump_metrics(experiment: &str) {
+    let path = format!("METRICS_{experiment}.json");
+    let json = applab_obs::global().to_json();
+    std::fs::write(&path, format!("{json}\n")).expect("write metrics snapshot");
+    println!("wrote {path}");
+}
+
 /// Markdown-ish table printer shared by the `exp_*` harnesses.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}\n");

@@ -12,6 +12,7 @@
 //!   JSON-LD and RDF serializations;
 //! * [`index`] — a keyword + spatial + facet search index answering the
 //!   motivating query locally.
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 
 pub mod index;
 pub mod schema_org;

@@ -1,0 +1,38 @@
+//! Query EXPLAIN/profiling output.
+//!
+//! Both workflow facades offer a `query_explained` variant that runs the
+//! query under an [`applab_obs::profile`] trace and returns the results
+//! together with the reconstructed span tree: per-stage wall-clock timings
+//! (parse / scan / join / filter / project, plus the backend-specific
+//! `obda.*` stages) and the cardinality fields each stage recorded.
+
+use applab_obs::SpanNode;
+use applab_sparql::QueryResults;
+
+/// The result of an EXPLAIN-ed query: the ordinary results plus the
+/// profile tree collected while producing them.
+#[derive(Debug, Clone)]
+pub struct Explain {
+    /// The query results, identical to what `query` returns.
+    pub results: QueryResults,
+    /// Root of the span tree (named `query`, with a `backend` field).
+    pub profile: SpanNode,
+}
+
+impl Explain {
+    /// Wall-clock duration of the whole query.
+    pub fn total_duration_ns(&self) -> u64 {
+        self.profile.duration_ns()
+    }
+
+    /// The rendered per-stage report (indented tree with timings and
+    /// `key=value` cardinalities).
+    pub fn report(&self) -> String {
+        self.profile.render()
+    }
+
+    /// The profile tree as JSON.
+    pub fn to_json(&self) -> String {
+        self.profile.to_json()
+    }
+}

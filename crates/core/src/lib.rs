@@ -11,19 +11,28 @@
 //!   `opendap` virtual table, query the virtual RDF graphs with GeoSPARQL
 //!   *without materializing anything*;
 //! * [`greenness`] — the Section 4 case-study analysis (Figure 4).
+//!
+//! Both workflows expose `query_explained`, which runs the query under an
+//! `applab-obs` trace and returns an [`explain::Explain`]: the results plus
+//! the per-stage timing/cardinality span tree (see `DESIGN.md`
+//! "Observability").
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 
 pub mod error;
+pub mod explain;
 pub mod greenness;
 pub mod materialized;
 pub mod r#virtual;
 
 pub use error::CoreError;
+pub use explain::Explain;
 pub use materialized::MaterializedWorkflow;
 pub use r#virtual::VirtualWorkflow;
 
 /// Convenience prelude re-exporting the API surface downstream users need.
 pub mod prelude {
     pub use crate::error::CoreError;
+    pub use crate::explain::Explain;
     pub use crate::materialized::MaterializedWorkflow;
     pub use crate::r#virtual::VirtualWorkflow;
     pub use applab_geo::prelude::*;

@@ -96,6 +96,20 @@ impl MaterializedWorkflow {
         Ok(applab_sparql::evaluate(&self.store, &q)?)
     }
 
+    /// Run a query under a profiling trace: the results plus an EXPLAIN
+    /// span tree with per-stage timings and cardinalities.
+    pub fn query_explained(&self, sparql: &str) -> Result<crate::Explain, CoreError> {
+        let (results, profile) = applab_obs::profile("query", |root| {
+            root.record("backend", "store");
+            let q = applab_sparql::parse_query(sparql)?;
+            Ok::<_, CoreError>(applab_sparql::evaluate(&self.store, &q)?)
+        });
+        Ok(crate::Explain {
+            results: results?,
+            profile,
+        })
+    }
+
     /// The underlying store (for benches and advanced callers).
     pub fn store(&self) -> &SpatioTemporalStore {
         &self.store

@@ -109,6 +109,7 @@ impl VirtualWorkflow {
     /// Build (or reuse) the virtual graph.
     fn graph(&mut self) -> Result<&VirtualGraph, CoreError> {
         if self.graph.is_none() {
+            let mut span = applab_obs::span("obda.build_graph");
             let ds = self
                 .datasource
                 .take()
@@ -117,6 +118,7 @@ impl VirtualWorkflow {
             for doc in &self.mapping_docs {
                 mappings.extend(parse_mappings(doc)?);
             }
+            span.record("mappings", mappings.len());
             self.graph = Some(VirtualGraph::new(ds, mappings)?);
         }
         Ok(self.graph.as_ref().expect("just built"))
@@ -128,6 +130,22 @@ impl VirtualWorkflow {
         let q = applab_sparql::parse_query(sparql)?;
         let g = self.graph()?;
         Ok(applab_sparql::evaluate(g, &q)?)
+    }
+
+    /// Run a query under a profiling trace: the results plus an EXPLAIN
+    /// span tree with per-stage timings and cardinalities. The first query
+    /// seals the configuration.
+    pub fn query_explained(&mut self, sparql: &str) -> Result<crate::Explain, CoreError> {
+        let (results, profile) = applab_obs::profile("query", |root| {
+            root.record("backend", "obda");
+            let q = applab_sparql::parse_query(sparql)?;
+            let g = self.graph()?;
+            Ok::<_, CoreError>(applab_sparql::evaluate(g, &q)?)
+        });
+        Ok(crate::Explain {
+            results: results?,
+            profile,
+        })
     }
 
     /// Materialize every mapping (the "for more costly operations it is

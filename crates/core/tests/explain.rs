@@ -1,0 +1,83 @@
+//! `query_explained` on both workflow facades: the EXPLAIN tree carries
+//! the expected stages, cardinalities, and backend tag, and the results
+//! match the plain `query` path.
+
+use applab_core::{MaterializedWorkflow, VirtualWorkflow};
+use applab_data::{mappings, ParisFixture};
+
+const QUERY: &str =
+    "SELECT ?a ?p WHERE { ?a a ua:UrbanAtlasArea ; ua:hasPopulation ?p . FILTER(?p > 1000) }";
+
+#[test]
+fn materialized_explain_reports_stages() {
+    let fixture = ParisFixture::generate(7, 12, 8);
+    let mut wf = MaterializedWorkflow::new();
+    wf.load_table(
+        &fixture.world.urban_atlas_table(),
+        mappings::URBAN_ATLAS_MAPPING,
+    )
+    .unwrap();
+
+    let plain = wf.query(QUERY).unwrap();
+    let explained = wf.query_explained(QUERY).unwrap();
+    assert_eq!(plain, explained.results);
+    assert!(!explained.results.is_empty());
+
+    let tree = &explained.profile;
+    assert_eq!(tree.name(), "query");
+    assert_eq!(
+        tree.field("backend").map(ToString::to_string),
+        Some("store".into())
+    );
+    for stage in [
+        "parse",
+        "sparql.evaluate",
+        "bgp",
+        "scan",
+        "filter",
+        "project",
+    ] {
+        assert!(tree.find(stage).is_some(), "missing stage {stage}");
+    }
+    // Cardinalities: the project output matches the result row count.
+    let project = tree.find("project").unwrap();
+    assert_eq!(
+        project.field("rows").map(ToString::to_string),
+        Some(explained.results.len().to_string())
+    );
+    assert!(explained.total_duration_ns() > 0);
+    let report = explained.report();
+    assert!(report.contains("backend=store"), "{report}");
+    assert!(explained.to_json().contains("\"name\": \"query\""));
+}
+
+#[test]
+fn virtual_explain_reports_obda_stages() {
+    let fixture = ParisFixture::generate(7, 12, 8);
+    let mut wf = VirtualWorkflow::local();
+    wf.add_table(fixture.world.urban_atlas_table()).unwrap();
+    wf.add_mappings(mappings::URBAN_ATLAS_MAPPING).unwrap();
+
+    let explained = wf.query_explained(QUERY).unwrap();
+    assert!(!explained.results.is_empty());
+
+    let tree = &explained.profile;
+    assert_eq!(
+        tree.field("backend").map(ToString::to_string),
+        Some("obda".into())
+    );
+    // First query both builds the virtual graph and rewrites the BGP.
+    for stage in [
+        "obda.build_graph",
+        "sparql.evaluate",
+        "bgp",
+        "obda.bgp_rewrite",
+    ] {
+        assert!(tree.find(stage).is_some(), "missing stage {stage}");
+    }
+
+    // Second query: graph already built, BGP still rewritten.
+    let again = wf.query_explained(QUERY).unwrap();
+    assert_eq!(again.results, explained.results);
+    assert!(again.profile.find("obda.bgp_rewrite").is_some());
+}

@@ -9,7 +9,6 @@ use crate::server::DapServer;
 use crate::transport::Transport;
 use crate::{das, dds, dods, DapError};
 use applab_array::Variable;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A client bound to one server through a transport.
@@ -17,16 +16,22 @@ pub struct DapClient {
     server: Arc<DapServer>,
     transport: Arc<dyn Transport>,
     token: Option<String>,
-    bytes_received: AtomicU64,
+    /// Instance-labeled handle into the global metrics registry; the
+    /// [`bytes_received`](Self::bytes_received) getter reads it back.
+    bytes_received: Arc<applab_obs::Counter>,
 }
 
 impl DapClient {
     pub fn new(server: Arc<DapServer>, transport: Arc<dyn Transport>) -> Self {
+        let instance = applab_obs::next_instance_id().to_string();
         DapClient {
             server,
             transport,
             token: None,
-            bytes_received: AtomicU64::new(0),
+            bytes_received: applab_obs::global().counter_with(
+                "applab_dap_bytes_received_total",
+                &[("instance", &instance)],
+            ),
         }
     }
 
@@ -38,7 +43,7 @@ impl DapClient {
 
     /// Total payload bytes received so far.
     pub fn bytes_received(&self) -> u64 {
-        self.bytes_received.load(Ordering::Relaxed)
+        self.bytes_received.get()
     }
 
     /// Round trips performed so far (from the transport).
@@ -47,21 +52,26 @@ impl DapClient {
     }
 
     fn account(&self, bytes: usize) {
-        self.bytes_received
-            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.bytes_received.add(bytes as u64);
         self.transport.charge(bytes);
     }
 
     /// Fetch and parse the DDS.
     pub fn get_dds(&self, dataset: &str) -> Result<dds::Dds, DapError> {
+        let mut span = applab_obs::span("dap.request");
+        span.record("kind", "dds");
         let text = self.server.dds(dataset, self.token.as_deref())?;
+        span.record("bytes", text.len());
         self.account(text.len());
         dds::parse(&text)
     }
 
     /// Fetch and parse the DAS.
     pub fn get_das(&self, dataset: &str) -> Result<das::Das, DapError> {
+        let mut span = applab_obs::span("dap.request");
+        span.record("kind", "das");
         let text = self.server.das(dataset, self.token.as_deref())?;
+        span.record("bytes", text.len());
         self.account(text.len());
         das::parse(&text)
     }
@@ -72,16 +82,22 @@ impl DapClient {
         dataset: &str,
         constraint: &Constraint,
     ) -> Result<Vec<Variable>, DapError> {
+        let mut span = applab_obs::span("dap.request");
+        span.record("kind", "dods");
         let payload = self
             .server
             .dods(dataset, constraint, self.token.as_deref())?;
+        span.record("bytes", payload.len());
         self.account(payload.len());
         dods::decode(payload)
     }
 
     /// Fetch the NcML document (DAS + DDS in one response).
     pub fn get_ncml(&self, dataset: &str) -> Result<String, DapError> {
+        let mut span = applab_obs::span("dap.request");
+        span.record("kind", "ncml");
         let text = crate::ncml_service::render(&self.server, dataset, self.token.as_deref())?;
+        span.record("bytes", text.len());
         self.account(text.len());
         Ok(text)
     }

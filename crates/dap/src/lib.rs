@@ -13,6 +13,11 @@
 //!   "two orders of magnitude" on-the-fly vs materialized gap);
 //! * [`drs`] — the "DRS-validator" command-line tool of Section 3.1;
 //! * [`ncml_service`] — the NcML service joining DAS + DDS in one document.
+//!
+//! Client requests emit `dap.request` spans, and the transports account
+//! round trips, bytes and simulated latency as instance-labeled
+//! `applab_dap_*` counters in the `applab-obs` global registry.
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 
 pub mod client;
 pub mod clock;

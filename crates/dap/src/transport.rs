@@ -8,8 +8,18 @@
 //! WAN: every request pays a latency and a bandwidth charge, implemented as
 //! a real sleep for benches and as pure accounting for tests.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use applab_obs::Counter;
+use std::sync::Arc;
 use std::time::Duration;
+
+/// An instance-labeled counter in the global metrics registry:
+/// `name{transport="...",instance="N"}`. Each transport keeps its own
+/// handle so per-instance getters stay exact even when several transports
+/// (e.g. parallel tests) run in one process, while the registry remains
+/// the single source of truth for exposition.
+fn transport_counter(name: &str, kind: &str, instance: &str) -> Arc<Counter> {
+    applab_obs::global().counter_with(name, &[("transport", kind), ("instance", instance)])
+}
 
 /// A transport charges a cost for moving a request/response pair.
 pub trait Transport: Send + Sync {
@@ -25,20 +35,29 @@ pub trait Transport: Send + Sync {
 
 /// A free transport: in-process calls, no cost (the "materialized locally"
 /// side of bench B1, and unit tests).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Local {
-    trips: AtomicU64,
+    trips: Arc<Counter>,
 }
 
 impl Local {
     pub fn new() -> Self {
-        Local::default()
+        let instance = applab_obs::next_instance_id().to_string();
+        Local {
+            trips: transport_counter("applab_dap_round_trips_total", "local", &instance),
+        }
+    }
+}
+
+impl Default for Local {
+    fn default() -> Self {
+        Local::new()
     }
 }
 
 impl Transport for Local {
     fn charge(&self, _bytes: usize) {
-        self.trips.fetch_add(1, Ordering::Relaxed);
+        self.trips.inc();
     }
 
     fn total_charged(&self) -> Duration {
@@ -46,7 +65,7 @@ impl Transport for Local {
     }
 
     fn round_trips(&self) -> u64 {
-        self.trips.load(Ordering::Relaxed)
+        self.trips.get()
     }
 }
 
@@ -62,8 +81,8 @@ pub struct SimulatedWan {
     /// clocks (and Criterion) observe the cost. When false, the cost is
     /// only accounted (fast deterministic tests).
     pub sleep: bool,
-    charged_nanos: AtomicU64,
-    trips: AtomicU64,
+    charged_nanos: Arc<Counter>,
+    trips: Arc<Counter>,
 }
 
 impl SimulatedWan {
@@ -73,12 +92,17 @@ impl SimulatedWan {
     }
 
     pub fn new(latency: Duration, bytes_per_sec: f64, sleep: bool) -> Self {
+        let instance = applab_obs::next_instance_id().to_string();
         SimulatedWan {
             latency,
             bytes_per_sec,
             sleep,
-            charged_nanos: AtomicU64::new(0),
-            trips: AtomicU64::new(0),
+            charged_nanos: transport_counter(
+                "applab_dap_simulated_latency_nanos_total",
+                "wan",
+                &instance,
+            ),
+            trips: transport_counter("applab_dap_round_trips_total", "wan", &instance),
         }
     }
 
@@ -92,20 +116,19 @@ impl SimulatedWan {
 impl Transport for SimulatedWan {
     fn charge(&self, bytes: usize) {
         let cost = self.cost(bytes);
-        self.charged_nanos
-            .fetch_add(cost.as_nanos() as u64, Ordering::Relaxed);
-        self.trips.fetch_add(1, Ordering::Relaxed);
+        self.charged_nanos.add(cost.as_nanos() as u64);
+        self.trips.inc();
         if self.sleep {
             std::thread::sleep(cost);
         }
     }
 
     fn total_charged(&self) -> Duration {
-        Duration::from_nanos(self.charged_nanos.load(Ordering::Relaxed))
+        Duration::from_nanos(self.charged_nanos.get())
     }
 
     fn round_trips(&self) -> u64 {
-        self.trips.load(Ordering::Relaxed)
+        self.trips.get()
     }
 }
 

@@ -19,6 +19,7 @@
 //!   benches;
 //! * [`mappings`] — the GeoTriples mapping documents for all four vector
 //!   datasets.
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 
 pub mod er;
 pub mod grids;

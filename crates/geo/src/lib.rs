@@ -8,6 +8,7 @@
 //!
 //! Everything is hand-rolled: the offline dependency policy for this
 //! reproduction does not allow geospatial crates (see `DESIGN.md` §2).
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 
 pub mod algorithms;
 pub mod coord;

@@ -14,6 +14,7 @@
 //!   measures its scaling);
 //! * [`json`] — a minimal JSON parser (no JSON crate in the offline
 //!   dependency set).
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 
 pub mod json;
 pub mod mapping;

@@ -17,6 +17,7 @@
 //!   threshold, output predicate), including the geospatial/temporal
 //!   extensions of [28];
 //! * [`runner`] — single- and multi-core link discovery.
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 
 pub mod blocking;
 pub mod entity;

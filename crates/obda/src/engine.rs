@@ -79,14 +79,19 @@ impl DataSource {
         query: &SourceQuery,
         spatial_hint: Option<(&str, &Envelope)>,
     ) -> Result<Vec<Row>, ObdaError> {
+        applab_obs::counter!("applab_obda_source_queries_total").inc();
+        let mut span = applab_obs::span("obda.execute");
         match &query.from {
             FromClause::Table(name) => {
+                span.record("table", name.clone());
                 let table = self
                     .tables
                     .get(name)
                     .ok_or_else(|| ObdaError::NoSuchTable(name.clone()))?;
                 let candidate_rows: Vec<&Row> = match spatial_hint {
                     Some((col, env)) if table.spatial.contains_key(col) => {
+                        applab_obs::counter!("applab_obda_rtree_scans_total").inc();
+                        span.record("rtree", true);
                         let mut idx: Vec<usize> =
                             table.spatial[col].query(env).into_iter().copied().collect();
                         idx.sort_unstable();
@@ -94,16 +99,20 @@ impl DataSource {
                     }
                     _ => table.source.rows.iter().collect(),
                 };
-                Ok(candidate_rows
+                span.record("candidates", candidate_rows.len());
+                let out: Vec<Row> = candidate_rows
                     .into_iter()
                     .filter(|row| query.predicates.iter().all(|p| matches(row, p)))
                     .map(|row| project(row, &query.columns))
-                    .collect())
+                    .collect();
+                span.record("rows", out.len());
+                Ok(out)
             }
             FromClause::Opendap {
                 dataset, variable, ..
             } => {
                 let key = format!("opendap:{dataset}:{variable}");
+                span.record("table", key.clone());
                 let vtable = self
                     .vtables
                     .get(&key)
@@ -112,7 +121,7 @@ impl DataSource {
                 // Remote rows have no index; selection is applied after the
                 // fetch — exactly the "no DBMS optimizations" situation the
                 // paper describes for the on-the-fly path.
-                Ok(rows
+                let out: Vec<Row> = rows
                     .rows
                     .iter()
                     .filter(|row| {
@@ -123,7 +132,9 @@ impl DataSource {
                             })
                     })
                     .map(|row| project(row, &query.columns))
-                    .collect())
+                    .collect();
+                span.record("rows", out.len());
+                Ok(out)
             }
         }
     }

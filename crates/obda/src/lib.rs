@@ -21,6 +21,10 @@
 //!   GeoTriples-format mappings and materialized *per query*, never stored.
 //!   It implements the whole-BGP rewriting hook, mirroring how Ontop
 //!   rewrites a SPARQL BGP into a single SQL query.
+//!
+//! The engine and the virtual graphs emit `obda.*` spans and
+//! `applab_obda_*` counters to the `applab-obs` global registry.
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 
 pub mod engine;
 pub mod sql;

@@ -103,6 +103,8 @@ impl VirtualGraph {
     /// "materialize the data" alternative of Section 5; used by tests to
     /// check virtual ≡ materialized, and by benches as the baseline).
     pub fn materialize(&self) -> Result<applab_rdf::Graph, ObdaError> {
+        let mut span = applab_obs::span("obda.materialize");
+        span.record("mappings", self.mappings.len());
         let mut g = applab_rdf::Graph::new();
         for (idx, cm) in self.mappings.iter().enumerate() {
             let rows = self.rows_for(idx, cm, None)?;
@@ -114,6 +116,7 @@ impl VirtualGraph {
                 }
             }
         }
+        span.record("triples", g.len());
         Ok(g)
     }
 
@@ -335,6 +338,9 @@ impl GraphSource for VirtualGraph {
         }
         {
             let (idx, cm) = viable?;
+            applab_obs::counter!("applab_obda_bgp_rewrites_total").inc();
+            let mut span = applab_obs::span("obda.bgp_rewrite");
+            span.record("patterns", patterns.len());
             let mut assignment: Vec<&TripleTemplate> = Vec::with_capacity(patterns.len());
             for pattern in patterns {
                 let template = cm
@@ -422,6 +428,8 @@ impl GraphSource for VirtualGraph {
                 }
                 bindings.push(binding);
             }
+            span.record("source_rows", rows.len());
+            span.record("rows", bindings.len());
             Some(bindings)
         }
     }

@@ -1,0 +1,70 @@
+//! `applab-obs` — zero-dependency observability for the App Lab stack.
+//!
+//! Three pieces, all hand-rolled on std (this build has no crates.io
+//! access, matching the vendored stand-ins under `vendor/`):
+//!
+//! * **metrics** ([`metrics`]) — a thread-safe registry of counters,
+//!   gauges and fixed-bucket histograms, exposable as Prometheus text
+//!   exposition ([`metrics::Registry::to_prometheus`]) and as a JSON
+//!   snapshot ([`metrics::Registry::to_json`]). Naming convention:
+//!   `applab_<crate>_<name>` with `_total` for counters.
+//! * **tracing** ([`trace`]) — named spans with wall-clock timing,
+//!   `key=value` fields and parent/child nesting that works across scoped
+//!   worker threads ([`trace::child_of`]); finished spans go to a
+//!   pluggable set of subscribers on top of a default ring buffer
+//!   ([`trace::recent`]), with an optional stderr writer
+//!   ([`trace::StderrWriter`]). With no subscriber registered, spans are
+//!   disabled no-ops, so instrumentation costs ~one atomic load per span
+//!   in production paths.
+//! * **reports** ([`report`]) — [`report::profile`] runs a closure under a
+//!   fresh trace and reassembles the span tree, which is what the
+//!   workflow facades return from their `EXPLAIN` APIs.
+//!
+//! Hot-path call sites use the [`counter!`]/[`gauge!`]/[`histogram!`]
+//! macros, which cache the registry handle in a local static so steady
+//! state is a single relaxed atomic op.
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
+
+pub mod metrics;
+pub mod report;
+pub mod trace;
+
+pub use metrics::{global, next_instance_id, Counter, Gauge, Histogram, Registry};
+pub use report::{build_trees, profile, SpanNode};
+pub use trace::{
+    child_of, current, recent, span, subscribe, unsubscribe, Collector, RingBuffer, Span,
+    SpanContext, SpanRecord, StderrWriter, Subscriber, Value,
+};
+
+/// A `&'static Counter` from the global registry, resolved once per call
+/// site: `obs::counter!("applab_store_scans_total").inc()`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        &**HANDLE.get_or_init(|| $crate::global().counter($name))
+    }};
+}
+
+/// A `&'static Gauge` from the global registry, resolved once per call
+/// site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Gauge>> =
+            ::std::sync::OnceLock::new();
+        &**HANDLE.get_or_init(|| $crate::global().gauge($name))
+    }};
+}
+
+/// A `&'static Histogram` from the global registry, resolved once per
+/// call site. Bounds apply on first registration only.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $bounds:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        &**HANDLE.get_or_init(|| $crate::global().histogram($name, $bounds))
+    }};
+}

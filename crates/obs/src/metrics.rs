@@ -1,0 +1,460 @@
+//! The metrics registry: counters, gauges and fixed-bucket histograms.
+//!
+//! Metrics are registered by name (convention: `applab_<crate>_<name>`,
+//! with `_total` for counters) in a process-global [`Registry`] and are
+//! updated lock-free through [`Counter`]/[`Gauge`]/[`Histogram`] handles.
+//! Handles are `Arc`s into the registry, so a component can keep its own
+//! handle for per-instance reads while the registry remains the single
+//! source of truth for exposition. Per-instance series are distinguished
+//! with labels (see [`Registry::counter_with`] and [`next_instance_id`]).
+//!
+//! Two exposition formats are supported: Prometheus text exposition
+//! ([`Registry::to_prometheus`]) and a JSON snapshot
+//! ([`Registry::to_json`]) that the `exp_*` bench harnesses dump next to
+//! their `BENCH_*.json` result files.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A fixed-bucket histogram in the Prometheus style: `bounds[i]` is the
+/// inclusive upper bound of bucket `i`, and one extra overflow bucket
+/// (`+Inf`) catches everything above the last bound.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` buckets; the last one is the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observed values, stored as `f64` bits and updated with a
+    /// compare-exchange loop (no atomic f64 in std).
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// `bounds` must be strictly increasing (checked in debug builds).
+    pub fn new(bounds: &[f64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Exponential bounds: `start, start*factor, ...` (`n` bounds).
+    pub fn exponential(start: f64, factor: f64, n: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(n);
+        let mut v = start;
+        for _ in 0..n {
+            out.push(v);
+            v *= factor;
+        }
+        out
+    }
+
+    pub fn observe(&self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Upper bounds (exclusive of the overflow bucket).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A thread-safe name → metric table.
+#[derive(Default)]
+pub struct Registry {
+    // BTreeMap: exposition output is sorted and therefore stable (the
+    // Prometheus golden test depends on this).
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or register the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_with(name, &[])
+    }
+
+    /// Get or register a labeled counter, e.g.
+    /// `counter_with("applab_sdl_cache_hits_total", &[("instance", "3")])`.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = render_key(name, labels);
+        if let Some(Metric::Counter(c)) = self.metrics.read().expect("registry lock").get(&key) {
+            return c.clone();
+        }
+        let mut metrics = self.metrics.write().expect("registry lock");
+        match metrics
+            .entry(key.clone())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {key} is already registered with a different type"),
+        }
+    }
+
+    /// Get or register the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[])
+    }
+
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = render_key(name, labels);
+        if let Some(Metric::Gauge(g)) = self.metrics.read().expect("registry lock").get(&key) {
+            return g.clone();
+        }
+        let mut metrics = self.metrics.write().expect("registry lock");
+        match metrics
+            .entry(key.clone())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {key} is already registered with a different type"),
+        }
+    }
+
+    /// Get or register the histogram `name`. The bounds of the first
+    /// registration win; later calls ignore `bounds`.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        let key = render_key(name, &[]);
+        if let Some(Metric::Histogram(h)) = self.metrics.read().expect("registry lock").get(&key) {
+            return h.clone();
+        }
+        let mut metrics = self.metrics.write().expect("registry lock");
+        match metrics
+            .entry(key.clone())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds))))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {key} is already registered with a different type"),
+        }
+    }
+
+    /// Zero every registered metric (handles stay valid). Benches use this
+    /// to scope a snapshot to one experiment.
+    pub fn reset(&self) {
+        for metric in self.metrics.read().expect("registry lock").values() {
+            match metric {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+
+    /// Prometheus text exposition format, sorted by series name.
+    pub fn to_prometheus(&self) -> String {
+        let metrics = self.metrics.read().expect("registry lock");
+        let mut out = String::new();
+        let mut last_base = String::new();
+        for (key, metric) in metrics.iter() {
+            let base = base_name(key);
+            let kind = match metric {
+                Metric::Counter(_) => "counter",
+                Metric::Gauge(_) => "gauge",
+                Metric::Histogram(_) => "histogram",
+            };
+            if base != last_base {
+                out.push_str(&format!("# TYPE {base} {kind}\n"));
+                last_base = base.to_string();
+            }
+            match metric {
+                Metric::Counter(c) => out.push_str(&format!("{key} {}\n", c.get())),
+                Metric::Gauge(g) => out.push_str(&format!("{key} {}\n", g.get())),
+                Metric::Histogram(h) => {
+                    let counts = h.bucket_counts();
+                    let mut cumulative = 0u64;
+                    for (i, n) in counts.iter().enumerate() {
+                        cumulative += n;
+                        let le = match h.bounds().get(i) {
+                            Some(b) => format_f64(*b),
+                            None => "+Inf".to_string(),
+                        };
+                        out.push_str(&format!("{key}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                    }
+                    out.push_str(&format!("{key}_sum {}\n", format_f64(h.sum())));
+                    out.push_str(&format!("{key}_count {}\n", h.count()));
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON snapshot: `{"counters": {...}, "gauges": {...},
+    /// "histograms": {...}}`, sorted by series name.
+    pub fn to_json(&self) -> String {
+        let metrics = self.metrics.read().expect("registry lock");
+        let mut counters = String::new();
+        let mut gauges = String::new();
+        let mut histograms = String::new();
+        for (key, metric) in metrics.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    push_entry(&mut counters, key, &c.get().to_string());
+                }
+                Metric::Gauge(g) => {
+                    push_entry(&mut gauges, key, &g.get().to_string());
+                }
+                Metric::Histogram(h) => {
+                    let bounds: Vec<String> = h.bounds().iter().map(|b| format_f64(*b)).collect();
+                    let counts: Vec<String> =
+                        h.bucket_counts().iter().map(u64::to_string).collect();
+                    let value = format!(
+                        "{{\"bounds\": [{}], \"counts\": [{}], \"sum\": {}, \"count\": {}}}",
+                        bounds.join(", "),
+                        counts.join(", "),
+                        format_f64(h.sum()),
+                        h.count()
+                    );
+                    push_entry(&mut histograms, key, &value);
+                }
+            }
+        }
+        format!(
+            "{{\n  \"counters\": {{{counters}}},\n  \"gauges\": {{{gauges}}},\n  \"histograms\": {{{histograms}}}\n}}\n"
+        )
+    }
+}
+
+fn push_entry(section: &mut String, key: &str, value: &str) {
+    if !section.is_empty() {
+        section.push(',');
+    }
+    section.push_str(&format!("\n    \"{}\": {value}", escape_json(key)));
+}
+
+/// `name{k="v",...}` with labels sorted by key; bare `name` without labels.
+fn render_key(name: &str, labels: &[(&str, &str)]) -> String {
+    debug_assert!(
+        name.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+        "invalid metric name {name:?}"
+    );
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut sorted: Vec<_> = labels.to_vec();
+    sorted.sort_unstable();
+    let rendered: Vec<String> = sorted
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    format!("{name}{{{}}}", rendered.join(","))
+}
+
+fn base_name(key: &str) -> &str {
+    key.split('{').next().unwrap_or(key)
+}
+
+/// Shortest clean rendering: integral values without trailing `.0` noise.
+fn format_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The process-global registry. Everything instrumented in the applab
+/// crates registers here.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// A process-unique id for per-instance metric labels (caches, transports).
+pub fn next_instance_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("applab_test_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name → same handle.
+        assert_eq!(r.counter("applab_test_total").get(), 5);
+        let g = r.gauge("applab_test_size");
+        g.set(7);
+        g.add(-2);
+        assert_eq!(g.get(), 5);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn labels_are_sorted_and_distinct() {
+        let r = Registry::new();
+        let a = r.counter_with("applab_x_total", &[("b", "2"), ("a", "1")]);
+        let b = r.counter_with("applab_x_total", &[("a", "1"), ("b", "2")]);
+        a.inc();
+        assert_eq!(b.get(), 1, "label order must not split the series");
+        let other = r.counter_with("applab_x_total", &[("a", "9")]);
+        assert_eq!(other.get(), 0);
+        assert!(r
+            .to_prometheus()
+            .contains("applab_x_total{a=\"1\",b=\"2\"} 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("applab_dup");
+        r.gauge("applab_dup");
+    }
+
+    #[test]
+    fn json_snapshot_escapes_label_quotes() {
+        let r = Registry::new();
+        r.counter_with("applab_j_total", &[("k", "v")]).inc();
+        let json = r.to_json();
+        assert!(
+            json.contains("\"applab_j_total{k=\\\"v\\\"}\": 1"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn exponential_bounds() {
+        assert_eq!(
+            Histogram::exponential(1.0, 10.0, 4),
+            vec![1.0, 10.0, 100.0, 1000.0]
+        );
+    }
+}

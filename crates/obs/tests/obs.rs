@@ -1,0 +1,154 @@
+//! Integration tests for `applab-obs`: histogram bucket semantics,
+//! concurrency, and a golden test for the Prometheus text format.
+
+use applab_obs::{build_trees, metrics, profile, Collector, Histogram, Registry};
+use std::sync::Arc;
+
+#[test]
+fn histogram_bucket_boundaries_including_overflow() {
+    let h = Histogram::new(&[1.0, 5.0, 10.0]);
+    // Exactly on a bound goes into that bucket (le semantics).
+    h.observe(1.0);
+    // Strictly above a bound goes into the next.
+    h.observe(1.0000001);
+    h.observe(5.0);
+    h.observe(7.5);
+    h.observe(10.0);
+    // Above the last bound: the overflow (+Inf) bucket.
+    h.observe(10.0000001);
+    h.observe(1e12);
+    // Below the first bound: the first bucket.
+    h.observe(0.0);
+    h.observe(-3.0);
+    assert_eq!(h.bucket_counts(), vec![3, 2, 2, 2]);
+    assert_eq!(h.count(), 9);
+    let expected_sum = 1.0 + 1.0000001 + 5.0 + 7.5 + 10.0 + 10.0000001 + 1e12 + 0.0 - 3.0;
+    assert!((h.sum() - expected_sum).abs() < 1e-6);
+}
+
+#[test]
+fn concurrent_counter_increments_from_scoped_threads() {
+    let r = Registry::new();
+    let c = r.counter("applab_obs_concurrency_total");
+    let h = r.histogram("applab_obs_concurrency_seconds", &[0.5, 1.5]);
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let c = c.clone();
+            let h = h.clone();
+            scope.spawn(move || {
+                for i in 0..10_000u64 {
+                    c.inc();
+                    if i % 100 == 0 {
+                        h.observe(1.0);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(c.get(), 80_000);
+    assert_eq!(h.count(), 800);
+    assert_eq!(h.bucket_counts(), vec![0, 800, 0]);
+    assert!((h.sum() - 800.0).abs() < 1e-9, "CAS sum loop lost updates");
+}
+
+#[test]
+fn prometheus_text_format_golden() {
+    let r = Registry::new();
+    r.counter("applab_demo_requests_total").add(3);
+    r.counter_with("applab_demo_requests_total", &[("instance", "1")])
+        .add(2);
+    r.gauge("applab_demo_dict_terms").set(42);
+    let h = r.histogram("applab_demo_latency_seconds", &[0.01, 0.1, 1.0]);
+    // Powers of two: the sum is exact in binary, so the golden text is
+    // stable.
+    h.observe(0.0078125);
+    h.observe(0.0625);
+    h.observe(0.5);
+    h.observe(5.0);
+    let expected = "\
+# TYPE applab_demo_dict_terms gauge
+applab_demo_dict_terms 42
+# TYPE applab_demo_latency_seconds histogram
+applab_demo_latency_seconds_bucket{le=\"0.01\"} 1
+applab_demo_latency_seconds_bucket{le=\"0.1\"} 2
+applab_demo_latency_seconds_bucket{le=\"1\"} 3
+applab_demo_latency_seconds_bucket{le=\"+Inf\"} 4
+applab_demo_latency_seconds_sum 5.5703125
+applab_demo_latency_seconds_count 4
+# TYPE applab_demo_requests_total counter
+applab_demo_requests_total 3
+applab_demo_requests_total{instance=\"1\"} 2
+";
+    assert_eq!(r.to_prometheus(), expected);
+}
+
+#[test]
+fn json_snapshot_shape() {
+    let r = Registry::new();
+    r.counter("applab_j_total").add(7);
+    r.gauge("applab_j_size").set(-3);
+    r.histogram("applab_j_seconds", &[1.0]).observe(0.5);
+    let json = r.to_json();
+    assert!(json.contains("\"applab_j_total\": 7"), "{json}");
+    assert!(json.contains("\"applab_j_size\": -3"), "{json}");
+    assert!(
+        json.contains("\"applab_j_seconds\": {\"bounds\": [1], \"counts\": [1, 0], \"sum\": 0.5, \"count\": 1}"),
+        "{json}"
+    );
+}
+
+#[test]
+fn global_registry_macros_share_handles() {
+    applab_obs::counter!("applab_obs_macro_total").inc();
+    applab_obs::counter!("applab_obs_macro_total").inc();
+    assert!(metrics::global().counter("applab_obs_macro_total").get() >= 2);
+    applab_obs::gauge!("applab_obs_macro_gauge").set(5);
+    assert_eq!(metrics::global().gauge("applab_obs_macro_gauge").get(), 5);
+    applab_obs::histogram!("applab_obs_macro_hist", &[1.0, 2.0]).observe(1.5);
+    assert!(
+        metrics::global()
+            .histogram("applab_obs_macro_hist", &[1.0, 2.0])
+            .count()
+            >= 1
+    );
+}
+
+#[test]
+fn profile_collects_cross_thread_chunk_spans() {
+    let ((), tree) = profile("parallel_root", |root| {
+        let ctx = root.context();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(move || {
+                    let mut c = applab_obs::child_of(Some(ctx), "chunk");
+                    c.record("rows", 25u64);
+                });
+            }
+        });
+    });
+    let mut chunks = Vec::new();
+    tree.find_all("chunk", &mut chunks);
+    assert_eq!(chunks.len(), 4);
+    for c in chunks {
+        assert_eq!(c.record.parent_id, Some(tree.record.span_id));
+        assert_eq!(c.field("rows").and_then(|v| v.as_u64()), Some(25));
+    }
+}
+
+#[test]
+fn build_trees_filters_foreign_traces() {
+    let collector = Arc::new(Collector::new());
+    let token = applab_obs::subscribe(collector.clone());
+    let trace_a = {
+        let _a = applab_obs::child_of(None, "a");
+        applab_obs::current().unwrap().trace_id
+    };
+    {
+        let _b = applab_obs::child_of(None, "b");
+    }
+    applab_obs::unsubscribe(token);
+    let records = collector.take();
+    let trees = build_trees(&records, trace_a);
+    assert_eq!(trees.len(), 1);
+    assert_eq!(trees[0].name(), "a");
+}

@@ -6,6 +6,7 @@
 //! and the App Lab namespaces `lai:`, `gadm:`, `clc:`, `ua:`, `osm:`), plus
 //! the INSPIRE-compliant ontologies of Figures 2 and 3 of the paper expressed
 //! as code.
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 
 pub mod datetime;
 pub mod graph;

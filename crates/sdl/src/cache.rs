@@ -22,7 +22,6 @@ use applab_geo::tile::TileGrid;
 use applab_geo::Envelope;
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -30,31 +29,38 @@ use std::time::Duration;
 type CacheEntry = (Duration, Arc<Vec<Variable>>);
 
 /// A keyed cache whose entries expire `window` after insertion.
+///
+/// Hit/miss counts live in the `applab-obs` global registry as
+/// instance-labeled `applab_sdl_cache_{hits,misses}_total` counters; the
+/// [`hits`](Self::hits)/[`misses`](Self::misses) getters are thin reads
+/// over this cache's own handles.
 pub struct SubsetCache {
     window: Duration,
     clock: Arc<dyn Clock>,
     entries: RwLock<HashMap<String, CacheEntry>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Arc<applab_obs::Counter>,
+    misses: Arc<applab_obs::Counter>,
 }
 
 impl SubsetCache {
     pub fn new(window: Duration, clock: Arc<dyn Clock>) -> Self {
+        let instance = applab_obs::next_instance_id().to_string();
+        let labels = [("instance", instance.as_str())];
         SubsetCache {
             window,
             clock,
             entries: RwLock::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: applab_obs::global().counter_with("applab_sdl_cache_hits_total", &labels),
+            misses: applab_obs::global().counter_with("applab_sdl_cache_misses_total", &labels),
         }
     }
 
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 
     /// Look up `key`; on miss (or expiry) call `fetch` and cache the result.
@@ -68,12 +74,12 @@ impl SubsetCache {
             let entries = self.entries.read();
             if let Some((at, value)) = entries.get(key) {
                 if now.saturating_sub(*at) < self.window {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.inc();
                     return Ok(value.clone());
                 }
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         let value = Arc::new(fetch()?);
         if self.window > Duration::ZERO {
             self.entries
@@ -213,6 +219,9 @@ impl TiledFetcher {
         viewport: &Envelope,
         time_idx: usize,
     ) -> Result<FetchStats, DapError> {
+        applab_obs::counter!("applab_sdl_tiled_viewports_total").inc();
+        let mut span = applab_obs::span("sdl.viewport");
+        span.record("fetcher", "tiled");
         let tiles = self.grid.covering(viewport, self.zoom);
         let mut stats = FetchStats {
             requests: tiles.len(),
@@ -237,6 +246,8 @@ impl TiledFetcher {
                 stats.cache_hits += 1;
             }
         }
+        span.record("requests", stats.requests);
+        span.record("cache_hits", stats.cache_hits);
         Ok(stats)
     }
 }
@@ -269,6 +280,9 @@ impl BboxFetcher {
         viewport: &Envelope,
         time_idx: usize,
     ) -> Result<FetchStats, DapError> {
+        applab_obs::counter!("applab_sdl_bbox_viewports_total").inc();
+        let mut span = applab_obs::span("sdl.viewport");
+        span.record("fetcher", "bbox");
         let key = format!(
             "{}:{}:{:.6}/{:.6}/{:.6}/{:.6}@{}",
             self.info.dataset,
@@ -287,10 +301,13 @@ impl BboxFetcher {
                 Err(e) => Err(e),
             }
         })?;
-        Ok(FetchStats {
+        let stats = FetchStats {
             requests: 1,
             cache_hits: (self.cache.hits() - before) as usize,
-        })
+        };
+        span.record("requests", stats.requests);
+        span.record("cache_hits", stats.cache_hits);
+        Ok(stats)
     }
 }
 

@@ -13,6 +13,11 @@
 //! variables ... such as a long-term (moving) average (summer-time) or
 //! spatial central tendency (city-average)") is [`analytics`]; Kubernetes
 //! is replaced by a crossbeam worker pool ([`pool`]).
+//!
+//! Viewport requests emit `sdl.viewport` spans and the subset cache
+//! reports instance-labeled `applab_sdl_cache_*` counters to the
+//! `applab-obs` global registry.
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 
 pub mod analytics;
 pub mod cache;

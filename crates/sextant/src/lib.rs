@@ -13,6 +13,7 @@
 //! * [`svg`] — the renderer (Figure 4 is regenerated as an SVG);
 //! * [`ontology`] — maps ↔ RDF via the map ontology, "allowing for easy
 //!   sharing, editing and search mechanisms over existing maps".
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 
 pub mod map;
 pub mod ontology;

@@ -136,6 +136,9 @@ pub fn evaluate_with(
     query: &Query,
     options: &EvalOptions,
 ) -> Result<QueryResults, EvalError> {
+    applab_obs::counter!("applab_sparql_queries_total").inc();
+    let started = std::time::Instant::now();
+    let mut eval_span = applab_obs::span("sparql.evaluate");
     let slots = Slots::new(&query.pattern);
     let width = slots.width;
     let n_real = slots.names.len();
@@ -153,7 +156,7 @@ pub fn evaluate_with(
         &Constraints::default(),
     );
 
-    match &query.form {
+    let out = match &query.form {
         QueryForm::Ask => Ok(QueryResults::Boolean(!id_rows.is_empty())),
         QueryForm::Construct { template } => {
             // Variables the template mentions, with their slots. Template
@@ -191,7 +194,11 @@ pub fn evaluate_with(
             let mut variables: Vec<String>;
             let mut rows: Vec<Row>;
 
-            if has_aggregates || !group_by.is_empty() {
+            let grouped = has_aggregates || !group_by.is_empty();
+            let mut proj_span = applab_obs::span(if grouped { "aggregate" } else { "project" });
+            proj_span.record("input_rows", id_rows.len());
+
+            if grouped {
                 (variables, rows) = ev.aggregate_id_rows(&id_rows, projection, group_by)?;
             } else if projection.is_empty() {
                 // SELECT *: every variable in the pattern, in pattern order.
@@ -242,6 +249,8 @@ pub fn evaluate_with(
                     })
                     .collect();
             }
+            proj_span.record("rows", rows.len());
+            drop(proj_span);
 
             // ORDER BY over the projected rows (pre-slice).
             if !query.order_by.is_empty() {
@@ -273,6 +282,26 @@ pub fn evaluate_with(
 
             Ok(QueryResults::Solutions { variables, rows })
         }
+    };
+
+    if let Ok(results) = &out {
+        eval_span.record("rows", result_cardinality(results));
+    }
+    drop(eval_span);
+    applab_obs::histogram!("applab_sparql_query_seconds", QUERY_SECONDS_BUCKETS)
+        .observe(started.elapsed().as_secs_f64());
+    out
+}
+
+/// Latency buckets for `applab_sparql_query_seconds`: 100µs up to 5s.
+const QUERY_SECONDS_BUCKETS: &[f64] =
+    &[0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0];
+
+fn result_cardinality(results: &QueryResults) -> u64 {
+    match results {
+        QueryResults::Boolean(_) => 1,
+        QueryResults::Graph(g) => g.len() as u64,
+        QueryResults::Solutions { rows, .. } => rows.len() as u64,
     }
 }
 
@@ -453,7 +482,10 @@ impl<'a> Evaluator<'a> {
                         .or_insert((s, e));
                 }
                 let inner_rows = self.eval_pattern(inner, input, &merged);
+                let mut fspan = applab_obs::span("filter");
+                fspan.record("input_rows", inner_rows.len());
                 let compiled = self.compile_conjuncts(expr);
+                fspan.record("conjuncts", compiled.len());
                 let mut out = Vec::with_capacity(inner_rows.len());
                 'rows: for row in inner_rows {
                     for c in &compiled {
@@ -463,6 +495,7 @@ impl<'a> Evaluator<'a> {
                     }
                     out.push(row);
                 }
+                fspan.record("rows", out.len());
                 out
             }
             GraphPattern::Join(left, right) => {
@@ -682,9 +715,14 @@ impl<'a> Evaluator<'a> {
         if patterns.is_empty() || input.is_empty() {
             return input;
         }
+        let mut bgp_span = applab_obs::span("bgp");
+        bgp_span.record("patterns", patterns.len());
+        bgp_span.record("input_rows", input.len());
         // OBDA fast path: let the source answer the whole BGP at once, then
         // hash-join the answers with the current solutions.
         if let Some(answers) = self.source.evaluate_bgp(patterns, &constraints.spatial) {
+            bgp_span.record("source_bgp", true);
+            bgp_span.record("source_rows", answers.len());
             let mut build = Vec::with_capacity(answers.len());
             for b in &answers {
                 let mut row = vec![None; self.slots.width];
@@ -704,8 +742,12 @@ impl<'a> Evaluator<'a> {
 
         // Scan every pattern exactly once into a match column.
         let mut columns: Vec<(Vec<IdRow>, Vec<usize>)> = Vec::with_capacity(patterns.len());
-        for p in patterns {
+        for (i, p) in patterns.iter().enumerate() {
+            let mut scan_span = applab_obs::span("scan");
+            scan_span.record("pattern", i);
             let col = self.scan_column(p, subst.as_deref(), constraints);
+            scan_span.record("rows", col.0.len());
+            drop(scan_span);
             if col.0.is_empty() {
                 return Vec::new();
             }
@@ -960,6 +1002,10 @@ impl<'a> Evaluator<'a> {
         if probe.len() == 1 && probe[0].iter().all(Option::is_none) {
             return build;
         }
+        applab_obs::counter!("applab_sparql_joins_total").inc();
+        let mut join_span = applab_obs::span("join");
+        join_span.record("probe", probe.len());
+        join_span.record("build", build.len());
         let width = self.slots.width;
         let mut bound_probe = vec![false; width];
         for row in &probe {
@@ -1087,17 +1133,23 @@ impl<'a> Evaluator<'a> {
                         })
                         .min(prows.len());
                     if workers > 1 {
+                        applab_obs::counter!("applab_sparql_parallel_probes_total").inc();
                         let chunk = prows.len().div_ceil(workers);
                         let pr = &probe_one;
+                        let parent = join_span.context();
                         let results: Vec<Vec<IdRow>> = std::thread::scope(|scope| {
                             let handles: Vec<_> = prows
                                 .chunks(chunk)
                                 .map(|c| {
                                     scope.spawn(move || {
+                                        let mut chunk_span =
+                                            applab_obs::child_of(Some(parent), "probe.chunk");
+                                        chunk_span.record("rows", c.len());
                                         let mut local = Vec::new();
                                         for &pi in c {
                                             pr(pi, &mut local);
                                         }
+                                        chunk_span.record("out", local.len());
                                         local
                                     })
                                 })
@@ -1118,6 +1170,7 @@ impl<'a> Evaluator<'a> {
                 }
             }
         }
+        join_span.record("out", out.len());
         out
     }
 

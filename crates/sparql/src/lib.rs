@@ -15,6 +15,13 @@
 //! [`source::GraphSource::triples_matching_spatial`], which the evaluator
 //! calls with envelopes extracted from `geof:` filters — the pushdown that
 //! Strabon and Ontop-spatial implement in the paper.
+//!
+//! The pipeline is instrumented with `applab-obs` spans
+//! (`parse`/`sparql.evaluate`/`bgp`/`scan`/`join`/`filter`/`project`/
+//! `aggregate`, plus `probe.chunk` on parallel-probe workers) and the
+//! `applab_sparql_*` metrics; wrap a call in [`applab_obs::profile`] to get
+//! the per-stage timing tree.
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 
 pub mod algebra;
 pub mod eval;

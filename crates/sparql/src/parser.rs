@@ -1209,6 +1209,8 @@ impl<'a> Parser<'a> {
 
 /// Parse a SPARQL query string.
 pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let mut span = applab_obs::span("parse");
+    span.record("bytes", input.len());
     Parser::new(input).parse_query()
 }
 

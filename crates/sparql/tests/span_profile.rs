@@ -1,0 +1,101 @@
+//! Span-tree equivalence between the sequential and parallel probe paths.
+//!
+//! Profiling the same query with the hash probe forced onto worker
+//! threads must yield (a) exactly the sequential results, and (b) the
+//! same stage structure once the per-chunk worker spans are stripped —
+//! the `probe.chunk` spans are the only trace-level difference, and they
+//! must be parented under the `join` span despite running on scoped
+//! threads.
+
+use applab_rdf::{Graph, Literal, Resource, Term, Triple};
+use applab_sparql::{evaluate_with, parse_query, EvalOptions, QueryResults};
+
+fn test_graph(n: usize) -> Graph {
+    let mut g = Graph::new();
+    for i in 0..n {
+        let s = Resource::named(format!("http://ex.org/s{i}"));
+        g.insert(Triple::new(
+            s.clone(),
+            "http://ex.org/kind",
+            Term::named(format!("http://ex.org/k{}", i % 3)),
+        ));
+        g.insert(Triple::new(
+            s,
+            "http://ex.org/value",
+            Literal::integer(i as i64),
+        ));
+    }
+    g
+}
+
+/// Pre-order stage names, skipping `probe.chunk` worker spans.
+fn shape(node: &applab_obs::SpanNode, out: &mut Vec<&'static str>) {
+    if node.name() == "probe.chunk" {
+        return;
+    }
+    out.push(node.name());
+    for c in &node.children {
+        shape(c, out);
+    }
+}
+
+#[test]
+fn parallel_probe_tree_matches_sequential_modulo_chunks() {
+    let g = test_graph(300);
+    let sparql = "SELECT ?s ?v WHERE { ?s <http://ex.org/kind> <http://ex.org/k1> . ?s <http://ex.org/value> ?v }";
+    let q = parse_query(sparql).unwrap();
+
+    let (seq_res, seq_tree) = applab_obs::profile("query", |_| {
+        evaluate_with(&g, &q, &EvalOptions::default()).unwrap()
+    });
+    let (par_res, par_tree) = applab_obs::profile("query", |_| {
+        evaluate_with(
+            &g,
+            &q,
+            &EvalOptions {
+                parallel_probe_threshold: 1,
+                parallel_workers: Some(4),
+            },
+        )
+        .unwrap()
+    });
+
+    // Identical output, identical row order.
+    assert_eq!(seq_res, par_res);
+    match &seq_res {
+        QueryResults::Solutions { rows, .. } => assert_eq!(rows.len(), 100),
+        other => panic!("expected solutions, got {other:?}"),
+    }
+
+    // Same stage skeleton once worker chunks are removed.
+    let (mut seq_shape, mut par_shape) = (Vec::new(), Vec::new());
+    shape(&seq_tree, &mut seq_shape);
+    shape(&par_tree, &mut par_shape);
+    assert_eq!(seq_shape, par_shape, "stage structure diverged");
+    for stage in ["sparql.evaluate", "bgp", "scan", "join", "project"] {
+        assert!(seq_shape.contains(&stage), "missing stage {stage}");
+    }
+
+    // The worker spans exist only in the parallel trace, and they nest
+    // under the join despite being recorded from scoped threads.
+    let mut chunks = Vec::new();
+    par_tree.find_all("probe.chunk", &mut chunks);
+    assert!(!chunks.is_empty(), "parallel run produced no chunk spans");
+    let join = par_tree.find("join").expect("join span");
+    let mut under_join = Vec::new();
+    join.find_all("probe.chunk", &mut under_join);
+    assert_eq!(under_join.len(), chunks.len());
+    let mut seq_chunks = Vec::new();
+    seq_tree.find_all("probe.chunk", &mut seq_chunks);
+    assert!(seq_chunks.is_empty());
+
+    // Cardinalities recorded on the join agree between the two paths.
+    let seq_join = seq_tree.find("join").expect("join span");
+    for key in ["probe", "build", "out"] {
+        assert_eq!(
+            seq_join.field(key).map(ToString::to_string),
+            join.field(key).map(ToString::to_string),
+            "join field {key}"
+        );
+    }
+}

@@ -10,6 +10,11 @@
 //! [`NaiveStore`] is the baseline: the same triples, no indexes at all —
 //! every pattern is a linear scan and every spatial filter is evaluated
 //! post-hoc. Bench B3 compares the two.
+//!
+//! The store reports `applab_store_*` metrics to the `applab-obs` global
+//! registry: scan and pushdown counters on the query path, dictionary and
+//! index size gauges refreshed on [`store::SpatioTemporalStore::finish_load`].
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 
 pub mod dict;
 pub mod naive;

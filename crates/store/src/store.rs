@@ -87,6 +87,10 @@ impl SpatioTemporalStore {
     pub fn finish_load(&mut self) {
         self.temporal.sort_unstable_by_key(|(t, _)| *t);
         self.temporal_sorted = true;
+        applab_obs::gauge!("applab_store_triples").set(self.len as i64);
+        applab_obs::gauge!("applab_store_dict_terms").set(self.dict.len() as i64);
+        applab_obs::gauge!("applab_store_spatial_index_entries").set(self.spatial.len() as i64);
+        applab_obs::gauge!("applab_store_temporal_index_entries").set(self.temporal.len() as i64);
     }
 
     fn decode_triple(&self, (s, p, o): Ids) -> Triple {
@@ -125,6 +129,7 @@ impl SpatioTemporalStore {
 
     /// Scan the best permutation index for an (s?, p?, o?) pattern.
     fn scan(&self, s: Option<u64>, p: Option<u64>, o: Option<u64>) -> Vec<Ids> {
+        applab_obs::counter!("applab_store_scans_total").inc();
         fn range2(set: &BTreeSet<Ids>, a: u64, b: u64) -> impl Iterator<Item = &Ids> + '_ {
             set.range((a, b, 0)..=(a, b, u64::MAX))
         }
@@ -180,6 +185,7 @@ impl GraphSource for SpatioTemporalStore {
         envelope: &Envelope,
     ) -> Option<Vec<Triple>> {
         let (s, p, _) = self.encode_lookup(subject, predicate, None)?;
+        applab_obs::counter!("applab_store_spatial_pushdown_total").inc();
         let mut out = Vec::new();
         self.spatial.visit(envelope, &mut |&(ts, tp, to)| {
             if s.is_none_or(|s| s == ts) && p.is_none_or(|p| p == tp) {
@@ -200,6 +206,7 @@ impl GraphSource for SpatioTemporalStore {
             return None; // mid-bulk-load: decline rather than answer wrongly
         }
         let (s, p, _) = self.encode_lookup(subject, predicate, None)?;
+        applab_obs::counter!("applab_store_temporal_pushdown_total").inc();
         let lo = self.temporal.partition_point(|(t, _)| *t < start);
         let mut out = Vec::new();
         for &(t, (ts, tp, to)) in &self.temporal[lo..] {
@@ -251,6 +258,7 @@ impl IdAccess for SpatioTemporalStore {
         p: Option<u64>,
         envelope: &Envelope,
     ) -> Option<Vec<Ids>> {
+        applab_obs::counter!("applab_store_spatial_pushdown_total").inc();
         let mut out = Vec::new();
         self.spatial.visit(envelope, &mut |&(ts, tp, to)| {
             if s.is_none_or(|s| s == ts) && p.is_none_or(|p| p == tp) {
@@ -270,6 +278,7 @@ impl IdAccess for SpatioTemporalStore {
         if !self.temporal_sorted {
             return None; // mid-bulk-load: decline rather than answer wrongly
         }
+        applab_obs::counter!("applab_store_temporal_pushdown_total").inc();
         let lo = self.temporal.partition_point(|(t, _)| *t < start);
         let mut out = Vec::new();
         for &(t, (ts, tp, to)) in &self.temporal[lo..] {

@@ -1,0 +1,75 @@
+//! EXPLAIN/profiling across both workflows (the `applab-obs` span trees).
+//!
+//! ```text
+//! cargo run --release --example explain
+//! ```
+//!
+//! Builds the materialized (Strabon-like store) and virtual
+//! (Ontop-spatial) workflows over the same synthetic Paris tables, then
+//! runs all seven mini-Geographica query classes through
+//! `query_explained` on both backends. For each query it prints the
+//! per-stage span tree — parse/scan/join/filter/project timings with
+//! build/probe cardinalities — and asserts the two backends agree on the
+//! row counts. Ends with the Prometheus rendering of the metrics the run
+//! accumulated.
+
+use applab_bench::geographica_queries;
+use copernicus_app_lab::core::{MaterializedWorkflow, VirtualWorkflow};
+use copernicus_app_lab::data::{mappings, ParisFixture};
+use copernicus_app_lab::sparql::QueryResults;
+
+fn rows(r: &QueryResults) -> usize {
+    match r {
+        QueryResults::Solutions { rows, .. } => rows.len(),
+        _ => 0,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fixture = ParisFixture::generate(2019, 20, 8);
+    let tables = [
+        (fixture.world.osm_table(), mappings::OSM_MAPPING),
+        (fixture.world.gadm_table(), mappings::GADM_MAPPING),
+        (fixture.world.corine_table(), mappings::CORINE_MAPPING),
+        (
+            fixture.world.urban_atlas_table(),
+            mappings::URBAN_ATLAS_MAPPING,
+        ),
+    ];
+
+    // Left path: materialize through GeoTriples into the store.
+    let mut mat = MaterializedWorkflow::new();
+    for (table, doc) in &tables {
+        mat.load_table(table, doc)?;
+    }
+    println!("materialized {} triples", mat.len());
+
+    // Right path: the same tables behind the OBDA engine.
+    let mut virt = VirtualWorkflow::local();
+    for (table, doc) in tables {
+        virt.add_table(table)?;
+        virt.add_mappings(doc)?;
+    }
+
+    for (name, sparql) in geographica_queries() {
+        let store = mat.query_explained(&sparql)?;
+        let obda = virt.query_explained(&sparql)?;
+        assert_eq!(
+            rows(&store.results),
+            rows(&obda.results),
+            "{name}: store and obda backends disagree"
+        );
+        println!(
+            "\n=== {name} ({} rows) ===\n--- store ({:.3} ms) ---\n{}--- obda ({:.3} ms) ---\n{}",
+            rows(&store.results),
+            store.total_duration_ns() as f64 / 1e6,
+            store.report(),
+            obda.total_duration_ns() as f64 / 1e6,
+            obda.report(),
+        );
+    }
+
+    println!("\n=== metrics after the run ===");
+    println!("{}", copernicus_app_lab::obs::global().to_prometheus());
+    Ok(())
+}

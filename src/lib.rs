@@ -13,6 +13,7 @@ pub use applab_geo as geo;
 pub use applab_geotriples as geotriples;
 pub use applab_link as link;
 pub use applab_obda as obda;
+pub use applab_obs as obs;
 pub use applab_rdf as rdf;
 pub use applab_sdl as sdl;
 pub use applab_sextant as sextant;
