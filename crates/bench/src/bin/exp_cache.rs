@@ -1,7 +1,7 @@
 //! Experiment B4: the OPeNDAP adapter's cache window `w`.
 //!
 //! Paper claim C4 (Section 3.2): "results of an OPeNDAP call get cached
-//! every [w] minutes. If a query arrives ... within this time window, the
+//! every \[w\] minutes. If a query arrives ... within this time window, the
 //! cached results can be used directly, eliminating the cost of performing
 //! another call to the OPeNDAP server."
 //!

@@ -1,7 +1,7 @@
 //! Experiment B5: GeoTriples mapping-processor scaling.
 //!
 //! Paper claim C5: "GeoTriples is very efficient especially when its
-//! mapping processor is implemented using Apache Hadoop" [22] — i.e. the
+//! mapping processor is implemented using Apache Hadoop" \[22\] — i.e. the
 //! transformation parallelizes. Expected shape: near-linear speedup up to
 //! the physical core count.
 

@@ -1,7 +1,7 @@
 //! Experiment B6: multi-core meta-blocking / link discovery.
 //!
 //! Paper claim C6: JedAI's "multi-core version has been shown to be
-//! scalable to very large datasets" [25]. Expected shape: meta-blocking
+//! scalable to very large datasets" \[25\]. Expected shape: meta-blocking
 //! prunes the candidate space substantially at high recall, and rule
 //! evaluation speeds up near-linearly with cores.
 

@@ -1,0 +1,198 @@
+//! Experiment B9: service throughput and latency under concurrency.
+//!
+//! The App Lab's point is *serving* Copernicus data to app developers:
+//! many short GeoSPARQL requests against one shared deployment. This
+//! harness stands up an `ApplabService` over the materialized (store)
+//! backend, then replays a fixed batch of mixed mini-Geographica requests
+//! with 1, 2, 4, and 8 client threads. Each client pays a simulated WAN
+//! delivery charge for its response bytes (`SimulatedWan::typical()`, a
+//! real sleep), so the sweep measures what a deployment measures: with one
+//! client the WAN wait serializes, with eight it overlaps, and aggregate
+//! throughput rises even on a single-core runner while the service's
+//! admission control keeps evaluation bounded.
+//!
+//! Writes `BENCH_service.json` (throughput + latency percentiles per
+//! thread count) and `METRICS_service.json` (the service's own gauges,
+//! counters, and histograms after the run).
+
+use applab_bench::{geographica_queries, print_table};
+use applab_core::MaterializedWorkflow;
+use applab_dap::transport::{SimulatedWan, Transport};
+use applab_data::{mappings, ParisFixture};
+use applab_service::{ApplabService, ServiceConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const REQUESTS_PER_SWEEP: usize = 64;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct SweepReport {
+    threads: usize,
+    wall: Duration,
+    throughput: f64,
+    p50: Duration,
+    p95: Duration,
+    ok: usize,
+    rejected: usize,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn build_service(cells: usize) -> ApplabService {
+    let fixture = ParisFixture::generate(2019, cells, 8);
+    let mut mat = MaterializedWorkflow::new();
+    for (table, doc) in [
+        (fixture.world.osm_table(), mappings::OSM_MAPPING),
+        (fixture.world.gadm_table(), mappings::GADM_MAPPING),
+        (fixture.world.corine_table(), mappings::CORINE_MAPPING),
+        (
+            fixture.world.urban_atlas_table(),
+            mappings::URBAN_ATLAS_MAPPING,
+        ),
+    ] {
+        mat.load_table(&table, doc).expect("fixture tables load");
+    }
+    ApplabService::new(ServiceConfig {
+        max_in_flight: 8,
+        max_queue: 64,
+        queue_timeout: Duration::from_secs(30),
+        ..ServiceConfig::default()
+    })
+    .with_endpoint("store", Arc::new(mat))
+}
+
+/// Replay the request batch with `threads` clients; per-request latency is
+/// queue wait + evaluation + WAN delivery of the JSON response.
+fn sweep(service: &ApplabService, wan: &SimulatedWan, threads: usize) -> SweepReport {
+    let queries = geographica_queries();
+    let started = Instant::now();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(REQUESTS_PER_SWEEP);
+    let mut rejected = 0usize;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let queries = &queries;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    let mut shed = 0usize;
+                    for i in (t..REQUESTS_PER_SWEEP).step_by(threads) {
+                        let (_, sparql) = &queries[i % queries.len()];
+                        let req_start = Instant::now();
+                        let out = service.query("store", sparql);
+                        match &out.result {
+                            Ok(results) => wan.charge(results.to_json().len()),
+                            Err(_) => shed += 1,
+                        }
+                        mine.push(req_start.elapsed());
+                    }
+                    (mine, shed)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (mine, shed) = h.join().expect("client thread");
+            latencies.extend(mine);
+            rejected += shed;
+        }
+    });
+    let wall = started.elapsed();
+    latencies.sort_unstable();
+    SweepReport {
+        threads,
+        wall,
+        throughput: REQUESTS_PER_SWEEP as f64 / wall.as_secs_f64(),
+        p50: percentile(&latencies, 0.50),
+        p95: percentile(&latencies, 0.95),
+        ok: REQUESTS_PER_SWEEP - rejected,
+        rejected,
+    }
+}
+
+fn main() {
+    let cells = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20usize);
+    let service = build_service(cells);
+    let wan = SimulatedWan::typical();
+    println!(
+        "service sweep: {REQUESTS_PER_SWEEP} mixed Geographica requests per sweep, \
+         store backend, WAN delivery {:?} + 4 MB/s",
+        Duration::from_millis(40)
+    );
+
+    let reports: Vec<SweepReport> = THREAD_COUNTS
+        .iter()
+        .map(|&t| sweep(&service, &wan, t))
+        .collect();
+
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.threads.to_string(),
+                format!("{:.2}", r.wall.as_secs_f64()),
+                format!("{:.1}", r.throughput),
+                format!("{:.1}", r.p50.as_secs_f64() * 1e3),
+                format!("{:.1}", r.p95.as_secs_f64() * 1e3),
+                format!("{}/{}", r.ok, r.ok + r.rejected),
+            ]
+        })
+        .collect();
+    print_table(
+        "B9: service throughput vs client threads (store backend)",
+        &["clients", "wall s", "req/s", "p50 ms", "p95 ms", "accepted"],
+        &rows,
+    );
+
+    let first = &reports[0];
+    let last = reports.last().expect("sweeps ran");
+    println!(
+        "\naggregate throughput {:.1} -> {:.1} req/s from {} -> {} clients ({:.1}x)",
+        first.throughput,
+        last.throughput,
+        first.threads,
+        last.threads,
+        last.throughput / first.throughput
+    );
+    assert!(
+        last.throughput > first.throughput,
+        "throughput must improve from {} to {} service threads",
+        first.threads,
+        last.threads
+    );
+
+    // Machine-readable sweep results (hand-rolled JSON; no serde here).
+    let mut json = String::from("{\n");
+    json.push_str("  \"experiment\": \"service-throughput\",\n");
+    json.push_str("  \"backend\": \"store\",\n");
+    json.push_str(&format!("  \"world_cells\": {cells},\n"));
+    json.push_str(&format!(
+        "  \"requests_per_sweep\": {REQUESTS_PER_SWEEP},\n"
+    ));
+    json.push_str("  \"wan\": \"40ms latency + 4 MB/s delivery per response\",\n");
+    json.push_str("  \"sweeps\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"threads\": {},\n", r.threads));
+        json.push_str(&format!("      \"wall_ns\": {},\n", r.wall.as_nanos()));
+        json.push_str(&format!("      \"throughput_rps\": {:.3},\n", r.throughput));
+        json.push_str(&format!("      \"p50_ns\": {},\n", r.p50.as_nanos()));
+        json.push_str(&format!("      \"p95_ns\": {},\n", r.p95.as_nanos()));
+        json.push_str(&format!("      \"accepted\": {},\n", r.ok));
+        json.push_str(&format!("      \"rejected\": {}\n", r.rejected));
+        json.push_str(if i + 1 == reports.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
+    println!("wrote BENCH_service.json");
+
+    applab_bench::dump_metrics("service");
+}

@@ -4,7 +4,7 @@
 //! by serialization based on internal array indices. This increases
 //! cache-hits for recurrent requests of a specific subpart of the dataset
 //! ... e.g., in a mobile application scenario, where the viewport ...
-//! [has] modest panning and zooming interaction. ... when using the Web
+//! \[has\] modest panning and zooming interaction. ... when using the Web
 //! Coverage Service, there is limited possibility to obtain
 //! client-specific parts of the datasets (one is limited to, for example,
 //! a bounding-box)."

@@ -1,0 +1,45 @@
+//! The uniform query surface over both workflows.
+//!
+//! The paper's two pipelines — materialize-then-store and on-the-fly OBDA
+//! — end in the same place: a GeoSPARQL endpoint. [`QueryEndpoint`]
+//! captures that contract as an object-safe trait, so the service layer,
+//! the greenness case study, and the examples can hold a
+//! `&dyn QueryEndpoint` (or `Arc<dyn QueryEndpoint>`) without caring which
+//! backend answers. Implementations must be `Send + Sync`: a sealed
+//! workflow is shared across the service's worker threads.
+
+use crate::error::CoreError;
+use crate::explain::Explain;
+use applab_sparql::{EvalOptions, QueryResults};
+
+/// A sealed, shareable GeoSPARQL endpoint.
+pub trait QueryEndpoint: Send + Sync {
+    /// Evaluate a query with explicit [`EvalOptions`] — this is how the
+    /// service threads a per-query deadline/cancellation budget through.
+    fn query_with(&self, sparql: &str, options: &EvalOptions) -> Result<QueryResults, CoreError>;
+
+    /// Evaluate a query with default options.
+    fn query(&self, sparql: &str) -> Result<QueryResults, CoreError> {
+        self.query_with(sparql, &EvalOptions::default())
+    }
+
+    /// Evaluate a query under a profiling trace: the results plus the
+    /// EXPLAIN span tree with per-stage timings and cardinalities.
+    fn query_explained(&self, sparql: &str) -> Result<Explain, CoreError>;
+
+    /// A short static name for the backing engine (`"store"` / `"obda"`),
+    /// used in outcomes, EXPLAIN traces, and metrics labels.
+    fn backend(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        // Compile-time proof: the service stores these as trait objects.
+        fn _takes(_: &dyn QueryEndpoint) {}
+        fn _boxed(_: Box<dyn QueryEndpoint>) {}
+    }
+}

@@ -1,27 +1,74 @@
 //! The unified error type of the facade.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Any error surfaced by the App Lab facade.
+///
+/// Variants are grouped by *what the caller can do about them*, and each
+/// maps to a stable [`CoreError::code`] string that the service layer uses
+/// as a metrics label. `Timeout`, `Cancelled`, and `Overloaded` are the
+/// structured rejections of `applab-service`: a query that trips its
+/// cooperative budget or is refused admission reports one of these, never
+/// a truncated result set.
 #[derive(Debug)]
 pub enum CoreError {
+    /// The SPARQL text failed to parse.
+    Parse(String),
+    /// A GeoTriples/Ontop mapping document is invalid.
     Mapping(applab_geotriples::MappingError),
+    /// A backing data source failed (OBDA engine, OPeNDAP transfer, SDL,
+    /// Turtle input, unknown endpoint, ...).
     Source(String),
-    Sparql(String),
-    Obda(applab_obda::ObdaError),
-    Dap(applab_dap::DapError),
-    Sdl(applab_sdl::SdlError),
+    /// Query evaluation failed.
+    Eval(String),
+    /// The query exceeded its cooperative time budget. The payload is the
+    /// configured budget, not the elapsed time.
+    Timeout(Duration),
+    /// The query's cancellation token was triggered mid-evaluation.
+    Cancelled,
+    /// Admission control refused the query: the service was at its
+    /// in-flight capacity and the wait queue was full (or the queue wait
+    /// timed out). The counts are a snapshot taken at rejection time.
+    Overloaded {
+        /// Queries being evaluated when the rejection was issued.
+        in_flight: usize,
+        /// Queries waiting for a permit when the rejection was issued.
+        queued: usize,
+    },
+}
+
+impl CoreError {
+    /// A stable, low-cardinality identifier for the error class, suitable
+    /// as a metrics label value.
+    pub fn code(&self) -> &'static str {
+        match self {
+            CoreError::Parse(_) => "parse",
+            CoreError::Mapping(_) => "mapping",
+            CoreError::Source(_) => "source",
+            CoreError::Eval(_) => "eval",
+            CoreError::Timeout(_) => "timeout",
+            CoreError::Cancelled => "cancelled",
+            CoreError::Overloaded { .. } => "overloaded",
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            CoreError::Parse(m) => write!(f, "parse error: {m}"),
             CoreError::Mapping(e) => write!(f, "{e}"),
             CoreError::Source(m) => write!(f, "source error: {m}"),
-            CoreError::Sparql(m) => write!(f, "SPARQL error: {m}"),
-            CoreError::Obda(e) => write!(f, "{e}"),
-            CoreError::Dap(e) => write!(f, "{e}"),
-            CoreError::Sdl(e) => write!(f, "{e}"),
+            CoreError::Eval(m) => write!(f, "evaluation error: {m}"),
+            CoreError::Timeout(budget) => {
+                write!(f, "query exceeded its {budget:?} time budget")
+            }
+            CoreError::Cancelled => write!(f, "query cancelled"),
+            CoreError::Overloaded { in_flight, queued } => write!(
+                f,
+                "service overloaded: {in_flight} in flight, {queued} queued"
+            ),
         }
     }
 }
@@ -36,30 +83,83 @@ impl From<applab_geotriples::MappingError> for CoreError {
 
 impl From<applab_obda::ObdaError> for CoreError {
     fn from(e: applab_obda::ObdaError) -> Self {
-        CoreError::Obda(e)
+        CoreError::Source(e.to_string())
     }
 }
 
 impl From<applab_dap::DapError> for CoreError {
     fn from(e: applab_dap::DapError) -> Self {
-        CoreError::Dap(e)
+        CoreError::Source(e.to_string())
     }
 }
 
 impl From<applab_sdl::SdlError> for CoreError {
     fn from(e: applab_sdl::SdlError) -> Self {
-        CoreError::Sdl(e)
+        CoreError::Source(e.to_string())
     }
 }
 
 impl From<applab_sparql::ParseError> for CoreError {
     fn from(e: applab_sparql::ParseError) -> Self {
-        CoreError::Sparql(e.to_string())
+        CoreError::Parse(e.to_string())
     }
 }
 
 impl From<applab_sparql::EvalError> for CoreError {
     fn from(e: applab_sparql::EvalError) -> Self {
-        CoreError::Sparql(e.to_string())
+        match e {
+            applab_sparql::EvalError::Timeout(budget) => CoreError::Timeout(budget),
+            applab_sparql::EvalError::Cancelled => CoreError::Cancelled,
+            applab_sparql::EvalError::Other(m) => CoreError::Eval(m),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let errors = [
+            CoreError::Parse("x".into()),
+            CoreError::Source("x".into()),
+            CoreError::Eval("x".into()),
+            CoreError::Timeout(Duration::from_millis(5)),
+            CoreError::Cancelled,
+            CoreError::Overloaded {
+                in_flight: 4,
+                queued: 16,
+            },
+        ];
+        let codes: Vec<&str> = errors.iter().map(CoreError::code).collect();
+        assert_eq!(
+            codes,
+            [
+                "parse",
+                "source",
+                "eval",
+                "timeout",
+                "cancelled",
+                "overloaded"
+            ]
+        );
+    }
+
+    #[test]
+    fn eval_errors_map_to_typed_variants() {
+        let budget = Duration::from_millis(3);
+        assert!(matches!(
+            CoreError::from(applab_sparql::EvalError::Timeout(budget)),
+            CoreError::Timeout(b) if b == budget
+        ));
+        assert!(matches!(
+            CoreError::from(applab_sparql::EvalError::Cancelled),
+            CoreError::Cancelled
+        ));
+        assert!(matches!(
+            CoreError::from(applab_sparql::EvalError::Other("boom".into())),
+            CoreError::Eval(m) if m == "boom"
+        ));
     }
 }

@@ -4,6 +4,7 @@
 //! observations with the land cover of the area they fall in, and produces
 //! both the numeric series behind Figure 4 and the Sextant thematic map.
 
+use crate::endpoint::QueryEndpoint;
 use crate::error::CoreError;
 use crate::materialized::MaterializedWorkflow;
 use applab_data::mappings as m;
@@ -112,10 +113,13 @@ pub fn run(fixture: &ParisFixture, sample_stride: usize) -> Result<Greenness, Co
             applab_rdf::datetime::format_datetime(t)
         )
     };
+    // The analysis below only needs the uniform query surface: it runs
+    // unchanged over any backend that implements [`QueryEndpoint`].
+    let endpoint: &dyn QueryEndpoint = &wf;
     let mut per_class: Vec<ClassSeries> = Vec::new();
     for &t in &times {
         let t = t as i64;
-        let r = wf.query(&class_of_query(t))?;
+        let r = endpoint.query(&class_of_query(t))?;
         for i in 0..r.len() {
             let class = r
                 .value(i, "class")
@@ -138,7 +142,7 @@ pub fn run(fixture: &ParisFixture, sample_stride: usize) -> Result<Greenness, Co
     }
     per_class.sort_by(|a, b| a.class.cmp(&b.class));
 
-    let map = build_map(&wf)?;
+    let map = build_map(endpoint)?;
     Ok(Greenness {
         workflow: wf,
         per_class,
@@ -165,13 +169,13 @@ pub fn green_beats_industrial(per_class: &[ClassSeries]) -> Option<bool> {
     Some(checked > 0)
 }
 
-/// Build the Figure 4 thematic map from the loaded store.
-fn build_map(wf: &MaterializedWorkflow) -> Result<Map, CoreError> {
+/// Build the Figure 4 thematic map from any GeoSPARQL endpoint.
+fn build_map(wf: &dyn QueryEndpoint) -> Result<Map, CoreError> {
     let mut map = Map::new("The greenness of Paris");
     let styles = figure4_styles();
 
     let layer_query =
-        |wf: &MaterializedWorkflow, q: &str| -> Result<QueryResults, CoreError> { wf.query(q) };
+        |wf: &dyn QueryEndpoint, q: &str| -> Result<QueryResults, CoreError> { wf.query(q) };
 
     // CORINE green areas (fill).
     let r = layer_query(

@@ -18,24 +18,27 @@
 //! "Observability").
 #![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 
+pub mod endpoint;
 pub mod error;
 pub mod explain;
 pub mod greenness;
 pub mod materialized;
 pub mod r#virtual;
 
+pub use endpoint::QueryEndpoint;
 pub use error::CoreError;
 pub use explain::Explain;
 pub use materialized::MaterializedWorkflow;
-pub use r#virtual::VirtualWorkflow;
+pub use r#virtual::{VirtualWorkflow, VirtualWorkflowBuilder};
 
 /// Convenience prelude re-exporting the API surface downstream users need.
 pub mod prelude {
+    pub use crate::endpoint::QueryEndpoint;
     pub use crate::error::CoreError;
     pub use crate::explain::Explain;
     pub use crate::materialized::MaterializedWorkflow;
-    pub use crate::r#virtual::VirtualWorkflow;
+    pub use crate::r#virtual::{VirtualWorkflow, VirtualWorkflowBuilder};
     pub use applab_geo::prelude::*;
     pub use applab_rdf::prelude::*;
-    pub use applab_sparql::QueryResults;
+    pub use applab_sparql::{Budget, EvalOptions, QueryResults};
 }

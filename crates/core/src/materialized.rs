@@ -1,10 +1,11 @@
 //! The materialized (left) workflow of Figure 1.
 
+use crate::endpoint::QueryEndpoint;
 use crate::error::CoreError;
 use applab_geotriples::{parse_mappings, process_parallel, TabularSource};
 use applab_link::{discover_links, Entity, LinkRule};
 use applab_rdf::Graph;
-use applab_sparql::QueryResults;
+use applab_sparql::{EvalOptions, QueryResults};
 use applab_store::SpatioTemporalStore;
 
 /// Download → GeoTriples → Strabon → interlink → GeoSPARQL.
@@ -92,8 +93,17 @@ impl MaterializedWorkflow {
 
     /// Run a GeoSPARQL query against the store.
     pub fn query(&self, sparql: &str) -> Result<QueryResults, CoreError> {
+        self.query_with(sparql, &EvalOptions::default())
+    }
+
+    /// Run a query with explicit evaluation options (parallelism, budget).
+    pub fn query_with(
+        &self,
+        sparql: &str,
+        options: &EvalOptions,
+    ) -> Result<QueryResults, CoreError> {
         let q = applab_sparql::parse_query(sparql)?;
-        Ok(applab_sparql::evaluate(&self.store, &q)?)
+        Ok(applab_sparql::evaluate_with(&self.store, &q, options)?)
     }
 
     /// Run a query under a profiling trace: the results plus an EXPLAIN
@@ -124,6 +134,27 @@ impl MaterializedWorkflow {
         self.store.is_empty()
     }
 }
+
+impl QueryEndpoint for MaterializedWorkflow {
+    fn query_with(&self, sparql: &str, options: &EvalOptions) -> Result<QueryResults, CoreError> {
+        MaterializedWorkflow::query_with(self, sparql, options)
+    }
+
+    fn query_explained(&self, sparql: &str) -> Result<crate::Explain, CoreError> {
+        MaterializedWorkflow::query_explained(self, sparql)
+    }
+
+    fn backend(&self) -> &'static str {
+        "store"
+    }
+}
+
+/// Compile-time proof the loaded workflow can back a shared service
+/// endpoint.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MaterializedWorkflow>();
+};
 
 #[cfg(test)]
 mod tests {

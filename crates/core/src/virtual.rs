@@ -1,5 +1,14 @@
 //! The virtual / on-the-fly (right) workflow of Figure 1.
+//!
+//! The facade is split into a *build phase* and a *query phase*:
+//! [`VirtualWorkflowBuilder`] accumulates tables, `opendap` virtual tables,
+//! and mapping documents, and [`VirtualWorkflowBuilder::seal`] compiles
+//! them into a [`VirtualWorkflow`] whose query methods take `&self`. A
+//! sealed workflow is `Send + Sync` — one instance can serve concurrent
+//! queries from many threads (see `applab-service`) — and configuration
+//! after sealing is unrepresentable rather than a runtime error.
 
+use crate::endpoint::QueryEndpoint;
 use crate::error::CoreError;
 use applab_array::Dataset;
 use applab_dap::clock::{Clock, SystemClock};
@@ -8,22 +17,22 @@ use applab_dap::{DapClient, DapServer};
 use applab_geotriples::{parse_mappings, TabularSource};
 use applab_obda::{DataSource, OpendapTable, VirtualGraph};
 use applab_sdl::Sdl;
-use applab_sparql::QueryResults;
+use applab_sparql::{EvalOptions, QueryResults};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// OPeNDAP server → SDL → Ontop-spatial virtual graphs.
-pub struct VirtualWorkflow {
+/// Build phase of the on-the-fly workflow: OPeNDAP server → SDL →
+/// Ontop-spatial virtual graphs.
+pub struct VirtualWorkflowBuilder {
     server: Arc<DapServer>,
     client: Arc<DapClient>,
     sdl: Sdl,
     clock: Arc<dyn Clock>,
-    datasource: Option<DataSource>,
+    datasource: DataSource,
     mapping_docs: Vec<String>,
-    graph: Option<VirtualGraph>,
 }
 
-impl VirtualWorkflow {
+impl VirtualWorkflowBuilder {
     /// A workflow with an in-process server and free transport.
     pub fn local() -> Self {
         Self::with_transport(Arc::new(Local::new()))
@@ -36,14 +45,13 @@ impl VirtualWorkflow {
         let client = Arc::new(DapClient::new(server.clone(), transport));
         let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
         let sdl = Sdl::new(client.clone(), Duration::from_secs(600), clock.clone());
-        VirtualWorkflow {
+        VirtualWorkflowBuilder {
             server,
             client,
             sdl,
             clock,
-            datasource: Some(DataSource::new()),
+            datasource: DataSource::new(),
             mapping_docs: Vec::new(),
-            graph: None,
         }
     }
 
@@ -53,6 +61,66 @@ impl VirtualWorkflow {
     }
 
     /// The embedded server (to publish from outside or inspect logs).
+    pub fn server(&self) -> &Arc<DapServer> {
+        &self.server
+    }
+
+    /// Register a relational table for the OBDA engine.
+    pub fn add_table(&mut self, table: TabularSource) {
+        self.datasource.add_table(table);
+    }
+
+    /// Register the `opendap` virtual table for a published dataset.
+    pub fn add_opendap(&mut self, dataset: &str, variable: &str, window: Duration) {
+        let vt = Arc::new(OpendapTable::new(
+            self.client.clone(),
+            dataset,
+            variable,
+            window,
+            self.clock.clone(),
+        ));
+        self.datasource.add_opendap(dataset, variable, vt);
+    }
+
+    /// Add a mapping document (GeoTriples/Ontop format). The document is
+    /// validated eagerly so malformed mappings fail at the add site.
+    pub fn add_mappings(&mut self, doc: &str) -> Result<(), CoreError> {
+        parse_mappings(doc)?;
+        self.mapping_docs.push(doc.to_string());
+        Ok(())
+    }
+
+    /// Compile the configuration into a sealed, shareable
+    /// [`VirtualWorkflow`]. Mapping problems surface here, before the
+    /// first query runs.
+    pub fn seal(self) -> Result<VirtualWorkflow, CoreError> {
+        let mut span = applab_obs::span("obda.build_graph");
+        let mut mappings = Vec::new();
+        for doc in &self.mapping_docs {
+            mappings.extend(parse_mappings(doc)?);
+        }
+        span.record("mappings", mappings.len());
+        let graph = VirtualGraph::new(self.datasource, mappings)?;
+        Ok(VirtualWorkflow {
+            server: self.server,
+            client: self.client,
+            sdl: self.sdl,
+            graph,
+        })
+    }
+}
+
+/// Query phase of the on-the-fly workflow: a sealed virtual graph whose
+/// query methods take `&self` and may be called from many threads at once.
+pub struct VirtualWorkflow {
+    server: Arc<DapServer>,
+    client: Arc<DapClient>,
+    sdl: Sdl,
+    graph: VirtualGraph,
+}
+
+impl VirtualWorkflow {
+    /// The embedded server (to inspect request logs).
     pub fn server(&self) -> &Arc<DapServer> {
         &self.server
     }
@@ -67,80 +135,28 @@ impl VirtualWorkflow {
         &self.client
     }
 
-    /// Register a relational table for the OBDA engine.
-    pub fn add_table(&mut self, table: TabularSource) -> Result<(), CoreError> {
-        self.ensure_unsealed()?.add_table(table);
-        Ok(())
+    /// Run a GeoSPARQL query over the virtual graphs.
+    pub fn query(&self, sparql: &str) -> Result<QueryResults, CoreError> {
+        self.query_with(sparql, &EvalOptions::default())
     }
 
-    /// Register the `opendap` virtual table for a published dataset.
-    pub fn add_opendap(
-        &mut self,
-        dataset: &str,
-        variable: &str,
-        window: Duration,
-    ) -> Result<(), CoreError> {
-        let vt = Arc::new(OpendapTable::new(
-            self.client.clone(),
-            dataset,
-            variable,
-            window,
-            self.clock.clone(),
-        ));
-        self.ensure_unsealed()?.add_opendap(dataset, variable, vt);
-        Ok(())
-    }
-
-    /// Add a mapping document (GeoTriples/Ontop format).
-    pub fn add_mappings(&mut self, doc: &str) -> Result<(), CoreError> {
-        self.ensure_unsealed()?;
-        // Validate early.
-        parse_mappings(doc)?;
-        self.mapping_docs.push(doc.to_string());
-        Ok(())
-    }
-
-    fn ensure_unsealed(&mut self) -> Result<&mut DataSource, CoreError> {
-        self.datasource
-            .as_mut()
-            .ok_or_else(|| CoreError::Source("workflow already sealed by a query".into()))
-    }
-
-    /// Build (or reuse) the virtual graph.
-    fn graph(&mut self) -> Result<&VirtualGraph, CoreError> {
-        if self.graph.is_none() {
-            let mut span = applab_obs::span("obda.build_graph");
-            let ds = self
-                .datasource
-                .take()
-                .ok_or_else(|| CoreError::Source("virtual graph already built".into()))?;
-            let mut mappings = Vec::new();
-            for doc in &self.mapping_docs {
-                mappings.extend(parse_mappings(doc)?);
-            }
-            span.record("mappings", mappings.len());
-            self.graph = Some(VirtualGraph::new(ds, mappings)?);
-        }
-        Ok(self.graph.as_ref().expect("just built"))
-    }
-
-    /// Run a GeoSPARQL query over the virtual graphs. The first query
-    /// seals the configuration.
-    pub fn query(&mut self, sparql: &str) -> Result<QueryResults, CoreError> {
+    /// Run a query with explicit evaluation options (parallelism, budget).
+    pub fn query_with(
+        &self,
+        sparql: &str,
+        options: &EvalOptions,
+    ) -> Result<QueryResults, CoreError> {
         let q = applab_sparql::parse_query(sparql)?;
-        let g = self.graph()?;
-        Ok(applab_sparql::evaluate(g, &q)?)
+        Ok(applab_sparql::evaluate_with(&self.graph, &q, options)?)
     }
 
     /// Run a query under a profiling trace: the results plus an EXPLAIN
-    /// span tree with per-stage timings and cardinalities. The first query
-    /// seals the configuration.
-    pub fn query_explained(&mut self, sparql: &str) -> Result<crate::Explain, CoreError> {
+    /// span tree with per-stage timings and cardinalities.
+    pub fn query_explained(&self, sparql: &str) -> Result<crate::Explain, CoreError> {
         let (results, profile) = applab_obs::profile("query", |root| {
             root.record("backend", "obda");
             let q = applab_sparql::parse_query(sparql)?;
-            let g = self.graph()?;
-            Ok::<_, CoreError>(applab_sparql::evaluate(g, &q)?)
+            Ok::<_, CoreError>(applab_sparql::evaluate(&self.graph, &q)?)
         });
         Ok(crate::Explain {
             results: results?,
@@ -150,10 +166,31 @@ impl VirtualWorkflow {
 
     /// Materialize every mapping (the "for more costly operations it is
     /// better to materialize the data" path of Section 5).
-    pub fn materialize(&mut self) -> Result<applab_rdf::Graph, CoreError> {
-        Ok(self.graph()?.materialize()?)
+    pub fn materialize(&self) -> Result<applab_rdf::Graph, CoreError> {
+        Ok(self.graph.materialize()?)
     }
 }
+
+impl QueryEndpoint for VirtualWorkflow {
+    fn query_with(&self, sparql: &str, options: &EvalOptions) -> Result<QueryResults, CoreError> {
+        VirtualWorkflow::query_with(self, sparql, options)
+    }
+
+    fn query_explained(&self, sparql: &str) -> Result<crate::Explain, CoreError> {
+        VirtualWorkflow::query_explained(self, sparql)
+    }
+
+    fn backend(&self) -> &'static str {
+        "obda"
+    }
+}
+
+/// Compile-time proof that a sealed workflow can be shared across the
+/// service's worker threads (the obda/sdl interior-mutability audit).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<VirtualWorkflow>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -173,18 +210,17 @@ mod tests {
             },
         );
         lai.name = "lai_300m".into();
-        let mut wf = VirtualWorkflow::local();
-        wf.publish(lai);
-        wf.add_opendap("lai_300m", "LAI", Duration::from_secs(600))
+        let mut b = VirtualWorkflowBuilder::local();
+        b.publish(lai);
+        b.add_opendap("lai_300m", "LAI", Duration::from_secs(600));
+        b.add_mappings(&mappings::opendap_lai_mapping("lai_300m", 10))
             .unwrap();
-        wf.add_mappings(&mappings::opendap_lai_mapping("lai_300m", 10))
-            .unwrap();
-        wf
+        b.seal().unwrap()
     }
 
     #[test]
     fn listing3_over_virtual_graph() {
-        let mut wf = workflow();
+        let wf = workflow();
         let r = wf
             .query(
                 "SELECT DISTINCT ?s ?wkt ?lai WHERE { ?s lai:hasLai ?lai . ?s geo:hasGeometry ?g . ?g geo:asWKT ?wkt }",
@@ -214,20 +250,24 @@ mod tests {
     }
 
     #[test]
-    fn configuration_seals_after_query() {
-        let mut wf = workflow();
-        wf.query("ASK { ?s lai:hasLai ?v }").unwrap();
-        assert!(wf.add_opendap("lai_300m", "LAI", Duration::ZERO).is_err());
-        assert!(wf
-            .add_mappings(
-                "mappingId x\ntarget osm:a{i} a osm:PointOfInterest .\nsource SELECT * FROM t"
-            )
-            .is_err());
+    fn sealed_workflow_queries_from_many_threads() {
+        let wf = workflow();
+        let baseline = wf.query("ASK { ?s lai:hasLai ?v }").unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let r = wf.query("ASK { ?s lai:hasLai ?v }").unwrap();
+                    assert_eq!(r, baseline);
+                });
+            }
+        });
     }
 
     #[test]
     fn bad_mappings_rejected_early() {
-        let mut wf = VirtualWorkflow::local();
-        assert!(wf.add_mappings("not a mapping").is_err());
+        let mut b = VirtualWorkflowBuilder::local();
+        assert!(b.add_mappings("not a mapping").is_err());
+        // A rejected document is not retained: sealing still works.
+        assert!(b.seal().is_ok());
     }
 }

@@ -2,7 +2,7 @@
 //! the expected stages, cardinalities, and backend tag, and the results
 //! match the plain `query` path.
 
-use applab_core::{MaterializedWorkflow, VirtualWorkflow};
+use applab_core::{MaterializedWorkflow, QueryEndpoint, VirtualWorkflowBuilder};
 use applab_data::{mappings, ParisFixture};
 
 const QUERY: &str =
@@ -54,11 +54,17 @@ fn materialized_explain_reports_stages() {
 #[test]
 fn virtual_explain_reports_obda_stages() {
     let fixture = ParisFixture::generate(7, 12, 8);
-    let mut wf = VirtualWorkflow::local();
-    wf.add_table(fixture.world.urban_atlas_table()).unwrap();
-    wf.add_mappings(mappings::URBAN_ATLAS_MAPPING).unwrap();
+    let mut b = VirtualWorkflowBuilder::local();
+    b.add_table(fixture.world.urban_atlas_table());
+    b.add_mappings(mappings::URBAN_ATLAS_MAPPING).unwrap();
+    // The graph is compiled at seal time, so EXPLAIN trees below only
+    // contain per-query stages.
+    let wf = b.seal().unwrap();
 
-    let explained = wf.query_explained(QUERY).unwrap();
+    // Query through the uniform endpoint trait, as the service does.
+    let endpoint: &dyn QueryEndpoint = &wf;
+    assert_eq!(endpoint.backend(), "obda");
+    let explained = endpoint.query_explained(QUERY).unwrap();
     assert!(!explained.results.is_empty());
 
     let tree = &explained.profile;
@@ -66,18 +72,16 @@ fn virtual_explain_reports_obda_stages() {
         tree.field("backend").map(ToString::to_string),
         Some("obda".into())
     );
-    // First query both builds the virtual graph and rewrites the BGP.
-    for stage in [
-        "obda.build_graph",
-        "sparql.evaluate",
-        "bgp",
-        "obda.bgp_rewrite",
-    ] {
+    for stage in ["sparql.evaluate", "bgp", "obda.bgp_rewrite"] {
         assert!(tree.find(stage).is_some(), "missing stage {stage}");
     }
+    assert!(
+        tree.find("obda.build_graph").is_none(),
+        "graph build belongs to seal(), not the query"
+    );
 
-    // Second query: graph already built, BGP still rewritten.
-    let again = wf.query_explained(QUERY).unwrap();
+    // Second query: BGP still rewritten per query.
+    let again = endpoint.query_explained(QUERY).unwrap();
     assert_eq!(again.results, explained.results);
     assert!(again.profile.find("obda.bgp_rewrite").is_some());
 }

@@ -10,7 +10,7 @@
 //! * [`mapping`] — the mapping language (the `mappingId`/`target`/`source`
 //!   document format of Listing 2, restricted to its transformation parts);
 //! * [`processor`] — the mapping processor, sequential or multi-core (the
-//!   paper's Hadoop deployment of [22] becomes a thread pool; bench B5
+//!   paper's Hadoop deployment of \[22\] becomes a thread pool; bench B5
 //!   measures its scaling);
 //! * [`json`] — a minimal JSON parser (no JSON crate in the offline
 //!   dependency set).

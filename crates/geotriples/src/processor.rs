@@ -1,6 +1,6 @@
 //! The mapping processor.
 //!
-//! "The performance of GeoTriples has been studied experimentally in [22]
+//! "The performance of GeoTriples has been studied experimentally in \[22\]
 //! ... It has been shown that GeoTriples is very efficient especially when
 //! its mapping processor is implemented using Apache Hadoop." The parallel
 //! processor here shards rows across a thread pool (the laptop-scale

@@ -4,7 +4,7 @@
 //! then prunes the implied comparison graph by edge weight. We implement
 //! CBS weighting (common blocks scheme) with Weighted Edge Pruning: keep
 //! the pairs whose weight exceeds the mean edge weight — the standard
-//! JedAI configuration whose multi-core scaling [25] bench B6 reproduces.
+//! JedAI configuration whose multi-core scaling \[25\] bench B6 reproduces.
 
 use crate::entity::Entity;
 use std::collections::HashMap;

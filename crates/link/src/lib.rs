@@ -15,7 +15,7 @@
 //!   candidate generation with edge-weight pruning);
 //! * [`rules`] — Silk-style link specifications (weighted comparisons,
 //!   threshold, output predicate), including the geospatial/temporal
-//!   extensions of [28];
+//!   extensions of \[28\];
 //! * [`runner`] — single- and multi-core link discovery.
 #![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 

@@ -2,7 +2,7 @@
 //!
 //! A [`LinkRule`] aggregates weighted comparisons into a score and emits a
 //! link when the score clears the threshold. The spatial and temporal
-//! comparisons are the extension of [28] ("Silk ... which we have extended
+//! comparisons are the extension of \[28\] ("Silk ... which we have extended
 //! to deal with geospatial and temporal relations").
 
 use crate::entity::Entity;

@@ -66,7 +66,7 @@ pub fn discover_links(left: &[Entity], right: &[Entity], rule: &LinkRule) -> Lin
 
 /// Multi-core link discovery: the candidate list is sharded across
 /// `workers` threads (the JedAI multi-core meta-blocking execution of
-/// [25]; bench B6 measures the speedup).
+/// \[25\]; bench B6 measures the speedup).
 pub fn discover_links_parallel(
     left: &[Entity],
     right: &[Entity],

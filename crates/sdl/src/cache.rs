@@ -10,7 +10,7 @@
 //!   caching of datasets by serialization based on internal array indices.
 //!   This increases cache-hits for recurrent requests of a specific subpart
 //!   of the dataset ... e.g., in a mobile application scenario, where the
-//!   viewport ... [has] modest panning and zooming interaction", versus a
+//!   viewport ... \[has\] modest panning and zooming interaction", versus a
 //!   WCS that only takes bounding boxes. [`TiledFetcher`] snaps viewports
 //!   to index-aligned tiles; [`BboxFetcher`] is the WCS-style baseline that
 //!   caches raw bounding boxes. Bench B7 compares their hit rates.

@@ -1,0 +1,176 @@
+//! Admission control: bounded in-flight permits with a small wait queue.
+//!
+//! The service grants at most `max_in_flight` permits at a time. A query
+//! arriving while all permits are taken waits in a bounded queue for up to
+//! a configurable duration; a query arriving while the queue is also full
+//! is rejected immediately. Both rejection flavours surface as
+//! [`applab_core::CoreError::Overloaded`] — load shedding is a structured
+//! outcome, not an error string.
+
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default)]
+struct State {
+    in_flight: usize,
+    queued: usize,
+}
+
+/// A load snapshot taken when a query was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Rejection {
+    /// Queries holding permits at rejection time.
+    pub in_flight: usize,
+    /// Queries waiting for permits at rejection time.
+    pub queued: usize,
+    /// Whether the query waited in the queue before being rejected (queue
+    /// wait timed out) or was turned away at the door (queue full).
+    pub waited: bool,
+}
+
+#[derive(Debug)]
+pub(crate) struct Admission {
+    max_in_flight: usize,
+    max_queue: usize,
+    state: Mutex<State>,
+    available: Condvar,
+}
+
+impl Admission {
+    pub(crate) fn new(max_in_flight: usize, max_queue: usize) -> Self {
+        Admission {
+            max_in_flight: max_in_flight.max(1),
+            max_queue,
+            state: Mutex::new(State::default()),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Acquire a permit, waiting in the bounded queue for at most
+    /// `queue_timeout`. The returned guard releases the permit on drop.
+    pub(crate) fn acquire(&self, queue_timeout: Duration) -> Result<Permit<'_>, Rejection> {
+        let mut st = self.state.lock().expect("admission lock poisoned");
+        if st.in_flight < self.max_in_flight {
+            st.in_flight += 1;
+            self.publish(&st);
+            return Ok(Permit { admission: self });
+        }
+        if st.queued >= self.max_queue {
+            return Err(Rejection {
+                in_flight: st.in_flight,
+                queued: st.queued,
+                waited: false,
+            });
+        }
+        st.queued += 1;
+        self.publish(&st);
+        let deadline = Instant::now() + queue_timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                st.queued -= 1;
+                let r = Rejection {
+                    in_flight: st.in_flight,
+                    queued: st.queued,
+                    waited: true,
+                };
+                self.publish(&st);
+                return Err(r);
+            }
+            let (guard, _timeout) = self
+                .available
+                .wait_timeout(st, remaining)
+                .expect("admission lock poisoned");
+            st = guard;
+            if st.in_flight < self.max_in_flight {
+                st.queued -= 1;
+                st.in_flight += 1;
+                self.publish(&st);
+                return Ok(Permit { admission: self });
+            }
+        }
+    }
+
+    /// Current `(in_flight, queued)` counts.
+    pub(crate) fn load(&self) -> (usize, usize) {
+        let st = self.state.lock().expect("admission lock poisoned");
+        (st.in_flight, st.queued)
+    }
+
+    fn publish(&self, st: &State) {
+        applab_obs::gauge!("applab_service_in_flight").set(st.in_flight as i64);
+        applab_obs::gauge!("applab_service_queued").set(st.queued as i64);
+    }
+
+    fn release(&self) {
+        let mut st = self.state.lock().expect("admission lock poisoned");
+        st.in_flight -= 1;
+        self.publish(&st);
+        drop(st);
+        self.available.notify_one();
+    }
+}
+
+/// A granted in-flight permit; releasing is RAII so a panicking query
+/// still frees its slot.
+#[derive(Debug)]
+pub(crate) struct Permit<'a> {
+    admission: &'a Admission,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.admission.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn permits_are_granted_up_to_capacity() {
+        let adm = Admission::new(2, 0);
+        let p1 = adm.acquire(Duration::ZERO).unwrap();
+        let _p2 = adm.acquire(Duration::ZERO).unwrap();
+        let rejected = adm.acquire(Duration::ZERO).unwrap_err();
+        assert_eq!(rejected.in_flight, 2);
+        drop(p1);
+        assert!(adm.acquire(Duration::ZERO).is_ok());
+    }
+
+    #[test]
+    fn queue_full_rejects_immediately() {
+        let adm = Arc::new(Admission::new(1, 1));
+        let permit = adm.acquire(Duration::ZERO).unwrap();
+        // One waiter fills the queue.
+        let waiter = {
+            let adm = Arc::clone(&adm);
+            std::thread::spawn(move || adm.acquire(Duration::from_secs(5)).is_ok())
+        };
+        // Wait until the waiter is registered in the queue.
+        while adm.load().1 == 0 {
+            std::thread::yield_now();
+        }
+        let r = adm.acquire(Duration::from_secs(5)).unwrap_err();
+        assert!(!r.waited, "full queue must reject at the door");
+        assert_eq!((r.in_flight, r.queued), (1, 1));
+        drop(permit);
+        assert!(
+            waiter.join().unwrap(),
+            "queued waiter gets the freed permit"
+        );
+    }
+
+    #[test]
+    fn queue_wait_times_out() {
+        let adm = Admission::new(1, 4);
+        let _permit = adm.acquire(Duration::ZERO).unwrap();
+        let started = Instant::now();
+        let r = adm.acquire(Duration::from_millis(30)).unwrap_err();
+        assert!(r.waited);
+        assert!(started.elapsed() >= Duration::from_millis(30));
+        assert_eq!(adm.load().1, 0, "timed-out waiter left the queue");
+    }
+}

@@ -1,0 +1,417 @@
+//! `applab-service`: a concurrent query-serving layer over sealed,
+//! shareable workflow endpoints.
+//!
+//! The paper's goal is serving Copernicus data to non-EO app developers —
+//! many short GeoSPARQL queries against both the Strabon-like store and
+//! the Ontop-spatial virtual graphs. [`ApplabService`] owns a set of named
+//! [`QueryEndpoint`]s (both workflow facades implement the trait and are
+//! `Send + Sync` once sealed) and serves concurrent queries with:
+//!
+//! * **admission control** — at most `max_in_flight` queries evaluate at
+//!   once; a small bounded wait queue absorbs bursts and everything beyond
+//!   it is shed as a typed `Overloaded` outcome;
+//! * **per-query deadlines** — a cooperative [`Budget`] threaded through
+//!   `applab_sparql::eval`, polled at scan/probe-chunk/filter boundaries,
+//!   so runaway spatial joins abort mid-flight and *never* return
+//!   truncated results;
+//! * **structured outcomes** — every call returns a [`QueryOutcome`] with
+//!   results, queue wait, evaluation time, and backend, or a typed
+//!   `Timeout`/`Cancelled`/`Overloaded` rejection with a stable
+//!   [`CoreError::code`] used as the metrics label.
+//!
+//! Metrics: `applab_service_in_flight` / `applab_service_queued` gauges,
+//! `applab_service_outcomes_total{endpoint,code}` counters, and
+//! `applab_service_query_seconds` / `applab_service_queue_wait_seconds`
+//! histograms.
+//!
+//! ```no_run
+//! use applab_service::{ApplabService, QueryRequest, ServiceConfig};
+//! use std::sync::Arc;
+//! # fn endpoints() -> (applab_core::MaterializedWorkflow, applab_core::MaterializedWorkflow) { unimplemented!() }
+//!
+//! let (store_wf, other_wf) = endpoints();
+//! let service = ApplabService::new(ServiceConfig::default())
+//!     .with_endpoint("store", Arc::new(store_wf))
+//!     .with_endpoint("other", Arc::new(other_wf));
+//! let outcome = service.query("store", "SELECT ?s WHERE { ?s ?p ?o }");
+//! println!("{} in {:?}", outcome.code(), outcome.elapsed);
+//! ```
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
+
+mod admission;
+
+use admission::Admission;
+use applab_core::{CoreError, QueryEndpoint};
+use applab_sparql::{Budget, EvalOptions, QueryResults};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`ApplabService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum queries evaluating concurrently (admission permits).
+    pub max_in_flight: usize,
+    /// Maximum queries allowed to wait for a permit; arrivals beyond this
+    /// are rejected immediately with `Overloaded`.
+    pub max_queue: usize,
+    /// How long a queued query may wait for a permit before it is shed.
+    pub queue_timeout: Duration,
+    /// Deadline applied to queries that do not carry their own
+    /// [`QueryRequest::deadline`]. `None` means unlimited.
+    pub default_deadline: Option<Duration>,
+    /// Base evaluation options (parallelism knobs); the per-query budget
+    /// is layered on top of these.
+    pub eval: EvalOptions,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_in_flight: 4,
+            max_queue: 16,
+            queue_timeout: Duration::from_millis(500),
+            default_deadline: None,
+            eval: EvalOptions::default(),
+        }
+    }
+}
+
+/// Per-query options a caller may attach.
+#[derive(Debug, Clone, Default)]
+pub struct QueryRequest {
+    /// Evaluation deadline for this query, overriding
+    /// [`ServiceConfig::default_deadline`]. The clock starts when
+    /// evaluation starts, after admission: queue wait is bounded
+    /// separately by [`ServiceConfig::queue_timeout`].
+    pub deadline: Option<Duration>,
+    /// External cancellation token; storing `true` aborts the evaluation
+    /// at its next budget poll.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+/// The structured result of one service call.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// The endpoint name the query was routed to.
+    pub endpoint: String,
+    /// The backing engine (`"store"` / `"obda"`), or `"?"` when the
+    /// endpoint name did not resolve.
+    pub backend: &'static str,
+    /// Time spent waiting for an admission permit.
+    pub queue_wait: Duration,
+    /// Time spent evaluating (zero for rejected queries).
+    pub elapsed: Duration,
+    /// The results, or the typed rejection/failure.
+    pub result: Result<QueryResults, CoreError>,
+}
+
+impl QueryOutcome {
+    /// `"ok"` for success, otherwise the stable [`CoreError::code`]
+    /// (`"timeout"`, `"cancelled"`, `"overloaded"`, ...). Used as the
+    /// metrics label for `applab_service_outcomes_total`.
+    pub fn code(&self) -> &'static str {
+        match &self.result {
+            Ok(_) => "ok",
+            Err(e) => e.code(),
+        }
+    }
+
+    /// Whether the query produced results.
+    pub fn is_ok(&self) -> bool {
+        self.result.is_ok()
+    }
+
+    /// The results, when the query succeeded.
+    pub fn results(&self) -> Option<&QueryResults> {
+        self.result.as_ref().ok()
+    }
+}
+
+/// A shared, thread-safe query service over named workflow endpoints.
+///
+/// The service itself takes `&self` everywhere: wrap it in an `Arc` (or
+/// use scoped threads) and call [`ApplabService::query`] concurrently.
+pub struct ApplabService {
+    endpoints: Vec<(String, Arc<dyn QueryEndpoint>)>,
+    admission: Admission,
+    config: ServiceConfig,
+}
+
+impl ApplabService {
+    /// A service with the given configuration and no endpoints yet.
+    pub fn new(config: ServiceConfig) -> Self {
+        ApplabService {
+            endpoints: Vec::new(),
+            admission: Admission::new(config.max_in_flight, config.max_queue),
+            config,
+        }
+    }
+
+    /// Register a sealed endpoint under a routing name (builder style).
+    pub fn with_endpoint(
+        mut self,
+        name: impl Into<String>,
+        endpoint: Arc<dyn QueryEndpoint>,
+    ) -> Self {
+        self.register(name, endpoint);
+        self
+    }
+
+    /// Register a sealed endpoint under a routing name. A later
+    /// registration under the same name replaces the earlier one.
+    pub fn register(&mut self, name: impl Into<String>, endpoint: Arc<dyn QueryEndpoint>) {
+        let name = name.into();
+        if let Some(slot) = self.endpoints.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = endpoint;
+        } else {
+            self.endpoints.push((name, endpoint));
+        }
+    }
+
+    /// The registered endpoint names, in registration order.
+    pub fn endpoint_names(&self) -> Vec<&str> {
+        self.endpoints.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Current `(in_flight, queued)` load snapshot.
+    pub fn load(&self) -> (usize, usize) {
+        self.admission.load()
+    }
+
+    /// Serve one query with the service-wide defaults.
+    pub fn query(&self, endpoint: &str, sparql: &str) -> QueryOutcome {
+        self.query_with(endpoint, sparql, &QueryRequest::default())
+    }
+
+    /// Serve one query with per-query deadline/cancellation options.
+    pub fn query_with(&self, endpoint: &str, sparql: &str, request: &QueryRequest) -> QueryOutcome {
+        let Some((name, ep)) = self.endpoints.iter().find(|(n, _)| n == endpoint) else {
+            return self.finish(QueryOutcome {
+                endpoint: endpoint.to_string(),
+                backend: "?",
+                queue_wait: Duration::ZERO,
+                elapsed: Duration::ZERO,
+                result: Err(CoreError::Source(format!("unknown endpoint '{endpoint}'"))),
+            });
+        };
+
+        let mut span = applab_obs::span("service.query");
+        span.record("endpoint", name.as_str());
+
+        let queued_at = Instant::now();
+        let permit = self.admission.acquire(self.config.queue_timeout);
+        let queue_wait = queued_at.elapsed();
+        applab_obs::histogram!("applab_service_queue_wait_seconds", WAIT_SECONDS_BUCKETS)
+            .observe(queue_wait.as_secs_f64());
+        let _permit = match permit {
+            Ok(p) => p,
+            Err(rejection) => {
+                span.record("code", "overloaded");
+                return self.finish(QueryOutcome {
+                    endpoint: name.clone(),
+                    backend: ep.backend(),
+                    queue_wait,
+                    elapsed: Duration::ZERO,
+                    result: Err(CoreError::Overloaded {
+                        in_flight: rejection.in_flight,
+                        queued: rejection.queued,
+                    }),
+                });
+            }
+        };
+
+        // The budget clock starts here, with the permit held: queue wait
+        // is governed by queue_timeout, not by the evaluation deadline.
+        let mut options = self.config.eval.clone();
+        let mut budget = match request.deadline.or(self.config.default_deadline) {
+            Some(limit) => Budget::with_deadline(limit),
+            None => Budget::unlimited(),
+        };
+        if let Some(token) = &request.cancel {
+            budget = budget.cancelled_by(Arc::clone(token));
+        }
+        options.budget = budget;
+
+        let started = Instant::now();
+        let result = ep.query_with(sparql, &options);
+        let elapsed = started.elapsed();
+        applab_obs::histogram!("applab_service_query_seconds", WAIT_SECONDS_BUCKETS)
+            .observe(elapsed.as_secs_f64());
+        let outcome = QueryOutcome {
+            endpoint: name.clone(),
+            backend: ep.backend(),
+            queue_wait,
+            elapsed,
+            result,
+        };
+        span.record("code", outcome.code());
+        self.finish(outcome)
+    }
+
+    /// Record the outcome counter and hand the outcome back.
+    fn finish(&self, outcome: QueryOutcome) -> QueryOutcome {
+        applab_obs::global()
+            .counter_with(
+                "applab_service_outcomes_total",
+                &[("endpoint", &outcome.endpoint), ("code", outcome.code())],
+            )
+            .inc();
+        outcome
+    }
+}
+
+/// Latency buckets shared by the queue-wait and query histograms:
+/// 100µs – 5s.
+const WAIT_SECONDS_BUCKETS: &[f64] =
+    &[0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use applab_core::Explain;
+    use applab_sparql::Row;
+    use std::sync::atomic::Ordering;
+    use std::sync::Barrier;
+
+    /// A synthetic endpoint: returns a fixed row after honouring the
+    /// budget, and can block on a barrier to hold its admission permit.
+    struct FakeEndpoint {
+        hold: Option<Arc<Barrier>>,
+    }
+
+    impl FakeEndpoint {
+        fn instant() -> Self {
+            FakeEndpoint { hold: None }
+        }
+    }
+
+    impl QueryEndpoint for FakeEndpoint {
+        fn query_with(
+            &self,
+            sparql: &str,
+            options: &EvalOptions,
+        ) -> Result<QueryResults, CoreError> {
+            if let Some(b) = &self.hold {
+                b.wait();
+            }
+            options.budget.check()?;
+            Ok(QueryResults::Solutions {
+                variables: vec!["q".into()],
+                rows: vec![Row {
+                    values: vec![Some(applab_rdf::Literal::string(sparql).into())],
+                }],
+            })
+        }
+
+        fn query_explained(&self, _sparql: &str) -> Result<Explain, CoreError> {
+            unimplemented!("not used by the service tests")
+        }
+
+        fn backend(&self) -> &'static str {
+            "fake"
+        }
+    }
+
+    fn service(config: ServiceConfig) -> ApplabService {
+        ApplabService::new(config).with_endpoint("fake", Arc::new(FakeEndpoint::instant()))
+    }
+
+    #[test]
+    fn routes_and_returns_results() {
+        let svc = service(ServiceConfig::default());
+        let out = svc.query("fake", "SELECT 1");
+        assert_eq!(out.code(), "ok");
+        assert_eq!(out.backend, "fake");
+        assert_eq!(out.results().unwrap().len(), 1);
+        assert_eq!(svc.load(), (0, 0), "permit released after the call");
+    }
+
+    #[test]
+    fn unknown_endpoint_is_a_source_error() {
+        let svc = service(ServiceConfig::default());
+        let out = svc.query("nope", "SELECT 1");
+        assert_eq!(out.code(), "source");
+        assert!(matches!(out.result, Err(CoreError::Source(_))));
+    }
+
+    #[test]
+    fn zero_deadline_times_out() {
+        let svc = service(ServiceConfig::default());
+        let out = svc.query_with(
+            "fake",
+            "SELECT 1",
+            &QueryRequest {
+                deadline: Some(Duration::ZERO),
+                cancel: None,
+            },
+        );
+        assert_eq!(out.code(), "timeout");
+        assert!(matches!(out.result, Err(CoreError::Timeout(d)) if d == Duration::ZERO));
+    }
+
+    #[test]
+    fn cancellation_token_is_threaded_through() {
+        let svc = service(ServiceConfig::default());
+        let token = Arc::new(AtomicBool::new(false));
+        token.store(true, Ordering::Relaxed);
+        let out = svc.query_with(
+            "fake",
+            "SELECT 1",
+            &QueryRequest {
+                deadline: None,
+                cancel: Some(token),
+            },
+        );
+        assert_eq!(out.code(), "cancelled");
+    }
+
+    #[test]
+    fn overload_sheds_with_a_typed_outcome() {
+        let gate = Arc::new(Barrier::new(2));
+        let mut svc = ApplabService::new(ServiceConfig {
+            max_in_flight: 1,
+            max_queue: 0,
+            queue_timeout: Duration::ZERO,
+            ..ServiceConfig::default()
+        });
+        svc.register(
+            "slow",
+            Arc::new(FakeEndpoint {
+                hold: Some(Arc::clone(&gate)),
+            }),
+        );
+        let svc = Arc::new(svc);
+        let bg = {
+            let svc = Arc::clone(&svc);
+            std::thread::spawn(move || svc.query("slow", "SELECT 1"))
+        };
+        // Wait until the background query holds the only permit.
+        while svc.load().0 == 0 {
+            std::thread::yield_now();
+        }
+        let shed = svc.query("slow", "SELECT 2");
+        assert_eq!(shed.code(), "overloaded");
+        assert!(
+            matches!(
+                shed.result,
+                Err(CoreError::Overloaded {
+                    in_flight: 1,
+                    queued: 0
+                })
+            ),
+            "{:?}",
+            shed.result
+        );
+        gate.wait(); // release the in-flight query
+        assert_eq!(bg.join().unwrap().code(), "ok");
+    }
+
+    #[test]
+    fn replacing_an_endpoint_keeps_one_entry() {
+        let mut svc = service(ServiceConfig::default());
+        svc.register("fake", Arc::new(FakeEndpoint::instant()));
+        assert_eq!(svc.endpoint_names(), ["fake"]);
+    }
+}

@@ -3,7 +3,7 @@
 //! Evaluation is bottom-up over [`GraphPattern`], but unlike a classic
 //! binding-at-a-time interpreter the intermediate solutions are compact
 //! **id rows**: one `Vec<Option<u64>>` per solution, indexed by a per-query
-//! variable table ([`Slots`]). Each triple pattern of a BGP is scanned
+//! variable table (`Slots`). Each triple pattern of a BGP is scanned
 //! exactly once into a match column; columns are then combined with hash
 //! joins on the shared variable slots, smallest (connected) column first.
 //! Terms are only decoded at FILTER / projection boundaries — late
@@ -45,6 +45,9 @@ use applab_rdf::{vocab, Graph, Literal, NamedNode, Resource, Term, Triple};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Multiplicative hasher (FxHash-style) for the maps keyed by dictionary
 /// ids on the join/aggregation hot path, where SipHash would dominate the
@@ -92,15 +95,94 @@ type IdHashMap<K, V> = HashMap<K, V, BuildHasherDefault<IdHasher>>;
 
 /// Evaluation error.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct EvalError(pub String);
+pub enum EvalError {
+    /// The query's cooperative [`Budget`] deadline elapsed mid-evaluation.
+    /// The payload is the configured budget, not the elapsed time.
+    Timeout(Duration),
+    /// The query's [`Budget`] cancellation token was triggered.
+    Cancelled,
+    /// Any other evaluation failure.
+    Other(String),
+}
 
 impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "evaluation error: {}", self.0)
+        match self {
+            EvalError::Timeout(budget) => {
+                write!(f, "evaluation exceeded its {budget:?} time budget")
+            }
+            EvalError::Cancelled => write!(f, "evaluation cancelled"),
+            EvalError::Other(m) => write!(f, "evaluation error: {m}"),
+        }
     }
 }
 
 impl std::error::Error for EvalError {}
+
+/// A cooperative evaluation budget: an optional wall-clock deadline and an
+/// optional external cancellation token.
+///
+/// The evaluator polls the budget at scan, probe-chunk, and filter
+/// boundaries (about every [`CHECK_INTERVAL`] rows on the hot loops). When
+/// it trips, the in-flight operators unwind and [`evaluate_with`] returns
+/// [`EvalError::Timeout`] / [`EvalError::Cancelled`] — partial results are
+/// never surfaced. The default budget is unlimited and costs two `Option`
+/// checks per poll.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    /// `(deadline instant, configured duration)` — the duration is kept
+    /// only so the timeout error can report what the budget was.
+    deadline: Option<(Instant, Duration)>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl Budget {
+    /// A budget with no deadline and no cancellation token.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// A budget that trips once `limit` has elapsed from now.
+    pub fn with_deadline(limit: Duration) -> Self {
+        Budget {
+            deadline: Some((Instant::now() + limit, limit)),
+            cancel: None,
+        }
+    }
+
+    /// Attach an external cancellation token; storing `true` in it aborts
+    /// the evaluation at the next poll.
+    pub fn cancelled_by(mut self, token: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether the budget can ever trip.
+    pub fn is_limited(&self) -> bool {
+        self.deadline.is_some() || self.cancel.is_some()
+    }
+
+    /// Poll the budget. Cancellation wins over the deadline when both trip.
+    #[inline]
+    pub fn check(&self) -> Result<(), EvalError> {
+        if let Some(token) = &self.cancel {
+            if token.load(Ordering::Relaxed) {
+                return Err(EvalError::Cancelled);
+            }
+        }
+        if let Some((at, limit)) = self.deadline {
+            if Instant::now() >= at {
+                return Err(EvalError::Timeout(limit));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How many rows the evaluator's hot loops process between budget polls.
+/// Small enough that runaway spatial joins abort within milliseconds,
+/// large enough that `Instant::now` stays off the per-row path.
+pub const CHECK_INTERVAL: usize = 1024;
 
 /// Tuning knobs for [`evaluate_with`].
 #[derive(Debug, Clone)]
@@ -114,6 +196,8 @@ pub struct EvalOptions {
     /// so single-core hosts stay sequential; setting `Some(n)` forces
     /// `n` workers regardless of the host's core count.
     pub parallel_workers: Option<usize>,
+    /// The cooperative deadline / cancellation budget for this evaluation.
+    pub budget: Budget,
 }
 
 impl Default for EvalOptions {
@@ -121,6 +205,7 @@ impl Default for EvalOptions {
         EvalOptions {
             parallel_probe_threshold: 4096,
             parallel_workers: None,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -149,6 +234,7 @@ pub fn evaluate_with(
         options,
         geometries: IdHashMap::default(),
         next_prov: n_real,
+        interrupt: None,
     };
     let id_rows = ev.eval_pattern(
         &query.pattern,
@@ -156,7 +242,40 @@ pub fn evaluate_with(
         &Constraints::default(),
     );
 
-    let out = match &query.form {
+    let out = if let Some(e) = ev.interrupt.take() {
+        Err(e)
+    } else {
+        form_results(&mut ev, query, id_rows)
+            // A deadline that trips during projection/aggregation still
+            // fails the whole query: no partial results past this point.
+            .and_then(|r| options.budget.check().map(|()| r))
+    };
+
+    match &out {
+        Ok(results) => eval_span.record("rows", result_cardinality(results)),
+        Err(EvalError::Timeout(_)) => {
+            applab_obs::counter!("applab_sparql_timeouts_total").inc();
+            eval_span.record("timeout", true);
+        }
+        Err(EvalError::Cancelled) => {
+            applab_obs::counter!("applab_sparql_cancellations_total").inc();
+            eval_span.record("cancelled", true);
+        }
+        Err(_) => {}
+    }
+    drop(eval_span);
+    applab_obs::histogram!("applab_sparql_query_seconds", QUERY_SECONDS_BUCKETS)
+        .observe(started.elapsed().as_secs_f64());
+    out
+}
+
+/// Shape the final id rows into the query-form-specific results.
+fn form_results(
+    ev: &mut Evaluator<'_>,
+    query: &Query,
+    id_rows: Vec<IdRow>,
+) -> Result<QueryResults, EvalError> {
+    match &query.form {
         QueryForm::Ask => Ok(QueryResults::Boolean(!id_rows.is_empty())),
         QueryForm::Construct { template } => {
             // Variables the template mentions, with their slots. Template
@@ -282,15 +401,7 @@ pub fn evaluate_with(
 
             Ok(QueryResults::Solutions { variables, rows })
         }
-    };
-
-    if let Ok(results) = &out {
-        eval_span.record("rows", result_cardinality(results));
     }
-    drop(eval_span);
-    applab_obs::histogram!("applab_sparql_query_seconds", QUERY_SECONDS_BUCKETS)
-        .observe(started.elapsed().as_secs_f64());
-    out
 }
 
 /// Latency buckets for `applab_sparql_query_seconds`: 100µs up to 5s.
@@ -452,15 +563,36 @@ struct Evaluator<'a> {
     geometries: IdHashMap<u64, Option<(Geometry, Envelope)>>,
     /// Next free provenance slot (see [`Slots`]).
     next_prov: usize,
+    /// Set when the budget trips mid-evaluation. Operators then unwind
+    /// with empty outputs and [`evaluate_with`] turns this into the error,
+    /// so truncated row sets never escape as results.
+    interrupt: Option<EvalError>,
 }
 
 impl<'a> Evaluator<'a> {
+    /// Poll the budget, latching the first error. Returns `true` when the
+    /// evaluation should unwind.
+    #[inline]
+    fn interrupted(&mut self) -> bool {
+        if self.interrupt.is_some() {
+            return true;
+        }
+        if let Err(e) = self.options.budget.check() {
+            self.interrupt = Some(e);
+            return true;
+        }
+        false
+    }
+
     fn eval_pattern(
         &mut self,
         pattern: &GraphPattern,
         input: Vec<IdRow>,
         constraints: &Constraints,
     ) -> Vec<IdRow> {
+        if self.interrupted() {
+            return Vec::new();
+        }
         match pattern {
             GraphPattern::Bgp(patterns) => self.eval_bgp(patterns, input, constraints),
             GraphPattern::Filter(expr, inner) => {
@@ -487,7 +619,10 @@ impl<'a> Evaluator<'a> {
                 let compiled = self.compile_conjuncts(expr);
                 fspan.record("conjuncts", compiled.len());
                 let mut out = Vec::with_capacity(inner_rows.len());
-                'rows: for row in inner_rows {
+                'rows: for (n, row) in inner_rows.into_iter().enumerate() {
+                    if n % CHECK_INTERVAL == 0 && self.interrupted() {
+                        return Vec::new();
+                    }
                     for c in &compiled {
                         if !self.eval_conjunct(c, &row) {
                             continue 'rows;
@@ -743,6 +878,9 @@ impl<'a> Evaluator<'a> {
         // Scan every pattern exactly once into a match column.
         let mut columns: Vec<(Vec<IdRow>, Vec<usize>)> = Vec::with_capacity(patterns.len());
         for (i, p) in patterns.iter().enumerate() {
+            if self.interrupted() {
+                return Vec::new();
+            }
             let mut scan_span = applab_obs::span("scan");
             scan_span.record("pattern", i);
             let col = self.scan_column(p, subst.as_deref(), constraints);
@@ -767,6 +905,9 @@ impl<'a> Evaluator<'a> {
         }
         let mut result = input;
         while !columns.is_empty() {
+            if self.interrupted() {
+                return Vec::new();
+            }
             let pick = columns
                 .iter()
                 .enumerate()
@@ -874,7 +1015,10 @@ impl<'a> Evaluator<'a> {
         };
 
         let mut rows = Vec::with_capacity(triples.len());
-        'next: for (ts, tp, to) in triples {
+        'next: for (n, (ts, tp, to)) in triples.into_iter().enumerate() {
+            if n % CHECK_INTERVAL == 0 && self.interrupted() {
+                return (Vec::new(), Vec::new());
+            }
             let mut row = vec![None; self.slots.width];
             for (slot, val) in [(s_slot, ts), (p_slot, tp), (o_slot, to)] {
                 if let Some(slot) = slot {
@@ -959,7 +1103,10 @@ impl<'a> Evaluator<'a> {
         };
 
         let mut rows = Vec::with_capacity(triples.len());
-        'next: for t in triples {
+        'next: for (n, t) in triples.into_iter().enumerate() {
+            if n % CHECK_INTERVAL == 0 && self.interrupted() {
+                return (Vec::new(), Vec::new());
+            }
             let mut row = vec![None; self.slots.width];
             for (slot, term) in [
                 (s_slot, Term::from(t.subject.clone())),
@@ -993,7 +1140,7 @@ impl<'a> Evaluator<'a> {
     /// unbound slots are filled from the build row. Large probe groups are
     /// chunked across scoped threads; chunk outputs are concatenated in
     /// order so the result is independent of the thread count.
-    fn join(&self, probe: Vec<IdRow>, build: Vec<IdRow>) -> Vec<IdRow> {
+    fn join(&mut self, probe: Vec<IdRow>, build: Vec<IdRow>) -> Vec<IdRow> {
         if probe.is_empty() || build.is_empty() {
             return Vec::new();
         }
@@ -1137,6 +1284,7 @@ impl<'a> Evaluator<'a> {
                         let chunk = prows.len().div_ceil(workers);
                         let pr = &probe_one;
                         let parent = join_span.context();
+                        let budget = &self.options.budget;
                         let results: Vec<Vec<IdRow>> = std::thread::scope(|scope| {
                             let handles: Vec<_> = prows
                                 .chunks(chunk)
@@ -1146,7 +1294,14 @@ impl<'a> Evaluator<'a> {
                                             applab_obs::child_of(Some(parent), "probe.chunk");
                                         chunk_span.record("rows", c.len());
                                         let mut local = Vec::new();
-                                        for &pi in c {
+                                        for (n, &pi) in c.iter().enumerate() {
+                                            // A tripped budget truncates the
+                                            // chunk; the post-scope poll below
+                                            // fails the whole query, so the
+                                            // truncation is never observable.
+                                            if n % CHECK_INTERVAL == 0 && budget.check().is_err() {
+                                                break;
+                                            }
                                             pr(pi, &mut local);
                                         }
                                         chunk_span.record("out", local.len());
@@ -1159,13 +1314,19 @@ impl<'a> Evaluator<'a> {
                                 .map(|h| h.join().expect("probe worker panicked"))
                                 .collect()
                         });
+                        if self.interrupted() {
+                            return Vec::new();
+                        }
                         for mut r in results {
                             out.append(&mut r);
                         }
                         continue;
                     }
                 }
-                for &pi in prows {
+                for (n, &pi) in prows.iter().enumerate() {
+                    if n % CHECK_INTERVAL == 0 && self.interrupted() {
+                        return Vec::new();
+                    }
                     probe_one(pi, &mut out);
                 }
             }
@@ -1243,7 +1404,7 @@ impl<'a> Evaluator<'a> {
                                 .flatten()
                                 .map(|id| self.interner.decode(id).clone()),
                             None => {
-                                return Err(EvalError(format!(
+                                return Err(EvalError::Other(format!(
                                     "variable ?{v} is projected but neither grouped nor aggregated"
                                 )))
                             }
@@ -2104,6 +2265,7 @@ mod tests {
                 // Force real threads even on single-core hosts, where
                 // available_parallelism() would keep this sequential.
                 parallel_workers: Some(4),
+                ..EvalOptions::default()
             },
         )
         .unwrap();
@@ -2113,6 +2275,7 @@ mod tests {
             &EvalOptions {
                 parallel_probe_threshold: usize::MAX,
                 parallel_workers: None,
+                ..EvalOptions::default()
             },
         )
         .unwrap();
@@ -2188,5 +2351,52 @@ mod tests {
         for row in r.rows() {
             assert!(row.get(r.variables(), "v").is_some());
         }
+    }
+
+    fn any_query() -> Query {
+        select_all(GraphPattern::Bgp(vec![TriplePattern::new(
+            var("s"),
+            Term::named(vocab::osm::HAS_NAME),
+            var("name"),
+        )]))
+    }
+
+    #[test]
+    fn zero_budget_times_out_without_partial_results() {
+        let g = test_graph();
+        let q = any_query();
+        let options = EvalOptions {
+            budget: Budget::with_deadline(Duration::ZERO),
+            ..EvalOptions::default()
+        };
+        match evaluate_with(&g, &q, &options) {
+            Err(EvalError::Timeout(d)) => assert_eq!(d, Duration::ZERO),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_token_aborts_evaluation() {
+        let g = test_graph();
+        let q = any_query();
+        let token = Arc::new(AtomicBool::new(true));
+        let options = EvalOptions {
+            budget: Budget::unlimited().cancelled_by(token),
+            ..EvalOptions::default()
+        };
+        assert_eq!(evaluate_with(&g, &q, &options), Err(EvalError::Cancelled));
+    }
+
+    #[test]
+    fn generous_budget_matches_unlimited_results() {
+        let g = test_graph();
+        let q = any_query();
+        let unlimited = evaluate(&g, &q).unwrap();
+        let options = EvalOptions {
+            budget: Budget::with_deadline(Duration::from_secs(60))
+                .cancelled_by(Arc::new(AtomicBool::new(false))),
+            ..EvalOptions::default()
+        };
+        assert_eq!(evaluate_with(&g, &q, &options).unwrap(), unlimited);
     }
 }

@@ -32,7 +32,7 @@ pub mod results;
 pub mod source;
 
 pub use algebra::{Expression, GraphPattern, Query, QueryForm, TermPattern, TriplePattern};
-pub use eval::{evaluate, evaluate_with, EvalError, EvalOptions};
+pub use eval::{evaluate, evaluate_with, Budget, EvalError, EvalOptions};
 pub use parser::{parse_query, ParseError};
 pub use results::{QueryResults, Row};
 pub use source::{GraphSource, IdAccess};

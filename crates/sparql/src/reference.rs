@@ -186,7 +186,7 @@ fn aggregate_rows(
                 Projection::Var(v) => match group_by.iter().position(|g| g == v) {
                     Some(i) => key_terms.get(i).cloned().flatten(),
                     None => {
-                        return Err(EvalError(format!(
+                        return Err(EvalError::Other(format!(
                             "variable ?{v} is projected but neither grouped nor aggregated"
                         )))
                     }

@@ -1,6 +1,6 @@
 //! Query results and their serializations.
 
-use applab_rdf::{Graph, Term};
+use applab_rdf::{vocab, Graph, Term};
 
 /// One solution row, aligned with the result's variable list.
 #[derive(Debug, Clone, PartialEq)]
@@ -110,6 +110,68 @@ impl QueryResults {
         out
     }
 
+    /// Serialize as W3C SPARQL 1.1 Query Results JSON
+    /// (<https://www.w3.org/TR/sparql11-results-json/>).
+    ///
+    /// `SELECT` solutions become `{"head":{"vars":[...]},"results":
+    /// {"bindings":[...]}}` with unbound variables omitted from their
+    /// binding objects; `ASK` becomes `{"head":{},"boolean":...}`. The
+    /// format does not define `CONSTRUCT` output, so a graph is encoded as
+    /// solutions over the pseudo-variables `subject`/`predicate`/`object`,
+    /// one binding per triple.
+    pub fn to_json(&self) -> String {
+        let (variables, rows) = match self {
+            QueryResults::Solutions { variables, rows } => (variables.clone(), rows.clone()),
+            QueryResults::Boolean(b) => return format!("{{\"head\":{{}},\"boolean\":{b}}}"),
+            QueryResults::Graph(g) => {
+                let variables = vec![
+                    "subject".to_string(),
+                    "predicate".to_string(),
+                    "object".to_string(),
+                ];
+                let rows = g
+                    .iter()
+                    .map(|t| Row {
+                        values: vec![
+                            Some(Term::from(t.subject.clone())),
+                            Some(Term::Named(t.predicate.clone())),
+                            Some(t.object.clone()),
+                        ],
+                    })
+                    .collect();
+                (variables, rows)
+            }
+        };
+        let mut out = String::from("{\"head\":{\"vars\":[");
+        for (i, v) in variables.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(v));
+        }
+        out.push_str("]},\"results\":{\"bindings\":[");
+        for (ri, row) in rows.iter().enumerate() {
+            if ri > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            let mut first = true;
+            for (v, t) in variables.iter().zip(&row.values) {
+                let Some(t) = t else { continue };
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&json_string(v));
+                out.push(':');
+                out.push_str(&json_term(t));
+            }
+            out.push('}');
+        }
+        out.push_str("]}}");
+        out
+    }
+
     /// Serialize SELECT solutions as TSV with full term syntax.
     pub fn to_tsv(&self) -> String {
         let (variables, rows) = match self {
@@ -137,6 +199,52 @@ impl QueryResults {
         }
         out
     }
+}
+
+/// One RDF term as a SPARQL-results-JSON object.
+fn json_term(t: &Term) -> String {
+    match t {
+        Term::Named(n) => format!("{{\"type\":\"uri\",\"value\":{}}}", json_string(n.as_str())),
+        Term::Blank(b) => format!(
+            "{{\"type\":\"bnode\",\"value\":{}}}",
+            json_string(b.as_str())
+        ),
+        Term::Literal(l) => {
+            let mut out = format!(
+                "{{\"type\":\"literal\",\"value\":{}",
+                json_string(l.value())
+            );
+            if let Some(lang) = l.language() {
+                out.push_str(&format!(",\"xml:lang\":{}", json_string(lang)));
+            } else if l.datatype().as_str() != vocab::xsd::STRING {
+                out.push_str(&format!(
+                    ",\"datatype\":{}",
+                    json_string(l.datatype().as_str())
+                ));
+            }
+            out.push('}');
+            out
+        }
+    }
+}
+
+/// JSON string literal with the escapes RFC 8259 requires.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn csv_escape(s: &str) -> String {
@@ -200,5 +308,59 @@ mod tests {
     fn ask_serialization() {
         assert_eq!(QueryResults::Boolean(true).to_csv(), "boolean\ntrue\n");
         assert_eq!(QueryResults::Boolean(true).as_bool(), Some(true));
+    }
+
+    /// Golden output for the W3C SPARQL 1.1 Results JSON writer: every
+    /// term kind, string escaping, and an unbound variable.
+    #[test]
+    fn json_golden_output() {
+        let r = QueryResults::Solutions {
+            variables: vec!["s".into(), "label".into(), "lai".into()],
+            rows: vec![
+                Row {
+                    values: vec![
+                        Some(Term::named("http://ex.org/p1")),
+                        Some(Literal::lang("Bois de \"Boulogne\"\n", "fr").into()),
+                        Some(Literal::float(3.5).into()),
+                    ],
+                },
+                Row {
+                    values: vec![
+                        Some(Term::Blank(applab_rdf::BlankNode::new("b0"))),
+                        Some(Literal::string("plain").into()),
+                        None,
+                    ],
+                },
+            ],
+        };
+        assert_eq!(
+            r.to_json(),
+            concat!(
+                "{\"head\":{\"vars\":[\"s\",\"label\",\"lai\"]},\"results\":{\"bindings\":[",
+                "{\"s\":{\"type\":\"uri\",\"value\":\"http://ex.org/p1\"},",
+                "\"label\":{\"type\":\"literal\",\"value\":\"Bois de \\\"Boulogne\\\"\\n\",\"xml:lang\":\"fr\"},",
+                "\"lai\":{\"type\":\"literal\",\"value\":\"3.5\",\"datatype\":\"http://www.w3.org/2001/XMLSchema#float\"}},",
+                "{\"s\":{\"type\":\"bnode\",\"value\":\"b0\"},",
+                "\"label\":{\"type\":\"literal\",\"value\":\"plain\"}}",
+                "]}}"
+            )
+        );
+    }
+
+    #[test]
+    fn json_ask_and_graph() {
+        assert_eq!(
+            QueryResults::Boolean(false).to_json(),
+            "{\"head\":{},\"boolean\":false}"
+        );
+        let mut g = Graph::new();
+        g.add(
+            applab_rdf::Resource::named("http://ex.org/a"),
+            applab_rdf::NamedNode::new("http://ex.org/p"),
+            Term::named("http://ex.org/b"),
+        );
+        let json = QueryResults::Graph(g).to_json();
+        assert!(json.starts_with("{\"head\":{\"vars\":[\"subject\",\"predicate\",\"object\"]}"));
+        assert!(json.contains("\"predicate\":{\"type\":\"uri\",\"value\":\"http://ex.org/p\"}"));
     }
 }

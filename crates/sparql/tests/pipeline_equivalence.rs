@@ -182,13 +182,13 @@ proptest! {
         let parallel = evaluate_with(
             &graph,
             &q,
-            &EvalOptions { parallel_probe_threshold: 1, parallel_workers: Some(3) },
+            &EvalOptions { parallel_probe_threshold: 1, parallel_workers: Some(3), ..EvalOptions::default() },
         )
         .unwrap();
         let sequential = evaluate_with(
             &graph,
             &q,
-            &EvalOptions { parallel_probe_threshold: usize::MAX, parallel_workers: None },
+            &EvalOptions { parallel_probe_threshold: usize::MAX, parallel_workers: None, ..EvalOptions::default() },
         )
         .unwrap();
         // Exact equality, including row order: parallel chunks concatenate

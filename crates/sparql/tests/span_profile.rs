@@ -55,6 +55,7 @@ fn parallel_probe_tree_matches_sequential_modulo_chunks() {
             &EvalOptions {
                 parallel_probe_threshold: 1,
                 parallel_workers: Some(4),
+                ..EvalOptions::default()
             },
         )
         .unwrap()

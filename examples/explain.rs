@@ -14,7 +14,7 @@
 //! accumulated.
 
 use applab_bench::geographica_queries;
-use copernicus_app_lab::core::{MaterializedWorkflow, VirtualWorkflow};
+use copernicus_app_lab::core::{MaterializedWorkflow, QueryEndpoint, VirtualWorkflowBuilder};
 use copernicus_app_lab::data::{mappings, ParisFixture};
 use copernicus_app_lab::sparql::QueryResults;
 
@@ -44,16 +44,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("materialized {} triples", mat.len());
 
-    // Right path: the same tables behind the OBDA engine.
-    let mut virt = VirtualWorkflow::local();
+    // Right path: the same tables behind the OBDA engine. The builder
+    // accumulates configuration; `seal()` compiles the virtual graph into
+    // a shareable query endpoint.
+    let mut builder = VirtualWorkflowBuilder::local();
     for (table, doc) in tables {
-        virt.add_table(table)?;
-        virt.add_mappings(doc)?;
+        builder.add_table(table);
+        builder.add_mappings(doc)?;
     }
+    let virt = builder.seal()?;
+
+    // Both workflows behind the uniform endpoint trait, as the service
+    // sees them.
+    let store_ep: &dyn QueryEndpoint = &mat;
+    let obda_ep: &dyn QueryEndpoint = &virt;
 
     for (name, sparql) in geographica_queries() {
-        let store = mat.query_explained(&sparql)?;
-        let obda = virt.query_explained(&sparql)?;
+        let store = store_ep.query_explained(&sparql)?;
+        let obda = obda_ep.query_explained(&sparql)?;
         assert_eq!(
             rows(&store.results),
             rows(&obda.results),

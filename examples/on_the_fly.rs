@@ -10,7 +10,7 @@
 //! Listing 3 over the *virtual* RDF graph — no triples are materialized.
 //! Also exercises the SDL request methods an app developer would call.
 
-use copernicus_app_lab::core::VirtualWorkflow;
+use copernicus_app_lab::core::VirtualWorkflowBuilder;
 use copernicus_app_lab::data::{grids, mappings, ParisFixture};
 use copernicus_app_lab::geo::{Coord, Envelope};
 use copernicus_app_lab::sdl::analytics::CentralTendency;
@@ -23,8 +23,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut lai = grids::lai_dataset(&fixture.world, &grids::GridSpec::monthly_2017(24, 2019));
     lai.name = "Copernicus-Land-timeseries-global-LAI".into();
 
-    let mut workflow = VirtualWorkflow::local();
-    workflow.publish(lai);
+    // Build phase: publish the product, register the `opendap` virtual
+    // table (Listing 2 mapping), then seal into a queryable workflow.
+    let mut builder = VirtualWorkflowBuilder::local();
+    builder.publish(lai);
+    builder.add_opendap(
+        "Copernicus-Land-timeseries-global-LAI",
+        "LAI",
+        Duration::from_secs(600),
+    );
+    builder.add_mappings(&mappings::opendap_lai_mapping(
+        "Copernicus-Land-timeseries-global-LAI",
+        10,
+    ))?;
+    let workflow = builder.seal()?;
 
     // --- The SDL path (RAMANI Maps-API request methods).
     let meta = workflow
@@ -55,16 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         other => println!("unexpected: {other:?}"),
     }
 
-    // --- The OBDA path: Listing 2 mapping + Listing 3 query.
-    workflow.add_opendap(
-        "Copernicus-Land-timeseries-global-LAI",
-        "LAI",
-        Duration::from_secs(600),
-    )?;
-    workflow.add_mappings(&mappings::opendap_lai_mapping(
-        "Copernicus-Land-timeseries-global-LAI",
-        10,
-    ))?;
+    // --- The OBDA path: Listing 3 over the sealed virtual graph.
     let results = workflow.query(
         r#"SELECT DISTINCT ?s ?wkt ?lai
 WHERE { ?s lai:hasLai ?lai .

@@ -16,6 +16,7 @@ pub use applab_obda as obda;
 pub use applab_obs as obs;
 pub use applab_rdf as rdf;
 pub use applab_sdl as sdl;
+pub use applab_service as service;
 pub use applab_sextant as sextant;
 pub use applab_sparql as sparql;
 pub use applab_store as store;

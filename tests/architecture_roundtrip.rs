@@ -6,7 +6,7 @@
 
 use copernicus_app_lab::catalog::schema_org::corine_annotation;
 use copernicus_app_lab::catalog::{CatalogIndex, SearchQuery};
-use copernicus_app_lab::core::{MaterializedWorkflow, VirtualWorkflow};
+use copernicus_app_lab::core::{MaterializedWorkflow, VirtualWorkflowBuilder};
 use copernicus_app_lab::data::{grids, mappings, ParisFixture};
 use copernicus_app_lab::geo::Coord;
 use copernicus_app_lab::link::{Comparison, LinkRule};
@@ -30,11 +30,12 @@ fn materialized_and_virtual_workflows_agree() {
         .unwrap();
 
     // Virtual: the same tables behind Ontop-spatial.
-    let mut virt = VirtualWorkflow::local();
-    virt.add_table(fixture.world.osm_table()).unwrap();
-    virt.add_table(fixture.world.corine_table()).unwrap();
-    virt.add_mappings(mappings::OSM_MAPPING).unwrap();
-    virt.add_mappings(mappings::CORINE_MAPPING).unwrap();
+    let mut builder = VirtualWorkflowBuilder::local();
+    builder.add_table(fixture.world.osm_table());
+    builder.add_table(fixture.world.corine_table());
+    builder.add_mappings(mappings::OSM_MAPPING).unwrap();
+    builder.add_mappings(mappings::CORINE_MAPPING).unwrap();
+    let virt = builder.seal().unwrap();
 
     for q in [
         "SELECT ?s ?name WHERE { ?s osm:poiType osm:park ; osm:hasName ?name }",
@@ -69,12 +70,13 @@ fn gridded_data_flows_through_opendap_to_queries() {
     let mut lai = grids::lai_dataset(&fixture.world, &grids::GridSpec::monthly_2017(10, 77));
     lai.name = "lai_300m".into();
 
-    let mut virt = VirtualWorkflow::local();
-    virt.publish(lai);
-    virt.add_opendap("lai_300m", "LAI", Duration::from_secs(600))
+    let mut builder = VirtualWorkflowBuilder::local();
+    builder.publish(lai);
+    builder.add_opendap("lai_300m", "LAI", Duration::from_secs(600));
+    builder
+        .add_mappings(&mappings::opendap_lai_mapping("lai_300m", 10))
         .unwrap();
-    virt.add_mappings(&mappings::opendap_lai_mapping("lai_300m", 10))
-        .unwrap();
+    let virt = builder.seal().unwrap();
 
     // Every virtual observation carries a positive LAI (mapping WHERE) and
     // a parsable geometry + timestamp.

@@ -1,6 +1,6 @@
 //! L1/L2/L3: the paper's listings, near verbatim.
 
-use copernicus_app_lab::core::{MaterializedWorkflow, VirtualWorkflow};
+use copernicus_app_lab::core::{MaterializedWorkflow, VirtualWorkflowBuilder};
 use copernicus_app_lab::data::{grids, ParisFixture};
 use copernicus_app_lab::geotriples::parse_mappings;
 use copernicus_app_lab::obda::sql::{FromClause, SourceQuery};
@@ -108,19 +108,20 @@ fn listing3_virtual_query() {
     );
     lai.name = "Copernicus-Land-timeseries-global-LAI".into();
 
-    let mut wf = VirtualWorkflow::local();
-    wf.publish(lai);
-    wf.add_opendap(
+    let mut builder = VirtualWorkflowBuilder::local();
+    builder.publish(lai);
+    builder.add_opendap(
         "Copernicus-Land-timeseries-global-LAI",
         "LAI",
         Duration::from_secs(600),
-    )
-    .unwrap();
-    wf.add_mappings(&copernicus_app_lab::data::mappings::opendap_lai_mapping(
-        "Copernicus-Land-timeseries-global-LAI",
-        10,
-    ))
-    .unwrap();
+    );
+    builder
+        .add_mappings(&copernicus_app_lab::data::mappings::opendap_lai_mapping(
+            "Copernicus-Land-timeseries-global-LAI",
+            10,
+        ))
+        .unwrap();
+    let wf = builder.seal().unwrap();
 
     let r = wf
         .query(

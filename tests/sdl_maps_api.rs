@@ -1,6 +1,6 @@
 //! The eleven Maps-API request methods of Section 3.3, end to end.
 
-use copernicus_app_lab::core::VirtualWorkflow;
+use copernicus_app_lab::core::{VirtualWorkflow, VirtualWorkflowBuilder};
 use copernicus_app_lab::data::{grids, ParisFixture};
 use copernicus_app_lab::geo::{Coord, Envelope};
 use copernicus_app_lab::sdl::analytics::CentralTendency;
@@ -10,9 +10,9 @@ fn workflow() -> VirtualWorkflow {
     let fixture = ParisFixture::generate(21, 12, 10);
     let mut lai = grids::lai_dataset(&fixture.world, &grids::GridSpec::monthly_2017(20, 21));
     lai.name = "lai".into();
-    let wf = VirtualWorkflow::local();
-    wf.publish(lai);
-    wf
+    let builder = VirtualWorkflowBuilder::local();
+    builder.publish(lai);
+    builder.seal().unwrap()
 }
 
 const JULY: i64 = 1_500_076_800; // 2017-07-15
@@ -149,8 +149,9 @@ fn token_protected_access() {
     let fixture = ParisFixture::generate(22, 10, 8);
     let mut lai = grids::lai_dataset(&fixture.world, &grids::GridSpec::monthly_2017(8, 22));
     lai.name = "lai".into();
-    let wf = VirtualWorkflow::local();
-    wf.publish(lai);
+    let builder = VirtualWorkflowBuilder::local();
+    builder.publish(lai);
+    let wf = builder.seal().unwrap();
     // Register a token: unauthenticated clients lose access, and accesses
     // are tracked per user ("this will allow the tracking of which users
     // access which datasets").

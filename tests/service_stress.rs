@@ -1,0 +1,161 @@
+//! Concurrency stress for `applab-service`: 32 threads firing mixed
+//! Geographica queries at one shared service over both backends. Accepted
+//! results must be byte-identical to a single-threaded run, and a tiny
+//! evaluation budget must yield `CoreError::Timeout` — never truncated
+//! results.
+
+use applab_bench::geographica_queries;
+use copernicus_app_lab::core::{CoreError, MaterializedWorkflow, VirtualWorkflowBuilder};
+use copernicus_app_lab::data::{mappings, ParisFixture};
+use copernicus_app_lab::service::{ApplabService, QueryRequest, ServiceConfig};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Both workflows over the same synthetic Paris tables, behind one service.
+fn build_service() -> ApplabService {
+    let fixture = ParisFixture::generate(7, 14, 8);
+    let tables = [
+        (fixture.world.osm_table(), mappings::OSM_MAPPING),
+        (fixture.world.gadm_table(), mappings::GADM_MAPPING),
+        (fixture.world.corine_table(), mappings::CORINE_MAPPING),
+        (
+            fixture.world.urban_atlas_table(),
+            mappings::URBAN_ATLAS_MAPPING,
+        ),
+    ];
+
+    let mut mat = MaterializedWorkflow::new();
+    for (table, doc) in &tables {
+        mat.load_table(table, doc).unwrap();
+    }
+
+    let mut builder = VirtualWorkflowBuilder::local();
+    for (table, doc) in tables {
+        builder.add_table(table);
+        builder.add_mappings(doc).unwrap();
+    }
+    let virt = builder.seal().unwrap();
+
+    ApplabService::new(ServiceConfig {
+        max_in_flight: 4,
+        // Wide enough that the 32-thread burst queues instead of shedding:
+        // this test is about result integrity, not load shedding.
+        max_queue: 64,
+        queue_timeout: Duration::from_secs(120),
+        ..ServiceConfig::default()
+    })
+    .with_endpoint("store", Arc::new(mat))
+    .with_endpoint("obda", Arc::new(virt))
+}
+
+#[test]
+fn thirty_two_threads_get_byte_identical_results() {
+    let service = build_service();
+    let jobs: Vec<(&'static str, &'static str, String)> = ["store", "obda"]
+        .into_iter()
+        .flat_map(|ep| {
+            geographica_queries()
+                .into_iter()
+                .map(move |(name, sparql)| (ep, name, sparql))
+        })
+        .collect();
+
+    // Single-threaded reference pass through the same service.
+    let mut baseline: HashMap<(&str, &str), String> = HashMap::new();
+    for (ep, name, sparql) in &jobs {
+        let out = service.query(ep, sparql);
+        let results = out
+            .result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("baseline {ep}/{name}: {e}"));
+        baseline.insert((*ep, *name), results.to_json());
+    }
+
+    // 32 threads, each replaying a rotated slice of the mixed job list.
+    std::thread::scope(|scope| {
+        for t in 0..32 {
+            let service = &service;
+            let jobs = &jobs;
+            let baseline = &baseline;
+            scope.spawn(move || {
+                for k in 0..4 {
+                    let (ep, name, sparql) = &jobs[(t * 5 + k * 7) % jobs.len()];
+                    let out = service.query(ep, sparql);
+                    let results = out
+                        .result
+                        .as_ref()
+                        .unwrap_or_else(|e| panic!("thread {t} {ep}/{name}: {e}"));
+                    assert_eq!(
+                        &results.to_json(),
+                        &baseline[&(*ep, *name)],
+                        "thread {t}: concurrent result for {ep}/{name} drifted"
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(service.load(), (0, 0), "all permits released");
+}
+
+#[test]
+fn zero_budget_times_out_on_both_backends() {
+    let service = build_service();
+    let spatial_join = &geographica_queries()
+        .into_iter()
+        .find(|(name, _)| name.starts_with("Join"))
+        .expect("geographica has a spatial join class")
+        .1;
+    for ep in ["store", "obda"] {
+        let out = service.query_with(
+            ep,
+            spatial_join,
+            &QueryRequest {
+                deadline: Some(Duration::ZERO),
+                cancel: None,
+            },
+        );
+        assert_eq!(out.code(), "timeout", "{ep}: {:?}", out.result);
+        assert!(
+            matches!(out.result, Err(CoreError::Timeout(_))),
+            "{ep}: {:?}",
+            out.result
+        );
+    }
+}
+
+#[test]
+fn tight_budgets_never_yield_truncated_results() {
+    let service = build_service();
+    let (name, sparql) = geographica_queries().swap_remove(0);
+    let full = service
+        .query("store", &sparql)
+        .result
+        .expect("unlimited run succeeds")
+        .to_json();
+
+    // Deadlines in the race window between "instant" and the query's real
+    // runtime: each attempt must either time out or return the *complete*
+    // answer — partial results must never escape.
+    for micros in [1u64, 10, 50, 100, 500, 1_000, 5_000] {
+        for _ in 0..3 {
+            let out = service.query_with(
+                "store",
+                &sparql,
+                &QueryRequest {
+                    deadline: Some(Duration::from_micros(micros)),
+                    cancel: None,
+                },
+            );
+            match out.result {
+                Ok(results) => assert_eq!(
+                    results.to_json(),
+                    full,
+                    "{name} @ {micros}µs returned truncated results"
+                ),
+                Err(CoreError::Timeout(_)) => {}
+                Err(other) => panic!("{name} @ {micros}µs: unexpected {other}"),
+            }
+        }
+    }
+}

@@ -7,7 +7,7 @@ use rand::Rng;
 use crate::runner::TestRng;
 use crate::strategy::Strategy;
 
-/// Accepted size specifications for [`vec`].
+/// Accepted size specifications for [`vec()`].
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     min: usize,
