@@ -14,11 +14,20 @@
 //! Writes `BENCH_service.json` (throughput + latency percentiles per
 //! thread count) and `METRICS_service.json` (the service's own gauges,
 //! counters, and histograms after the run).
+//!
+//! Experiment B10 (faulty WAN) rides along: the same request mix plus the
+//! Listing-3 LAI query against the *on-the-fly* (obda) backend, reached
+//! through a `ChaosTransport` at 0%, 10%, and 30% injected fault rates —
+//! plus a resilience-disabled 0% row so the cost of the retry/breaker
+//! machinery itself is measurable. Writes `BENCH_faults.json`.
 
 use applab_bench::{geographica_queries, print_table};
-use applab_core::MaterializedWorkflow;
-use applab_dap::transport::{SimulatedWan, Transport};
-use applab_data::{mappings, ParisFixture};
+use applab_core::{CoreError, MaterializedWorkflow, VirtualWorkflowBuilder};
+use applab_dap::chaos::{ChaosConfig, ChaosTransport};
+use applab_dap::clock::ManualClock;
+use applab_dap::transport::{Local, SimulatedWan, Transport};
+use applab_dap::ResilienceConfig;
+use applab_data::{grids, mappings, ParisFixture};
 use applab_service::{ApplabService, ServiceConfig};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -111,6 +120,220 @@ fn sweep(service: &ApplabService, wan: &SimulatedWan, threads: usize) -> SweepRe
     }
 }
 
+const FAULT_REQUESTS: usize = 48;
+const FAULT_CLIENTS: usize = 4;
+const FAULT_SEED: u64 = 0xB10;
+
+struct FaultSweep {
+    label: &'static str,
+    rate: f64,
+    resilience: bool,
+    wall: Duration,
+    throughput: f64,
+    p50: Duration,
+    p95: Duration,
+    ok: usize,
+    degraded: usize,
+    unavailable: usize,
+    failed: usize,
+}
+
+/// An obda (on-the-fly) service whose OPeNDAP path crosses a
+/// `ChaosTransport`. The manual clock lets clients expire the vtable
+/// window between requests, so the remote path is exercised per request
+/// instead of riding a warm cache.
+fn build_faulty_service(rate: f64, resilience: bool) -> (ApplabService, Arc<ManualClock>) {
+    let fixture = ParisFixture::generate(2019, 12, 8);
+    let mut lai = grids::lai_dataset(
+        &fixture.world,
+        &grids::GridSpec {
+            resolution: 8,
+            times: vec![0, 86_400 * 30],
+            noise: 0.0,
+            seed: 3,
+        },
+    );
+    lai.name = "lai_300m".into();
+    let clock = ManualClock::new();
+    let chaos = Arc::new(ChaosTransport::new(
+        Arc::new(Local::new()),
+        ChaosConfig::uniform(rate),
+        FAULT_SEED,
+    ));
+    let mut b = VirtualWorkflowBuilder::with_transport_and_clock(chaos, clock.clone());
+    b.publish(lai);
+    for (table, doc) in [
+        (fixture.world.osm_table(), mappings::OSM_MAPPING),
+        (fixture.world.gadm_table(), mappings::GADM_MAPPING),
+        (fixture.world.corine_table(), mappings::CORINE_MAPPING),
+        (
+            fixture.world.urban_atlas_table(),
+            mappings::URBAN_ATLAS_MAPPING,
+        ),
+    ] {
+        b.add_table(table);
+        b.add_mappings(doc).expect("fixture mappings parse");
+    }
+    b.add_opendap("lai_300m", "LAI", Duration::from_secs(600));
+    b.add_mappings(&mappings::opendap_lai_mapping("lai_300m", 10))
+        .expect("lai mapping parses");
+    b.set_stale_grace(Duration::from_secs(100_000_000));
+    if resilience {
+        b.enable_resilience(ResilienceConfig::no_sleep(), FAULT_SEED);
+    }
+    let svc = ApplabService::new(ServiceConfig {
+        max_in_flight: FAULT_CLIENTS,
+        max_queue: 64,
+        queue_timeout: Duration::from_secs(30),
+        ..ServiceConfig::default()
+    })
+    .with_endpoint("obda", Arc::new(b.seal().expect("workflow seals")));
+    (svc, clock)
+}
+
+fn fault_sweep(label: &'static str, rate: f64, resilience: bool) -> FaultSweep {
+    let (service, clock) = build_faulty_service(rate, resilience);
+    let mut jobs: Vec<String> = geographica_queries().into_iter().map(|(_, q)| q).collect();
+    jobs.push(
+        "SELECT DISTINCT ?s ?wkt ?lai WHERE { ?s lai:hasLai ?lai . ?s geo:hasGeometry ?g . ?g geo:asWKT ?wkt }"
+            .to_string(),
+    );
+    let started = Instant::now();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(FAULT_REQUESTS);
+    let (mut ok, mut degraded, mut unavailable, mut failed) = (0usize, 0usize, 0usize, 0usize);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..FAULT_CLIENTS)
+            .map(|t| {
+                let jobs = &jobs;
+                let service = &service;
+                let clock = &clock;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    let (mut ok, mut deg, mut unav, mut fail) = (0usize, 0usize, 0usize, 0usize);
+                    for i in (t..FAULT_REQUESTS).step_by(FAULT_CLIENTS) {
+                        // Expire the vtable window so this request reaches
+                        // the (faulty) remote instead of the warm cache.
+                        clock.advance(Duration::from_secs(601));
+                        let req_start = Instant::now();
+                        let out = service.query("obda", &jobs[i % jobs.len()]);
+                        match &out.result {
+                            Ok(_) if out.degraded => deg += 1,
+                            Ok(_) => ok += 1,
+                            Err(CoreError::Unavailable { .. }) => unav += 1,
+                            Err(_) => fail += 1,
+                        }
+                        mine.push(req_start.elapsed());
+                    }
+                    (mine, ok, deg, unav, fail)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (mine, o, d, u, f) = h.join().expect("client thread");
+            latencies.extend(mine);
+            ok += o;
+            degraded += d;
+            unavailable += u;
+            failed += f;
+        }
+    });
+    let wall = started.elapsed();
+    latencies.sort_unstable();
+    FaultSweep {
+        label,
+        rate,
+        resilience,
+        wall,
+        throughput: FAULT_REQUESTS as f64 / wall.as_secs_f64(),
+        p50: percentile(&latencies, 0.50),
+        p95: percentile(&latencies, 0.95),
+        ok,
+        degraded,
+        unavailable,
+        failed,
+    }
+}
+
+fn run_fault_experiment() {
+    let sweeps = vec![
+        fault_sweep("0% (resilience off)", 0.0, false),
+        fault_sweep("0%", 0.0, true),
+        fault_sweep("10%", 0.10, true),
+        fault_sweep("30%", 0.30, true),
+    ];
+    let rows: Vec<Vec<String>> = sweeps
+        .iter()
+        .map(|s| {
+            vec![
+                s.label.to_string(),
+                format!("{:.2}", s.wall.as_secs_f64()),
+                format!("{:.1}", s.throughput),
+                format!("{:.1}", s.p50.as_secs_f64() * 1e3),
+                format!("{:.1}", s.p95.as_secs_f64() * 1e3),
+                s.ok.to_string(),
+                s.degraded.to_string(),
+                s.unavailable.to_string(),
+                s.failed.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "B10: faulty WAN (obda backend, ChaosTransport, 4 clients)",
+        &[
+            "faults", "wall s", "req/s", "p50 ms", "p95 ms", "ok", "degraded", "unavail", "other",
+        ],
+        &rows,
+    );
+    // The cost of the retry/breaker machinery when nothing ever fails.
+    let overhead_pct = (sweeps[0].throughput / sweeps[1].throughput - 1.0) * 100.0;
+    println!(
+        "\nresilience overhead at 0% faults: {overhead_pct:.1}% \
+         ({:.1} req/s without vs {:.1} req/s with)",
+        sweeps[0].throughput, sweeps[1].throughput
+    );
+    for s in &sweeps {
+        assert_eq!(
+            s.ok + s.degraded + s.unavailable + s.failed,
+            FAULT_REQUESTS,
+            "{}: every request must be accounted for",
+            s.label
+        );
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"experiment\": \"service-faults\",\n");
+    json.push_str("  \"backend\": \"obda\",\n");
+    json.push_str(&format!("  \"requests_per_sweep\": {FAULT_REQUESTS},\n"));
+    json.push_str(&format!("  \"clients\": {FAULT_CLIENTS},\n"));
+    json.push_str(&format!("  \"seed\": {FAULT_SEED},\n"));
+    json.push_str(&format!(
+        "  \"resilience_overhead_pct_at_0\": {overhead_pct:.2},\n"
+    ));
+    json.push_str("  \"sweeps\": [\n");
+    for (i, s) in sweeps.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"label\": \"{}\",\n", s.label));
+        json.push_str(&format!("      \"fault_rate\": {:.2},\n", s.rate));
+        json.push_str(&format!("      \"resilience\": {},\n", s.resilience));
+        json.push_str(&format!("      \"wall_ns\": {},\n", s.wall.as_nanos()));
+        json.push_str(&format!("      \"throughput_rps\": {:.3},\n", s.throughput));
+        json.push_str(&format!("      \"p50_ns\": {},\n", s.p50.as_nanos()));
+        json.push_str(&format!("      \"p95_ns\": {},\n", s.p95.as_nanos()));
+        json.push_str(&format!("      \"ok\": {},\n", s.ok));
+        json.push_str(&format!("      \"degraded\": {},\n", s.degraded));
+        json.push_str(&format!("      \"unavailable\": {},\n", s.unavailable));
+        json.push_str(&format!("      \"failed\": {}\n", s.failed));
+        json.push_str(if i + 1 == sweeps.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_faults.json", &json).expect("write BENCH_faults.json");
+    println!("wrote BENCH_faults.json");
+}
+
 fn main() {
     let cells = std::env::args()
         .nth(1)
@@ -193,6 +416,9 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
     println!("wrote BENCH_service.json");
+
+    println!();
+    run_fault_experiment();
 
     applab_bench::dump_metrics("service");
 }

@@ -36,6 +36,14 @@ pub enum CoreError {
         /// Queries waiting for a permit when the rejection was issued.
         queued: usize,
     },
+    /// A remote dataset stayed down through every retry and no stale copy
+    /// could bridge the outage: the query is answerable later, not now.
+    Unavailable {
+        /// The dataset whose upstream is unreachable.
+        dataset: String,
+        /// Retries spent before giving up.
+        retries: u32,
+    },
 }
 
 impl CoreError {
@@ -50,6 +58,7 @@ impl CoreError {
             CoreError::Timeout(_) => "timeout",
             CoreError::Cancelled => "cancelled",
             CoreError::Overloaded { .. } => "overloaded",
+            CoreError::Unavailable { .. } => "unavailable",
         }
     }
 }
@@ -69,6 +78,9 @@ impl fmt::Display for CoreError {
                 f,
                 "service overloaded: {in_flight} in flight, {queued} queued"
             ),
+            CoreError::Unavailable { dataset, retries } => {
+                write!(f, "dataset {dataset} unavailable after {retries} retries")
+            }
         }
     }
 }
@@ -83,19 +95,32 @@ impl From<applab_geotriples::MappingError> for CoreError {
 
 impl From<applab_obda::ObdaError> for CoreError {
     fn from(e: applab_obda::ObdaError) -> Self {
-        CoreError::Source(e.to_string())
+        match e {
+            applab_obda::ObdaError::Unavailable { dataset, retries } => {
+                CoreError::Unavailable { dataset, retries }
+            }
+            other => CoreError::Source(other.to_string()),
+        }
     }
 }
 
 impl From<applab_dap::DapError> for CoreError {
     fn from(e: applab_dap::DapError) -> Self {
-        CoreError::Source(e.to_string())
+        match e {
+            applab_dap::DapError::Unavailable { dataset, retries } => {
+                CoreError::Unavailable { dataset, retries }
+            }
+            other => CoreError::Source(other.to_string()),
+        }
     }
 }
 
 impl From<applab_sdl::SdlError> for CoreError {
     fn from(e: applab_sdl::SdlError) -> Self {
-        CoreError::Source(e.to_string())
+        match e {
+            applab_sdl::SdlError::Dap(d) => d.into(),
+            other => CoreError::Source(other.to_string()),
+        }
     }
 }
 
@@ -131,6 +156,10 @@ mod tests {
                 in_flight: 4,
                 queued: 16,
             },
+            CoreError::Unavailable {
+                dataset: "lai".into(),
+                retries: 3,
+            },
         ];
         let codes: Vec<&str> = errors.iter().map(CoreError::code).collect();
         assert_eq!(
@@ -141,9 +170,38 @@ mod tests {
                 "eval",
                 "timeout",
                 "cancelled",
-                "overloaded"
+                "overloaded",
+                "unavailable"
             ]
         );
+    }
+
+    #[test]
+    fn unavailable_is_preserved_through_conversions() {
+        let obda = applab_obda::ObdaError::Unavailable {
+            dataset: "lai".into(),
+            retries: 3,
+        };
+        assert!(matches!(
+            CoreError::from(obda),
+            CoreError::Unavailable { retries: 3, .. }
+        ));
+        let dap = applab_dap::DapError::Unavailable {
+            dataset: "lai".into(),
+            retries: 2,
+        };
+        assert!(matches!(
+            CoreError::from(dap),
+            CoreError::Unavailable { retries: 2, .. }
+        ));
+        let sdl = applab_sdl::SdlError::Dap(applab_dap::DapError::Unavailable {
+            dataset: "lai".into(),
+            retries: 1,
+        });
+        assert!(matches!(
+            CoreError::from(sdl),
+            CoreError::Unavailable { retries: 1, .. }
+        ));
     }
 
     #[test]

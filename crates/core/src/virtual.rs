@@ -13,7 +13,7 @@ use crate::error::CoreError;
 use applab_array::Dataset;
 use applab_dap::clock::{Clock, SystemClock};
 use applab_dap::transport::{Local, Transport};
-use applab_dap::{DapClient, DapServer};
+use applab_dap::{DapClient, DapServer, ResilienceConfig};
 use applab_geotriples::{parse_mappings, TabularSource};
 use applab_obda::{DataSource, OpendapTable, VirtualGraph};
 use applab_sdl::Sdl;
@@ -26,9 +26,12 @@ use std::time::Duration;
 pub struct VirtualWorkflowBuilder {
     server: Arc<DapServer>,
     client: Arc<DapClient>,
-    sdl: Sdl,
     clock: Arc<dyn Clock>,
+    stale_grace: Duration,
     datasource: DataSource,
+    /// `(dataset, variable, window)` — tables are constructed at seal time
+    /// so configuration order (grace, resilience) never matters.
+    opendap_specs: Vec<(String, String, Duration)>,
     mapping_docs: Vec<String>,
 }
 
@@ -41,18 +44,39 @@ impl VirtualWorkflowBuilder {
     /// A workflow whose client speaks through the given transport (e.g. a
     /// [`applab_dap::SimulatedWan`] for benches).
     pub fn with_transport(transport: Arc<dyn Transport>) -> Self {
+        Self::with_transport_and_clock(transport, Arc::new(SystemClock::new()))
+    }
+
+    /// A workflow with an explicit clock — cache windows, stale-grace, and
+    /// circuit-breaker cooldowns all tick on it, so tests can drive time
+    /// with a [`applab_dap::clock::ManualClock`].
+    pub fn with_transport_and_clock(transport: Arc<dyn Transport>, clock: Arc<dyn Clock>) -> Self {
         let server = Arc::new(DapServer::new());
         let client = Arc::new(DapClient::new(server.clone(), transport));
-        let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
-        let sdl = Sdl::new(client.clone(), Duration::from_secs(600), clock.clone());
         VirtualWorkflowBuilder {
             server,
             client,
-            sdl,
             clock,
+            stale_grace: Duration::ZERO,
             datasource: DataSource::new(),
+            opendap_specs: Vec::new(),
             mapping_docs: Vec::new(),
         }
+    }
+
+    /// Enable retry + circuit breaking on the embedded DAP client. The
+    /// breaker cooldown ticks on the builder's clock.
+    pub fn enable_resilience(&self, config: ResilienceConfig, seed: u64) {
+        self.client
+            .enable_resilience(config, self.clock.clone(), seed);
+    }
+
+    /// Serve-stale grace for the SDL subset cache and every `opendap`
+    /// virtual table: expired entries may bridge *transient* upstream
+    /// failures for this long past their window, flagged degraded. Zero
+    /// (the default) disables serve-stale.
+    pub fn set_stale_grace(&mut self, grace: Duration) {
+        self.stale_grace = grace;
     }
 
     /// Publish a gridded product on the embedded OPeNDAP server.
@@ -72,14 +96,8 @@ impl VirtualWorkflowBuilder {
 
     /// Register the `opendap` virtual table for a published dataset.
     pub fn add_opendap(&mut self, dataset: &str, variable: &str, window: Duration) {
-        let vt = Arc::new(OpendapTable::new(
-            self.client.clone(),
-            dataset,
-            variable,
-            window,
-            self.clock.clone(),
-        ));
-        self.datasource.add_opendap(dataset, variable, vt);
+        self.opendap_specs
+            .push((dataset.to_string(), variable.to_string(), window));
     }
 
     /// Add a mapping document (GeoTriples/Ontop format). The document is
@@ -93,8 +111,29 @@ impl VirtualWorkflowBuilder {
     /// Compile the configuration into a sealed, shareable
     /// [`VirtualWorkflow`]. Mapping problems surface here, before the
     /// first query runs.
-    pub fn seal(self) -> Result<VirtualWorkflow, CoreError> {
+    pub fn seal(mut self) -> Result<VirtualWorkflow, CoreError> {
         let mut span = applab_obs::span("obda.build_graph");
+        for (dataset, variable, window) in std::mem::take(&mut self.opendap_specs) {
+            let vt = Arc::new(
+                OpendapTable::new(
+                    self.client.clone(),
+                    dataset.as_str(),
+                    variable.as_str(),
+                    window,
+                    self.clock.clone(),
+                )
+                .with_stale_grace(self.stale_grace),
+            );
+            self.datasource.add_opendap(&dataset, &variable, vt);
+        }
+        let mut sdl = Sdl::new(
+            self.client.clone(),
+            Duration::from_secs(600),
+            self.clock.clone(),
+        );
+        if self.stale_grace > Duration::ZERO {
+            sdl = sdl.with_stale_grace(self.stale_grace);
+        }
         let mut mappings = Vec::new();
         for doc in &self.mapping_docs {
             mappings.extend(parse_mappings(doc)?);
@@ -104,7 +143,7 @@ impl VirtualWorkflowBuilder {
         Ok(VirtualWorkflow {
             server: self.server,
             client: self.client,
-            sdl: self.sdl,
+            sdl,
             graph,
         })
     }
@@ -141,13 +180,23 @@ impl VirtualWorkflow {
     }
 
     /// Run a query with explicit evaluation options (parallelism, budget).
+    ///
+    /// Graph scans have no error channel, so a remote source failure that a
+    /// scan swallowed is picked up from the [source-fault
+    /// slot](applab_obda::take_source_fault) afterwards: a query never
+    /// reports a silently partial result when its upstream was down.
     pub fn query_with(
         &self,
         sparql: &str,
         options: &EvalOptions,
     ) -> Result<QueryResults, CoreError> {
         let q = applab_sparql::parse_query(sparql)?;
-        Ok(applab_sparql::evaluate_with(&self.graph, &q, options)?)
+        let _ = applab_obda::take_source_fault(); // drop leftovers
+        let results = applab_sparql::evaluate_with(&self.graph, &q, options);
+        if let Some(fault) = applab_obda::take_source_fault() {
+            return Err(fault.into());
+        }
+        Ok(results?)
     }
 
     /// Run a query under a profiling trace: the results plus an EXPLAIN
@@ -156,7 +205,12 @@ impl VirtualWorkflow {
         let (results, profile) = applab_obs::profile("query", |root| {
             root.record("backend", "obda");
             let q = applab_sparql::parse_query(sparql)?;
-            Ok::<_, CoreError>(applab_sparql::evaluate(&self.graph, &q)?)
+            let _ = applab_obda::take_source_fault();
+            let results = applab_sparql::evaluate(&self.graph, &q);
+            if let Some(fault) = applab_obda::take_source_fault() {
+                return Err(fault.into());
+            }
+            Ok::<_, CoreError>(results?)
         });
         Ok(crate::Explain {
             results: results?,
@@ -261,6 +315,65 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn outage_degrades_then_fails_typed() {
+        use applab_dap::clock::ManualClock;
+        let fixture = ParisFixture::generate(3, 12, 12);
+        let mut lai = grids::lai_dataset(
+            &fixture.world,
+            &grids::GridSpec {
+                resolution: 8,
+                times: vec![0, 86_400 * 30],
+                noise: 0.0,
+                seed: 3,
+            },
+        );
+        lai.name = "lai_300m".into();
+        let clock = ManualClock::new();
+        let mut b =
+            VirtualWorkflowBuilder::with_transport_and_clock(Arc::new(Local::new()), clock.clone());
+        b.publish(lai);
+        b.add_opendap("lai_300m", "LAI", Duration::from_secs(600));
+        b.set_stale_grace(Duration::from_secs(3600));
+        b.enable_resilience(ResilienceConfig::no_sleep(), 11);
+        b.add_mappings(&mappings::opendap_lai_mapping("lai_300m", 10))
+            .unwrap();
+        let wf = b.seal().unwrap();
+        let q = "SELECT ?s ?lai WHERE { ?s lai:hasLai ?lai }";
+        let healthy = wf.query(q).unwrap();
+        assert!(!healthy.is_empty());
+
+        // The upstream dies and the cache window expires inside the grace
+        // period: the query is answered from the stale copy, degraded.
+        wf.server().set_fault_hook(Box::new(|_, _| {
+            Err(applab_dap::DapError::Transport("link down".into()))
+        }));
+        clock.advance(Duration::from_secs(601));
+        let scope = applab_obs::degrade::Scope::begin();
+        let stale = wf.query(q).unwrap();
+        assert_eq!(stale.len(), healthy.len());
+        assert!(scope.degraded(), "stale answers must be flagged");
+
+        // Past window + grace nothing can bridge the outage: the query
+        // fails typed — never a silent empty result.
+        clock.advance(Duration::from_secs(3601));
+        match wf.query(q) {
+            Err(CoreError::Unavailable { dataset, retries }) => {
+                assert_eq!(dataset, "lai_300m");
+                assert!(retries > 0);
+            }
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+
+        // Recovery: fresh answers, no degraded flag.
+        wf.server().clear_fault_hook();
+        clock.advance(Duration::from_secs(120)); // past the breaker cooldown
+        let scope = applab_obs::degrade::Scope::begin();
+        let fresh = wf.query(q).unwrap();
+        assert_eq!(fresh.len(), healthy.len());
+        assert!(!scope.degraded());
     }
 
     #[test]

@@ -84,8 +84,8 @@ pub fn parse(text: &str) -> Result<Das, crate::DapError> {
             let value = value.strip_prefix('"').unwrap_or(value);
             let value = value.strip_suffix('"').unwrap_or(value);
             let value = value.replace("\\\"", "\"");
-            das.get_mut(&container)
-                .unwrap()
+            das.entry(container)
+                .or_default()
                 .insert(name.to_string(), AttrValue::Text(value));
         } else if let Some(rest) = decl.strip_prefix("Float64 ") {
             let (name, value) = rest
@@ -99,7 +99,9 @@ pub fn parse(text: &str) -> Result<Das, crate::DapError> {
             } else {
                 AttrValue::Numbers(nums)
             };
-            das.get_mut(&container).unwrap().insert(name.to_string(), v);
+            das.entry(container)
+                .or_default()
+                .insert(name.to_string(), v);
         } else {
             return Err(err(&format!("unsupported attribute type in {line:?}")));
         }

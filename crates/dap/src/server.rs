@@ -20,6 +20,11 @@ use std::collections::{BTreeMap, HashMap};
 /// Per-user access log entry counts (dataset → hits).
 pub type AccessLog = BTreeMap<String, BTreeMap<String, u64>>;
 
+/// A server-side fault hook: inspects `(request_kind, dataset)` before the
+/// request is answered and may fail it with a typed error. `request_kind`
+/// is one of `"dds"`, `"das"`, `"dods"`.
+pub type FaultHook = Box<dyn Fn(&str, &str) -> Result<(), DapError> + Send + Sync>;
+
 /// An in-process DAP server.
 #[derive(Default)]
 pub struct DapServer {
@@ -27,6 +32,10 @@ pub struct DapServer {
     /// Registered access tokens → user names. Empty map = open server.
     tokens: RwLock<HashMap<String, String>>,
     access_log: RwLock<AccessLog>,
+    /// Optional fault hook — lets chaos tests fail requests *server-side*
+    /// (an unhealthy upstream, as opposed to [`crate::ChaosTransport`]'s
+    /// wire faults).
+    fault_hook: RwLock<Option<FaultHook>>,
 }
 
 impl DapServer {
@@ -74,6 +83,23 @@ impl DapServer {
         self.access_log.read().clone()
     }
 
+    /// Install a fault hook consulted before every DDS/DAS/DODS request.
+    pub fn set_fault_hook(&self, hook: FaultHook) {
+        *self.fault_hook.write() = Some(hook);
+    }
+
+    /// Remove the fault hook, restoring a healthy server.
+    pub fn clear_fault_hook(&self) {
+        *self.fault_hook.write() = None;
+    }
+
+    fn check_fault(&self, kind: &str, dataset: &str) -> Result<(), DapError> {
+        match &*self.fault_hook.read() {
+            Some(hook) => hook(kind, dataset),
+            None => Ok(()),
+        }
+    }
+
     fn with_dataset<T>(
         &self,
         name: &str,
@@ -88,12 +114,14 @@ impl DapServer {
 
     /// The `.dds` response.
     pub fn dds(&self, name: &str, token: Option<&str>) -> Result<String, DapError> {
+        self.check_fault("dds", name)?;
         self.authorize(token, name)?;
         self.with_dataset(name, |ds| Ok(dds::render(ds)))
     }
 
     /// The `.das` response.
     pub fn das(&self, name: &str, token: Option<&str>) -> Result<String, DapError> {
+        self.check_fault("das", name)?;
         self.authorize(token, name)?;
         self.with_dataset(name, |ds| Ok(das::render(ds)))
     }
@@ -105,6 +133,7 @@ impl DapServer {
         constraint: &Constraint,
         token: Option<&str>,
     ) -> Result<Bytes, DapError> {
+        self.check_fault("dods", name)?;
         self.authorize(token, name)?;
         self.with_dataset(name, |ds| {
             let mut out = Vec::new();

@@ -8,7 +8,9 @@
 //! WAN: every request pays a latency and a bandwidth charge, implemented as
 //! a real sleep for benches and as pure accounting for tests.
 
+use crate::DapError;
 use applab_obs::Counter;
+use bytes::Bytes;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -31,6 +33,16 @@ pub trait Transport: Send + Sync {
 
     /// Number of round trips so far.
     fn round_trips(&self) -> u64;
+
+    /// Move a response payload across the wire: charge the transfer cost
+    /// and return the bytes the client observes. The default is a perfect
+    /// network — everything the server sent arrives intact. Faulty
+    /// transports ([`crate::ChaosTransport`]) override this to drop,
+    /// delay, truncate or corrupt the payload.
+    fn deliver(&self, payload: Bytes) -> Result<Bytes, DapError> {
+        self.charge(payload.len());
+        Ok(payload)
+    }
 }
 
 /// A free transport: in-process calls, no cost (the "materialized locally"

@@ -1,0 +1,73 @@
+//! The source-fault side channel.
+//!
+//! [`GraphSource`](applab_sparql::GraphSource) access methods return plain
+//! triple/binding collections — there is no `Result` in the trait, so a
+//! remote source failure inside a scan used to degenerate silently into
+//! "no triples", indistinguishable from a genuinely empty graph. That is
+//! exactly the *silent partial result* the fault model forbids.
+//!
+//! Instead, graph access paths that swallow an error now [record] it in a
+//! thread-local slot, and the query driver [takes] the slot after
+//! evaluation: an empty (or partial) answer with a recorded fault is
+//! reported as the fault, never as a result.
+//!
+//! Keep-first semantics: the first fault of an evaluation is the root
+//! cause; later ones (retries of the same dead upstream from sibling
+//! patterns) would only obscure it. Sound because evaluation of one query
+//! runs on one thread (the evaluator is cooperative, not work-stealing).
+//!
+//! [record]: record_source_fault
+//! [takes]: take_source_fault
+
+use crate::ObdaError;
+use std::cell::RefCell;
+
+thread_local! {
+    static SOURCE_FAULT: RefCell<Option<ObdaError>> = const { RefCell::new(None) };
+}
+
+/// Record a source failure that an infallible access path is about to
+/// swallow. Keeps the **first** fault per take; later faults are dropped.
+pub fn record_source_fault(e: ObdaError) {
+    SOURCE_FAULT.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+    });
+}
+
+/// Take (and clear) the recorded fault, if any. Call once **before**
+/// evaluation to discard leftovers, and once after to learn whether the
+/// answer is trustworthy.
+pub fn take_source_fault() -> Option<ObdaError> {
+    SOURCE_FAULT.with(|slot| slot.borrow_mut().take())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_keeps_first_and_clears_on_take() {
+        assert!(take_source_fault().is_none());
+        record_source_fault(ObdaError::VirtualTable("first".into()));
+        record_source_fault(ObdaError::VirtualTable("second".into()));
+        assert_eq!(
+            take_source_fault(),
+            Some(ObdaError::VirtualTable("first".into()))
+        );
+        assert!(take_source_fault().is_none(), "take clears the slot");
+    }
+
+    #[test]
+    fn slot_is_thread_local() {
+        record_source_fault(ObdaError::Sql("here".into()));
+        std::thread::spawn(|| {
+            assert!(take_source_fault().is_none());
+        })
+        .join()
+        .expect("thread");
+        assert_eq!(take_source_fault(), Some(ObdaError::Sql("here".into())));
+    }
+}

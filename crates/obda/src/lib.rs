@@ -27,11 +27,13 @@
 #![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 
 pub mod engine;
+pub mod fault;
 pub mod sql;
 pub mod virtual_graph;
 pub mod vtable;
 
 pub use engine::DataSource;
+pub use fault::{record_source_fault, take_source_fault};
 pub use sql::SourceQuery;
 pub use virtual_graph::VirtualGraph;
 pub use vtable::OpendapTable;
@@ -43,6 +45,13 @@ pub enum ObdaError {
     NoSuchTable(String),
     VirtualTable(String),
     Mapping(String),
+    /// The remote source stayed down through every retry (and, when
+    /// configured, past the stale-grace window): the query cannot be
+    /// answered, not even degraded.
+    Unavailable {
+        dataset: String,
+        retries: u32,
+    },
 }
 
 impl std::fmt::Display for ObdaError {
@@ -52,6 +61,9 @@ impl std::fmt::Display for ObdaError {
             ObdaError::NoSuchTable(t) => write!(f, "no such table: {t}"),
             ObdaError::VirtualTable(m) => write!(f, "virtual table error: {m}"),
             ObdaError::Mapping(m) => write!(f, "mapping error: {m}"),
+            ObdaError::Unavailable { dataset, retries } => {
+                write!(f, "dataset {dataset} unavailable after {retries} retries")
+            }
         }
     }
 }

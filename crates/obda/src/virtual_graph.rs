@@ -212,7 +212,12 @@ impl VirtualGraph {
         }
         let rows = match self.rows_for(idx, cm, hint_col.zip(spatial)) {
             Ok(rows) => rows,
-            Err(_) => return, // remote failure → no virtual triples
+            Err(e) => {
+                // The trait has no Result channel — record the fault so the
+                // query driver can distinguish "empty" from "source down".
+                crate::fault::record_source_fault(e);
+                return;
+            }
         };
         for row in rows.iter() {
             for (k, &i) in relevant.iter().enumerate() {
@@ -368,7 +373,10 @@ impl GraphSource for VirtualGraph {
             }
             let rows = match self.rows_for(idx, cm, hint) {
                 Ok(rows) => rows,
-                Err(_) => return Some(Vec::new()),
+                Err(e) => {
+                    crate::fault::record_source_fault(e);
+                    return Some(Vec::new());
+                }
             };
             // Per-position plans: expand only what the query observes.
             // Constant positions whose template is placeholder-free were
@@ -704,6 +712,55 @@ WHERE { ?s lai:hasLai ?lai .
         // Parks (ids 1,2,4,5) have both hasName (mapping 1, kind=park only)
         // and label (mapping 2, all rows).
         assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn remote_failures_are_recorded_not_silently_empty() {
+        let server = DapServer::new();
+        server.publish(grid_dataset("lai", &[0.0], &[48.0], &[2.0], |_, _, _| 1.0));
+        server.set_fault_hook(Box::new(|_, _| {
+            Err(applab_dap::DapError::Transport("reset".into()))
+        }));
+        let client = Arc::new(DapClient::new(Arc::new(server), Arc::new(Local::new())));
+        let clock = ManualClock::new();
+        let mut ds = DataSource::new();
+        ds.add_opendap(
+            "lai",
+            "LAI",
+            Arc::new(crate::vtable::OpendapTable::new(
+                client,
+                "lai",
+                "LAI",
+                Duration::ZERO,
+                clock,
+            )),
+        );
+        let mappings = parse_mappings(
+            "mappingId m\ntarget lai:{id} lai:hasLai {LAI}^^xsd:float .\nsource SELECT id, LAI FROM (ordered opendap url:https://x/thredds/dodsC/lai/readdods/LAI/, 10)\n",
+        )
+        .unwrap();
+        let vg = VirtualGraph::new(ds, mappings).unwrap();
+
+        // Pattern-at-a-time path.
+        let _ = crate::fault::take_source_fault();
+        assert!(vg.triples_matching(None, None, None).is_empty());
+        assert!(matches!(
+            crate::fault::take_source_fault(),
+            Some(ObdaError::VirtualTable(_))
+        ));
+
+        // Whole-BGP rewrite path.
+        let patterns = vec![TriplePattern::new(
+            TermPattern::var("s"),
+            Term::named(vocab::lai::HAS_LAI),
+            TermPattern::var("lai"),
+        )];
+        let bindings = vg.evaluate_bgp(&patterns, &HashMap::new()).unwrap();
+        assert!(bindings.is_empty());
+        assert!(matches!(
+            crate::fault::take_source_fault(),
+            Some(ObdaError::VirtualTable(_))
+        ));
     }
 
     #[test]

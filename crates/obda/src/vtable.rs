@@ -28,14 +28,47 @@ pub trait VirtualTable: Send + Sync {
     fn open(&self) -> Result<TabularSource, ObdaError>;
 }
 
+/// A classified fetch failure: `transient` failures (connection-level, or
+/// retries exhausted) may be bridged by a stale cached copy; permanent ones
+/// (bad variable, bad grid, bad metadata) always propagate.
+struct FetchFailure {
+    error: ObdaError,
+    transient: bool,
+}
+
+impl FetchFailure {
+    fn from_dap(e: DapError) -> Self {
+        let transient = e.is_retryable() || matches!(e, DapError::Unavailable { .. });
+        let error = match e {
+            DapError::Unavailable { dataset, retries } => {
+                ObdaError::Unavailable { dataset, retries }
+            }
+            other => ObdaError::VirtualTable(other.to_string()),
+        };
+        FetchFailure { error, transient }
+    }
+
+    fn permanent(error: ObdaError) -> Self {
+        FetchFailure {
+            error,
+            transient: false,
+        }
+    }
+}
+
 /// The `opendap` virtual table over one dataset variable.
 pub struct OpendapTable {
     client: Arc<DapClient>,
     dataset: String,
     variable: String,
     window: Duration,
+    /// How long past `window` an expired cache entry may still bridge a
+    /// *transient* upstream failure. Zero (the default) disables
+    /// serve-stale.
+    grace: Duration,
     clock: Arc<dyn Clock>,
     cache: Mutex<Option<(Duration, Arc<TabularSource>)>>,
+    stale: Arc<applab_obs::Counter>,
 }
 
 impl OpendapTable {
@@ -46,18 +79,38 @@ impl OpendapTable {
         window: Duration,
         clock: Arc<dyn Clock>,
     ) -> Self {
+        let dataset = dataset.into();
+        let labels = [("dataset", dataset.as_str())];
+        let stale =
+            applab_obs::global().counter_with("applab_obda_vtable_stale_served_total", &labels);
         OpendapTable {
             client,
-            dataset: dataset.into(),
+            dataset,
             variable: variable.into(),
             window,
+            grace: Duration::ZERO,
             clock,
             cache: Mutex::new(None),
+            stale,
         }
     }
 
-    fn fetch(&self) -> Result<TabularSource, ObdaError> {
-        let wrap = |e: DapError| ObdaError::VirtualTable(e.to_string());
+    /// Enable serve-stale: an expired window entry stays usable for `grace`
+    /// beyond its window when the refresh fails transiently. Served stale
+    /// copies count in `applab_obda_vtable_stale_served_total` and mark the
+    /// thread's degrade scope.
+    pub fn with_stale_grace(mut self, grace: Duration) -> Self {
+        self.grace = grace;
+        self
+    }
+
+    /// Stale copies served so far.
+    pub fn stale_serves(&self) -> u64 {
+        self.stale.get()
+    }
+
+    fn fetch(&self) -> Result<TabularSource, FetchFailure> {
+        let wrap = FetchFailure::from_dap;
         // One DODS call for the whole variable plus its coordinates, then
         // unroll the grid into (id, VAR, ts, loc) rows.
         let vars = self
@@ -66,23 +119,25 @@ impl OpendapTable {
             .map_err(wrap)?;
         let find = |name: &str| vars.iter().find(|v| v.name == name);
         let main = find(&self.variable).ok_or_else(|| {
-            ObdaError::VirtualTable(format!(
+            FetchFailure::permanent(ObdaError::VirtualTable(format!(
                 "dataset {} has no variable {}",
                 self.dataset, self.variable
-            ))
+            )))
         })?;
         if main.dims.len() != 3 || main.dims[0] != "time" {
-            return Err(ObdaError::VirtualTable(format!(
+            return Err(FetchFailure::permanent(ObdaError::VirtualTable(format!(
                 "opendap vtable expects a (time, lat, lon) grid, got {:?}",
                 main.dims
-            )));
+            ))));
         }
-        let times = find("time")
-            .ok_or_else(|| ObdaError::VirtualTable("missing time coordinate".into()))?;
-        let lats =
-            find("lat").ok_or_else(|| ObdaError::VirtualTable("missing lat coordinate".into()))?;
-        let lons =
-            find("lon").ok_or_else(|| ObdaError::VirtualTable("missing lon coordinate".into()))?;
+        let missing = |what: &str| {
+            FetchFailure::permanent(ObdaError::VirtualTable(format!(
+                "missing {what} coordinate"
+            )))
+        };
+        let times = find("time").ok_or_else(|| missing("time"))?;
+        let lats = find("lat").ok_or_else(|| missing("lat"))?;
+        let lons = find("lon").ok_or_else(|| missing("lon"))?;
 
         // Decode the time axis to epoch seconds through the DAS metadata.
         let das = self.client.get_das(&self.dataset).map_err(wrap)?;
@@ -95,7 +150,7 @@ impl OpendapTable {
             })
             .unwrap_or_else(|| "seconds since 1970-01-01".to_string());
         let axis = applab_array::time::TimeAxis::parse(&units)
-            .map_err(|e| ObdaError::VirtualTable(e.to_string()))?;
+            .map_err(|e| FetchFailure::permanent(ObdaError::VirtualTable(e.to_string())))?;
 
         let (nt, nla, nlo) = (
             main.data.shape()[0],
@@ -153,11 +208,33 @@ impl VirtualTable for OpendapTable {
                 }
             }
         }
-        let rows = Arc::new(self.fetch()?);
-        if self.window > Duration::ZERO {
-            *self.cache.lock() = Some((now, rows.clone()));
+        match self.fetch() {
+            Ok(rows) => {
+                let rows = Arc::new(rows);
+                if self.window > Duration::ZERO {
+                    *self.cache.lock() = Some((now, rows.clone()));
+                }
+                Ok(rows.as_ref().clone())
+            }
+            Err(failure) => {
+                // Serve-stale: a transient refresh failure inside the grace
+                // period is bridged by the expired copy, flagged degraded.
+                // Permanent failures always propagate — stale rows would
+                // mask a real catalog or mapping problem.
+                if failure.transient && self.window > Duration::ZERO && self.grace > Duration::ZERO
+                {
+                    let cache = self.cache.lock();
+                    if let Some((at, rows)) = cache.as_ref() {
+                        if now.saturating_sub(*at) < self.window + self.grace {
+                            self.stale.inc();
+                            applab_obs::degrade::mark("obda_vtable");
+                            return Ok(rows.as_ref().clone());
+                        }
+                    }
+                }
+                Err(failure.error)
+            }
         }
-        Ok(rows.as_ref().clone())
     }
 }
 
@@ -300,6 +377,98 @@ mod tests {
         let clock = ManualClock::new();
         let vt = OpendapTable::new(client(), "lai_300m", "NDVI", Duration::ZERO, clock);
         assert!(matches!(vt.open(), Err(ObdaError::VirtualTable(_))));
+    }
+
+    fn server() -> Arc<DapServer> {
+        let server = DapServer::new();
+        server.publish(grid_dataset(
+            "lai_300m",
+            &[0.0, 864_000.0],
+            &[48.0, 48.5],
+            &[2.0, 2.5],
+            |t, la, lo| (t * 100 + la * 10 + lo) as f64,
+        ));
+        Arc::new(server)
+    }
+
+    #[test]
+    fn stale_grace_bridges_transient_outage() {
+        let srv = server();
+        let c = Arc::new(DapClient::new(srv.clone(), Arc::new(Local::new())));
+        let clock = ManualClock::new();
+        let vt = OpendapTable::new(
+            c,
+            "lai_300m",
+            "LAI",
+            Duration::from_secs(600),
+            clock.clone(),
+        )
+        .with_stale_grace(Duration::from_secs(3600));
+        let fresh = vt.open().unwrap();
+
+        // Upstream goes down; the window expires inside the grace period.
+        srv.set_fault_hook(Box::new(|_, _| Err(DapError::Transport("down".into()))));
+        clock.advance(Duration::from_secs(601));
+        let scope = applab_obs::degrade::Scope::begin();
+        let stale = vt.open().expect("grace bridges the outage");
+        assert_eq!(stale.rows.len(), fresh.rows.len());
+        assert!(scope.degraded(), "stale serve must mark the degrade scope");
+        assert_eq!(vt.stale_serves(), 1);
+
+        // Past window + grace the failure propagates, typed.
+        clock.advance(Duration::from_secs(3601));
+        assert!(matches!(vt.open(), Err(ObdaError::VirtualTable(_))));
+
+        // Upstream recovers: fresh rows, not flagged.
+        srv.clear_fault_hook();
+        let scope = applab_obs::degrade::Scope::begin();
+        assert_eq!(vt.open().unwrap().rows.len(), fresh.rows.len());
+        assert!(!scope.degraded());
+    }
+
+    #[test]
+    fn permanent_failures_never_serve_stale() {
+        let srv = server();
+        let c = Arc::new(DapClient::new(srv.clone(), Arc::new(Local::new())));
+        let clock = ManualClock::new();
+        let vt = OpendapTable::new(
+            c,
+            "lai_300m",
+            "LAI",
+            Duration::from_secs(600),
+            clock.clone(),
+        )
+        .with_stale_grace(Duration::from_secs(3600));
+        vt.open().unwrap();
+        // The dataset disappears from the catalog — a permanent answer, not
+        // a transport fault: stale rows would mask it.
+        srv.set_fault_hook(Box::new(|_, name| {
+            Err(DapError::NoSuchDataset(name.to_string()))
+        }));
+        clock.advance(Duration::from_secs(601));
+        assert!(matches!(vt.open(), Err(ObdaError::VirtualTable(_))));
+        assert_eq!(vt.stale_serves(), 0);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_unavailable() {
+        let srv = server();
+        let c = Arc::new(DapClient::new(srv.clone(), Arc::new(Local::new())));
+        srv.set_fault_hook(Box::new(|_, _| Err(DapError::Transport("down".into()))));
+        c.enable_resilience(
+            applab_dap::ResilienceConfig::no_sleep(),
+            ManualClock::new(),
+            7,
+        );
+        let clock = ManualClock::new();
+        let vt = OpendapTable::new(c, "lai_300m", "LAI", Duration::ZERO, clock);
+        match vt.open() {
+            Err(ObdaError::Unavailable { dataset, retries }) => {
+                assert_eq!(dataset, "lai_300m");
+                assert!(retries > 0);
+            }
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
     }
 
     #[test]

@@ -19,12 +19,19 @@
 //! * **reports** ([`report`]) — [`report::profile`] runs a closure under a
 //!   fresh trace and reassembles the span tree, which is what the
 //!   workflow facades return from their `EXPLAIN` APIs.
+//! * **cross-crate scopes** ([`deadline`], [`degrade`]) — thread-local
+//!   side channels that let the resilience layer in `applab-dap` honour
+//!   the evaluator's query budget, and let stale cache serves deep in the
+//!   data plane surface as a `degraded` flag on the service outcome,
+//!   without dependency cycles or contaminated return types.
 //!
 //! Hot-path call sites use the [`counter!`]/[`gauge!`]/[`histogram!`]
 //! macros, which cache the registry handle in a local static so steady
 //! state is a single relaxed atomic op.
 #![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 
+pub mod deadline;
+pub mod degrade;
 pub mod metrics;
 pub mod report;
 pub mod trace;

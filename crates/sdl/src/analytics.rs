@@ -91,7 +91,7 @@ pub fn spatial_aggregate(data: &NdArray, how: CentralTendency) -> f64 {
             if vals.is_empty() {
                 return f64::NAN;
             }
-            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            vals.sort_by(f64::total_cmp);
             let mid = vals.len() / 2;
             if vals.len() % 2 == 1 {
                 vals[mid]

@@ -34,12 +34,24 @@ type CacheEntry = (Duration, Arc<Vec<Variable>>);
 /// instance-labeled `applab_sdl_cache_{hits,misses}_total` counters; the
 /// [`hits`](Self::hits)/[`misses`](Self::misses) getters are thin reads
 /// over this cache's own handles.
+///
+/// With a non-zero [`stale grace`](Self::with_stale_grace) the cache also
+/// degrades gracefully: when a refresh fails on a *transient* upstream
+/// fault and the old entry expired less than `grace` ago, the stale copy
+/// is served instead of the error — counted as
+/// `applab_sdl_cache_stale_served_total` and marked through
+/// [`applab_obs::degrade`] so the service can tag the whole answer as
+/// degraded.
 pub struct SubsetCache {
     window: Duration,
+    /// How long past `window` an entry may still be served when a refresh
+    /// fails. Zero (the default) disables serve-stale.
+    grace: Duration,
     clock: Arc<dyn Clock>,
     entries: RwLock<HashMap<String, CacheEntry>>,
     hits: Arc<applab_obs::Counter>,
     misses: Arc<applab_obs::Counter>,
+    stale: Arc<applab_obs::Counter>,
 }
 
 impl SubsetCache {
@@ -48,11 +60,21 @@ impl SubsetCache {
         let labels = [("instance", instance.as_str())];
         SubsetCache {
             window,
+            grace: Duration::ZERO,
             clock,
             entries: RwLock::new(HashMap::new()),
             hits: applab_obs::global().counter_with("applab_sdl_cache_hits_total", &labels),
             misses: applab_obs::global().counter_with("applab_sdl_cache_misses_total", &labels),
+            stale: applab_obs::global()
+                .counter_with("applab_sdl_cache_stale_served_total", &labels),
         }
+    }
+
+    /// Enable serve-stale: expired entries stay usable for `grace` beyond
+    /// the freshness window when a refresh fails transiently.
+    pub fn with_stale_grace(mut self, grace: Duration) -> Self {
+        self.grace = grace;
+        self
     }
 
     pub fn hits(&self) -> u64 {
@@ -63,38 +85,81 @@ impl SubsetCache {
         self.misses.get()
     }
 
+    /// Stale entries served in place of a failed refresh so far.
+    pub fn stale_serves(&self) -> u64 {
+        self.stale.get()
+    }
+
     /// Look up `key`; on miss (or expiry) call `fetch` and cache the result.
     pub fn get_or_fetch(
         &self,
         key: &str,
         fetch: impl FnOnce() -> Result<Vec<Variable>, DapError>,
     ) -> Result<Arc<Vec<Variable>>, DapError> {
+        self.get_or_fetch_degraded(key, fetch)
+            .map(|(value, _)| value)
+    }
+
+    /// Like [`get_or_fetch`](Self::get_or_fetch), but also reports whether
+    /// the value is a stale entry served because the refresh failed
+    /// (`true` = degraded).
+    ///
+    /// Stale serving only applies to transient faults
+    /// ([`DapError::is_retryable`]) and [`DapError::Unavailable`]; a
+    /// permanent request error (unknown dataset, bad constraint) always
+    /// propagates, since stale data would mask a real catalog change.
+    pub fn get_or_fetch_degraded(
+        &self,
+        key: &str,
+        fetch: impl FnOnce() -> Result<Vec<Variable>, DapError>,
+    ) -> Result<(Arc<Vec<Variable>>, bool), DapError> {
         let now = self.clock.now();
         if self.window > Duration::ZERO {
             let entries = self.entries.read();
             if let Some((at, value)) = entries.get(key) {
                 if now.saturating_sub(*at) < self.window {
                     self.hits.inc();
-                    return Ok(value.clone());
+                    return Ok((value.clone(), false));
                 }
             }
         }
         self.misses.inc();
-        let value = Arc::new(fetch()?);
-        if self.window > Duration::ZERO {
-            self.entries
-                .write()
-                .insert(key.to_string(), (now, value.clone()));
+        match fetch() {
+            Ok(value) => {
+                let value = Arc::new(value);
+                if self.window > Duration::ZERO {
+                    self.entries
+                        .write()
+                        .insert(key.to_string(), (now, value.clone()));
+                }
+                Ok((value, false))
+            }
+            Err(e) => {
+                let transient = e.is_retryable() || matches!(e, DapError::Unavailable { .. });
+                if transient && self.grace > Duration::ZERO && self.window > Duration::ZERO {
+                    let entries = self.entries.read();
+                    if let Some((at, value)) = entries.get(key) {
+                        if now.saturating_sub(*at) < self.window + self.grace {
+                            self.stale.inc();
+                            applab_obs::degrade::mark(key);
+                            return Ok((value.clone(), true));
+                        }
+                    }
+                }
+                Err(e)
+            }
         }
-        Ok(value)
     }
 
-    /// Drop expired entries (housekeeping; correctness never depends on it).
+    /// Drop entries past `window + grace` (housekeeping; correctness never
+    /// depends on it). Entries inside the stale-grace period survive — they
+    /// are still a valid degraded answer if the upstream goes down.
     pub fn evict_expired(&self) {
         let now = self.clock.now();
+        let keep = self.window + self.grace;
         self.entries
             .write()
-            .retain(|_, (at, _)| now.saturating_sub(*at) < self.window);
+            .retain(|_, (at, _)| now.saturating_sub(*at) < keep);
     }
 
     pub fn len(&self) -> usize {
@@ -391,6 +456,54 @@ mod tests {
             })
             .unwrap();
         assert!(called);
+    }
+
+    #[test]
+    fn stale_grace_serves_expired_entry_on_transient_failure() {
+        let clock = ManualClock::new();
+        let cache = SubsetCache::new(Duration::from_secs(600), clock.clone())
+            .with_stale_grace(Duration::from_secs(3600));
+        cache.get_or_fetch("k", || Ok(vec![])).unwrap();
+        clock.advance(Duration::from_secs(601));
+        // Refresh fails transiently inside the grace window: stale serve.
+        let scope = applab_obs::degrade::Scope::begin();
+        let (value, degraded) = cache
+            .get_or_fetch_degraded("k", || Err(DapError::Transport("down".into())))
+            .unwrap();
+        assert!(degraded);
+        assert!(value.is_empty());
+        assert!(scope.degraded(), "stale serve must mark the degrade scope");
+        assert_eq!(cache.stale_serves(), 1);
+        // Past window + grace: the error propagates.
+        clock.advance(Duration::from_secs(3601));
+        let r = cache.get_or_fetch_degraded("k", || Err(DapError::Transport("down".into())));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn permanent_errors_never_serve_stale() {
+        let clock = ManualClock::new();
+        let cache = SubsetCache::new(Duration::from_secs(600), clock.clone())
+            .with_stale_grace(Duration::from_secs(3600));
+        cache.get_or_fetch("k", || Ok(vec![])).unwrap();
+        clock.advance(Duration::from_secs(601));
+        let r = cache.get_or_fetch_degraded("k", || Err(DapError::NoSuchDataset("k".into())));
+        assert_eq!(r.unwrap_err(), DapError::NoSuchDataset("k".into()));
+        assert_eq!(cache.stale_serves(), 0);
+    }
+
+    #[test]
+    fn eviction_keeps_grace_entries() {
+        let clock = ManualClock::new();
+        let cache = SubsetCache::new(Duration::from_secs(600), clock.clone())
+            .with_stale_grace(Duration::from_secs(3600));
+        cache.get_or_fetch("k", || Ok(vec![])).unwrap();
+        clock.advance(Duration::from_secs(601));
+        cache.evict_expired();
+        assert_eq!(cache.len(), 1, "entry inside grace survives eviction");
+        clock.advance(Duration::from_secs(3600));
+        cache.evict_expired();
+        assert!(cache.is_empty(), "entry past window + grace is dropped");
     }
 
     #[test]

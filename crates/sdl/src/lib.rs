@@ -17,7 +17,10 @@
 //! Viewport requests emit `sdl.viewport` spans and the subset cache
 //! reports instance-labeled `applab_sdl_cache_*` counters to the
 //! `applab-obs` global registry.
-#![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
+#![cfg_attr(
+    not(test),
+    warn(clippy::print_stdout, clippy::print_stderr, clippy::unwrap_used)
+)]
 
 pub mod analytics;
 pub mod cache;
@@ -25,4 +28,5 @@ pub mod pool;
 pub mod sdl;
 
 pub use cache::{BboxFetcher, SubsetCache, TiledFetcher};
+pub use pool::{PoolPanics, WorkerPool};
 pub use sdl::{Sdl, SdlError};

@@ -7,6 +7,8 @@
 //! GeoTriples parallel mapping processor's consumers.
 
 use crossbeam::channel;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Run `jobs` on `workers` threads, preserving input order in the output.
@@ -48,22 +50,51 @@ where
     })
 }
 
+/// The error [`WorkerPool::shutdown`] reports when jobs panicked: the
+/// jobs were isolated (their panics did not strand a worker or poison the
+/// queue) but their work was lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolPanics {
+    /// Number of submitted jobs that panicked.
+    pub jobs: u64,
+}
+
+impl std::fmt::Display for PoolPanics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} pool job(s) panicked", self.jobs)
+    }
+}
+
+impl std::error::Error for PoolPanics {}
+
 /// A long-lived pool for fire-and-forget jobs (the "deployment,
 /// maintenance, and scaling" part: jobs submitted while the pool runs).
+///
+/// A panicking job no longer kills its worker thread: panics are caught,
+/// counted (`applab_sdl_pool_panicked_jobs_total`), and surfaced when the
+/// pool [shuts down](Self::shutdown); the worker keeps draining the queue.
 pub struct WorkerPool {
     job_tx: Option<channel::Sender<Box<dyn FnOnce() + Send>>>,
     handles: Vec<JoinHandle<()>>,
+    panicked: Arc<AtomicU64>,
 }
 
 impl WorkerPool {
     pub fn new(workers: usize) -> Self {
         let (job_tx, job_rx) = channel::unbounded::<Box<dyn FnOnce() + Send>>();
+        let panicked = Arc::new(AtomicU64::new(0));
         let handles = (0..workers.max(1))
             .map(|_| {
                 let rx = job_rx.clone();
+                let panicked = panicked.clone();
                 std::thread::spawn(move || {
                     while let Ok(job) = rx.recv() {
-                        job();
+                        // AssertUnwindSafe: the job is FnOnce + Send and is
+                        // consumed here; nothing of it survives the unwind.
+                        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
+                            panicked.fetch_add(1, Ordering::Relaxed);
+                            applab_obs::counter!("applab_sdl_pool_panicked_jobs_total").inc();
+                        }
                     }
                 })
             })
@@ -71,6 +102,7 @@ impl WorkerPool {
         WorkerPool {
             job_tx: Some(job_tx),
             handles,
+            panicked,
         }
     }
 
@@ -83,11 +115,21 @@ impl WorkerPool {
             .expect("workers alive");
     }
 
+    /// Jobs that panicked so far.
+    pub fn panicked_jobs(&self) -> u64 {
+        self.panicked.load(Ordering::Relaxed)
+    }
+
     /// Wait for all submitted jobs to finish and stop the workers.
-    pub fn shutdown(mut self) {
+    /// Reports how many jobs panicked along the way, if any.
+    pub fn shutdown(mut self) -> Result<(), PoolPanics> {
         self.job_tx.take(); // close the queue
         for h in self.handles.drain(..) {
             let _ = h.join();
+        }
+        match self.panicked.load(Ordering::Relaxed) {
+            0 => Ok(()),
+            jobs => Err(PoolPanics { jobs }),
         }
     }
 }
@@ -104,8 +146,6 @@ impl Drop for WorkerPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU64, Ordering};
-    use std::sync::Arc;
 
     #[test]
     fn run_parallel_preserves_order() {
@@ -136,8 +176,44 @@ mod tests {
                 c.fetch_add(1, Ordering::SeqCst);
             });
         }
-        pool.shutdown();
+        pool.shutdown().expect("no panicking jobs");
         assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn panicking_jobs_are_isolated_and_reported() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let pool = WorkerPool::new(2);
+        for i in 0..20 {
+            let c = counter.clone();
+            pool.submit(move || {
+                if i % 5 == 0 {
+                    panic!("job {i} exploded");
+                }
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // Workers survive the panics and drain every job.
+        let err = pool.shutdown().expect_err("panics must be surfaced");
+        assert_eq!(err, PoolPanics { jobs: 4 });
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn panicked_jobs_counter_is_live() {
+        let pool = WorkerPool::new(1);
+        pool.submit(|| panic!("boom"));
+        let done = Arc::new(AtomicU64::new(0));
+        let d = done.clone();
+        // A job *after* the panic still runs on the same worker.
+        pool.submit(move || {
+            d.store(1, Ordering::SeqCst);
+        });
+        while done.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.panicked_jobs(), 1);
+        assert!(pool.shutdown().is_err());
     }
 
     #[test]

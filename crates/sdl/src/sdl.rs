@@ -116,6 +116,15 @@ impl Sdl {
         self
     }
 
+    /// Enable serve-stale on the data cache: when a refetch fails
+    /// transiently and the old subset expired less than `grace` ago, the
+    /// stale subset is served (marked degraded through
+    /// [`applab_obs::degrade`]) instead of failing the request.
+    pub fn with_stale_grace(mut self, grace: Duration) -> Self {
+        self.data_cache = self.data_cache.with_stale_grace(grace);
+        self
+    }
+
     /// Cache statistics (hits, misses).
     pub fn cache_stats(&self) -> (u64, u64) {
         (self.data_cache.hits(), self.data_cache.misses())
@@ -255,13 +264,13 @@ impl Sdl {
             _ => None,
         };
         let extent = match (info.coords.get("lat"), info.coords.get("lon")) {
-            (Some(lats), Some(lons)) if !lats.is_empty() && !lons.is_empty() => {
-                Some(Envelope::new(
-                    lons.first().copied().unwrap(),
-                    lats.first().copied().unwrap(),
-                    lons.last().copied().unwrap(),
-                    lats.last().copied().unwrap(),
-                ))
+            (Some(lats), Some(lons)) => {
+                match (lats.first(), lats.last(), lons.first(), lons.last()) {
+                    (Some(&la0), Some(&la1), Some(&lo0), Some(&lo1)) => {
+                        Some(Envelope::new(lo0, la0, lo1, la1))
+                    }
+                    _ => None,
+                }
             }
             _ => None,
         };

@@ -15,9 +15,11 @@
 //!   so runaway spatial joins abort mid-flight and *never* return
 //!   truncated results;
 //! * **structured outcomes** — every call returns a [`QueryOutcome`] with
-//!   results, queue wait, evaluation time, and backend, or a typed
-//!   `Timeout`/`Cancelled`/`Overloaded` rejection with a stable
-//!   [`CoreError::code`] used as the metrics label.
+//!   results, queue wait, evaluation time, backend, and a `degraded` flag
+//!   (set when part of the answer came from a stale cache copy bridging an
+//!   upstream outage), or a typed `Timeout`/`Cancelled`/`Overloaded`/
+//!   `Unavailable` rejection with a stable [`CoreError::code`] used as the
+//!   metrics label.
 //!
 //! Metrics: `applab_service_in_flight` / `applab_service_queued` gauges,
 //! `applab_service_outcomes_total{endpoint,code}` counters, and
@@ -103,6 +105,11 @@ pub struct QueryOutcome {
     pub queue_wait: Duration,
     /// Time spent evaluating (zero for rejected queries).
     pub elapsed: Duration,
+    /// Whether any part of the answer was served degraded — a stale cache
+    /// copy bridging a transient upstream outage. A degraded answer is
+    /// complete and well-formed, just possibly out of date. Always `false`
+    /// for rejected queries and failures.
+    pub degraded: bool,
     /// The results, or the typed rejection/failure.
     pub result: Result<QueryResults, CoreError>,
 }
@@ -193,6 +200,7 @@ impl ApplabService {
                 backend: "?",
                 queue_wait: Duration::ZERO,
                 elapsed: Duration::ZERO,
+                degraded: false,
                 result: Err(CoreError::Source(format!("unknown endpoint '{endpoint}'"))),
             });
         };
@@ -214,6 +222,7 @@ impl ApplabService {
                     backend: ep.backend(),
                     queue_wait,
                     elapsed: Duration::ZERO,
+                    degraded: false,
                     result: Err(CoreError::Overloaded {
                         in_flight: rejection.in_flight,
                         queued: rejection.queued,
@@ -235,18 +244,29 @@ impl ApplabService {
         options.budget = budget;
 
         let started = Instant::now();
+        // Degrade marks flow through a thread-local scope: stale serves
+        // during this evaluation (and only this one) flag the outcome.
+        let degrade_scope = applab_obs::degrade::Scope::begin();
         let result = ep.query_with(sparql, &options);
+        let degraded = result.is_ok() && degrade_scope.degraded();
         let elapsed = started.elapsed();
         applab_obs::histogram!("applab_service_query_seconds", WAIT_SECONDS_BUCKETS)
             .observe(elapsed.as_secs_f64());
+        if degraded {
+            applab_obs::global()
+                .counter_with("applab_service_degraded_total", &[("endpoint", name)])
+                .inc();
+        }
         let outcome = QueryOutcome {
             endpoint: name.clone(),
             backend: ep.backend(),
             queue_wait,
             elapsed,
+            degraded,
             result,
         };
         span.record("code", outcome.code());
+        span.record("degraded", degraded);
         self.finish(outcome)
     }
 
@@ -406,6 +426,41 @@ mod tests {
         );
         gate.wait(); // release the in-flight query
         assert_eq!(bg.join().unwrap().code(), "ok");
+    }
+
+    #[test]
+    fn stale_serves_flag_the_outcome_as_degraded() {
+        /// An endpoint whose answer is (partly) a stale cache copy.
+        struct DegradedEndpoint;
+        impl QueryEndpoint for DegradedEndpoint {
+            fn query_with(
+                &self,
+                _sparql: &str,
+                _options: &EvalOptions,
+            ) -> Result<QueryResults, CoreError> {
+                applab_obs::degrade::mark("fake_stale");
+                Ok(QueryResults::Solutions {
+                    variables: vec![],
+                    rows: vec![],
+                })
+            }
+            fn query_explained(&self, _sparql: &str) -> Result<Explain, CoreError> {
+                unimplemented!("not used")
+            }
+            fn backend(&self) -> &'static str {
+                "fake"
+            }
+        }
+        let svc = ApplabService::new(ServiceConfig::default())
+            .with_endpoint("deg", Arc::new(DegradedEndpoint))
+            .with_endpoint("fresh", Arc::new(FakeEndpoint::instant()));
+        let out = svc.query("deg", "SELECT 1");
+        assert_eq!(out.code(), "ok");
+        assert!(out.degraded, "stale-served answers must be flagged");
+        // Degradation does not leak into the next, healthy query.
+        let out = svc.query("fresh", "SELECT 1");
+        assert_eq!(out.code(), "ok");
+        assert!(!out.degraded);
     }
 
     #[test]

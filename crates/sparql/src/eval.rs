@@ -162,6 +162,14 @@ impl Budget {
         self.deadline.is_some() || self.cancel.is_some()
     }
 
+    /// The absolute deadline instant, if one is set. This is what
+    /// [`evaluate_with`] installs as the thread's
+    /// [`applab_obs::deadline`] scope, so layers below the evaluator
+    /// (e.g. the DAP retry loop) can stay inside the query budget.
+    pub fn deadline_instant(&self) -> Option<Instant> {
+        self.deadline.map(|(at, _)| at)
+    }
+
     /// Poll the budget. Cancellation wins over the deadline when both trip.
     #[inline]
     pub fn check(&self) -> Result<(), EvalError> {
@@ -223,6 +231,10 @@ pub fn evaluate_with(
 ) -> Result<QueryResults, EvalError> {
     applab_obs::counter!("applab_sparql_queries_total").inc();
     let started = std::time::Instant::now();
+    // Publish the query deadline to everything this evaluation calls into
+    // (scans run on this thread), so e.g. DAP retry backoffs never
+    // outlive the budget.
+    let _deadline_scope = applab_obs::deadline::enter(options.budget.deadline_instant());
     let mut eval_span = applab_obs::span("sparql.evaluate");
     let slots = Slots::new(&query.pattern);
     let width = slots.width;
