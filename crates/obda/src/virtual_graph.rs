@@ -317,6 +317,14 @@ impl GraphSource for VirtualGraph {
         if patterns.is_empty() {
             return None;
         }
+        // The rewrite expands all patterns against the SAME source row, so
+        // it is only sound when every pattern is reachable from every other
+        // through shared variables: solutions of a variable-disconnected
+        // BGP are the cross product of the components' solutions, which a
+        // single row scan cannot produce.
+        if !variable_connected(patterns) {
+            return None;
+        }
         // The rewriting applies only when the whole BGP unifies with the
         // templates of exactly ONE mapping: otherwise different mappings
         // could each contribute solutions and the fast path would lose
@@ -441,6 +449,38 @@ impl GraphSource for VirtualGraph {
             Some(bindings)
         }
     }
+}
+
+/// Whether the patterns form one connected component under shared
+/// variables. Ground patterns (no variables) are their own component, so
+/// any BGP containing one alongside other patterns fails the check.
+fn variable_connected(patterns: &[TriplePattern]) -> bool {
+    if patterns.len() <= 1 {
+        return true;
+    }
+    let vars_of = |p: &TriplePattern| -> Vec<String> {
+        [&p.subject, &p.predicate, &p.object]
+            .into_iter()
+            .filter_map(|t| match t {
+                TermPattern::Var(v) => Some(v.clone()),
+                TermPattern::Term(_) => None,
+            })
+            .collect()
+    };
+    // BFS over patterns, connecting through shared variable names.
+    let all: Vec<Vec<String>> = patterns.iter().map(vars_of).collect();
+    let mut reached = vec![false; patterns.len()];
+    let mut queue = vec![0usize];
+    reached[0] = true;
+    while let Some(i) = queue.pop() {
+        for j in 0..patterns.len() {
+            if !reached[j] && all[i].iter().any(|v| all[j].contains(v)) {
+                reached[j] = true;
+                queue.push(j);
+            }
+        }
+    }
+    reached.into_iter().all(|r| r)
 }
 
 /// Cheap static compatibility check between a pattern and a template.
@@ -774,5 +814,54 @@ WHERE { ?s lai:hasLai ?lai .
             VirtualGraph::new(ds, mappings),
             Err(ObdaError::Mapping(_))
         ));
+    }
+
+    fn pat(s: &str, p: &str, o: &str) -> TriplePattern {
+        let term = |t: &str| -> TermPattern {
+            match t.strip_prefix('?') {
+                Some(v) => TermPattern::var(v),
+                None => Term::named(format!("http://ex.org/{t}")).into(),
+            }
+        };
+        TriplePattern::new(term(s), term(p), term(o))
+    }
+
+    #[test]
+    fn variable_connected_accepts_chains_and_singletons() {
+        assert!(variable_connected(&[]));
+        assert!(variable_connected(&[pat("?s", "p", "?o")]));
+        // ?s–?g–?w chain: each adjacent pair shares a variable.
+        assert!(variable_connected(&[
+            pat("?s", "hasGeometry", "?g"),
+            pat("?g", "asWKT", "?w"),
+            pat("?s", "type", "Park"),
+        ]));
+        // A fully ground singleton is trivially connected.
+        assert!(variable_connected(&[pat("s1", "p", "o1")]));
+    }
+
+    #[test]
+    fn variable_connected_rejects_disjoint_components() {
+        // The shrunk shape of the same-row join bug: two patterns with no
+        // shared variable must take the generic cross-product path.
+        assert!(!variable_connected(&[
+            pat("?s1", "hasCode", "?code1"),
+            pat("?g1", "asWKT", "?w1"),
+        ]));
+        // Sharing a predicate *variable* counts as connected…
+        assert!(variable_connected(&[
+            pat("?s1", "?p", "?o1"),
+            pat("?s2", "?p", "?o2"),
+        ]));
+        // …but sharing only a constant does not.
+        assert!(!variable_connected(&[
+            pat("?s1", "p", "?o1"),
+            pat("?s2", "p", "?o2"),
+        ]));
+        // A ground pattern alongside anything else is its own component.
+        assert!(!variable_connected(&[
+            pat("?s", "p", "?o"),
+            pat("s1", "p", "o1"),
+        ]));
     }
 }

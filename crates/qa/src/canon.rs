@@ -1,0 +1,328 @@
+//! Canonical, order-insensitive form of query results.
+//!
+//! The differential harness never compares [`QueryResults`] directly:
+//! every result is reduced to a [`Canon`] first — variables sorted, rows
+//! sorted, numeric lexical forms normalized, blank-node labels renamed
+//! per row — so two engines agree exactly when their answers are the same
+//! *multiset of solutions*, regardless of row order, column order, or
+//! internal identifier choices.
+
+use applab_rdf::{vocab, Term};
+use applab_sparql::QueryResults;
+use std::collections::BTreeMap;
+
+/// A canonicalized result. `Solutions` covers SELECT and (via the
+/// subject/predicate/object pseudo-variables of the JSON serialization)
+/// CONSTRUCT; `Boolean` covers ASK.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Canon {
+    Solutions {
+        /// Sorted ascending.
+        variables: Vec<String>,
+        /// Each row aligned with `variables`; rows sorted ascending.
+        rows: Vec<Vec<Option<String>>>,
+    },
+    Boolean(bool),
+}
+
+impl Canon {
+    pub fn len(&self) -> usize {
+        match self {
+            Canon::Solutions { rows, .. } => rows.len(),
+            Canon::Boolean(_) => 0,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn rows(&self) -> Option<&[Vec<Option<String>>]> {
+        match self {
+            Canon::Solutions { rows, .. } => Some(rows),
+            Canon::Boolean(_) => None,
+        }
+    }
+}
+
+/// Canonical string form of one term. Blank labels are kept verbatim here;
+/// the row canonicalizer renames them per row.
+pub fn canonical_term(t: &Term) -> String {
+    match t {
+        Term::Named(n) => format!("<{}>", n.as_str()),
+        Term::Blank(b) => format!("_:{b}"),
+        Term::Literal(l) => {
+            if let Some(lang) = l.language() {
+                return format!("\"{}\"@{lang}", l.value());
+            }
+            let dt = l.datatype().as_str();
+            if let Some(v) = l.as_f64() {
+                // One lexical form per numeric value *and* datatype:
+                // "5" vs "5.0" vs "05" collapse, but xsd:integer 5 stays
+                // distinct from xsd:double 5 (SPARQL `=` treats them equal,
+                // solution multisets do not).
+                return format!("\"{v}\"^^<{dt}>");
+            }
+            if let Some(b) = l.as_bool() {
+                return format!("\"{b}\"^^<{dt}>");
+            }
+            if let Some(ts) = l.as_datetime() {
+                return format!("\"@{ts}\"^^<{}>", vocab::xsd::DATE_TIME);
+            }
+            if dt == vocab::xsd::STRING {
+                return format!("\"{}\"", l.value());
+            }
+            format!("\"{}\"^^<{dt}>", l.value())
+        }
+    }
+}
+
+/// Canonicalize one row: project through the column permutation and
+/// rename blank labels in order of first appearance, so blank identity is
+/// preserved within the row but engine-specific label choices vanish.
+fn canonical_row(values: Vec<Option<String>>) -> Vec<Option<String>> {
+    let mut names: BTreeMap<String, usize> = BTreeMap::new();
+    values
+        .into_iter()
+        .map(|v| {
+            v.map(|s| {
+                if let Some(label) = s.strip_prefix("_:") {
+                    let next = names.len();
+                    let id = *names.entry(label.to_string()).or_insert(next);
+                    format!("_:b{id}")
+                } else {
+                    s
+                }
+            })
+        })
+        .collect()
+}
+
+/// Reduce a result to its canonical form.
+pub fn canonicalize(r: &QueryResults) -> Canon {
+    match r {
+        QueryResults::Boolean(b) => Canon::Boolean(*b),
+        QueryResults::Solutions { variables, rows } => {
+            // Column permutation: sorted variable names.
+            let mut order: Vec<usize> = (0..variables.len()).collect();
+            order.sort_by(|&a, &b| variables[a].cmp(&variables[b]));
+            let sorted_vars: Vec<String> = order.iter().map(|&i| variables[i].clone()).collect();
+            let mut out_rows: Vec<Vec<Option<String>>> = rows
+                .iter()
+                .map(|row| {
+                    canonical_row(
+                        order
+                            .iter()
+                            .map(|&i| {
+                                row.values
+                                    .get(i)
+                                    .and_then(|v| v.as_ref().map(canonical_term))
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            out_rows.sort();
+            Canon::Solutions {
+                variables: sorted_vars,
+                rows: out_rows,
+            }
+        }
+        QueryResults::Graph(g) => {
+            // Match the JSON serialization: solutions over the
+            // subject/predicate/object pseudo-variables.
+            let variables = vec![
+                "object".to_string(),
+                "predicate".to_string(),
+                "subject".to_string(),
+            ];
+            let mut rows: Vec<Vec<Option<String>>> = g
+                .iter()
+                .map(|t| {
+                    let subject = match &t.subject {
+                        applab_rdf::Resource::Named(n) => format!("<{}>", n.as_str()),
+                        applab_rdf::Resource::Blank(b) => format!("_:{b}"),
+                    };
+                    canonical_row(vec![
+                        Some(canonical_term(&t.object)),
+                        Some(format!("<{}>", t.predicate.as_str())),
+                        Some(subject),
+                    ])
+                })
+                .collect();
+            rows.sort();
+            Canon::Solutions { variables, rows }
+        }
+    }
+}
+
+/// Multiset containment: every row of `sub` occurs in `sup` at least as
+/// often. Only defined over `Solutions` with identical variable lists.
+pub fn is_multiset_subset(sub: &Canon, sup: &Canon) -> bool {
+    match (sub, sup) {
+        (
+            Canon::Solutions {
+                variables: va,
+                rows: ra,
+            },
+            Canon::Solutions {
+                variables: vb,
+                rows: rb,
+            },
+        ) => {
+            if va != vb {
+                return false;
+            }
+            let mut counts: BTreeMap<&Vec<Option<String>>, i64> = BTreeMap::new();
+            for row in rb {
+                *counts.entry(row).or_insert(0) += 1;
+            }
+            for row in ra {
+                match counts.get_mut(row) {
+                    Some(c) if *c > 0 => *c -= 1,
+                    _ => return false,
+                }
+            }
+            true
+        }
+        (Canon::Boolean(a), Canon::Boolean(b)) => a == b,
+        _ => false,
+    }
+}
+
+/// Human-readable first difference between two canonical results, or
+/// `None` when they are equal.
+pub fn diff(a: &Canon, b: &Canon) -> Option<String> {
+    if a == b {
+        return None;
+    }
+    match (a, b) {
+        (Canon::Boolean(x), Canon::Boolean(y)) => Some(format!("ASK {x} vs {y}")),
+        (
+            Canon::Solutions {
+                variables: va,
+                rows: ra,
+            },
+            Canon::Solutions {
+                variables: vb,
+                rows: rb,
+            },
+        ) => {
+            if va != vb {
+                return Some(format!("variables {va:?} vs {vb:?}"));
+            }
+            let only_a: Vec<&Vec<Option<String>>> =
+                ra.iter().filter(|r| !rb.contains(r)).take(3).collect();
+            let only_b: Vec<&Vec<Option<String>>> =
+                rb.iter().filter(|r| !ra.contains(r)).take(3).collect();
+            Some(format!(
+                "{} vs {} rows; sample only-left {only_a:?}; sample only-right {only_b:?}",
+                ra.len(),
+                rb.len()
+            ))
+        }
+        _ => Some("result kinds differ (solutions vs boolean)".to_string()),
+    }
+}
+
+/// The multiset of rows shared by the comparison helpers, exposed for the
+/// metamorphic containment checks.
+pub fn row_count(c: &Canon) -> Option<usize> {
+    c.rows().map(<[_]>::len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use applab_rdf::{Literal, Term};
+    use applab_sparql::Row;
+
+    fn solutions(vars: &[&str], rows: Vec<Vec<Option<Term>>>) -> QueryResults {
+        QueryResults::Solutions {
+            variables: vars.iter().map(|s| s.to_string()).collect(),
+            rows: rows.into_iter().map(|values| Row { values }).collect(),
+        }
+    }
+
+    #[test]
+    fn numeric_lexical_forms_collapse() {
+        let a = solutions(
+            &["x"],
+            vec![vec![Some(Term::Literal(Literal::typed(
+                "5.0",
+                applab_rdf::NamedNode::new(vocab::xsd::DOUBLE),
+            )))]],
+        );
+        let b = solutions(
+            &["x"],
+            vec![vec![Some(Term::Literal(Literal::typed(
+                "5",
+                applab_rdf::NamedNode::new(vocab::xsd::DOUBLE),
+            )))]],
+        );
+        assert_eq!(canonicalize(&a), canonicalize(&b));
+        // ... but datatypes stay significant.
+        let c = solutions(
+            &["x"],
+            vec![vec![Some(Term::Literal(Literal::typed(
+                "5",
+                applab_rdf::NamedNode::new(vocab::xsd::INTEGER),
+            )))]],
+        );
+        assert_ne!(canonicalize(&a), canonicalize(&c));
+    }
+
+    #[test]
+    fn row_and_column_order_are_insignificant() {
+        let one = Term::Literal(Literal::integer(1));
+        let two = Term::Literal(Literal::integer(2));
+        let a = solutions(
+            &["x", "y"],
+            vec![
+                vec![Some(one.clone()), Some(two.clone())],
+                vec![Some(two.clone()), Some(one.clone())],
+            ],
+        );
+        let b = solutions(
+            &["y", "x"],
+            vec![
+                vec![Some(one.clone()), Some(two.clone())],
+                vec![Some(two), Some(one)],
+            ],
+        );
+        assert_eq!(canonicalize(&a), canonicalize(&b));
+    }
+
+    #[test]
+    fn blank_labels_are_renamed_per_row() {
+        let blank = |label: &str| Term::Blank(applab_rdf::BlankNode::new(label));
+        let a = solutions(
+            &["g", "h"],
+            vec![vec![Some(blank("n17")), Some(blank("n17"))]],
+        );
+        let b = solutions(
+            &["g", "h"],
+            vec![vec![Some(blank("z2")), Some(blank("z2"))]],
+        );
+        let c = solutions(
+            &["g", "h"],
+            vec![vec![Some(blank("z2")), Some(blank("z3"))]],
+        );
+        assert_eq!(canonicalize(&a), canonicalize(&b));
+        assert_ne!(canonicalize(&a), canonicalize(&c));
+    }
+
+    #[test]
+    fn multiset_subset_respects_duplicates() {
+        let one = Term::Literal(Literal::integer(1));
+        let single = canonicalize(&solutions(&["x"], vec![vec![Some(one.clone())]]));
+        let double = canonicalize(&solutions(
+            &["x"],
+            vec![vec![Some(one.clone())], vec![Some(one)]],
+        ));
+        assert!(is_multiset_subset(&single, &double));
+        assert!(!is_multiset_subset(&double, &single));
+        assert!(diff(&single, &double).is_some());
+        assert!(diff(&single, &single).is_none());
+    }
+}

@@ -1,0 +1,219 @@
+//! The differential harness: one query, four engines, one verdict.
+//!
+//! Engines under test:
+//!
+//! 1. `reference` — the nested-loop oracle evaluator,
+//! 2. `pipeline-seq` — the dictionary/hash-join pipeline, forced
+//!    sequential,
+//! 3. `pipeline-par` — the same pipeline, forced onto parallel probes,
+//! 4. `virtual` — the on-the-fly OBDA workflow over tables + OPeNDAP.
+//!
+//! All solution results are pushed through the JSON wire format
+//! (`to_json` → `from_json`) before canonicalization, so every
+//! differential case also exercises the serializer round-trip.
+//!
+//! With `LIMIT`/`OFFSET` in play any correctly-sized subset of the full
+//! answer is a legal result (row order below an under-specified `ORDER
+//! BY` is engine-dependent), so the harness switches to *slice mode*:
+//! each engine's answer must be contained in the unlimited reference
+//! answer and have exactly the cardinality the modifiers dictate.
+
+use crate::canon::{canonicalize, diff, is_multiset_subset, Canon};
+use crate::dataset::{DatasetSpec, Engines};
+use crate::gen::QueryIr;
+use applab_sparql::{reference, EvalOptions, Query, QueryResults};
+
+/// How a case was judged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// All engines produced equivalent results.
+    Agree,
+    /// All engines failed (same front door, e.g. a type error surfaced at
+    /// evaluation); recorded separately so a noisy generator is visible.
+    AgreeError(String),
+    /// At least two engines produced non-equivalent results — the oracle
+    /// fired. The payload names the engines and the first difference.
+    Disagree(String),
+}
+
+impl Verdict {
+    pub fn is_disagreement(&self) -> bool {
+        matches!(self, Verdict::Disagree(_))
+    }
+}
+
+/// Engine labels, aligned with [`Harness::run_text`] internals.
+pub const ENGINES: [&str; 4] = ["reference", "pipeline-seq", "pipeline-par", "virtual"];
+
+/// A differential harness bound to one dataset.
+pub struct Harness {
+    pub engines: Engines,
+    pub spec: DatasetSpec,
+}
+
+fn canon_via_json(r: &QueryResults) -> Result<Canon, String> {
+    let direct = canonicalize(r);
+    let json = r.to_json();
+    let parsed = QueryResults::from_json(&json).map_err(|e| format!("from_json failed: {e}"))?;
+    let round = canonicalize(&parsed);
+    if direct != round {
+        return Err(format!(
+            "JSON round-trip changed the canonical result: {}",
+            diff(&direct, &round).unwrap_or_default()
+        ));
+    }
+    Ok(direct)
+}
+
+impl Harness {
+    pub fn new(spec: DatasetSpec) -> Result<Harness, String> {
+        let engines = spec.build()?;
+        Ok(Harness { engines, spec })
+    }
+
+    /// Evaluate on one engine by index (order of [`ENGINES`]).
+    fn eval_engine(&self, idx: usize, text: &str, query: &Query) -> Result<QueryResults, String> {
+        match idx {
+            0 => reference::evaluate(&self.engines.store, query).map_err(|e| e.to_string()),
+            1 => {
+                applab_sparql::evaluate_with(&self.engines.store, query, &EvalOptions::sequential())
+                    .map_err(|e| e.to_string())
+            }
+            2 => applab_sparql::evaluate_with(
+                &self.engines.store,
+                query,
+                &EvalOptions::forced_parallel(3),
+            )
+            .map_err(|e| e.to_string()),
+            3 => self
+                .engines
+                .vw
+                .query_with(text, &EvalOptions::sequential())
+                .map_err(|e| e.to_string()),
+            _ => unreachable!("engine index"),
+        }
+    }
+
+    /// Run the pipeline-seq engine only (the metamorphic checks need a
+    /// single fast engine, not the full cross-product).
+    pub fn eval_pipeline_seq(&self, text: &str) -> Result<Canon, String> {
+        let query = applab_sparql::parse_query(text).map_err(|e| format!("parse: {e}"))?;
+        let r = self.eval_engine(1, text, &query)?;
+        canon_via_json(&r)
+    }
+
+    /// Run one rendered query through all four engines and diff.
+    pub fn run_text(&self, text: &str) -> Verdict {
+        let query = match applab_sparql::parse_query(text) {
+            Ok(q) => q,
+            // All engines share the parser; a parse failure cannot
+            // discriminate between them. It is still a generator defect,
+            // so surface it loudly.
+            Err(e) => return Verdict::Disagree(format!("generated query does not parse: {e}")),
+        };
+        let slice_mode = query.limit.is_some() || query.offset > 0;
+
+        let mut canons: Vec<(usize, Canon)> = Vec::new();
+        let mut errors: Vec<(usize, String)> = Vec::new();
+        // An index loop on purpose: idx names the engine in both arms and
+        // feeds eval_engine; iterating ENGINES would still need it.
+        #[allow(clippy::needless_range_loop)]
+        for idx in 0..ENGINES.len() {
+            match self.eval_engine(idx, text, &query) {
+                Ok(r) => match canon_via_json(&r) {
+                    Ok(c) => canons.push((idx, c)),
+                    Err(e) => {
+                        return Verdict::Disagree(format!("{}: {e}", ENGINES[idx]));
+                    }
+                },
+                Err(e) => errors.push((idx, e)),
+            }
+        }
+        if canons.is_empty() {
+            let (idx, e) = &errors[0];
+            return Verdict::AgreeError(format!("{}: {e}", ENGINES[*idx]));
+        }
+        if !errors.is_empty() {
+            let (eidx, e) = &errors[0];
+            let (oidx, _) = &canons[0];
+            return Verdict::Disagree(format!(
+                "{} errored ({e}) while {} answered",
+                ENGINES[*eidx], ENGINES[*oidx]
+            ));
+        }
+
+        if !slice_mode {
+            let (_, reference_canon) = &canons[0];
+            for (idx, c) in &canons[1..] {
+                if let Some(d) = diff(reference_canon, c) {
+                    return Verdict::Disagree(format!("reference vs {}: {d}", ENGINES[*idx]));
+                }
+            }
+            return Verdict::Agree;
+        }
+
+        // Slice mode: compare every engine against the unlimited
+        // reference answer.
+        let mut unlimited = query.clone();
+        unlimited.limit = None;
+        unlimited.offset = 0;
+        let full = match reference::evaluate(&self.engines.store, &unlimited) {
+            Ok(r) => canonicalize(&r),
+            Err(e) => return Verdict::Disagree(format!("unlimited reference run failed: {e}")),
+        };
+        let expected = query
+            .limit
+            .unwrap_or(usize::MAX)
+            .min(full.len().saturating_sub(query.offset));
+        for (idx, c) in &canons {
+            if c.len() != expected {
+                return Verdict::Disagree(format!(
+                    "{}: slice of {} rows, expected {expected} (full {} rows, limit {:?} offset {})",
+                    ENGINES[*idx],
+                    c.len(),
+                    full.len(),
+                    query.limit,
+                    query.offset
+                ));
+            }
+            if !is_multiset_subset(c, &full) {
+                return Verdict::Disagree(format!(
+                    "{}: slice is not contained in the unlimited reference answer",
+                    ENGINES[*idx]
+                ));
+            }
+        }
+        Verdict::Agree
+    }
+
+    /// Convenience: render an IR and run it.
+    pub fn run_ir(&self, ir: &QueryIr) -> Verdict {
+        self.run_text(&ir.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handwritten_queries_agree() {
+        let h = Harness::new(DatasetSpec::small(11)).unwrap();
+        for q in [
+            "SELECT ?s ?w WHERE { ?s a clc:CorineArea ; geo:hasGeometry ?g . ?g geo:asWKT ?w }",
+            "SELECT ?s (COUNT(*) AS ?n) WHERE { ?s a gadm:AdministrativeUnit } GROUP BY ?s",
+            "ASK WHERE { ?s osm:poiType osm:park }",
+            "SELECT ?s ?lai WHERE { ?s lai:hasLai ?lai . FILTER(?lai > 1.0) }",
+            "SELECT ?s WHERE { ?s a ua:UrbanAtlasArea } ORDER BY ?s LIMIT 3",
+        ] {
+            assert_eq!(h.run_text(q), Verdict::Agree, "query {q}");
+        }
+    }
+
+    #[test]
+    fn a_broken_query_is_reported_not_panicked() {
+        let h = Harness::new(DatasetSpec::small(11)).unwrap();
+        let v = h.run_text("SELECT ?x WHERE { ?x osm:nope ?y . FILTER(?y");
+        assert!(v.is_disagreement(), "parse failures surface loudly: {v:?}");
+    }
+}

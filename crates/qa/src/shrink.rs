@@ -1,0 +1,229 @@
+//! Greedy input shrinking: reduce a failing (query, dataset) pair to a
+//! locally-minimal one that still fails.
+//!
+//! The shrinker proposes structural edits — drop a pattern element,
+//! unwrap an OPTIONAL, keep one UNION branch, drop a FILTER conjunct,
+//! strip solution modifiers, shrink the world, drop tables — and greedily
+//! applies any edit under which the failure predicate still fires,
+//! until no edit helps. The predicate re-runs the full harness, so a
+//! shrunk case is failing *for the same observable reason class* (any
+//! disagreement), which is what a regression corpus needs.
+
+use crate::dataset::DatasetSpec;
+use crate::gen::{Elem, QueryIr, SelectItem};
+
+/// Result of a shrink run.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    pub ir: QueryIr,
+    pub spec: DatasetSpec,
+    /// Number of accepted shrink steps.
+    pub steps: usize,
+}
+
+/// Candidate edits of the dataset, cheapest savings first.
+fn dataset_candidates(spec: &DatasetSpec) -> Vec<DatasetSpec> {
+    let mut out = Vec::new();
+    if spec.times > 1 {
+        let mut s = spec.clone();
+        s.times = 1;
+        out.push(s);
+    }
+    if spec.resolution > 2 {
+        let mut s = spec.clone();
+        s.resolution = (spec.resolution / 2).max(2);
+        out.push(s);
+    }
+    if spec.cells > 2 {
+        let mut s = spec.clone();
+        s.cells = (spec.cells / 2).max(2);
+        out.push(s);
+    }
+    if spec.grid && !spec.tables.is_empty() {
+        let mut s = spec.clone();
+        s.grid = false;
+        out.push(s);
+    }
+    for i in 0..spec.tables.len() {
+        if spec.tables.len() > 1 || spec.grid {
+            let mut s = spec.clone();
+            s.tables.remove(i);
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Candidate edits of the query. Every candidate is already sanitized.
+fn query_candidates(ir: &QueryIr) -> Vec<QueryIr> {
+    let mut out = Vec::new();
+    let mut push = |mut candidate: QueryIr| {
+        if candidate.sanitize() && candidate != *ir {
+            out.push(candidate);
+        }
+    };
+
+    for i in 0..ir.body.len() {
+        // Remove element i outright.
+        let mut c = ir.clone();
+        c.body.remove(i);
+        push(c);
+        match &ir.body[i] {
+            Elem::Optional(inner) => {
+                // Unwrap: make the optional part mandatory.
+                let mut c = ir.clone();
+                let inner = inner.clone();
+                c.body.splice(i..=i, inner);
+                push(c);
+            }
+            Elem::Union(a, b) => {
+                for branch in [a.clone(), b.clone()] {
+                    let mut c = ir.clone();
+                    c.body.splice(i..=i, branch);
+                    push(c);
+                }
+            }
+            Elem::Filter(cs) if cs.len() >= 2 => {
+                for j in 0..cs.len() {
+                    let mut c = ir.clone();
+                    if let Elem::Filter(cs) = &mut c.body[i] {
+                        cs.remove(j);
+                    }
+                    push(c);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if ir.limit.is_some() || ir.offset > 0 {
+        let mut c = ir.clone();
+        c.limit = None;
+        c.offset = 0;
+        push(c);
+    }
+    if ir.distinct {
+        let mut c = ir.clone();
+        c.distinct = false;
+        push(c);
+    }
+    if !ir.order_by.is_empty() {
+        let mut c = ir.clone();
+        c.order_by.clear();
+        push(c);
+    }
+    if ir.has_aggregates() {
+        // Try the plain (non-aggregated) projection of the same body.
+        let mut c = ir.clone();
+        c.select.clear();
+        c.group_by.clear();
+        push(c);
+    } else if ir.select.len() > 1 {
+        for i in 0..ir.select.len() {
+            let mut c = ir.clone();
+            c.select.remove(i);
+            push(c);
+        }
+    } else if !ir.select.is_empty() {
+        let mut c = ir.clone();
+        c.select.clear();
+        push(c);
+    }
+    if ir.has_aggregates() && ir.select.len() > 1 {
+        for i in 0..ir.select.len() {
+            if matches!(ir.select[i], SelectItem::Agg { .. }) {
+                let mut c = ir.clone();
+                c.select.remove(i);
+                push(c);
+            }
+        }
+    }
+    out
+}
+
+/// Greedily shrink `(ir, spec)` while `fails` keeps returning `true`.
+///
+/// `fails` receives a candidate pair and must rebuild whatever state it
+/// needs (the harness rebuilds engines when the spec changed). The
+/// original pair is assumed failing; the result is locally minimal under
+/// the edit set, reached in at most `max_steps` accepted edits.
+pub fn shrink(
+    ir: &QueryIr,
+    spec: &DatasetSpec,
+    max_steps: usize,
+    fails: &mut dyn FnMut(&QueryIr, &DatasetSpec) -> bool,
+) -> Shrunk {
+    let mut current = Shrunk {
+        ir: ir.clone(),
+        spec: spec.clone(),
+        steps: 0,
+    };
+    loop {
+        if current.steps >= max_steps {
+            return current;
+        }
+        let mut advanced = false;
+        for candidate in query_candidates(&current.ir) {
+            if fails(&candidate, &current.spec) {
+                current.ir = candidate;
+                current.steps += 1;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            for candidate in dataset_candidates(&current.spec) {
+                if fails(&current.ir, &candidate) {
+                    current.spec = candidate;
+                    current.steps += 1;
+                    advanced = true;
+                    break;
+                }
+            }
+        }
+        if !advanced {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Table;
+    use crate::gen::{case_seed, generate};
+
+    /// A synthetic failure: "fails whenever the body mentions lai:hasLai".
+    /// The shrinker must reduce any failing case to its minimal core —
+    /// a single-triple body over a grid-only dataset.
+    #[test]
+    fn shrinks_to_the_minimal_failing_core() {
+        let spec = DatasetSpec::small(4);
+        fn mentions_lai(elems: &[Elem]) -> bool {
+            elems.iter().any(|e| match e {
+                Elem::Triple(_, p, _) => p == "lai:hasLai",
+                Elem::Optional(inner) => mentions_lai(inner),
+                Elem::Union(a, b) => mentions_lai(a) || mentions_lai(b),
+                _ => false,
+            })
+        }
+        let mut fails = |ir: &QueryIr, spec: &DatasetSpec| spec.grid && mentions_lai(&ir.body);
+
+        // Find a failing generated case first.
+        let failing = (0..500)
+            .map(|i| generate(case_seed(9, i), &spec))
+            .find(|ir| fails(ir, &spec))
+            .expect("500 cases include a lai:hasLai query");
+
+        let shrunk = shrink(&failing, &spec, 200, &mut fails);
+        assert!(fails(&shrunk.ir, &shrunk.spec), "shrunk case still fails");
+        assert_eq!(
+            shrunk.ir.body.len(),
+            1,
+            "body reduced to the one guilty triple: {:?}",
+            shrunk.ir.body
+        );
+        assert!(shrunk.spec.tables.len() < Table::ALL.len() || shrunk.spec.cells <= 2);
+        assert!(shrunk.steps > 0);
+    }
+}

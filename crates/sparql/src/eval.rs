@@ -218,6 +218,31 @@ impl Default for EvalOptions {
     }
 }
 
+impl EvalOptions {
+    /// Options that pin evaluation to the sequential probe path regardless
+    /// of input size or host core count. Differential harnesses use this to
+    /// make "the sequential pipeline" a reproducible engine configuration.
+    pub fn sequential() -> Self {
+        EvalOptions {
+            parallel_probe_threshold: usize::MAX,
+            parallel_workers: None,
+            ..EvalOptions::default()
+        }
+    }
+
+    /// Options that force every hash join to probe in parallel with exactly
+    /// `workers` scoped threads, even on single-core hosts and tiny inputs.
+    /// The counterpart of [`EvalOptions::sequential`] for differential
+    /// testing: both paths must produce identical output.
+    pub fn forced_parallel(workers: usize) -> Self {
+        EvalOptions {
+            parallel_probe_threshold: 1,
+            parallel_workers: Some(workers.max(2)),
+            ..EvalOptions::default()
+        }
+    }
+}
+
 /// Evaluate a query against a source with default options.
 pub fn evaluate(source: &dyn GraphSource, query: &Query) -> Result<QueryResults, EvalError> {
     evaluate_with(source, query, &EvalOptions::default())
@@ -1513,7 +1538,7 @@ pub(crate) fn aggregate_values(
         Aggregate::Count => Some(Literal::integer(values.len() as i64).into()),
         Aggregate::Sample => values.into_iter().next(),
         Aggregate::Sum | Aggregate::Avg => {
-            let nums: Vec<f64> = values
+            let mut nums: Vec<f64> = values
                 .iter()
                 .filter_map(|t| t.as_literal().and_then(Literal::as_f64))
                 .collect();
@@ -1524,6 +1549,11 @@ pub(crate) fn aggregate_values(
                     None
                 };
             }
+            // Engines deliver group members in different (all legal) orders
+            // and f64 addition is not associative, so reduce in a canonical
+            // order: the sum depends only on the value multiset, never on
+            // the evaluation strategy that produced it.
+            nums.sort_by(f64::total_cmp);
             let sum: f64 = nums.iter().sum();
             let out = if agg == Aggregate::Sum {
                 sum
@@ -1538,7 +1568,12 @@ pub(crate) fn aggregate_values(
                 best = match best {
                     None => Some(v),
                     Some(b) => {
+                        // Distinct terms can compare Equal (e.g. "1"^^xsd:int
+                        // vs "1.0"^^xsd:double); break the tie on the printed
+                        // form so the winner is order-independent across
+                        // engines.
                         let ord = compare_terms(&v, &b)
+                            .filter(|o| *o != std::cmp::Ordering::Equal)
                             .unwrap_or_else(|| v.to_string().cmp(&b.to_string()));
                         if (agg == Aggregate::Min && ord == std::cmp::Ordering::Less)
                             || (agg == Aggregate::Max && ord == std::cmp::Ordering::Greater)

@@ -34,7 +34,7 @@ pub mod source;
 pub use algebra::{Expression, GraphPattern, Query, QueryForm, TermPattern, TriplePattern};
 pub use eval::{evaluate, evaluate_with, Budget, EvalError, EvalOptions};
 pub use parser::{parse_query, ParseError};
-pub use results::{QueryResults, Row};
+pub use results::{JsonParseError, QueryResults, Row};
 pub use source::{GraphSource, IdAccess};
 
 /// Parse and evaluate a query against a source in one call.

@@ -490,6 +490,8 @@ impl<'a> Parser<'a> {
         if self.keyword("SELECT")? {
             self.parse_select()
         } else if self.keyword("ASK")? {
+            // The WHERE keyword is optional in ASK, as in SELECT.
+            self.keyword("WHERE")?;
             let pattern = self.parse_group()?;
             Ok(Query {
                 form: QueryForm::Ask,

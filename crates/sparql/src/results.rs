@@ -172,6 +172,21 @@ impl QueryResults {
         out
     }
 
+    /// Parse a W3C SPARQL 1.1 Query Results JSON document (the inverse of
+    /// [`QueryResults::to_json`], used by the QA differential diff so every
+    /// compared result has round-tripped through the wire format).
+    ///
+    /// `{"head":{},"boolean":b}` parses to [`QueryResults::Boolean`];
+    /// anything with a `head.vars` list parses to
+    /// [`QueryResults::Solutions`] — including serialized CONSTRUCT graphs,
+    /// which `to_json` encodes as `subject`/`predicate`/`object` solutions
+    /// (the encoding is not self-describing, so the graph form is not
+    /// reconstructed). Binding objects omit unbound variables; they come
+    /// back as `None`. Keys not defined by the format are rejected.
+    pub fn from_json(text: &str) -> Result<QueryResults, JsonParseError> {
+        json::parse_results(text)
+    }
+
     /// Serialize SELECT solutions as TSV with full term syntax.
     pub fn to_tsv(&self) -> String {
         let (variables, rows) = match self {
@@ -198,6 +213,327 @@ impl QueryResults {
             out.push('\n');
         }
         out
+    }
+}
+
+/// Error parsing a SPARQL results JSON document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError(pub String);
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid SPARQL results JSON: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// A hand-rolled parser for the results JSON subset `to_json` emits. The
+/// workspace has no JSON dependency; the format is small enough that a
+/// recursive-descent reader over the generic JSON grammar is ~150 lines.
+mod json {
+    use super::{JsonParseError, QueryResults, Row};
+    use applab_rdf::{BlankNode, Literal, NamedNode, Term};
+    use std::collections::BTreeMap;
+
+    /// Generic JSON value (object keys keep insertion irrelevant — the
+    /// results format never relies on duplicate or ordered keys).
+    enum Value {
+        Null,
+        Bool(bool),
+        /// Numbers never occur in the results format; parsed and discarded
+        /// so structurally valid JSON still gets a shape-level error.
+        Number,
+        String(String),
+        Array(Vec<Value>),
+        Object(BTreeMap<String, Value>),
+    }
+
+    struct Reader<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        fn err<T>(&self, msg: impl Into<String>) -> Result<T, JsonParseError> {
+            Err(JsonParseError(format!(
+                "{} at byte {}",
+                msg.into(),
+                self.pos
+            )))
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn eat(&mut self, c: u8) -> Result<(), JsonParseError> {
+            self.skip_ws();
+            if self.bytes.get(self.pos) == Some(&c) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                self.err(format!("expected {:?}", c as char))
+            }
+        }
+
+        fn peek(&mut self) -> Option<u8> {
+            self.skip_ws();
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn value(&mut self) -> Result<Value, JsonParseError> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::String(self.string()?)),
+                Some(b't') => self.literal_word("true", Value::Bool(true)),
+                Some(b'f') => self.literal_word("false", Value::Bool(false)),
+                Some(b'n') => self.literal_word("null", Value::Null),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                _ => self.err("expected a JSON value"),
+            }
+        }
+
+        fn literal_word(&mut self, word: &str, v: Value) -> Result<Value, JsonParseError> {
+            self.skip_ws();
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(v)
+            } else {
+                self.err(format!("expected {word}"))
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, JsonParseError> {
+            self.skip_ws();
+            let start = self.pos;
+            while matches!(
+                self.bytes.get(self.pos),
+                Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+            ) {
+                self.pos += 1;
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(|_| Value::Number)
+                .ok_or_else(|| JsonParseError(format!("bad number at byte {start}")))
+        }
+
+        fn string(&mut self) -> Result<String, JsonParseError> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.bytes.get(self.pos) {
+                    None => return self.err("unterminated string"),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.bytes.get(self.pos) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok());
+                                let Some(code) = hex else {
+                                    return self.err("bad \\u escape");
+                                };
+                                // Surrogate pairs: to_json never emits them
+                                // (it only escapes control chars), but
+                                // accept them for robustness.
+                                let c = if (0xD800..0xDC00).contains(&code) {
+                                    let low = self
+                                        .bytes
+                                        .get(self.pos + 5..self.pos + 11)
+                                        .filter(|t| t.starts_with(b"\\u"))
+                                        .and_then(|t| std::str::from_utf8(&t[2..]).ok())
+                                        .and_then(|h| u32::from_str_radix(h, 16).ok());
+                                    let Some(low) = low else {
+                                        return self.err("lone high surrogate");
+                                    };
+                                    self.pos += 6;
+                                    0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                                } else {
+                                    code
+                                };
+                                match char::from_u32(c) {
+                                    Some(c) => out.push(c),
+                                    None => return self.err("bad unicode escape"),
+                                }
+                                self.pos += 4;
+                            }
+                            _ => return self.err("bad escape"),
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume the whole run up to the next quote or
+                        // escape in one go; validating per character would
+                        // make large result sets quadratic to parse.
+                        let start = self.pos;
+                        while !matches!(self.bytes.get(self.pos), None | Some(b'"' | b'\\')) {
+                            self.pos += 1;
+                        }
+                        let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| JsonParseError("invalid UTF-8".into()))?;
+                        out.push_str(chunk);
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, JsonParseError> {
+            self.eat(b'[')?;
+            let mut out = Vec::new();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(out));
+            }
+            loop {
+                out.push(self.value()?);
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Array(out));
+                    }
+                    _ => return self.err("expected ',' or ']'"),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, JsonParseError> {
+            self.eat(b'{')?;
+            let mut out = BTreeMap::new();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(out));
+            }
+            loop {
+                let key = self.string()?;
+                self.eat(b':')?;
+                out.insert(key, self.value()?);
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(out));
+                    }
+                    _ => return self.err("expected ',' or '}'"),
+                }
+            }
+        }
+    }
+
+    fn term(binding: &BTreeMap<String, Value>) -> Result<Term, JsonParseError> {
+        let get_str = |key: &str| -> Option<&str> {
+            match binding.get(key) {
+                Some(Value::String(s)) => Some(s),
+                _ => None,
+            }
+        };
+        let value = get_str("value")
+            .ok_or_else(|| JsonParseError("binding without string \"value\"".into()))?;
+        match get_str("type") {
+            Some("uri") => Ok(Term::Named(NamedNode::new(value))),
+            Some("bnode") => Ok(Term::Blank(BlankNode::new(value))),
+            Some("literal") => {
+                if let Some(lang) = get_str("xml:lang") {
+                    Ok(Literal::lang(value, lang).into())
+                } else if let Some(dt) = get_str("datatype") {
+                    Ok(Literal::typed(value, NamedNode::new(dt)).into())
+                } else {
+                    Ok(Literal::string(value).into())
+                }
+            }
+            other => Err(JsonParseError(format!("bad term type {other:?}"))),
+        }
+    }
+
+    pub(super) fn parse_results(text: &str) -> Result<QueryResults, JsonParseError> {
+        let mut reader = Reader {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let top = reader.value()?;
+        reader.skip_ws();
+        if reader.pos != reader.bytes.len() {
+            return reader.err("trailing input after document");
+        }
+        let Value::Object(doc) = top else {
+            return Err(JsonParseError("document is not an object".into()));
+        };
+        if let Some(v) = doc.get("boolean") {
+            return match v {
+                Value::Bool(b) => Ok(QueryResults::Boolean(*b)),
+                _ => Err(JsonParseError("\"boolean\" is not a bool".into())),
+            };
+        }
+        let vars: Vec<String> = match doc.get("head") {
+            Some(Value::Object(head)) => match head.get("vars") {
+                Some(Value::Array(vs)) => vs
+                    .iter()
+                    .map(|v| match v {
+                        Value::String(s) => Ok(s.clone()),
+                        _ => Err(JsonParseError("head.vars entry is not a string".into())),
+                    })
+                    .collect::<Result<_, _>>()?,
+                _ => return Err(JsonParseError("head has no vars list".into())),
+            },
+            _ => return Err(JsonParseError("document has no head object".into())),
+        };
+        let bindings = match doc.get("results") {
+            Some(Value::Object(results)) => match results.get("bindings") {
+                Some(Value::Array(bs)) => bs,
+                _ => return Err(JsonParseError("results has no bindings list".into())),
+            },
+            _ => return Err(JsonParseError("document has no results object".into())),
+        };
+        let mut rows = Vec::with_capacity(bindings.len());
+        for b in bindings {
+            let Value::Object(b) = b else {
+                return Err(JsonParseError("binding is not an object".into()));
+            };
+            for key in b.keys() {
+                if !vars.iter().any(|v| v == key) {
+                    return Err(JsonParseError(format!(
+                        "binding variable {key:?} is not in head.vars"
+                    )));
+                }
+            }
+            let mut values = Vec::with_capacity(vars.len());
+            for v in &vars {
+                match b.get(v) {
+                    None => values.push(None),
+                    Some(Value::Object(t)) => values.push(Some(term(t)?)),
+                    Some(_) => {
+                        return Err(JsonParseError(format!(
+                            "binding for {v:?} is not an object"
+                        )))
+                    }
+                }
+            }
+            rows.push(Row { values });
+        }
+        Ok(QueryResults::Solutions {
+            variables: vars,
+            rows,
+        })
     }
 }
 
@@ -344,6 +680,64 @@ mod tests {
                 "\"label\":{\"type\":\"literal\",\"value\":\"plain\"}}",
                 "]}}"
             )
+        );
+    }
+
+    #[test]
+    fn json_round_trip_covers_every_term_kind() {
+        let r = QueryResults::Solutions {
+            variables: vec!["s".into(), "label".into(), "lai".into()],
+            rows: vec![
+                Row {
+                    values: vec![
+                        Some(Term::named("http://ex.org/p1")),
+                        Some(Literal::lang("Bois de \"Boulogne\"\n\t", "fr").into()),
+                        Some(Literal::float(3.5).into()),
+                    ],
+                },
+                Row {
+                    values: vec![
+                        Some(Term::Blank(applab_rdf::BlankNode::new("b0"))),
+                        Some(Literal::string("plain ünïcode").into()),
+                        None,
+                    ],
+                },
+            ],
+        };
+        assert_eq!(QueryResults::from_json(&r.to_json()).unwrap(), r);
+        assert_eq!(
+            QueryResults::from_json("{\"head\":{},\"boolean\":true}").unwrap(),
+            QueryResults::Boolean(true)
+        );
+    }
+
+    #[test]
+    fn json_parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "[]",
+            "{\"head\":{}}",
+            "{\"head\":{\"vars\":[1]},\"results\":{\"bindings\":[]}}",
+            "{\"head\":{\"vars\":[\"v\"]},\"results\":{}}",
+            // Binding for a variable not in head.vars.
+            "{\"head\":{\"vars\":[\"v\"]},\"results\":{\"bindings\":[{\"w\":{\"type\":\"uri\",\"value\":\"http://x\"}}]}}",
+            // Unknown term type.
+            "{\"head\":{\"vars\":[\"v\"]},\"results\":{\"bindings\":[{\"v\":{\"type\":\"triple\",\"value\":\"x\"}}]}}",
+            // Trailing garbage.
+            "{\"head\":{},\"boolean\":true} extra",
+            "{\"head\":{\"vars\":[\"v\"]},\"results\":{\"bindings\":[{\"v\":{\"type\":\"literal\",\"value\":\"unterminated",
+        ] {
+            assert!(QueryResults::from_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_surrogates() {
+        let doc = "{\"head\":{\"vars\":[\"v\"]},\"results\":{\"bindings\":[{\"v\":{\"type\":\"literal\",\"value\":\"a\\u0007b\\ud83d\\ude00c\\\\d\"}}]}}";
+        let r = QueryResults::from_json(doc).unwrap();
+        assert_eq!(
+            r.value(0, "v").unwrap().as_literal().unwrap().value(),
+            "a\u{7}b😀c\\d"
         );
     }
 

@@ -1,0 +1,74 @@
+//! The pinned QA corpus: every `qa/corpus/*.ron` case replays through all
+//! engines (reference, hash-join pipeline sequential + parallel, virtual
+//! workflow) forever. Each case is a shrunk witness of a bug the
+//! differential harness once found; a regression here means an old bug
+//! came back.
+//!
+//! New cases are added by `exp_qa` (in `applab-bench`): any disagreement
+//! it finds is shrunk and written out as a replayable `.ron` artifact —
+//! move the artifact into `qa/corpus/` once the underlying bug is fixed.
+
+use applab_qa::{load_dir, CorpusCase, DatasetSpec, Harness, Verdict};
+use std::path::Path;
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("qa/corpus")
+}
+
+#[test]
+fn corpus_cases_agree_across_all_engines() {
+    let cases = load_dir(&corpus_dir()).expect("corpus loads");
+    assert!(
+        cases.len() >= 3,
+        "the corpus must keep at least three shrunk cases, found {}",
+        cases.len()
+    );
+    // Cases sharing a dataset reuse one harness build.
+    let mut cache: Option<(DatasetSpec, Harness)> = None;
+    for (path, case) in &cases {
+        if cache.as_ref().is_none_or(|(s, _)| s != &case.dataset) {
+            let h = Harness::new(case.dataset.clone())
+                .unwrap_or_else(|e| panic!("{}: dataset builds: {e}", path.display()));
+            cache = Some((case.dataset.clone(), h));
+        }
+        let (_, h) = cache.as_ref().expect("cache populated above");
+        let verdict = h.run_text(&case.query);
+        assert_eq!(
+            verdict,
+            Verdict::Agree,
+            "{}: regression — this case pins: {}",
+            path.display(),
+            case.note
+        );
+    }
+}
+
+#[test]
+fn corpus_files_are_well_formed_and_stable() {
+    let cases = load_dir(&corpus_dir()).expect("corpus loads");
+    for (path, case) in &cases {
+        let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+        assert_eq!(
+            case.name,
+            stem,
+            "{}: case name must match the file stem",
+            path.display()
+        );
+        assert!(
+            !case.note.trim().is_empty(),
+            "{}: every corpus case must say what it pins",
+            path.display()
+        );
+        // The on-disk text is exactly what the writer would emit, so
+        // regenerating a case never produces a spurious diff.
+        let text = std::fs::read_to_string(path).expect("corpus file reads");
+        assert_eq!(
+            case.to_ron(),
+            text,
+            "{}: file must be the to_ron fixed point",
+            path.display()
+        );
+        // And the round trip is lossless.
+        assert_eq!(&CorpusCase::from_ron(&text).unwrap(), case);
+    }
+}
