@@ -1,0 +1,29 @@
+use applab_sparql::QueryResults;
+
+fn probe(doc: &str, label: &str) {
+    let r = std::panic::catch_unwind(|| QueryResults::from_json(doc));
+    match r {
+        Ok(inner) => assert!(inner.is_err(), "{label}: must reject, got {inner:?}"),
+        Err(_) => panic!("{label}: from_json PANICKED on malformed input"),
+    }
+}
+
+#[test]
+fn malformed_surrogate_pairs_error_instead_of_panicking() {
+    // High surrogate followed by a \u escape that is NOT a low surrogate:
+    // exercises `low - 0xDC00` with low = 0x0041.
+    probe(
+        r#"{"head":{"vars":["v"]},"results":{"bindings":[{"v":{"type":"literal","value":"\uD800A"}}]}}"#,
+        "high-then-bmp",
+    );
+    // High surrogate followed by another high surrogate.
+    probe(
+        r#"{"head":{"vars":["v"]},"results":{"bindings":[{"v":{"type":"literal","value":"\uD800\uD800"}}]}}"#,
+        "high-then-high",
+    );
+    // High surrogate at end of string.
+    probe(
+        r#"{"head":{"vars":["v"]},"results":{"bindings":[{"v":{"type":"literal","value":"\uD800"}}]}}"#,
+        "lone-high",
+    );
+}
