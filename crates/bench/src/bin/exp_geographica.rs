@@ -15,7 +15,9 @@
 //! `BENCH_geographica.json`.
 
 use applab_bench::{geographica_queries, geographica_setup, print_table};
-use applab_sparql::{evaluate, parse_query, reference, GraphSource, Query, QueryResults};
+use applab_sparql::{
+    evaluate_with, parse_query, reference, EvalOptions, GraphSource, Query, QueryResults,
+};
 use std::time::Instant;
 
 fn count(r: &QueryResults) -> usize {
@@ -61,11 +63,21 @@ struct QueryReport {
 }
 
 fn main() {
-    let cells = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(28usize);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `--check-floors` turns the run into a CI gate: exit nonzero when any
+    // NonTopological class fails to beat the reference evaluator.
+    let check_floors = args.iter().any(|a| a == "--check-floors");
+    let cells = args.iter().find_map(|a| a.parse().ok()).unwrap_or(28usize);
     let reps = 5;
+    // The batch window is env-overridable so perf investigations can sweep
+    // it without a rebuild: APPLAB_BATCH_SIZE=7 exp_geographica.
+    let mut options = EvalOptions::default();
+    if let Ok(v) = std::env::var("APPLAB_BATCH_SIZE") {
+        options.batch_size = v
+            .parse()
+            .expect("APPLAB_BATCH_SIZE must be a positive integer");
+        println!("batch_size overridden to {}", options.batch_size);
+    }
     let setup = geographica_setup(2019, cells);
     println!(
         "mini-Geographica over {} triples (world {cells}×{cells})",
@@ -78,8 +90,9 @@ fn main() {
     let queries = geographica_queries();
     for (name, text) in &queries {
         let q: Query = parse_query(text).expect("static query");
-        let pipeline =
-            |source: &dyn GraphSource| count(&evaluate(source, &q).expect("query evaluates"));
+        let pipeline = |source: &dyn GraphSource| {
+            count(&evaluate_with(source, &q, &options).expect("query evaluates"))
+        };
         let (strabon_ns, rows) = median_ns(|| pipeline(&setup.strabon), reps);
         let (naive_ns, _) = median_ns(|| pipeline(&setup.naive), reps);
         let (ontop_ns, _) = median_ns(|| pipeline(&setup.ontop), reps);
@@ -194,4 +207,26 @@ fn main() {
     println!("\nwrote BENCH_geographica.json");
 
     applab_bench::dump_metrics("geographica");
+
+    if check_floors {
+        let mut failed = false;
+        for r in &reports {
+            if !r.name.starts_with("NonTopological") {
+                continue;
+            }
+            let speedup = r.reference_store_ns as f64 / r.strabon_ns as f64;
+            if speedup < 1.0 {
+                eprintln!(
+                    "FLOOR VIOLATION: {} pipeline_speedup_vs_reference {speedup:.2} < 1.0",
+                    r.name
+                );
+                failed = true;
+            } else {
+                println!("floor ok: {} at {speedup:.2}x vs reference", r.name);
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
 }

@@ -222,6 +222,22 @@ impl Span {
         }
     }
 
+    /// Record `key` as a per-second rate: `count` items divided by the time
+    /// elapsed since the span opened, rounded to a whole number. No-op on
+    /// disabled spans (tracing off).
+    pub fn record_rate(&mut self, key: &'static str, count: u64) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let secs = start.elapsed().as_secs_f64();
+        let rate = if secs > 0.0 {
+            (count as f64 / secs) as u64
+        } else {
+            0
+        };
+        self.record(key, rate);
+    }
+
     /// The context to hand to worker threads ([`child_of`]).
     pub fn context(&self) -> SpanContext {
         self.ctx

@@ -407,6 +407,36 @@ impl QueryIr {
         if self.offset > 0 {
             push("offset");
         }
+        // Batch-boundary coverage, measured against the batch windows the
+        // harness forces on the pipeline engines. A slice cut (OFFSET, or
+        // OFFSET+LIMIT) that is not a multiple of a window lands strictly
+        // inside a batch, so the slice must split a batch rather than drop
+        // whole ones.
+        if self.slice_mode() {
+            let cuts = [Some(self.offset), self.limit.map(|l| self.offset + l)];
+            let straddles = |cut: usize| {
+                cut > 0
+                    && crate::harness::HARNESS_BATCH_WINDOWS
+                        .iter()
+                        .any(|w| !cut.is_multiple_of(*w))
+            };
+            if cuts.iter().flatten().any(|&c| straddles(c)) {
+                push("limit_offset_batch_straddle");
+            }
+        }
+        // Grouped aggregation over a join fan-out: members of one group
+        // arrive interleaved across scan order, so with the harness's tiny
+        // windows group state must survive batch edges.
+        if !self.group_by.is_empty()
+            && self
+                .body
+                .iter()
+                .filter(|e| !matches!(e, Elem::Filter(_)))
+                .count()
+                >= 2
+        {
+            push("group_spans_batches");
+        }
         let optional_vars = {
             let mut inner = BTreeSet::new();
             for e in &self.body {
@@ -1077,6 +1107,8 @@ mod tests {
             "distinct",
             "ask",
             "optional_inner_filter",
+            "limit_offset_batch_straddle",
+            "group_spans_batches",
         ] {
             assert!(
                 seen.contains(must),

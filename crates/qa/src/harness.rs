@@ -45,6 +45,13 @@ impl Verdict {
 /// Engine labels, aligned with [`Harness::run_text`] internals.
 pub const ENGINES: [&str; 4] = ["reference", "pipeline-seq", "pipeline-par", "virtual"];
 
+/// The batch windows forced on the pipeline engines (`pipeline-seq`,
+/// `pipeline-par` in that order): deliberately tiny and coprime, so on
+/// the small generated datasets batch edges land inside every operator
+/// and at different rows for the two engines. `QueryIr::features`
+/// reports batch-boundary coverage against these same windows.
+pub const HARNESS_BATCH_WINDOWS: [usize; 2] = [7, 3];
+
 /// A differential harness bound to one dataset.
 pub struct Harness {
     pub engines: Engines,
@@ -72,17 +79,30 @@ impl Harness {
     }
 
     /// Evaluate on one engine by index (order of [`ENGINES`]).
+    ///
+    /// Both pipeline engines run with deliberately tiny (and different)
+    /// batch windows, so on the small generated datasets every FILTER,
+    /// LIMIT/OFFSET slice and GROUP BY constantly straddles batch
+    /// boundaries — the window size must never be observable.
     fn eval_engine(&self, idx: usize, text: &str, query: &Query) -> Result<QueryResults, String> {
         match idx {
             0 => reference::evaluate(&self.engines.store, query).map_err(|e| e.to_string()),
-            1 => {
-                applab_sparql::evaluate_with(&self.engines.store, query, &EvalOptions::sequential())
-                    .map_err(|e| e.to_string())
-            }
+            1 => applab_sparql::evaluate_with(
+                &self.engines.store,
+                query,
+                &EvalOptions {
+                    batch_size: HARNESS_BATCH_WINDOWS[0],
+                    ..EvalOptions::sequential()
+                },
+            )
+            .map_err(|e| e.to_string()),
             2 => applab_sparql::evaluate_with(
                 &self.engines.store,
                 query,
-                &EvalOptions::forced_parallel(3),
+                &EvalOptions {
+                    batch_size: HARNESS_BATCH_WINDOWS[1],
+                    ..EvalOptions::forced_parallel(3)
+                },
             )
             .map_err(|e| e.to_string()),
             3 => self

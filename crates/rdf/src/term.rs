@@ -73,12 +73,24 @@ pub struct Literal {
     language: Option<Arc<str>>,
 }
 
+/// One shared `NamedNode` per well-known datatype IRI: the typed-literal
+/// constructors below run in the query engine's per-row hot path, where
+/// re-interning the datatype string for every value is pure allocation
+/// churn — cloning a cached node is a reference-count bump.
+macro_rules! cached_datatype {
+    ($iri:expr) => {{
+        static NODE: std::sync::LazyLock<NamedNode> =
+            std::sync::LazyLock::new(|| NamedNode::new($iri));
+        NODE.clone()
+    }};
+}
+
 impl Literal {
     /// A plain `xsd:string` literal.
     pub fn string(value: impl Into<String>) -> Self {
         Literal {
             value: Arc::from(value.into()),
-            datatype: NamedNode::new(vocab::xsd::STRING),
+            datatype: cached_datatype!(vocab::xsd::STRING),
             language: None,
         }
     }
@@ -96,34 +108,34 @@ impl Literal {
     pub fn lang(value: impl Into<String>, language: impl Into<String>) -> Self {
         Literal {
             value: Arc::from(value.into()),
-            datatype: NamedNode::new(vocab::rdf::LANG_STRING),
+            datatype: cached_datatype!(vocab::rdf::LANG_STRING),
             language: Some(Arc::from(language.into())),
         }
     }
 
     pub fn integer(v: i64) -> Self {
-        Literal::typed(v.to_string(), NamedNode::new(vocab::xsd::INTEGER))
+        Literal::typed(v.to_string(), cached_datatype!(vocab::xsd::INTEGER))
     }
 
     pub fn double(v: f64) -> Self {
-        Literal::typed(v.to_string(), NamedNode::new(vocab::xsd::DOUBLE))
+        Literal::typed(v.to_string(), cached_datatype!(vocab::xsd::DOUBLE))
     }
 
     pub fn float(v: f64) -> Self {
-        Literal::typed(v.to_string(), NamedNode::new(vocab::xsd::FLOAT))
+        Literal::typed(v.to_string(), cached_datatype!(vocab::xsd::FLOAT))
     }
 
     pub fn boolean(v: bool) -> Self {
-        Literal::typed(v.to_string(), NamedNode::new(vocab::xsd::BOOLEAN))
+        Literal::typed(v.to_string(), cached_datatype!(vocab::xsd::BOOLEAN))
     }
 
     pub fn datetime(t: EpochSeconds) -> Self {
-        Literal::typed(format_datetime(t), NamedNode::new(vocab::xsd::DATE_TIME))
+        Literal::typed(format_datetime(t), cached_datatype!(vocab::xsd::DATE_TIME))
     }
 
     /// A GeoSPARQL `geo:wktLiteral`.
     pub fn wkt(wkt: impl Into<String>) -> Self {
-        Literal::typed(wkt, NamedNode::new(vocab::geo::WKT_LITERAL))
+        Literal::typed(wkt, cached_datatype!(vocab::geo::WKT_LITERAL))
     }
 
     pub fn value(&self) -> &str {

@@ -134,6 +134,22 @@ impl QueryOutcome {
     pub fn results(&self) -> Option<&QueryResults> {
         self.result.as_ref().ok()
     }
+
+    /// Stream the results as SPARQL JSON straight to `w` (the wire path
+    /// for HTTP responses). The serialization is flushed in bounded chunks
+    /// — see [`QueryResults::write_json`] — so the service never holds a
+    /// whole large result document in memory. Returns `Ok(true)` after
+    /// streaming, `Ok(false)` when there are no results to serialize
+    /// (rejected or failed queries write nothing).
+    pub fn write_json_results<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<bool> {
+        match &self.result {
+            Ok(results) => {
+                results.write_json(w)?;
+                Ok(true)
+            }
+            Err(_) => Ok(false),
+        }
+    }
 }
 
 /// A shared, thread-safe query service over named workflow endpoints.

@@ -1,12 +1,18 @@
-//! The query evaluator: a dictionary-encoded hash-join pipeline.
+//! The query evaluator: a dictionary-encoded, vectorized hash-join
+//! pipeline.
 //!
 //! Evaluation is bottom-up over [`GraphPattern`], but unlike a classic
-//! binding-at-a-time interpreter the intermediate solutions are compact
-//! **id rows**: one `Vec<Option<u64>>` per solution, indexed by a per-query
-//! variable table (`Slots`). Each triple pattern of a BGP is scanned
-//! exactly once into a match column; columns are then combined with hash
-//! joins on the shared variable slots, smallest (connected) column first.
-//! Terms are only decoded at FILTER / projection boundaries — late
+//! binding-at-a-time interpreter the intermediate solutions flow as
+//! **columnar batches** (`batch::Batch`): one fixed-width `u64`
+//! id column per variable slot plus a validity bitmap, indexed by a
+//! per-query variable table (`Slots`). Each triple pattern of a BGP is
+//! scanned exactly once into a batch (id-level sources emit whole columns
+//! directly); batches are then combined with hash joins on the shared
+//! variable slots, smallest (connected) batch first. A join builds one
+//! `(probe row, build row)` pair list and materializes the output with a
+//! single column-at-a-time gather; FILTER evaluates its compiled conjuncts
+//! over [`EvalOptions::batch_size`]-row windows and gathers the passing
+//! rows. Terms are only decoded at FILTER / projection boundaries — late
 //! materialization in the Strabon style.
 //!
 //! Sources that store triples as dictionary ids (the spatiotemporal store)
@@ -37,11 +43,15 @@ use crate::algebra::{
     Aggregate, Expression, GraphPattern, OrderKey, Projection, Query, QueryForm, TermPattern,
     TriplePattern,
 };
-use crate::expr::{compare_terms, eval_expr, eval_filter, Binding};
+use crate::batch::{merge_gather, Batch, ColumnBuilder};
+use crate::expr::{
+    compare_terms, eval_expr, eval_filter, geof_area_of, geof_convex_hull_of, Binding,
+};
 use crate::results::{QueryResults, Row};
-use crate::source::{GraphSource, IdAccess};
+use crate::source::{GraphSource, IdAccess, IdColumns};
 use applab_geo::{Envelope, Geometry, SpatialRelation};
 use applab_rdf::{vocab, Graph, Literal, NamedNode, Resource, Term, Triple};
+use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -204,6 +214,12 @@ pub struct EvalOptions {
     /// so single-core hosts stay sequential; setting `Some(n)` forces
     /// `n` workers regardless of the host's core count.
     pub parallel_workers: Option<usize>,
+    /// How many rows the vectorized operators process per batch window
+    /// (FILTER selection vectors, EXPLAIN batch counts). Any value ≥ 1
+    /// produces identical results — the knob trades selection-vector
+    /// memory high-water against per-window overhead. `0` is treated
+    /// as `1`.
+    pub batch_size: usize,
     /// The cooperative deadline / cancellation budget for this evaluation.
     pub budget: Budget,
 }
@@ -213,6 +229,7 @@ impl Default for EvalOptions {
         EvalOptions {
             parallel_probe_threshold: 4096,
             parallel_workers: None,
+            batch_size: 1024,
             budget: Budget::unlimited(),
         }
     }
@@ -273,16 +290,12 @@ pub fn evaluate_with(
         next_prov: n_real,
         interrupt: None,
     };
-    let id_rows = ev.eval_pattern(
-        &query.pattern,
-        vec![vec![None; width]],
-        &Constraints::default(),
-    );
+    let batch = ev.eval_pattern(&query.pattern, Batch::seed(width), &Constraints::default());
 
     let out = if let Some(e) = ev.interrupt.take() {
         Err(e)
     } else {
-        form_results(&mut ev, query, id_rows)
+        form_results(&mut ev, query, batch)
             // A deadline that trips during projection/aggregation still
             // fails the whole query: no partial results past this point.
             .and_then(|r| options.budget.check().map(|()| r))
@@ -306,14 +319,14 @@ pub fn evaluate_with(
     out
 }
 
-/// Shape the final id rows into the query-form-specific results.
+/// Shape the final solution batch into the query-form-specific results.
 fn form_results(
     ev: &mut Evaluator<'_>,
     query: &Query,
-    id_rows: Vec<IdRow>,
+    batch: Batch,
 ) -> Result<QueryResults, EvalError> {
     match &query.form {
-        QueryForm::Ask => Ok(QueryResults::Boolean(!id_rows.is_empty())),
+        QueryForm::Ask => Ok(QueryResults::Boolean(!batch.is_empty())),
         QueryForm::Construct { template } => {
             // Variables the template mentions, with their slots. Template
             // variables absent from the pattern stay unbound and become
@@ -329,8 +342,8 @@ fn form_results(
                 }
             }
             let mut g = Graph::new();
-            for (i, row) in id_rows.iter().enumerate() {
-                let b = ev.decode_binding(row, &tvars);
+            for i in 0..batch.len() {
+                let b = ev.decode_binding_at(&batch, i, &tvars);
                 for (j, t) in template.iter().enumerate() {
                     if let Some(triple) = instantiate(t, &b, i, j) {
                         g.insert(triple);
@@ -352,22 +365,23 @@ fn form_results(
 
             let grouped = has_aggregates || !group_by.is_empty();
             let mut proj_span = applab_obs::span(if grouped { "aggregate" } else { "project" });
-            proj_span.record("input_rows", id_rows.len());
+            proj_span.record("input_rows", batch.len());
+            let batch_size = ev.options.batch_size.max(1);
+            proj_span.record("batches", batch.len().div_ceil(batch_size).max(1) as u64);
 
             if grouped {
-                (variables, rows) = ev.aggregate_id_rows(&id_rows, projection, group_by)?;
+                (variables, rows) = ev.aggregate_batch(&batch, projection, group_by)?;
             } else if projection.is_empty() {
                 // SELECT *: every variable in the pattern, in pattern order.
                 variables = query.pattern.variables();
                 let var_slots: Vec<Option<usize>> =
                     variables.iter().map(|v| ev.slots.get(v)).collect();
-                rows = id_rows
-                    .iter()
-                    .map(|row| Row {
+                rows = (0..batch.len())
+                    .map(|i| Row {
                         values: var_slots
                             .iter()
                             .map(|s| {
-                                s.and_then(|s| row[s])
+                                s.and_then(|s| batch.get(i, s))
                                     .map(|id| ev.interner.decode(id).clone())
                             })
                             .collect(),
@@ -375,37 +389,64 @@ fn form_results(
                     .collect();
             } else {
                 variables = projection.iter().map(|p| p.name().to_string()).collect();
-                // Per-projection decode plan, computed once.
+                // Per-projection decode plan, computed once. Unary `geof:`
+                // calls on a plain variable get a vectorized path: the
+                // result term is computed once per distinct geometry id
+                // (via the per-id geometry cache) instead of decoding and
+                // re-parsing the WKT for every row.
                 enum Plan<'p> {
                     Slot(Option<usize>),
+                    GeofUnary(GeofUnaryOp, Option<usize>),
                     Expr(&'p Expression, Vec<(String, usize)>),
                 }
                 let plans: Vec<Plan> = projection
                     .iter()
                     .map(|p| match p {
                         Projection::Var(v) => Plan::Slot(ev.slots.get(v)),
-                        Projection::Expr(e, _) => Plan::Expr(e, ev.expr_slots(e)),
+                        Projection::Expr(e, _) => match classify_geof_unary(e, &ev.slots) {
+                            Some((op, slot)) => Plan::GeofUnary(op, slot),
+                            None => Plan::Expr(e, ev.expr_slots(e)),
+                        },
                         Projection::Aggregate(..) => unreachable!(),
                     })
                     .collect();
-                rows = id_rows
-                    .iter()
-                    .map(|row| Row {
-                        values: plans
-                            .iter()
-                            .map(|plan| match plan {
-                                Plan::Slot(s) => s
-                                    .and_then(|s| row[s])
-                                    .map(|id| ev.interner.decode(id).clone()),
-                                Plan::Expr(e, vars) => {
-                                    eval_expr(e, &ev.decode_binding(row, vars)).ok()
+                let mut memos: Vec<IdHashMap<u64, Option<Term>>> =
+                    plans.iter().map(|_| IdHashMap::default()).collect();
+                rows = Vec::with_capacity(batch.len());
+                for i in 0..batch.len() {
+                    let mut values = Vec::with_capacity(plans.len());
+                    for (plan, memo) in plans.iter().zip(&mut memos) {
+                        let v = match plan {
+                            Plan::Slot(s) => s
+                                .and_then(|s| batch.get(i, s))
+                                .map(|id| ev.interner.decode(id).clone()),
+                            Plan::GeofUnary(op, slot) => {
+                                match slot.and_then(|s| batch.get(i, s)) {
+                                    // Unbound argument: the generic path's
+                                    // eval error, i.e. an unbound value.
+                                    None => None,
+                                    // Hulls are costly enough to memoize per
+                                    // distinct id; the area and envelope
+                                    // kernels run off the cached geometry and
+                                    // are cheaper than the memo bookkeeping.
+                                    Some(id) if *op == GeofUnaryOp::ConvexHull => memo
+                                        .entry(id)
+                                        .or_insert_with(|| ev.geof_unary(*op, id))
+                                        .clone(),
+                                    Some(id) => ev.geof_unary(*op, id),
                                 }
-                            })
-                            .collect(),
-                    })
-                    .collect();
+                            }
+                            Plan::Expr(e, vars) => {
+                                eval_expr(e, &ev.decode_binding_at(&batch, i, vars)).ok()
+                            }
+                        };
+                        values.push(v);
+                    }
+                    rows.push(Row { values });
+                }
             }
             proj_span.record("rows", rows.len());
+            proj_span.record_rate("rows_per_sec", rows.len() as u64);
             drop(proj_span);
 
             // ORDER BY over the projected rows (pre-slice).
@@ -453,8 +494,69 @@ fn result_cardinality(results: &QueryResults) -> u64 {
     }
 }
 
-/// An intermediate solution: one optional id per variable slot.
-type IdRow = Vec<Option<u64>>;
+/// A unary `geof:` projection eligible for the vectorized per-id path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GeofUnaryOp {
+    Area,
+    Envelope,
+    ConvexHull,
+}
+
+/// The WKT of an envelope's rectangle — byte-identical to serializing
+/// `Polygon::rect(min_x, min_y, max_x, max_y)` through `write_wkt`, but
+/// formatting each of the four distinct coordinates once instead of ten
+/// times (float formatting dominates `geof:envelope` projections).
+fn rect_wkt(e: &Envelope) -> String {
+    use std::fmt::Write;
+    // All four coordinates formatted once into one scratch buffer, then
+    // assembled by slice: two allocations per call total.
+    let mut scratch = String::with_capacity(96);
+    let _ = write!(scratch, "{}", e.min_x);
+    let ex0 = scratch.len();
+    let _ = write!(scratch, "{}", e.min_y);
+    let ey0 = scratch.len();
+    let _ = write!(scratch, "{}", e.max_x);
+    let ex1 = scratch.len();
+    let _ = write!(scratch, "{}", e.max_y);
+    let (x0, y0) = (&scratch[..ex0], &scratch[ex0..ey0]);
+    let (x1, y1) = (&scratch[ey0..ex1], &scratch[ex1..]);
+    let mut out = String::with_capacity(22 + 2 * scratch.len() + ex0 + (ey0 - ex0));
+    out.push_str("POLYGON ((");
+    for (i, (x, y)) in [(x0, y0), (x1, y0), (x1, y1), (x0, y1), (x0, y0)]
+        .into_iter()
+        .enumerate()
+    {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(x);
+        out.push(' ');
+        out.push_str(y);
+    }
+    out.push_str("))");
+    out
+}
+
+/// Recognize `geof:area(?v)` / `geof:envelope(?v)` / `geof:convexHull(?v)`
+/// with exactly one plain-variable argument. Anything else (extra
+/// arguments, nested expressions) must go through the generic interpreter
+/// so its own evaluation errors propagate per row.
+fn classify_geof_unary(e: &Expression, slots: &Slots) -> Option<(GeofUnaryOp, Option<usize>)> {
+    let Expression::Call(f, args) = e else {
+        return None;
+    };
+    let local = f.as_str().strip_prefix(vocab::geof::NS)?;
+    let op = match local {
+        "area" => GeofUnaryOp::Area,
+        "envelope" => GeofUnaryOp::Envelope,
+        "convexHull" => GeofUnaryOp::ConvexHull,
+        _ => return None,
+    };
+    let [Expression::Var(v)] = args.as_slice() else {
+        return None;
+    };
+    Some((op, slots.get(v)))
+}
 
 /// The per-query variable table. Real (named) slots come first, in
 /// [`GraphPattern::variables`] order; the remaining slots are anonymous
@@ -590,14 +692,32 @@ fn spatial_check(
     rel.evaluate(a, b)
 }
 
+/// One entry of the per-id geometry cache. Native entries borrow the
+/// source's pre-parsed geometry table ([`IdAccess::geometry`]) — zero
+/// parsing and zero copies; local entries own the parse result of a
+/// query-local term (`None` caches a parse failure or non-geometry term).
+enum GeomEntry<'a> {
+    Native(&'a (Geometry, Envelope)),
+    Local(Option<Box<(Geometry, Envelope)>>),
+}
+
+impl<'a> GeomEntry<'a> {
+    #[inline]
+    fn get(&self) -> Option<&(Geometry, Envelope)> {
+        match self {
+            GeomEntry::Native(g) => Some(g),
+            GeomEntry::Local(o) => o.as_deref(),
+        }
+    }
+}
+
 struct Evaluator<'a> {
     source: &'a dyn GraphSource,
     interner: Interner<'a>,
     slots: Slots,
     options: &'a EvalOptions,
-    /// Per-id parsed geometry (with envelope); `None` caches a parse
-    /// failure or non-geometry term.
-    geometries: IdHashMap<u64, Option<(Geometry, Envelope)>>,
+    /// Per-id parsed geometry (with envelope).
+    geometries: IdHashMap<u64, GeomEntry<'a>>,
     /// Next free provenance slot (see [`Slots`]).
     next_prov: usize,
     /// Set when the budget trips mid-evaluation. Operators then unwind
@@ -624,11 +744,12 @@ impl<'a> Evaluator<'a> {
     fn eval_pattern(
         &mut self,
         pattern: &GraphPattern,
-        input: Vec<IdRow>,
+        input: Batch,
         constraints: &Constraints,
-    ) -> Vec<IdRow> {
+    ) -> Batch {
+        let width = self.slots.width;
         if self.interrupted() {
-            return Vec::new();
+            return Batch::new(width);
         }
         match pattern {
             GraphPattern::Bgp(patterns) => self.eval_bgp(patterns, input, constraints),
@@ -650,24 +771,52 @@ impl<'a> Evaluator<'a> {
                         .and_modify(|r| *r = (r.0.max(s), r.1.min(e)))
                         .or_insert((s, e));
                 }
-                let inner_rows = self.eval_pattern(inner, input, &merged);
+                let inner_batch = self.eval_pattern(inner, input, &merged);
+                let total = inner_batch.len();
                 let mut fspan = applab_obs::span("filter");
-                fspan.record("input_rows", inner_rows.len());
+                fspan.record("input_rows", total);
                 let compiled = self.compile_conjuncts(expr);
                 fspan.record("conjuncts", compiled.len());
-                let mut out = Vec::with_capacity(inner_rows.len());
-                'rows: for (n, row) in inner_rows.into_iter().enumerate() {
-                    if n % CHECK_INTERVAL == 0 && self.interrupted() {
-                        return Vec::new();
-                    }
-                    for c in &compiled {
-                        if !self.eval_conjunct(c, &row) {
-                            continue 'rows;
+                // The conjuncts are evaluated over `batch_size`-row windows:
+                // each window builds a selection vector of passing rows and
+                // gathers it into the output, so the selection memory
+                // high-water is one window regardless of input size.
+                let batch_size = self.options.batch_size.max(1);
+                fspan.record("batches", total.div_ceil(batch_size).max(1) as u64);
+                let mut out = Batch::new(width);
+                let mut sel: Vec<u32> = Vec::new();
+                let mut all_passed_single_window = false;
+                let mut start = 0usize;
+                while start < total {
+                    let end = start.saturating_add(batch_size).min(total);
+                    sel.clear();
+                    for i in start..end {
+                        if i % CHECK_INTERVAL == 0 && self.interrupted() {
+                            return Batch::new(width);
+                        }
+                        if compiled
+                            .iter()
+                            .all(|c| self.eval_conjunct(c, &inner_batch, i))
+                        {
+                            sel.push(i as u32);
                         }
                     }
-                    out.push(row);
+                    if end == total && start == 0 && sel.len() == total {
+                        // Everything passed in a single window: the input
+                        // batch is the output, no copy.
+                        all_passed_single_window = true;
+                        break;
+                    }
+                    out.append_gather(&inner_batch, &sel);
+                    start = end;
                 }
+                let out = if all_passed_single_window {
+                    inner_batch
+                } else {
+                    out
+                };
                 fspan.record("rows", out.len());
+                fspan.record_rate("rows_per_sec", total as u64);
                 out
             }
             GraphPattern::Join(left, right) => {
@@ -685,44 +834,54 @@ impl<'a> Evaluator<'a> {
                 let prov = self.next_prov;
                 self.next_prov += 1;
                 let mut tagged = lhs;
-                for (i, row) in tagged.iter_mut().enumerate() {
-                    row[prov] = Some(i as u64);
-                }
+                tagged.fill_iota(prov);
                 let rhs = self.eval_pattern(right, tagged.clone(), constraints);
                 let mut matched = vec![false; tagged.len()];
-                let mut out = Vec::with_capacity(tagged.len().max(rhs.len()));
-                for mut row in rhs {
-                    if let Some(i) = row[prov] {
-                        matched[i as usize] = true;
-                    }
-                    row[prov] = None;
-                    out.push(row);
-                }
-                for (i, mut row) in tagged.into_iter().enumerate() {
-                    if !matched[i] {
-                        row[prov] = None;
-                        out.push(row);
+                for i in 0..rhs.len() {
+                    if let Some(j) = rhs.get(i, prov) {
+                        matched[j as usize] = true;
                     }
                 }
+                let mut out = rhs;
+                out.clear_column(prov);
+                tagged.clear_column(prov);
+                let unmatched: Vec<u32> = (0..tagged.len())
+                    .filter(|&i| !matched[i])
+                    .map(|i| i as u32)
+                    .collect();
+                out.append_gather(&tagged, &unmatched);
                 out
             }
             GraphPattern::Union(left, right) => {
                 let mut out = self.eval_pattern(left, input.clone(), constraints);
-                out.extend(self.eval_pattern(right, input, constraints));
+                let rhs = self.eval_pattern(right, input, constraints);
+                out.append(&rhs);
                 out
             }
             GraphPattern::Extend(inner, var, expr) => {
-                let rows = self.eval_pattern(inner, input, constraints);
-                let slot = self.slots.get(var);
+                let inner_batch = self.eval_pattern(inner, input, constraints);
+                // BIND targets a fresh variable; with no slot the value
+                // would be discarded, so skip evaluating the (pure)
+                // expression entirely.
+                let Some(slot) = self.slots.get(var) else {
+                    return inner_batch;
+                };
                 let evars = self.expr_slots(expr);
-                let mut out = Vec::with_capacity(rows.len());
-                for mut row in rows {
-                    let b = self.decode_binding(&row, &evars);
-                    if let (Ok(v), Some(s)) = (eval_expr(expr, &b), slot) {
-                        row[s] = Some(self.interner.intern(&v));
+                let mut col = ColumnBuilder::new();
+                for i in 0..inner_batch.len() {
+                    if i % CHECK_INTERVAL == 0 && self.interrupted() {
+                        return Batch::new(width);
                     }
-                    out.push(row);
+                    let b = self.decode_binding_at(&inner_batch, i, &evars);
+                    match eval_expr(expr, &b) {
+                        Ok(v) => col.push(Some(self.interner.intern(&v))),
+                        // Evaluation error: the variable keeps whatever
+                        // binding it already had (usually none).
+                        Err(_) => col.push(inner_batch.get(i, slot)),
+                    }
                 }
+                let mut out = inner_batch;
+                out.set_col(slot, col.finish());
                 out
             }
             GraphPattern::Values(vars, rows) => {
@@ -736,24 +895,27 @@ impl<'a> Evaluator<'a> {
                     }
                     const_rows.push(ids);
                 }
-                let mut out = Vec::new();
-                for b in &input {
+                let mut out = Batch::new(width);
+                let mut buf: Vec<Option<u64>> = vec![None; width];
+                for i in 0..input.len() {
                     for vrow in &const_rows {
-                        let mut nb = b.clone();
+                        for (s, v) in buf.iter_mut().enumerate() {
+                            *v = input.get(i, s);
+                        }
                         let mut compatible = true;
                         for (slot, val) in var_slots.iter().zip(vrow) {
                             if let (Some(s), Some(val)) = (slot, val) {
-                                match nb[*s] {
+                                match buf[*s] {
                                     Some(existing) if existing != *val => {
                                         compatible = false;
                                         break;
                                     }
-                                    _ => nb[*s] = Some(*val),
+                                    _ => buf[*s] = Some(*val),
                                 }
                             }
                         }
                         if compatible {
-                            out.push(nb);
+                            out.push_row(&buf);
                         }
                     }
                 }
@@ -815,44 +977,47 @@ impl<'a> Evaluator<'a> {
         Conjunct::Generic(conjunct, self.expr_slots(conjunct))
     }
 
-    fn eval_conjunct(&mut self, conjunct: &Conjunct<'_>, row: &IdRow) -> bool {
+    /// Evaluate one compiled conjunct against row `i` of a batch.
+    fn eval_conjunct(&mut self, conjunct: &Conjunct<'_>, batch: &Batch, i: usize) -> bool {
         match conjunct {
             Conjunct::AlwaysFalse => false,
             Conjunct::Generic(e, vars) => {
-                let b = self.decode_binding(row, vars);
+                let b = self.decode_binding_at(batch, i, vars);
                 eval_filter(e, &b)
             }
             Conjunct::SpatialVC(rel, slot, g, env) => {
-                let Some(id) = slot.and_then(|s| row[s]) else {
+                let Some(id) = slot.and_then(|s| batch.get(i, s)) else {
                     return false;
                 };
                 self.ensure_geometry(id);
-                match self.geometries.get(&id).and_then(|o| o.as_ref()) {
+                match self.geometries.get(&id).and_then(GeomEntry::get) {
                     Some((ga, ea)) => spatial_check(*rel, ga, ea, g, env),
                     None => false,
                 }
             }
             Conjunct::SpatialCV(rel, g, env, slot) => {
-                let Some(id) = slot.and_then(|s| row[s]) else {
+                let Some(id) = slot.and_then(|s| batch.get(i, s)) else {
                     return false;
                 };
                 self.ensure_geometry(id);
-                match self.geometries.get(&id).and_then(|o| o.as_ref()) {
+                match self.geometries.get(&id).and_then(GeomEntry::get) {
                     Some((gb, eb)) => spatial_check(*rel, g, env, gb, eb),
                     None => false,
                 }
             }
             Conjunct::SpatialVV(rel, sa, sb) => {
-                let (Some(ia), Some(ib)) = (sa.and_then(|s| row[s]), sb.and_then(|s| row[s]))
-                else {
+                let (Some(ia), Some(ib)) = (
+                    sa.and_then(|s| batch.get(i, s)),
+                    sb.and_then(|s| batch.get(i, s)),
+                ) else {
                     return false;
                 };
                 self.ensure_geometry(ia);
                 self.ensure_geometry(ib);
-                let Some((ga, ea)) = self.geometries.get(&ia).and_then(|o| o.as_ref()) else {
+                let Some((ga, ea)) = self.geometries.get(&ia).and_then(GeomEntry::get) else {
                     return false;
                 };
-                let Some((gb, eb)) = self.geometries.get(&ib).and_then(|o| o.as_ref()) else {
+                let Some((gb, eb)) = self.geometries.get(&ib).and_then(GeomEntry::get) else {
                     return false;
                 };
                 spatial_check(*rel, ga, ea, gb, eb)
@@ -864,6 +1029,16 @@ impl<'a> Evaluator<'a> {
         if self.geometries.contains_key(&id) {
             return;
         }
+        // Native ids first consult the source's pre-parsed geometry table;
+        // a hit costs no WKT parse and no geometry copy.
+        if id < self.interner.base {
+            if let Some(native) = self.interner.native {
+                if let Some(g) = native.geometry(id) {
+                    self.geometries.insert(id, GeomEntry::Native(g));
+                    return;
+                }
+            }
+        }
         let parsed = self
             .interner
             .decode(id)
@@ -871,9 +1046,36 @@ impl<'a> Evaluator<'a> {
             .and_then(Literal::as_geometry)
             .map(|g| {
                 let env = g.envelope();
-                (g, env)
+                Box::new((g, env))
             });
-        self.geometries.insert(id, parsed);
+        self.geometries.insert(id, GeomEntry::Local(parsed));
+    }
+
+    /// Compute one vectorized unary `geof:` projection for a single id
+    /// (memoized by the caller per distinct id). `None` mirrors the generic
+    /// path's behavior for non-geometry terms: an evaluation error, i.e.
+    /// an unbound projected value.
+    fn geof_unary(&mut self, op: GeofUnaryOp, id: u64) -> Option<Term> {
+        // Native ids read the source's geometry table directly — one lookup,
+        // no evaluator-cache traffic (projections visit each id once, so
+        // caching here would only add bookkeeping).
+        let native = (id < self.interner.base)
+            .then(|| self.interner.native.and_then(|n| n.geometry(id)))
+            .flatten();
+        let (g, env) = match native {
+            Some(entry) => entry,
+            None => {
+                self.ensure_geometry(id);
+                self.geometries.get(&id).and_then(GeomEntry::get)?
+            }
+        };
+        Some(match op {
+            GeofUnaryOp::Area => geof_area_of(g),
+            // The envelope is cached next to the geometry, so the rectangle
+            // WKT can be assembled directly from its four coordinates.
+            GeofUnaryOp::Envelope => Literal::wkt(rect_wkt(env)).into(),
+            GeofUnaryOp::ConvexHull => geof_convex_hull_of(g),
+        })
     }
 
     // --- BGP evaluation ----------------------------------------------------
@@ -881,12 +1083,13 @@ impl<'a> Evaluator<'a> {
     fn eval_bgp(
         &mut self,
         patterns: &[TriplePattern],
-        input: Vec<IdRow>,
+        input: Batch,
         constraints: &Constraints,
-    ) -> Vec<IdRow> {
+    ) -> Batch {
         if patterns.is_empty() || input.is_empty() {
             return input;
         }
+        let width = self.slots.width;
         let mut bgp_span = applab_obs::span("bgp");
         bgp_span.record("patterns", patterns.len());
         bgp_span.record("input_rows", input.len());
@@ -895,55 +1098,50 @@ impl<'a> Evaluator<'a> {
         if let Some(answers) = self.source.evaluate_bgp(patterns, &constraints.spatial) {
             bgp_span.record("source_bgp", true);
             bgp_span.record("source_rows", answers.len());
-            let mut build = Vec::with_capacity(answers.len());
+            let mut build = Batch::new(width);
+            let mut rowbuf: Vec<Option<u64>> = vec![None; width];
             for b in &answers {
-                let mut row = vec![None; self.slots.width];
+                rowbuf.fill(None);
                 for (k, v) in b {
                     if let Some(s) = self.slots.get(k) {
-                        row[s] = Some(self.interner.intern(v));
+                        rowbuf[s] = Some(self.interner.intern(v));
                     }
                 }
-                build.push(row);
+                build.push_row(&rowbuf);
             }
             return self.join(input, build);
         }
 
         // When the input is a single row, its bindings substitute into the
         // scans directly (the common top-of-query and Join-chain case).
-        let subst: Option<IdRow> = (input.len() == 1).then(|| input[0].clone());
+        let subst: Option<Vec<Option<u64>>> = (input.len() == 1).then(|| input.row(0));
 
-        // Scan every pattern exactly once into a match column.
-        let mut columns: Vec<(Vec<IdRow>, Vec<usize>)> = Vec::with_capacity(patterns.len());
+        // Scan every pattern exactly once into a match batch.
+        let mut columns: Vec<(Batch, Vec<usize>)> = Vec::with_capacity(patterns.len());
         for (i, p) in patterns.iter().enumerate() {
             if self.interrupted() {
-                return Vec::new();
+                return Batch::new(width);
             }
             let mut scan_span = applab_obs::span("scan");
             scan_span.record("pattern", i);
             let col = self.scan_column(p, subst.as_deref(), constraints);
             scan_span.record("rows", col.0.len());
+            scan_span.record_rate("rows_per_sec", col.0.len() as u64);
             drop(scan_span);
             if col.0.is_empty() {
-                return Vec::new();
+                return Batch::new(width);
             }
             columns.push(col);
         }
 
-        // Greedy join order: smallest column among those sharing a bound
+        // Greedy join order: smallest batch among those sharing a bound
         // slot (to keep joins selective), else smallest overall. Actual
-        // column sizes replace the old static selectivity heuristic.
-        let mut bound = vec![false; self.slots.width];
-        for row in &input {
-            for (i, v) in row.iter().enumerate() {
-                if v.is_some() {
-                    bound[i] = true;
-                }
-            }
-        }
+        // batch sizes replace the old static selectivity heuristic.
+        let mut bound = input.bound_slots();
         let mut result = input;
         while !columns.is_empty() {
             if self.interrupted() {
-                return Vec::new();
+                return Batch::new(width);
             }
             let pick = columns
                 .iter()
@@ -959,11 +1157,11 @@ impl<'a> Evaluator<'a> {
                         .map(|(i, _)| i)
                 })
                 .expect("columns is non-empty");
-            let (col_rows, used) = columns.swap_remove(pick);
+            let (col_batch, used) = columns.swap_remove(pick);
             for s in used {
                 bound[s] = true;
             }
-            result = self.join(result, col_rows);
+            result = self.join(result, col_batch);
             if result.is_empty() {
                 return result;
             }
@@ -971,29 +1169,33 @@ impl<'a> Evaluator<'a> {
         result
     }
 
-    /// Scan one triple pattern into a column of id rows, plus the variable
-    /// slots the column binds. An empty column means the pattern provably
-    /// matches nothing.
+    /// Scan one triple pattern into a batch, plus the variable slots the
+    /// batch binds. An empty batch means the pattern provably matches
+    /// nothing.
     fn scan_column(
         &mut self,
         pattern: &TriplePattern,
         subst: Option<&[Option<u64>]>,
         constraints: &Constraints,
-    ) -> (Vec<IdRow>, Vec<usize>) {
+    ) -> (Batch, Vec<usize>) {
         if let Some(native) = self.interner.native {
             return self.scan_column_native(native, pattern, subst, constraints);
         }
         self.scan_column_decoded(pattern, subst, constraints)
     }
 
-    /// Id-level scan against an [`IdAccess`] source: no term decoding at all.
+    /// Id-level scan against an [`IdAccess`] source: no term decoding at
+    /// all, and the source writes its match columns directly into the
+    /// output batch ([`IdAccess::scan_ids_columns`]) — no per-row tuple
+    /// allocation on the hot path.
     fn scan_column_native(
         &mut self,
         native: &dyn IdAccess,
         pattern: &TriplePattern,
         subst: Option<&[Option<u64>]>,
         constraints: &Constraints,
-    ) -> (Vec<IdRow>, Vec<usize>) {
+    ) -> (Batch, Vec<usize>) {
+        let width = self.slots.width;
         let base = self.interner.base;
         // Each position resolves to a constant id, a variable slot, or a
         // proof that the pattern cannot match (term/local id absent from
@@ -1019,18 +1221,25 @@ impl<'a> Evaluator<'a> {
             }
         };
         let Ok((s_c, s_slot)) = resolve(&pattern.subject) else {
-            return (Vec::new(), Vec::new());
+            return (Batch::new(width), Vec::new());
         };
         let Ok((p_c, p_slot)) = resolve(&pattern.predicate) else {
-            return (Vec::new(), Vec::new());
+            return (Batch::new(width), Vec::new());
         };
         let Ok((o_c, o_slot)) = resolve(&pattern.object) else {
-            return (Vec::new(), Vec::new());
+            return (Batch::new(width), Vec::new());
         };
 
+        if self.interrupted() {
+            return (Batch::new(width), Vec::new());
+        }
+
         // Index pushdown: the object is an unbound variable carrying an
-        // envelope or time-range constraint.
-        let triples = match (o_c, pattern.object.as_var()) {
+        // envelope or time-range constraint. Pushdown hits come back as
+        // triple lists (they are small by construction); the unconstrained
+        // path scans straight into columns.
+        let mut cols = IdColumns::default();
+        let pushdown_hit = match (o_c, pattern.object.as_var()) {
             (None, Some(var)) => {
                 let spatial_hit = constraints
                     .spatial
@@ -1044,33 +1253,71 @@ impl<'a> Evaluator<'a> {
                 } else {
                     None
                 };
-                spatial_hit
-                    .or(temporal_hit)
-                    .unwrap_or_else(|| native.scan_ids(s_c, p_c, None))
+                spatial_hit.or(temporal_hit)
             }
-            _ => native.scan_ids(s_c, p_c, o_c),
+            _ => None,
         };
-
-        let mut rows = Vec::with_capacity(triples.len());
-        'next: for (n, (ts, tp, to)) in triples.into_iter().enumerate() {
-            if n % CHECK_INTERVAL == 0 && self.interrupted() {
-                return (Vec::new(), Vec::new());
-            }
-            let mut row = vec![None; self.slots.width];
-            for (slot, val) in [(s_slot, ts), (p_slot, tp), (o_slot, to)] {
-                if let Some(slot) = slot {
-                    match row[slot] {
-                        Some(existing) if existing != val => continue 'next,
-                        _ => row[slot] = Some(val),
-                    }
+        match pushdown_hit {
+            Some(triples) => {
+                cols.reserve(triples.len());
+                for (ts, tp, to) in triples {
+                    cols.push(ts, tp, to);
                 }
             }
-            rows.push(row);
+            None => native.scan_ids_columns(s_c, p_c, o_c, &mut cols),
         }
+        if self.interrupted() {
+            return (Batch::new(width), Vec::new());
+        }
+
+        let n = cols.s.len();
         let mut used: Vec<usize> = [s_slot, p_slot, o_slot].into_iter().flatten().collect();
         used.sort_unstable();
         used.dedup();
-        (rows, used)
+        let distinct_slots = used.len();
+        let slot_count = [s_slot, p_slot, o_slot].iter().flatten().count();
+
+        let mut batch = Batch::with_len(width, n);
+        if slot_count == distinct_slots {
+            // No repeated variable: each match column moves into the batch
+            // wholesale.
+            if let Some(s) = s_slot {
+                batch.set_column(s, cols.s);
+            }
+            if let Some(s) = p_slot {
+                batch.set_column(s, cols.p);
+            }
+            if let Some(s) = o_slot {
+                batch.set_column(s, cols.o);
+            }
+        } else {
+            // A variable repeats within the pattern (`?x :p ?x`): keep only
+            // the rows where the repeated positions agree.
+            let same = |a: Option<usize>, b: Option<usize>, x: u64, y: u64| match a.zip(b) {
+                Some((a, b)) => a != b || x == y,
+                None => true,
+            };
+            let mut sel: Vec<u32> = Vec::with_capacity(n);
+            for i in 0..n {
+                if same(s_slot, p_slot, cols.s[i], cols.p[i])
+                    && same(s_slot, o_slot, cols.s[i], cols.o[i])
+                    && same(p_slot, o_slot, cols.p[i], cols.o[i])
+                {
+                    sel.push(i as u32);
+                }
+            }
+            if let Some(s) = s_slot {
+                batch.set_column(s, cols.s);
+            }
+            if let Some(s) = p_slot {
+                batch.set_column(s, cols.p);
+            }
+            if let Some(s) = o_slot {
+                batch.set_column(s, cols.o);
+            }
+            batch = batch.gather(&sel);
+        }
+        (batch, used)
     }
 
     /// Decoded-triple scan for sources without [`IdAccess`]; results are
@@ -1080,7 +1327,8 @@ impl<'a> Evaluator<'a> {
         pattern: &TriplePattern,
         subst: Option<&[Option<u64>]>,
         constraints: &Constraints,
-    ) -> (Vec<IdRow>, Vec<usize>) {
+    ) -> (Batch, Vec<usize>) {
+        let width = self.slots.width;
         let resolve = |tp: &TermPattern| -> (Option<Term>, Option<usize>) {
             match tp {
                 TermPattern::Term(t) => (Some(t.clone()), None),
@@ -1101,13 +1349,13 @@ impl<'a> Evaluator<'a> {
 
         // A literal in subject position can never match.
         let s_res: Option<Resource> = match &s_t {
-            Some(Term::Literal(_)) => return (Vec::new(), Vec::new()),
+            Some(Term::Literal(_)) => return (Batch::new(width), Vec::new()),
             Some(t) => t.as_resource(),
             None => None,
         };
         let p_named: Option<NamedNode> = match &p_t {
             Some(Term::Named(n)) => Some(n.clone()),
-            Some(_) => return (Vec::new(), Vec::new()),
+            Some(_) => return (Batch::new(width), Vec::new()),
             None => None,
         };
 
@@ -1139,12 +1387,13 @@ impl<'a> Evaluator<'a> {
                 .triples_matching(s_res.as_ref(), p_named.as_ref(), o_t.as_ref()),
         };
 
-        let mut rows = Vec::with_capacity(triples.len());
+        let mut batch = Batch::new(width);
+        let mut rowbuf: Vec<Option<u64>> = vec![None; width];
         'next: for (n, t) in triples.into_iter().enumerate() {
             if n % CHECK_INTERVAL == 0 && self.interrupted() {
-                return (Vec::new(), Vec::new());
+                return (Batch::new(width), Vec::new());
             }
-            let mut row = vec![None; self.slots.width];
+            rowbuf.fill(None);
             for (slot, term) in [
                 (s_slot, Term::from(t.subject.clone())),
                 (p_slot, Term::Named(t.predicate.clone())),
@@ -1152,100 +1401,89 @@ impl<'a> Evaluator<'a> {
             ] {
                 if let Some(slot) = slot {
                     let id = self.interner.intern(&term);
-                    match row[slot] {
+                    match rowbuf[slot] {
                         Some(existing) if existing != id => continue 'next,
-                        _ => row[slot] = Some(id),
+                        _ => rowbuf[slot] = Some(id),
                     }
                 }
             }
-            rows.push(row);
+            batch.push_row(&rowbuf);
         }
         let mut used: Vec<usize> = [s_slot, p_slot, o_slot].into_iter().flatten().collect();
         used.sort_unstable();
         used.dedup();
-        (rows, used)
+        (batch, used)
     }
 
     // --- hash join ---------------------------------------------------------
 
-    /// Hash-join two row sets on their shared bound slots.
+    /// Hash-join two batches on their shared bound slots.
     ///
     /// Rows are grouped by the bitmask of which shared slots they actually
     /// bind (SPARQL compatibility: a row that leaves a shared variable
     /// unbound joins with everything on that variable), and each group pair
-    /// is joined on the slots bound in both. Probe rows keep their values;
-    /// unbound slots are filled from the build row. Large probe groups are
-    /// chunked across scoped threads; chunk outputs are concatenated in
+    /// is joined on the slots bound in both. Probing produces one global
+    /// `(probe row, build row)` pair list in probe order; the output batch
+    /// is then materialized with a single column-at-a-time
+    /// [`merge_gather`] (probe values win where bound, build values fill
+    /// the rest) instead of cloning a row per match. Large probe groups are
+    /// chunked across scoped threads; chunk pair lists are concatenated in
     /// order so the result is independent of the thread count.
-    fn join(&mut self, probe: Vec<IdRow>, build: Vec<IdRow>) -> Vec<IdRow> {
+    fn join(&mut self, probe: Batch, build: Batch) -> Batch {
+        let width = self.slots.width;
         if probe.is_empty() || build.is_empty() {
-            return Vec::new();
+            return Batch::new(width);
         }
         // Joining the pristine all-unbound seed row (the BGP entry state)
-        // against a column yields the column itself — skip the row clones.
-        if probe.len() == 1 && probe[0].iter().all(Option::is_none) {
+        // against a scan batch yields the batch itself.
+        if probe.len() == 1 && probe.row_all_unbound(0) {
             return build;
         }
         applab_obs::counter!("applab_sparql_joins_total").inc();
         let mut join_span = applab_obs::span("join");
         join_span.record("probe", probe.len());
         join_span.record("build", build.len());
-        let width = self.slots.width;
-        let mut bound_probe = vec![false; width];
-        for row in &probe {
-            for (i, v) in row.iter().enumerate() {
-                if v.is_some() {
-                    bound_probe[i] = true;
-                }
-            }
-        }
-        let mut bound_build = vec![false; width];
-        for row in &build {
-            for (i, v) in row.iter().enumerate() {
-                if v.is_some() {
-                    bound_build[i] = true;
-                }
-            }
-        }
+        let bound_probe = probe.bound_slots();
+        let bound_build = build.bound_slots();
         let shared: Vec<usize> = (0..width)
             .filter(|&i| bound_probe[i] && bound_build[i])
             .collect();
         if shared.len() > 64 {
-            return nested_join(probe, build);
+            return nested_join(&probe, &build);
         }
-        let mask_of = |row: &IdRow| -> u64 {
+        let mask_of = |b: &Batch, i: usize| -> u64 {
             let mut m = 0u64;
             for (bit, &slot) in shared.iter().enumerate() {
-                if row[slot].is_some() {
+                if b.col(slot).is_valid(i) {
                     m |= 1 << bit;
                 }
             }
             m
         };
-        // Group row indices by mask, preserving first-occurrence order. BGP
-        // columns bind the same slots in every row, so the single-mask case
+        // Group row indices by mask, preserving first-occurrence order. Scan
+        // batches bind the same slots in every row, so the single-mask case
         // is the common one and skips the map entirely.
-        let group = |rows: &[IdRow]| -> Vec<(u64, Vec<usize>)> {
-            let first = mask_of(&rows[0]);
-            if rows.iter().all(|r| mask_of(r) == first) {
-                return vec![(first, (0..rows.len()).collect())];
+        let group = |b: &Batch| -> Vec<(u64, Vec<u32>)> {
+            let first = mask_of(b, 0);
+            if (1..b.len()).all(|i| mask_of(b, i) == first) {
+                return vec![(first, (0..b.len() as u32).collect())];
             }
-            let mut order: Vec<(u64, Vec<usize>)> = Vec::new();
+            let mut order: Vec<(u64, Vec<u32>)> = Vec::new();
             let mut index: IdHashMap<u64, usize> = IdHashMap::default();
-            for (i, row) in rows.iter().enumerate() {
-                let m = mask_of(row);
+            for i in 0..b.len() {
+                let m = mask_of(b, i);
                 let e = *index.entry(m).or_insert_with(|| {
                     order.push((m, Vec::new()));
                     order.len() - 1
                 });
-                order[e].1.push(i);
+                order[e].1.push(i as u32);
             }
             order
         };
         let probe_groups = group(&probe);
         let build_groups = group(&build);
 
-        let mut out = Vec::new();
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
         for (pmask, prows) in &probe_groups {
             for (bmask, brows) in &build_groups {
                 let common = pmask & bmask;
@@ -1258,51 +1496,74 @@ impl<'a> Evaluator<'a> {
                 // With no common key this degenerates to a cross product of
                 // the two groups (single empty key). Single-slot keys (the
                 // overwhelmingly common join shape) are kept as bare `u64`s
-                // to avoid a key allocation per row.
+                // to avoid a key allocation per row. Key slots are valid in
+                // every group member by construction of the masks, so the
+                // unchecked column loads are safe.
+                // Single-slot build tables chain same-key rows through one
+                // flat `next` array (`head`/`tail` per key, positions into
+                // `brows`) instead of growing a `Vec<u32>` per distinct key
+                // — with mostly-unique keys that was an allocation per
+                // build row. Walking a chain front-to-back yields matches
+                // in exactly the order the per-key vectors held them.
+                const CHAIN_END: u32 = u32::MAX;
                 enum Table {
-                    One(usize, IdHashMap<u64, Vec<usize>>),
-                    Many(IdHashMap<Vec<u64>, Vec<usize>>),
+                    One(usize, IdHashMap<u64, (u32, u32)>, Vec<u32>),
+                    Many(IdHashMap<Vec<u64>, Vec<u32>>),
                 }
                 let table = if let [slot] = key_slots[..] {
-                    let mut t: IdHashMap<u64, Vec<usize>> = IdHashMap::default();
-                    for &bi in brows {
-                        let key = build[bi][slot].expect("key slot bound in group");
-                        t.entry(key).or_default().push(bi);
+                    let bcol = build.col(slot);
+                    let mut heads: IdHashMap<u64, (u32, u32)> = IdHashMap::default();
+                    heads.reserve(brows.len());
+                    let mut next: Vec<u32> = vec![CHAIN_END; brows.len()];
+                    for (j, &bi) in brows.iter().enumerate() {
+                        let j = j as u32;
+                        match heads.entry(bcol.id_unchecked(bi as usize)) {
+                            Entry::Occupied(mut e) => {
+                                let (_, tail) = e.get_mut();
+                                next[*tail as usize] = j;
+                                *tail = j;
+                            }
+                            Entry::Vacant(e) => {
+                                e.insert((j, j));
+                            }
+                        }
                     }
-                    Table::One(slot, t)
+                    Table::One(slot, heads, next)
                 } else {
-                    let mut t: IdHashMap<Vec<u64>, Vec<usize>> = IdHashMap::default();
+                    let mut t: IdHashMap<Vec<u64>, Vec<u32>> = IdHashMap::default();
                     for &bi in brows {
                         let key: Vec<u64> = key_slots
                             .iter()
-                            .map(|&s| build[bi][s].expect("key slot bound in group"))
+                            .map(|&s| build.col(s).id_unchecked(bi as usize))
                             .collect();
                         t.entry(key).or_default().push(bi);
                     }
                     Table::Many(t)
                 };
-                let probe_one = |pi: usize, out: &mut Vec<IdRow>| {
-                    let matches = match &table {
-                        Table::One(slot, t) => {
-                            t.get(&probe[pi][*slot].expect("key slot bound in group"))
-                        }
-                        Table::Many(t) => {
-                            let key: Vec<u64> = key_slots
-                                .iter()
-                                .map(|&s| probe[pi][s].expect("key slot bound in group"))
-                                .collect();
-                            t.get(&key)
-                        }
-                    };
-                    if let Some(matches) = matches {
-                        for &bi in matches {
-                            let mut row = probe[pi].clone();
-                            for (slot, v) in row.iter_mut().zip(&build[bi]) {
-                                if slot.is_none() {
-                                    *slot = *v;
+                let probe_one = |pi: u32, out: &mut Vec<(u32, u32)>| match &table {
+                    Table::One(slot, heads, next) => {
+                        if let Some(&(head, _)) =
+                            heads.get(&probe.col(*slot).id_unchecked(pi as usize))
+                        {
+                            let mut j = head;
+                            loop {
+                                out.push((pi, brows[j as usize]));
+                                j = next[j as usize];
+                                if j == CHAIN_END {
+                                    break;
                                 }
                             }
-                            out.push(row);
+                        }
+                    }
+                    Table::Many(t) => {
+                        let key: Vec<u64> = key_slots
+                            .iter()
+                            .map(|&s| probe.col(s).id_unchecked(pi as usize))
+                            .collect();
+                        if let Some(matches) = t.get(&key) {
+                            for &bi in matches {
+                                out.push((pi, bi));
+                            }
                         }
                     }
                 };
@@ -1322,7 +1583,7 @@ impl<'a> Evaluator<'a> {
                         let pr = &probe_one;
                         let parent = join_span.context();
                         let budget = &self.options.budget;
-                        let results: Vec<Vec<IdRow>> = std::thread::scope(|scope| {
+                        let results: Vec<Vec<(u32, u32)>> = std::thread::scope(|scope| {
                             let handles: Vec<_> = prows
                                 .chunks(chunk)
                                 .map(|c| {
@@ -1352,23 +1613,25 @@ impl<'a> Evaluator<'a> {
                                 .collect()
                         });
                         if self.interrupted() {
-                            return Vec::new();
+                            return Batch::new(width);
                         }
                         for mut r in results {
-                            out.append(&mut r);
+                            pairs.append(&mut r);
                         }
                         continue;
                     }
                 }
                 for (n, &pi) in prows.iter().enumerate() {
                     if n % CHECK_INTERVAL == 0 && self.interrupted() {
-                        return Vec::new();
+                        return Batch::new(width);
                     }
-                    probe_one(pi, &mut out);
+                    probe_one(pi, &mut pairs);
                 }
             }
         }
+        let out = merge_gather(&probe, &build, &pairs);
         join_span.record("out", out.len());
+        join_span.record_rate("rows_per_sec", out.len() as u64);
         out
     }
 
@@ -1387,16 +1650,20 @@ impl<'a> Evaluator<'a> {
         out
     }
 
-    /// Decode the listed slots of a row into a term binding.
-    fn decode_binding(&self, row: &IdRow, vars: &[(String, usize)]) -> Binding {
+    /// Decode the listed slots of one batch row into a term binding.
+    fn decode_binding_at(&self, batch: &Batch, i: usize, vars: &[(String, usize)]) -> Binding {
         vars.iter()
-            .filter_map(|(n, s)| row[*s].map(|id| (n.clone(), self.interner.decode(id).clone())))
+            .filter_map(|(n, s)| {
+                batch
+                    .get(i, *s)
+                    .map(|id| (n.clone(), self.interner.decode(id).clone()))
+            })
             .collect()
     }
 
-    fn aggregate_id_rows(
+    fn aggregate_batch(
         &self,
-        rows: &[IdRow],
+        batch: &Batch,
         projection: &[Projection],
         group_by: &[String],
     ) -> Result<(Vec<String>, Vec<Row>), EvalError> {
@@ -1405,11 +1672,11 @@ impl<'a> Evaluator<'a> {
         let mut groups: Vec<(Vec<Option<u64>>, Vec<usize>)> = Vec::new();
         let mut index: IdHashMap<Vec<Option<u64>>, usize> = IdHashMap::default();
         let mut key: Vec<Option<u64>> = Vec::with_capacity(group_slots.len());
-        for (ri, row) in rows.iter().enumerate() {
+        for ri in 0..batch.len() {
             // The key buffer is reused across rows; it is only cloned when a
             // new group is first seen.
             key.clear();
-            key.extend(group_slots.iter().map(|s| s.and_then(|s| row[s])));
+            key.extend(group_slots.iter().map(|s| s.and_then(|s| batch.get(ri, s))));
             let gi = match index.get(&key) {
                 Some(&gi) => gi,
                 None => {
@@ -1464,22 +1731,23 @@ impl<'a> Evaluator<'a> {
                         // slot — no decoding.
                         Some(Expression::Var(v)) if *agg == Aggregate::Count => {
                             let n = match self.slots.get(v) {
-                                Some(s) => {
-                                    members.iter().filter(|&&ri| rows[ri][s].is_some()).count()
-                                }
+                                Some(s) => members
+                                    .iter()
+                                    .filter(|&&ri| batch.col(s).is_valid(ri))
+                                    .count(),
                                 None => 0,
                             };
                             Some(Literal::integer(n as i64).into())
                         }
                         Some(e) => {
-                            // Plain-variable aggregates read the slot
+                            // Plain-variable aggregates read the column
                             // directly; anything else decodes per member.
                             let vals: Vec<Term> = if let Expression::Var(v) = e {
                                 let slot = self.slots.get(v);
                                 members
                                     .iter()
                                     .filter_map(|&ri| {
-                                        slot.and_then(|s| rows[ri][s])
+                                        slot.and_then(|s| batch.get(ri, s))
                                             .map(|id| self.interner.decode(id).clone())
                                     })
                                     .collect()
@@ -1488,7 +1756,8 @@ impl<'a> Evaluator<'a> {
                                 members
                                     .iter()
                                     .filter_map(|&ri| {
-                                        eval_expr(e, &self.decode_binding(&rows[ri], &evars)).ok()
+                                        eval_expr(e, &self.decode_binding_at(batch, ri, &evars))
+                                            .ok()
                                     })
                                     .collect()
                             };
@@ -1506,20 +1775,20 @@ impl<'a> Evaluator<'a> {
 
 /// Plain nested-loop fallback for joins over more than 64 shared slots
 /// (out of `u64` mask range; practically unreachable).
-fn nested_join(probe: Vec<IdRow>, build: Vec<IdRow>) -> Vec<IdRow> {
-    let mut out = Vec::new();
-    for p in &probe {
-        'build: for b in &build {
-            let mut row = p.clone();
-            for (slot, v) in row.iter_mut().zip(b) {
+fn nested_join(probe: &Batch, build: &Batch) -> Batch {
+    let mut out = Batch::new(probe.width());
+    for p in 0..probe.len() {
+        'build: for b in 0..build.len() {
+            let mut row = probe.row(p);
+            for (slot, v) in row.iter_mut().zip(build.row(b)) {
                 if let Some(v) = v {
                     match slot {
-                        Some(existing) if existing != v => continue 'build,
-                        _ => *slot = Some(*v),
+                        Some(existing) if *existing != v => continue 'build,
+                        _ => *slot = Some(v),
                     }
                 }
             }
-            out.push(row);
+            out.push_row(&row);
         }
     }
     out
@@ -2445,5 +2714,63 @@ mod tests {
             ..EvalOptions::default()
         };
         assert_eq!(evaluate_with(&g, &q, &options).unwrap(), unlimited);
+    }
+
+    /// `batch_size` is a pure windowing knob: any value (including the
+    /// degenerate 1 and the single-window `usize::MAX`) must produce
+    /// byte-identical serializations across query shapes that exercise
+    /// FILTER windows, LIMIT/OFFSET slicing, grouping and OPTIONAL.
+    #[test]
+    fn results_identical_across_batch_sizes() {
+        let g = test_graph();
+        let queries = [
+            "PREFIX osm: <http://www.app-lab.eu/osm/>\n\
+             SELECT ?s ?name WHERE { ?s osm:hasName ?name } ORDER BY ?name",
+            "PREFIX osm: <http://www.app-lab.eu/osm/>\n\
+             SELECT ?name WHERE { ?s osm:hasName ?name FILTER(STRLEN(?name) > 4) } \
+             ORDER BY ?name LIMIT 1 OFFSET 1",
+            "PREFIX osm: <http://www.app-lab.eu/osm/>\n\
+             SELECT (COUNT(?s) AS ?n) WHERE { ?s osm:hasName ?name }",
+            "PREFIX osm: <http://www.app-lab.eu/osm/>\n\
+             PREFIX geo: <http://www.opengis.net/ont/geosparql#>\n\
+             SELECT ?s ?wkt WHERE { ?s osm:hasName ?name . \
+             OPTIONAL { ?s geo:hasGeometry ?g . ?g geo:asWKT ?wkt } } ORDER BY ?s",
+        ];
+        for text in queries {
+            let q = crate::parser::parse_query(text).expect("static query parses");
+            let reference = evaluate(&g, &q).unwrap();
+            assert!(!reference.is_empty(), "vacuous comparison for {text}");
+            let golden = reference.to_json();
+            for batch_size in [1, 7, 1024, usize::MAX] {
+                let options = EvalOptions {
+                    batch_size,
+                    ..EvalOptions::default()
+                };
+                assert_eq!(
+                    evaluate_with(&g, &q, &options).unwrap().to_json(),
+                    golden,
+                    "batch_size={batch_size} drifted on {text}"
+                );
+            }
+        }
+    }
+
+    /// The envelope kernel's direct rectangle assembly must stay
+    /// byte-identical to serializing the rectangle polygon through the
+    /// generic WKT writer.
+    #[test]
+    fn rect_wkt_matches_generic_wkt_writer() {
+        for (min_x, min_y, max_x, max_y) in [
+            (2.21, 48.85, 2.27, 48.88),
+            (-180.0, -90.0, 180.0, 90.0),
+            (0.0, 0.0, 0.0, 0.0),
+            (-1.5e-9, 3.25, 7.125e12, 1.0 / 3.0),
+        ] {
+            let e = Envelope::new(min_x, min_y, max_x, max_y);
+            let via_writer = applab_geo::write_wkt(&applab_geo::Geometry::Polygon(
+                applab_geo::Polygon::rect(min_x, min_y, max_x, max_y),
+            ));
+            assert_eq!(rect_wkt(&e), via_writer);
+        }
     }
 }

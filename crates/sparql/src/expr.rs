@@ -203,6 +203,26 @@ fn geometry_arg(t: &Term) -> Result<Geometry, ExprError> {
         .ok_or_else(|| ExprError::Type(format!("not a geometry literal: {t}")))
 }
 
+// The unary geof: projections, shared with the evaluator's vectorized
+// expression path so both produce bit-identical terms.
+
+pub(crate) fn geof_area_of(g: &Geometry) -> Term {
+    Literal::double(geoalg::area(g)).into()
+}
+
+pub(crate) fn geof_envelope_of(g: &Geometry) -> Term {
+    let e = g.envelope();
+    let poly = Polygon::rect(e.min_x, e.min_y, e.max_x, e.max_y);
+    Literal::wkt(applab_geo::write_wkt(&Geometry::Polygon(poly))).into()
+}
+
+pub(crate) fn geof_convex_hull_of(g: &Geometry) -> Term {
+    let hull = geoalg::convex_hull(g)
+        .map(Geometry::Polygon)
+        .unwrap_or_else(|| g.clone());
+    Literal::wkt(applab_geo::write_wkt(&hull)).into()
+}
+
 fn string_arg(t: &Term) -> Result<String, ExprError> {
     match t {
         Term::Literal(l) => Ok(l.value().to_string()),
@@ -252,21 +272,9 @@ fn call(func: &NamedNode, args: &[Expression], binding: &Binding) -> Result<Term
                 let poly = Polygon::rect(e.min_x, e.min_y, e.max_x, e.max_y);
                 Ok(Literal::wkt(applab_geo::write_wkt(&Geometry::Polygon(poly))).into())
             }
-            "envelope" => {
-                let g = geometry_arg(&argv[0])?;
-                let e = g.envelope();
-                let poly = Polygon::rect(e.min_x, e.min_y, e.max_x, e.max_y);
-                Ok(Literal::wkt(applab_geo::write_wkt(&Geometry::Polygon(poly))).into())
-            }
-            "area" => {
-                let g = geometry_arg(&argv[0])?;
-                Ok(Literal::double(geoalg::area(&g)).into())
-            }
-            "convexHull" => {
-                let g = geometry_arg(&argv[0])?;
-                let hull = geoalg::convex_hull(&g).map(Geometry::Polygon).unwrap_or(g);
-                Ok(Literal::wkt(applab_geo::write_wkt(&hull)).into())
-            }
+            "envelope" => Ok(geof_envelope_of(&geometry_arg(&argv[0])?)),
+            "area" => Ok(geof_area_of(&geometry_arg(&argv[0])?)),
+            "convexHull" => Ok(geof_convex_hull_of(&geometry_arg(&argv[0])?)),
             other => Err(ExprError::UnknownFunction(format!("geof:{other}"))),
         };
     }

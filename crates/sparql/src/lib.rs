@@ -24,6 +24,7 @@
 #![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 
 pub mod algebra;
+mod batch;
 pub mod eval;
 pub mod expr;
 pub mod parser;
@@ -35,7 +36,7 @@ pub use algebra::{Expression, GraphPattern, Query, QueryForm, TermPattern, Tripl
 pub use eval::{evaluate, evaluate_with, Budget, EvalError, EvalOptions};
 pub use parser::{parse_query, ParseError};
 pub use results::{JsonParseError, QueryResults, Row};
-pub use source::{GraphSource, IdAccess};
+pub use source::{GraphSource, IdAccess, IdColumns};
 
 /// Parse and evaluate a query against a source in one call.
 pub fn query(

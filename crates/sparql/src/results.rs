@@ -120,56 +120,78 @@ impl QueryResults {
     /// solutions over the pseudo-variables `subject`/`predicate`/`object`,
     /// one binding per triple.
     pub fn to_json(&self) -> String {
-        let (variables, rows) = match self {
-            QueryResults::Solutions { variables, rows } => (variables.clone(), rows.clone()),
-            QueryResults::Boolean(b) => return format!("{{\"head\":{{}},\"boolean\":{b}}}"),
-            QueryResults::Graph(g) => {
-                let variables = vec![
-                    "subject".to_string(),
-                    "predicate".to_string(),
-                    "object".to_string(),
-                ];
-                let rows = g
-                    .iter()
-                    .map(|t| Row {
-                        values: vec![
-                            Some(Term::from(t.subject.clone())),
-                            Some(Term::Named(t.predicate.clone())),
-                            Some(t.object.clone()),
-                        ],
-                    })
-                    .collect();
-                (variables, rows)
+        let mut out = Vec::new();
+        self.write_json(&mut out)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(out).expect("the serializer emits UTF-8")
+    }
+
+    /// Stream the [`QueryResults::to_json`] document to a writer,
+    /// byte-identically, without ever materializing the whole serialization:
+    /// bindings are appended to an internal buffer that is handed to `w`
+    /// every time it passes [`JSON_FLUSH_BYTES`]. Peak serializer memory is
+    /// therefore one flush window plus the largest single binding,
+    /// independent of the result's row count — this is what the service
+    /// layer uses to keep large result sets from doubling as one giant
+    /// `String`.
+    pub fn write_json<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let mut buf = String::with_capacity(2 * JSON_FLUSH_BYTES);
+        match self {
+            QueryResults::Boolean(b) => {
+                buf.push_str("{\"head\":{},\"boolean\":");
+                buf.push_str(if *b { "true" } else { "false" });
+                buf.push('}');
             }
-        };
-        let mut out = String::from("{\"head\":{\"vars\":[");
-        for (i, v) in variables.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&json_string(v));
-        }
-        out.push_str("]},\"results\":{\"bindings\":[");
-        for (ri, row) in rows.iter().enumerate() {
-            if ri > 0 {
-                out.push(',');
-            }
-            out.push('{');
-            let mut first = true;
-            for (v, t) in variables.iter().zip(&row.values) {
-                let Some(t) = t else { continue };
-                if !first {
-                    out.push(',');
+            QueryResults::Solutions { variables, rows } => {
+                push_json_head(&mut buf, variables.iter().map(String::as_str));
+                for (ri, row) in rows.iter().enumerate() {
+                    if ri > 0 {
+                        buf.push(',');
+                    }
+                    push_json_binding(
+                        &mut buf,
+                        variables
+                            .iter()
+                            .zip(&row.values)
+                            .filter_map(|(v, t)| t.as_ref().map(|t| (v.as_str(), t))),
+                    );
+                    if buf.len() >= JSON_FLUSH_BYTES {
+                        w.write_all(buf.as_bytes())?;
+                        buf.clear();
+                    }
                 }
-                first = false;
-                out.push_str(&json_string(v));
-                out.push(':');
-                out.push_str(&json_term(t));
+                buf.push_str("]}}");
+                return w.write_all(buf.as_bytes());
             }
-            out.push('}');
+            // The format does not define CONSTRUCT output; a graph streams
+            // as solutions over the pseudo-variables subject / predicate /
+            // object, one binding per triple, without building `Row`s.
+            QueryResults::Graph(g) => {
+                push_json_head(&mut buf, ["subject", "predicate", "object"].into_iter());
+                for (ri, t) in g.iter().enumerate() {
+                    if ri > 0 {
+                        buf.push(',');
+                    }
+                    let subject = Term::from(t.subject.clone());
+                    let predicate = Term::Named(t.predicate.clone());
+                    push_json_binding(
+                        &mut buf,
+                        [
+                            ("subject", &subject),
+                            ("predicate", &predicate),
+                            ("object", &t.object),
+                        ]
+                        .into_iter(),
+                    );
+                    if buf.len() >= JSON_FLUSH_BYTES {
+                        w.write_all(buf.as_bytes())?;
+                        buf.clear();
+                    }
+                }
+                buf.push_str("]}}");
+            }
         }
-        out.push_str("]}}");
-        out
+        w.write_all(buf.as_bytes())
     }
 
     /// Parse a W3C SPARQL 1.1 Query Results JSON document (the inverse of
@@ -363,7 +385,12 @@ mod json {
                                         .filter(|t| t.starts_with(b"\\u"))
                                         .and_then(|t| std::str::from_utf8(&t[2..]).ok())
                                         .and_then(|h| u32::from_str_radix(h, 16).ok());
-                                    let Some(low) = low else {
+                                    // The low half must itself be a low
+                                    // surrogate; anything else (BMP char,
+                                    // second high surrogate, end of input)
+                                    // leaves the high half unpaired.
+                                    let Some(low) = low.filter(|l| (0xDC00..0xE000).contains(l))
+                                    else {
                                         return self.err("lone high surrogate");
                                     };
                                     self.pos += 6;
@@ -537,36 +564,69 @@ mod json {
     }
 }
 
-/// One RDF term as a SPARQL-results-JSON object.
-fn json_term(t: &Term) -> String {
+/// Flush threshold for [`QueryResults::write_json`]: once the internal
+/// buffer passes this size it is handed to the writer and cleared, bounding
+/// serializer memory regardless of result cardinality.
+pub const JSON_FLUSH_BYTES: usize = 8 * 1024;
+
+/// `{"head":{"vars":[...]},"results":{"bindings":[` — everything up to the
+/// first binding object.
+fn push_json_head<'a>(out: &mut String, variables: impl Iterator<Item = &'a str>) {
+    out.push_str("{\"head\":{\"vars\":[");
+    for (i, v) in variables.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(out, v);
+    }
+    out.push_str("]},\"results\":{\"bindings\":[");
+}
+
+/// One binding object: `{"var":{term},...}` over the bound pairs only.
+fn push_json_binding<'a>(out: &mut String, pairs: impl Iterator<Item = (&'a str, &'a Term)>) {
+    out.push('{');
+    for (i, (v, t)) in pairs.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(out, v);
+        out.push(':');
+        push_json_term(out, t);
+    }
+    out.push('}');
+}
+
+/// Append one RDF term as a SPARQL-results-JSON object.
+fn push_json_term(out: &mut String, t: &Term) {
     match t {
-        Term::Named(n) => format!("{{\"type\":\"uri\",\"value\":{}}}", json_string(n.as_str())),
-        Term::Blank(b) => format!(
-            "{{\"type\":\"bnode\",\"value\":{}}}",
-            json_string(b.as_str())
-        ),
+        Term::Named(n) => {
+            out.push_str("{\"type\":\"uri\",\"value\":");
+            push_json_string(out, n.as_str());
+            out.push('}');
+        }
+        Term::Blank(b) => {
+            out.push_str("{\"type\":\"bnode\",\"value\":");
+            push_json_string(out, b.as_str());
+            out.push('}');
+        }
         Term::Literal(l) => {
-            let mut out = format!(
-                "{{\"type\":\"literal\",\"value\":{}",
-                json_string(l.value())
-            );
+            out.push_str("{\"type\":\"literal\",\"value\":");
+            push_json_string(out, l.value());
             if let Some(lang) = l.language() {
-                out.push_str(&format!(",\"xml:lang\":{}", json_string(lang)));
+                out.push_str(",\"xml:lang\":");
+                push_json_string(out, lang);
             } else if l.datatype().as_str() != vocab::xsd::STRING {
-                out.push_str(&format!(
-                    ",\"datatype\":{}",
-                    json_string(l.datatype().as_str())
-                ));
+                out.push_str(",\"datatype\":");
+                push_json_string(out, l.datatype().as_str());
             }
             out.push('}');
-            out
         }
     }
 }
 
-/// JSON string literal with the escapes RFC 8259 requires.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
+/// Append a JSON string literal with the escapes RFC 8259 requires.
+fn push_json_string(out: &mut String, s: &str) {
+    use std::fmt::Write;
     out.push('"');
     for c in s.chars() {
         match c {
@@ -575,12 +635,13 @@ fn json_string(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
             c => out.push(c),
         }
     }
     out.push('"');
-    out
 }
 
 fn csv_escape(s: &str) -> String {

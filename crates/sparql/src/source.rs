@@ -135,6 +135,68 @@ pub trait IdAccess {
     ) -> Option<Vec<(u64, u64, u64)>> {
         None
     }
+
+    /// Columnar variant of [`IdAccess::scan_ids`]: append every matching id
+    /// triple to the three match columns in `out`. Index-backed sources
+    /// should override this to write their range walks straight into the
+    /// columns — the vectorized evaluator turns them into a solution batch
+    /// without any per-row tuple allocation. The default adapts
+    /// [`IdAccess::scan_ids`].
+    fn scan_ids_columns(
+        &self,
+        s: Option<u64>,
+        p: Option<u64>,
+        o: Option<u64>,
+        out: &mut IdColumns,
+    ) {
+        let triples = self.scan_ids(s, p, o);
+        out.reserve(triples.len());
+        for (ts, tp, to) in triples {
+            out.push(ts, tp, to);
+        }
+    }
+
+    /// The pre-parsed geometry (with envelope) of the term behind `id`, if
+    /// the source maintains a geometry table. Lets the evaluator's spatial
+    /// filters and `geof:` projections skip WKT parsing entirely for native
+    /// ids. The default declines.
+    fn geometry(&self, _id: u64) -> Option<&(applab_geo::Geometry, Envelope)> {
+        None
+    }
+}
+
+/// Three structure-of-arrays match columns produced by
+/// [`IdAccess::scan_ids_columns`]: `s[i], p[i], o[i]` is the i-th matching
+/// id triple.
+#[derive(Debug, Clone, Default)]
+pub struct IdColumns {
+    pub s: Vec<u64>,
+    pub p: Vec<u64>,
+    pub o: Vec<u64>,
+}
+
+impl IdColumns {
+    /// Number of matched triples.
+    pub fn len(&self) -> usize {
+        self.s.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.s.is_empty()
+    }
+
+    pub fn reserve(&mut self, additional: usize) {
+        self.s.reserve(additional);
+        self.p.reserve(additional);
+        self.o.reserve(additional);
+    }
+
+    #[inline]
+    pub fn push(&mut self, s: u64, p: u64, o: u64) {
+        self.s.push(s);
+        self.p.push(p);
+        self.o.push(o);
+    }
 }
 
 impl GraphSource for Graph {

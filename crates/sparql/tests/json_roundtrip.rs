@@ -68,6 +68,23 @@ fn solutions_strategy() -> impl Strategy<Value = QueryResults> {
     })
 }
 
+/// An `io::Write` that keeps every chunk, for asserting on flush behavior.
+#[derive(Default)]
+struct ChunkRecorder {
+    chunks: Vec<Vec<u8>>,
+}
+
+impl std::io::Write for ChunkRecorder {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.chunks.push(buf.to_vec());
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
 proptest! {
     #[test]
     fn solutions_round_trip_through_json(r in solutions_strategy()) {
@@ -83,6 +100,17 @@ proptest! {
         let r = QueryResults::Boolean(b);
         let back = QueryResults::from_json(&r.to_json()).unwrap();
         prop_assert_eq!(back.to_json(), r.to_json());
+    }
+
+    /// The streaming writer is the serializer (`to_json` merely collects
+    /// it): concatenated chunks must equal the `to_json` bytes exactly for
+    /// any result shape.
+    #[test]
+    fn write_json_streams_the_to_json_bytes(r in solutions_strategy()) {
+        let mut w = ChunkRecorder::default();
+        r.write_json(&mut w).unwrap();
+        let streamed: Vec<u8> = w.chunks.concat();
+        prop_assert_eq!(streamed, r.to_json().into_bytes());
     }
 }
 
@@ -113,6 +141,91 @@ fn large_documents_parse_in_linear_time() {
         "parsing took {:?} — string scanning has gone superlinear again",
         started.elapsed()
     );
+}
+
+/// Malformed surrogate pairs must be rejected with an error, never a
+/// panic: an unpaired `\uD800` once underflowed the `low - 0xDC00`
+/// combination when the following escape was not a low surrogate.
+#[test]
+fn malformed_surrogate_pairs_error_instead_of_panicking() {
+    fn probe(doc: &str, label: &str) {
+        let r = std::panic::catch_unwind(|| QueryResults::from_json(doc));
+        match r {
+            Ok(inner) => assert!(inner.is_err(), "{label}: must reject, got {inner:?}"),
+            Err(_) => panic!("{label}: from_json PANICKED on malformed input"),
+        }
+    }
+    // High surrogate followed by a \u escape that is NOT a low surrogate:
+    // exercises `low - 0xDC00` with low out of range.
+    probe(
+        r#"{"head":{"vars":["v"]},"results":{"bindings":[{"v":{"type":"literal","value":"\uD800A"}}]}}"#,
+        "high-then-bmp",
+    );
+    // High surrogate followed by another high surrogate.
+    probe(
+        r#"{"head":{"vars":["v"]},"results":{"bindings":[{"v":{"type":"literal","value":"\uD800\uD800"}}]}}"#,
+        "high-then-high",
+    );
+    // High surrogate at end of string.
+    probe(
+        r#"{"head":{"vars":["v"]},"results":{"bindings":[{"v":{"type":"literal","value":"\uD800"}}]}}"#,
+        "lone-high",
+    );
+    // A well-formed pair still decodes.
+    let ok = QueryResults::from_json(
+        r#"{"head":{"vars":["v"]},"results":{"bindings":[{"v":{"type":"literal","value":"\uD83D\uDE00"}}]}}"#,
+    )
+    .expect("valid surrogate pair must parse");
+    match &ok {
+        QueryResults::Solutions { rows, .. } => match &rows[0].values[0] {
+            Some(Term::Literal(l)) => assert_eq!(l.value(), "😀"),
+            other => panic!("unexpected term {other:?}"),
+        },
+        other => panic!("unexpected shape {other:?}"),
+    }
+}
+
+/// Serialization perf smoke: ~100k rows must serialize well under a
+/// generous wall bound, and the streaming writer must emit them in flush
+/// windows a couple orders of magnitude smaller than the document — proof
+/// the serializer never holds the full output in one allocation.
+#[test]
+fn hundred_thousand_rows_stream_fast_in_small_chunks() {
+    let rows: Vec<Row> = (0..100_000)
+        .map(|i| Row {
+            values: vec![
+                Some(Term::named(format!("http://ex.org/feature/{i}"))),
+                Some(Literal::double(i as f64 * 0.25).into()),
+                (i % 3 != 0).then(|| Literal::string(format!("row {i} label")).into()),
+            ],
+        })
+        .collect();
+    let r = QueryResults::Solutions {
+        variables: vec!["f".into(), "area".into(), "label".into()],
+        rows,
+    };
+
+    let started = std::time::Instant::now();
+    let mut w = ChunkRecorder::default();
+    r.write_json(&mut w).unwrap();
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_secs(5),
+        "streaming 100k rows took {elapsed:?}"
+    );
+
+    let total: usize = w.chunks.iter().map(Vec::len).sum();
+    assert!(total > 10_000_000, "document is {total} bytes");
+    let max_chunk = w.chunks.iter().map(Vec::len).max().unwrap();
+    assert!(
+        max_chunk <= 64 * 1024,
+        "{max_chunk} byte flush — serializer is accumulating the document"
+    );
+    assert!(w.chunks.len() > 100, "only {} flushes", w.chunks.len());
+
+    // And the collected form still parses back to the same cardinality.
+    let back = QueryResults::from_json(&r.to_json()).unwrap();
+    assert_eq!(back.len(), 100_000);
 }
 
 /// Escapes adjacent to plain runs: the chunked scanner must not lose or

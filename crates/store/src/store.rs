@@ -1,13 +1,36 @@
 //! The Strabon-like spatiotemporal RDF store.
 
 use crate::dict::Dictionary;
-use applab_geo::{Envelope, RTree};
+use applab_geo::{Envelope, Geometry, RTree};
 use applab_rdf::{Graph, Literal, NamedNode, Resource, Term, Triple};
-use applab_sparql::{GraphSource, IdAccess};
-use std::collections::BTreeSet;
+use applab_sparql::{GraphSource, IdAccess, IdColumns};
+use std::collections::{BTreeSet, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 use std::ops::Bound;
 
 type Ids = (u64, u64, u64);
+
+/// Multiplicative hash over dictionary ids for the geometry table — the
+/// vectorized evaluator hits it once per projected row, where SipHash is
+/// measurable overhead.
+#[derive(Default)]
+struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("IdHasher is only for u64 keys");
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type IdMap<V> = HashMap<u64, V, BuildHasherDefault<IdHasher>>;
 
 /// A dictionary-encoded triple store with SPO/POS/OSP permutation indexes,
 /// an R-tree over geometry literals and a sorted valid-time index.
@@ -19,6 +42,11 @@ pub struct SpatioTemporalStore {
     osp: BTreeSet<Ids>,
     /// (envelope, (s, p, o)) for every triple whose object is a WKT literal.
     spatial: RTree<Ids>,
+    /// Parsed geometry (with envelope) keyed by the object id of every WKT
+    /// literal — the insert path parses the WKT anyway to index it, so the
+    /// parse is kept and served through [`IdAccess::geometry`] instead of
+    /// being re-done per query.
+    geometries: IdMap<(Geometry, Envelope)>,
     /// (epoch seconds, (s, p, o)) for every triple whose object is a
     /// dateTime literal, sorted by time.
     temporal: Vec<(i64, Ids)>,
@@ -74,7 +102,9 @@ impl SpatioTemporalStore {
         self.len += 1;
         if let Term::Literal(lit) = &triple.object {
             if let Some(g) = lit.as_geometry() {
-                self.spatial.insert(g.envelope(), (s, p, o));
+                let env = g.envelope();
+                self.spatial.insert(env, (s, p, o));
+                self.geometries.entry(o).or_insert((g, env));
             } else if let Some(t) = lit.as_datetime() {
                 self.temporal.push((t, (s, p, o)));
                 self.temporal_sorted = false;
@@ -250,6 +280,74 @@ impl IdAccess for SpatioTemporalStore {
 
     fn scan_ids(&self, s: Option<u64>, p: Option<u64>, o: Option<u64>) -> Vec<Ids> {
         self.scan(s, p, o)
+    }
+
+    /// Columnar scan: walk the best permutation index and append straight
+    /// into the match columns — no intermediate triple vector.
+    fn scan_ids_columns(
+        &self,
+        s: Option<u64>,
+        p: Option<u64>,
+        o: Option<u64>,
+        out: &mut IdColumns,
+    ) {
+        applab_obs::counter!("applab_store_scans_total").inc();
+        fn range2(set: &BTreeSet<Ids>, a: u64, b: u64) -> impl Iterator<Item = &Ids> + '_ {
+            set.range((a, b, 0)..=(a, b, u64::MAX))
+        }
+        fn range1(set: &BTreeSet<Ids>, a: u64) -> impl Iterator<Item = &Ids> + '_ {
+            set.range((
+                Bound::Included((a, 0, 0)),
+                Bound::Included((a, u64::MAX, u64::MAX)),
+            ))
+        }
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.spo.contains(&(s, p, o)) {
+                    out.push(s, p, o);
+                }
+            }
+            (Some(s), Some(p), None) => {
+                for &(s, p, o) in range2(&self.spo, s, p) {
+                    out.push(s, p, o);
+                }
+            }
+            (Some(s), None, None) => {
+                for &(s, p, o) in range1(&self.spo, s) {
+                    out.push(s, p, o);
+                }
+            }
+            (Some(s), None, Some(o)) => {
+                for &(o, s, p) in range2(&self.osp, o, s) {
+                    out.push(s, p, o);
+                }
+            }
+            (None, Some(p), Some(o)) => {
+                for &(p, o, s) in range2(&self.pos, p, o) {
+                    out.push(s, p, o);
+                }
+            }
+            (None, Some(p), None) => {
+                for &(p, o, s) in range1(&self.pos, p) {
+                    out.push(s, p, o);
+                }
+            }
+            (None, None, Some(o)) => {
+                for &(o, s, p) in range1(&self.osp, o) {
+                    out.push(s, p, o);
+                }
+            }
+            (None, None, None) => {
+                out.reserve(self.len);
+                for &(s, p, o) in &self.spo {
+                    out.push(s, p, o);
+                }
+            }
+        }
+    }
+
+    fn geometry(&self, id: u64) -> Option<&(Geometry, Envelope)> {
+        self.geometries.get(&id)
     }
 
     fn scan_ids_spatial(

@@ -43,6 +43,62 @@ fn corpus_cases_agree_across_all_engines() {
     }
 }
 
+/// The handwritten batch-edge pins only pin something if the dataset
+/// really crosses the harness batch windows: the slice must come back
+/// full (the cuts land inside the data, not past its end), and at least
+/// one COUNT group must be wider than the widest window (7), so grouped
+/// state provably survives batch boundaries.
+#[test]
+fn batch_boundary_pins_are_non_vacuous() {
+    let cases = load_dir(&corpus_dir()).expect("corpus loads");
+    let find = |name: &str| {
+        cases
+            .iter()
+            .map(|(_, c)| c)
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("corpus must keep the {name} pin"))
+    };
+
+    let straddle = find("limit_offset_straddles_batch_edge");
+    let h = Harness::new(straddle.dataset.clone()).expect("dataset builds");
+    let sliced = h
+        .eval_pipeline_seq(&straddle.query)
+        .expect("pinned query evaluates");
+    assert_eq!(
+        sliced.len(),
+        4,
+        "OFFSET 5 LIMIT 4 must return a full slice — the dataset shrank below 9 matching rows"
+    );
+
+    let groups = find("count_groups_span_batch_edges");
+    assert_eq!(
+        groups.dataset, straddle.dataset,
+        "the two pins share one dataset so the replay builds one harness"
+    );
+    let counted = h
+        .eval_pipeline_seq(&groups.query)
+        .expect("pinned query evaluates");
+    let applab_qa::Canon::Solutions { variables, rows } = &counted else {
+        panic!("grouped COUNT must yield solutions, got {counted:?}");
+    };
+    // Canonical columns are sorted by name; ?n (the count) sorts first.
+    assert_eq!(variables, &["n", "t"]);
+    let widest = rows
+        .iter()
+        .filter_map(|r| r[0].as_deref())
+        .filter_map(|c| c.strip_prefix('"')?.split('"').next()?.parse::<f64>().ok())
+        .fold(0.0f64, f64::max);
+    assert!(
+        rows.len() >= 2,
+        "grouped COUNT must produce several groups, got {}",
+        rows.len()
+    );
+    assert!(
+        widest > 7.0,
+        "widest group has {widest} members — no group spans the sequential batch window of 7"
+    );
+}
+
 #[test]
 fn corpus_files_are_well_formed_and_stable() {
     let cases = load_dir(&corpus_dir()).expect("corpus loads");

@@ -98,6 +98,78 @@ fn thirty_two_threads_get_byte_identical_results() {
     assert_eq!(service.load(), (0, 0), "all permits released");
 }
 
+/// An `io::Write` that records chunk sizes and total bytes but keeps
+/// nothing, so streaming through it proves the serialization path never
+/// needed the document in one allocation.
+#[derive(Default)]
+struct CountingWriter {
+    total: usize,
+    chunks: usize,
+    max_chunk: usize,
+    digest: u64,
+}
+
+impl std::io::Write for CountingWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.total += buf.len();
+        self.chunks += 1;
+        self.max_chunk = self.max_chunk.max(buf.len());
+        for &b in buf {
+            self.digest = self.digest.wrapping_mul(1099511628211) ^ u64::from(b);
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(0u64, |h, &b| h.wrapping_mul(1099511628211) ^ u64::from(b))
+}
+
+/// The wire path: `QueryOutcome::write_json_results` must emit exactly the
+/// `to_json` bytes while flushing in bounded chunks — peak response memory
+/// on the service stays one flush window, flat in the result size.
+#[test]
+fn streamed_json_matches_to_json_in_bounded_chunks() {
+    let service = build_service();
+    for (ep, (name, sparql)) in ["store", "obda"]
+        .into_iter()
+        .flat_map(|ep| geographica_queries().into_iter().map(move |q| (ep, q)))
+    {
+        let out = service.query(ep, &sparql);
+        let golden = out
+            .results()
+            .unwrap_or_else(|| panic!("{ep}/{name} failed: {:?}", out.code()))
+            .to_json();
+        let mut w = CountingWriter::default();
+        assert!(out
+            .write_json_results(&mut w)
+            .expect("counting writer never errors"));
+        assert_eq!(w.total, golden.len(), "{ep}/{name}: byte count drifted");
+        assert_eq!(
+            w.digest,
+            fnv(golden.as_bytes()),
+            "{ep}/{name}: bytes drifted"
+        );
+        assert!(
+            w.max_chunk <= 64 * 1024,
+            "{ep}/{name}: {} byte chunk — streaming is buffering whole documents",
+            w.max_chunk
+        );
+    }
+
+    // Rejected queries write nothing and report false.
+    let out = service.query("nope", "SELECT * WHERE { ?s ?p ?o }");
+    let mut w = CountingWriter::default();
+    assert!(!out.write_json_results(&mut w).unwrap());
+    assert_eq!(w.total, 0);
+}
+
 #[test]
 fn zero_budget_times_out_on_both_backends() {
     let service = build_service();
