@@ -41,6 +41,7 @@ struct SweepReport {
     throughput: f64,
     p50: Duration,
     p95: Duration,
+    p99: Duration,
     ok: usize,
     rejected: usize,
 }
@@ -115,6 +116,7 @@ fn sweep(service: &ApplabService, wan: &SimulatedWan, threads: usize) -> SweepRe
         throughput: REQUESTS_PER_SWEEP as f64 / wall.as_secs_f64(),
         p50: percentile(&latencies, 0.50),
         p95: percentile(&latencies, 0.95),
+        p99: percentile(&latencies, 0.99),
         ok: REQUESTS_PER_SWEEP - rejected,
         rejected,
     }
@@ -132,6 +134,7 @@ struct FaultSweep {
     throughput: f64,
     p50: Duration,
     p95: Duration,
+    p99: Duration,
     ok: usize,
     degraded: usize,
     unavailable: usize,
@@ -247,6 +250,7 @@ fn fault_sweep(label: &'static str, rate: f64, resilience: bool) -> FaultSweep {
         throughput: FAULT_REQUESTS as f64 / wall.as_secs_f64(),
         p50: percentile(&latencies, 0.50),
         p95: percentile(&latencies, 0.95),
+        p99: percentile(&latencies, 0.99),
         ok,
         degraded,
         unavailable,
@@ -270,6 +274,7 @@ fn run_fault_experiment() {
                 format!("{:.1}", s.throughput),
                 format!("{:.1}", s.p50.as_secs_f64() * 1e3),
                 format!("{:.1}", s.p95.as_secs_f64() * 1e3),
+                format!("{:.1}", s.p99.as_secs_f64() * 1e3),
                 s.ok.to_string(),
                 s.degraded.to_string(),
                 s.unavailable.to_string(),
@@ -280,7 +285,8 @@ fn run_fault_experiment() {
     print_table(
         "B10: faulty WAN (obda backend, ChaosTransport, 4 clients)",
         &[
-            "faults", "wall s", "req/s", "p50 ms", "p95 ms", "ok", "degraded", "unavail", "other",
+            "faults", "wall s", "req/s", "p50 ms", "p95 ms", "p99 ms", "ok", "degraded", "unavail",
+            "other",
         ],
         &rows,
     );
@@ -319,6 +325,7 @@ fn run_fault_experiment() {
         json.push_str(&format!("      \"throughput_rps\": {:.3},\n", s.throughput));
         json.push_str(&format!("      \"p50_ns\": {},\n", s.p50.as_nanos()));
         json.push_str(&format!("      \"p95_ns\": {},\n", s.p95.as_nanos()));
+        json.push_str(&format!("      \"p99_ns\": {},\n", s.p99.as_nanos()));
         json.push_str(&format!("      \"ok\": {},\n", s.ok));
         json.push_str(&format!("      \"degraded\": {},\n", s.degraded));
         json.push_str(&format!("      \"unavailable\": {},\n", s.unavailable));
@@ -334,11 +341,129 @@ fn run_fault_experiment() {
     println!("wrote BENCH_faults.json");
 }
 
+/// The CI gate for the accounting + query-log plane (the O1 study of
+/// EXPERIMENTS.md, re-run with this PR's instrumentation): replay the
+/// same request batch against two identical store services — one with a
+/// rate-1.0 query log (buffered file sink) and flight recorder
+/// attached, one bare — in back-to-back *pairs* with alternating order
+/// (A/B, B/A, ...). Each pair yields an instrumented/plain ratio;
+/// within-pair drift cancels, and the median ratio suppresses the
+/// scheduler noise of the shared single-vCPU host (±10% on raw round
+/// medians, per O1). Breaching the budget exits nonzero so CI fails.
+const OVERHEAD_PAIRS: usize = 31;
+/// Batch repetitions per round: a single mini-Geographica batch runs in
+/// under a millisecond, where timer jitter swamps the signal; repeating
+/// it makes a round ~10ms so the gate measures steady-state per-query
+/// cost.
+const OVERHEAD_REPS: usize = 16;
+const OVERHEAD_BUDGET_PCT: f64 = 5.0;
+/// Ambient load on the shared host occasionally inflates a whole
+/// measurement run (every pair in it) by a few percent — the same
+/// effect O1 suppressed by comparing best-of-6 run medians. The gate
+/// does the analogue: up to this many attempts, passing on the first
+/// in-budget one and reporting the minimum (the noise-floor estimate
+/// of the true cost).
+const OVERHEAD_ATTEMPTS: usize = 3;
+
+fn overhead_round(service: &ApplabService, queries: &[(&'static str, String)]) -> Duration {
+    let started = Instant::now();
+    for _ in 0..OVERHEAD_REPS {
+        for (_, sparql) in queries {
+            let out = service.query("store", sparql);
+            assert!(out.is_ok(), "overhead batch queries must succeed");
+        }
+    }
+    started.elapsed()
+}
+
+/// One full measurement run: fresh service pair, warmup, then
+/// `OVERHEAD_PAIRS` back-to-back rounds with alternating inner order.
+/// Returns the median per-pair overhead in percent.
+fn overhead_attempt(cells: usize) -> f64 {
+    let log_path = std::env::temp_dir().join("applab_overhead_query_log.jsonl");
+    let log_file = std::io::BufWriter::new(
+        std::fs::File::create(&log_path).expect("create overhead query log"),
+    );
+    let plain = build_service(cells);
+    let instrumented = build_service(cells)
+        .with_query_log(Arc::new(applab_obs::QueryLog::new(
+            Box::new(applab_obs::WriterSink(log_file)),
+            applab_obs::SamplingPolicy::always(),
+            4096,
+        )))
+        .with_flight_recorder(Arc::new(applab_obs::FlightRecorder::new(256)));
+    let queries = geographica_queries();
+
+    // Warm both services (first-touch allocation, index residency).
+    overhead_round(&plain, &queries);
+    overhead_round(&instrumented, &queries);
+
+    let mut ratios = Vec::with_capacity(OVERHEAD_PAIRS);
+    for pair in 0..OVERHEAD_PAIRS {
+        let (plain_t, instr_t) = if pair % 2 == 0 {
+            let i = overhead_round(&instrumented, &queries);
+            let p = overhead_round(&plain, &queries);
+            (p, i)
+        } else {
+            let p = overhead_round(&plain, &queries);
+            let i = overhead_round(&instrumented, &queries);
+            (p, i)
+        };
+        ratios.push(instr_t.as_secs_f64() / plain_t.as_secs_f64());
+    }
+    ratios.sort_by(f64::total_cmp);
+    let _ = std::fs::remove_file(&log_path);
+    (ratios[ratios.len() / 2] - 1.0) * 100.0
+}
+
+fn run_overhead_check(cells: usize) {
+    let queries_per_round = geographica_queries().len();
+    let mut best = f64::INFINITY;
+    let mut attempts = 0usize;
+    for attempt in 1..=OVERHEAD_ATTEMPTS {
+        attempts = attempt;
+        let pct = overhead_attempt(cells);
+        println!(
+            "overhead attempt {attempt}/{OVERHEAD_ATTEMPTS}: {OVERHEAD_PAIRS} interleaved pairs \
+             x {queries_per_round} queries x {OVERHEAD_REPS} reps, accounting + rate-1.0 query \
+             log + flight recorder vs plain => median pair ratio {pct:+.2}%"
+        );
+        best = best.min(pct);
+        if best <= OVERHEAD_BUDGET_PCT {
+            break;
+        }
+    }
+    println!(
+        "overhead check: best of {attempts} attempt(s) = {best:+.2}% \
+         (budget {OVERHEAD_BUDGET_PCT:.1}%)"
+    );
+    let json = format!(
+        "{{\n  \"experiment\": \"observability-overhead\",\n  \"pairs\": {OVERHEAD_PAIRS},\n  \
+         \"queries_per_round\": {queries_per_round},\n  \"reps_per_round\": {OVERHEAD_REPS},\n  \
+         \"attempts\": {attempts},\n  \
+         \"estimator\": \"best attempt of median per-pair instrumented/plain wall ratios\",\n  \
+         \"overhead_pct\": {best:.3},\n  \
+         \"budget_pct\": {OVERHEAD_BUDGET_PCT}\n}}\n",
+    );
+    std::fs::write("BENCH_overhead.json", &json).expect("write BENCH_overhead.json");
+    println!("wrote BENCH_overhead.json");
+    if best > OVERHEAD_BUDGET_PCT {
+        eprintln!(
+            "FAIL: observability overhead {best:.2}% exceeds the \
+             {OVERHEAD_BUDGET_PCT:.1}% budget in all {OVERHEAD_ATTEMPTS} attempts"
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
-    let cells = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(20usize);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--overhead-check") {
+        let cells = args.iter().find_map(|a| a.parse().ok()).unwrap_or(12usize);
+        run_overhead_check(cells);
+        return;
+    }
+    let cells = args.first().and_then(|a| a.parse().ok()).unwrap_or(20usize);
     let service = build_service(cells);
     let wan = SimulatedWan::typical();
     println!(
@@ -361,13 +486,16 @@ fn main() {
                 format!("{:.1}", r.throughput),
                 format!("{:.1}", r.p50.as_secs_f64() * 1e3),
                 format!("{:.1}", r.p95.as_secs_f64() * 1e3),
+                format!("{:.1}", r.p99.as_secs_f64() * 1e3),
                 format!("{}/{}", r.ok, r.ok + r.rejected),
             ]
         })
         .collect();
     print_table(
         "B9: service throughput vs client threads (store backend)",
-        &["clients", "wall s", "req/s", "p50 ms", "p95 ms", "accepted"],
+        &[
+            "clients", "wall s", "req/s", "p50 ms", "p95 ms", "p99 ms", "accepted",
+        ],
         &rows,
     );
 
@@ -405,6 +533,7 @@ fn main() {
         json.push_str(&format!("      \"throughput_rps\": {:.3},\n", r.throughput));
         json.push_str(&format!("      \"p50_ns\": {},\n", r.p50.as_nanos()));
         json.push_str(&format!("      \"p95_ns\": {},\n", r.p95.as_nanos()));
+        json.push_str(&format!("      \"p99_ns\": {},\n", r.p99.as_nanos()));
         json.push_str(&format!("      \"accepted\": {},\n", r.ok));
         json.push_str(&format!("      \"rejected\": {}\n", r.rejected));
         json.push_str(if i + 1 == reports.len() {
@@ -416,6 +545,15 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
     println!("wrote BENCH_service.json");
+
+    // Per-endpoint SLO quantiles straight from the service's own
+    // histograms (`applab_service_query_seconds{endpoint}`), i.e. what an
+    // operator would read off the registry rather than off this harness.
+    let slo = applab_obs::global().slo_report("applab_service_query_seconds");
+    if !slo.entries.is_empty() {
+        println!("\nSLO report (service-side, from registry histograms):");
+        print!("{}", slo.render());
+    }
 
     println!();
     run_fault_experiment();

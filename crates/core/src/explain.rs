@@ -6,7 +6,7 @@
 //! (parse / scan / join / filter / project, plus the backend-specific
 //! `obda.*` stages) and the cardinality fields each stage recorded.
 
-use applab_obs::SpanNode;
+use applab_obs::{QueryStats, SpanNode};
 use applab_sparql::QueryResults;
 
 /// The result of an EXPLAIN-ed query: the ordinary results plus the
@@ -17,6 +17,9 @@ pub struct Explain {
     pub results: QueryResults,
     /// Root of the span tree (named `query`, with a `backend` field).
     pub profile: SpanNode,
+    /// Resource accounting for the profiled run (rows scanned, joins,
+    /// DAP round-trips, cache hits, ...).
+    pub stats: QueryStats,
 }
 
 impl Explain {
@@ -26,13 +29,40 @@ impl Explain {
     }
 
     /// The rendered per-stage report (indented tree with timings and
-    /// `key=value` cardinalities).
+    /// `key=value` cardinalities), followed by the resource accounting
+    /// summary line.
     pub fn report(&self) -> String {
-        self.profile.render()
+        let mut out = self.profile.render();
+        out.push_str(&format!(
+            "stats: rows_scanned={} scans={} batches={} joins={} \
+             probe_chunks={} filter_in={} filter_out={} dap_round_trips={} \
+             dap_bytes={} dap_retries={} cache_hits={} cache_misses={} \
+             source_queries={} pushdowns={} peak_batch_bytes={}\n",
+            self.stats.rows_scanned,
+            self.stats.scans,
+            self.stats.batches,
+            self.stats.joins,
+            self.stats.probe_chunks,
+            self.stats.filter_rows_in,
+            self.stats.filter_rows_out,
+            self.stats.dap_round_trips,
+            self.stats.dap_bytes,
+            self.stats.dap_retries,
+            self.stats.cache_hits,
+            self.stats.cache_misses,
+            self.stats.source_queries,
+            self.stats.pushdowns,
+            self.stats.peak_batch_bytes,
+        ));
+        out
     }
 
-    /// The profile tree as JSON.
+    /// The profile tree plus the stats, as one JSON object.
     pub fn to_json(&self) -> String {
-        self.profile.to_json()
+        format!(
+            "{{\"profile\": {}, \"stats\": {}}}",
+            self.profile.to_json(),
+            self.stats.to_json()
+        )
     }
 }

@@ -202,6 +202,7 @@ impl VirtualWorkflow {
     /// Run a query under a profiling trace: the results plus an EXPLAIN
     /// span tree with per-stage timings and cardinalities.
     pub fn query_explained(&self, sparql: &str) -> Result<crate::Explain, CoreError> {
+        let accounting = applab_obs::querystats::Scope::begin();
         let (results, profile) = applab_obs::profile("query", |root| {
             root.record("backend", "obda");
             let q = applab_sparql::parse_query(sparql)?;
@@ -215,6 +216,7 @@ impl VirtualWorkflow {
         Ok(crate::Explain {
             results: results?,
             profile,
+            stats: accounting.finish(),
         })
     }
 

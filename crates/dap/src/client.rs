@@ -157,6 +157,7 @@ impl DapClient {
         match outcome {
             Ok((value, bytes)) => {
                 span.record("bytes", bytes);
+                applab_obs::querystats::dap_round_trip(bytes as u64);
                 Ok(value)
             }
             Err(e) => {

@@ -307,6 +307,7 @@ impl ResilienceState {
             attempt += 1;
             let _retry_span = pending.take().map(|(backoff, cause)| {
                 self.retries.fetch_add(1, Ordering::Relaxed);
+                applab_obs::querystats::dap_retry();
                 applab_obs::global()
                     .counter_with(
                         "applab_dap_retries_total",

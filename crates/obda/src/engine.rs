@@ -80,6 +80,7 @@ impl DataSource {
         spatial_hint: Option<(&str, &Envelope)>,
     ) -> Result<Vec<Row>, ObdaError> {
         applab_obs::counter!("applab_obda_source_queries_total").inc();
+        applab_obs::querystats::source_query();
         let mut span = applab_obs::span("obda.execute");
         match &query.from {
             FromClause::Table(name) => {

@@ -24,6 +24,14 @@
 //!   the evaluator's query budget, and let stale cache serves deep in the
 //!   data plane surface as a `degraded` flag on the service outcome,
 //!   without dependency cycles or contaminated return types.
+//! * **per-query accounting** ([`querystats`]) — a thread-local scope
+//!   the service opens around each query; evaluator, store, DAP client
+//!   and caches bump the innermost cell at batch boundaries, and the
+//!   snapshot surfaces as `QueryOutcome::stats` and inside EXPLAIN.
+//! * **query log + flight recorder** ([`querylog`]) — one JSONL record
+//!   per served query (sampled, bounded, never blocking the query
+//!   path) plus an unsampled in-memory ring of the last N records for
+//!   postmortem dumps from the chaos/stress suites.
 //!
 //! Hot-path call sites use the [`counter!`]/[`gauge!`]/[`histogram!`]
 //! macros, which cache the registry handle in a local static so steady
@@ -33,10 +41,16 @@
 pub mod deadline;
 pub mod degrade;
 pub mod metrics;
+pub mod querylog;
+pub mod querystats;
 pub mod report;
 pub mod trace;
 
-pub use metrics::{global, next_instance_id, Counter, Gauge, Histogram, Registry};
+pub use metrics::{global, next_instance_id, Counter, Gauge, Histogram, Registry, SloReport};
+pub use querylog::{
+    FlightRecorder, LogSink, QueryLog, QueryLogRecord, SamplingPolicy, VecSink, WriterSink,
+};
+pub use querystats::QueryStats;
 pub use report::{build_trees, profile, SpanNode};
 pub use trace::{
     child_of, current, recent, span, subscribe, unsubscribe, Collector, RingBuffer, Span,

@@ -156,6 +156,38 @@ impl Histogram {
         f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
     }
 
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the bucket counts,
+    /// Prometheus-style: the target rank is located in its bucket and
+    /// the value is linearly interpolated between the bucket's bounds
+    /// (the first bucket interpolates up from 0). Observations in the
+    /// overflow bucket clamp to the last finite bound — a histogram can
+    /// not see above its bounds. Returns `None` for an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        // Rank of the target observation, 1-based; q=0 maps to rank 1.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let counts = self.bucket_counts();
+        let mut cumulative = 0u64;
+        for (i, n) in counts.iter().enumerate() {
+            let prev = cumulative;
+            cumulative += n;
+            if rank <= cumulative {
+                let Some(&upper) = self.bounds.get(i) else {
+                    // Overflow bucket: clamp to the last finite bound
+                    // (or 0 for a bound-less histogram).
+                    return Some(self.bounds.last().copied().unwrap_or(0.0));
+                };
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let into = (rank - prev) as f64 / *n as f64;
+                return Some(lower + (upper - lower) * into);
+            }
+        }
+        Some(self.bounds.last().copied().unwrap_or(0.0))
+    }
+
     fn reset(&self) {
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
@@ -229,7 +261,18 @@ impl Registry {
     /// Get or register the histogram `name`. The bounds of the first
     /// registration win; later calls ignore `bounds`.
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
-        let key = render_key(name, &[]);
+        self.histogram_with(name, &[], bounds)
+    }
+
+    /// Get or register a labeled histogram, e.g. a per-endpoint latency
+    /// series. The bounds of the first registration win.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Arc<Histogram> {
+        let key = render_key(name, labels);
         if let Some(Metric::Histogram(h)) = self.metrics.read().expect("registry lock").get(&key) {
             return h.clone();
         }
@@ -294,12 +337,15 @@ impl Registry {
     }
 
     /// JSON snapshot: `{"counters": {...}, "gauges": {...},
-    /// "histograms": {...}}`, sorted by series name.
+    /// "histograms": {...}, "slo": {...}}`, sorted by series name. The
+    /// `slo` section carries interpolated p50/p95/p99/max estimates
+    /// (see [`Histogram::quantile`]) for every nonempty histogram.
     pub fn to_json(&self) -> String {
         let metrics = self.metrics.read().expect("registry lock");
         let mut counters = String::new();
         let mut gauges = String::new();
         let mut histograms = String::new();
+        let mut slo = String::new();
         for (key, metric) in metrics.iter() {
             match metric {
                 Metric::Counter(c) => {
@@ -320,12 +366,102 @@ impl Registry {
                         h.count()
                     );
                     push_entry(&mut histograms, key, &value);
+                    if let Some(entry) = SloEntry::from_histogram(key, h) {
+                        let value = format!(
+                            "{{\"count\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {}}}",
+                            entry.count,
+                            format_f64(entry.p50),
+                            format_f64(entry.p95),
+                            format_f64(entry.p99),
+                            format_f64(entry.max)
+                        );
+                        push_entry(&mut slo, key, &value);
+                    }
                 }
             }
         }
         format!(
-            "{{\n  \"counters\": {{{counters}}},\n  \"gauges\": {{{gauges}}},\n  \"histograms\": {{{histograms}}}\n}}\n"
+            "{{\n  \"counters\": {{{counters}}},\n  \"gauges\": {{{gauges}}},\n  \"histograms\": {{{histograms}}},\n  \"slo\": {{{slo}}}\n}}\n"
         )
+    }
+
+    /// Quantile summaries for every nonempty histogram (optionally only
+    /// those whose key starts with `prefix`), sorted by series name —
+    /// the operator's SLO view.
+    pub fn slo_report(&self, prefix: &str) -> SloReport {
+        let metrics = self.metrics.read().expect("registry lock");
+        let mut entries = Vec::new();
+        for (key, metric) in metrics.iter() {
+            if let Metric::Histogram(h) = metric {
+                if key.starts_with(prefix) {
+                    if let Some(entry) = SloEntry::from_histogram(key, h) {
+                        entries.push(entry);
+                    }
+                }
+            }
+        }
+        SloReport { entries }
+    }
+}
+
+/// Quantile summary of one histogram series.
+#[derive(Debug, Clone)]
+pub struct SloEntry {
+    /// The series key, labels included.
+    pub series: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Interpolated 50th percentile.
+    pub p50: f64,
+    /// Interpolated 95th percentile.
+    pub p95: f64,
+    /// Interpolated 99th percentile.
+    pub p99: f64,
+    /// Upper estimate (clamped to the last finite bound).
+    pub max: f64,
+}
+
+impl SloEntry {
+    fn from_histogram(key: &str, h: &Histogram) -> Option<SloEntry> {
+        Some(SloEntry {
+            series: key.to_string(),
+            count: h.count(),
+            p50: h.quantile(0.50)?,
+            p95: h.quantile(0.95)?,
+            p99: h.quantile(0.99)?,
+            max: h.quantile(1.0)?,
+        })
+    }
+}
+
+/// A set of [`SloEntry`]s with a plain-text table rendering, emitted by
+/// `examples/ops.rs` and the exp_service bench.
+#[derive(Debug, Clone, Default)]
+pub struct SloReport {
+    /// One row per histogram series, sorted by series name.
+    pub entries: Vec<SloEntry>,
+}
+
+impl SloReport {
+    /// An aligned text table (seconds rendered as milliseconds).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<64} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+            "series", "count", "p50_ms", "p95_ms", "p99_ms", "max_ms"
+        ));
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{:<64} {:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3}\n",
+                e.series,
+                e.count,
+                e.p50 * 1e3,
+                e.p95 * 1e3,
+                e.p99 * 1e3,
+                e.max * 1e3
+            ));
+        }
+        out
     }
 }
 
@@ -348,9 +484,19 @@ fn render_key(name: &str, labels: &[(&str, &str)]) -> String {
     }
     let mut sorted: Vec<_> = labels.to_vec();
     sorted.sort_unstable();
+    // Prometheus label-value escaping: backslash first, then quote and
+    // newline — a raw newline in a label value would corrupt the text
+    // exposition format.
     let rendered: Vec<String> = sorted
         .iter()
-        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .map(|(k, v)| {
+            format!(
+                "{k}=\"{}\"",
+                v.replace('\\', "\\\\")
+                    .replace('"', "\\\"")
+                    .replace('\n', "\\n")
+            )
+        })
         .collect();
     format!("{name}{{{}}}", rendered.join(","))
 }
@@ -446,6 +592,108 @@ mod tests {
         let json = r.to_json();
         assert!(
             json.contains("\"applab_j_total{k=\\\"v\\\"}\": 1"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        assert_eq!(h.quantile(0.5), None);
+        h.observe(1.5);
+        assert!(h.quantile(0.5).is_some());
+        assert_eq!(h.quantile(1.5), None, "q outside [0,1] is rejected");
+        assert_eq!(h.quantile(-0.1), None);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_a_single_bucket() {
+        // All observations land in the (2.0, 4.0] bucket: quantiles
+        // interpolate linearly between the bucket's bounds.
+        let h = Histogram::new(&[2.0, 4.0]);
+        for _ in 0..4 {
+            h.observe(3.0);
+        }
+        // Ranks 1..=4 of 4 map to 2.5, 3.0, 3.5, 4.0.
+        assert_eq!(h.quantile(0.25), Some(2.5));
+        assert_eq!(h.quantile(0.5), Some(3.0));
+        assert_eq!(h.quantile(1.0), Some(4.0));
+        // The first bucket interpolates up from zero.
+        let h = Histogram::new(&[8.0]);
+        h.observe(1.0);
+        assert_eq!(h.quantile(0.5), Some(8.0), "rank 1 of 1 fills the bucket");
+    }
+
+    #[test]
+    fn quantile_spans_buckets_and_clamps_overflow() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(0.5); // bucket (0, 1]
+        h.observe(1.5); // bucket (1, 2]
+        h.observe(99.0); // overflow
+        h.observe(99.0); // overflow
+        assert_eq!(h.quantile(0.25), Some(1.0));
+        assert_eq!(h.quantile(0.5), Some(2.0));
+        // Overflow observations clamp to the last finite bound: the
+        // histogram cannot see above its bounds.
+        assert_eq!(h.quantile(0.99), Some(2.0));
+        assert_eq!(h.quantile(1.0), Some(2.0));
+    }
+
+    #[test]
+    fn labeled_histograms_are_distinct_series() {
+        let r = Registry::new();
+        let a = r.histogram_with("applab_h_seconds", &[("endpoint", "a")], &[1.0]);
+        let b = r.histogram_with("applab_h_seconds", &[("endpoint", "b")], &[1.0]);
+        a.observe(0.5);
+        assert_eq!(b.count(), 0, "labels split the series");
+        assert_eq!(
+            r.histogram_with("applab_h_seconds", &[("endpoint", "a")], &[1.0])
+                .count(),
+            1
+        );
+        let report = r.slo_report("applab_h_seconds");
+        assert_eq!(report.entries.len(), 1, "empty series are skipped");
+        assert_eq!(report.entries[0].series, "applab_h_seconds{endpoint=\"a\"}");
+    }
+
+    #[test]
+    fn json_snapshot_has_slo_section() {
+        let r = Registry::new();
+        let h = r.histogram("applab_q_seconds", &[1.0, 2.0]);
+        for _ in 0..4 {
+            h.observe(1.5);
+        }
+        let json = r.to_json();
+        assert!(
+            json.contains("\"applab_q_seconds\": {\"count\": 4, \"p50\": 1.5, \"p95\": 2, \"p99\": 2, \"max\": 2}"),
+            "{json}"
+        );
+    }
+
+    /// Golden escaping check: label values with quotes, backslashes and
+    /// newlines must survive both exposition formats.
+    #[test]
+    fn exposition_escapes_hostile_label_values() {
+        let r = Registry::new();
+        r.counter_with("applab_esc_total", &[("path", "a\"b\\c\nd")])
+            .inc();
+        let prom = r.to_prometheus();
+        assert!(
+            prom.contains("applab_esc_total{path=\"a\\\"b\\\\c\\nd\"} 1"),
+            "{prom}"
+        );
+        // No raw newline inside any sample line: each metric stays on
+        // one line of the text exposition.
+        let line = prom
+            .lines()
+            .find(|l| l.starts_with("applab_esc_total"))
+            .expect("series rendered");
+        assert!(line.ends_with(" 1"), "{line}");
+        let json = r.to_json();
+        // JSON doubles the escaping: the key holds the Prometheus-
+        // rendered series name, then JSON-escapes it.
+        assert!(
+            json.contains("\"applab_esc_total{path=\\\"a\\\\\\\"b\\\\\\\\c\\\\nd\\\"}\": 1"),
             "{json}"
         );
     }

@@ -1,0 +1,485 @@
+//! Per-query resource accounting.
+//!
+//! A query's cost is scattered across crates: the evaluator counts rows
+//! and batches, the store counts scans and index pushdowns, the DAP
+//! client counts round-trips and bytes, the SDL cache counts hits.
+//! Threading an accumulator through every signature would contaminate
+//! APIs the same way a degraded flag would ([`crate::degrade`]), so the
+//! same trick is used: the service opens a [`Scope`] around each query,
+//! which installs a shared [`StatsCell`] in a thread-local stack, and
+//! the instrumented layers bump whatever cell is innermost (a no-op
+//! costing one thread-local read when no query is being accounted).
+//!
+//! The parallel hash-join probe runs on scoped worker threads, which do
+//! not inherit the spawning thread's locals. Exactly like span
+//! parenting ([`crate::trace::child_of`]), the evaluator captures the
+//! live cell with [`current`] before spawning and re-installs it on
+//! each worker with [`attach`]; the cell's fields are atomics, so
+//! workers accumulate into it concurrently without merging steps.
+//!
+//! All hooks fire at *batch* boundaries (a scan's whole column, a probe
+//! chunk, a filter window), never per row — the accounting overhead
+//! budget is ≤5% end-to-end (see DESIGN.md §13).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The live accumulator for one query: plain relaxed atomics so scoped
+/// probe workers can share it without locks.
+#[derive(Debug, Default)]
+pub struct StatsCell {
+    rows_scanned: AtomicU64,
+    scans: AtomicU64,
+    batches: AtomicU64,
+    joins: AtomicU64,
+    join_build_rows: AtomicU64,
+    join_probe_rows: AtomicU64,
+    probe_chunks: AtomicU64,
+    filter_rows_in: AtomicU64,
+    filter_rows_out: AtomicU64,
+    dap_round_trips: AtomicU64,
+    dap_bytes: AtomicU64,
+    dap_retries: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    source_queries: AtomicU64,
+    pushdowns: AtomicU64,
+    peak_batch_bytes: AtomicU64,
+}
+
+impl StatsCell {
+    fn snapshot(&self) -> QueryStats {
+        QueryStats {
+            rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
+            scans: self.scans.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            joins: self.joins.load(Ordering::Relaxed),
+            join_build_rows: self.join_build_rows.load(Ordering::Relaxed),
+            join_probe_rows: self.join_probe_rows.load(Ordering::Relaxed),
+            probe_chunks: self.probe_chunks.load(Ordering::Relaxed),
+            filter_rows_in: self.filter_rows_in.load(Ordering::Relaxed),
+            filter_rows_out: self.filter_rows_out.load(Ordering::Relaxed),
+            dap_round_trips: self.dap_round_trips.load(Ordering::Relaxed),
+            dap_bytes: self.dap_bytes.load(Ordering::Relaxed),
+            dap_retries: self.dap_retries.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            source_queries: self.source_queries.load(Ordering::Relaxed),
+            pushdowns: self.pushdowns.load(Ordering::Relaxed),
+            peak_batch_bytes: self.peak_batch_bytes.load(Ordering::Relaxed),
+            queue_wait_ns: 0,
+            degraded: false,
+        }
+    }
+}
+
+/// A finished snapshot of one query's resource accounting. Every field
+/// is a plain value; `queue_wait_ns` and `degraded` are filled in by the
+/// service (they are known outside the evaluation scope).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryStats {
+    /// Rows produced by data-source scans (store id columns, OBDA source
+    /// query results). The "how much data did this query touch" number.
+    pub rows_scanned: u64,
+    /// Data-source scans executed.
+    pub scans: u64,
+    /// Batch windows moved through the vectorized pipeline.
+    pub batches: u64,
+    /// Hash joins executed.
+    pub joins: u64,
+    /// Total rows on the build sides of all joins.
+    pub join_build_rows: u64,
+    /// Total rows on the probe sides of all joins.
+    pub join_probe_rows: u64,
+    /// Probe chunks processed (sequential: one per join; parallel: one
+    /// per worker chunk).
+    pub probe_chunks: u64,
+    /// Rows entering FILTER evaluation.
+    pub filter_rows_in: u64,
+    /// Rows surviving FILTER evaluation.
+    pub filter_rows_out: u64,
+    /// Remote DAP requests completed.
+    pub dap_round_trips: u64,
+    /// Payload bytes received over DAP.
+    pub dap_bytes: u64,
+    /// DAP attempts that were retries.
+    pub dap_retries: u64,
+    /// SubsetCache hits (fresh or stale-within-grace).
+    pub cache_hits: u64,
+    /// SubsetCache misses (fetched from upstream).
+    pub cache_misses: u64,
+    /// OBDA source queries executed.
+    pub source_queries: u64,
+    /// Scans answered through a spatial/temporal index pushdown.
+    pub pushdowns: u64,
+    /// Largest batch (approximate bytes) held at once.
+    pub peak_batch_bytes: u64,
+    /// Time spent waiting for an admission permit (service-filled).
+    pub queue_wait_ns: u64,
+    /// Whether any part of the answer was served stale (service-filled).
+    pub degraded: bool,
+}
+
+impl QueryStats {
+    /// `filter_rows_out / filter_rows_in`, or `None` when no FILTER ran.
+    pub fn filter_selectivity(&self) -> Option<f64> {
+        if self.filter_rows_in == 0 {
+            None
+        } else {
+            Some(self.filter_rows_out as f64 / self.filter_rows_in as f64)
+        }
+    }
+
+    /// The stats as a JSON object (no trailing newline), embedded in
+    /// query-log records and EXPLAIN output.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(384);
+        self.write_json(&mut out);
+        out
+    }
+
+    /// Append the JSON object to `out`. Hand-rolled (no `format!`
+    /// machinery, no intermediate allocations): this runs once per
+    /// logged query on the log's writer thread, which shares the CPU
+    /// with query evaluation on small hosts.
+    pub(crate) fn write_json(&self, out: &mut String) {
+        let fields: [(&str, u64); 18] = [
+            ("{\"rows_scanned\": ", self.rows_scanned),
+            (", \"scans\": ", self.scans),
+            (", \"batches\": ", self.batches),
+            (", \"joins\": ", self.joins),
+            (", \"join_build_rows\": ", self.join_build_rows),
+            (", \"join_probe_rows\": ", self.join_probe_rows),
+            (", \"probe_chunks\": ", self.probe_chunks),
+            (", \"filter_rows_in\": ", self.filter_rows_in),
+            (", \"filter_rows_out\": ", self.filter_rows_out),
+            (", \"dap_round_trips\": ", self.dap_round_trips),
+            (", \"dap_bytes\": ", self.dap_bytes),
+            (", \"dap_retries\": ", self.dap_retries),
+            (", \"cache_hits\": ", self.cache_hits),
+            (", \"cache_misses\": ", self.cache_misses),
+            (", \"source_queries\": ", self.source_queries),
+            (", \"pushdowns\": ", self.pushdowns),
+            (", \"peak_batch_bytes\": ", self.peak_batch_bytes),
+            (", \"queue_wait_ns\": ", self.queue_wait_ns),
+        ];
+        for (i, (prefix, v)) in fields.iter().enumerate() {
+            out.push_str(prefix);
+            push_u64(out, *v);
+            if i == 8 {
+                out.push_str(", \"filter_selectivity\": ");
+                match self.filter_selectivity() {
+                    Some(s) => {
+                        use std::fmt::Write;
+                        let _ = write!(out, "{s:.4}");
+                    }
+                    None => out.push_str("null"),
+                }
+            }
+        }
+        out.push_str(", \"degraded\": ");
+        out.push_str(if self.degraded { "true" } else { "false" });
+        out.push('}');
+    }
+}
+
+/// Append `v` in decimal without going through `format!`.
+pub(crate) fn push_u64(out: &mut String, mut v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("ascii digits"));
+}
+
+thread_local! {
+    /// Innermost-last stack of live accounting cells on this thread.
+    static ACTIVE: RefCell<Vec<Arc<StatsCell>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with the innermost live cell, if any. One thread-local read
+/// when no query is being accounted.
+#[inline]
+fn with_cell(f: impl FnOnce(&StatsCell)) {
+    ACTIVE.with(|stack| {
+        if let Some(cell) = stack.borrow().last() {
+            f(cell);
+        }
+    });
+}
+
+/// The innermost live cell on this thread — capture before spawning
+/// probe workers, re-install on each with [`attach`].
+pub fn current() -> Option<Arc<StatsCell>> {
+    ACTIVE.with(|stack| stack.borrow().last().cloned())
+}
+
+/// An accounting scope: installs a fresh cell on this thread; dropped
+/// (or [`Scope::finish`]ed) it uninstalls and yields the snapshot.
+#[derive(Debug)]
+pub struct Scope {
+    cell: Arc<StatsCell>,
+}
+
+impl Scope {
+    /// Begin accounting on the current thread.
+    pub fn begin() -> Self {
+        let cell = Arc::new(StatsCell::default());
+        ACTIVE.with(|stack| stack.borrow_mut().push(Arc::clone(&cell)));
+        Scope { cell }
+    }
+
+    /// Snapshot the counts accumulated so far (the scope stays live).
+    pub fn snapshot(&self) -> QueryStats {
+        self.cell.snapshot()
+    }
+
+    /// End the scope and return the final snapshot.
+    pub fn finish(self) -> QueryStats {
+        self.cell.snapshot()
+    }
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        ACTIVE.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Normally the top; be defensive about out-of-order drops.
+            if let Some(pos) = stack.iter().rposition(|c| Arc::ptr_eq(c, &self.cell)) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+/// Install an existing cell on this thread (probe workers); uninstalled
+/// when the guard drops.
+pub fn attach(cell: Arc<StatsCell>) -> AttachGuard {
+    ACTIVE.with(|stack| stack.borrow_mut().push(Arc::clone(&cell)));
+    AttachGuard { cell }
+}
+
+/// RAII guard for [`attach`].
+#[derive(Debug)]
+pub struct AttachGuard {
+    cell: Arc<StatsCell>,
+}
+
+impl Drop for AttachGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|c| Arc::ptr_eq(c, &self.cell)) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+// ── increment hooks (called from the instrumented crates) ──────────────
+
+/// A data-source scan produced `rows` rows.
+#[inline]
+pub fn scan(rows: u64) {
+    with_cell(|c| {
+        c.scans.fetch_add(1, Ordering::Relaxed);
+        c.rows_scanned.fetch_add(rows, Ordering::Relaxed);
+    });
+}
+
+/// `n` batch windows moved through a pipeline stage.
+#[inline]
+pub fn batches(n: u64) {
+    with_cell(|c| {
+        c.batches.fetch_add(n, Ordering::Relaxed);
+    });
+}
+
+/// A batch of `approx_bytes` was held at a stage boundary (maxes into
+/// the peak-batch gauge).
+#[inline]
+pub fn peak_batch_bytes(approx_bytes: u64) {
+    with_cell(|c| {
+        c.peak_batch_bytes
+            .fetch_max(approx_bytes, Ordering::Relaxed);
+    });
+}
+
+/// A hash join ran with the given build/probe cardinalities.
+#[inline]
+pub fn join(build_rows: u64, probe_rows: u64) {
+    with_cell(|c| {
+        c.joins.fetch_add(1, Ordering::Relaxed);
+        c.join_build_rows.fetch_add(build_rows, Ordering::Relaxed);
+        c.join_probe_rows.fetch_add(probe_rows, Ordering::Relaxed);
+    });
+}
+
+/// One probe chunk was processed (parallel probe: one per worker chunk).
+#[inline]
+pub fn probe_chunk() {
+    with_cell(|c| {
+        c.probe_chunks.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+/// A FILTER window saw `rows_in` rows and passed `rows_out`.
+#[inline]
+pub fn filter(rows_in: u64, rows_out: u64) {
+    with_cell(|c| {
+        c.filter_rows_in.fetch_add(rows_in, Ordering::Relaxed);
+        c.filter_rows_out.fetch_add(rows_out, Ordering::Relaxed);
+    });
+}
+
+/// A remote DAP request completed, delivering `bytes` payload bytes.
+#[inline]
+pub fn dap_round_trip(bytes: u64) {
+    with_cell(|c| {
+        c.dap_round_trips.fetch_add(1, Ordering::Relaxed);
+        c.dap_bytes.fetch_add(bytes, Ordering::Relaxed);
+    });
+}
+
+/// A DAP attempt was a retry.
+#[inline]
+pub fn dap_retry() {
+    with_cell(|c| {
+        c.dap_retries.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+/// A SubsetCache hit (fresh or stale-within-grace).
+#[inline]
+pub fn cache_hit() {
+    with_cell(|c| {
+        c.cache_hits.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+/// A SubsetCache miss.
+#[inline]
+pub fn cache_miss() {
+    with_cell(|c| {
+        c.cache_misses.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+/// An OBDA source query executed.
+#[inline]
+pub fn source_query() {
+    with_cell(|c| {
+        c.source_queries.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+/// A scan was answered through a spatial/temporal index pushdown.
+#[inline]
+pub fn pushdown() {
+    with_cell(|c| {
+        c.pushdowns.fetch_add(1, Ordering::Relaxed);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_accumulates_and_snapshots() {
+        let scope = Scope::begin();
+        scan(100);
+        scan(31);
+        join(31, 100);
+        probe_chunk();
+        filter(131, 7);
+        batches(2);
+        peak_batch_bytes(4096);
+        peak_batch_bytes(1024);
+        dap_round_trip(2048);
+        dap_retry();
+        cache_hit();
+        cache_miss();
+        source_query();
+        pushdown();
+        let stats = scope.finish();
+        assert_eq!(stats.rows_scanned, 131);
+        assert_eq!(stats.scans, 2);
+        assert_eq!(stats.joins, 1);
+        assert_eq!(stats.join_build_rows, 31);
+        assert_eq!(stats.join_probe_rows, 100);
+        assert_eq!(stats.probe_chunks, 1);
+        assert_eq!(stats.filter_rows_in, 131);
+        assert_eq!(stats.filter_rows_out, 7);
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.peak_batch_bytes, 4096, "peak, not sum");
+        assert_eq!(stats.dap_round_trips, 1);
+        assert_eq!(stats.dap_bytes, 2048);
+        assert_eq!(stats.dap_retries, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.source_queries, 1);
+        assert_eq!(stats.pushdowns, 1);
+        let sel = stats.filter_selectivity().expect("filter ran");
+        assert!((sel - 7.0 / 131.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hooks_are_noops_without_a_scope() {
+        scan(1_000_000);
+        let scope = Scope::begin();
+        let stats = scope.finish();
+        assert_eq!(stats.rows_scanned, 0);
+    }
+
+    #[test]
+    fn scopes_nest_and_inner_wins() {
+        let outer = Scope::begin();
+        scan(10);
+        {
+            let inner = Scope::begin();
+            scan(5);
+            assert_eq!(inner.finish().rows_scanned, 5);
+        }
+        scan(1);
+        assert_eq!(outer.finish().rows_scanned, 11);
+    }
+
+    #[test]
+    fn attach_merges_across_threads() {
+        let scope = Scope::begin();
+        let cell = current().expect("scope installed a cell");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cell = Arc::clone(&cell);
+                s.spawn(move || {
+                    let _guard = attach(cell);
+                    probe_chunk();
+                    scan(25);
+                });
+            }
+        });
+        let stats = scope.finish();
+        assert_eq!(stats.probe_chunks, 4);
+        assert_eq!(stats.rows_scanned, 100);
+    }
+
+    #[test]
+    fn stats_json_has_every_field() {
+        let scope = Scope::begin();
+        filter(10, 5);
+        let stats = scope.finish();
+        let json = stats.to_json();
+        assert!(json.contains("\"filter_selectivity\": 0.5000"), "{json}");
+        assert!(json.contains("\"degraded\": false"), "{json}");
+        let no_filter = QueryStats::default().to_json();
+        assert!(no_filter.contains("\"filter_selectivity\": null"));
+    }
+}

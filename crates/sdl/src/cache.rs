@@ -119,11 +119,13 @@ impl SubsetCache {
             if let Some((at, value)) = entries.get(key) {
                 if now.saturating_sub(*at) < self.window {
                     self.hits.inc();
+                    applab_obs::querystats::cache_hit();
                     return Ok((value.clone(), false));
                 }
             }
         }
         self.misses.inc();
+        applab_obs::querystats::cache_miss();
         match fetch() {
             Ok(value) => {
                 let value = Arc::new(value);
@@ -141,6 +143,7 @@ impl SubsetCache {
                     if let Some((at, value)) = entries.get(key) {
                         if now.saturating_sub(*at) < self.window + self.grace {
                             self.stale.inc();
+                            applab_obs::querystats::cache_hit();
                             applab_obs::degrade::mark(key);
                             return Ok((value.clone(), true));
                         }

@@ -94,6 +94,9 @@ impl WorkerPool {
                         if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err() {
                             panicked.fetch_add(1, Ordering::Relaxed);
                             applab_obs::counter!("applab_sdl_pool_panicked_jobs_total").inc();
+                            // The pool serves the DAP fetch path; ops
+                            // dashboards watch the dap-prefixed series.
+                            applab_obs::counter!("applab_dap_worker_panics_total").inc();
                         }
                     }
                 })
@@ -213,6 +216,29 @@ mod tests {
             std::thread::yield_now();
         }
         assert_eq!(pool.panicked_jobs(), 1);
+        assert!(pool.shutdown().is_err());
+    }
+
+    /// Caught worker panics are visible in the global registry *live*
+    /// (not only at shutdown): the ops counter increments as soon as
+    /// the panic is caught.
+    #[test]
+    fn worker_panics_increment_the_global_counter() {
+        // The global registry is shared across tests in this binary:
+        // assert on the delta, not the absolute value.
+        let counter = applab_obs::global().counter("applab_dap_worker_panics_total");
+        let before = counter.get();
+        let pool = WorkerPool::new(1);
+        pool.submit(|| panic!("boom"));
+        let done = Arc::new(AtomicU64::new(0));
+        let d = done.clone();
+        pool.submit(move || {
+            d.store(1, Ordering::SeqCst);
+        });
+        while done.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(counter.get(), before + 1);
         assert!(pool.shutdown().is_err());
     }
 

@@ -21,9 +21,20 @@
 //!   `Unavailable` rejection with a stable [`CoreError::code`] used as the
 //!   metrics label.
 //!
+//! * **per-query accounting** — every outcome carries a
+//!   [`QueryStats`] snapshot (rows scanned, joins, DAP round-trips and
+//!   bytes, cache hits, queue wait, ...) collected through the
+//!   `applab_obs::querystats` thread-local scope;
+//! * **query log + flight recorder** — with
+//!   [`ApplabService::with_query_log`] one sampled JSONL record is
+//!   emitted per outcome (never blocking the query path), and with
+//!   [`ApplabService::with_flight_recorder`] the last N outcomes stay
+//!   in an in-memory ring for postmortem dumps.
+//!
 //! Metrics: `applab_service_in_flight` / `applab_service_queued` gauges,
 //! `applab_service_outcomes_total{endpoint,code}` counters, and
-//! `applab_service_query_seconds` / `applab_service_queue_wait_seconds`
+//! `applab_service_query_seconds` (total plus a per-`endpoint` series
+//! feeding the SLO quantile report) / `applab_service_queue_wait_seconds`
 //! histograms.
 //!
 //! ```no_run
@@ -45,8 +56,10 @@ mod admission;
 
 use admission::Admission;
 use applab_core::{CoreError, QueryEndpoint};
+use applab_obs::querylog;
+use applab_obs::{FlightRecorder, QueryLog, QueryLogRecord, QueryStats, SpanContext};
 use applab_sparql::{Budget, EvalOptions, QueryResults};
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -110,6 +123,10 @@ pub struct QueryOutcome {
     /// complete and well-formed, just possibly out of date. Always `false`
     /// for rejected queries and failures.
     pub degraded: bool,
+    /// Per-query resource accounting, captured across the evaluation
+    /// (rows scanned, joins, DAP round-trips/bytes, cache hits, ...).
+    /// All-zero for queries rejected before evaluation started.
+    pub stats: QueryStats,
     /// The results, or the typed rejection/failure.
     pub result: Result<QueryResults, CoreError>,
 }
@@ -160,6 +177,9 @@ pub struct ApplabService {
     endpoints: Vec<(String, Arc<dyn QueryEndpoint>)>,
     admission: Admission,
     config: ServiceConfig,
+    query_log: Option<Arc<QueryLog>>,
+    recorder: Option<Arc<FlightRecorder>>,
+    log_seq: AtomicU64,
 }
 
 impl ApplabService {
@@ -169,6 +189,9 @@ impl ApplabService {
             endpoints: Vec::new(),
             admission: Admission::new(config.max_in_flight, config.max_queue),
             config,
+            query_log: None,
+            recorder: None,
+            log_seq: AtomicU64::new(0),
         }
     }
 
@@ -179,6 +202,22 @@ impl ApplabService {
         endpoint: Arc<dyn QueryEndpoint>,
     ) -> Self {
         self.register(name, endpoint);
+        self
+    }
+
+    /// Attach a structured query log: one sampled JSONL record per
+    /// outcome (see [`applab_obs::querylog`]). Emission never blocks the
+    /// query path.
+    pub fn with_query_log(mut self, log: Arc<QueryLog>) -> Self {
+        self.query_log = Some(log);
+        self
+    }
+
+    /// Attach a flight recorder: every outcome (unsampled) lands in the
+    /// in-memory ring, ready for a postmortem
+    /// [`dump`](FlightRecorder::dump).
+    pub fn with_flight_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 
@@ -211,14 +250,19 @@ impl ApplabService {
     /// Serve one query with per-query deadline/cancellation options.
     pub fn query_with(&self, endpoint: &str, sparql: &str, request: &QueryRequest) -> QueryOutcome {
         let Some((name, ep)) = self.endpoints.iter().find(|(n, _)| n == endpoint) else {
-            return self.finish(QueryOutcome {
-                endpoint: endpoint.to_string(),
-                backend: "?",
-                queue_wait: Duration::ZERO,
-                elapsed: Duration::ZERO,
-                degraded: false,
-                result: Err(CoreError::Source(format!("unknown endpoint '{endpoint}'"))),
-            });
+            return self.finish(
+                QueryOutcome {
+                    endpoint: endpoint.to_string(),
+                    backend: "?",
+                    queue_wait: Duration::ZERO,
+                    elapsed: Duration::ZERO,
+                    degraded: false,
+                    stats: QueryStats::default(),
+                    result: Err(CoreError::Source(format!("unknown endpoint '{endpoint}'"))),
+                },
+                sparql,
+                None,
+            );
         };
 
         let mut span = applab_obs::span("service.query");
@@ -233,17 +277,26 @@ impl ApplabService {
             Ok(p) => p,
             Err(rejection) => {
                 span.record("code", "overloaded");
-                return self.finish(QueryOutcome {
-                    endpoint: name.clone(),
-                    backend: ep.backend(),
-                    queue_wait,
-                    elapsed: Duration::ZERO,
-                    degraded: false,
-                    result: Err(CoreError::Overloaded {
-                        in_flight: rejection.in_flight,
-                        queued: rejection.queued,
-                    }),
-                });
+                let stats = QueryStats {
+                    queue_wait_ns: queue_wait.as_nanos() as u64,
+                    ..QueryStats::default()
+                };
+                return self.finish(
+                    QueryOutcome {
+                        endpoint: name.clone(),
+                        backend: ep.backend(),
+                        queue_wait,
+                        elapsed: Duration::ZERO,
+                        degraded: false,
+                        stats,
+                        result: Err(CoreError::Overloaded {
+                            in_flight: rejection.in_flight,
+                            queued: rejection.queued,
+                        }),
+                    },
+                    sparql,
+                    Some(span.context()),
+                );
             }
         };
 
@@ -262,11 +315,25 @@ impl ApplabService {
         let started = Instant::now();
         // Degrade marks flow through a thread-local scope: stale serves
         // during this evaluation (and only this one) flag the outcome.
+        // The accounting scope works the same way: the evaluator, store,
+        // DAP client and caches bump its cell from wherever this query's
+        // work happens (parallel probe workers included, via attach).
         let degrade_scope = applab_obs::degrade::Scope::begin();
+        let accounting = applab_obs::querystats::Scope::begin();
         let result = ep.query_with(sparql, &options);
+        let mut stats = accounting.finish();
         let degraded = result.is_ok() && degrade_scope.degraded();
         let elapsed = started.elapsed();
+        stats.queue_wait_ns = queue_wait.as_nanos() as u64;
+        stats.degraded = degraded;
         applab_obs::histogram!("applab_service_query_seconds", WAIT_SECONDS_BUCKETS)
+            .observe(elapsed.as_secs_f64());
+        applab_obs::global()
+            .histogram_with(
+                "applab_service_query_seconds",
+                &[("endpoint", name)],
+                WAIT_SECONDS_BUCKETS,
+            )
             .observe(elapsed.as_secs_f64());
         if degraded {
             applab_obs::global()
@@ -279,21 +346,56 @@ impl ApplabService {
             queue_wait,
             elapsed,
             degraded,
+            stats,
             result,
         };
         span.record("code", outcome.code());
         span.record("degraded", degraded);
-        self.finish(outcome)
+        let ctx = span.context();
+        self.finish(outcome, sparql, Some(ctx))
     }
 
-    /// Record the outcome counter and hand the outcome back.
-    fn finish(&self, outcome: QueryOutcome) -> QueryOutcome {
+    /// Record the outcome counter, emit the query-log/flight-recorder
+    /// record, and hand the outcome back.
+    fn finish(
+        &self,
+        outcome: QueryOutcome,
+        sparql: &str,
+        ctx: Option<SpanContext>,
+    ) -> QueryOutcome {
         applab_obs::global()
             .counter_with(
                 "applab_service_outcomes_total",
                 &[("endpoint", &outcome.endpoint), ("code", outcome.code())],
             )
             .inc();
+        if self.query_log.is_some() || self.recorder.is_some() {
+            let record = QueryLogRecord {
+                seq: self.log_seq.fetch_add(1, Ordering::Relaxed),
+                ts_ms: querylog::now_ms(),
+                endpoint: outcome.endpoint.clone(),
+                backend: outcome.backend.to_string(),
+                code: outcome.code().to_string(),
+                degraded: outcome.degraded,
+                elapsed_ns: outcome.elapsed.as_nanos() as u64,
+                queue_wait_ns: outcome.queue_wait.as_nanos() as u64,
+                query_hash: querylog::hash_query(sparql),
+                query: querylog::truncate_query(sparql),
+                trace_id: ctx.map_or(0, |c| c.trace_id),
+                span_id: ctx.map_or(0, |c| c.span_id),
+                stats: outcome.stats.clone(),
+            };
+            // The recorder keeps everything; the log applies sampling.
+            // The log renders from a reference into a recycled buffer,
+            // so the record moves into the recorder uncloned — with both
+            // consumers attached no query pays a record clone.
+            if let Some(log) = &self.query_log {
+                log.log(&record);
+            }
+            if let Some(recorder) = &self.recorder {
+                recorder.record(record);
+            }
+        }
         outcome
     }
 }
@@ -477,6 +579,49 @@ mod tests {
         let out = svc.query("fresh", "SELECT 1");
         assert_eq!(out.code(), "ok");
         assert!(!out.degraded);
+    }
+
+    #[test]
+    fn query_log_and_flight_recorder_capture_every_outcome() {
+        let (sink, lines) = applab_obs::VecSink::new();
+        let log = Arc::new(QueryLog::new(
+            sink,
+            applab_obs::SamplingPolicy::always(),
+            64,
+        ));
+        let recorder = Arc::new(FlightRecorder::new(8));
+        let svc = ApplabService::new(ServiceConfig::default())
+            .with_endpoint("fake", Arc::new(FakeEndpoint::instant()))
+            .with_query_log(Arc::clone(&log))
+            .with_flight_recorder(Arc::clone(&recorder));
+        assert_eq!(svc.query("fake", "SELECT 1").code(), "ok");
+        assert_eq!(svc.query("nope", "SELECT 2").code(), "source");
+        log.flush();
+        let lines = lines.lock().expect("lines");
+        assert_eq!(lines.len(), 2, "rate 1.0 logs every outcome");
+        let first = QueryLogRecord::from_json(&lines[0]).expect("line parses");
+        assert_eq!(first.endpoint, "fake");
+        assert_eq!(first.code, "ok");
+        assert_eq!(first.query, "SELECT 1");
+        assert_eq!(first.query_hash, querylog::hash_query("SELECT 1"));
+        let second = QueryLogRecord::from_json(&lines[1]).expect("line parses");
+        assert_eq!(second.code, "source");
+        assert_eq!(second.backend, "?");
+        let tape = recorder.dump();
+        assert_eq!(tape.len(), 2);
+        assert_eq!(tape[0].seq, 0);
+        assert_eq!(tape[1].seq, 1);
+    }
+
+    #[test]
+    fn outcome_stats_carry_queue_wait() {
+        let svc = service(ServiceConfig::default());
+        let before = Instant::now();
+        let out = svc.query("fake", "SELECT 1");
+        assert_eq!(out.code(), "ok");
+        assert_eq!(out.stats.queue_wait_ns, out.queue_wait.as_nanos() as u64);
+        assert!(out.stats.queue_wait_ns <= before.elapsed().as_nanos() as u64);
+        assert!(!out.stats.degraded);
     }
 
     #[test]

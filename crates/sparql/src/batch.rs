@@ -210,6 +210,16 @@ impl Batch {
         self.cols.len()
     }
 
+    /// Approximate in-memory size: id words plus validity words across
+    /// the materialized columns (lazy columns hold nothing). Feeds the
+    /// peak-batch-bytes query accounting.
+    pub(crate) fn approx_bytes(&self) -> u64 {
+        self.cols
+            .iter()
+            .map(|c| (c.ids.len() + c.valid.len()) as u64 * 8)
+            .sum()
+    }
+
     #[inline]
     pub(crate) fn col(&self, slot: usize) -> &Column {
         &self.cols[slot]

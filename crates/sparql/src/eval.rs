@@ -368,6 +368,8 @@ fn form_results(
             proj_span.record("input_rows", batch.len());
             let batch_size = ev.options.batch_size.max(1);
             proj_span.record("batches", batch.len().div_ceil(batch_size).max(1) as u64);
+            applab_obs::querystats::batches(batch.len().div_ceil(batch_size).max(1) as u64);
+            applab_obs::querystats::peak_batch_bytes(batch.approx_bytes());
 
             if grouped {
                 (variables, rows) = ev.aggregate_batch(&batch, projection, group_by)?;
@@ -817,6 +819,9 @@ impl<'a> Evaluator<'a> {
                 };
                 fspan.record("rows", out.len());
                 fspan.record_rate("rows_per_sec", total as u64);
+                applab_obs::querystats::filter(total as u64, out.len() as u64);
+                applab_obs::querystats::batches(total.div_ceil(batch_size).max(1) as u64);
+                applab_obs::querystats::peak_batch_bytes(out.approx_bytes());
                 out
             }
             GraphPattern::Join(left, right) => {
@@ -1098,6 +1103,7 @@ impl<'a> Evaluator<'a> {
         if let Some(answers) = self.source.evaluate_bgp(patterns, &constraints.spatial) {
             bgp_span.record("source_bgp", true);
             bgp_span.record("source_rows", answers.len());
+            applab_obs::querystats::scan(answers.len() as u64);
             let mut build = Batch::new(width);
             let mut rowbuf: Vec<Option<u64>> = vec![None; width];
             for b in &answers {
@@ -1127,6 +1133,7 @@ impl<'a> Evaluator<'a> {
             let col = self.scan_column(p, subst.as_deref(), constraints);
             scan_span.record("rows", col.0.len());
             scan_span.record_rate("rows_per_sec", col.0.len() as u64);
+            applab_obs::querystats::scan(col.0.len() as u64);
             drop(scan_span);
             if col.0.is_empty() {
                 return Batch::new(width);
@@ -1440,6 +1447,7 @@ impl<'a> Evaluator<'a> {
             return build;
         }
         applab_obs::counter!("applab_sparql_joins_total").inc();
+        applab_obs::querystats::join(build.len() as u64, probe.len() as u64);
         let mut join_span = applab_obs::span("join");
         join_span.record("probe", probe.len());
         join_span.record("build", build.len());
@@ -1583,11 +1591,19 @@ impl<'a> Evaluator<'a> {
                         let pr = &probe_one;
                         let parent = join_span.context();
                         let budget = &self.options.budget;
+                        // Worker threads don't inherit this thread's
+                        // accounting scope; hand them the live cell the
+                        // same way `parent` hands them the span context.
+                        let stats_cell = applab_obs::querystats::current();
+                        let stats_cell = &stats_cell;
                         let results: Vec<Vec<(u32, u32)>> = std::thread::scope(|scope| {
                             let handles: Vec<_> = prows
                                 .chunks(chunk)
                                 .map(|c| {
                                     scope.spawn(move || {
+                                        let _stats =
+                                            stats_cell.clone().map(applab_obs::querystats::attach);
+                                        applab_obs::querystats::probe_chunk();
                                         let mut chunk_span =
                                             applab_obs::child_of(Some(parent), "probe.chunk");
                                         chunk_span.record("rows", c.len());
@@ -1621,6 +1637,7 @@ impl<'a> Evaluator<'a> {
                         continue;
                     }
                 }
+                applab_obs::querystats::probe_chunk();
                 for (n, &pi) in prows.iter().enumerate() {
                     if n % CHECK_INTERVAL == 0 && self.interrupted() {
                         return Batch::new(width);

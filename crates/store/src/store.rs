@@ -216,6 +216,7 @@ impl GraphSource for SpatioTemporalStore {
     ) -> Option<Vec<Triple>> {
         let (s, p, _) = self.encode_lookup(subject, predicate, None)?;
         applab_obs::counter!("applab_store_spatial_pushdown_total").inc();
+        applab_obs::querystats::pushdown();
         let mut out = Vec::new();
         self.spatial.visit(envelope, &mut |&(ts, tp, to)| {
             if s.is_none_or(|s| s == ts) && p.is_none_or(|p| p == tp) {
@@ -237,6 +238,7 @@ impl GraphSource for SpatioTemporalStore {
         }
         let (s, p, _) = self.encode_lookup(subject, predicate, None)?;
         applab_obs::counter!("applab_store_temporal_pushdown_total").inc();
+        applab_obs::querystats::pushdown();
         let lo = self.temporal.partition_point(|(t, _)| *t < start);
         let mut out = Vec::new();
         for &(t, (ts, tp, to)) in &self.temporal[lo..] {
@@ -357,6 +359,7 @@ impl IdAccess for SpatioTemporalStore {
         envelope: &Envelope,
     ) -> Option<Vec<Ids>> {
         applab_obs::counter!("applab_store_spatial_pushdown_total").inc();
+        applab_obs::querystats::pushdown();
         let mut out = Vec::new();
         self.spatial.visit(envelope, &mut |&(ts, tp, to)| {
             if s.is_none_or(|s| s == ts) && p.is_none_or(|p| p == tp) {
@@ -377,6 +380,7 @@ impl IdAccess for SpatioTemporalStore {
             return None; // mid-bulk-load: decline rather than answer wrongly
         }
         applab_obs::counter!("applab_store_temporal_pushdown_total").inc();
+        applab_obs::querystats::pushdown();
         let lo = self.temporal.partition_point(|(t, _)| *t < start);
         let mut out = Vec::new();
         for &(t, (ts, tp, to)) in &self.temporal[lo..] {

@@ -22,8 +22,10 @@ use copernicus_app_lab::dap::transport::Local;
 use copernicus_app_lab::dap::ResilienceConfig;
 use copernicus_app_lab::data::{grids, mappings, ParisFixture};
 use copernicus_app_lab::obs::report::SpanNode;
+use copernicus_app_lab::obs::FlightRecorder;
 use copernicus_app_lab::service::{ApplabService, ServiceConfig};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -95,8 +97,29 @@ fn build_service(seed: u64, config: ChaosConfig) -> (ApplabService, Arc<ManualCl
         queue_timeout: Duration::from_secs(120),
         ..ServiceConfig::default()
     })
-    .with_endpoint("obda", Arc::new(wf));
+    .with_endpoint("obda", Arc::new(wf))
+    .with_flight_recorder(flight_recorder());
     (svc, clock)
+}
+
+/// One shared flight recorder across every service this harness builds,
+/// so a failing pass dumps the requests that led up to it regardless of
+/// which service instance served them.
+fn flight_recorder() -> Arc<FlightRecorder> {
+    use std::sync::OnceLock;
+    static RECORDER: OnceLock<Arc<FlightRecorder>> = OnceLock::new();
+    Arc::clone(RECORDER.get_or_init(|| Arc::new(FlightRecorder::new(64))))
+}
+
+/// Write the flight-recorder tape next to the QA failure artifacts and
+/// return the path for the panic message. Called only on a trichotomy
+/// violation, right before the harness panics.
+fn dump_flight_tape() -> String {
+    let path = PathBuf::from("qa/failing/chaos_stress_flight.jsonl");
+    match flight_recorder().dump_to_file(&path) {
+        Ok(()) => format!("flight tape: {}", path.display()),
+        Err(e) => format!("flight tape dump failed: {e}"),
+    }
 }
 
 /// Fault-free reference answers, keyed by job name.
@@ -125,15 +148,19 @@ fn check(
         Ok(results) => {
             // Data never changes under the test, so even a stale answer is
             // byte-identical to the fault-free run — and a fresh one must be.
-            assert_eq!(
-                results.to_json(),
-                baseline[name],
-                "{name}: results drifted under fault injection (degraded={})",
-                out.degraded
-            );
+            if results.to_json() != baseline[name] {
+                panic!(
+                    "{name}: results drifted under fault injection (degraded={}); {}",
+                    out.degraded,
+                    dump_flight_tape()
+                );
+            }
         }
         Err(CoreError::Unavailable { .. } | CoreError::Source(_) | CoreError::Timeout(_)) => {}
-        Err(other) => panic!("{name}: untyped failure escaped: {other}"),
+        Err(other) => panic!(
+            "{name}: untyped failure escaped: {other}; {}",
+            dump_flight_tape()
+        ),
     }
     (out.code(), out.degraded)
 }
@@ -169,10 +196,13 @@ fn chaos_mix_holds_the_trichotomy_deterministically() {
         for rate in [0.10, 0.30] {
             let first = run_pass(seed, rate, &jobs, &baseline);
             let second = run_pass(seed, rate, &jobs, &baseline);
-            assert_eq!(
-                first, second,
-                "seed {seed} @ {rate}: fault injection must replay deterministically"
-            );
+            if first != second {
+                panic!(
+                    "seed {seed} @ {rate}: fault injection must replay deterministically\n\
+                     first:  {first:?}\n second: {second:?}\n {}",
+                    dump_flight_tape()
+                );
+            }
         }
     }
 }

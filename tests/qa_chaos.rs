@@ -19,13 +19,64 @@ use copernicus_app_lab::dap::chaos::{ChaosConfig, ChaosTransport};
 use copernicus_app_lab::dap::clock::ManualClock;
 use copernicus_app_lab::dap::transport::Local;
 use copernicus_app_lab::dap::ResilienceConfig;
+use copernicus_app_lab::obs::querylog::{hash_query, now_ms, truncate_query};
+use copernicus_app_lab::obs::{querystats, FlightRecorder, QueryLogRecord};
 use copernicus_app_lab::sparql::EvalOptions;
+use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const CASES: u64 = 100;
 const RUN_SEED: u64 = 0x9A_C4A05;
 const FAULT_RATE: f64 = 0.10;
+
+/// Run one chaotic query under a stats scope and leave a record on the
+/// flight recorder, so a trichotomy violation can dump the tape of
+/// requests that led up to it — same artifact a crashed service leaves.
+fn query_recorded(
+    recorder: &FlightRecorder,
+    vw: &copernicus_app_lab::core::VirtualWorkflow,
+    seq: u64,
+    text: &str,
+) -> Result<copernicus_app_lab::sparql::QueryResults, CoreError> {
+    let scope = querystats::Scope::begin();
+    let started = Instant::now();
+    let result = vw.query_with(text, &EvalOptions::sequential());
+    let elapsed_ns = started.elapsed().as_nanos() as u64;
+    let code = match &result {
+        Ok(_) => "ok",
+        Err(CoreError::Unavailable { .. }) => "unavailable",
+        Err(CoreError::Source(_)) => "source",
+        Err(CoreError::Timeout(_)) => "timeout",
+        Err(_) => "error",
+    };
+    recorder.record(QueryLogRecord {
+        seq,
+        ts_ms: now_ms(),
+        endpoint: "qa-chaos".to_string(),
+        backend: "obda".to_string(),
+        code: code.to_string(),
+        degraded: false,
+        elapsed_ns,
+        queue_wait_ns: 0,
+        query_hash: hash_query(text),
+        query: truncate_query(text),
+        trace_id: 0,
+        span_id: 0,
+        stats: scope.finish(),
+    });
+    result
+}
+
+/// Dump the tape next to the shrunk corpus artifacts exp_qa writes, and
+/// return the path for the panic message.
+fn dump_flight_tape(recorder: &FlightRecorder) -> String {
+    let path = PathBuf::from("qa/failing/qa_chaos_flight.jsonl");
+    match recorder.dump_to_file(&path) {
+        Ok(()) => format!("flight tape: {}", path.display()),
+        Err(e) => format!("flight tape dump failed: {e}"),
+    }
+}
 
 #[test]
 fn generated_queries_hold_the_trichotomy_under_chaos() {
@@ -46,6 +97,7 @@ fn generated_queries_hold_the_trichotomy_under_chaos() {
     b.set_stale_grace(Duration::from_secs(100_000_000));
     b.enable_resilience(ResilienceConfig::no_sleep(), RUN_SEED);
     let vw = b.seal().expect("chaotic workflow seals");
+    let recorder = FlightRecorder::new(32);
 
     let (mut identical, mut typed_errors, mut skipped) = (0usize, 0usize, 0usize);
     for i in 0..CASES {
@@ -68,21 +120,25 @@ fn generated_queries_hold_the_trichotomy_under_chaos() {
         // Push past the vtable window so the case actually exercises the
         // faulty remote path instead of riding a warm cache.
         clock.advance(Duration::from_secs(601));
-        match vw.query_with(&text, &EvalOptions::sequential()) {
+        match query_recorded(&recorder, &vw, i, &text) {
             Ok(results) => {
                 let got = canonicalize(&results);
-                assert_eq!(
-                    got,
-                    expected,
-                    "case {i}: partial or drifted result escaped under faults: {}\n{text}",
-                    diff(&got, &expected).unwrap_or_default()
-                );
+                if got != expected {
+                    panic!(
+                        "case {i}: partial or drifted result escaped under faults: {}\n{text}\n{}",
+                        diff(&got, &expected).unwrap_or_default(),
+                        dump_flight_tape(&recorder)
+                    );
+                }
                 identical += 1;
             }
             Err(CoreError::Unavailable { .. } | CoreError::Source(_) | CoreError::Timeout(_)) => {
                 typed_errors += 1;
             }
-            Err(other) => panic!("case {i}: untyped failure escaped: {other}\n{text}"),
+            Err(other) => panic!(
+                "case {i}: untyped failure escaped: {other}\n{text}\n{}",
+                dump_flight_tape(&recorder)
+            ),
         }
     }
 

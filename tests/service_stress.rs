@@ -7,6 +7,7 @@
 use applab_bench::geographica_queries;
 use copernicus_app_lab::core::{CoreError, MaterializedWorkflow, VirtualWorkflowBuilder};
 use copernicus_app_lab::data::{mappings, ParisFixture};
+use copernicus_app_lab::obs::{QueryLog, QueryLogRecord, SamplingPolicy, VecSink};
 use copernicus_app_lab::service::{ApplabService, QueryRequest, ServiceConfig};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -51,7 +52,12 @@ fn build_service() -> ApplabService {
 
 #[test]
 fn thirty_two_threads_get_byte_identical_results() {
-    let service = build_service();
+    // The full burst runs with a rate-1.0 query log attached: under
+    // contention every served query must still produce exactly one
+    // well-formed JSONL line, with nothing dropped.
+    let (sink, lines) = VecSink::new();
+    let log = Arc::new(QueryLog::new(sink, SamplingPolicy::always(), 4096));
+    let service = build_service().with_query_log(Arc::clone(&log));
     let jobs: Vec<(&'static str, &'static str, String)> = ["store", "obda"]
         .into_iter()
         .flat_map(|ep| {
@@ -96,6 +102,27 @@ fn thirty_two_threads_get_byte_identical_results() {
         }
     });
     assert_eq!(service.load(), (0, 0), "all permits released");
+
+    // One JSONL line per served query — the baseline pass plus the
+    // 32-thread burst — every one of them parseable.
+    log.flush();
+    let served = jobs.len() + 32 * 4;
+    let lines = lines.lock().expect("sink lines");
+    assert_eq!(lines.len(), served, "one log line per served query");
+    assert_eq!(log.dropped(), 0, "the log must not shed under this load");
+    let mut seqs: Vec<u64> = Vec::with_capacity(lines.len());
+    for line in lines.iter() {
+        let rec = QueryLogRecord::from_json(line).expect("log line parses");
+        assert_eq!(rec.code, "ok");
+        assert!(
+            rec.stats.rows_scanned > 0,
+            "accounting survives concurrency"
+        );
+        seqs.push(rec.seq);
+    }
+    seqs.sort_unstable();
+    seqs.dedup();
+    assert_eq!(seqs.len(), served, "sequence numbers are unique");
 }
 
 /// An `io::Write` that records chunk sizes and total bytes but keeps
