@@ -6,6 +6,8 @@
 //! for the cache-window sweep (B4). See DESIGN.md §4 for the experiment
 //! index.
 
+pub mod httpload;
+
 use applab_data::{mappings, ParisFixture};
 use applab_geo::{Coord, Envelope};
 use applab_geotriples::parse_mappings;

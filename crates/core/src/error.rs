@@ -61,6 +61,64 @@ impl CoreError {
             CoreError::Unavailable { .. } => "unavailable",
         }
     }
+
+    /// The HTTP status an error of this class maps to on the wire. This
+    /// is the single source of truth for the `applab-http` data plane —
+    /// the match is exhaustive (no wildcard arm), so adding a variant
+    /// without deciding its status is a compile error, and the
+    /// [`HTTP_STATUS_TABLE`] completeness test keeps the code-keyed view
+    /// in lockstep.
+    ///
+    /// * `Parse` is the client's fault: **400 Bad Request**.
+    /// * `Mapping` / `Eval` are server-side defects: **500**.
+    /// * `Source` is a failed upstream exchange: **502 Bad Gateway**.
+    /// * `Timeout` is a deadline expiring while we proxied the work
+    ///   downstream: **504 Gateway Timeout**.
+    /// * `Cancelled` / `Overloaded` / `Unavailable` are retryable
+    ///   capacity conditions: **503 Service Unavailable** (the HTTP
+    ///   layer adds `Retry-After` for `Overloaded`).
+    pub fn http_status(&self) -> u16 {
+        match self {
+            CoreError::Parse(_) => 400,
+            CoreError::Mapping(_) => 500,
+            CoreError::Source(_) => 502,
+            CoreError::Eval(_) => 500,
+            CoreError::Timeout(_) => 504,
+            CoreError::Cancelled => 503,
+            CoreError::Overloaded { .. } => 503,
+            CoreError::Unavailable { .. } => 503,
+        }
+    }
+}
+
+/// The `code → HTTP status` mapping table, one row per [`CoreError`]
+/// variant, in the same order as the enum. Wire-facing tooling (the
+/// `/sparql` error bodies, dashboards keyed on the outcome code) reads
+/// this table; [`CoreError::http_status`] is the authoritative per-value
+/// mapping and the two are locked together by a completeness test.
+pub const HTTP_STATUS_TABLE: &[(&str, u16)] = &[
+    ("parse", 400),
+    ("mapping", 500),
+    ("source", 502),
+    ("eval", 500),
+    ("timeout", 504),
+    ("cancelled", 503),
+    ("overloaded", 503),
+    ("unavailable", 503),
+];
+
+/// Look up the HTTP status for a stable outcome code (the
+/// [`CoreError::code`] values plus `"ok"` → 200). Returns `None` for
+/// codes not in [`HTTP_STATUS_TABLE`], so callers holding a code string
+/// from a log or metric label can't silently invent a status.
+pub fn http_status_for_code(code: &str) -> Option<u16> {
+    if code == "ok" {
+        return Some(200);
+    }
+    HTTP_STATUS_TABLE
+        .iter()
+        .find(|(c, _)| *c == code)
+        .map(|(_, s)| *s)
 }
 
 impl fmt::Display for CoreError {
@@ -174,6 +232,57 @@ mod tests {
                 "unavailable"
             ]
         );
+    }
+
+    /// Every constructible variant appears in [`HTTP_STATUS_TABLE`], with
+    /// the status `http_status` reports, and the table has no extra rows.
+    /// Together with the wildcard-free match in `http_status` this means
+    /// a new `CoreError` variant cannot reach the wire without an
+    /// explicit, tested status decision — it fails compilation first and
+    /// this test second.
+    #[test]
+    fn http_status_table_is_complete_and_consistent() {
+        let errors = [
+            CoreError::Parse("x".into()),
+            CoreError::Source("x".into()),
+            CoreError::Eval("x".into()),
+            CoreError::Timeout(Duration::from_millis(5)),
+            CoreError::Cancelled,
+            CoreError::Overloaded {
+                in_flight: 4,
+                queued: 16,
+            },
+            CoreError::Unavailable {
+                dataset: "lai".into(),
+                retries: 3,
+            },
+        ];
+        for e in &errors {
+            assert_eq!(
+                http_status_for_code(e.code()),
+                Some(e.http_status()),
+                "table row for code {:?} disagrees with http_status()",
+                e.code()
+            );
+        }
+        // The table rows are exactly the variant codes (Mapping is hard
+        // to construct here; its row is pinned by value instead).
+        assert_eq!(http_status_for_code("mapping"), Some(500));
+        let mut table_codes: Vec<&str> = HTTP_STATUS_TABLE.iter().map(|(c, _)| *c).collect();
+        let mut variant_codes: Vec<&str> = errors.iter().map(CoreError::code).collect();
+        variant_codes.push("mapping");
+        table_codes.sort_unstable();
+        variant_codes.sort_unstable();
+        assert_eq!(table_codes, variant_codes, "table rows == variant codes");
+        // Every status is a real HTTP error class for an error outcome.
+        for (code, status) in HTTP_STATUS_TABLE {
+            assert!(
+                (400..=599).contains(status),
+                "{code}: {status} is not an HTTP error status"
+            );
+        }
+        assert_eq!(http_status_for_code("ok"), Some(200));
+        assert_eq!(http_status_for_code("no-such-code"), None);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod materialized;
 pub mod r#virtual;
 
 pub use endpoint::QueryEndpoint;
-pub use error::CoreError;
+pub use error::{http_status_for_code, CoreError, HTTP_STATUS_TABLE};
 pub use explain::Explain;
 pub use materialized::MaterializedWorkflow;
 pub use r#virtual::{VirtualWorkflow, VirtualWorkflowBuilder};

@@ -1,0 +1,502 @@
+//! HTTP/1.1 request parsing with hard size and time limits.
+//!
+//! The reader is deliberately strict and small: request line + headers
+//! capped at [`HttpConfig::max_head_bytes`](crate::HttpConfig), bodies at
+//! [`HttpConfig::max_body_bytes`](crate::HttpConfig), `Content-Length`
+//! framing only (no chunked request bodies), and every syntax violation a
+//! typed [`RequestError`] that maps onto a 4xx/5xx response instead of a
+//! torn connection. Slow or stalled clients are bounded by the socket
+//! read timeout the connection handler installs, surfacing here as
+//! [`RequestError::Timeout`].
+
+use crate::HttpConfig;
+use std::io::BufRead;
+
+/// The request methods the wire plane routes; everything else is
+/// answered `405 Method Not Allowed` without reading a body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// `GET`
+    Get,
+    /// `HEAD` — answered like `GET` with the body suppressed.
+    Head,
+    /// `POST`
+    Post,
+}
+
+impl Method {
+    fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "HEAD" => Some(Method::Head),
+            "POST" => Some(Method::Post),
+            _ => None,
+        }
+    }
+}
+
+/// One parsed request: the wire plane's whole view of a client call.
+#[derive(Debug)]
+pub struct Request {
+    /// The request method.
+    pub method: Method,
+    /// Decoded path, without the query string (`/sparql`).
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header with this (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first query parameter with this name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open: HTTP/1.1
+    /// defaults to keep-alive unless `Connection: close` is sent.
+    pub fn keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// The media type of the body, lower-cased, without parameters
+    /// (`application/x-www-form-urlencoded; charset=utf-8` →
+    /// `application/x-www-form-urlencoded`).
+    pub fn content_type(&self) -> Option<String> {
+        self.header("content-type").map(|v| {
+            v.split(';')
+                .next()
+                .unwrap_or("")
+                .trim()
+                .to_ascii_lowercase()
+        })
+    }
+}
+
+/// Why a request could not be served; each variant carries its HTTP
+/// status so the connection handler can answer with a typed error body.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RequestError {
+    /// Request line or header syntax violation → 400.
+    BadSyntax(String),
+    /// The head (request line + headers) outgrew the configured cap
+    /// → 431 Request Header Fields Too Large.
+    HeadTooLarge,
+    /// The declared body outgrew the configured cap → 413.
+    BodyTooLarge,
+    /// A `POST` without a parseable `Content-Length` → 411.
+    LengthRequired,
+    /// An HTTP version other than 1.0/1.1 → 505.
+    UnsupportedVersion,
+    /// A method outside [`Method`] → 405.
+    MethodNotAllowed(String),
+    /// The socket read timed out mid-request → 408.
+    Timeout,
+    /// The connection died mid-request (no response possible).
+    ConnectionLost,
+}
+
+impl RequestError {
+    /// The HTTP status this parse failure answers with.
+    pub fn status(&self) -> u16 {
+        match self {
+            RequestError::BadSyntax(_) => 400,
+            RequestError::HeadTooLarge => 431,
+            RequestError::BodyTooLarge => 413,
+            RequestError::LengthRequired => 411,
+            RequestError::UnsupportedVersion => 505,
+            RequestError::MethodNotAllowed(_) => 405,
+            RequestError::Timeout => 408,
+            RequestError::ConnectionLost => 400,
+        }
+    }
+
+    /// A stable code string for the JSON error body and metrics label.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RequestError::BadSyntax(_) => "bad_request",
+            RequestError::HeadTooLarge => "head_too_large",
+            RequestError::BodyTooLarge => "body_too_large",
+            RequestError::LengthRequired => "length_required",
+            RequestError::UnsupportedVersion => "unsupported_version",
+            RequestError::MethodNotAllowed(_) => "method_not_allowed",
+            RequestError::Timeout => "request_timeout",
+            RequestError::ConnectionLost => "connection_lost",
+        }
+    }
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::BadSyntax(m) => write!(f, "malformed request: {m}"),
+            RequestError::HeadTooLarge => write!(f, "request head exceeds the configured limit"),
+            RequestError::BodyTooLarge => write!(f, "request body exceeds the configured limit"),
+            RequestError::LengthRequired => write!(f, "POST requires a Content-Length"),
+            RequestError::UnsupportedVersion => write!(f, "only HTTP/1.0 and HTTP/1.1 are served"),
+            RequestError::MethodNotAllowed(m) => write!(f, "method {m} is not served"),
+            RequestError::Timeout => write!(f, "timed out reading the request"),
+            RequestError::ConnectionLost => write!(f, "connection lost mid-request"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+fn io_error(e: std::io::Error) -> RequestError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => RequestError::Timeout,
+        _ => RequestError::ConnectionLost,
+    }
+}
+
+/// Read one request off a keep-alive connection. `Ok(None)` is a clean
+/// close: EOF before the first request byte.
+pub fn read_request<R: BufRead>(
+    reader: &mut R,
+    config: &HttpConfig,
+) -> Result<Option<Request>, RequestError> {
+    let head = match read_head(reader, config.max_head_bytes)? {
+        Some(head) => head,
+        None => return Ok(None),
+    };
+    let mut lines = head
+        .split(|&b| b == b'\n')
+        .map(|l| l.strip_suffix(b"\r").unwrap_or(l));
+    let request_line = lines.next().unwrap_or(b"");
+    let request_line = std::str::from_utf8(request_line)
+        .map_err(|_| RequestError::BadSyntax("request line is not UTF-8".into()))?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(RequestError::BadSyntax(format!(
+                "bad request line {request_line:?}"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(RequestError::UnsupportedVersion);
+    }
+    let method =
+        Method::parse(method).ok_or_else(|| RequestError::MethodNotAllowed(method.to_string()))?;
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let line = std::str::from_utf8(line)
+            .map_err(|_| RequestError::BadSyntax("header is not UTF-8".into()))?;
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| RequestError::BadSyntax(format!("header without ':': {line:?}")))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(RequestError::BadSyntax(format!("bad header name {name:?}")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let (path, query) = parse_target(target)?;
+
+    // Body framing: Content-Length only. A POST without one is answered
+    // 411 (chunked request bodies are not worth their complexity here);
+    // GET/HEAD bodies are read and discarded if declared, per the RFC's
+    // "a server MAY reject" allowance we don't take.
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => Some(
+            v.parse::<usize>()
+                .map_err(|_| RequestError::BadSyntax(format!("bad Content-Length {v:?}")))?,
+        ),
+        None => None,
+    };
+    if headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(RequestError::LengthRequired);
+    }
+    let body = match (method, content_length) {
+        (Method::Post, None) => return Err(RequestError::LengthRequired),
+        (_, None) | (_, Some(0)) => Vec::new(),
+        (_, Some(n)) if n > config.max_body_bytes => return Err(RequestError::BodyTooLarge),
+        (_, Some(n)) => {
+            let mut body = vec![0u8; n];
+            reader.read_exact(&mut body).map_err(io_error)?;
+            body
+        }
+    };
+
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    }))
+}
+
+/// Read up to and including the blank line ending the head; the returned
+/// buffer excludes the final `\r\n\r\n`. `max` bounds how much a client
+/// can dribble before we give up with [`RequestError::HeadTooLarge`].
+fn read_head<R: BufRead>(reader: &mut R, max: usize) -> Result<Option<Vec<u8>>, RequestError> {
+    let mut head: Vec<u8> = Vec::with_capacity(512);
+    loop {
+        let buf = match reader.fill_buf().map_err(io_error) {
+            Ok(buf) => buf,
+            // A read timeout with nothing received is an idle keep-alive
+            // connection reaching end of life, not a slow request: close
+            // it silently instead of answering 408.
+            Err(RequestError::Timeout) if head.is_empty() => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        if buf.is_empty() {
+            return if head.is_empty() {
+                Ok(None) // clean close between keep-alive requests
+            } else {
+                Err(RequestError::ConnectionLost)
+            };
+        }
+        // Scan for the head terminator across the chunk boundary.
+        let already = head.len();
+        let take = buf.len().min(max + 4 - already.min(max + 4));
+        head.extend_from_slice(&buf[..take]);
+        let search_from = already.saturating_sub(3);
+        if let Some(end) = find_terminator(&head[search_from..]).map(|i| i + search_from) {
+            let consumed = end + 4 - already;
+            reader.consume(consumed);
+            head.truncate(end);
+            if head.len() > max {
+                return Err(RequestError::HeadTooLarge);
+            }
+            return Ok(Some(head));
+        }
+        reader.consume(take);
+        if head.len() >= max + 4 {
+            return Err(RequestError::HeadTooLarge);
+        }
+    }
+}
+
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Split a request target into a decoded path and decoded query pairs.
+fn parse_target(target: &str) -> Result<(String, Vec<(String, String)>), RequestError> {
+    if !target.starts_with('/') {
+        return Err(RequestError::BadSyntax(format!(
+            "only origin-form targets are served, got {target:?}"
+        )));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let path = percent_decode(path, false)
+        .map_err(|m| RequestError::BadSyntax(format!("bad path encoding: {m}")))?;
+    let query =
+        parse_form(query).map_err(|m| RequestError::BadSyntax(format!("bad query string: {m}")))?;
+    Ok((path, query))
+}
+
+/// Parse `application/x-www-form-urlencoded` (also the query-string
+/// grammar): `k=v&k2=v2`, `+` as space, `%XX` escapes, UTF-8.
+pub fn parse_form(input: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    for pair in input.split('&') {
+        if pair.is_empty() {
+            continue;
+        }
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        out.push((percent_decode(k, true)?, percent_decode(v, true)?));
+    }
+    Ok(out)
+}
+
+/// Percent-decode a URL component; `plus_as_space` applies the
+/// form-encoding rule that `+` means space.
+pub fn percent_decode(input: &str, plus_as_space: bool) -> Result<String, String> {
+    let bytes = input.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())
+                    .ok_or_else(|| format!("bad %-escape at byte {i}"))?;
+                out.push(hex);
+                i += 3;
+            }
+            b'+' if plus_as_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| "decoded bytes are not UTF-8".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn cfg() -> HttpConfig {
+        HttpConfig::default()
+    }
+
+    fn parse(raw: &[u8]) -> Result<Option<Request>, RequestError> {
+        read_request(&mut BufReader::new(raw), &cfg())
+    }
+
+    #[test]
+    fn parses_a_get_with_query_string() {
+        let req = parse(b"GET /sparql?query=SELECT%20%3Fs+WHERE%20%7B%7D&timeout=250 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/sparql");
+        assert_eq!(req.query_param("query"), Some("SELECT ?s WHERE {}"));
+        assert_eq!(req.query_param("timeout"), Some("250"));
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_content_type() {
+        let req = parse(
+            b"POST /sparql HTTP/1.1\r\nContent-Type: application/sparql-query; charset=utf-8\r\nContent-Length: 9\r\n\r\nASK WHERE",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(
+            req.content_type().as_deref(),
+            Some("application/sparql-query")
+        );
+        assert_eq!(req.body, b"ASK WHERE");
+    }
+
+    #[test]
+    fn connection_close_disables_keep_alive() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn eof_before_any_byte_is_a_clean_close() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_mid_head_is_a_lost_connection() {
+        assert_eq!(
+            parse(b"GET / HTTP/1.1\r\nHos").unwrap_err(),
+            RequestError::ConnectionLost
+        );
+    }
+
+    #[test]
+    fn post_without_length_is_411() {
+        let err = parse(b"POST /sparql HTTP/1.1\r\n\r\n").unwrap_err();
+        assert_eq!(err, RequestError::LengthRequired);
+        assert_eq!(err.status(), 411);
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413_without_reading_it() {
+        let raw = format!(
+            "POST /sparql HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            cfg().max_body_bytes + 1
+        );
+        let err = parse(raw.as_bytes()).unwrap_err();
+        assert_eq!(err, RequestError::BodyTooLarge);
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn oversized_head_is_431() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend_from_slice(
+            format!("X-Pad: {}\r\n\r\n", "a".repeat(cfg().max_head_bytes)).as_bytes(),
+        );
+        let err = parse(&raw).unwrap_err();
+        assert_eq!(err, RequestError::HeadTooLarge);
+        assert_eq!(err.status(), 431);
+    }
+
+    #[test]
+    fn unknown_method_and_version_are_typed() {
+        assert_eq!(
+            parse(b"BREW /pot HTTP/1.1\r\n\r\n").unwrap_err(),
+            RequestError::MethodNotAllowed("BREW".into())
+        );
+        assert_eq!(
+            parse(b"GET / HTTP/2\r\n\r\n").unwrap_err(),
+            RequestError::UnsupportedVersion
+        );
+    }
+
+    #[test]
+    fn chunked_request_bodies_are_refused() {
+        let err =
+            parse(b"POST /sparql HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        assert_eq!(err, RequestError::LengthRequired);
+    }
+
+    #[test]
+    fn two_requests_parse_off_one_reader() {
+        let raw: &[u8] = b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(raw);
+        let a = read_request(&mut reader, &cfg()).unwrap().unwrap();
+        let b = read_request(&mut reader, &cfg()).unwrap().unwrap();
+        assert_eq!(a.path, "/healthz");
+        assert_eq!(b.path, "/metrics");
+        assert!(read_request(&mut reader, &cfg()).unwrap().is_none());
+    }
+
+    #[test]
+    fn form_parsing_decodes_pluses_and_escapes() {
+        let pairs = parse_form("query=SELECT+%3Fs&default-graph-uri=").unwrap();
+        assert_eq!(pairs[0], ("query".into(), "SELECT ?s".into()));
+        assert_eq!(pairs[1].0, "default-graph-uri");
+        assert!(parse_form("broken=%zz").is_err());
+    }
+
+    #[test]
+    fn head_terminator_straddling_chunks_is_found() {
+        // A tiny BufReader capacity forces the \r\n\r\n across fill_buf
+        // boundaries.
+        let raw: &[u8] = b"GET /healthz HTTP/1.1\r\nHost: example.org\r\n\r\n";
+        for cap in 1..8 {
+            let mut reader = BufReader::with_capacity(cap, raw);
+            let req = read_request(&mut reader, &cfg()).unwrap().unwrap();
+            assert_eq!(req.path, "/healthz", "capacity {cap}");
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Response framing: status lines, fixed-length bodies, and chunked
+//! transfer encoding for streamed results.
+
+use std::io::{self, Write};
+
+/// The reason phrase for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        415 => "Unsupported Media Type",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Extra headers a handler may attach (e.g. `Retry-After`).
+pub type ExtraHeaders<'a> = &'a [(&'a str, &'a str)];
+
+/// Write a complete fixed-length response. `head_only` suppresses the
+/// body (HEAD requests) while keeping the `Content-Length` honest.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    extra: ExtraHeaders<'_>,
+    body: &[u8],
+    keep_alive: bool,
+    head_only: bool,
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    for (name, value) in extra {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
+    if !head_only {
+        w.write_all(body)?;
+    }
+    w.flush()
+}
+
+/// Write the head of a chunked response; the body then goes through a
+/// [`ChunkedWriter`] and ends with [`ChunkedWriter::finish`].
+pub fn write_chunked_head<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+        reason(status),
+        if keep_alive { "keep-alive" } else { "close" },
+    )
+}
+
+/// An [`io::Write`] adapter that frames every incoming buffer as one
+/// HTTP/1.1 chunk (`{len:x}\r\n{data}\r\n`).
+///
+/// The upstream serializer ([`QueryResults::write_json`]) already
+/// coalesces output into ≥ 8 KiB flush windows, so each `write` call maps
+/// to one well-sized chunk on the wire — no second buffering layer, and
+/// peak response memory stays one flush window regardless of result
+/// cardinality. Empty writes are skipped: a zero-length chunk would
+/// terminate the body early.
+///
+/// [`QueryResults::write_json`]: applab_sparql::QueryResults::write_json
+pub struct ChunkedWriter<'a, W: Write> {
+    inner: &'a mut W,
+    /// Total body bytes framed so far (for the bytes-sent metric).
+    pub body_bytes: u64,
+}
+
+impl<'a, W: Write> ChunkedWriter<'a, W> {
+    /// Wrap a writer that has already sent a chunked response head.
+    pub fn new(inner: &'a mut W) -> Self {
+        ChunkedWriter {
+            inner,
+            body_bytes: 0,
+        }
+    }
+
+    /// Send the zero-length terminator chunk ending the body.
+    pub fn finish(self) -> io::Result<u64> {
+        self.inner.write_all(b"0\r\n\r\n")?;
+        self.inner.flush()?;
+        Ok(self.body_bytes)
+    }
+}
+
+impl<W: Write> Write for ChunkedWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        write!(self.inner, "{:x}\r\n", buf.len())?;
+        self.inner.write_all(buf)?;
+        self.inner.write_all(b"\r\n")?;
+        self.body_bytes += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_length_response_is_well_formed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "text/plain", &[], b"ok\n", true, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\nok\n"));
+    }
+
+    #[test]
+    fn head_only_suppresses_the_body_not_the_length() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "text/plain", &[], b"ok\n", false, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.ends_with("\r\n\r\n"), "no body after the head");
+    }
+
+    #[test]
+    fn extra_headers_are_emitted() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            503,
+            "application/json",
+            &[("Retry-After", "1")],
+            b"{}",
+            false,
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn chunked_writer_frames_and_terminates() {
+        let mut out = Vec::new();
+        let mut w = ChunkedWriter::new(&mut out);
+        w.write_all(b"hello ").unwrap();
+        w.write_all(b"").unwrap(); // skipped, not a terminator
+        w.write_all(b"world").unwrap();
+        assert_eq!(w.finish().unwrap(), 11);
+        assert_eq!(out, b"6\r\nhello \r\n5\r\nworld\r\n0\r\n\r\n");
+    }
+}

@@ -1,0 +1,592 @@
+//! The listener, worker pool, and request router.
+
+use crate::request::{read_request, Method, Request, RequestError};
+use crate::response::{write_chunked_head, write_response, ChunkedWriter};
+use crate::HttpConfig;
+use applab_service::{ApplabService, QueryRequest};
+use std::collections::VecDeque;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A bounded handoff queue from the acceptor to the worker threads.
+/// `push` never blocks (full → the acceptor sheds the connection with a
+/// 503); `pop` blocks until a connection arrives or the queue closes.
+struct ConnQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    cap: usize,
+}
+
+struct QueueState {
+    conns: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new(cap: usize) -> Self {
+        ConnQueue {
+            state: Mutex::new(QueueState {
+                conns: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Hand a connection to the workers; a full or closed queue returns
+    /// it to the caller so the acceptor can shed it politely.
+    fn push(&self, conn: TcpStream) -> Result<(), TcpStream> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed || state.conns.len() >= self.cap {
+            return Err(conn);
+        }
+        state.conns.push_back(conn);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(conn) = state.conns.pop_front() {
+                return Some(conn);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue lock");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// A running wire-plane instance: an acceptor thread plus a fixed worker
+/// pool, each worker owning one connection at a time through its whole
+/// keep-alive lifetime. Dropping the handle (or calling
+/// [`HttpServer::shutdown`]) stops accepting, drains the workers, and
+/// joins every thread.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    queue: Arc<ConnQueue>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// `service` with `config`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<ApplabService>,
+        config: HttpConfig,
+    ) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(ConnQueue::new(config.max_queued_connections));
+        let config = Arc::new(config);
+
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let service = Arc::clone(&service);
+                let config = Arc::clone(&config);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while let Some(conn) = queue.pop() {
+                        handle_connection(conn, &service, &config, &stop);
+                    }
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(conn) = conn else { continue };
+                    applab_obs::counter!("applab_http_connections_total").inc();
+                    if let Err(mut shed) = queue.push(conn) {
+                        // The worker pool is saturated and the handoff
+                        // queue full: shed at the door with a retryable
+                        // status rather than letting the backlog grow.
+                        // Best-effort and bounded — the acceptor must
+                        // never block on a slow shed client.
+                        applab_obs::counter!("applab_http_connections_shed_total").inc();
+                        let _ = shed.set_write_timeout(Some(Duration::from_millis(100)));
+                        let body = error_body("overloaded", 503, "connection queue full");
+                        let _ = write_response(
+                            &mut shed,
+                            503,
+                            "application/json",
+                            &[("Retry-After", "1")],
+                            body.as_bytes(),
+                            false,
+                            false,
+                        );
+                    }
+                }
+            })
+        };
+
+        Ok(HttpServer {
+            addr,
+            stop,
+            queue,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound socket address (the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain in-flight connections, join every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the acceptor's blocking accept with one last connect.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// RAII guard for the active-connections gauge.
+struct ActiveConn;
+
+impl ActiveConn {
+    fn begin() -> Self {
+        applab_obs::gauge!("applab_http_active_connections").add(1);
+        ActiveConn
+    }
+}
+
+impl Drop for ActiveConn {
+    fn drop(&mut self) {
+        applab_obs::gauge!("applab_http_active_connections").add(-1);
+    }
+}
+
+fn handle_connection(
+    conn: TcpStream,
+    service: &ApplabService,
+    config: &HttpConfig,
+    stop: &AtomicBool,
+) {
+    let _active = ActiveConn::begin();
+    let peer = conn
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".to_string());
+    if conn
+        .set_read_timeout(Some(config.keep_alive_timeout))
+        .is_err()
+        || conn.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let Ok(read_half) = conn.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(conn);
+
+    loop {
+        match read_request(&mut reader, config) {
+            Ok(None) => break, // clean close or idle timeout
+            Ok(Some(request)) => {
+                let keep_alive = request.keep_alive() && !stop.load(Ordering::Acquire);
+                match respond(&request, service, config, &peer, keep_alive, &mut writer) {
+                    Ok(()) if keep_alive => continue,
+                    _ => break,
+                }
+            }
+            Err(RequestError::ConnectionLost) => break,
+            Err(error) => {
+                // Parse-level failure: answer with the typed status and
+                // close — request framing can no longer be trusted.
+                record_request("parse_error", error.status(), Instant::now());
+                let body = error_body(error.code(), error.status(), &error.to_string());
+                let extra: &[(&str, &str)] = match &error {
+                    RequestError::MethodNotAllowed(_) => &[("Allow", "GET, HEAD, POST")],
+                    _ => &[],
+                };
+                let _ = write_response(
+                    &mut writer,
+                    error.status(),
+                    "application/json",
+                    extra,
+                    body.as_bytes(),
+                    false,
+                    false,
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// Route one parsed request and write its response. An `Err` means the
+/// socket died mid-response; the connection is abandoned.
+fn respond<W: Write>(
+    request: &Request,
+    service: &ApplabService,
+    config: &HttpConfig,
+    peer: &str,
+    keep_alive: bool,
+    w: &mut W,
+) -> io::Result<()> {
+    let started = Instant::now();
+    let head_only = request.method == Method::Head;
+    match (request.path.as_str(), request.method) {
+        ("/healthz", Method::Get | Method::Head) => {
+            record_request("/healthz", 200, started);
+            write_response(
+                w,
+                200,
+                "text/plain; charset=utf-8",
+                &[],
+                b"ok\n",
+                keep_alive,
+                head_only,
+            )
+        }
+        ("/metrics", Method::Get | Method::Head) => {
+            let text = applab_obs::global().to_prometheus();
+            record_request("/metrics", 200, started);
+            write_response(
+                w,
+                200,
+                // The Prometheus text exposition format content type.
+                "text/plain; version=0.0.4; charset=utf-8",
+                &[],
+                text.as_bytes(),
+                keep_alive,
+                head_only,
+            )
+        }
+        ("/healthz" | "/metrics", Method::Post) => {
+            record_request(request.path.as_str(), 405, started);
+            let body = error_body("method_not_allowed", 405, "use GET");
+            write_response(
+                w,
+                405,
+                "application/json",
+                &[("Allow", "GET, HEAD")],
+                body.as_bytes(),
+                keep_alive,
+                false,
+            )
+        }
+        (path, _) if path == "/sparql" || path.starts_with("/sparql/") => {
+            serve_sparql(request, service, config, peer, keep_alive, started, w)
+        }
+        _ => {
+            record_request("other", 404, started);
+            let body = error_body("not_found", 404, &format!("no route for {}", request.path));
+            write_response(
+                w,
+                404,
+                "application/json",
+                &[],
+                body.as_bytes(),
+                keep_alive,
+                false,
+            )
+        }
+    }
+}
+
+/// The W3C SPARQL Protocol endpoint: query via URL-encoded `GET`,
+/// form-encoded `POST`, or direct `application/sparql-query` `POST`;
+/// responses are W3C SPARQL Results JSON, streamed chunked when large.
+fn serve_sparql<W: Write>(
+    request: &Request,
+    service: &ApplabService,
+    config: &HttpConfig,
+    peer: &str,
+    keep_alive: bool,
+    started: Instant,
+    w: &mut W,
+) -> io::Result<()> {
+    let fail = |status: u16, code: &str, message: &str, w: &mut W| -> io::Result<()> {
+        record_request("/sparql", status, started);
+        let body = error_body(code, status, message);
+        let extra: &[(&str, &str)] = if code == "overloaded" {
+            &[("Retry-After", "1")]
+        } else {
+            &[]
+        };
+        write_response(
+            w,
+            status,
+            "application/json",
+            extra,
+            body.as_bytes(),
+            keep_alive,
+            false,
+        )
+    };
+
+    // Resolve the target endpoint: `/sparql/{name}`, else the configured
+    // default, else the first registered endpoint.
+    let names = service.endpoint_names();
+    let endpoint = match request.path.strip_prefix("/sparql/") {
+        Some(name) if !name.is_empty() => name.to_string(),
+        _ => match &config.default_endpoint {
+            Some(name) => name.clone(),
+            None => match names.first() {
+                Some(name) => name.to_string(),
+                None => return fail(503, "no_endpoints", "no endpoints are registered", w),
+            },
+        },
+    };
+    if !names.iter().any(|n| *n == endpoint) {
+        return fail(
+            404,
+            "unknown_endpoint",
+            &format!("unknown endpoint '{endpoint}'"),
+            w,
+        );
+    }
+
+    // Extract the query text per protocol binding.
+    let mut form: Vec<(String, String)> = Vec::new();
+    let query_text = match request.method {
+        Method::Get => match request.query_param("query") {
+            Some(q) => q.to_string(),
+            None => return fail(400, "missing_query", "GET needs a ?query= parameter", w),
+        },
+        Method::Post => {
+            let Ok(body) = std::str::from_utf8(&request.body) else {
+                return fail(400, "bad_request", "request body is not UTF-8", w);
+            };
+            match request.content_type().as_deref() {
+                Some("application/x-www-form-urlencoded") => {
+                    match crate::request::parse_form(body) {
+                        Ok(pairs) => form = pairs,
+                        Err(m) => return fail(400, "bad_request", &format!("bad form body: {m}"), w),
+                    }
+                    match form.iter().find(|(k, _)| k == "query") {
+                        Some((_, q)) => q.clone(),
+                        None => {
+                            return fail(400, "missing_query", "form body without query=", w)
+                        }
+                    }
+                }
+                Some("application/sparql-query") => body.to_string(),
+                other => {
+                    return fail(
+                        415,
+                        "unsupported_media_type",
+                        &format!(
+                            "POST /sparql takes application/sparql-query or application/x-www-form-urlencoded, got {}",
+                            other.unwrap_or("nothing")
+                        ),
+                        w,
+                    )
+                }
+            }
+        }
+        Method::Head => {
+            record_request("/sparql", 405, started);
+            let body = error_body("method_not_allowed", 405, "use GET or POST");
+            return write_response(
+                w,
+                405,
+                "application/json",
+                &[("Allow", "GET, POST")],
+                body.as_bytes(),
+                keep_alive,
+                false,
+            );
+        }
+    };
+
+    // Optional per-request deadline: `timeout` in milliseconds, from the
+    // query string or the form body.
+    let timeout_param = request.query_param("timeout").or_else(|| {
+        form.iter()
+            .find(|(k, _)| k == "timeout")
+            .map(|(_, v)| v.as_str())
+    });
+    let mut query_request = QueryRequest::new().client_tag(peer);
+    if let Some(raw) = timeout_param {
+        match raw.parse::<u64>() {
+            Ok(ms) => query_request = query_request.deadline(Duration::from_millis(ms)),
+            Err(_) => return fail(400, "bad_request", &format!("bad timeout {raw:?}"), w),
+        }
+    }
+
+    let outcome = service.query_with(&endpoint, &query_text, &query_request);
+    match &outcome.result {
+        Ok(results) => {
+            if outcome.is_streamable() {
+                // Large result: stream it chunked straight off the
+                // serializer's flush windows — the document never exists
+                // in one allocation on the server.
+                write_chunked_head(w, 200, "application/sparql-results+json", keep_alive)?;
+                let mut chunked = ChunkedWriter::new(w);
+                results.write_json(&mut chunked)?;
+                let body_bytes = chunked.finish()?;
+                applab_obs::counter!("applab_http_response_bytes_total").add(body_bytes);
+            } else {
+                // Small result: one materialization buys exact
+                // fixed-length framing.
+                let body = results.to_json();
+                applab_obs::counter!("applab_http_response_bytes_total").add(body.len() as u64);
+                write_response(
+                    w,
+                    200,
+                    "application/sparql-results+json",
+                    &[],
+                    body.as_bytes(),
+                    keep_alive,
+                    false,
+                )?;
+            }
+            record_request("/sparql", 200, started);
+            Ok(())
+        }
+        Err(error) => fail(error.http_status(), error.code(), &error.to_string(), w),
+    }
+}
+
+/// Per-request wire metrics: a `{route,status}` counter and the
+/// end-to-end service-time histogram (parse excluded, response framing
+/// included).
+fn record_request(route: &str, status: u16, started: Instant) {
+    applab_obs::global()
+        .counter_with(
+            "applab_http_requests_total",
+            &[("route", route), ("status", status_label(status))],
+        )
+        .inc();
+    applab_obs::global()
+        .histogram_with(
+            "applab_http_request_seconds",
+            &[("route", route)],
+            REQUEST_SECONDS_BUCKETS,
+        )
+        .observe(started.elapsed().as_secs_f64());
+}
+
+/// 50µs – 5s: wire requests include serialization but not WAN delivery.
+const REQUEST_SECONDS_BUCKETS: &[f64] = &[
+    0.00005, 0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
+];
+
+fn status_label(status: u16) -> &'static str {
+    match status {
+        200 => "200",
+        400 => "400",
+        404 => "404",
+        405 => "405",
+        408 => "408",
+        411 => "411",
+        413 => "413",
+        415 => "415",
+        431 => "431",
+        500 => "500",
+        502 => "502",
+        503 => "503",
+        504 => "504",
+        505 => "505",
+        _ => "other",
+    }
+}
+
+/// The typed JSON error body:
+/// `{"error":{"code":"parse","status":400,"message":"..."}}`.
+pub(crate) fn error_body(code: &str, status: u16, message: &str) -> String {
+    let mut out = String::with_capacity(64 + message.len());
+    out.push_str("{\"error\":{\"code\":");
+    push_json_string(&mut out, code);
+    out.push_str(",\"status\":");
+    out.push_str(&status.to_string());
+    out.push_str(",\"message\":");
+    push_json_string(&mut out, message);
+    out.push_str("}}");
+    out
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    use std::fmt::Write;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_bodies_are_valid_results_style_json() {
+        let body = error_body("parse", 400, "bad \"query\"\nline 2");
+        assert_eq!(
+            body,
+            "{\"error\":{\"code\":\"parse\",\"status\":400,\"message\":\"bad \\\"query\\\"\\nline 2\"}}"
+        );
+    }
+
+    #[test]
+    fn conn_queue_sheds_beyond_capacity_and_closes() {
+        let queue = ConnQueue::new(1);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let c1 = TcpStream::connect(addr).unwrap();
+        let c2 = TcpStream::connect(addr).unwrap();
+        assert!(queue.push(c1).is_ok());
+        assert!(queue.push(c2).is_err(), "beyond cap is shed");
+        assert!(queue.pop().is_some());
+        queue.close();
+        assert!(queue.pop().is_none(), "closed and drained");
+        let c3 = TcpStream::connect(addr).unwrap();
+        assert!(queue.push(c3).is_err(), "closed queue refuses connections");
+    }
+}

@@ -93,8 +93,25 @@ impl Default for ServiceConfig {
     }
 }
 
-/// Per-query options a caller may attach.
+/// Per-query options a caller may attach, built with the
+/// fluent constructors:
+///
+/// ```
+/// use applab_service::QueryRequest;
+/// use std::time::Duration;
+///
+/// let req = QueryRequest::new()
+///     .deadline(Duration::from_secs(2))
+///     .client_tag("127.0.0.1:4912");
+/// assert_eq!(req.deadline, Some(Duration::from_secs(2)));
+/// ```
+///
+/// The struct is `#[non_exhaustive]`: fields read fine, but out-of-crate
+/// construction goes through [`QueryRequest::new`] and the builder
+/// methods, so wire-layer fields (client address, requested media type,
+/// ...) can be added without breaking callers.
 #[derive(Debug, Clone, Default)]
+#[non_exhaustive]
 pub struct QueryRequest {
     /// Evaluation deadline for this query, overriding
     /// [`ServiceConfig::default_deadline`]. The clock starts when
@@ -104,6 +121,38 @@ pub struct QueryRequest {
     /// External cancellation token; storing `true` aborts the evaluation
     /// at its next budget poll.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Free-form low-cardinality caller identity for traces — the HTTP
+    /// layer stores the peer socket address here. Recorded on the
+    /// `service.query` span, never used as a metrics label.
+    pub client_tag: Option<String>,
+}
+
+impl QueryRequest {
+    /// A request with every option at its default (no deadline beyond
+    /// [`ServiceConfig::default_deadline`], no cancellation, no tag).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the per-query evaluation deadline.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach an external cancellation token; storing `true` aborts the
+    /// evaluation at its next budget poll.
+    pub fn cancel_token(mut self, token: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Tag the request with the caller's identity (see
+    /// [`QueryRequest::client_tag`]).
+    pub fn client_tag(mut self, tag: impl Into<String>) -> Self {
+        self.client_tag = Some(tag.into());
+        self
+    }
 }
 
 /// The structured result of one service call.
@@ -166,6 +215,39 @@ impl QueryOutcome {
             }
             Err(_) => Ok(false),
         }
+    }
+
+    /// An estimate of the serialized results-JSON size in bytes, or
+    /// `None` for rejected/failed queries (their error body is framed by
+    /// the transport, not by this outcome).
+    ///
+    /// The value is a *hint* (see
+    /// [`QueryResults::json_size_estimate`](applab_sparql::QueryResults::json_size_estimate)
+    /// — string escaping is not accounted for), so it must never be sent
+    /// as a `Content-Length`. It exists so a transport can pick its
+    /// response framing before serializing anything: small documents are
+    /// worth materializing once for exact fixed-length framing, large
+    /// ones should stream.
+    pub fn content_length_hint(&self) -> Option<u64> {
+        self.result
+            .as_ref()
+            .ok()
+            .map(QueryResults::json_size_estimate)
+    }
+
+    /// Whether the results are big enough that streaming them in bounded
+    /// chunks beats materializing the document: true once the
+    /// [`content_length_hint`](Self::content_length_hint) passes one
+    /// serializer flush window
+    /// ([`JSON_FLUSH_BYTES`](applab_sparql::JSON_FLUSH_BYTES)). The HTTP
+    /// layer maps this directly onto its framing decision: streamable →
+    /// `Transfer-Encoding: chunked` via
+    /// [`write_json_results`](Self::write_json_results), otherwise one
+    /// `to_json` pass with an exact `Content-Length`. Rejected and failed
+    /// queries are never streamable.
+    pub fn is_streamable(&self) -> bool {
+        self.content_length_hint()
+            .is_some_and(|hint| hint >= applab_sparql::JSON_FLUSH_BYTES as u64)
     }
 }
 
@@ -267,6 +349,9 @@ impl ApplabService {
 
         let mut span = applab_obs::span("service.query");
         span.record("endpoint", name.as_str());
+        if let Some(tag) = &request.client_tag {
+            span.record("client", tag.as_str());
+        }
 
         let queued_at = Instant::now();
         let permit = self.admission.acquire(self.config.queue_timeout);
@@ -480,10 +565,7 @@ mod tests {
         let out = svc.query_with(
             "fake",
             "SELECT 1",
-            &QueryRequest {
-                deadline: Some(Duration::ZERO),
-                cancel: None,
-            },
+            &QueryRequest::new().deadline(Duration::ZERO),
         );
         assert_eq!(out.code(), "timeout");
         assert!(matches!(out.result, Err(CoreError::Timeout(d)) if d == Duration::ZERO));
@@ -494,14 +576,7 @@ mod tests {
         let svc = service(ServiceConfig::default());
         let token = Arc::new(AtomicBool::new(false));
         token.store(true, Ordering::Relaxed);
-        let out = svc.query_with(
-            "fake",
-            "SELECT 1",
-            &QueryRequest {
-                deadline: None,
-                cancel: Some(token),
-            },
-        );
+        let out = svc.query_with("fake", "SELECT 1", &QueryRequest::new().cancel_token(token));
         assert_eq!(out.code(), "cancelled");
     }
 
@@ -622,6 +697,69 @@ mod tests {
         assert_eq!(out.stats.queue_wait_ns, out.queue_wait.as_nanos() as u64);
         assert!(out.stats.queue_wait_ns <= before.elapsed().as_nanos() as u64);
         assert!(!out.stats.degraded);
+    }
+
+    /// The wire framing decision: small results report a size hint and
+    /// stay unstreamed, large ones flip `is_streamable`, and failures
+    /// report neither.
+    #[test]
+    fn framing_hints_follow_result_size() {
+        struct SizedEndpoint {
+            rows: usize,
+        }
+        impl QueryEndpoint for SizedEndpoint {
+            fn query_with(
+                &self,
+                _sparql: &str,
+                _options: &EvalOptions,
+            ) -> Result<QueryResults, CoreError> {
+                Ok(QueryResults::Solutions {
+                    variables: vec!["s".into()],
+                    rows: (0..self.rows)
+                        .map(|i| Row {
+                            values: vec![Some(applab_rdf::Term::named(format!(
+                                "http://example.org/resource/{i}"
+                            )))],
+                        })
+                        .collect(),
+                })
+            }
+            fn query_explained(&self, _sparql: &str) -> Result<Explain, CoreError> {
+                unimplemented!("not used")
+            }
+            fn backend(&self) -> &'static str {
+                "fake"
+            }
+        }
+        let svc = ApplabService::new(ServiceConfig::default())
+            .with_endpoint("small", Arc::new(SizedEndpoint { rows: 3 }))
+            .with_endpoint("large", Arc::new(SizedEndpoint { rows: 5000 }));
+
+        let small = svc.query("small", "SELECT 1");
+        let hint = small.content_length_hint().expect("ok results have a hint");
+        let actual = small.results().unwrap().to_json().len() as u64;
+        assert!(hint.abs_diff(actual) * 10 <= actual, "{hint} vs {actual}");
+        assert!(!small.is_streamable(), "3 rows fit fixed-length framing");
+
+        let large = svc.query("large", "SELECT 1");
+        assert!(large.is_streamable(), "5000 rows must stream");
+        assert!(large.content_length_hint().unwrap() >= applab_sparql::JSON_FLUSH_BYTES as u64);
+
+        let failed = svc.query("nope", "SELECT 1");
+        assert_eq!(failed.content_length_hint(), None);
+        assert!(!failed.is_streamable());
+    }
+
+    #[test]
+    fn query_request_builder_sets_every_field() {
+        let token = Arc::new(AtomicBool::new(false));
+        let req = QueryRequest::new()
+            .deadline(Duration::from_millis(250))
+            .cancel_token(Arc::clone(&token))
+            .client_tag("10.0.0.7:9999");
+        assert_eq!(req.deadline, Some(Duration::from_millis(250)));
+        assert!(req.cancel.is_some());
+        assert_eq!(req.client_tag.as_deref(), Some("10.0.0.7:9999"));
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod source;
 pub use algebra::{Expression, GraphPattern, Query, QueryForm, TermPattern, TriplePattern};
 pub use eval::{evaluate, evaluate_with, Budget, EvalError, EvalOptions};
 pub use parser::{parse_query, ParseError};
-pub use results::{JsonParseError, QueryResults, Row};
+pub use results::{JsonParseError, QueryResults, Row, JSON_FLUSH_BYTES};
 pub use source::{GraphSource, IdAccess, IdColumns};
 
 /// Parse and evaluate a query against a source in one call.

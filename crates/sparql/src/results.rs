@@ -119,6 +119,15 @@ impl QueryResults {
     /// format does not define `CONSTRUCT` output, so a graph is encoded as
     /// solutions over the pseudo-variables `subject`/`predicate`/`object`,
     /// one binding per triple.
+    ///
+    /// This is a *convenience* over the canonical streaming serializer,
+    /// [`QueryResults::write_json`]: it collects the same byte stream into
+    /// one `String`, which means the whole document lives in memory at
+    /// once. Anything wire-facing (the `applab-http` response path, large
+    /// result sets) should call `write_json` and let the 8 KiB flush
+    /// windows bound peak memory; reach for `to_json` only when a small
+    /// in-memory document is actually what you need (tests, diffing,
+    /// fixed-length framing of small responses).
     pub fn to_json(&self) -> String {
         let mut out = Vec::new();
         self.write_json(&mut out)
@@ -192,6 +201,78 @@ impl QueryResults {
             }
         }
         w.write_all(buf.as_bytes())
+    }
+
+    /// A cheap estimate of the [`QueryResults::to_json`] byte length,
+    /// computed by summing lexical-form lengths plus per-term JSON
+    /// overhead — no allocation, no serialization pass.
+    ///
+    /// The estimate ignores JSON string escaping, so a result full of
+    /// quotes or control characters serializes somewhat *larger* than
+    /// estimated; for `ASK` the value is exact. This exists so response
+    /// framing can be decided before serializing (see
+    /// `QueryOutcome::content_length_hint` in `applab-service`); it must
+    /// never be sent as a `Content-Length`.
+    pub fn json_size_estimate(&self) -> u64 {
+        // Per-term JSON overhead on top of the lexical form, e.g.
+        // `{"type":"uri","value":""}` is 25 bytes around the IRI.
+        fn term_estimate(t: &Term) -> u64 {
+            match t {
+                Term::Named(n) => 25 + n.as_str().len() as u64,
+                Term::Blank(b) => 27 + b.as_str().len() as u64,
+                Term::Literal(l) => {
+                    let mut n = 29 + l.value().len() as u64;
+                    if let Some(lang) = l.language() {
+                        n += 14 + lang.len() as u64;
+                    } else if l.datatype().as_str() != vocab::xsd::STRING {
+                        n += 14 + l.datatype().as_str().len() as u64;
+                    }
+                    n
+                }
+            }
+        }
+        // `"var":` + term, plus the binding's comma share.
+        fn binding_estimate(var: &str, t: &Term) -> u64 {
+            var.len() as u64 + 4 + term_estimate(t)
+        }
+        match self {
+            // Tiny and constant-size: just measure the real document.
+            QueryResults::Boolean(_) => self.to_json().len() as u64,
+            QueryResults::Solutions { variables, rows } => {
+                let head = 44 + variables.iter().map(|v| v.len() as u64 + 3).sum::<u64>();
+                let body: u64 = rows
+                    .iter()
+                    .map(|row| {
+                        3 + variables
+                            .iter()
+                            .zip(&row.values)
+                            .filter_map(|(v, t)| t.as_ref().map(|t| binding_estimate(v, t)))
+                            .sum::<u64>()
+                    })
+                    .sum();
+                head + body
+            }
+            QueryResults::Graph(g) => {
+                let head = 44 + 30; // vars are subject/predicate/object
+                let body: u64 = g
+                    .iter()
+                    .map(|t| {
+                        let subject = match &t.subject {
+                            applab_rdf::Resource::Named(n) => 25 + n.as_str().len() as u64,
+                            applab_rdf::Resource::Blank(b) => 27 + b.as_str().len() as u64,
+                        };
+                        3 + 11
+                            + subject
+                            + 13
+                            + 25
+                            + t.predicate.as_str().len() as u64
+                            + 10
+                            + term_estimate(&t.object)
+                    })
+                    .sum();
+                head + body
+            }
+        }
     }
 
     /// Parse a W3C SPARQL 1.1 Query Results JSON document (the inverse of
@@ -799,6 +880,47 @@ mod tests {
         assert_eq!(
             r.value(0, "v").unwrap().as_literal().unwrap().value(),
             "a\u{7}b😀c\\d"
+        );
+    }
+
+    /// The framing estimate tracks the real serialization closely (it
+    /// only ignores escape expansion) and is exact for ASK.
+    #[test]
+    fn json_size_estimate_tracks_actual_length() {
+        for r in [
+            sample(),
+            QueryResults::Solutions {
+                variables: vec!["s".into()],
+                rows: (0..500)
+                    .map(|i| Row {
+                        values: vec![Some(Term::named(format!("http://ex.org/r{i}")))],
+                    })
+                    .collect(),
+            },
+        ] {
+            let actual = r.to_json().len() as u64;
+            let estimate = r.json_size_estimate();
+            assert!(
+                estimate.abs_diff(actual) * 10 <= actual,
+                "estimate {estimate} vs actual {actual} drifted more than 10%"
+            );
+        }
+        for b in [true, false] {
+            let r = QueryResults::Boolean(b);
+            assert_eq!(r.json_size_estimate(), r.to_json().len() as u64);
+        }
+        let mut g = Graph::new();
+        g.add(
+            applab_rdf::Resource::named("http://ex.org/a"),
+            applab_rdf::NamedNode::new("http://ex.org/p"),
+            Term::named("http://ex.org/b"),
+        );
+        let r = QueryResults::Graph(g);
+        let actual = r.to_json().len() as u64;
+        let estimate = r.json_size_estimate();
+        assert!(
+            estimate.abs_diff(actual) * 5 <= actual,
+            "graph estimate {estimate} vs actual {actual}"
         );
     }
 

@@ -11,6 +11,7 @@ pub use applab_dap as dap;
 pub use applab_data as data;
 pub use applab_geo as geo;
 pub use applab_geotriples as geotriples;
+pub use applab_http as http;
 pub use applab_link as link;
 pub use applab_obda as obda;
 pub use applab_obs as obs;

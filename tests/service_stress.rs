@@ -209,10 +209,7 @@ fn zero_budget_times_out_on_both_backends() {
         let out = service.query_with(
             ep,
             spatial_join,
-            &QueryRequest {
-                deadline: Some(Duration::ZERO),
-                cancel: None,
-            },
+            &QueryRequest::new().deadline(Duration::ZERO),
         );
         assert_eq!(out.code(), "timeout", "{ep}: {:?}", out.result);
         assert!(
@@ -241,10 +238,7 @@ fn tight_budgets_never_yield_truncated_results() {
             let out = service.query_with(
                 "store",
                 &sparql,
-                &QueryRequest {
-                    deadline: Some(Duration::from_micros(micros)),
-                    cancel: None,
-                },
+                &QueryRequest::new().deadline(Duration::from_micros(micros)),
             );
             match out.result {
                 Ok(results) => assert_eq!(
