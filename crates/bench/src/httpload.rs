@@ -77,6 +77,14 @@ impl HttpClient {
         })
     }
 
+    /// Bound every subsequent socket read: a server that stalls past
+    /// `dur` fails the read with `TimedOut`/`WouldBlock` instead of
+    /// hanging the caller forever. Chaos harnesses use this to turn
+    /// "hung connection" into a detectable (and assertable) violation.
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(dur)
+    }
+
     /// `GET` the given request target (path + query string).
     pub fn get(&mut self, target: &str) -> io::Result<HttpResponse> {
         self.request("GET", target, None, &[])
@@ -121,6 +129,15 @@ impl HttpClient {
             return Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "connection closed mid-response",
+            ));
+        }
+        // A line without its terminator means the connection died
+        // mid-line: report truncation (a connection error), never a
+        // half-parsed status line or chunk size (a framing error).
+        if !line.ends_with('\n') {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-line",
             ));
         }
         while line.ends_with('\n') || line.ends_with('\r') {

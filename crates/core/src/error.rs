@@ -28,13 +28,18 @@ pub enum CoreError {
     /// The query's cancellation token was triggered mid-evaluation.
     Cancelled,
     /// Admission control refused the query: the service was at its
-    /// in-flight capacity and the wait queue was full (or the queue wait
-    /// timed out). The counts are a snapshot taken at rejection time.
+    /// in-flight capacity and the wait queue was full, the queue wait
+    /// timed out, or the measured queue delay exceeded the shedding
+    /// target. The counts are a snapshot taken at rejection time.
     Overloaded {
         /// Queries being evaluated when the rejection was issued.
         in_flight: usize,
         /// Queries waiting for a permit when the rejection was issued.
         queued: usize,
+        /// How long the caller should wait before retrying, computed
+        /// from the measured queue delay at rejection time. Transports
+        /// surface this verbatim (the HTTP layer's `Retry-After`).
+        retry_after: Duration,
     },
     /// A remote dataset stayed down through every retry and no stale copy
     /// could bridge the outage: the query is answerable later, not now.
@@ -132,9 +137,14 @@ impl fmt::Display for CoreError {
                 write!(f, "query exceeded its {budget:?} time budget")
             }
             CoreError::Cancelled => write!(f, "query cancelled"),
-            CoreError::Overloaded { in_flight, queued } => write!(
+            CoreError::Overloaded {
+                in_flight,
+                queued,
+                retry_after,
+            } => write!(
                 f,
-                "service overloaded: {in_flight} in flight, {queued} queued"
+                "service overloaded: {in_flight} in flight, {queued} queued, \
+                 retry after {retry_after:?}"
             ),
             CoreError::Unavailable { dataset, retries } => {
                 write!(f, "dataset {dataset} unavailable after {retries} retries")
@@ -213,6 +223,7 @@ mod tests {
             CoreError::Overloaded {
                 in_flight: 4,
                 queued: 16,
+                retry_after: Duration::from_secs(1),
             },
             CoreError::Unavailable {
                 dataset: "lai".into(),
@@ -251,6 +262,7 @@ mod tests {
             CoreError::Overloaded {
                 in_flight: 4,
                 queued: 16,
+                retry_after: Duration::from_secs(1),
             },
             CoreError::Unavailable {
                 dataset: "lai".into(),

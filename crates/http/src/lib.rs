@@ -54,10 +54,12 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::print_stdout, clippy::print_stderr))]
 
+pub mod chaos;
 pub mod request;
 pub mod response;
 mod server;
 
+pub use chaos::{ChaosListener, ChaosStream, SocketChaos};
 pub use request::{Method, Request, RequestError};
 pub use response::ChunkedWriter;
 pub use server::HttpServer;
@@ -83,10 +85,21 @@ pub struct HttpConfig {
     /// Socket read timeout: an idle keep-alive connection is closed
     /// after this long, and a stalled mid-request read answers `408`.
     pub keep_alive_timeout: Duration,
+    /// Socket write timeout: a client that stops reading its response
+    /// blocks a worker for at most this long per write before the
+    /// connection is abandoned (and the in-flight query cancelled).
+    pub write_deadline: Duration,
+    /// How long [`HttpServer::shutdown`] waits for in-flight connections
+    /// to drain before aborting the stragglers through their cancel
+    /// tokens and socket shutdowns.
+    pub drain_deadline: Duration,
     /// Endpoint served by bare `/sparql`; `None` routes to the first
     /// endpoint registered on the service. `/sparql/{name}` always
     /// addresses explicitly.
     pub default_endpoint: Option<String>,
+    /// Seeded socket-level fault injection (tests/benches only); `None`
+    /// serves every connection untouched.
+    pub chaos: Option<SocketChaos>,
 }
 
 impl Default for HttpConfig {
@@ -97,7 +110,10 @@ impl Default for HttpConfig {
             max_head_bytes: 8 * 1024,
             max_body_bytes: 1024 * 1024,
             keep_alive_timeout: Duration::from_secs(5),
+            write_deadline: Duration::from_secs(10),
+            drain_deadline: Duration::from_secs(5),
             default_endpoint: None,
+            chaos: None,
         }
     }
 }

@@ -1,16 +1,46 @@
-//! The listener, worker pool, and request router.
+//! The listener, worker pool, lifecycle state machine, and request
+//! router.
+//!
+//! A server moves through three lifecycle states:
+//!
+//! ```text
+//! Running ──begin_shutdown()──▶ Draining ──workers joined──▶ Stopped
+//! ```
+//!
+//! *Running* accepts and serves. *Draining* stops accepting, answers
+//! `/readyz` with 503 (so load balancers stop routing here while
+//! `/healthz` still says the process is alive), stamps `Connection:
+//! close` on every in-flight keep-alive response, and waits up to
+//! [`HttpConfig::drain_deadline`](crate::HttpConfig) for workers to
+//! finish naturally. Stragglers past the deadline are aborted
+//! cooperatively: their queries' cancel tokens are set and their sockets
+//! shut down, which unblocks any pending read or write. Only then does
+//! the server join its threads and reach *Stopped*.
 
+use crate::chaos::{ChaosListener, ChaosStream};
 use crate::request::{read_request, Method, Request, RequestError};
 use crate::response::{write_chunked_head, write_response, ChunkedWriter};
 use crate::HttpConfig;
+use applab_core::CoreError;
 use applab_service::{ApplabService, QueryRequest};
-use std::collections::VecDeque;
+use std::cell::Cell;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+const LIFECYCLE_RUNNING: u8 = 0;
+const LIFECYCLE_DRAINING: u8 = 1;
+const LIFECYCLE_STOPPED: u8 = 2;
+
+/// How often the nonblocking acceptor and the drain loop poll. Small
+/// enough that shutdown latency is dominated by real work, large enough
+/// that an idle acceptor costs ~nothing.
+const POLL_INTERVAL: Duration = Duration::from_millis(2);
 
 /// A bounded handoff queue from the acceptor to the worker threads.
 /// `push` never blocks (full → the acceptor sheds the connection with a
@@ -22,7 +52,7 @@ struct ConnQueue {
 }
 
 struct QueueState {
-    conns: VecDeque<TcpStream>,
+    conns: VecDeque<ChaosStream>,
     closed: bool,
 }
 
@@ -40,7 +70,7 @@ impl ConnQueue {
 
     /// Hand a connection to the workers; a full or closed queue returns
     /// it to the caller so the acceptor can shed it politely.
-    fn push(&self, conn: TcpStream) -> Result<(), TcpStream> {
+    fn push(&self, conn: ChaosStream) -> Result<(), ChaosStream> {
         let mut state = self.state.lock().expect("queue lock");
         if state.closed || state.conns.len() >= self.cap {
             return Err(conn);
@@ -51,7 +81,7 @@ impl ConnQueue {
         Ok(())
     }
 
-    fn pop(&self) -> Option<TcpStream> {
+    fn pop(&self) -> Option<ChaosStream> {
         let mut state = self.state.lock().expect("queue lock");
         loop {
             if let Some(conn) = state.conns.pop_front() {
@@ -64,23 +94,99 @@ impl ConnQueue {
         }
     }
 
-    fn close(&self) {
-        self.state.lock().expect("queue lock").closed = true;
+    /// Close the queue and hand back any connections no worker will ever
+    /// serve, so shutdown can shed them politely instead of silently.
+    fn close_and_drain(&self) -> Vec<ChaosStream> {
+        let mut state = self.state.lock().expect("queue lock");
+        state.closed = true;
+        let leftover = state.conns.drain(..).collect();
+        drop(state);
         self.ready.notify_all();
+        leftover
+    }
+}
+
+/// State shared by the acceptor, the workers, and the shutdown path.
+struct Shared {
+    lifecycle: AtomicU8,
+    registry: ConnRegistry,
+}
+
+impl Shared {
+    fn lifecycle(&self) -> u8 {
+        self.lifecycle.load(Ordering::Acquire)
+    }
+}
+
+/// Every live connection registers an abort handle — a raw socket clone
+/// plus the connection's cancel token — so the drain deadline can
+/// cooperatively stop stragglers: set the token (the running query
+/// aborts at its next budget poll) and shut the socket down (any blocked
+/// read or write returns immediately).
+#[derive(Default)]
+struct ConnRegistry {
+    next_id: AtomicU64,
+    entries: Mutex<HashMap<u64, AbortHandle>>,
+}
+
+struct AbortHandle {
+    socket: TcpStream,
+    cancel: Arc<AtomicBool>,
+}
+
+impl ConnRegistry {
+    /// Register a live connection; the guard deregisters on drop. `None`
+    /// (socket clone failed) serves the connection unabortable rather
+    /// than not at all.
+    fn register(&self, conn: &ChaosStream, cancel: Arc<AtomicBool>) -> Option<ConnGuard<'_>> {
+        let socket = conn.shutdown_handle().ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.entries
+            .lock()
+            .expect("registry lock")
+            .insert(id, AbortHandle { socket, cancel });
+        Some(ConnGuard { registry: self, id })
+    }
+
+    /// Abort every registered connection; returns how many were hit.
+    fn abort_all(&self) -> usize {
+        let entries = self.entries.lock().expect("registry lock");
+        for handle in entries.values() {
+            handle.cancel.store(true, Ordering::Relaxed);
+            let _ = handle.socket.shutdown(Shutdown::Both);
+        }
+        entries.len()
+    }
+}
+
+struct ConnGuard<'a> {
+    registry: &'a ConnRegistry,
+    id: u64,
+}
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.registry
+            .entries
+            .lock()
+            .expect("registry lock")
+            .remove(&self.id);
     }
 }
 
 /// A running wire-plane instance: an acceptor thread plus a fixed worker
 /// pool, each worker owning one connection at a time through its whole
 /// keep-alive lifetime. Dropping the handle (or calling
-/// [`HttpServer::shutdown`]) stops accepting, drains the workers, and
-/// joins every thread.
+/// [`HttpServer::shutdown`]) walks the drain lifecycle described in the
+/// module docs; [`HttpServer::begin_shutdown`] starts it without
+/// blocking, for rolling-restart orchestration.
 pub struct HttpServer {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    shared: Arc<Shared>,
     queue: Arc<ConnQueue>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    drain_deadline: Duration,
 }
 
 impl HttpServer {
@@ -92,36 +198,74 @@ impl HttpServer {
         config: HttpConfig,
     ) -> io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
+        // A nonblocking listener lets the acceptor poll its lifecycle
+        // flag between accepts: shutdown needs no self-connect trick and
+        // cannot race with (or be absorbed by) a real client connecting.
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            lifecycle: AtomicU8::new(LIFECYCLE_RUNNING),
+            registry: ConnRegistry::default(),
+        });
         let queue = Arc::new(ConnQueue::new(config.max_queued_connections));
+        let drain_deadline = config.drain_deadline;
         let config = Arc::new(config);
+        applab_obs::gauge!("applab_http_ready").set(1);
 
         let workers = (0..config.workers.max(1))
             .map(|_| {
                 let queue = Arc::clone(&queue);
                 let service = Arc::clone(&service);
                 let config = Arc::clone(&config);
-                let stop = Arc::clone(&stop);
+                let shared = Arc::clone(&shared);
                 std::thread::spawn(move || {
                     while let Some(conn) = queue.pop() {
-                        handle_connection(conn, &service, &config, &stop);
+                        // A panic while serving one connection must not
+                        // shrink the pool: the socket drops (closing the
+                        // connection), the panic is counted, and this
+                        // worker moves on to the next connection.
+                        let served = catch_unwind(AssertUnwindSafe(|| {
+                            handle_connection(conn, &service, &config, &shared)
+                        }));
+                        if served.is_err() {
+                            applab_obs::counter!("applab_http_worker_panics_total").inc();
+                        }
                     }
                 })
             })
             .collect();
 
         let acceptor = {
-            let stop = Arc::clone(&stop);
+            let shared = Arc::clone(&shared);
             let queue = Arc::clone(&queue);
+            let chaos = config.chaos.clone().map(ChaosListener::new);
             std::thread::spawn(move || {
-                for conn in listener.incoming() {
-                    if stop.load(Ordering::Acquire) {
-                        break;
+                while shared.lifecycle() == LIFECYCLE_RUNNING {
+                    let conn = match listener.accept() {
+                        Ok((conn, _)) => conn,
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(POLL_INTERVAL);
+                            continue;
+                        }
+                        // Transient accept errors (EMFILE, aborted
+                        // handshake): back off briefly and keep serving.
+                        Err(_) => {
+                            std::thread::sleep(POLL_INTERVAL);
+                            continue;
+                        }
+                    };
+                    // Accepted sockets inherit nonblocking from the
+                    // listener on some platforms; workers need blocking
+                    // IO with timeouts.
+                    if conn.set_nonblocking(false).is_err() {
+                        continue;
                     }
-                    let Ok(conn) = conn else { continue };
                     applab_obs::counter!("applab_http_connections_total").inc();
-                    if let Err(mut shed) = queue.push(conn) {
+                    let stream = match &chaos {
+                        Some(listener) => listener.wrap(conn),
+                        None => ChaosStream::passthrough(conn),
+                    };
+                    if let Err(mut shed) = queue.push(stream) {
                         // The worker pool is saturated and the handoff
                         // queue full: shed at the door with a retryable
                         // status rather than letting the backlog grow.
@@ -146,10 +290,11 @@ impl HttpServer {
 
         Ok(HttpServer {
             addr,
-            stop,
+            shared,
             queue,
             acceptor: Some(acceptor),
             workers,
+            drain_deadline,
         })
     }
 
@@ -158,22 +303,69 @@ impl HttpServer {
         self.addr
     }
 
-    /// Stop accepting, drain in-flight connections, join every thread.
+    /// Flip the server into *Draining* without blocking: `/readyz`
+    /// starts answering 503, the acceptor stops taking connections, and
+    /// in-flight keep-alive responses carry `Connection: close`. Idempotent;
+    /// call it from a signal handler, then [`HttpServer::shutdown`] to
+    /// finish the drain.
+    pub fn begin_shutdown(&self) {
+        if self
+            .shared
+            .lifecycle
+            .compare_exchange(
+                LIFECYCLE_RUNNING,
+                LIFECYCLE_DRAINING,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+        {
+            applab_obs::gauge!("applab_http_ready").set(0);
+        }
+    }
+
+    /// Stop accepting, drain in-flight connections within the configured
+    /// deadline (aborting stragglers), join every thread.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
     fn stop_and_join(&mut self) {
-        self.stop.store(true, Ordering::Release);
-        // Unblock the acceptor's blocking accept with one last connect.
-        let _ = TcpStream::connect(self.addr);
+        self.begin_shutdown();
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        self.queue.close();
+        // Accepted-but-unserved connections get a polite close-marked
+        // 503 instead of a silent FIN.
+        for mut conn in self.queue.close_and_drain() {
+            let _ = conn.set_write_timeout(Some(Duration::from_millis(100)));
+            let body = error_body("draining", 503, "server is shutting down");
+            let _ = write_response(
+                &mut conn,
+                503,
+                "application/json",
+                &[("Retry-After", "1")],
+                body.as_bytes(),
+                false,
+                false,
+            );
+        }
+        // Drain: wait for workers to finish their connections naturally,
+        // then abort whoever is still going when the deadline lapses.
+        let deadline = Instant::now() + self.drain_deadline;
+        while !self.workers.iter().all(JoinHandle::is_finished) && Instant::now() < deadline {
+            std::thread::sleep(POLL_INTERVAL);
+        }
+        if !self.workers.iter().all(JoinHandle::is_finished) {
+            let aborted = self.shared.registry.abort_all();
+            applab_obs::counter!("applab_http_drain_aborts_total").add(aborted as u64);
+        }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        self.shared
+            .lifecycle
+            .store(LIFECYCLE_STOPPED, Ordering::Release);
     }
 }
 
@@ -200,10 +392,10 @@ impl Drop for ActiveConn {
 }
 
 fn handle_connection(
-    conn: TcpStream,
+    conn: ChaosStream,
     service: &ApplabService,
     config: &HttpConfig,
-    stop: &AtomicBool,
+    shared: &Shared,
 ) {
     let _active = ActiveConn::begin();
     let peer = conn
@@ -213,10 +405,16 @@ fn handle_connection(
     if conn
         .set_read_timeout(Some(config.keep_alive_timeout))
         .is_err()
+        || conn.set_write_timeout(Some(config.write_deadline)).is_err()
         || conn.set_nodelay(true).is_err()
     {
         return;
     }
+    // One cancel token per connection: a client disconnect detected on a
+    // failed response write, or the drain-deadline abort, stops the
+    // query evaluating on this connection at its next budget poll.
+    let cancel = Arc::new(AtomicBool::new(false));
+    let _guard = shared.registry.register(&conn, Arc::clone(&cancel));
     let Ok(read_half) = conn.try_clone() else {
         return;
     };
@@ -227,8 +425,20 @@ fn handle_connection(
         match read_request(&mut reader, config) {
             Ok(None) => break, // clean close or idle timeout
             Ok(Some(request)) => {
-                let keep_alive = request.keep_alive() && !stop.load(Ordering::Acquire);
-                match respond(&request, service, config, &peer, keep_alive, &mut writer) {
+                // During drain every response carries `Connection:
+                // close`, so keep-alive clients converge to zero without
+                // any being cut mid-request.
+                let keep_alive = request.keep_alive() && shared.lifecycle() == LIFECYCLE_RUNNING;
+                match respond(
+                    &request,
+                    service,
+                    config,
+                    &peer,
+                    keep_alive,
+                    &cancel,
+                    shared,
+                    &mut writer,
+                ) {
                     Ok(()) if keep_alive => continue,
                     _ => break,
                 }
@@ -260,12 +470,15 @@ fn handle_connection(
 
 /// Route one parsed request and write its response. An `Err` means the
 /// socket died mid-response; the connection is abandoned.
+#[allow(clippy::too_many_arguments)]
 fn respond<W: Write>(
     request: &Request,
     service: &ApplabService,
     config: &HttpConfig,
     peer: &str,
     keep_alive: bool,
+    cancel: &Arc<AtomicBool>,
+    shared: &Shared,
     w: &mut W,
 ) -> io::Result<()> {
     let started = Instant::now();
@@ -283,6 +496,34 @@ fn respond<W: Write>(
                 head_only,
             )
         }
+        ("/readyz", Method::Get | Method::Head) => {
+            // Readiness is lifecycle-gated, liveness (`/healthz`) is
+            // not: a draining server is alive but must get no new work.
+            if shared.lifecycle() == LIFECYCLE_RUNNING {
+                record_request("/readyz", 200, started);
+                write_response(
+                    w,
+                    200,
+                    "text/plain; charset=utf-8",
+                    &[],
+                    b"ready\n",
+                    keep_alive,
+                    head_only,
+                )
+            } else {
+                record_request("/readyz", 503, started);
+                let body = error_body("draining", 503, "server is draining");
+                write_response(
+                    w,
+                    503,
+                    "application/json",
+                    &[],
+                    body.as_bytes(),
+                    false,
+                    head_only,
+                )
+            }
+        }
         ("/metrics", Method::Get | Method::Head) => {
             let text = applab_obs::global().to_prometheus();
             record_request("/metrics", 200, started);
@@ -297,7 +538,7 @@ fn respond<W: Write>(
                 head_only,
             )
         }
-        ("/healthz" | "/metrics", Method::Post) => {
+        ("/healthz" | "/readyz" | "/metrics", Method::Post) => {
             record_request(request.path.as_str(), 405, started);
             let body = error_body("method_not_allowed", 405, "use GET");
             write_response(
@@ -310,9 +551,9 @@ fn respond<W: Write>(
                 false,
             )
         }
-        (path, _) if path == "/sparql" || path.starts_with("/sparql/") => {
-            serve_sparql(request, service, config, peer, keep_alive, started, w)
-        }
+        (path, _) if path == "/sparql" || path.starts_with("/sparql/") => serve_sparql(
+            request, service, config, peer, keep_alive, cancel, started, w,
+        ),
         _ => {
             record_request("other", 404, started);
             let body = error_body("not_found", 404, &format!("no route for {}", request.path));
@@ -332,28 +573,31 @@ fn respond<W: Write>(
 /// The W3C SPARQL Protocol endpoint: query via URL-encoded `GET`,
 /// form-encoded `POST`, or direct `application/sparql-query` `POST`;
 /// responses are W3C SPARQL Results JSON, streamed chunked when large.
+///
+/// The response is delivered through
+/// [`ApplabService::query_delivering`], inside the query's admission
+/// permit: a write failure (broken, closed, or deadline-tripping socket)
+/// cancels the query server-side and surfaces as a `cancelled` outcome
+/// instead of a completed answer nobody read.
+#[allow(clippy::too_many_arguments)]
 fn serve_sparql<W: Write>(
     request: &Request,
     service: &ApplabService,
     config: &HttpConfig,
     peer: &str,
     keep_alive: bool,
+    cancel: &Arc<AtomicBool>,
     started: Instant,
     w: &mut W,
 ) -> io::Result<()> {
     let fail = |status: u16, code: &str, message: &str, w: &mut W| -> io::Result<()> {
         record_request("/sparql", status, started);
         let body = error_body(code, status, message);
-        let extra: &[(&str, &str)] = if code == "overloaded" {
-            &[("Retry-After", "1")]
-        } else {
-            &[]
-        };
         write_response(
             w,
             status,
             "application/json",
-            extra,
+            &[],
             body.as_bytes(),
             keep_alive,
             false,
@@ -442,7 +686,9 @@ fn serve_sparql<W: Write>(
             .find(|(k, _)| k == "timeout")
             .map(|(_, v)| v.as_str())
     });
-    let mut query_request = QueryRequest::new().client_tag(peer);
+    let mut query_request = QueryRequest::new()
+        .client_tag(peer)
+        .cancel_token(Arc::clone(cancel));
     if let Some(raw) = timeout_param {
         match raw.parse::<u64>() {
             Ok(ms) => query_request = query_request.deadline(Duration::from_millis(ms)),
@@ -450,37 +696,87 @@ fn serve_sparql<W: Write>(
         }
     }
 
-    let outcome = service.query_with(&endpoint, &query_text, &query_request);
+    // Serve and deliver inside the admission permit. `head_written`
+    // splits the two meanings of a delivery failure: before the head,
+    // the wire is still clean and a typed error can follow; after it,
+    // the response is torn and the connection must be abandoned.
+    let head_written = Cell::new(false);
+    let outcome = service.query_delivering(&endpoint, &query_text, &query_request, |results| {
+        if results.json_size_estimate() >= applab_sparql::JSON_FLUSH_BYTES as u64 {
+            // Large result: stream it chunked straight off the
+            // serializer's flush windows — the document never exists
+            // in one allocation on the server.
+            write_chunked_head(w, 200, "application/sparql-results+json", keep_alive)?;
+            head_written.set(true);
+            let mut chunked = ChunkedWriter::new(w);
+            results.write_json(&mut chunked)?;
+            chunked.finish()
+        } else {
+            // Small result: one materialization buys exact
+            // fixed-length framing.
+            let body = results.to_json();
+            head_written.set(true);
+            write_response(
+                w,
+                200,
+                "application/sparql-results+json",
+                &[],
+                body.as_bytes(),
+                keep_alive,
+                false,
+            )?;
+            Ok(body.len() as u64)
+        }
+    });
+
     match &outcome.result {
-        Ok(results) => {
-            if outcome.is_streamable() {
-                // Large result: stream it chunked straight off the
-                // serializer's flush windows — the document never exists
-                // in one allocation on the server.
-                write_chunked_head(w, 200, "application/sparql-results+json", keep_alive)?;
-                let mut chunked = ChunkedWriter::new(w);
-                results.write_json(&mut chunked)?;
-                let body_bytes = chunked.finish()?;
-                applab_obs::counter!("applab_http_response_bytes_total").add(body_bytes);
-            } else {
-                // Small result: one materialization buys exact
-                // fixed-length framing.
-                let body = results.to_json();
-                applab_obs::counter!("applab_http_response_bytes_total").add(body.len() as u64);
-                write_response(
-                    w,
-                    200,
-                    "application/sparql-results+json",
-                    &[],
-                    body.as_bytes(),
-                    keep_alive,
-                    false,
-                )?;
-            }
+        Ok(_) => {
+            applab_obs::counter!("applab_http_response_bytes_total")
+                .add(outcome.delivered_bytes.unwrap_or(0));
             record_request("/sparql", 200, started);
             Ok(())
         }
-        Err(error) => fail(error.http_status(), error.code(), &error.to_string(), w),
+        Err(CoreError::Cancelled) if head_written.get() => {
+            // The 200 head is already on the wire and the write path
+            // failed: the client is gone (or too stalled to save).
+            // Nothing valid can follow a torn response — record the
+            // disconnect and abandon the connection. 499 is the
+            // conventional "client closed request" status; it is only a
+            // metrics label here, never sent.
+            applab_obs::counter!("applab_http_client_disconnects_total").inc();
+            record_request("/sparql", 499, started);
+            Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "client disconnected mid-response",
+            ))
+        }
+        Err(error) => {
+            let status = error.http_status();
+            record_request("/sparql", status, started);
+            let body = error_body(error.code(), status, &error.to_string());
+            // Overload rejections tell the client when to come back:
+            // the service computes Retry-After from its smoothed queue
+            // delay.
+            let retry_secs = match error {
+                CoreError::Overloaded { retry_after, .. } => {
+                    Some(retry_after.as_secs().max(1).to_string())
+                }
+                _ => None,
+            };
+            let mut extra: Vec<(&str, &str)> = Vec::new();
+            if let Some(secs) = &retry_secs {
+                extra.push(("Retry-After", secs));
+            }
+            write_response(
+                w,
+                status,
+                "application/json",
+                &extra,
+                body.as_bytes(),
+                keep_alive,
+                false,
+            )
+        }
     }
 }
 
@@ -519,6 +815,7 @@ fn status_label(status: u16) -> &'static str {
         413 => "413",
         415 => "415",
         431 => "431",
+        499 => "499",
         500 => "500",
         502 => "502",
         503 => "503",
@@ -579,14 +876,41 @@ mod tests {
         let queue = ConnQueue::new(1);
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
-        let c1 = TcpStream::connect(addr).unwrap();
-        let c2 = TcpStream::connect(addr).unwrap();
+        let c1 = ChaosStream::passthrough(TcpStream::connect(addr).unwrap());
+        let c2 = ChaosStream::passthrough(TcpStream::connect(addr).unwrap());
         assert!(queue.push(c1).is_ok());
         assert!(queue.push(c2).is_err(), "beyond cap is shed");
         assert!(queue.pop().is_some());
-        queue.close();
+        assert!(queue.close_and_drain().is_empty(), "already drained");
         assert!(queue.pop().is_none(), "closed and drained");
-        let c3 = TcpStream::connect(addr).unwrap();
+        let c3 = ChaosStream::passthrough(TcpStream::connect(addr).unwrap());
         assert!(queue.push(c3).is_err(), "closed queue refuses connections");
+    }
+
+    #[test]
+    fn close_and_drain_returns_unserved_connections() {
+        let queue = ConnQueue::new(4);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        for _ in 0..3 {
+            queue
+                .push(ChaosStream::passthrough(TcpStream::connect(addr).unwrap()))
+                .unwrap();
+        }
+        assert_eq!(queue.close_and_drain().len(), 3);
+    }
+
+    #[test]
+    fn registry_aborts_every_live_connection() {
+        let registry = ConnRegistry::default();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let conn = ChaosStream::passthrough(TcpStream::connect(addr).unwrap());
+        let cancel = Arc::new(AtomicBool::new(false));
+        let guard = registry.register(&conn, Arc::clone(&cancel)).unwrap();
+        assert_eq!(registry.abort_all(), 1);
+        assert!(cancel.load(Ordering::Relaxed), "abort sets the token");
+        drop(guard);
+        assert_eq!(registry.abort_all(), 0, "deregistered on drop");
     }
 }

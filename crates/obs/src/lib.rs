@@ -46,7 +46,7 @@ pub mod querystats;
 pub mod report;
 pub mod trace;
 
-pub use metrics::{global, next_instance_id, Counter, Gauge, Histogram, Registry, SloReport};
+pub use metrics::{global, next_instance_id, Counter, Ewma, Gauge, Histogram, Registry, SloReport};
 pub use querylog::{
     FlightRecorder, LogSink, QueryLog, QueryLogRecord, SamplingPolicy, VecSink, WriterSink,
 };

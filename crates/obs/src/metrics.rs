@@ -75,6 +75,62 @@ impl Gauge {
     }
 }
 
+/// An exponentially weighted moving average over an `f64` signal,
+/// readable and updatable lock-free (the value is stored as `f64` bits
+/// in an `AtomicU64`; there is no atomic f64 in std).
+///
+/// This is the smoothing element behind control decisions that must
+/// react to a *trend*, not a single sample — the service's queue-delay
+/// shedder feeds every measured admission wait through one of these and
+/// sheds when the smoothed delay crosses its target. Unlike [`Counter`]
+/// / [`Gauge`] / [`Histogram`] an `Ewma` is not registered in a
+/// [`Registry`]: the owner keeps the handle for its decisions and
+/// mirrors the value into a gauge for exposition.
+#[derive(Debug, Default)]
+pub struct Ewma {
+    bits: AtomicU64,
+}
+
+impl Ewma {
+    /// An EWMA starting at zero (the first observation dominates when
+    /// `alpha` is large; callers that want seed-free startup can treat a
+    /// zero reading as "no signal yet").
+    pub fn new() -> Self {
+        Ewma::default()
+    }
+
+    /// Fold `sample` in with weight `alpha` (`0.0..=1.0`): the stored
+    /// value becomes `alpha * sample + (1 - alpha) * value`. Returns the
+    /// updated average. Concurrent observers race politely through a
+    /// compare-exchange loop; each sample is folded in exactly once.
+    pub fn observe(&self, sample: f64, alpha: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&alpha), "alpha {alpha} out of range");
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = alpha * sample + (1.0 - alpha) * f64::from_bits(cur);
+            match self.bits.compare_exchange_weak(
+                cur,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return next,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The current smoothed value.
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Reset the average to zero.
+    pub fn reset(&self) {
+        self.bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
 /// A fixed-bucket histogram in the Prometheus style: `bounds[i]` is the
 /// inclusive upper bound of bucket `i`, and one extra overflow bucket
 /// (`+Inf`) catches everything above the last bound.
@@ -696,6 +752,18 @@ mod tests {
             json.contains("\"applab_esc_total{path=\\\"a\\\\\\\"b\\\\\\\\c\\\\nd\\\"}\": 1"),
             "{json}"
         );
+    }
+
+    #[test]
+    fn ewma_smooths_and_resets() {
+        let e = Ewma::new();
+        assert_eq!(e.value(), 0.0, "starts at zero");
+        assert_eq!(e.observe(10.0, 0.5), 5.0);
+        assert_eq!(e.observe(10.0, 0.5), 7.5);
+        // Zero samples decay the average back down.
+        assert_eq!(e.observe(0.0, 0.5), 3.75);
+        e.reset();
+        assert_eq!(e.value(), 0.0);
     }
 
     #[test]

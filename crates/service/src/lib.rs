@@ -73,6 +73,14 @@ pub struct ServiceConfig {
     pub max_queue: usize,
     /// How long a queued query may wait for a permit before it is shed.
     pub queue_timeout: Duration,
+    /// Adaptive overload control: when set, arrivals that would have to
+    /// queue are shed immediately once the *smoothed* (EWMA) queue wait
+    /// exceeds this target — the queue is already slower than tolerable,
+    /// so waiting would only produce a slower rejection. `None` (the
+    /// default) keeps the fixed permit/queue bounds as the only
+    /// admission policy. Rejections carry a computed
+    /// [`retry_after`](applab_core::CoreError::Overloaded) either way.
+    pub queue_delay_target: Option<Duration>,
     /// Deadline applied to queries that do not carry their own
     /// [`QueryRequest::deadline`]. `None` means unlimited.
     pub default_deadline: Option<Duration>,
@@ -87,6 +95,7 @@ impl Default for ServiceConfig {
             max_in_flight: 4,
             max_queue: 16,
             queue_timeout: Duration::from_millis(500),
+            queue_delay_target: None,
             default_deadline: None,
             eval: EvalOptions::default(),
         }
@@ -176,6 +185,11 @@ pub struct QueryOutcome {
     /// (rows scanned, joins, DAP round-trips/bytes, cache hits, ...).
     /// All-zero for queries rejected before evaluation started.
     pub stats: QueryStats,
+    /// Bytes the transport wrote while delivering the response *inside*
+    /// the admission permit (see [`ApplabService::query_delivering`]).
+    /// `None` for plain [`query_with`](ApplabService::query_with) calls
+    /// and for queries whose delivery was aborted or never started.
+    pub delivered_bytes: Option<u64>,
     /// The results, or the typed rejection/failure.
     pub result: Result<QueryResults, CoreError>,
 }
@@ -269,7 +283,11 @@ impl ApplabService {
     pub fn new(config: ServiceConfig) -> Self {
         ApplabService {
             endpoints: Vec::new(),
-            admission: Admission::new(config.max_in_flight, config.max_queue),
+            admission: Admission::new(
+                config.max_in_flight,
+                config.max_queue,
+                config.queue_delay_target,
+            ),
             config,
             query_log: None,
             recorder: None,
@@ -324,6 +342,13 @@ impl ApplabService {
         self.admission.load()
     }
 
+    /// The smoothed (EWMA) queue-wait estimate driving the adaptive
+    /// shedder (see [`ServiceConfig::queue_delay_target`]). Also exposed
+    /// as the `applab_service_queue_delay_ewma_us` gauge.
+    pub fn queue_delay_ewma(&self) -> Duration {
+        self.admission.queue_delay_ewma()
+    }
+
     /// Serve one query with the service-wide defaults.
     pub fn query(&self, endpoint: &str, sparql: &str) -> QueryOutcome {
         self.query_with(endpoint, sparql, &QueryRequest::default())
@@ -331,6 +356,55 @@ impl ApplabService {
 
     /// Serve one query with per-query deadline/cancellation options.
     pub fn query_with(&self, endpoint: &str, sparql: &str, request: &QueryRequest) -> QueryOutcome {
+        self.serve(
+            endpoint,
+            sparql,
+            request,
+            None::<fn(&QueryResults) -> std::io::Result<u64>>,
+        )
+    }
+
+    /// Serve one query and deliver its response *while still holding the
+    /// admission permit*: on success, `deliver` is called with the
+    /// results and must write them to the transport, returning the byte
+    /// count (recorded as [`QueryOutcome::delivered_bytes`]).
+    ///
+    /// This is the wire path's cancellation hook. A response that is
+    /// delivered outside the permit makes write failures invisible to
+    /// the service — the query already "succeeded" and the permit is
+    /// gone. Delivering inside the permit means a broken socket surfaces
+    /// right here: when `deliver` fails, the request's cancellation
+    /// token (if any) is stored so any still-attached evaluation work
+    /// stops, the outcome flips to a typed
+    /// [`Cancelled`](CoreError::Cancelled) — counted under
+    /// `applab_service_outcomes_total{code="cancelled"}` and
+    /// `applab_service_delivery_aborted_total` — and the permit is
+    /// released only after the transport is done with the results.
+    /// [`QueryOutcome::elapsed`] still measures evaluation only; the
+    /// delivery time is the transport's to account for.
+    pub fn query_delivering<F>(
+        &self,
+        endpoint: &str,
+        sparql: &str,
+        request: &QueryRequest,
+        deliver: F,
+    ) -> QueryOutcome
+    where
+        F: FnOnce(&QueryResults) -> std::io::Result<u64>,
+    {
+        self.serve(endpoint, sparql, request, Some(deliver))
+    }
+
+    fn serve<F>(
+        &self,
+        endpoint: &str,
+        sparql: &str,
+        request: &QueryRequest,
+        deliver: Option<F>,
+    ) -> QueryOutcome
+    where
+        F: FnOnce(&QueryResults) -> std::io::Result<u64>,
+    {
         let Some((name, ep)) = self.endpoints.iter().find(|(n, _)| n == endpoint) else {
             return self.finish(
                 QueryOutcome {
@@ -340,6 +414,7 @@ impl ApplabService {
                     elapsed: Duration::ZERO,
                     degraded: false,
                     stats: QueryStats::default(),
+                    delivered_bytes: None,
                     result: Err(CoreError::Source(format!("unknown endpoint '{endpoint}'"))),
                 },
                 sparql,
@@ -374,9 +449,11 @@ impl ApplabService {
                         elapsed: Duration::ZERO,
                         degraded: false,
                         stats,
+                        delivered_bytes: None,
                         result: Err(CoreError::Overloaded {
                             in_flight: rejection.in_flight,
                             queued: rejection.queued,
+                            retry_after: rejection.retry_after,
                         }),
                     },
                     sparql,
@@ -406,9 +483,29 @@ impl ApplabService {
         let degrade_scope = applab_obs::degrade::Scope::begin();
         let accounting = applab_obs::querystats::Scope::begin();
         let result = ep.query_with(sparql, &options);
-        let mut stats = accounting.finish();
-        let degraded = result.is_ok() && degrade_scope.degraded();
         let elapsed = started.elapsed();
+        let mut stats = accounting.finish();
+        // Delivery happens here, with the permit still held, so a broken
+        // client surfaces as a typed outcome instead of a silent success
+        // whose response nobody read.
+        let mut delivered_bytes = None;
+        let result = match (result, deliver) {
+            (Ok(results), Some(deliver)) => match deliver(&results) {
+                Ok(bytes) => {
+                    delivered_bytes = Some(bytes);
+                    Ok(results)
+                }
+                Err(_) => {
+                    if let Some(token) = &request.cancel {
+                        token.store(true, Ordering::Relaxed);
+                    }
+                    applab_obs::counter!("applab_service_delivery_aborted_total").inc();
+                    Err(CoreError::Cancelled)
+                }
+            },
+            (result, _) => result,
+        };
+        let degraded = result.is_ok() && degrade_scope.degraded();
         stats.queue_wait_ns = queue_wait.as_nanos() as u64;
         stats.degraded = degraded;
         applab_obs::histogram!("applab_service_query_seconds", WAIT_SECONDS_BUCKETS)
@@ -432,6 +529,7 @@ impl ApplabService {
             elapsed,
             degraded,
             stats,
+            delivered_bytes,
             result,
         };
         span.record("code", outcome.code());
@@ -611,8 +709,9 @@ mod tests {
                 shed.result,
                 Err(CoreError::Overloaded {
                     in_flight: 1,
-                    queued: 0
-                })
+                    queued: 0,
+                    retry_after
+                }) if retry_after >= Duration::from_secs(1)
             ),
             "{:?}",
             shed.result
@@ -748,6 +847,53 @@ mod tests {
         let failed = svc.query("nope", "SELECT 1");
         assert_eq!(failed.content_length_hint(), None);
         assert!(!failed.is_streamable());
+    }
+
+    /// Delivery inside the permit: a successful `deliver` records the
+    /// byte count; a failing one flips the outcome to `cancelled`, trips
+    /// the request's cancel token, and still releases the permit.
+    #[test]
+    fn delivery_failure_becomes_a_cancelled_outcome() {
+        let svc = service(ServiceConfig::default());
+        let out = svc.query_delivering("fake", "SELECT 1", &QueryRequest::new(), |results| {
+            Ok(results.to_json().len() as u64)
+        });
+        assert_eq!(out.code(), "ok");
+        let delivered = out.delivered_bytes.expect("delivery ran");
+        assert_eq!(delivered, out.results().unwrap().to_json().len() as u64);
+
+        let token = Arc::new(AtomicBool::new(false));
+        let out = svc.query_delivering(
+            "fake",
+            "SELECT 1",
+            &QueryRequest::new().cancel_token(Arc::clone(&token)),
+            |_results| Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "gone")),
+        );
+        assert_eq!(out.code(), "cancelled");
+        assert!(matches!(out.result, Err(CoreError::Cancelled)));
+        assert_eq!(out.delivered_bytes, None);
+        assert!(!out.degraded);
+        assert!(
+            token.load(Ordering::Relaxed),
+            "failed delivery must trip the cancel token"
+        );
+        assert_eq!(svc.load(), (0, 0), "permit released after failed delivery");
+    }
+
+    /// Delivery never runs for failed queries, and plain `query_with`
+    /// reports no delivered bytes.
+    #[test]
+    fn delivery_is_skipped_for_failures() {
+        let svc = service(ServiceConfig::default());
+        let out = svc.query_delivering(
+            "fake",
+            "SELECT 1",
+            &QueryRequest::new().deadline(Duration::ZERO),
+            |_results| panic!("deliver must not run for a timed-out query"),
+        );
+        assert_eq!(out.code(), "timeout");
+        assert_eq!(out.delivered_bytes, None);
+        assert_eq!(svc.query("fake", "SELECT 1").delivered_bytes, None);
     }
 
     #[test]

@@ -352,6 +352,18 @@ fn head_healthz_has_no_body() {
 }
 
 #[test]
+fn readyz_reports_ready_while_running() {
+    let mut c = client();
+    let resp = c.get("/readyz").unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.text(), "ready\n");
+
+    let post = c.post("/readyz", "text/plain", b"x").unwrap();
+    assert_eq!(post.status, 405);
+    assert_eq!(post.header("allow"), Some("GET, HEAD"));
+}
+
+#[test]
 fn metrics_speak_prometheus_text_exposition() {
     let mut c = client();
     // At least one query beforehand so the wire counters exist.
