@@ -37,7 +37,8 @@ impl Explain {
             "stats: rows_scanned={} scans={} batches={} joins={} \
              probe_chunks={} filter_in={} filter_out={} dap_round_trips={} \
              dap_bytes={} dap_retries={} cache_hits={} cache_misses={} \
-             source_queries={} pushdowns={} peak_batch_bytes={}\n",
+             source_queries={} pushdowns={} pruned_rows={} \
+             peak_batch_bytes={}\n",
             self.stats.rows_scanned,
             self.stats.scans,
             self.stats.batches,
@@ -52,6 +53,7 @@ impl Explain {
             self.stats.cache_misses,
             self.stats.source_queries,
             self.stats.pushdowns,
+            self.stats.pruned_rows,
             self.stats.peak_batch_bytes,
         ));
         out

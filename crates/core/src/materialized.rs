@@ -109,11 +109,26 @@ impl MaterializedWorkflow {
     /// Run a query under a profiling trace: the results plus an EXPLAIN
     /// span tree with per-stage timings and cardinalities.
     pub fn query_explained(&self, sparql: &str) -> Result<crate::Explain, CoreError> {
+        self.query_explained_with(sparql, &EvalOptions::default())
+    }
+
+    /// [`Self::query_explained`] with explicit evaluation options. With
+    /// the cost-based planner on, the scan spans carry the plan: the
+    /// chosen access path, the estimated row count next to the actual
+    /// one, and how many scanned rows the build-side filters pruned.
+    pub fn query_explained_with(
+        &self,
+        sparql: &str,
+        options: &EvalOptions,
+    ) -> Result<crate::Explain, CoreError> {
         let accounting = applab_obs::querystats::Scope::begin();
         let (results, profile) = applab_obs::profile("query", |root| {
             root.record("backend", "store");
+            if options.planner {
+                root.record("planner", true);
+            }
             let q = applab_sparql::parse_query(sparql)?;
-            Ok::<_, CoreError>(applab_sparql::evaluate(&self.store, &q)?)
+            Ok::<_, CoreError>(applab_sparql::evaluate_with(&self.store, &q, options)?)
         });
         Ok(crate::Explain {
             results: results?,

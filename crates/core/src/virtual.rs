@@ -202,12 +202,27 @@ impl VirtualWorkflow {
     /// Run a query under a profiling trace: the results plus an EXPLAIN
     /// span tree with per-stage timings and cardinalities.
     pub fn query_explained(&self, sparql: &str) -> Result<crate::Explain, CoreError> {
+        self.query_explained_with(sparql, &EvalOptions::default())
+    }
+
+    /// [`Self::query_explained`] with explicit evaluation options. With
+    /// the cost-based planner on, the scan spans carry the plan: the
+    /// chosen access path, the estimated row count next to the actual
+    /// one, and how many scanned rows the build-side filters pruned.
+    pub fn query_explained_with(
+        &self,
+        sparql: &str,
+        options: &EvalOptions,
+    ) -> Result<crate::Explain, CoreError> {
         let accounting = applab_obs::querystats::Scope::begin();
         let (results, profile) = applab_obs::profile("query", |root| {
             root.record("backend", "obda");
+            if options.planner {
+                root.record("planner", true);
+            }
             let q = applab_sparql::parse_query(sparql)?;
             let _ = applab_obda::take_source_fault();
-            let results = applab_sparql::evaluate(&self.graph, &q);
+            let results = applab_sparql::evaluate_with(&self.graph, &q, options);
             if let Some(fault) = applab_obda::take_source_fault() {
                 return Err(fault.into());
             }

@@ -43,6 +43,10 @@ pub struct VirtualGraph {
     /// optimizations" of the local path). Remote `opendap` sources are
     /// never cached here — their own window cache governs freshness.
     row_cache: Mutex<HashMap<usize, Arc<Vec<Row>>>>,
+    /// Structural planner statistics derived from the mappings alone —
+    /// compiled at seal time without touching the data source, so remote
+    /// (OPeNDAP) sources see no extra round trips.
+    stats: applab_sparql::plan::Stats,
 }
 
 impl VirtualGraph {
@@ -66,10 +70,12 @@ impl VirtualGraph {
                 })
             })
             .collect::<Result<Vec<_>, ObdaError>>()?;
+        let stats = structural_stats(&compiled);
         Ok(VirtualGraph {
             source,
             mappings: compiled,
             row_cache: Mutex::new(HashMap::new()),
+            stats,
         })
     }
 
@@ -247,6 +253,56 @@ impl VirtualGraph {
     }
 }
 
+/// Rows a mapping's source is assumed to yield when nothing has been
+/// fetched yet. The *relative* numbers are what steer the planner;
+/// constant templates (distinct count 1) versus templated positions
+/// (distinct count = row guess) carry the real signal.
+const ROW_GUESS: u64 = 1000;
+
+/// Planner statistics derived purely from the mapping structure: no
+/// source rows are read, so sealing a virtual workflow costs no DAP
+/// round trips (and fault-injection tests see identical traffic).
+fn structural_stats(mappings: &[CompiledMapping]) -> applab_sparql::plan::Stats {
+    use applab_sparql::plan::{SpatialSketch, Stats};
+    let mut stats = Stats::default();
+    let mut geometry_templates = 0u64;
+    for cm in mappings {
+        for (i, template) in cm.mapping.target.iter().enumerate() {
+            let Some(p) = &cm.predicate_of[i] else {
+                // Templated predicate: counted only toward the total.
+                stats.total_triples += ROW_GUESS;
+                continue;
+            };
+            let entry = stats.predicates.entry(p.clone()).or_default();
+            entry.triples += ROW_GUESS;
+            stats.total_triples += ROW_GUESS;
+            let distinct = |t: &TermTemplate| -> u64 {
+                let constant = match t {
+                    TermTemplate::Iri(st) | TermTemplate::Blank(st) => st.columns().is_empty(),
+                    TermTemplate::Literal { template, .. } => template.columns().is_empty(),
+                };
+                if constant {
+                    1
+                } else {
+                    ROW_GUESS
+                }
+            };
+            entry.distinct_subjects =
+                (entry.distinct_subjects + distinct(&template.subject)).min(entry.triples);
+            entry.distinct_objects =
+                (entry.distinct_objects + distinct(&template.object)).min(entry.triples);
+            if geometry_column(&template.object).is_some() {
+                geometry_templates += 1;
+            }
+        }
+    }
+    stats.spatial = SpatialSketch {
+        entries: geometry_templates * ROW_GUESS,
+        bounds: None, // unknown extent: the R-tree hint stays worth trying
+    };
+    stats
+}
+
 /// A template's constant expansion, when it has no placeholders.
 fn constant_expansion(t: &TermTemplate) -> Option<String> {
     match t {
@@ -274,6 +330,10 @@ fn geometry_column(t: &TermTemplate) -> Option<&str> {
 }
 
 impl GraphSource for VirtualGraph {
+    fn stats(&self) -> Option<&applab_sparql::plan::Stats> {
+        Some(&self.stats)
+    }
+
     fn triples_matching(
         &self,
         subject: Option<&Resource>,
@@ -752,6 +812,56 @@ WHERE { ?s lai:hasLai ?lai .
         // Parks (ids 1,2,4,5) have both hasName (mapping 1, kind=park only)
         // and label (mapping 2, all rows).
         assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn structural_stats_come_from_mappings_without_fetching() {
+        // Stats are built in `new()` from the mapping shapes alone — no
+        // source rows are consulted, so constructing the graph is enough.
+        let vg = virtual_graph(10);
+        let stats = applab_sparql::GraphSource::stats(&vg).expect("virtual graph has stats");
+        assert!(stats.total_triples > 0);
+        // Constant-object template (poiType → osm:park): one distinct object.
+        let ty = stats.predicate(vocab::osm::POI_TYPE).unwrap();
+        assert_eq!(ty.distinct_objects, 1);
+        // Templated object (hasName {name}): as many distinct as rows guessed.
+        let name = stats.predicate(vocab::osm::HAS_NAME).unwrap();
+        assert!(name.distinct_objects > 1);
+        assert!(name.distinct_objects <= name.triples);
+        // The WKT template registers in the spatial sketch (bounds unknown).
+        assert!(stats.spatial.entries > 0);
+        assert!(stats.spatial.bounds.is_none());
+    }
+
+    #[test]
+    fn planner_matches_written_order_on_virtual_graph() {
+        // Two mappings force the pattern-at-a-time path, where the planner
+        // actually reorders; results must be the same multiset.
+        let two = format!(
+            "{PARK_MAPPINGS}\nmappingId labels\ntarget osm:poi_{{id}} rdfs:label {{name}}^^xsd:string .\nsource SELECT id, name FROM parks\n"
+        );
+        let mut ds = DataSource::new();
+        ds.add_table(parks_table(12));
+        let vg = VirtualGraph::new(ds, parse_mappings(&two).unwrap()).unwrap();
+        let q = applab_sparql::parse_query(
+            "SELECT ?s ?n ?l ?w WHERE {
+               ?s rdfs:label ?l .
+               ?s osm:hasName ?n .
+               ?s geo:hasGeometry ?g .
+               ?g geo:asWKT ?w
+             }",
+        )
+        .unwrap();
+        let opts = applab_sparql::EvalOptions::default();
+        let plain = applab_sparql::evaluate_with(&vg, &q, &opts).unwrap();
+        let planned = applab_sparql::evaluate_with(&vg, &q, &opts.clone().planner(true)).unwrap();
+        let (ca, cb) = (plain.to_csv(), planned.to_csv());
+        let mut a: Vec<&str> = ca.lines().collect();
+        let mut b: Vec<&str> = cb.lines().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert!(!plain.is_empty());
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -188,6 +188,7 @@ fn parse_stats(v: &json::Value) -> Result<QueryStats, String> {
             "cache_misses" => s.cache_misses = v.as_u64()?,
             "source_queries" => s.source_queries = v.as_u64()?,
             "pushdowns" => s.pushdowns = v.as_u64()?,
+            "pruned_rows" => s.pruned_rows = v.as_u64()?,
             "peak_batch_bytes" => s.peak_batch_bytes = v.as_u64()?,
             "queue_wait_ns" => s.queue_wait_ns = v.as_u64()?,
             "degraded" => s.degraded = v.as_bool()?,
@@ -860,6 +861,7 @@ mod tests {
                 cache_misses: 1,
                 source_queries: 3,
                 pushdowns: 1,
+                pruned_rows: 96,
                 peak_batch_bytes: 32_768,
                 queue_wait_ns: 987,
                 degraded: false,

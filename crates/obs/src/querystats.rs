@@ -45,6 +45,7 @@ pub struct StatsCell {
     cache_misses: AtomicU64,
     source_queries: AtomicU64,
     pushdowns: AtomicU64,
+    pruned_rows: AtomicU64,
     peak_batch_bytes: AtomicU64,
 }
 
@@ -67,6 +68,7 @@ impl StatsCell {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             source_queries: self.source_queries.load(Ordering::Relaxed),
             pushdowns: self.pushdowns.load(Ordering::Relaxed),
+            pruned_rows: self.pruned_rows.load(Ordering::Relaxed),
             peak_batch_bytes: self.peak_batch_bytes.load(Ordering::Relaxed),
             queue_wait_ns: 0,
             degraded: false,
@@ -113,6 +115,9 @@ pub struct QueryStats {
     pub source_queries: u64,
     /// Scans answered through a spatial/temporal index pushdown.
     pub pushdowns: u64,
+    /// Scanned rows discarded by planner build-side Bloom/min-max
+    /// filters before reaching a join.
+    pub pruned_rows: u64,
     /// Largest batch (approximate bytes) held at once.
     pub peak_batch_bytes: u64,
     /// Time spent waiting for an admission permit (service-filled).
@@ -144,7 +149,7 @@ impl QueryStats {
     /// logged query on the log's writer thread, which shares the CPU
     /// with query evaluation on small hosts.
     pub(crate) fn write_json(&self, out: &mut String) {
-        let fields: [(&str, u64); 18] = [
+        let fields: [(&str, u64); 19] = [
             ("{\"rows_scanned\": ", self.rows_scanned),
             (", \"scans\": ", self.scans),
             (", \"batches\": ", self.batches),
@@ -161,6 +166,7 @@ impl QueryStats {
             (", \"cache_misses\": ", self.cache_misses),
             (", \"source_queries\": ", self.source_queries),
             (", \"pushdowns\": ", self.pushdowns),
+            (", \"pruned_rows\": ", self.pruned_rows),
             (", \"peak_batch_bytes\": ", self.peak_batch_bytes),
             (", \"queue_wait_ns\": ", self.queue_wait_ns),
         ];
@@ -388,6 +394,15 @@ pub fn pushdown() {
     });
 }
 
+/// Planner build-side Bloom/min-max filtering discarded `rows` scanned
+/// rows before a join.
+#[inline]
+pub fn pruned(rows: u64) {
+    with_cell(|c| {
+        c.pruned_rows.fetch_add(rows, Ordering::Relaxed);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -409,6 +424,7 @@ mod tests {
         cache_miss();
         source_query();
         pushdown();
+        pruned(42);
         let stats = scope.finish();
         assert_eq!(stats.rows_scanned, 131);
         assert_eq!(stats.scans, 2);
@@ -427,6 +443,7 @@ mod tests {
         assert_eq!(stats.cache_misses, 1);
         assert_eq!(stats.source_queries, 1);
         assert_eq!(stats.pushdowns, 1);
+        assert_eq!(stats.pruned_rows, 42);
         let sel = stats.filter_selectivity().expect("filter ran");
         assert!((sel - 7.0 / 131.0).abs() < 1e-9);
     }
@@ -478,6 +495,7 @@ mod tests {
         let stats = scope.finish();
         let json = stats.to_json();
         assert!(json.contains("\"filter_selectivity\": 0.5000"), "{json}");
+        assert!(json.contains("\"pruned_rows\": 0"), "{json}");
         assert!(json.contains("\"degraded\": false"), "{json}");
         let no_filter = QueryStats::default().to_json();
         assert!(no_filter.contains("\"filter_selectivity\": null"));

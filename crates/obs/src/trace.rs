@@ -209,6 +209,15 @@ pub fn child_of(parent: Option<SpanContext>, name: &'static str) -> Span {
 }
 
 impl Span {
+    /// Whether this span actually records (a subscriber was registered
+    /// when it opened). Callers computing an *expensive* field value —
+    /// anything that allocates or re-derives state — should skip the
+    /// computation entirely on a disabled span instead of relying on
+    /// [`Span::record`]'s no-op.
+    pub fn enabled(&self) -> bool {
+        self.start.is_some()
+    }
+
     /// Attach (or overwrite) a `key=value` field.
     pub fn record(&mut self, key: &'static str, value: impl Into<Value>) {
         if self.start.is_none() {

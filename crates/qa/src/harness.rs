@@ -45,6 +45,19 @@ impl Verdict {
 /// Engine labels, aligned with [`Harness::run_text`] internals.
 pub const ENGINES: [&str; 4] = ["reference", "pipeline-seq", "pipeline-par", "virtual"];
 
+/// Planner-on engine labels appended by [`Harness::run_text_planned`]:
+/// the sequential pipeline and the OBDA virtual workflow re-run with
+/// [`EvalOptions::planner`] enabled, so every differential case also
+/// proves the cost-based plan returns the written-order multiset.
+pub const PLANNED_ENGINES: [&str; 2] = ["planned-seq", "planned-virtual"];
+
+fn engine_name(idx: usize) -> &'static str {
+    ENGINES
+        .get(idx)
+        .or_else(|| PLANNED_ENGINES.get(idx - ENGINES.len()))
+        .expect("engine index")
+}
+
 /// The batch windows forced on the pipeline engines (`pipeline-seq`,
 /// `pipeline-par` in that order): deliberately tiny and coprime, so on
 /// the small generated datasets batch edges land inside every operator
@@ -110,6 +123,23 @@ impl Harness {
                 .vw
                 .query_with(text, &EvalOptions::sequential())
                 .map_err(|e| e.to_string()),
+            // Planner-on engines ([`PLANNED_ENGINES`]): same configs as
+            // pipeline-seq / virtual with the cost-based plan enabled.
+            4 => applab_sparql::evaluate_with(
+                &self.engines.store,
+                query,
+                &EvalOptions {
+                    batch_size: HARNESS_BATCH_WINDOWS[0],
+                    ..EvalOptions::sequential()
+                }
+                .planner(true),
+            )
+            .map_err(|e| e.to_string()),
+            5 => self
+                .engines
+                .vw
+                .query_with(text, &EvalOptions::sequential().planner(true))
+                .map_err(|e| e.to_string()),
             _ => unreachable!("engine index"),
         }
     }
@@ -122,8 +152,27 @@ impl Harness {
         canon_via_json(&r)
     }
 
+    /// Run the planner-on sequential pipeline only (the adversarial-order
+    /// metamorphic check compares plans, not the full cross-product).
+    pub fn eval_planned_seq(&self, text: &str) -> Result<Canon, String> {
+        let query = applab_sparql::parse_query(text).map_err(|e| format!("parse: {e}"))?;
+        let r = self.eval_engine(4, text, &query)?;
+        canon_via_json(&r)
+    }
+
     /// Run one rendered query through all four engines and diff.
     pub fn run_text(&self, text: &str) -> Verdict {
+        self.run_engines(text, ENGINES.len())
+    }
+
+    /// Run one rendered query through all four engines *plus* the two
+    /// planner-on configurations ([`PLANNED_ENGINES`]) and diff — the
+    /// planner-equivalence differential sweep.
+    pub fn run_text_planned(&self, text: &str) -> Verdict {
+        self.run_engines(text, ENGINES.len() + PLANNED_ENGINES.len())
+    }
+
+    fn run_engines(&self, text: &str, engine_count: usize) -> Verdict {
         let query = match applab_sparql::parse_query(text) {
             Ok(q) => q,
             // All engines share the parser; a parse failure cannot
@@ -136,14 +185,13 @@ impl Harness {
         let mut canons: Vec<(usize, Canon)> = Vec::new();
         let mut errors: Vec<(usize, String)> = Vec::new();
         // An index loop on purpose: idx names the engine in both arms and
-        // feeds eval_engine; iterating ENGINES would still need it.
-        #[allow(clippy::needless_range_loop)]
-        for idx in 0..ENGINES.len() {
+        // feeds eval_engine; iterating the label arrays would still need it.
+        for idx in 0..engine_count {
             match self.eval_engine(idx, text, &query) {
                 Ok(r) => match canon_via_json(&r) {
                     Ok(c) => canons.push((idx, c)),
                     Err(e) => {
-                        return Verdict::Disagree(format!("{}: {e}", ENGINES[idx]));
+                        return Verdict::Disagree(format!("{}: {e}", engine_name(idx)));
                     }
                 },
                 Err(e) => errors.push((idx, e)),
@@ -151,14 +199,15 @@ impl Harness {
         }
         if canons.is_empty() {
             let (idx, e) = &errors[0];
-            return Verdict::AgreeError(format!("{}: {e}", ENGINES[*idx]));
+            return Verdict::AgreeError(format!("{}: {e}", engine_name(*idx)));
         }
         if !errors.is_empty() {
             let (eidx, e) = &errors[0];
             let (oidx, _) = &canons[0];
             return Verdict::Disagree(format!(
                 "{} errored ({e}) while {} answered",
-                ENGINES[*eidx], ENGINES[*oidx]
+                engine_name(*eidx),
+                engine_name(*oidx)
             ));
         }
 
@@ -166,7 +215,7 @@ impl Harness {
             let (_, reference_canon) = &canons[0];
             for (idx, c) in &canons[1..] {
                 if let Some(d) = diff(reference_canon, c) {
-                    return Verdict::Disagree(format!("reference vs {}: {d}", ENGINES[*idx]));
+                    return Verdict::Disagree(format!("reference vs {}: {d}", engine_name(*idx)));
                 }
             }
             return Verdict::Agree;
@@ -189,7 +238,7 @@ impl Harness {
             if c.len() != expected {
                 return Verdict::Disagree(format!(
                     "{}: slice of {} rows, expected {expected} (full {} rows, limit {:?} offset {})",
-                    ENGINES[*idx],
+                    engine_name(*idx),
                     c.len(),
                     full.len(),
                     query.limit,
@@ -199,7 +248,7 @@ impl Harness {
             if !is_multiset_subset(c, &full) {
                 return Verdict::Disagree(format!(
                     "{}: slice is not contained in the unlimited reference answer",
-                    ENGINES[*idx]
+                    engine_name(*idx)
                 ));
             }
         }

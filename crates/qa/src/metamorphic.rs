@@ -35,6 +35,11 @@ pub fn check_all(h: &Harness, ir: &QueryIr) -> Result<Vec<&'static str>, String>
     } else if bbox_target(ir).is_some() && applicable_bbox(ir) {
         ran.push("bbox_shrink");
     }
+    if let Some(v) = check_adversarial_order(h, ir)? {
+        return Err(v);
+    } else if applicable_reorder(ir) {
+        ran.push("adversarial_order");
+    }
     Ok(ran)
 }
 
@@ -264,6 +269,78 @@ fn check_bbox_shrink(h: &Harness, ir: &QueryIr) -> Result<Option<String>, String
     }
 }
 
+/// Sort each contiguous triple run largest-scan-first: fewer constant
+/// positions → bigger scan, with all-variable patterns leading. This is
+/// the written order a cost-naive author would be punished for.
+fn adversarial_order(ir: &QueryIr) -> QueryIr {
+    let weight = |e: &Elem| -> usize {
+        match e {
+            Elem::Triple(s, p, o) => [s, p, o].iter().filter(|t| !t.starts_with('?')).count(),
+            _ => 3,
+        }
+    };
+    let mut out = ir.clone();
+    let mut result: Vec<Elem> = Vec::new();
+    let mut run: Vec<Elem> = Vec::new();
+    for e in out.body.drain(..) {
+        match e {
+            Elem::Triple(..) => run.push(e),
+            other => {
+                run.sort_by_key(&weight);
+                result.append(&mut run);
+                result.push(other);
+            }
+        }
+    }
+    run.sort_by_key(&weight);
+    result.append(&mut run);
+    out.body = result;
+    out
+}
+
+/// The planner must be written-order independent: the adversarial order
+/// (largest pattern first) must produce the same plan fingerprint as the
+/// original, and planned evaluation of both must return the same answer
+/// as the written-order oracle.
+pub fn check_adversarial_order(h: &Harness, ir: &QueryIr) -> Result<Option<String>, String> {
+    if !applicable_reorder(ir) {
+        return Ok(None);
+    }
+    let variant = adversarial_order(ir);
+    if variant == *ir {
+        return Ok(None);
+    }
+    if let Some(stats) = applab_sparql::GraphSource::stats(&h.engines.store) {
+        let parse =
+            |text: &str| applab_sparql::parse_query(text).map_err(|e| format!("parse: {e}"));
+        let qa = parse(&ir.render())?;
+        let qb = parse(&variant.render())?;
+        let fa = applab_sparql::plan::query_fingerprint(stats, &qa.pattern);
+        let fb = applab_sparql::plan::query_fingerprint(stats, &qb.pattern);
+        if fa != fb {
+            return Ok(Some(format!(
+                "plan fingerprint depends on written order: {fa:016x} vs {fb:016x}\noriginal: {}\nadversarial: {}",
+                ir.render(),
+                variant.render()
+            )));
+        }
+    }
+    let oracle = h.eval_pipeline_seq(&ir.render());
+    let a = h.eval_planned_seq(&ir.render());
+    let b = h.eval_planned_seq(&variant.render());
+    match (oracle, a, b) {
+        (Ok(o), Ok(x), Ok(y)) if o == x && x == y => Ok(None),
+        (Err(_), Err(_), Err(_)) => Ok(None),
+        (o, x, y) => Ok(Some(format!(
+            "planned evaluation depends on written order or diverged from the oracle\n\
+             oracle: {o:?}\nplanned original: {x:?}\nplanned adversarial: {y:?}\n\
+             original: {}\nadversarial: {}",
+            ir.render(),
+            variant.render()
+        ))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +364,39 @@ mod tests {
         assert!(
             ran.contains("limit_monotonic"),
             "limit_monotonic never ran: {ran:?}"
+        );
+        assert!(
+            ran.contains("adversarial_order"),
+            "adversarial_order never ran: {ran:?}"
+        );
+    }
+
+    #[test]
+    fn adversarial_order_puts_widest_pattern_first() {
+        let ir = QueryIr {
+            ask: false,
+            distinct: false,
+            select: Vec::new(),
+            body: vec![
+                Elem::Triple("?s".into(), "osm:poiType".into(), "osm:park".into()),
+                Elem::Triple("?s".into(), "?p".into(), "?o".into()),
+                Elem::Triple("?s".into(), "osm:hasName".into(), "?n".into()),
+            ],
+            group_by: Vec::new(),
+            order_by: Vec::new(),
+            limit: None,
+            offset: 0,
+        };
+        let adv = adversarial_order(&ir);
+        assert_eq!(
+            adv.body[0],
+            Elem::Triple("?s".into(), "?p".into(), "?o".into()),
+            "the all-variable pattern must lead"
+        );
+        assert_eq!(
+            adv.body[2],
+            Elem::Triple("?s".into(), "osm:poiType".into(), "osm:park".into()),
+            "the most-constant pattern must trail"
         );
     }
 

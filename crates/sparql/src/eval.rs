@@ -47,6 +47,7 @@ use crate::batch::{merge_gather, Batch, ColumnBuilder};
 use crate::expr::{
     compare_terms, eval_expr, eval_filter, geof_area_of, geof_convex_hull_of, Binding,
 };
+use crate::plan;
 use crate::results::{QueryResults, Row};
 use crate::source::{GraphSource, IdAccess, IdColumns};
 use applab_geo::{Envelope, Geometry, SpatialRelation};
@@ -222,6 +223,16 @@ pub struct EvalOptions {
     pub batch_size: usize,
     /// The cooperative deadline / cancellation budget for this evaluation.
     pub budget: Budget,
+    /// Use the cost-based planner ([`crate::plan`]) for BGP evaluation:
+    /// joins are reordered by estimated cardinality from the source's
+    /// seal-time statistics, build/probe sides are chosen by size,
+    /// spatial/temporal access paths are taken only when the sketch says
+    /// they prune, and build-side Bloom/min-max filters drop probe rows
+    /// early. `false` (the default) keeps the written-order pipeline —
+    /// the byte-stable oracle the differential harnesses compare against.
+    /// Planned evaluation returns the same *multiset* of solutions but
+    /// may order unsorted results differently.
+    pub planner: bool,
 }
 
 impl Default for EvalOptions {
@@ -231,6 +242,7 @@ impl Default for EvalOptions {
             parallel_workers: None,
             batch_size: 1024,
             budget: Budget::unlimited(),
+            planner: false,
         }
     }
 }
@@ -258,6 +270,12 @@ impl EvalOptions {
             ..EvalOptions::default()
         }
     }
+
+    /// Toggle the cost-based planner (builder style).
+    pub fn planner(mut self, on: bool) -> Self {
+        self.planner = on;
+        self
+    }
 }
 
 /// Evaluate a query against a source with default options.
@@ -278,6 +296,21 @@ pub fn evaluate_with(
     // outlive the budget.
     let _deadline_scope = applab_obs::deadline::enter(options.budget.deadline_instant());
     let mut eval_span = applab_obs::span("sparql.evaluate");
+    if options.planner {
+        eval_span.record("planner", true);
+        // The statically chosen plan for the whole query — per-BGP spans
+        // repeat it next to their actual rows. Planning the query a
+        // second time just for the field is only worth it when something
+        // is actually tracing.
+        if eval_span.enabled() {
+            if let Some(stats) = source.stats() {
+                eval_span.record(
+                    "plan_fingerprint",
+                    format!("{:016x}", plan::query_fingerprint(stats, &query.pattern)),
+                );
+            }
+        }
+    }
     let slots = Slots::new(&query.pattern);
     let width = slots.width;
     let n_real = slots.names.len();
@@ -656,6 +689,13 @@ impl<'a> Interner<'a> {
 struct Constraints {
     spatial: HashMap<String, Envelope>,
     temporal: HashMap<String, (i64, i64)>,
+    /// Variable pairs linked by a non-disjoint `geof:sf*(?a, ?b)`
+    /// conjunct of an enclosing FILTER. Only collected when the planner
+    /// is on: once one side is bound, the union envelope of its
+    /// geometries becomes a spatial constraint for the other side
+    /// (sideways information passing — on the OBDA path this prunes
+    /// OPeNDAP grid-cell fetches before any DAP round trip).
+    spatial_links: Vec<(String, String)>,
 }
 
 /// A pre-classified FILTER conjunct. Spatial `geof:sf*` conjuncts get a
@@ -772,6 +812,13 @@ impl<'a> Evaluator<'a> {
                         .entry(var)
                         .and_modify(|r| *r = (r.0.max(s), r.1.min(e)))
                         .or_insert((s, e));
+                }
+                if self.options.planner {
+                    for link in spatial_join_links(expr) {
+                        if !merged.spatial_links.contains(&link) {
+                            merged.spatial_links.push(link);
+                        }
+                    }
                 }
                 let inner_batch = self.eval_pattern(inner, input, &merged);
                 let total = inner_batch.len();
@@ -1098,9 +1145,16 @@ impl<'a> Evaluator<'a> {
         let mut bgp_span = applab_obs::span("bgp");
         bgp_span.record("patterns", patterns.len());
         bgp_span.record("input_rows", input.len());
+        // Sideways envelope passing (planner only): geometry variables the
+        // input batch already binds constrain their spatial-join partners,
+        // so the source's whole-BGP hook — and through it the OPeNDAP
+        // grid-cell fetch — sees the tightened envelope before any round
+        // trip happens.
+        let sideways = self.sideways_spatial(constraints, &input, None);
+        let spatial_for_source = sideways.as_ref().unwrap_or(&constraints.spatial);
         // OBDA fast path: let the source answer the whole BGP at once, then
         // hash-join the answers with the current solutions.
-        if let Some(answers) = self.source.evaluate_bgp(patterns, &constraints.spatial) {
+        if let Some(answers) = self.source.evaluate_bgp(patterns, spatial_for_source) {
             bgp_span.record("source_bgp", true);
             bgp_span.record("source_rows", answers.len());
             applab_obs::querystats::scan(answers.len() as u64);
@@ -1116,6 +1170,16 @@ impl<'a> Evaluator<'a> {
                 build.push_row(&rowbuf);
             }
             return self.join(input, build);
+        }
+
+        // Cost-based path: statistics-ordered lazy scan/join with
+        // build-side filters. Falls through to the written-order pipeline
+        // when the source has no seal-time stats.
+        if self.options.planner {
+            let source = self.source;
+            if let Some(stats) = source.stats() {
+                return self.eval_bgp_planned(stats, patterns, input, constraints, &mut bgp_span);
+            }
         }
 
         // When the input is a single row, its bindings substitute into the
@@ -1174,6 +1238,269 @@ impl<'a> Evaluator<'a> {
             }
         }
         result
+    }
+
+    /// Cost-based BGP evaluation ([`EvalOptions::planner`] on, source has
+    /// seal-time [`plan::Stats`]): patterns are scanned lazily in the
+    /// order [`plan::order_patterns`] chooses and joined immediately, so
+    /// every scan sees the constraints (single-row substitution, sideways
+    /// envelopes, Bloom/min-max filters) the already-joined prefix
+    /// established. Produces the same solution multiset as the
+    /// written-order pipeline, possibly in a different row order.
+    fn eval_bgp_planned(
+        &mut self,
+        stats: &plan::Stats,
+        patterns: &[TriplePattern],
+        input: Batch,
+        constraints: &Constraints,
+        bgp_span: &mut applab_obs::Span,
+    ) -> Batch {
+        let width = self.slots.width;
+        // Variables the input batch binds (any-row semantics, matching the
+        // greedy loop's `bound_slots`).
+        let input_bound = input.bound_slots();
+        let mut bound_vars: HashSet<String> = self
+            .slots
+            .names
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| input_bound[*i])
+            .map(|(_, n)| n.clone())
+            .collect();
+        let steps = plan::order_patterns(
+            stats,
+            patterns,
+            &bound_vars,
+            &constraints.spatial,
+            &constraints.temporal,
+        );
+        bgp_span.record("planned", true);
+        if bgp_span.enabled() {
+            bgp_span.record(
+                "plan_fingerprint",
+                format!("{:016x}", plan::fingerprint(&steps)),
+            );
+        }
+        let mut result = input;
+        let mut result_est = result.len().max(1) as f64;
+        for step in &steps {
+            if self.interrupted() {
+                return Batch::new(width);
+            }
+            let pattern = &patterns[step.pattern];
+            // Per-step constraints: sideways envelopes derived from the
+            // current result, then the access-path choice — constraints
+            // the sketch proves useless are stripped so the scan takes
+            // the plain index instead. Copy-on-write: most steps change
+            // nothing and then the shared `constraints` is used as is.
+            let mut effective = std::borrow::Cow::Borrowed(constraints);
+            // Only this step's own variables can consume a sideways
+            // envelope, so restrict the (whole-result) union-envelope
+            // computation to them instead of walking every link each
+            // step.
+            let step_vars = pattern.variables();
+            if let Some(augmented) =
+                self.sideways_spatial(constraints, &result, Some(step_vars.as_slice()))
+            {
+                effective.to_mut().spatial = augmented;
+            }
+            let access = plan::access_path(stats, pattern, &effective.spatial, &effective.temporal);
+            if let Some(v) = pattern.object.as_var() {
+                let (strip_spatial, strip_temporal) = match access {
+                    plan::AccessPath::Spatial => (false, effective.temporal.contains_key(v)),
+                    plan::AccessPath::Temporal => (effective.spatial.contains_key(v), false),
+                    plan::AccessPath::Scan => (
+                        effective.spatial.contains_key(v),
+                        effective.temporal.contains_key(v),
+                    ),
+                };
+                if strip_spatial {
+                    effective.to_mut().spatial.remove(v);
+                }
+                if strip_temporal {
+                    effective.to_mut().temporal.remove(v);
+                }
+            }
+            let subst: Option<Vec<Option<u64>>> = (result.len() == 1).then(|| result.row(0));
+            let mut scan_span = applab_obs::span("scan");
+            scan_span.record("pattern", step.pattern);
+            scan_span.record("est_rows", step.est_rows.round() as u64);
+            scan_span.record("access", access.tag());
+            let (mut col_batch, used) =
+                self.scan_column(pattern, subst.as_deref(), effective.as_ref());
+            scan_span.record("rows", col_batch.len());
+            scan_span.record_rate("rows_per_sec", col_batch.len() as u64);
+            applab_obs::querystats::scan(col_batch.len() as u64);
+
+            // Build-side Bloom/min-max filters: drop scanned rows that
+            // cannot equal any current-result row on a shared slot. Only
+            // sound per slot when EVERY result row binds it — an unbound
+            // row joins with anything on that variable. Only worth the
+            // build + per-row probes when the result side is much
+            // smaller than the scan; otherwise the hash join (which
+            // already builds on the smaller side) discards the same rows
+            // for the same work.
+            let seed = result.len() == 1 && result.row_all_unbound(0);
+            if !seed && !col_batch.is_empty() && result.len() * 8 <= col_batch.len() {
+                let result_bound = result.bound_slots();
+                let mut filters: Vec<(usize, plan::IdFilter)> = Vec::new();
+                for &slot in used.iter().filter(|&&s| result_bound[s]) {
+                    let mut ids = Vec::with_capacity(result.len());
+                    let mut all_bound = true;
+                    for i in 0..result.len() {
+                        match result.get(i, slot) {
+                            Some(id) => ids.push(id),
+                            None => {
+                                all_bound = false;
+                                break;
+                            }
+                        }
+                    }
+                    if all_bound {
+                        if let Some(f) = plan::IdFilter::build(&ids) {
+                            filters.push((slot, f));
+                        }
+                    }
+                }
+                if !filters.is_empty() {
+                    let before = col_batch.len();
+                    let mut sel: Vec<u32> = Vec::with_capacity(before);
+                    'rows: for i in 0..before {
+                        if i % CHECK_INTERVAL == 0 && self.interrupted() {
+                            return Batch::new(width);
+                        }
+                        for (slot, f) in &filters {
+                            if let Some(id) = col_batch.get(i, *slot) {
+                                if !f.contains(id) {
+                                    continue 'rows;
+                                }
+                            }
+                        }
+                        sel.push(i as u32);
+                    }
+                    if sel.len() < before {
+                        col_batch = col_batch.gather(&sel);
+                        let pruned = (before - sel.len()) as u64;
+                        scan_span.record("pruned_rows", pruned);
+                        applab_obs::querystats::pruned(pruned);
+                    }
+                }
+            }
+            drop(scan_span);
+            if col_batch.is_empty() {
+                return Batch::new(width);
+            }
+
+            // Join-size estimate threads through the chain so EXPLAIN can
+            // show estimate-vs-actual per join operator.
+            let d_key = pattern
+                .variables()
+                .iter()
+                .filter(|v| bound_vars.contains(**v))
+                .filter_map(|v| stats.distinct_at(pattern, v))
+                .fold(None, |acc: Option<f64>, d| {
+                    Some(acc.map_or(d, |a| a.min(d)))
+                })
+                .unwrap_or(1.0);
+            let est_out = plan::estimate_join(result_est, step.est_rows, d_key);
+            // Build/probe choice: hash the smaller side. The seed row
+            // keeps the canonical orientation (its join short-circuit
+            // returns the scanned batch untouched).
+            result = if seed || col_batch.len() <= result.len() {
+                self.join_est(result, col_batch, Some(est_out))
+            } else {
+                self.join_est(col_batch, result, Some(est_out))
+            };
+            result_est = est_out.max(1.0);
+            for v in pattern.variables() {
+                bound_vars.insert(v.to_string());
+            }
+            if result.is_empty() {
+                return result;
+            }
+        }
+        result
+    }
+
+    /// The augmented spatial-constraint map for a batch: for every
+    /// spatial-join link ([`Constraints::spatial_links`]) with one side
+    /// bound by `batch`, the union envelope of that side's geometries
+    /// constrains the other side. `None` when nothing was added (planner
+    /// off, no links, nothing usable bound). Sound because a row whose
+    /// linked variable is unbound or not a geometry cannot satisfy the
+    /// originating `geof:` conjunct anyway, and the filter is always
+    /// re-applied downstream.
+    fn sideways_spatial(
+        &mut self,
+        constraints: &Constraints,
+        batch: &Batch,
+        receivers: Option<&[&str]>,
+    ) -> Option<HashMap<String, Envelope>> {
+        if !self.options.planner || constraints.spatial_links.is_empty() || batch.is_empty() {
+            return None;
+        }
+        // With a spatial sketch on hand, a union envelope wider than
+        // [`plan::INDEX_SELECTIVITY_CUTOFF`] is dropped: unlike a constant
+        // filter envelope it saves no exact geometry tests, and an R-tree
+        // walk it cannot meaningfully narrow costs more than the plain
+        // column scan. The check also runs mid-walk so a hopeless union
+        // stops early.
+        let sketch = self.source.stats().map(|s| &s.spatial);
+        let too_wide = |env: &Envelope| {
+            sketch.is_some_and(|sk| {
+                sk.bounds.is_some() && sk.selectivity(env) >= plan::INDEX_SELECTIVITY_CUTOFF
+            })
+        };
+        let mut out: Option<HashMap<String, Envelope>> = None;
+        for (a, b) in &constraints.spatial_links {
+            for (src, dst) in [(a, b), (b, a)] {
+                // When the caller names the variables its next scan can
+                // bind, links pointing anywhere else are skipped before
+                // the per-row union-envelope walk.
+                if receivers.is_some_and(|vars| !vars.contains(&dst.as_str())) {
+                    continue;
+                }
+                let Some(slot) = self.slots.get(src) else {
+                    continue;
+                };
+                // Every row must bind the source side: an unbound row can
+                // still acquire this variable from a scan inside the BGP,
+                // with a geometry outside the union envelope. A row bound
+                // to a non-geometry is safe to exclude — the originating
+                // `geof:` conjunct drops it no matter what the other side
+                // holds.
+                let mut env = Envelope::EMPTY;
+                let mut any = false;
+                let mut all_bound = true;
+                let mut useless = false;
+                for i in 0..batch.len() {
+                    let Some(id) = batch.get(i, slot) else {
+                        all_bound = false;
+                        break;
+                    };
+                    self.ensure_geometry(id);
+                    if let Some((_, e)) = self.geometries.get(&id).and_then(GeomEntry::get) {
+                        env.expand(e);
+                        any = true;
+                    }
+                    if i & 63 == 63 && too_wide(&env) {
+                        useless = true;
+                        break;
+                    }
+                }
+                if !all_bound || !any || useless || too_wide(&env) {
+                    continue; // side not (fully) bound, or envelope too wide
+                }
+                // Do NOT intersect with an existing constraint: "g meets
+                // box A" and "g meets box B" does not imply "g meets
+                // A∩B" for non-point geometries, so intersecting two
+                // individually-necessary envelopes can drop valid rows.
+                // Keep whichever constraint got there first.
+                let target = out.get_or_insert_with(|| constraints.spatial.clone());
+                target.entry(dst.clone()).or_insert(env);
+            }
+        }
+        out
     }
 
     /// Scan one triple pattern into a batch, plus the variable slots the
@@ -1437,6 +1764,13 @@ impl<'a> Evaluator<'a> {
     /// chunked across scoped threads; chunk pair lists are concatenated in
     /// order so the result is independent of the thread count.
     fn join(&mut self, probe: Batch, build: Batch) -> Batch {
+        self.join_est(probe, build, None)
+    }
+
+    /// [`Self::join`] with an optional planner cardinality estimate,
+    /// recorded on the join span so EXPLAIN shows estimate-vs-actual
+    /// rows per operator.
+    fn join_est(&mut self, probe: Batch, build: Batch, est_rows: Option<f64>) -> Batch {
         let width = self.slots.width;
         if probe.is_empty() || build.is_empty() {
             return Batch::new(width);
@@ -1451,6 +1785,9 @@ impl<'a> Evaluator<'a> {
         let mut join_span = applab_obs::span("join");
         join_span.record("probe", probe.len());
         join_span.record("build", build.len());
+        if let Some(est) = est_rows {
+            join_span.record("est_rows", est.round() as u64);
+        }
         let bound_probe = probe.bound_slots();
         let bound_build = build.bound_slots();
         let shared: Vec<usize> = (0..width)
@@ -2000,6 +2337,29 @@ fn merge(out: &mut HashMap<String, Envelope>, var: String, env: Envelope) {
     out.entry(var)
         .and_modify(|e| *e = e.intersection(&env))
         .or_insert(env);
+}
+
+/// Variable pairs linked by a non-disjoint `geof:sf*(?a, ?b)` conjunct.
+/// Every such relation requires the two envelopes to intersect, so once
+/// one side's geometries are known, their union envelope constrains the
+/// other side (consumed through `Constraints::spatial_links`).
+pub fn spatial_join_links(expr: &Expression) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for conjunct in expr.conjuncts() {
+        if let Expression::Call(f, args) = conjunct {
+            if let Some(local) = f.as_str().strip_prefix(vocab::geof::NS) {
+                if local == "sfDisjoint" {
+                    continue; // negative constraint: envelopes need not meet
+                }
+                if applab_geo::SpatialRelation::from_geof_name(local).is_some() && args.len() == 2 {
+                    if let (Expression::Var(a), Expression::Var(b)) = (&args[0], &args[1]) {
+                        out.push((a.clone(), b.clone()));
+                    }
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Extract time-range constraints (epoch seconds) from a filter expression.

@@ -28,6 +28,7 @@ mod batch;
 pub mod eval;
 pub mod expr;
 pub mod parser;
+pub mod plan;
 pub mod reference;
 pub mod results;
 pub mod source;
@@ -35,6 +36,7 @@ pub mod source;
 pub use algebra::{Expression, GraphPattern, Query, QueryForm, TermPattern, TriplePattern};
 pub use eval::{evaluate, evaluate_with, Budget, EvalError, EvalOptions};
 pub use parser::{parse_query, ParseError};
+pub use plan::Stats;
 pub use results::{JsonParseError, QueryResults, Row, JSON_FLUSH_BYTES};
 pub use source::{GraphSource, IdAccess, IdColumns};
 

@@ -79,6 +79,15 @@ pub trait GraphSource {
         None
     }
 
+    /// Seal-time statistics for the cost-based planner
+    /// ([`crate::plan`]). Sources that collect a sketch when they seal
+    /// return it here; the default `None` leaves the planner without
+    /// estimates (it then keeps written order). Only consulted when
+    /// [`crate::EvalOptions::planner`] is on.
+    fn stats(&self) -> Option<&crate::plan::Stats> {
+        None
+    }
+
     /// Dictionary-level access for sources that store triples as id tuples.
     ///
     /// Returning `Some` lets the evaluator run its hash-join pipeline

@@ -52,6 +52,8 @@ pub struct SpatioTemporalStore {
     temporal: Vec<(i64, Ids)>,
     temporal_sorted: bool,
     len: usize,
+    /// Seal-time planner statistics, rebuilt by [`Self::finish_load`].
+    stats: Option<applab_sparql::plan::Stats>,
 }
 
 impl SpatioTemporalStore {
@@ -113,14 +115,68 @@ impl SpatioTemporalStore {
         true
     }
 
-    /// Sort the valid-time index after a bulk load.
+    /// Sort the valid-time index after a bulk load, and collect the
+    /// seal-time planner statistics ([`applab_sparql::plan::Stats`]).
     pub fn finish_load(&mut self) {
         self.temporal.sort_unstable_by_key(|(t, _)| *t);
         self.temporal_sorted = true;
+        self.stats = Some(self.collect_stats());
         applab_obs::gauge!("applab_store_triples").set(self.len as i64);
         applab_obs::gauge!("applab_store_dict_terms").set(self.dict.len() as i64);
         applab_obs::gauge!("applab_store_spatial_index_entries").set(self.spatial.len() as i64);
         applab_obs::gauge!("applab_store_temporal_index_entries").set(self.temporal.len() as i64);
+    }
+
+    /// One pass over the POS and SPO permutations: per-predicate triple
+    /// counts and distinct subject/object counts (exact — the indexes are
+    /// sorted, so distinct counts are run-length counts, no hashing), plus
+    /// the spatial/temporal index sketches.
+    fn collect_stats(&self) -> applab_sparql::plan::Stats {
+        use applab_sparql::plan::{PredicateStats, SpatialSketch, Stats, TemporalSketch};
+        let mut stats = Stats {
+            total_triples: self.len as u64,
+            ..Stats::default()
+        };
+        // POS is sorted by (p, o, s): triples per predicate and distinct
+        // objects per predicate fall out of run boundaries.
+        let mut by_id: HashMap<u64, PredicateStats> = HashMap::new();
+        let mut prev: Option<(u64, u64)> = None;
+        for &(p, o, _) in &self.pos {
+            let entry = by_id.entry(p).or_default();
+            entry.triples += 1;
+            if prev != Some((p, o)) {
+                entry.distinct_objects += 1;
+                prev = Some((p, o));
+            }
+        }
+        // SPO is sorted by (s, p, o): distinct subjects per predicate are
+        // distinct (s, p) prefixes.
+        let mut prev_sp: Option<(u64, u64)> = None;
+        for &(s, p, _) in &self.spo {
+            if prev_sp != Some((s, p)) {
+                by_id.entry(p).or_default().distinct_subjects += 1;
+                prev_sp = Some((s, p));
+            }
+        }
+        for (p, ps) in by_id {
+            if let Term::Named(n) = self.dict.decode(p) {
+                stats.predicates.insert(n.as_str().to_string(), ps);
+            }
+        }
+        let mut bounds = Envelope::EMPTY;
+        for (_, env) in self.geometries.values() {
+            bounds.expand(env);
+        }
+        stats.spatial = SpatialSketch {
+            entries: self.spatial.len() as u64,
+            bounds: (!bounds.is_empty()).then_some(bounds),
+        };
+        stats.temporal = TemporalSketch {
+            entries: self.temporal.len() as u64,
+            min: self.temporal.first().map(|(t, _)| *t).unwrap_or(0),
+            max: self.temporal.last().map(|(t, _)| *t).unwrap_or(0),
+        };
+        stats
     }
 
     fn decode_triple(&self, (s, p, o): Ids) -> Triple {
@@ -260,6 +316,10 @@ impl GraphSource for SpatioTemporalStore {
     ) -> Option<usize> {
         let (s, p, o) = self.encode_lookup(subject, predicate, object)?;
         Some(self.scan(s, p, o).len())
+    }
+
+    fn stats(&self) -> Option<&applab_sparql::plan::Stats> {
+        self.stats.as_ref()
     }
 
     fn id_access(&self) -> Option<&dyn IdAccess> {
@@ -618,6 +678,131 @@ SELECT DISTINCT ?geoA ?geoB ?lai WHERE
         let lai_pred = NamedNode::new(vocab::lai::HAS_LAI);
         assert_eq!(store.estimate(None, Some(&lai_pred), None), Some(16));
         assert_eq!(store.estimate(None, None, None), Some(store.len()));
+    }
+
+    #[test]
+    fn seal_time_stats_are_exact_on_grid_snapshot() {
+        // Golden numbers for the fixed 4×4 LAI snapshot (the
+        // mini-Geographica shape): 16 observations × 5 triples.
+        let store = grid_store(4);
+        let stats = GraphSource::stats(&store).expect("sealed store has stats");
+        assert_eq!(stats.total_triples, 80);
+        let lai = stats.predicate(vocab::lai::HAS_LAI).unwrap();
+        assert_eq!(lai.triples, 16);
+        assert_eq!(lai.distinct_subjects, 16);
+        // LAI values are (i+j)/10 over a 4×4 grid: 7 distinct sums 0..=6.
+        assert_eq!(lai.distinct_objects, 7);
+        let wkt = stats.predicate(vocab::geo::AS_WKT).unwrap();
+        assert_eq!(wkt.triples, 16);
+        assert_eq!(wkt.distinct_subjects, 16);
+        assert_eq!(wkt.distinct_objects, 16);
+        // rdf:type points every observation at the same class.
+        let ty = stats.predicate(vocab::rdf::TYPE).unwrap();
+        assert_eq!(ty.triples, 16);
+        assert_eq!(ty.distinct_objects, 1);
+        // Index sketches cover the full grid extent and time range.
+        assert_eq!(stats.spatial.entries, 16);
+        let b = stats.spatial.bounds.unwrap();
+        assert_eq!((b.min_x, b.min_y, b.max_x, b.max_y), (0.0, 0.0, 0.3, 0.3));
+        assert_eq!(stats.temporal.entries, 16);
+        assert_eq!(stats.temporal.min, 0);
+        assert_eq!(stats.temporal.max, 15 * 86_400);
+    }
+
+    #[test]
+    fn join_estimates_on_grid_snapshot_are_within_bounds() {
+        use applab_sparql::plan::estimate_join;
+        use applab_sparql::{TermPattern, TriplePattern};
+        let store = grid_store(4);
+        let stats = GraphSource::stats(&store).unwrap();
+        // ?obs lai:hasLai ?lai  ⋈_obs  ?obs time:hasTime ?t — key is the
+        // observation subject: 16 * 16 / 16 = 16, the exact join size.
+        let lai = TriplePattern::new(
+            TermPattern::var("obs"),
+            applab_rdf::Term::named(vocab::lai::HAS_LAI),
+            TermPattern::var("lai"),
+        );
+        let time = TriplePattern::new(
+            TermPattern::var("obs"),
+            applab_rdf::Term::named(vocab::time::HAS_TIME),
+            TermPattern::var("t"),
+        );
+        let none = |_: &str| false;
+        let sp = std::collections::HashMap::new();
+        let tp = std::collections::HashMap::new();
+        let est_lai = stats.estimate_pattern(&lai, &none, &sp, &tp);
+        let est_time = stats.estimate_pattern(&time, &none, &sp, &tp);
+        let d_key = stats.distinct_at(&lai, "obs").unwrap();
+        let est = estimate_join(est_lai, est_time, d_key);
+        let actual = 16.0;
+        assert!(
+            (est - actual).abs() / actual <= 0.01,
+            "join estimate {est} not within 1% of {actual}"
+        );
+        // A half-extent spatial constraint halves the WKT scan estimate.
+        let wkt = TriplePattern::new(
+            TermPattern::var("g"),
+            applab_rdf::Term::named(vocab::geo::AS_WKT),
+            TermPattern::var("w"),
+        );
+        let mut sp = std::collections::HashMap::new();
+        sp.insert("w".to_string(), Envelope::new(0.0, 0.0, 0.15, 0.3));
+        let est = stats.estimate_pattern(&wkt, &none, &sp, &tp);
+        let actual = 8.0; // 2 of 4 columns
+        assert!(
+            (est - actual).abs() / actual <= 0.25,
+            "spatial estimate {est} not within 25% of {actual}"
+        );
+    }
+
+    #[test]
+    fn planner_matches_written_order_on_store_queries() {
+        // The planner may reorder unsorted rows but must return the same
+        // multiset — compare sorted CSV lines against the written-order
+        // oracle for the characteristic query shapes.
+        let store = grid_store(6);
+        let queries = [
+            // Wide BGP with an adversarial written order (biggest first).
+            "SELECT ?obs ?lai ?t WHERE {
+               ?obs ?p ?o .
+               ?obs lai:hasLai ?lai .
+               ?obs time:hasTime ?t .
+               FILTER(?lai > 0.5)
+             }",
+            // Spatial filter over a sub-extent.
+            "SELECT ?obs ?w WHERE {
+               ?obs geo:hasGeometry ?g .
+               ?g geo:asWKT ?w .
+               FILTER(geof:sfIntersects(?w, \"POLYGON ((0.05 0.05, 0.35 0.05, \
+               0.35 0.35, 0.05 0.35, 0.05 0.05))\"^^geo:wktLiteral))
+             }",
+            // Temporal range plus a join back to the value.
+            "SELECT ?obs ?lai WHERE {
+               ?obs time:hasTime ?t .
+               ?obs lai:hasLai ?lai .
+               FILTER(?t >= \"1970-01-05T00:00:00Z\"^^xsd:dateTime)
+             }",
+            // Spatial self-join: the sideways-envelope path.
+            "SELECT ?a ?b WHERE {
+               ?a geo:asWKT ?wa .
+               ?b geo:asWKT ?wb .
+               FILTER(geof:sfEquals(?wa, ?wb))
+             }",
+        ];
+        for q in queries {
+            let parsed = applab_sparql::parse_query(q).unwrap();
+            let opts = applab_sparql::EvalOptions::default();
+            let plain = applab_sparql::evaluate_with(&store, &parsed, &opts).unwrap();
+            let planned =
+                applab_sparql::evaluate_with(&store, &parsed, &opts.clone().planner(true)).unwrap();
+            let (csv_a, csv_b) = (plain.to_csv(), planned.to_csv());
+            let mut a: Vec<&str> = csv_a.lines().collect();
+            let mut b: Vec<&str> = csv_b.lines().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert!(!plain.is_empty(), "oracle empty for {q}");
+            assert_eq!(a, b, "planner diverged on {q}");
+        }
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Planner-equivalence differential sweep (tier-1).
+//!
+//! The cost-based planner must be invisible in results: for every
+//! QA-generated query, planned evaluation (store pipeline and OBDA
+//! virtual workflow with `EvalOptions::planner(true)`) must return the
+//! same canonical multiset as the written-order engines and the
+//! reference oracle. Three seeds × 2000 cases stream through
+//! [`Harness::run_text_planned`], which runs all four standard engines
+//! plus the two planner-on configurations per case.
+//!
+//! Any disagreement is shrunk to a minimal (query, dataset) pair and
+//! persisted under `qa/failing/` — same artifact discipline as the
+//! chaos harnesses — so a red run leaves a replayable witness behind.
+
+use applab_qa::corpus::CorpusCase;
+use applab_qa::gen::QueryIr;
+use applab_qa::{case_seed, generate, shrink, DatasetSpec, Harness, Verdict};
+use std::path::PathBuf;
+
+const SEEDS: [u64; 3] = [1, 2, 3];
+const CASES_PER_SEED: u64 = 2000;
+
+/// Shrink a disagreeing case against the planner-aware verdict and write
+/// it out as a replayable corpus artifact; returns the path.
+fn persist_failure(run_seed: u64, index: u64, ir: &QueryIr, spec: &DatasetSpec) -> PathBuf {
+    let mut cache: Option<(DatasetSpec, Harness)> = None;
+    let mut fails = |candidate: &QueryIr, candidate_spec: &DatasetSpec| -> bool {
+        let rebuild = cache.as_ref().is_none_or(|(s, _)| s != candidate_spec);
+        if rebuild {
+            match Harness::new(candidate_spec.clone()) {
+                Ok(h) => cache = Some((candidate_spec.clone(), h)),
+                Err(_) => return false,
+            }
+        }
+        let (_, h) = cache.as_ref().expect("cache populated above");
+        h.run_text_planned(&candidate.render()).is_disagreement()
+    };
+    let shrunk = shrink(ir, spec, 400, &mut fails);
+    let case = CorpusCase {
+        name: format!("planner_{run_seed}_{index}"),
+        seed: case_seed(run_seed, index),
+        dataset: shrunk.spec.clone(),
+        query: shrunk.ir.render(),
+        note: format!(
+            "found by planner_equivalence seed {run_seed} (case {index}): \
+             planner-on diverged from the written-order engines"
+        ),
+    };
+    let dir = PathBuf::from("qa/failing");
+    std::fs::create_dir_all(&dir).expect("create artifact dir");
+    let path = dir.join(format!("{}.ron", case.name));
+    std::fs::write(&path, case.to_ron()).expect("write failure artifact");
+    path
+}
+
+#[test]
+fn planned_and_unplanned_engines_agree_on_generated_corpus() {
+    let mut disagreements = Vec::new();
+    for seed in SEEDS {
+        let spec = DatasetSpec::small(seed);
+        let harness = Harness::new(spec.clone()).expect("dataset builds");
+        for i in 0..CASES_PER_SEED {
+            let ir = generate(case_seed(seed, i), &spec);
+            if let Verdict::Disagree(reason) = harness.run_text_planned(&ir.render()) {
+                let path = persist_failure(seed, i, &ir, &spec);
+                disagreements.push(format!(
+                    "seed {seed} case {i} (case_seed {}): {reason}\n  query: {}\n  artifact: {}",
+                    case_seed(seed, i),
+                    ir.render(),
+                    path.display()
+                ));
+            }
+        }
+    }
+    assert!(
+        disagreements.is_empty(),
+        "{} planner disagreement(s):\n{}",
+        disagreements.len(),
+        disagreements.join("\n")
+    );
+}
